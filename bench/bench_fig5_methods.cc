@@ -1,0 +1,164 @@
+// Figure 5 / §4: algebraic treatments of overridden methods. Compares, on
+// a mixed {Person} collection:
+//   A — run-time switch-table dispatch (one scan, late binding);
+//   B — the ⊎-based plan of Figure 5 (one exactly-typed scan per distinct
+//       implementation, bodies spliced and visible to the optimizer);
+//   C — plan B over per-type extent indexes (the paper's note that indexes
+//       make the multi-scan penalty disappear).
+// Scenarios follow §4's discussion: a trivial "boss" method (switch should
+// win or tie), an expensive method scanning sub_ords (the scans stop
+// mattering), and a composed query where only plan B lets the optimizer
+// fuse an outer selection into the bodies.
+
+#include <cstdio>
+
+#include "bench/support.h"
+#include "core/planner.h"
+#include "methods/dispatch.h"
+#include "methods/registry.h"
+
+namespace excess {
+namespace bench {
+namespace {
+
+ExprPtr PersonBoss() { return TupExtract("name", Input()); }
+ExprPtr StudentBoss() {
+  return TupExtract("name", Deref(TupExtract("advisor", Input())));
+}
+ExprPtr EmployeeBoss() {
+  return TupExtract("name", Deref(TupExtract("manager", Input())));
+}
+
+/// §4's expensive overridden method: for an Employee, total the salaries
+/// of all subordinates (scans + derefs sub_ords); cheap bodies elsewhere.
+ExprPtr EmployeeSubordCost() {
+  return Agg("sum", SetApply(TupExtract("salary", Deref(Input())),
+                             TupExtract("sub_ords", Input())));
+}
+ExprPtr PersonZero() { return IntLit(0); }
+
+struct Fixture {
+  std::unique_ptr<Database> db = std::make_unique<Database>();
+  std::unique_ptr<MethodRegistry> registry;
+
+  ValuePtr Eval(const ExprPtr& plan) {
+    Evaluator ev(db.get(), registry.get());
+    auto r = ev.Eval(plan);
+    if (!r.ok()) {
+      std::fprintf(stderr, "methods bench failed: %s\n",
+                   r.status().ToString().c_str());
+      std::abort();
+    }
+    return *r;
+  }
+  double Time(const ExprPtr& plan) {
+    return TimeMs([&] { Eval(plan); });
+  }
+};
+
+Fixture MakeFixture(int per_type, int subords) {
+  Fixture f;
+  UniversityParams p;
+  p.num_employees = std::max(40, per_type);
+  p.num_students = std::max(40, per_type);
+  p.subords_per_manager = subords;
+  if (!BuildUniversity(f.db.get(), p).ok()) std::abort();
+  if (!AddMixedPersonSet(f.db.get(), "P", per_type, per_type, per_type, p)
+           .ok()) {
+    std::abort();
+  }
+  f.registry = std::make_unique<MethodRegistry>(&f.db->catalog());
+  auto ok = [&](Status s) {
+    if (!s.ok()) std::abort();
+  };
+  ok(f.registry->Define({"Person", "boss", {}, StringSchema(), PersonBoss()}));
+  ok(f.registry->Define(
+      {"Student", "boss", {}, StringSchema(), StudentBoss()}));
+  ok(f.registry->Define(
+      {"Employee", "boss", {}, StringSchema(), EmployeeBoss()}));
+  ok(f.registry->Define(
+      {"Person", "workload", {}, IntSchema(), PersonZero()}));
+  ok(f.registry->Define(
+      {"Employee", "workload", {}, IntSchema(), EmployeeSubordCost()}));
+  return f;
+}
+
+void Scenario(const char* title, const std::string& method,
+              const std::vector<int>& sizes, int subords) {
+  std::printf("--- %s ---\n", title);
+  std::printf("%8s | %12s %12s %12s | agree\n", "|P|", "switch ms",
+              "union ms", "extents ms");
+  for (int per_type : sizes) {
+    Fixture f = MakeFixture(per_type, subords);
+    DispatchPlanner planner(f.db.get(), f.registry.get());
+    auto a = planner.SwitchTablePlan(Var("P"), method);
+    auto b = planner.UnionPlan(Var("P"), "Person", method);
+    auto c = planner.UnionPlanOverExtents("P", "Person", method);
+    if (!a.ok() || !b.ok() || !c.ok()) std::abort();
+    ValuePtr va = f.Eval(*a);
+    ValuePtr vb = f.Eval(*b);
+    ValuePtr vc = f.Eval(*c);
+    bool agree = va->Equals(*vb) && vb->Equals(*vc);
+    std::printf("%8d | %12.3f %12.3f %12.3f | %s\n", 3 * per_type, f.Time(*a),
+                f.Time(*b), f.Time(*c), agree ? "yes" : "NO");
+  }
+  std::printf("\n");
+}
+
+void ComposedQueryScenario() {
+  std::printf(
+      "--- composed query: filter boss() results, optimizer visibility ---\n");
+  std::printf(
+      "(only the union plan exposes the bodies, so only it lets the\n"
+      " planner fuse the outer selection via rules 15/27)\n");
+  std::printf("%8s | %14s %14s %14s\n", "|P|", "switch ms", "union raw ms",
+              "union opt ms");
+  for (int per_type : {200, 1000, 4000}) {
+    Fixture f = MakeFixture(per_type, 4);
+    DispatchPlanner planner(f.db.get(), f.registry.get());
+    auto a = planner.SwitchTablePlan(Var("P"), "boss");
+    auto b = planner.UnionPlan(Var("P"), "Person", "boss");
+    if (!a.ok() || !b.ok()) std::abort();
+    PredicatePtr gt = Gt(Input(), StrLit("person_3"));
+    ExprPtr qa = Select(gt, *a);
+    ExprPtr qb = Select(gt, *b);
+    Planner::Options opts;
+    opts.search_budget = 48;  // rule 12 (distribute over the union) is
+                              // exploratory; rule 15 then fuses per branch
+    Planner opt(f.db.get(), opts);
+    auto qb_opt = opt.Optimize(qb);
+    if (!qb_opt.ok()) std::abort();
+    ValuePtr ra = f.Eval(qa);
+    ValuePtr rb = f.Eval(*qb_opt);
+    if (!ra->Equals(*rb)) std::abort();
+    std::printf("%8d | %14.3f %14.3f %14.3f\n", 3 * per_type, f.Time(qa),
+                f.Time(qb), f.Time(*qb_opt));
+  }
+  std::printf("\n");
+}
+
+void Run() {
+  std::printf("=== Figure 5 / §4: overridden-method dispatch strategies ===\n\n");
+  Scenario("cheap method (boss): dispatch overhead dominates", "boss",
+           {200, 1000, 4000}, 4);
+  Scenario("expensive method (workload, sub_ords scan = 16): scans amortize",
+           "workload", {200, 1000}, 16);
+  Scenario("expensive method, sub_ords = 128", "workload", {200, 1000}, 128);
+  ComposedQueryScenario();
+  std::printf(
+      "Shapes (§4): for the trivial method the single-scan switch table is\n"
+      "competitive and the 3-scan union plan pays for its extra passes —\n"
+      "unless extents erase them; as the per-element body cost grows the\n"
+      "scan overhead becomes negligible; and when the invoking query\n"
+      "composes with the method, only the union plan can be optimized as\n"
+      "one tree (the paper's central argument for the (+)-based approach).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace excess
+
+int main() {
+  excess::bench::Run();
+  return 0;
+}

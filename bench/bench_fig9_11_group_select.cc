@@ -1,0 +1,145 @@
+// Figures 9-11 (§5 Example 2): the grouped selection
+//   retrieve (S.name) by S.dept.division where S.dept.floor = k
+// as the paper's three trees: the initial plan (Fig. 9), the rule-15
+// collapse (Fig. 10), and the rule 10 + rule 26 alternative (Fig. 11) that
+// pushes the selection ahead of grouping and materializes the shared
+// DEREF(dept) once. Also demonstrates that the rule engine itself derives
+// Figure 11 from Figure 9.
+
+#include <cstdio>
+
+#include "bench/support.h"
+#include "core/planner.h"
+#include "core/rewriter.h"
+#include "core/rules.h"
+
+namespace excess {
+namespace bench {
+namespace {
+
+void Sweep(int num_students, int num_floors) {
+  // selectivity = 1/num_floors (students are spread uniformly).
+  Database db;
+  UniversityParams p;
+  p.num_students = num_students;
+  p.num_departments = 15;  // every division has every floor
+  p.num_floors = num_floors;
+  if (!BuildUniversity(&db, p).ok()) std::abort();
+
+  ExprPtr fig9 = Fig9Plan(1);
+  ExprPtr fig10 = Fig10Plan(1);
+  ExprPtr fig11 = Fig11Plan(1);
+  // Fig. 9/10 vs Fig. 11 agree modulo selection-emptied groups (the rule-10
+  // caveat); with every division populated on floor 1 they agree exactly,
+  // which MustAgree verifies after normalization.
+  ValuePtr v9 = DropEmptyGroups(MustEval(&db, fig9));
+  ValuePtr v10 = DropEmptyGroups(MustEval(&db, fig10));
+  ValuePtr v11 = DropEmptyGroups(MustEval(&db, fig11));
+  if (!v9->Equals(*v10) || !v10->Equals(*v11)) {
+    std::fprintf(stderr, "fig9/10/11 disagree\n");
+    std::abort();
+  }
+
+  EvalStats s9;
+  MustEval(&db, fig9, &s9);
+  EvalStats s10;
+  MustEval(&db, fig10, &s10);
+  EvalStats s11;
+  MustEval(&db, fig11, &s11);
+  double t9 = TimeMs([&] { MustEval(&db, fig9); });
+  double t10 = TimeMs([&] { MustEval(&db, fig10); });
+  double t11 = TimeMs([&] { MustEval(&db, fig11); });
+  std::printf(
+      "%8d %6.2f%% | %9.2f %9.2f %9.2f | %9lld %9lld %9lld | %11lld %11lld\n",
+      num_students, 100.0 / num_floors, t9, t10, t11,
+      static_cast<long long>(s9.derefs), static_cast<long long>(s10.derefs),
+      static_cast<long long>(s11.derefs),
+      static_cast<long long>(s9.OccurrencesOf(OpKind::kGroup)),
+      static_cast<long long>(s11.OccurrencesOf(OpKind::kGroup)));
+}
+
+void Run() {
+  std::printf("=== Figures 9-11: grouped selection, three plans ===\n\n");
+  std::printf(
+      "%8s %7s | %9s %9s %9s | %9s %9s %9s | %11s %11s\n", "|S|", "sel",
+      "fig9 ms", "fig10 ms", "fig11 ms", "drf f9", "drf f10", "drf f11",
+      "GRP-occ f9", "GRP-occ f11");
+  for (int n : {300, 1500, 6000}) {
+    for (int floors : {2, 5, 10}) {
+      Sweep(n, floors);
+    }
+  }
+
+  std::printf(
+      "\nShapes: fig10 removes one per-group scan (rule 15); fig11 halves\n"
+      "the DEREF count (rule 26, the dept deref is materialized once) and\n"
+      "its GRP consumes only the selected occurrences (rule 10), so its\n"
+      "advantage grows as selectivity drops.\n");
+
+  // --- The rule engine derives Figure 11 from Figure 9. -----------------
+  std::printf("\n=== Deriving Fig. 11 from Fig. 9 with the rule engine ===\n");
+  Database db;
+  UniversityParams p;
+  p.num_students = 60;
+  p.num_departments = 15;
+  if (!BuildUniversity(&db, p).ok()) std::abort();
+  ExprPtr fig9 = Fig9Plan(1);
+  Rewriter r10(&db, RuleSet::Only({"selection-before-group"}));
+  Rewriter r15(&db, RuleSet::Only({"combine-set-applys"}));
+  Rewriter r26(&db, RuleSet::Only({"push-enrichment-into-comp"},
+                                  /*force_directed=*/true));
+  // Fig. 9 --rule 15--> Fig. 10 (the paper's first transformation).
+  auto fig10 = r15.Rewrite(fig9);
+  if (!fig10.ok()) std::abort();
+  std::printf("rule 15 applied %zu time(s); fig10:\n%s\n",
+              r15.applied().size(), (*fig10)->ToTreeString().c_str());
+  // Fig. 9 --rule 10--> --rule 26--> Fig. 11 (the alternative).
+  auto mid = r10.Rewrite(fig9);
+  if (!mid.ok()) std::abort();
+  auto fig11 = r26.Rewrite(*mid);
+  if (!fig11.ok()) std::abort();
+  std::printf("rules 10+26 applied; fig11:\n%s\n",
+              (*fig11)->ToTreeString().c_str());
+  ValuePtr direct = DropEmptyGroups(MustEval(&db, Fig11Plan(1)));
+  ValuePtr derived = DropEmptyGroups(MustEval(&db, *fig11));
+  std::printf("derived tree equals the handwritten Fig. 11 result: %s\n",
+              direct->Equals(*derived) ? "yes" : "NO");
+
+  // --- The cost model decides when rule 26 pays (the paper: "it does not
+  // always help"). With cheap in-memory derefs the planner keeps the
+  // Fig. 10 shape; modelling an expensive DEREF (a materialization
+  // subquery) makes it choose the enrichment plan.
+  std::printf("\n=== Cost-based choice of rule 26 by deref cost ===\n");
+  auto contains_enrichment = [](const ExprPtr& plan) {
+    std::function<bool(const ExprPtr&)> walk = [&](const ExprPtr& e) {
+      if (e->kind() == OpKind::kTupMake && e->name() == "$m") return true;
+      for (const auto& c : e->children()) {
+        if (walk(c)) return true;
+      }
+      if (e->sub() != nullptr && walk(e->sub())) return true;
+      return false;
+    };
+    return walk(plan);
+  };
+  for (double deref_cost : {1.0, 4.0, 64.0}) {
+    Planner::Options opts;
+    opts.search_budget = 64;
+    opts.cost_params.deref_cost = deref_cost;
+    Planner planner(&db, opts);
+    auto best = planner.Optimize(fig9);
+    if (!best.ok()) std::abort();
+    std::printf("  deref_cost=%5.0f -> best plan %s the rule-26 "
+                "enrichment\n",
+                deref_cost,
+                contains_enrichment(*best) ? "USES" : "does not use");
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace excess
+
+int main() {
+  excess::bench::Run();
+  return 0;
+}

@@ -1,0 +1,164 @@
+// Per-rule micro-ablations (google-benchmark): for the key directed rules,
+// measure the same query before and after the single rewrite. These are the
+// Appendix's transformation rules turned into measurable deltas.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/support.h"
+#include "core/rewriter.h"
+#include "core/rules.h"
+
+namespace excess {
+namespace bench {
+namespace {
+
+/// One database per size, shared across iterations.
+Database* SharedDb(int employees) {
+  static std::map<int, std::unique_ptr<Database>>* dbs =
+      new std::map<int, std::unique_ptr<Database>>();
+  auto it = dbs->find(employees);
+  if (it == dbs->end()) {
+    auto db = std::make_unique<Database>();
+    UniversityParams p;
+    p.num_employees = employees;
+    p.num_students = employees;
+    p.num_departments = 20;
+    if (!BuildUniversity(db.get(), p).ok()) std::abort();
+    it = dbs->emplace(employees, std::move(db)).first;
+  }
+  return it->second.get();
+}
+
+ExprPtr ApplyRule(Database* db, const std::string& rule, ExprPtr e) {
+  Rewriter rw(db, RuleSet::Only({rule}));
+  auto r = rw.Rewrite(std::move(e));
+  if (!r.ok()) std::abort();
+  return *r;
+}
+
+void RunPlan(::benchmark::State& state, Database* db, const ExprPtr& plan) {
+  for (auto _ : state) {
+    Evaluator ev(db);
+    auto r = ev.Eval(plan);
+    if (!r.ok()) std::abort();
+    ::benchmark::DoNotOptimize(r.ValueOrDie());
+  }
+}
+
+// --- Rule 15: combine successive SET_APPLYs -------------------------------
+ExprPtr ChainedPlan() { return Fig4Plan("city_0"); }
+
+void BM_Rule15_Before(::benchmark::State& state) {
+  Database* db = SharedDb(static_cast<int>(state.range(0)));
+  RunPlan(state, db, ChainedPlan());
+}
+void BM_Rule15_After(::benchmark::State& state) {
+  Database* db = SharedDb(static_cast<int>(state.range(0)));
+  RunPlan(state, db, ApplyRule(db, "combine-set-applys", ChainedPlan()));
+}
+BENCHMARK(BM_Rule15_Before)->Arg(1000)->Arg(8000);
+BENCHMARK(BM_Rule15_After)->Arg(1000)->Arg(8000);
+
+// --- Rule 5: eliminate cross product under DE ---------------------------
+ExprPtr CrossUnderDePlan() {
+  return DupElim(SetApply(
+      TupExtract("city", Deref(TupExtract("_1", Input()))),
+      Cross(Var("Employees"), Var("Students"))));
+}
+
+void BM_Rule5_Before(::benchmark::State& state) {
+  Database* db = SharedDb(static_cast<int>(state.range(0)));
+  RunPlan(state, db, CrossUnderDePlan());
+}
+void BM_Rule5_After(::benchmark::State& state) {
+  Database* db = SharedDb(static_cast<int>(state.range(0)));
+  RunPlan(state, db, ApplyRule(db, "eliminate-cross-under-de",
+                               CrossUnderDePlan()));
+}
+BENCHMARK(BM_Rule5_Before)->Arg(300);
+BENCHMARK(BM_Rule5_After)->Arg(300);
+
+// --- Rule 8: DE before grouping -------------------------------------------
+ExprPtr DeAfterGroupPlan() {
+  // Group duplicated city values, dedupe within groups.
+  ExprPtr cities =
+      SetApply(TupExtract("city", Deref(Input())), Var("Employees"));
+  return SetApply(DupElim(Input()),
+                  Group(Input(), std::move(cities)));
+}
+
+void BM_Rule8_Before(::benchmark::State& state) {
+  Database* db = SharedDb(static_cast<int>(state.range(0)));
+  RunPlan(state, db, DeAfterGroupPlan());
+}
+void BM_Rule8_After(::benchmark::State& state) {
+  Database* db = SharedDb(static_cast<int>(state.range(0)));
+  RunPlan(state, db, ApplyRule(db, "de-before-group", DeAfterGroupPlan()));
+}
+BENCHMARK(BM_Rule8_Before)->Arg(8000);
+BENCHMARK(BM_Rule8_After)->Arg(8000);
+
+// --- Rule 19: extract through ARR_APPLY --------------------------------------
+ExprPtr ExtractThroughMapPlan() {
+  // Mapping DEREF over all ten elements, then extracting one: rule 19
+  // rewrites this to a single deref.
+  return TupExtract("name",
+                    ArrExtract(3, ArrApply(Deref(Input()), Var("TopTen"))));
+}
+
+void BM_Rule19_Before(::benchmark::State& state) {
+  Database* db = SharedDb(1000);
+  RunPlan(state, db, ExtractThroughMapPlan());
+}
+void BM_Rule19_After(::benchmark::State& state) {
+  Database* db = SharedDb(1000);
+  RunPlan(state, db,
+          ApplyRule(db, "extract-through-arrapply", ExtractThroughMapPlan()));
+}
+BENCHMARK(BM_Rule19_Before);
+BENCHMARK(BM_Rule19_After);
+
+// --- Rule 27: combine successive COMPs ----------------------------------------
+ExprPtr StackedCompPlan() {
+  return SetApply(
+      Comp(Gt(TupExtract("salary", Input()), IntLit(50000)),
+           Comp(Eq(TupExtract("city", Input()), StrLit("city_0")),
+                Deref(Input()))),
+      Var("Employees"));
+}
+
+void BM_Rule27_Before(::benchmark::State& state) {
+  Database* db = SharedDb(static_cast<int>(state.range(0)));
+  RunPlan(state, db, StackedCompPlan());
+}
+void BM_Rule27_After(::benchmark::State& state) {
+  Database* db = SharedDb(static_cast<int>(state.range(0)));
+  RunPlan(state, db, ApplyRule(db, "combine-comps", StackedCompPlan()));
+}
+BENCHMARK(BM_Rule27_Before)->Arg(8000);
+BENCHMARK(BM_Rule27_After)->Arg(8000);
+
+// --- Heuristic rewrite itself: optimizer throughput -----------------------------
+void BM_HeuristicRewrite(::benchmark::State& state) {
+  Database* db = SharedDb(300);
+  ExprPtr messy = DupElim(SetApply(
+      Project({"name"}, Input()),
+      SetApply(Deref(TupExtract("dept", Input())),
+               SetApply(Comp(Eq(TupExtract("city", Input()),
+                                StrLit("city_0")),
+                             Input()),
+                        SetApply(Deref(Input()), Var("Employees"))))));
+  for (auto _ : state) {
+    Rewriter rw(db, RuleSet::Heuristic());
+    auto r = rw.Rewrite(messy);
+    if (!r.ok()) std::abort();
+    ::benchmark::DoNotOptimize(r.ValueOrDie());
+  }
+}
+BENCHMARK(BM_HeuristicRewrite);
+
+}  // namespace
+}  // namespace bench
+}  // namespace excess
+
+BENCHMARK_MAIN();

@@ -1,0 +1,231 @@
+#ifndef EXCESS_BENCH_SUPPORT_H_
+#define EXCESS_BENCH_SUPPORT_H_
+
+// Shared fixtures for the figure benches: the exact query plans of the
+// paper's Figures 3-11 built with the public algebra API, plus small
+// timing/reporting helpers. Each figure's plans are verified equal before
+// being timed, so every number the benches print comes from plans that
+// provably compute the same answer.
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/builder.h"
+#include "core/eval.h"
+#include "university/university.h"
+
+namespace excess {
+namespace bench {
+
+using namespace alg;  // NOLINT(build/namespaces)
+
+/// Wall-clock milliseconds of `fn` (best of `reps`).
+inline double TimeMs(const std::function<void()>& fn, int reps = 3) {
+  double best = 1e18;
+  for (int i = 0; i < reps; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    auto end = std::chrono::steady_clock::now();
+    double ms =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+            .count() /
+        1e6;
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+/// Evaluates `plan` and aborts on error (benches run on verified plans).
+inline ValuePtr MustEval(Database* db, const ExprPtr& plan,
+                         EvalStats* stats = nullptr) {
+  Evaluator ev(db);
+  auto r = ev.Eval(plan);
+  if (!r.ok()) {
+    std::fprintf(stderr, "bench plan failed: %s\n%s\n",
+                 r.status().ToString().c_str(), plan->ToTreeString().c_str());
+    std::abort();
+  }
+  if (stats != nullptr) *stats = ev.stats();
+  return *r;
+}
+
+// --- Example 1 (Figures 6-8): grouped unique join ---------------------------
+// Query (§5 Ex. 1): unique (S.dept.name, E.name) by S.dept, where
+// S.advisor = E.name, over the advisor-as-name database.
+
+/// Dept name of the dereferenced student bound to `input`.
+inline ExprPtr StudentDeptName(ExprPtr input) {
+  return TupExtract("name", Deref(TupExtract("dept", std::move(input))));
+}
+
+/// Deref'd scans.
+inline ExprPtr DerefScan(const std::string& name) {
+  return SetApply(Deref(Input()), Var(name));
+}
+
+/// The projected result pair (dept_name, advisor) of a joined pair.
+inline ExprPtr Ex1PairProjection() {
+  return TupCat(
+      TupMakeNamed("dept_name", StudentDeptName(TupExtract("_1", Input()))),
+      TupMakeNamed("advisor",
+                   TupExtract("name", TupExtract("_2", Input()))));
+}
+
+inline PredicatePtr Ex1JoinPred() {
+  return Eq(TupExtract("advisor", TupExtract("_1", Input())),
+            TupExtract("name", TupExtract("_2", Input())));
+}
+
+/// Figure 6: join, group, project within groups, dedupe within groups.
+inline ExprPtr Fig6Plan() {
+  ExprPtr join = SetApply(Comp(Ex1JoinPred(), Input()),
+                          Cross(DerefScan("Students"), DerefScan("Employees")));
+  ExprPtr grouped = Group(StudentDeptName(TupExtract("_1", Input())),
+                          std::move(join));
+  return SetApply(DupElim(SetApply(Ex1PairProjection(), Input())),
+                  std::move(grouped));
+}
+
+/// Figure 7: project + dedupe pushed ahead of grouping (rule 8 + π/GRP).
+inline ExprPtr Fig7Plan() {
+  ExprPtr join = SetApply(Comp(Ex1JoinPred(), Input()),
+                          Cross(DerefScan("Students"), DerefScan("Employees")));
+  ExprPtr projected = SetApply(Ex1PairProjection(), std::move(join));
+  return Group(TupExtract("dept_name", Input()),
+               DupElim(std::move(projected)));
+}
+
+/// Figure 8: DE and π pushed below the join — DE now sees |S| + |E|
+/// occurrences instead of |S| · |E|.
+inline ExprPtr Fig8Plan() {
+  ExprPtr s_proj = DupElim(SetApply(
+      TupCat(TupMakeNamed("dept_name", StudentDeptName(Input())),
+             TupMakeNamed("advisor", TupExtract("advisor", Input()))),
+      DerefScan("Students")));
+  ExprPtr e_names = DupElim(
+      SetApply(TupExtract("name", Input()), DerefScan("Employees")));
+  ExprPtr join = SetApply(
+      Comp(Eq(TupExtract("advisor", TupExtract("_1", Input())),
+              TupExtract("_2", Input())),
+           Input()),
+      Cross(std::move(s_proj), std::move(e_names)));
+  // The S-side projected tuple IS the result pair; duplicates are already
+  // gone on both sides, but equal pairs may arise from several employees
+  // with equal names, hence the final per-stream DE.
+  ExprPtr pairs = DupElim(
+      SetApply(TupExtract("_1", Input()), std::move(join)));
+  return Group(TupExtract("dept_name", Input()), std::move(pairs));
+}
+
+// --- Example 2 (Figures 9-11): grouped selection ------------------------------
+// Query (§5 Ex. 2): S.name by S.dept.division where S.dept.floor = <floor>.
+
+inline ExprPtr Ex2DeptOf(ExprPtr input) {
+  return Deref(TupExtract("dept", std::move(input)));
+}
+
+/// Figure 9 (initial tree): group everything, then filter within groups,
+/// then project within groups.
+inline ExprPtr Fig9Plan(int64_t floor) {
+  ExprPtr grouped =
+      Group(TupExtract("division", Ex2DeptOf(Input())), DerefScan("Students"));
+  ExprPtr filtered = SetApply(
+      SetApply(Comp(Eq(TupExtract("floor", Ex2DeptOf(Input())),
+                       IntLit(floor)),
+                    Input()),
+               Input()),
+      std::move(grouped));
+  return SetApply(SetApply(Project({"name"}, Input()), Input()),
+                  std::move(filtered));
+}
+
+/// Figure 10: the two per-group scans collapsed by rule 15.
+inline ExprPtr Fig10Plan(int64_t floor) {
+  ExprPtr grouped =
+      Group(TupExtract("division", Ex2DeptOf(Input())), DerefScan("Students"));
+  return SetApply(
+      SetApply(Project({"name"},
+                       Comp(Eq(TupExtract("floor", Ex2DeptOf(Input())),
+                               IntLit(floor)),
+                            Input())),
+               Input()),
+      std::move(grouped));
+}
+
+/// Figure 11: selection pushed ahead of grouping (rule 10) and the shared
+/// DEREF(dept) materialized once inside the COMP (rule 26).
+inline ExprPtr Fig11Plan(int64_t floor) {
+  ExprPtr enrich = TupCat(
+      Input(), MakeExpr(OpKind::kTupMake, {Ex2DeptOf(Input())}, nullptr,
+                        nullptr, nullptr, "$m", {}, "", 0, 0, 0, false, false,
+                        false));
+  ExprPtr filtered = SetApply(
+      Comp(Eq(TupExtract("floor", TupExtract("$m", Input())), IntLit(floor)),
+           std::move(enrich)),
+      DerefScan("Students"));
+  ExprPtr grouped = Group(
+      TupExtract("division", TupExtract("$m", Input())), std::move(filtered));
+  return SetApply(SetApply(Project({"name"}, Input()), Input()),
+                  std::move(grouped));
+}
+
+// --- Figures 3/4 ----------------------------------------------------------------
+
+inline ExprPtr Fig3Plan() {
+  return Project({"name", "salary"}, Deref(ArrExtract(5, Var("TopTen"))));
+}
+
+/// The paper's four-stage SET_APPLY chain.
+inline ExprPtr Fig4Plan(const std::string& city) {
+  return SetApply(
+      Project({"name"}, Input()),
+      SetApply(Deref(TupExtract("dept", Input())),
+               SetApply(Comp(Eq(TupExtract("city", Input()), StrLit(city)),
+                             Input()),
+                        SetApply(Deref(Input()), Var("Employees")))));
+}
+
+/// Figure 4 after rule-15 fusion: one scan.
+inline ExprPtr Fig4FusedPlan(const std::string& city) {
+  // COMP's predicate sees the COMP operand (the dereferenced employee) as
+  // its INPUT, exactly as rule-15 composition produces.
+  return SetApply(
+      Project({"name"},
+              Deref(TupExtract(
+                  "dept", Comp(Eq(TupExtract("city", Input()), StrLit(city)),
+                               Deref(Input()))))),
+      Var("Employees"));
+}
+
+/// Strips empty member multisets — Figures 9/10 keep groups a per-group
+/// selection emptied while Figure 11 never forms them (the rule-10 caveat
+/// documented in DESIGN.md); comparisons across that rewrite normalize.
+inline ValuePtr DropEmptyGroups(const ValuePtr& v) {
+  if (!v->is_set()) return v;
+  std::vector<SetEntry> kept;
+  for (const auto& e : v->entries()) {
+    if (e.value->is_set() && e.value->TotalCount() == 0) continue;
+    kept.push_back(e);
+  }
+  return Value::SetOfCounted(std::move(kept));
+}
+
+/// Asserts two plans produce equal values on `db` (aborts otherwise).
+inline void MustAgree(Database* db, const ExprPtr& a, const ExprPtr& b,
+                      const char* what) {
+  ValuePtr va = MustEval(db, a);
+  ValuePtr vb = MustEval(db, b);
+  if (!va->Equals(*vb)) {
+    std::fprintf(stderr, "plan disagreement in %s:\n%s\nvs\n%s\n", what,
+                 va->ToString().c_str(), vb->ToString().c_str());
+    std::abort();
+  }
+}
+
+}  // namespace bench
+}  // namespace excess
+
+#endif  // EXCESS_BENCH_SUPPORT_H_

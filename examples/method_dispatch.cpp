@@ -1,0 +1,85 @@
+// §4 walkthrough: overridden methods under multiple inheritance and the
+// two algebraic dispatch strategies, with the generated plans printed.
+
+#include <cstdio>
+
+#include "core/builder.h"
+#include "core/eval.h"
+#include "methods/dispatch.h"
+#include "methods/registry.h"
+#include "university/university.h"
+
+using namespace excess;       // NOLINT(build/namespaces) — example code
+using namespace excess::alg;  // NOLINT(build/namespaces)
+
+int main() {
+  Database db;
+  UniversityParams params;
+  params.num_employees = 20;
+  params.num_students = 20;
+  if (!BuildUniversity(&db, params).ok()) return 1;
+  if (!AddMixedPersonSet(&db, "P", 5, 4, 3, params).ok()) return 1;
+
+  MethodRegistry methods(&db.catalog());
+  // The paper's "boss" example: each type overrides the body.
+  auto ok = [](Status s) {
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      std::abort();
+    }
+  };
+  ok(methods.Define({"Person", "boss", {}, StringSchema(),
+                     TupExtract("name", Input())}));
+  ok(methods.Define(
+      {"Student", "boss", {}, StringSchema(),
+       TupExtract("name", Deref(TupExtract("advisor", Input())))}));
+  ok(methods.Define(
+      {"Employee", "boss", {}, StringSchema(),
+       TupExtract("name", Deref(TupExtract("manager", Input())))}));
+
+  std::printf("P is a { Person } holding 5 Person, 4 Student, 3 Employee\n");
+  std::printf("values; boss() is overridden by both subtypes.\n\n");
+
+  // Run-time dispatch resolution.
+  for (const char* t : {"Person", "Student", "Employee"}) {
+    auto def = methods.Dispatch(t, "boss");
+    std::printf("dispatch(%s, boss) -> implementation on %s\n", t,
+                (*def)->type_name.c_str());
+  }
+
+  DispatchPlanner planner(&db, &methods);
+
+  std::printf("\n=== Strategy A: run-time switch table ===\n");
+  ExprPtr switch_plan = *planner.SwitchTablePlan(Var("P"), "boss");
+  std::printf("%s", switch_plan->ToTreeString().c_str());
+
+  std::printf("\n=== Strategy B: the additive-union plan of Figure 5 ===\n");
+  ExprPtr union_plan = *planner.UnionPlan(Var("P"), "Person", "boss");
+  std::printf("%s", union_plan->ToTreeString().c_str());
+
+  std::printf("\n=== Strategy B over type-extent indexes ===\n");
+  ExprPtr extent_plan =
+      *planner.UnionPlanOverExtents("P", "Person", "boss");
+  std::printf("%s", extent_plan->ToTreeString().c_str());
+
+  Evaluator ev(&db, &methods);
+  ValuePtr a = *ev.Eval(switch_plan);
+  ValuePtr b = *ev.Eval(union_plan);
+  ValuePtr c = *ev.Eval(extent_plan);
+  std::printf("\nall three strategies agree: %s\n",
+              a->Equals(*b) && b->Equals(*c) ? "yes" : "NO");
+  std::printf("result: %s\n", a->ToString().c_str());
+
+  // The sharing optimization: a subtype without its own override shares
+  // the supertype's scan ("only as many SET_APPLYs as there are distinct
+  // method implementations").
+  ok(db.catalog().DefineType("GradStudent", Schema::Tup({}), {"Student"}));
+  auto impls = methods.DistinctImplementations("Person", "boss");
+  std::printf("\ndistinct implementations for the Person hierarchy:\n");
+  for (const auto& [owner, serves] : *impls) {
+    std::printf("  body on %-9s serves:", owner.c_str());
+    for (const auto& s : serves) std::printf(" %s", s.c_str());
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,195 @@
+#include "catalog/catalog.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace excess {
+
+Status Catalog::DefineType(const std::string& name, SchemaPtr declared,
+                           std::vector<std::string> parents) {
+  if (name.empty()) return Status::Invalid("type name must be non-empty");
+  if (types_.count(name) > 0) {
+    return Status::AlreadyExists(StrCat("type '", name, "' already defined"));
+  }
+  if (declared == nullptr) return Status::Invalid("declared schema is null");
+  EXA_RETURN_NOT_OK(declared->Validate());
+
+  for (const auto& p : parents) {
+    auto it = types_.find(p);
+    if (it == types_.end()) {
+      return Status::NotFound(StrCat("unknown supertype '", p, "' of '", name, "'"));
+    }
+    if (!it->second.effective->is_tup() || !declared->is_tup()) {
+      return Status::TypeError(
+          StrCat("inheritance is defined for tuple types only ('", name,
+                 "' inherits '", p, "')"));
+    }
+    // Cycles are impossible because parents must already exist and names are
+    // unique, but self-inheritance is worth a direct message.
+    if (p == name) return Status::Invalid("a type cannot inherit from itself");
+  }
+
+  SchemaPtr effective;
+  if (declared->is_tup() && !parents.empty()) {
+    EXA_RETURN_NOT_OK(MergeInherited(name, parents, declared, &effective));
+  } else {
+    effective = declared;
+  }
+  effective = Schema::Named(effective, name);
+
+  TypeEntry entry;
+  entry.name = name;
+  entry.declared = std::move(declared);
+  entry.parents = std::move(parents);
+  entry.effective = std::move(effective);
+  entry.type_id = static_cast<uint32_t>(id_to_name_.size());
+  id_to_name_.push_back(name);
+  definition_order_.push_back(name);
+  types_.emplace(name, std::move(entry));
+  return Status::OK();
+}
+
+Status Catalog::MergeInherited(const std::string& name,
+                               const std::vector<std::string>& parents,
+                               const SchemaPtr& declared,
+                               SchemaPtr* out) const {
+  // Attribute resolution under multiple inheritance (§2.1/§3.1):
+  //  - all attributes of every supertype are attributes of the subtype;
+  //  - the subtype may override any inherited attribute with a new type;
+  //  - if two supertypes contribute the same attribute with *different*
+  //    types and the subtype does not override it, the definition is
+  //    rejected (the user must disambiguate).
+  std::vector<Field> merged;
+  std::unordered_map<std::string, size_t> index;
+
+  for (const auto& pname : parents) {
+    const TypeEntry& parent = types_.at(pname);
+    for (const auto& f : parent.effective->fields()) {
+      auto it = index.find(f.name);
+      if (it == index.end()) {
+        index.emplace(f.name, merged.size());
+        merged.push_back(f);
+      } else if (!merged[it->second].type->Equals(*f.type)) {
+        if (declared->FieldIndex(f.name) < 0) {
+          return Status::TypeError(
+              StrCat("type '", name, "': attribute '", f.name,
+                     "' inherited with conflicting types and not overridden"));
+        }
+        // The child override below resolves the conflict.
+      }
+    }
+  }
+  for (const auto& f : declared->fields()) {
+    auto it = index.find(f.name);
+    if (it == index.end()) {
+      index.emplace(f.name, merged.size());
+      merged.push_back(f);
+    } else {
+      merged[it->second] = f;  // override, position preserved
+    }
+  }
+  *out = Schema::Tup(std::move(merged));
+  return Status::OK();
+}
+
+bool Catalog::HasType(const std::string& name) const {
+  return types_.count(name) > 0;
+}
+
+Result<const TypeEntry*> Catalog::Lookup(const std::string& name) const {
+  auto it = types_.find(name);
+  if (it == types_.end()) {
+    return Status::NotFound(StrCat("unknown type '", name, "'"));
+  }
+  return &it->second;
+}
+
+Result<SchemaPtr> Catalog::EffectiveSchema(const std::string& name) const {
+  EXA_ASSIGN_OR_RETURN(const TypeEntry* entry, Lookup(name));
+  return entry->effective;
+}
+
+bool Catalog::IsSubtype(const std::string& sub, const std::string& super) const {
+  if (sub == super) return types_.count(sub) > 0;
+  auto it = types_.find(sub);
+  if (it == types_.end()) return false;
+  for (const auto& p : it->second.parents) {
+    if (IsSubtype(p, super)) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Catalog::Descendants(const std::string& name) const {
+  std::vector<std::string> out;
+  for (const auto& t : definition_order_) {
+    if (t != name && IsSubtype(t, name)) out.push_back(t);
+  }
+  return out;
+}
+
+std::vector<std::string> Catalog::SelfAndDescendants(const std::string& name) const {
+  std::vector<std::string> out;
+  if (types_.count(name) > 0) out.push_back(name);
+  auto desc = Descendants(name);
+  out.insert(out.end(), desc.begin(), desc.end());
+  return out;
+}
+
+bool Catalog::SharesNoDescendant(const std::string& a, const std::string& b) const {
+  for (const auto& t : definition_order_) {
+    if (IsSubtype(t, a) && IsSubtype(t, b)) return false;
+  }
+  return true;
+}
+
+Result<uint32_t> Catalog::TypeId(const std::string& name) const {
+  EXA_ASSIGN_OR_RETURN(const TypeEntry* entry, Lookup(name));
+  return entry->type_id;
+}
+
+Result<std::string> Catalog::TypeName(uint32_t type_id) const {
+  if (type_id >= id_to_name_.size()) {
+    return Status::NotFound(StrCat("unknown type id ", type_id));
+  }
+  return id_to_name_[type_id];
+}
+
+Status Catalog::CollectRefTargets(const SchemaPtr& s,
+                                  std::vector<std::string>* out) {
+  switch (s->ctor()) {
+    case TypeCtor::kVal:
+      return Status::OK();
+    case TypeCtor::kTup:
+      for (const auto& f : s->fields()) {
+        EXA_RETURN_NOT_OK(CollectRefTargets(f.type, out));
+      }
+      return Status::OK();
+    case TypeCtor::kSet:
+    case TypeCtor::kArr:
+      return CollectRefTargets(s->elem(), out);
+    case TypeCtor::kRef:
+      out->push_back(s->ref_target());
+      return Status::OK();
+  }
+  return Status::Internal("unknown ctor");
+}
+
+Status Catalog::Validate() const {
+  for (const auto& [name, entry] : types_) {
+    std::vector<std::string> targets;
+    EXA_RETURN_NOT_OK(CollectRefTargets(entry.effective, &targets));
+    for (const auto& t : targets) {
+      if (types_.count(t) == 0) {
+        return Status::NotFound(
+            StrCat("type '", name, "' references undefined type '", t, "'"));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TypeNames() const { return definition_order_; }
+
+}  // namespace excess

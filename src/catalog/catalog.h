@@ -1,0 +1,100 @@
+#ifndef EXCESS_CATALOG_CATALOG_H_
+#define EXCESS_CATALOG_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "util/status.h"
+
+namespace excess {
+
+/// One named user type. Only tuple types may take part in inheritance
+/// (EXTRA inherits tuple attributes and methods for "top-level tuple
+/// types"), but any EXTRA type may be named.
+struct TypeEntry {
+  std::string name;
+  /// Fields declared locally (for tuple types) or the full schema
+  /// otherwise. Local declarations override inherited attributes.
+  SchemaPtr declared;
+  /// Direct supertypes, in declaration order.
+  std::vector<std::string> parents;
+  /// Inherited + local fields merged; tagged with the type name.
+  SchemaPtr effective;
+  /// Dense id used to partition the OID space (the function R of §3.1).
+  uint32_t type_id = 0;
+};
+
+/// The type catalog: named types, the inheritance DAG, and the
+/// substitutability relation. This is the data structure behind both the
+/// DOM(S) domain semantics of §3.1 and the §4 method-dispatch strategies.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Defines a named type. For tuple types, `declared` lists the locally
+  /// declared fields and `parents` the direct supertypes (multiple
+  /// inheritance allowed). Fails if:
+  ///   - the name is already defined,
+  ///   - a parent is unknown or not a tuple type,
+  ///   - two parents contribute the same attribute with different types and
+  ///     the child does not override it (the classic diamond conflict),
+  ///   - inheritance would form a cycle.
+  /// Ref targets inside `declared` may be forward references; they are
+  /// checked by Validate().
+  Status DefineType(const std::string& name, SchemaPtr declared,
+                    std::vector<std::string> parents = {});
+
+  bool HasType(const std::string& name) const;
+
+  Result<const TypeEntry*> Lookup(const std::string& name) const;
+
+  /// The merged (inherited + overridden + local) schema of a named type,
+  /// tagged with the type name. For non-tuple named types this is the
+  /// declared schema.
+  Result<SchemaPtr> EffectiveSchema(const std::string& name) const;
+
+  /// Substitutability: true iff `sub` == `super` or `sub` transitively
+  /// inherits from `super`. Unknown names are never subtypes.
+  bool IsSubtype(const std::string& sub, const std::string& super) const;
+
+  /// All strict descendants of `name`, in deterministic (definition) order.
+  std::vector<std::string> Descendants(const std::string& name) const;
+
+  /// `name` plus all its descendants — the set of exact types whose members
+  /// populate a collection declared over `name` (substitutability).
+  std::vector<std::string> SelfAndDescendants(const std::string& name) const;
+
+  /// True iff `a` and `b` share no common descendant (including themselves);
+  /// by OID-domain rule 4 their OID domains must then be disjoint.
+  bool SharesNoDescendant(const std::string& a, const std::string& b) const;
+
+  Result<uint32_t> TypeId(const std::string& name) const;
+  Result<std::string> TypeName(uint32_t type_id) const;
+
+  /// Checks deferred properties: every ref target mentioned anywhere in a
+  /// defined type resolves to a defined type.
+  Status Validate() const;
+
+  /// Names of all defined types in definition order.
+  std::vector<std::string> TypeNames() const;
+
+ private:
+  Status MergeInherited(const std::string& name,
+                        const std::vector<std::string>& parents,
+                        const SchemaPtr& declared, SchemaPtr* out) const;
+  static Status CollectRefTargets(const SchemaPtr& s,
+                                  std::vector<std::string>* out);
+
+  std::map<std::string, TypeEntry> types_;
+  std::vector<std::string> definition_order_;
+  std::vector<std::string> id_to_name_;  // type_id -> name
+};
+
+}  // namespace excess
+
+#endif  // EXCESS_CATALOG_CATALOG_H_

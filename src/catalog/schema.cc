@@ -1,0 +1,274 @@
+#include "catalog/schema.h"
+
+#include <unordered_set>
+
+#include "util/hash.h"
+#include "util/string_util.h"
+
+namespace excess {
+
+const char* TypeCtorToString(TypeCtor ctor) {
+  switch (ctor) {
+    case TypeCtor::kVal:
+      return "val";
+    case TypeCtor::kTup:
+      return "tup";
+    case TypeCtor::kSet:
+      return "set";
+    case TypeCtor::kArr:
+      return "arr";
+    case TypeCtor::kRef:
+      return "ref";
+  }
+  return "?";
+}
+
+const char* ScalarKindToString(ScalarKind kind) {
+  switch (kind) {
+    case ScalarKind::kInt:
+      return "int4";
+    case ScalarKind::kFloat:
+      return "float4";
+    case ScalarKind::kString:
+      return "string";
+    case ScalarKind::kBool:
+      return "bool";
+    case ScalarKind::kDate:
+      return "date";
+    case ScalarKind::kAny:
+      return "any";
+  }
+  return "?";
+}
+
+SchemaPtr Schema::Val(ScalarKind kind) {
+  auto s = std::shared_ptr<Schema>(new Schema());
+  s->ctor_ = TypeCtor::kVal;
+  s->scalar_kind_ = kind;
+  return s;
+}
+
+SchemaPtr Schema::Tup(std::vector<Field> fields) {
+  auto s = std::shared_ptr<Schema>(new Schema());
+  s->ctor_ = TypeCtor::kTup;
+  s->fields_ = std::move(fields);
+  return s;
+}
+
+SchemaPtr Schema::Set(SchemaPtr elem) {
+  auto s = std::shared_ptr<Schema>(new Schema());
+  s->ctor_ = TypeCtor::kSet;
+  s->elem_ = std::move(elem);
+  return s;
+}
+
+SchemaPtr Schema::Arr(SchemaPtr elem) {
+  auto s = std::shared_ptr<Schema>(new Schema());
+  s->ctor_ = TypeCtor::kArr;
+  s->elem_ = std::move(elem);
+  return s;
+}
+
+SchemaPtr Schema::FixedArr(SchemaPtr elem, int64_t size) {
+  auto s = std::shared_ptr<Schema>(new Schema());
+  s->ctor_ = TypeCtor::kArr;
+  s->elem_ = std::move(elem);
+  s->fixed_size_ = size;
+  return s;
+}
+
+SchemaPtr Schema::Ref(std::string target_type) {
+  auto s = std::shared_ptr<Schema>(new Schema());
+  s->ctor_ = TypeCtor::kRef;
+  s->ref_target_ = std::move(target_type);
+  return s;
+}
+
+SchemaPtr Schema::Named(const SchemaPtr& base, std::string type_name) {
+  auto s = std::shared_ptr<Schema>(new Schema(*base));
+  s->type_name_ = std::move(type_name);
+  return s;
+}
+
+Result<SchemaPtr> Schema::FieldType(const std::string& name) const {
+  for (const auto& f : fields_) {
+    if (f.name == name) return f.type;
+  }
+  return Status::NotFound(
+      StrCat("no field '", name, "' in tuple schema ", ToString()));
+}
+
+int Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Schema::Equals(const Schema& other) const {
+  if (ctor_ != other.ctor_) return false;
+  if (type_name_ != other.type_name_) return false;
+  switch (ctor_) {
+    case TypeCtor::kVal:
+      return scalar_kind_ == other.scalar_kind_;
+    case TypeCtor::kTup: {
+      if (fields_.size() != other.fields_.size()) return false;
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        if (fields_[i].name != other.fields_[i].name) return false;
+        if (!fields_[i].type->Equals(*other.fields_[i].type)) return false;
+      }
+      return true;
+    }
+    case TypeCtor::kSet:
+      return elem_->Equals(*other.elem_);
+    case TypeCtor::kArr:
+      return fixed_size_ == other.fixed_size_ && elem_->Equals(*other.elem_);
+    case TypeCtor::kRef:
+      return ref_target_ == other.ref_target_;
+  }
+  return false;
+}
+
+bool Schema::CompatibleWith(const Schema& other) const {
+  if (is_val() && scalar_kind_ == ScalarKind::kAny) return true;
+  if (other.is_val() && other.scalar_kind_ == ScalarKind::kAny) return true;
+  if (ctor_ != other.ctor_) return false;
+  switch (ctor_) {
+    case TypeCtor::kVal:
+      return scalar_kind_ == other.scalar_kind_;
+    case TypeCtor::kTup: {
+      if (fields_.size() != other.fields_.size()) return false;
+      for (size_t i = 0; i < fields_.size(); ++i) {
+        if (fields_[i].name != other.fields_[i].name) return false;
+        if (!fields_[i].type->CompatibleWith(*other.fields_[i].type)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case TypeCtor::kSet:
+    case TypeCtor::kArr:
+      return elem_->CompatibleWith(*other.elem_);
+    case TypeCtor::kRef:
+      return ref_target_ == other.ref_target_;
+  }
+  return false;
+}
+
+std::string Schema::ToString() const {
+  switch (ctor_) {
+    case TypeCtor::kVal:
+      return ScalarKindToString(scalar_kind_);
+    case TypeCtor::kTup: {
+      if (!type_name_.empty()) return type_name_;
+      std::vector<std::string> parts;
+      parts.reserve(fields_.size());
+      for (const auto& f : fields_) {
+        parts.push_back(StrCat(f.name, ": ", f.type->ToString()));
+      }
+      return StrCat("(", Join(parts, ", "), ")");
+    }
+    case TypeCtor::kSet:
+      return StrCat("{ ", elem_->ToString(), " }");
+    case TypeCtor::kArr:
+      if (fixed_size_.has_value()) {
+        return StrCat("array [1..", *fixed_size_, "] of ", elem_->ToString());
+      }
+      return StrCat("array of ", elem_->ToString());
+    case TypeCtor::kRef:
+      return StrCat("ref ", ref_target_);
+  }
+  return "?";
+}
+
+uint64_t Schema::Hash() const {
+  uint64_t h = HashCombine(static_cast<uint64_t>(ctor_), HashString(type_name_));
+  switch (ctor_) {
+    case TypeCtor::kVal:
+      return HashCombine(h, static_cast<uint64_t>(scalar_kind_));
+    case TypeCtor::kTup:
+      for (const auto& f : fields_) {
+        h = HashCombine(h, HashString(f.name));
+        h = HashCombine(h, f.type->Hash());
+      }
+      return h;
+    case TypeCtor::kSet:
+      return HashCombine(h, elem_->Hash());
+    case TypeCtor::kArr:
+      h = HashCombine(h, elem_->Hash());
+      return HashCombine(h, fixed_size_.value_or(-1));
+    case TypeCtor::kRef:
+      return HashCombine(h, HashString(ref_target_));
+  }
+  return h;
+}
+
+Status Schema::Validate() const {
+  switch (ctor_) {
+    case TypeCtor::kVal:
+      // Condition (i): no components. Guaranteed structurally.
+      if (elem_ != nullptr || !fields_.empty()) {
+        return Status::Internal("val node with components");
+      }
+      return Status::OK();
+    case TypeCtor::kTup: {
+      std::unordered_set<std::string> seen;
+      for (const auto& f : fields_) {
+        if (f.type == nullptr) {
+          return Status::Invalid(StrCat("tuple field '", f.name, "' has no type"));
+        }
+        if (!seen.insert(f.name).second) {
+          return Status::Invalid(StrCat("duplicate tuple field name '", f.name, "'"));
+        }
+        EXA_RETURN_NOT_OK(f.type->Validate());
+      }
+      return Status::OK();
+    }
+    case TypeCtor::kSet:
+    case TypeCtor::kArr:
+      // Condition (iii): exactly one component.
+      if (elem_ == nullptr) {
+        return Status::Invalid(StrCat(TypeCtorToString(ctor_), " node lacks its component"));
+      }
+      if (fixed_size_.has_value() && *fixed_size_ < 0) {
+        return Status::Invalid("fixed array size must be non-negative");
+      }
+      return elem_->Validate();
+    case TypeCtor::kRef:
+      if (ref_target_.empty()) {
+        return Status::Invalid("ref node lacks a target type name");
+      }
+      // Condition (iv) — deref(S) is a forest — holds by construction: ref
+      // nodes carry names, not structural edges, so the structural graph is
+      // a tree and every schema cycle goes through a ref node.
+      return Status::OK();
+  }
+  return Status::Internal("unknown type constructor");
+}
+
+SchemaPtr IntSchema() {
+  static const SchemaPtr s = Schema::Val(ScalarKind::kInt);
+  return s;
+}
+SchemaPtr FloatSchema() {
+  static const SchemaPtr s = Schema::Val(ScalarKind::kFloat);
+  return s;
+}
+SchemaPtr StringSchema() {
+  static const SchemaPtr s = Schema::Val(ScalarKind::kString);
+  return s;
+}
+SchemaPtr BoolSchema() {
+  static const SchemaPtr s = Schema::Val(ScalarKind::kBool);
+  return s;
+}
+SchemaPtr DateSchema() {
+  static const SchemaPtr s = Schema::Val(ScalarKind::kDate);
+  return s;
+}
+SchemaPtr AnySchema() {
+  static const SchemaPtr s = Schema::Val(ScalarKind::kAny);
+  return s;
+}
+
+}  // namespace excess

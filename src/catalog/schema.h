@@ -1,0 +1,149 @@
+#ifndef EXCESS_CATALOG_SCHEMA_H_
+#define EXCESS_CATALOG_SCHEMA_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace excess {
+
+class Schema;
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+/// The five node labels of the schema digraph (paper §3.1): the four type
+/// constructors plus "val" for scalars.
+enum class TypeCtor {
+  kVal,  // scalar leaf
+  kTup,  // tuple of named fields
+  kSet,  // multiset (duplicates allowed)
+  kArr,  // one-dimensional array, variable- or fixed-length
+  kRef,  // OID referring to an object of a named type
+};
+
+const char* TypeCtorToString(TypeCtor ctor);
+
+/// Scalar domains. kAny is the inference wildcard: the schema of an empty
+/// collection literal or of the dne/unk null constants, compatible with
+/// every scalar domain.
+enum class ScalarKind {
+  kInt,     // int4 in EXTRA surface syntax
+  kFloat,   // float4
+  kString,  // char[] / char[n]
+  kBool,
+  kDate,
+  kAny,
+};
+
+const char* ScalarKindToString(ScalarKind kind);
+
+/// A named component of a tuple schema.
+struct Field {
+  std::string name;
+  SchemaPtr type;
+};
+
+/// A schema is the digraph of §3.1. We represent it as a tree whose "ref"
+/// nodes carry the *name* of the referenced type rather than a structural
+/// edge; the digraph (and any cycles, which the paper requires to pass
+/// through a ref node — condition iv) arises from resolving those names in
+/// a Catalog. deref(S) is therefore a forest by construction.
+///
+/// Any node may additionally carry a `type_name` tag identifying the named
+/// user type it was instantiated from; the tag is what makes
+/// substitutability (DOM semantics) checkable on values.
+///
+/// Schemas are immutable and shared via SchemaPtr.
+class Schema {
+ public:
+  /// Factory functions; these are the only way to build schemas, which is
+  /// how conditions (i)-(iii) of §3.1 hold by construction.
+  static SchemaPtr Val(ScalarKind kind);
+  static SchemaPtr Tup(std::vector<Field> fields);
+  static SchemaPtr Set(SchemaPtr elem);
+  static SchemaPtr Arr(SchemaPtr elem);
+  /// Fixed-length array (EXTRA `array [1..n] of T`).
+  static SchemaPtr FixedArr(SchemaPtr elem, int64_t size);
+  static SchemaPtr Ref(std::string target_type);
+
+  /// Returns a copy of `s` tagged with a named-type name.
+  static SchemaPtr Named(const SchemaPtr& s, std::string type_name);
+
+  TypeCtor ctor() const { return ctor_; }
+  bool is_val() const { return ctor_ == TypeCtor::kVal; }
+  bool is_tup() const { return ctor_ == TypeCtor::kTup; }
+  bool is_set() const { return ctor_ == TypeCtor::kSet; }
+  bool is_arr() const { return ctor_ == TypeCtor::kArr; }
+  bool is_ref() const { return ctor_ == TypeCtor::kRef; }
+
+  /// Scalar domain; only meaningful for val nodes.
+  ScalarKind scalar_kind() const { return scalar_kind_; }
+
+  /// Tuple fields; empty unless is_tup(). The empty tuple type is legal
+  /// (condition ii).
+  const std::vector<Field>& fields() const { return fields_; }
+  /// Field schema lookup by name.
+  Result<SchemaPtr> FieldType(const std::string& name) const;
+  /// Position of a field, or -1.
+  int FieldIndex(const std::string& name) const;
+
+  /// Element schema of a set or array node (its single component,
+  /// condition iii).
+  const SchemaPtr& elem() const { return elem_; }
+
+  /// Declared size of a fixed-length array; nullopt for variable-length.
+  std::optional<int64_t> fixed_size() const { return fixed_size_; }
+
+  /// Target type name of a ref node.
+  const std::string& ref_target() const { return ref_target_; }
+
+  /// Name of the named type this node instantiates, or "" if anonymous.
+  const std::string& type_name() const { return type_name_; }
+
+  /// Structural equality. Named-type tags participate: `{Person}` and an
+  /// untagged structurally identical tuple multiset are *different* schemas
+  /// for substitutability purposes, but CompatibleWith() below relates them.
+  bool Equals(const Schema& other) const;
+
+  /// Looser check used by type inference: equal up to kAny wildcards and
+  /// ignoring named-type tags and fixed sizes.
+  bool CompatibleWith(const Schema& other) const;
+
+  /// Renders the schema in EXTRA-like surface syntax, e.g.
+  /// "{ (name: string, dept: ref Department) }".
+  std::string ToString() const;
+
+  /// Deep structural hash (tags included).
+  uint64_t Hash() const;
+
+  /// Re-checks conditions (i)-(iii) plus tuple-field-name uniqueness over
+  /// the whole tree. Factories enforce these already; Validate exists so
+  /// tests and deserializers can assert them independently.
+  Status Validate() const;
+
+ private:
+  Schema() = default;
+
+  TypeCtor ctor_ = TypeCtor::kVal;
+  ScalarKind scalar_kind_ = ScalarKind::kAny;
+  std::vector<Field> fields_;
+  SchemaPtr elem_;
+  std::optional<int64_t> fixed_size_;
+  std::string ref_target_;
+  std::string type_name_;
+};
+
+/// Convenience builders for common scalar schemas.
+SchemaPtr IntSchema();
+SchemaPtr FloatSchema();
+SchemaPtr StringSchema();
+SchemaPtr BoolSchema();
+SchemaPtr DateSchema();
+SchemaPtr AnySchema();
+
+}  // namespace excess
+
+#endif  // EXCESS_CATALOG_SCHEMA_H_

@@ -1,0 +1,251 @@
+#include "core/analysis.h"
+
+#include <vector>
+
+#include "core/builder.h"
+
+namespace excess {
+namespace analysis {
+
+namespace {
+
+bool IsBinder(const Expr& e) {
+  return e.kind() == OpKind::kSetApply || e.kind() == OpKind::kArrApply ||
+         e.kind() == OpKind::kGroup;
+}
+
+bool IsInput(const ExprPtr& e) { return e->kind() == OpKind::kInput; }
+
+}  // namespace
+
+bool ContainsFreeInput(const ExprPtr& e) {
+  if (IsInput(e)) return true;
+  // Subscripts and predicates rebind INPUT; only children stay free.
+  for (const auto& c : e->children()) {
+    if (ContainsFreeInput(c)) return true;
+  }
+  return false;
+}
+
+ExprPtr SubstituteInput(const ExprPtr& e, const ExprPtr& replacement) {
+  if (IsInput(e)) return replacement;
+  bool changed = false;
+  std::vector<ExprPtr> children;
+  children.reserve(e->num_children());
+  for (const auto& c : e->children()) {
+    ExprPtr nc = SubstituteInput(c, replacement);
+    changed |= (nc != c);
+    children.push_back(std::move(nc));
+  }
+  if (!changed) return e;
+  return e->WithChildren(std::move(children));
+}
+
+bool DependsOnlyOnField(const ExprPtr& e, const std::string& field) {
+  if (IsInput(e)) return false;  // a bare free INPUT sees the whole pair
+  if (e->kind() == OpKind::kTupExtract && e->name() == field &&
+      IsInput(e->child(0))) {
+    return true;
+  }
+  for (const auto& c : e->children()) {
+    if (!DependsOnlyOnField(c, field)) return false;
+  }
+  return true;
+}
+
+ExprPtr StripFieldExtract(const ExprPtr& e, const std::string& field) {
+  if (e->kind() == OpKind::kTupExtract && e->name() == field &&
+      IsInput(e->child(0))) {
+    return e->child(0);
+  }
+  bool changed = false;
+  std::vector<ExprPtr> children;
+  children.reserve(e->num_children());
+  for (const auto& c : e->children()) {
+    ExprPtr nc = StripFieldExtract(c, field);
+    changed |= (nc != c);
+    children.push_back(std::move(nc));
+  }
+  if (!changed) return e;
+  return e->WithChildren(std::move(children));
+}
+
+namespace {
+
+bool PredContainsComp(const PredicatePtr& p);
+
+bool ExprContainsComp(const ExprPtr& e) {
+  if (e->kind() == OpKind::kComp) return true;
+  if (e->sub() != nullptr && ExprContainsComp(e->sub())) return true;
+  if (e->pred() != nullptr && PredContainsComp(e->pred())) return true;
+  for (const auto& c : e->children()) {
+    if (ExprContainsComp(c)) return true;
+  }
+  return false;
+}
+
+bool PredContainsComp(const PredicatePtr& p) {
+  switch (p->kind) {
+    case Predicate::Kind::kAtom:
+      return ExprContainsComp(p->lhs) || ExprContainsComp(p->rhs);
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr:
+      return PredContainsComp(p->a) || PredContainsComp(p->b);
+    case Predicate::Kind::kNot:
+      return PredContainsComp(p->a);
+    case Predicate::Kind::kTrue:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ContainsComp(const ExprPtr& e) { return ExprContainsComp(e); }
+
+bool ContainsSubtree(const ExprPtr& e, const ExprPtr& target) {
+  if (e->Equals(*target)) return true;
+  if (IsBinder(*e) || e->kind() == OpKind::kComp) {
+    // Free context continues only through children.
+  }
+  for (const auto& c : e->children()) {
+    if (ContainsSubtree(c, target)) return true;
+  }
+  return false;
+}
+
+ExprPtr ReplaceSubtree(const ExprPtr& e, const ExprPtr& target,
+                       const ExprPtr& replacement) {
+  if (e->Equals(*target)) return replacement;
+  bool changed = false;
+  std::vector<ExprPtr> children;
+  children.reserve(e->num_children());
+  for (const auto& c : e->children()) {
+    ExprPtr nc = ReplaceSubtree(c, target, replacement);
+    changed |= (nc != c);
+    children.push_back(std::move(nc));
+  }
+  if (!changed) return e;
+  return e->WithChildren(std::move(children));
+}
+
+bool PredContainsSubtree(const PredicatePtr& p, const ExprPtr& target) {
+  switch (p->kind) {
+    case Predicate::Kind::kAtom:
+      return ContainsSubtree(p->lhs, target) || ContainsSubtree(p->rhs, target);
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr:
+      return PredContainsSubtree(p->a, target) ||
+             PredContainsSubtree(p->b, target);
+    case Predicate::Kind::kNot:
+      return PredContainsSubtree(p->a, target);
+    case Predicate::Kind::kTrue:
+      return false;
+  }
+  return false;
+}
+
+PredicatePtr PredReplaceSubtree(const PredicatePtr& p, const ExprPtr& target,
+                                const ExprPtr& replacement) {
+  switch (p->kind) {
+    case Predicate::Kind::kAtom:
+      return Predicate::Atom(ReplaceSubtree(p->lhs, target, replacement),
+                             p->cmp,
+                             ReplaceSubtree(p->rhs, target, replacement));
+    case Predicate::Kind::kAnd:
+      return Predicate::And(PredReplaceSubtree(p->a, target, replacement),
+                            PredReplaceSubtree(p->b, target, replacement));
+    case Predicate::Kind::kOr:
+      return Predicate::Or(PredReplaceSubtree(p->a, target, replacement),
+                           PredReplaceSubtree(p->b, target, replacement));
+    case Predicate::Kind::kNot:
+      return Predicate::Not(PredReplaceSubtree(p->a, target, replacement));
+    case Predicate::Kind::kTrue:
+      return p;
+  }
+  return p;
+}
+
+bool PredDependsOnlyOnField(const PredicatePtr& p, const std::string& field) {
+  switch (p->kind) {
+    case Predicate::Kind::kAtom:
+      return DependsOnlyOnField(p->lhs, field) &&
+             DependsOnlyOnField(p->rhs, field);
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr:
+      return PredDependsOnlyOnField(p->a, field) &&
+             PredDependsOnlyOnField(p->b, field);
+    case Predicate::Kind::kNot:
+      return PredDependsOnlyOnField(p->a, field);
+    case Predicate::Kind::kTrue:
+      return true;
+  }
+  return true;
+}
+
+PredicatePtr PredStripFieldExtract(const PredicatePtr& p,
+                                   const std::string& field) {
+  switch (p->kind) {
+    case Predicate::Kind::kAtom:
+      return Predicate::Atom(StripFieldExtract(p->lhs, field), p->cmp,
+                             StripFieldExtract(p->rhs, field));
+    case Predicate::Kind::kAnd:
+      return Predicate::And(PredStripFieldExtract(p->a, field),
+                            PredStripFieldExtract(p->b, field));
+    case Predicate::Kind::kOr:
+      return Predicate::Or(PredStripFieldExtract(p->a, field),
+                           PredStripFieldExtract(p->b, field));
+    case Predicate::Kind::kNot:
+      return Predicate::Not(PredStripFieldExtract(p->a, field));
+    case Predicate::Kind::kTrue:
+      return p;
+  }
+  return p;
+}
+
+namespace {
+
+/// Collects DEREF-rooted subexpressions over a free INPUT, largest first.
+void CollectDerefs(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (e->kind() == OpKind::kDeref && ContainsFreeInput(e)) {
+    out->push_back(e);
+  }
+  for (const auto& c : e->children()) CollectDerefs(c, out);
+}
+
+void CollectPredDerefs(const PredicatePtr& p, std::vector<ExprPtr>* out) {
+  switch (p->kind) {
+    case Predicate::Kind::kAtom:
+      CollectDerefs(p->lhs, out);
+      CollectDerefs(p->rhs, out);
+      return;
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr:
+      CollectPredDerefs(p->a, out);
+      CollectPredDerefs(p->b, out);
+      return;
+    case Predicate::Kind::kNot:
+      CollectPredDerefs(p->a, out);
+      return;
+    case Predicate::Kind::kTrue:
+      return;
+  }
+}
+
+}  // namespace
+
+std::optional<ExprPtr> FindSharedDeref(const PredicatePtr& pred,
+                                       const ExprPtr& downstream) {
+  std::vector<ExprPtr> candidates;
+  CollectPredDerefs(pred, &candidates);
+  ExprPtr best;
+  for (const auto& d : candidates) {
+    if (!ContainsSubtree(downstream, d)) continue;
+    if (best == nullptr || d->NodeCount() > best->NodeCount()) best = d;
+  }
+  if (best == nullptr) return std::nullopt;
+  return best;
+}
+
+}  // namespace analysis
+}  // namespace excess

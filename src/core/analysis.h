@@ -1,0 +1,71 @@
+#ifndef EXCESS_CORE_ANALYSIS_H_
+#define EXCESS_CORE_ANALYSIS_H_
+
+#include <optional>
+#include <string>
+
+#include "core/expr.h"
+
+namespace excess {
+/// Static analyses over algebra expressions used by the transformation
+/// rules' side conditions (e.g. "E applies only to A" in Appendix rules 5,
+/// 9, 13) and by the rule rewrites themselves (subscript composition,
+/// field-prefix stripping, common-subexpression discovery).
+///
+/// "Free" INPUT means an INPUT occurrence not captured by a nested
+/// SET_APPLY / ARR_APPLY / GRP subscript or a COMP predicate — INPUT always
+/// binds to the innermost such scope, so analyses never descend into them.
+namespace analysis {
+
+/// True iff `e` contains a free INPUT occurrence.
+bool ContainsFreeInput(const ExprPtr& e);
+
+/// Substitutes `replacement` for every free INPUT in `e` — the composition
+/// E1(E2) of Appendix rule 15.
+ExprPtr SubstituteInput(const ExprPtr& e, const ExprPtr& replacement);
+
+/// True iff every free use of INPUT in `e` goes through
+/// TUP_EXTRACT_<field>(INPUT) — the precise form of "E applies only to one
+/// side of a cross product" when pairs are named _1/_2.
+bool DependsOnlyOnField(const ExprPtr& e, const std::string& field);
+
+/// Rewrites TUP_EXTRACT_<field>(INPUT) (free occurrences) to plain INPUT:
+/// the E' obtained when a pairwise expression is re-targeted at one input
+/// of the cross product (rules 5, 9, 13).
+ExprPtr StripFieldExtract(const ExprPtr& e, const std::string& field);
+
+/// True iff `e` contains a COMP anywhere (including inside nested
+/// subscripts) — the "E is not COMP_P" side condition of rules 19/22,
+/// which we strengthen to "E cannot produce dne" since a dropped dne
+/// shifts array indices.
+bool ContainsComp(const ExprPtr& e);
+
+/// True iff `e` contains a free INPUT-rooted subexpression equal to
+/// `target` (deep equality).
+bool ContainsSubtree(const ExprPtr& e, const ExprPtr& target);
+
+/// Replaces every free occurrence of `target` (deep equality) in `e` with
+/// `replacement`.
+ExprPtr ReplaceSubtree(const ExprPtr& e, const ExprPtr& target,
+                       const ExprPtr& replacement);
+
+/// Predicate variants of the subtree helpers: atoms' operand expressions
+/// are searched/rewritten (their INPUT is the COMP operand).
+bool PredContainsSubtree(const PredicatePtr& p, const ExprPtr& target);
+PredicatePtr PredReplaceSubtree(const PredicatePtr& p, const ExprPtr& target,
+                                const ExprPtr& replacement);
+bool PredDependsOnlyOnField(const PredicatePtr& p, const std::string& field);
+PredicatePtr PredStripFieldExtract(const PredicatePtr& p,
+                                   const std::string& field);
+
+/// Finds a DEREF-rooted subexpression over INPUT that appears (deep-equal)
+/// in both the predicate and the downstream expression — the shared work
+/// that Appendix rule 26 pushes inside COMP so it is computed once
+/// (Example 2, Figure 11). Returns the largest such subexpression found.
+std::optional<ExprPtr> FindSharedDeref(const PredicatePtr& pred,
+                                       const ExprPtr& downstream);
+
+}  // namespace analysis
+}  // namespace excess
+
+#endif  // EXCESS_CORE_ANALYSIS_H_

@@ -1,0 +1,185 @@
+#include "core/cost.h"
+
+#include <algorithm>
+
+namespace excess {
+
+double CostModel::PredicateCost(const Predicate& p, double input_card) const {
+  switch (p.kind) {
+    case Predicate::Kind::kAtom: {
+      double c = 1;
+      auto l = EstimateNode(*p.lhs, input_card);
+      auto r = EstimateNode(*p.rhs, input_card);
+      if (l.ok()) c += l->total;
+      if (r.ok()) c += r->total;
+      return c;
+    }
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr:
+      return PredicateCost(*p.a, input_card) + PredicateCost(*p.b, input_card);
+    case Predicate::Kind::kNot:
+      return PredicateCost(*p.a, input_card);
+    case Predicate::Kind::kTrue:
+      return 0;
+  }
+  return 0;
+}
+
+Result<CostEstimate> CostModel::EstimateNode(const Expr& e,
+                                             double input_card) const {
+  auto child = [&](size_t i) { return EstimateNode(*e.child(i), input_card); };
+
+  switch (e.kind()) {
+    case OpKind::kInput:
+      return CostEstimate{input_card, 0};
+    case OpKind::kConst: {
+      double card = 1;
+      if (e.literal() != nullptr && e.literal()->is_set()) {
+        card = static_cast<double>(e.literal()->TotalCount());
+      } else if (e.literal() != nullptr && e.literal()->is_array()) {
+        card = static_cast<double>(e.literal()->ArrayLength());
+      }
+      return CostEstimate{card, 0};
+    }
+    case OpKind::kVar: {
+      // Exact root statistics: the named object is in memory.
+      double card = 1;
+      auto v = db_->NamedValue(e.name());
+      if (v.ok()) {
+        if ((*v)->is_set()) card = static_cast<double>((*v)->TotalCount());
+        if ((*v)->is_array()) card = static_cast<double>((*v)->ArrayLength());
+      }
+      return CostEstimate{card, card};  // a scan
+    }
+    case OpKind::kParam:
+      return CostEstimate{1, 0};
+
+    case OpKind::kSetApply:
+    case OpKind::kArrApply: {
+      EXA_ASSIGN_OR_RETURN(CostEstimate in, child(0));
+      EXA_ASSIGN_OR_RETURN(CostEstimate per,
+                           EstimateNode(*e.sub(), /*input_card=*/1));
+      double out_card = in.cardinality;
+      // A COMP-rooted subscript acts as a selection.
+      if (e.sub()->kind() == OpKind::kComp) out_card *= params_.selectivity;
+      if (!e.type_filter().empty()) out_card *= 0.5;  // one type's share
+      return CostEstimate{out_card,
+                          in.total + in.cardinality * (per.total + 1)};
+    }
+    case OpKind::kGroup: {
+      EXA_ASSIGN_OR_RETURN(CostEstimate in, child(0));
+      EXA_ASSIGN_OR_RETURN(CostEstimate key,
+                           EstimateNode(*e.sub(), /*input_card=*/1));
+      double groups =
+          std::max(1.0, in.cardinality * params_.groups_per_input);
+      return CostEstimate{groups,
+                          in.total + in.cardinality * (key.total + 1)};
+    }
+    case OpKind::kDupElim:
+    case OpKind::kArrDupElim: {
+      EXA_ASSIGN_OR_RETURN(CostEstimate in, child(0));
+      return CostEstimate{std::max(1.0, in.cardinality * params_.dup_factor),
+                          in.total + in.cardinality};
+    }
+    case OpKind::kCross:
+    case OpKind::kArrCross: {
+      EXA_ASSIGN_OR_RETURN(CostEstimate a, child(0));
+      EXA_ASSIGN_OR_RETURN(CostEstimate b, child(1));
+      double card = a.cardinality * b.cardinality;
+      return CostEstimate{card, a.total + b.total + card};
+    }
+    case OpKind::kAddUnion:
+    case OpKind::kArrCat: {
+      EXA_ASSIGN_OR_RETURN(CostEstimate a, child(0));
+      EXA_ASSIGN_OR_RETURN(CostEstimate b, child(1));
+      double card = a.cardinality + b.cardinality;
+      return CostEstimate{card, a.total + b.total + card};
+    }
+    case OpKind::kDiff:
+    case OpKind::kArrDiff: {
+      EXA_ASSIGN_OR_RETURN(CostEstimate a, child(0));
+      EXA_ASSIGN_OR_RETURN(CostEstimate b, child(1));
+      return CostEstimate{std::max(1.0, a.cardinality * 0.5),
+                          a.total + b.total + a.cardinality + b.cardinality};
+    }
+    case OpKind::kSetCollapse:
+    case OpKind::kArrCollapse: {
+      EXA_ASSIGN_OR_RETURN(CostEstimate in, child(0));
+      double card = in.cardinality * params_.avg_inner_set;
+      return CostEstimate{card, in.total + card};
+    }
+    case OpKind::kSetMake:
+    case OpKind::kArrMake: {
+      EXA_ASSIGN_OR_RETURN(CostEstimate in, child(0));
+      return CostEstimate{1, in.total + 1};
+    }
+
+    case OpKind::kProject:
+    case OpKind::kTupExtract:
+    case OpKind::kTupMake: {
+      EXA_ASSIGN_OR_RETURN(CostEstimate in, child(0));
+      return CostEstimate{1, in.total + in.live, in.live};
+    }
+    case OpKind::kTupCat: {
+      EXA_ASSIGN_OR_RETURN(CostEstimate a, child(0));
+      EXA_ASSIGN_OR_RETURN(CostEstimate b, child(1));
+      double live = std::min(a.live, b.live);
+      return CostEstimate{1, a.total + b.total + live, live};
+    }
+
+    case OpKind::kArrExtract: {
+      EXA_ASSIGN_OR_RETURN(CostEstimate in, child(0));
+      return CostEstimate{1, in.total + in.live, in.live};
+    }
+    case OpKind::kSubArr: {
+      EXA_ASSIGN_OR_RETURN(CostEstimate in, child(0));
+      double span = e.hi() >= e.lo() && !e.lo_is_last() && !e.hi_is_last()
+                        ? static_cast<double>(e.hi() - e.lo() + 1)
+                        : std::max(1.0, in.cardinality * 0.5);
+      double card = std::min(in.cardinality, span);
+      return CostEstimate{card, in.total + card};
+    }
+
+    case OpKind::kRef: {
+      EXA_ASSIGN_OR_RETURN(CostEstimate in, child(0));
+      return CostEstimate{1, in.total + 2 * in.live, in.live};
+    }
+    case OpKind::kDeref: {
+      EXA_ASSIGN_OR_RETURN(CostEstimate in, child(0));
+      return CostEstimate{1, in.total + params_.deref_cost * in.live,
+                          in.live};
+    }
+
+    case OpKind::kComp: {
+      EXA_ASSIGN_OR_RETURN(CostEstimate in, child(0));
+      // Downstream work only happens when the predicate passed: liveness
+      // shrinks by the selectivity, modelling uniform null propagation.
+      return CostEstimate{
+          in.cardinality,
+          in.total + in.live * PredicateCost(*e.pred(), input_card),
+          in.live * params_.selectivity};
+    }
+
+    case OpKind::kArith: {
+      EXA_ASSIGN_OR_RETURN(CostEstimate a, child(0));
+      EXA_ASSIGN_OR_RETURN(CostEstimate b, child(1));
+      double live = std::min(a.live, b.live);
+      return CostEstimate{1, a.total + b.total + live, live};
+    }
+    case OpKind::kAgg: {
+      EXA_ASSIGN_OR_RETURN(CostEstimate in, child(0));
+      return CostEstimate{1, in.total + in.cardinality};
+    }
+    case OpKind::kMethodCall: {
+      double total = params_.method_cost;
+      for (size_t i = 0; i < e.num_children(); ++i) {
+        EXA_ASSIGN_OR_RETURN(CostEstimate c, child(i));
+        total += c.total;
+      }
+      return CostEstimate{1, total};
+    }
+  }
+  return Status::Internal("unknown operator kind in cost model");
+}
+
+}  // namespace excess

@@ -1,0 +1,499 @@
+#include "core/eval.h"
+
+#include <unordered_map>
+
+#include "core/kernels.h"
+#include "util/string_util.h"
+
+namespace excess {
+
+int64_t EvalStats::TotalInvocations() const {
+  int64_t n = 0;
+  for (auto v : invocations) n += v;
+  return n;
+}
+
+int64_t EvalStats::TotalOccurrences() const {
+  int64_t n = 0;
+  for (auto v : occurrences) n += v;
+  return n;
+}
+
+std::string EvalStats::ToString() const {
+  std::string out;
+  for (int i = 0; i < kNumOpKinds; ++i) {
+    if (invocations[i] == 0) continue;
+    out += StrCat(OpKindToString(static_cast<OpKind>(i)), ": ", invocations[i],
+                  " calls");
+    if (occurrences[i] > 0) out += StrCat(", ", occurrences[i], " occurrences");
+    out += "\n";
+  }
+  out += StrCat("predicate atoms: ", predicate_atoms, "\n");
+  out += StrCat("derefs: ", derefs, "\n");
+  return out;
+}
+
+Result<ValuePtr> Evaluator::Eval(const ExprPtr& expr) {
+  if (expr == nullptr) return Status::Invalid("Eval on null expression");
+  Ctx ctx;
+  return EvalNode(*expr, ctx);
+}
+
+Result<ValuePtr> Evaluator::EvalWithInput(const ExprPtr& expr,
+                                          const ValuePtr& input) {
+  if (expr == nullptr) return Status::Invalid("Eval on null expression");
+  Ctx ctx;
+  ctx.input = input;
+  return EvalNode(*expr, ctx);
+}
+
+Result<ValuePtr> Evaluator::EvalSetApply(const Expr& e, const ValuePtr& in,
+                                         const Ctx& ctx) {
+  if (!in->is_set()) {
+    return Status::TypeError(StrCat("SET_APPLY requires a multiset input, got ",
+                                    ValueKindToString(in->kind())));
+  }
+  Count(e, in->TotalCount());
+  const std::string& filter = e.type_filter();
+  // A typed SET_APPLY (§4) may serve several exact types with one scan when
+  // they share an implementation ("Person,Student"); split once per call.
+  std::vector<std::string> accepted;
+  if (!filter.empty()) {
+    size_t start = 0;
+    while (start <= filter.size()) {
+      size_t comma = filter.find(',', start);
+      if (comma == std::string::npos) {
+        accepted.push_back(filter.substr(start));
+        break;
+      }
+      accepted.push_back(filter.substr(start, comma - start));
+      start = comma + 1;
+    }
+  }
+  std::vector<SetEntry> out;
+  out.reserve(in->entries().size());
+  for (const auto& entry : in->entries()) {
+    if (!accepted.empty()) {
+      // §4: a typed SET_APPLY processes only objects exactly of a listed
+      // type; all others are ignored.
+      std::string exact = db_->store().ExactTypeOf(entry.value);
+      bool match = false;
+      for (const auto& t : accepted) {
+        if (t == exact) {
+          match = true;
+          break;
+        }
+      }
+      if (!match) continue;
+    }
+    Ctx inner = ctx;
+    inner.input = entry.value;
+    EXA_ASSIGN_OR_RETURN(ValuePtr mapped, EvalNode(*e.sub(), inner));
+    out.push_back({std::move(mapped), entry.count});
+  }
+  return Value::SetOfCounted(std::move(out));
+}
+
+Result<ValuePtr> Evaluator::EvalGroup(const Expr& e, const ValuePtr& in,
+                                      const Ctx& ctx) {
+  if (!in->is_set()) {
+    return Status::TypeError(StrCat("GRP requires a multiset input, got ",
+                                    ValueKindToString(in->kind())));
+  }
+  Count(e, in->TotalCount());
+  // Partition occurrences into equivalence classes keyed by the subscript
+  // expression's result. Group order follows first appearance, which is
+  // irrelevant to multiset equality.
+  std::unordered_map<ValuePtr, size_t, ValuePtrDeepHash, ValuePtrDeepEq> index;
+  std::vector<std::vector<SetEntry>> groups;
+  for (const auto& entry : in->entries()) {
+    Ctx inner = ctx;
+    inner.input = entry.value;
+    EXA_ASSIGN_OR_RETURN(ValuePtr key, EvalNode(*e.sub(), inner));
+    auto it = index.find(key);
+    if (it == index.end()) {
+      index.emplace(std::move(key), groups.size());
+      groups.push_back({entry});
+    } else {
+      groups[it->second].push_back(entry);
+    }
+  }
+  std::vector<SetEntry> out;
+  out.reserve(groups.size());
+  for (auto& g : groups) {
+    out.push_back({Value::SetOfCounted(std::move(g)), 1});
+  }
+  return Value::SetOfCounted(std::move(out));
+}
+
+Result<ValuePtr> Evaluator::EvalArrApply(const Expr& e, const ValuePtr& in,
+                                         const Ctx& ctx) {
+  if (!in->is_array()) {
+    return Status::TypeError(StrCat("ARR_APPLY requires an array input, got ",
+                                    ValueKindToString(in->kind())));
+  }
+  Count(e, in->ArrayLength());
+  std::vector<ValuePtr> out;
+  out.reserve(in->elems().size());
+  for (const auto& elem : in->elems()) {
+    Ctx inner = ctx;
+    inner.input = elem;
+    EXA_ASSIGN_OR_RETURN(ValuePtr mapped, EvalNode(*e.sub(), inner));
+    out.push_back(std::move(mapped));
+  }
+  return Value::ArrayOf(std::move(out));
+}
+
+Result<ValuePtr> Evaluator::EvalArith(const ValuePtr& a, const ValuePtr& b,
+                                      const std::string& op) {
+  if (a->is_dne() || b->is_dne()) return Value::Dne();
+  if (a->is_unk() || b->is_unk()) return Value::Unk();
+  if (!a->IsNumeric() || !b->IsNumeric()) {
+    if (op == "+" && a->kind() == ValueKind::kString &&
+        b->kind() == ValueKind::kString) {
+      return Value::Str(a->as_string() + b->as_string());
+    }
+    return Status::TypeError(StrCat("arithmetic '", op,
+                                    "' on non-numeric operands ", a->ToString(),
+                                    ", ", b->ToString()));
+  }
+  bool ints = a->kind() == ValueKind::kInt && b->kind() == ValueKind::kInt;
+  if (op == "%") {
+    if (!ints) return Status::TypeError("'%' requires integer operands");
+    if (b->as_int() == 0) return Status::EvalError("modulo by zero");
+    return Value::Int(a->as_int() % b->as_int());
+  }
+  if (ints) {
+    int64_t x = a->as_int();
+    int64_t y = b->as_int();
+    if (op == "+") return Value::Int(x + y);
+    if (op == "-") return Value::Int(x - y);
+    if (op == "*") return Value::Int(x * y);
+    if (op == "/") {
+      if (y == 0) return Status::EvalError("division by zero");
+      return Value::Int(x / y);
+    }
+  } else {
+    double x = a->NumericValue();
+    double y = b->NumericValue();
+    if (op == "+") return Value::Float(x + y);
+    if (op == "-") return Value::Float(x - y);
+    if (op == "*") return Value::Float(x * y);
+    if (op == "/") {
+      if (y == 0) return Status::EvalError("division by zero");
+      return Value::Float(x / y);
+    }
+  }
+  return Status::NotFound(StrCat("unknown arithmetic operator '", op, "'"));
+}
+
+Result<ValuePtr> Evaluator::EvalMethodCall(const Expr& e,
+                                           std::vector<ValuePtr> vals,
+                                           const Ctx& ctx) {
+  (void)ctx;
+  if (methods_ == nullptr) {
+    return Status::Unsupported(
+        StrCat("method call '", e.name(), "' with no MethodResolver attached"));
+  }
+  ValuePtr receiver = vals[0];
+  if (receiver->is_null()) return receiver;
+  // A method defined on T may be invoked through a `ref T` as well; the
+  // implicit deref mirrors EXCESS's uniform dot notation.
+  if (receiver->is_ref()) {
+    EXA_ASSIGN_OR_RETURN(receiver, db_->store().Deref(receiver->oid()));
+    ++stats_.derefs;
+  }
+  std::vector<ValuePtr> args(vals.begin() + 1, vals.end());
+  std::string exact = db_->store().ExactTypeOf(receiver);
+  EXA_ASSIGN_OR_RETURN(ExprPtr body, methods_->Resolve(exact, e.name()));
+  Ctx inner;
+  inner.input = receiver;
+  inner.params = &args;
+  return EvalNode(*body, inner);
+}
+
+Result<ValuePtr> Evaluator::EvalNode(const Expr& e, const Ctx& ctx) {
+  // Leaves first (they have no data children).
+  switch (e.kind()) {
+    case OpKind::kInput:
+      Count(e);
+      if (ctx.input == nullptr) {
+        return Status::EvalError("INPUT used outside an apply/COMP context");
+      }
+      return ctx.input;
+    case OpKind::kConst:
+      Count(e);
+      return e.literal();
+    case OpKind::kVar:
+      Count(e);
+      return db_->NamedValue(e.name());
+    case OpKind::kParam:
+      Count(e);
+      if (ctx.params == nullptr ||
+          e.index() >= static_cast<int64_t>(ctx.params->size())) {
+        return Status::EvalError(
+            StrCat("method parameter $", e.index(), " is unbound"));
+      }
+      return (*ctx.params)[static_cast<size_t>(e.index())];
+    default:
+      break;
+  }
+
+  // Evaluate all data children once, then apply uniform strict null
+  // propagation: a null data input yields that null (dne dominating unk).
+  // This makes the composition rules (15, 26, 27) and DEREF(REF(A)) = A
+  // exact in the presence of nulls: an occurrence a multiset would drop
+  // corresponds to a poisoned pipeline on the composed side. kArith
+  // implements its own null handling with identical semantics.
+  std::vector<ValuePtr> vals;
+  vals.reserve(e.num_children());
+  ValuePtr null_seen;
+  for (const auto& c : e.children()) {
+    EXA_ASSIGN_OR_RETURN(ValuePtr v, EvalNode(*c, ctx));
+    if (v->is_dne()) null_seen = v;  // dne dominates
+    if (v->is_unk() && (null_seen == nullptr || !null_seen->is_dne())) {
+      null_seen = v;
+    }
+    vals.push_back(std::move(v));
+  }
+  if (null_seen != nullptr && e.kind() != OpKind::kArith &&
+      e.kind() != OpKind::kMethodCall) {
+    Count(e);
+    return null_seen;
+  }
+
+  switch (e.kind()) {
+    case OpKind::kAddUnion:
+      Count(e, vals[0]->is_set() && vals[1]->is_set()
+                   ? vals[0]->TotalCount() + vals[1]->TotalCount()
+                   : 0);
+      return kernels::AddUnion(vals[0], vals[1]);
+    case OpKind::kSetMake:
+      Count(e);
+      return Value::SetOf({vals[0]});
+    case OpKind::kSetApply:
+      return EvalSetApply(e, vals[0], ctx);
+    case OpKind::kGroup:
+      return EvalGroup(e, vals[0], ctx);
+    case OpKind::kDupElim:
+      Count(e, vals[0]->is_set() ? vals[0]->TotalCount() : 0);
+      return kernels::DupElim(vals[0]);
+    case OpKind::kDiff:
+      Count(e, vals[0]->is_set() && vals[1]->is_set()
+                   ? vals[0]->TotalCount() + vals[1]->TotalCount()
+                   : 0);
+      return kernels::Diff(vals[0], vals[1]);
+    case OpKind::kCross:
+      Count(e, vals[0]->is_set() && vals[1]->is_set()
+                   ? vals[0]->TotalCount() * vals[1]->TotalCount()
+                   : 0);
+      return kernels::Cross(vals[0], vals[1]);
+    case OpKind::kSetCollapse:
+      Count(e, vals[0]->is_set() ? vals[0]->TotalCount() : 0);
+      return kernels::SetCollapse(vals[0]);
+
+    case OpKind::kProject:
+      Count(e);
+      return kernels::Project(e.names(), vals[0]);
+    case OpKind::kTupCat:
+      Count(e);
+      return kernels::TupCat(vals[0], vals[1]);
+    case OpKind::kTupExtract:
+      Count(e);
+      if (!vals[0]->is_tuple()) {
+        return Status::TypeError(StrCat("TUP_EXTRACT<", e.name(),
+                                        "> on non-tuple ",
+                                        ValueKindToString(vals[0]->kind())));
+      }
+      return vals[0]->Field(e.name());
+    case OpKind::kTupMake:
+      Count(e);
+      // An optional name() labels the single field (default "_1"); rule 26
+      // uses this to materialize a named enrichment field.
+      return Value::Tuple({e.name().empty() ? "_1" : e.name()}, {vals[0]});
+
+    case OpKind::kArrMake:
+      Count(e);
+      return Value::ArrayOf({vals[0]});
+    case OpKind::kArrExtract: {
+      Count(e);
+      if (!vals[0]->is_array()) {
+        return Status::TypeError(StrCat("ARR_EXTRACT on non-array ",
+                                        ValueKindToString(vals[0]->kind())));
+      }
+      int64_t idx = e.index_is_last() ? vals[0]->ArrayLength() : e.index();
+      return kernels::ArrExtract(idx, vals[0]);
+    }
+    case OpKind::kArrApply:
+      return EvalArrApply(e, vals[0], ctx);
+    case OpKind::kSubArr: {
+      if (!vals[0]->is_array()) {
+        return Status::TypeError(StrCat("SUBARR on non-array ",
+                                        ValueKindToString(vals[0]->kind())));
+      }
+      Count(e, vals[0]->ArrayLength());
+      int64_t lo = e.lo_is_last() ? vals[0]->ArrayLength() : e.lo();
+      int64_t hi = e.hi_is_last() ? vals[0]->ArrayLength() : e.hi();
+      return kernels::SubArr(lo, hi, vals[0]);
+    }
+    case OpKind::kArrCat:
+      Count(e, (vals[0]->is_array() ? vals[0]->ArrayLength() : 0) +
+                   (vals[1]->is_array() ? vals[1]->ArrayLength() : 0));
+      return kernels::ArrCat(vals[0], vals[1]);
+    case OpKind::kArrCollapse:
+      Count(e, vals[0]->is_array() ? vals[0]->ArrayLength() : 0);
+      return kernels::ArrCollapse(vals[0]);
+    case OpKind::kArrDiff:
+      Count(e, (vals[0]->is_array() ? vals[0]->ArrayLength() : 0) +
+                   (vals[1]->is_array() ? vals[1]->ArrayLength() : 0));
+      return kernels::ArrDiff(vals[0], vals[1]);
+    case OpKind::kArrDupElim:
+      Count(e, vals[0]->is_array() ? vals[0]->ArrayLength() : 0);
+      return kernels::ArrDupElim(vals[0]);
+    case OpKind::kArrCross:
+      Count(e, vals[0]->is_array() && vals[1]->is_array()
+                   ? vals[0]->ArrayLength() * vals[1]->ArrayLength()
+                   : 0);
+      return kernels::ArrCross(vals[0], vals[1]);
+
+    case OpKind::kRef: {
+      Count(e);
+      std::string target = e.name();
+      if (target.empty()) target = db_->store().ExactTypeOf(vals[0]);
+      EXA_ASSIGN_OR_RETURN(Oid oid, db_->store().InternRef(target, vals[0]));
+      return Value::RefTo(oid);
+    }
+    case OpKind::kDeref: {
+      Count(e);
+      if (!vals[0]->is_ref()) {
+        return Status::TypeError(StrCat("DEREF on non-reference ",
+                                        ValueKindToString(vals[0]->kind())));
+      }
+      ++stats_.derefs;
+      return db_->store().Deref(vals[0]->oid());
+    }
+
+    case OpKind::kComp: {
+      Count(e);
+      Ctx inner = ctx;
+      inner.input = vals[0];
+      EXA_ASSIGN_OR_RETURN(Truth t, EvalPred(*e.pred(), inner));
+      switch (t) {
+        case Truth::kTrue:
+          return vals[0];
+        case Truth::kUnk:
+          return Value::Unk();
+        case Truth::kFalse:
+          return Value::Dne();
+      }
+      return Status::Internal("unreachable truth value");
+    }
+
+    case OpKind::kArith:
+      Count(e);
+      return EvalArith(vals[0], vals[1], e.name());
+    case OpKind::kAgg:
+      Count(e, vals[0]->is_set() ? vals[0]->TotalCount() : 0);
+      return kernels::Aggregate(e.name(), vals[0]);
+    case OpKind::kMethodCall:
+      Count(e);
+      return EvalMethodCall(e, std::move(vals), ctx);
+
+    case OpKind::kInput:
+    case OpKind::kConst:
+    case OpKind::kVar:
+    case OpKind::kParam:
+      break;  // handled above
+  }
+  return Status::Internal("unknown operator kind");
+}
+
+namespace {
+
+Truth Conj(Truth a, Truth b) {
+  if (a == Truth::kFalse || b == Truth::kFalse) return Truth::kFalse;
+  if (a == Truth::kUnk || b == Truth::kUnk) return Truth::kUnk;
+  return Truth::kTrue;
+}
+
+Truth Disj(Truth a, Truth b) {
+  if (a == Truth::kTrue || b == Truth::kTrue) return Truth::kTrue;
+  if (a == Truth::kUnk || b == Truth::kUnk) return Truth::kUnk;
+  return Truth::kFalse;
+}
+
+Truth Neg(Truth a) {
+  if (a == Truth::kUnk) return Truth::kUnk;
+  return a == Truth::kTrue ? Truth::kFalse : Truth::kTrue;
+}
+
+}  // namespace
+
+Result<Truth> Evaluator::EvalAtom(const Predicate& p, const Ctx& ctx) {
+  ++stats_.predicate_atoms;
+  EXA_ASSIGN_OR_RETURN(ValuePtr a, EvalNode(*p.lhs, ctx));
+  EXA_ASSIGN_OR_RETURN(ValuePtr b, EvalNode(*p.rhs, ctx));
+  // Null semantics (after [Gott88]): unk makes the comparison unknown; dne
+  // makes it false (a value that does not exist matches nothing).
+  if (a->is_unk() || b->is_unk()) return Truth::kUnk;
+  if (a->is_dne() || b->is_dne()) return Truth::kFalse;
+  switch (p.cmp) {
+    case CmpOp::kEq:
+      return a->Equals(*b) ? Truth::kTrue : Truth::kFalse;
+    case CmpOp::kNe:
+      return a->Equals(*b) ? Truth::kFalse : Truth::kTrue;
+    case CmpOp::kIn: {
+      if (!b->is_set()) {
+        return Status::TypeError(
+            StrCat("'in' requires a multiset right-hand side, got ",
+                   ValueKindToString(b->kind())));
+      }
+      return b->CountOf(a) > 0 ? Truth::kTrue : Truth::kFalse;
+    }
+    case CmpOp::kLt:
+    case CmpOp::kLe:
+    case CmpOp::kGt:
+    case CmpOp::kGe: {
+      EXA_ASSIGN_OR_RETURN(int c, Value::Compare(*a, *b));
+      switch (p.cmp) {
+        case CmpOp::kLt:
+          return c < 0 ? Truth::kTrue : Truth::kFalse;
+        case CmpOp::kLe:
+          return c <= 0 ? Truth::kTrue : Truth::kFalse;
+        case CmpOp::kGt:
+          return c > 0 ? Truth::kTrue : Truth::kFalse;
+        default:
+          return c >= 0 ? Truth::kTrue : Truth::kFalse;
+      }
+    }
+  }
+  return Status::Internal("unknown comparator");
+}
+
+Result<Truth> Evaluator::EvalPred(const Predicate& p, const Ctx& ctx) {
+  switch (p.kind) {
+    case Predicate::Kind::kAtom:
+      return EvalAtom(p, ctx);
+    case Predicate::Kind::kAnd: {
+      EXA_ASSIGN_OR_RETURN(Truth a, EvalPred(*p.a, ctx));
+      if (a == Truth::kFalse) return Truth::kFalse;  // short-circuit
+      EXA_ASSIGN_OR_RETURN(Truth b, EvalPred(*p.b, ctx));
+      return Conj(a, b);
+    }
+    case Predicate::Kind::kOr: {
+      EXA_ASSIGN_OR_RETURN(Truth a, EvalPred(*p.a, ctx));
+      if (a == Truth::kTrue) return Truth::kTrue;  // short-circuit
+      EXA_ASSIGN_OR_RETURN(Truth b, EvalPred(*p.b, ctx));
+      return Disj(a, b);
+    }
+    case Predicate::Kind::kNot: {
+      EXA_ASSIGN_OR_RETURN(Truth a, EvalPred(*p.a, ctx));
+      return Neg(a);
+    }
+    case Predicate::Kind::kTrue:
+      return Truth::kTrue;
+  }
+  return Status::Internal("unknown predicate kind");
+}
+
+}  // namespace excess

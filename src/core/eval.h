@@ -1,0 +1,101 @@
+#ifndef EXCESS_CORE_EVAL_H_
+#define EXCESS_CORE_EVAL_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "core/expr.h"
+#include "objects/database.h"
+#include "util/status.h"
+
+namespace excess {
+
+inline constexpr int kNumOpKinds = static_cast<int>(OpKind::kMethodCall) + 1;
+
+/// Late-bound method resolution (§4 strategy A): given the run-time exact
+/// type of a receiver, return the stored query tree of the most specific
+/// implementation of `method`. Implemented by methods::MethodRegistry;
+/// declared here so the core evaluator does not depend on that library.
+class MethodResolver {
+ public:
+  virtual ~MethodResolver() = default;
+  virtual Result<ExprPtr> Resolve(const std::string& exact_type,
+                                  const std::string& method) const = 0;
+};
+
+/// Instrumentation collected during evaluation. The figure benches read
+/// these to check the paper's cost arguments (e.g. Fig. 8: the occurrences
+/// flowing into DE drop from |S|·|E| to |S|+|E|).
+struct EvalStats {
+  /// Operator applications, indexed by OpKind.
+  std::array<int64_t, kNumOpKinds> invocations{};
+  /// Occurrences consumed per operator kind (multiset total counts / array
+  /// lengths of loop-style operator inputs).
+  std::array<int64_t, kNumOpKinds> occurrences{};
+  int64_t predicate_atoms = 0;
+  int64_t derefs = 0;
+
+  void Clear() { *this = EvalStats(); }
+  int64_t TotalInvocations() const;
+  int64_t TotalOccurrences() const;
+  int64_t InvocationsOf(OpKind kind) const {
+    return invocations[static_cast<int>(kind)];
+  }
+  int64_t OccurrencesOf(OpKind kind) const {
+    return occurrences[static_cast<int>(kind)];
+  }
+  std::string ToString() const;
+};
+
+/// The algebra interpreter. Evaluates an expression tree against a
+/// Database; INPUT is bound by enclosing SET_APPLY / ARR_APPLY / GRP
+/// subscripts and by COMP. The evaluator is re-entrant per instance but not
+/// thread-safe (stats and the store's intern table are mutated).
+class Evaluator {
+ public:
+  explicit Evaluator(Database* db, const MethodResolver* methods = nullptr)
+      : db_(db), methods_(methods) {}
+
+  /// Evaluates a closed expression (no free INPUT).
+  Result<ValuePtr> Eval(const ExprPtr& expr);
+  /// Evaluates with an explicit INPUT binding (used to apply subscript
+  /// expressions directly, e.g. by the methods runtime and tests).
+  Result<ValuePtr> EvalWithInput(const ExprPtr& expr, const ValuePtr& input);
+
+  EvalStats& stats() { return stats_; }
+  const EvalStats& stats() const { return stats_; }
+
+ private:
+  struct Ctx {
+    ValuePtr input;                          // INPUT binding (may be null)
+    const std::vector<ValuePtr>* params = nullptr;  // method actuals
+  };
+
+  Result<ValuePtr> EvalNode(const Expr& e, const Ctx& ctx);
+  Result<Truth> EvalPred(const Predicate& p, const Ctx& ctx);
+  Result<Truth> EvalAtom(const Predicate& p, const Ctx& ctx);
+
+  Result<ValuePtr> EvalSetApply(const Expr& e, const ValuePtr& in,
+                                const Ctx& ctx);
+  Result<ValuePtr> EvalGroup(const Expr& e, const ValuePtr& in, const Ctx& ctx);
+  Result<ValuePtr> EvalArrApply(const Expr& e, const ValuePtr& in,
+                                const Ctx& ctx);
+  Result<ValuePtr> EvalArith(const ValuePtr& a, const ValuePtr& b,
+                             const std::string& op);
+  Result<ValuePtr> EvalMethodCall(const Expr& e, std::vector<ValuePtr> vals,
+                                  const Ctx& ctx);
+
+  void Count(const Expr& e, int64_t occurrences_in = 0) {
+    ++stats_.invocations[static_cast<int>(e.kind())];
+    stats_.occurrences[static_cast<int>(e.kind())] += occurrences_in;
+  }
+
+  Database* db_;
+  const MethodResolver* methods_;
+  EvalStats stats_;
+};
+
+}  // namespace excess
+
+#endif  // EXCESS_CORE_EVAL_H_

@@ -1,0 +1,38 @@
+#ifndef EXCESS_CORE_INFER_H_
+#define EXCESS_CORE_INFER_H_
+
+#include "catalog/schema.h"
+#include "core/expr.h"
+#include "objects/database.h"
+#include "util/status.h"
+
+namespace excess {
+
+/// Derives the schema of an arbitrary value, consulting the store for the
+/// exact types behind references. Heterogeneous or empty collections infer
+/// an `any` element schema.
+SchemaPtr SchemaOfValue(const ValuePtr& value, const ObjectStore* store);
+
+/// Static output-schema inference for algebra expressions: the compile-time
+/// half of the many-sorted closure property. Each operator has a sort
+/// discipline (SET_APPLY needs a multiset, TUP_CAT needs tuples, ...);
+/// Infer() reports TypeError where the evaluator would fail at run time,
+/// which is what makes plans checkable before execution.
+class TypeInference {
+ public:
+  explicit TypeInference(const Database* db) : db_(db) {}
+
+  /// Infers the output schema; `input` is the schema INPUT is bound to (null
+  /// for closed expressions).
+  Result<SchemaPtr> Infer(const ExprPtr& expr, SchemaPtr input = nullptr);
+
+ private:
+  Result<SchemaPtr> InferNode(const Expr& e, const SchemaPtr& input);
+  Status CheckPredicate(const Predicate& p, const SchemaPtr& input);
+
+  const Database* db_;
+};
+
+}  // namespace excess
+
+#endif  // EXCESS_CORE_INFER_H_

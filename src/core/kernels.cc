@@ -1,0 +1,265 @@
+#include "core/kernels.h"
+
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace excess {
+namespace kernels {
+
+namespace {
+
+Status ExpectSet(const ValuePtr& v, const char* op) {
+  if (v == nullptr || !v->is_set()) {
+    return Status::TypeError(StrCat(op, " requires a multiset operand, got ",
+                                    v ? ValueKindToString(v->kind()) : "null"));
+  }
+  return Status::OK();
+}
+
+Status ExpectArray(const ValuePtr& v, const char* op) {
+  if (v == nullptr || !v->is_array()) {
+    return Status::TypeError(StrCat(op, " requires an array operand, got ",
+                                    v ? ValueKindToString(v->kind()) : "null"));
+  }
+  return Status::OK();
+}
+
+Status ExpectTuple(const ValuePtr& v, const char* op) {
+  if (v == nullptr || !v->is_tuple()) {
+    return Status::TypeError(StrCat(op, " requires a tuple operand, got ",
+                                    v ? ValueKindToString(v->kind()) : "null"));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ValuePtr> AddUnion(const ValuePtr& a, const ValuePtr& b) {
+  EXA_RETURN_NOT_OK(ExpectSet(a, "ADD_UNION"));
+  EXA_RETURN_NOT_OK(ExpectSet(b, "ADD_UNION"));
+  std::vector<SetEntry> entries = a->entries();
+  const auto& be = b->entries();
+  entries.insert(entries.end(), be.begin(), be.end());
+  return Value::SetOfCounted(std::move(entries));
+}
+
+Result<ValuePtr> Diff(const ValuePtr& a, const ValuePtr& b) {
+  EXA_RETURN_NOT_OK(ExpectSet(a, "DIFF"));
+  EXA_RETURN_NOT_OK(ExpectSet(b, "DIFF"));
+  std::vector<SetEntry> out;
+  out.reserve(a->entries().size());
+  for (const auto& e : a->entries()) {
+    int64_t remaining = e.count - b->CountOf(e.value);
+    if (remaining > 0) out.push_back({e.value, remaining});
+  }
+  return Value::SetOfCounted(std::move(out));
+}
+
+Result<ValuePtr> Cross(const ValuePtr& a, const ValuePtr& b) {
+  EXA_RETURN_NOT_OK(ExpectSet(a, "CROSS"));
+  EXA_RETURN_NOT_OK(ExpectSet(b, "CROSS"));
+  std::vector<SetEntry> out;
+  out.reserve(a->entries().size() * b->entries().size());
+  for (const auto& ea : a->entries()) {
+    for (const auto& eb : b->entries()) {
+      out.push_back({Value::TupleOf({ea.value, eb.value}), ea.count * eb.count});
+    }
+  }
+  return Value::SetOfCounted(std::move(out));
+}
+
+Result<ValuePtr> DupElim(const ValuePtr& a) {
+  EXA_RETURN_NOT_OK(ExpectSet(a, "DE"));
+  std::vector<SetEntry> out;
+  out.reserve(a->entries().size());
+  for (const auto& e : a->entries()) out.push_back({e.value, 1});
+  return Value::SetOfCounted(std::move(out));
+}
+
+Result<ValuePtr> SetCollapse(const ValuePtr& a) {
+  EXA_RETURN_NOT_OK(ExpectSet(a, "SET_COLLAPSE"));
+  std::vector<SetEntry> out;
+  for (const auto& outer : a->entries()) {
+    if (!outer.value->is_set()) {
+      return Status::TypeError(
+          StrCat("SET_COLLAPSE requires a multiset of multisets; member is ",
+                 ValueKindToString(outer.value->kind())));
+    }
+    for (const auto& inner : outer.value->entries()) {
+      // A member multiset occurring k times contributes each of its
+      // occurrences k times to the additive union.
+      out.push_back({inner.value, inner.count * outer.count});
+    }
+  }
+  return Value::SetOfCounted(std::move(out));
+}
+
+Result<ValuePtr> MaxUnion(const ValuePtr& a, const ValuePtr& b) {
+  EXA_RETURN_NOT_OK(ExpectSet(a, "UNION"));
+  EXA_RETURN_NOT_OK(ExpectSet(b, "UNION"));
+  std::vector<SetEntry> out;
+  for (const auto& e : a->entries()) {
+    out.push_back({e.value, std::max(e.count, b->CountOf(e.value))});
+  }
+  for (const auto& e : b->entries()) {
+    if (a->CountOf(e.value) == 0) out.push_back(e);
+  }
+  return Value::SetOfCounted(std::move(out));
+}
+
+Result<ValuePtr> MinIntersect(const ValuePtr& a, const ValuePtr& b) {
+  EXA_RETURN_NOT_OK(ExpectSet(a, "INTERSECT"));
+  EXA_RETURN_NOT_OK(ExpectSet(b, "INTERSECT"));
+  std::vector<SetEntry> out;
+  for (const auto& e : a->entries()) {
+    int64_t c = std::min(e.count, b->CountOf(e.value));
+    if (c > 0) out.push_back({e.value, c});
+  }
+  return Value::SetOfCounted(std::move(out));
+}
+
+Result<ValuePtr> TupCat(const ValuePtr& a, const ValuePtr& b) {
+  EXA_RETURN_NOT_OK(ExpectTuple(a, "TUP_CAT"));
+  EXA_RETURN_NOT_OK(ExpectTuple(b, "TUP_CAT"));
+  std::vector<std::string> names = a->field_names();
+  std::vector<ValuePtr> vals = a->field_values();
+  names.insert(names.end(), b->field_names().begin(), b->field_names().end());
+  vals.insert(vals.end(), b->field_values().begin(), b->field_values().end());
+  return Value::Tuple(std::move(names), std::move(vals));
+}
+
+Result<ValuePtr> Project(const std::vector<std::string>& fields,
+                         const ValuePtr& t) {
+  EXA_RETURN_NOT_OK(ExpectTuple(t, "PI"));
+  std::vector<std::string> names;
+  std::vector<ValuePtr> vals;
+  names.reserve(fields.size());
+  vals.reserve(fields.size());
+  for (const auto& f : fields) {
+    EXA_ASSIGN_OR_RETURN(ValuePtr v, t->Field(f));
+    names.push_back(f);
+    vals.push_back(std::move(v));
+  }
+  return Value::Tuple(std::move(names), std::move(vals));
+}
+
+Result<ValuePtr> ArrCat(const ValuePtr& a, const ValuePtr& b) {
+  EXA_RETURN_NOT_OK(ExpectArray(a, "ARR_CAT"));
+  EXA_RETURN_NOT_OK(ExpectArray(b, "ARR_CAT"));
+  std::vector<ValuePtr> out = a->elems();
+  out.insert(out.end(), b->elems().begin(), b->elems().end());
+  return Value::ArrayOf(std::move(out));
+}
+
+Result<ValuePtr> ArrExtract(int64_t index, const ValuePtr& a) {
+  EXA_RETURN_NOT_OK(ExpectArray(a, "ARR_EXTRACT"));
+  if (index < 1 || index > a->ArrayLength()) return Value::Dne();
+  return a->elems()[static_cast<size_t>(index - 1)];
+}
+
+Result<ValuePtr> SubArr(int64_t lo, int64_t hi, const ValuePtr& a) {
+  EXA_RETURN_NOT_OK(ExpectArray(a, "SUBARR"));
+  int64_t n = a->ArrayLength();
+  int64_t from = std::max<int64_t>(1, lo);
+  int64_t to = std::min(hi, n);
+  std::vector<ValuePtr> out;
+  for (int64_t i = from; i <= to; ++i) {
+    out.push_back(a->elems()[static_cast<size_t>(i - 1)]);
+  }
+  return Value::ArrayOf(std::move(out));
+}
+
+Result<ValuePtr> ArrCollapse(const ValuePtr& a) {
+  EXA_RETURN_NOT_OK(ExpectArray(a, "ARR_COLLAPSE"));
+  std::vector<ValuePtr> out;
+  for (const auto& inner : a->elems()) {
+    if (!inner->is_array()) {
+      return Status::TypeError(
+          StrCat("ARR_COLLAPSE requires an array of arrays; element is ",
+                 ValueKindToString(inner->kind())));
+    }
+    out.insert(out.end(), inner->elems().begin(), inner->elems().end());
+  }
+  return Value::ArrayOf(std::move(out));
+}
+
+Result<ValuePtr> ArrDiff(const ValuePtr& a, const ValuePtr& b) {
+  EXA_RETURN_NOT_OK(ExpectArray(a, "ARR_DIFF"));
+  EXA_RETURN_NOT_OK(ExpectArray(b, "ARR_DIFF"));
+  // Order-preserving multiset difference: each element of B cancels the
+  // first remaining equal occurrence in A.
+  std::unordered_map<ValuePtr, int64_t, ValuePtrDeepHash, ValuePtrDeepEq> budget;
+  for (const auto& e : b->elems()) ++budget[e];
+  std::vector<ValuePtr> out;
+  for (const auto& e : a->elems()) {
+    auto it = budget.find(e);
+    if (it != budget.end() && it->second > 0) {
+      --it->second;
+      continue;
+    }
+    out.push_back(e);
+  }
+  return Value::ArrayOf(std::move(out));
+}
+
+Result<ValuePtr> ArrDupElim(const ValuePtr& a) {
+  EXA_RETURN_NOT_OK(ExpectArray(a, "ARR_DE"));
+  std::unordered_map<ValuePtr, bool, ValuePtrDeepHash, ValuePtrDeepEq> seen;
+  std::vector<ValuePtr> out;
+  for (const auto& e : a->elems()) {
+    if (seen.emplace(e, true).second) out.push_back(e);
+  }
+  return Value::ArrayOf(std::move(out));
+}
+
+Result<ValuePtr> ArrCross(const ValuePtr& a, const ValuePtr& b) {
+  EXA_RETURN_NOT_OK(ExpectArray(a, "ARR_CROSS"));
+  EXA_RETURN_NOT_OK(ExpectArray(b, "ARR_CROSS"));
+  std::vector<ValuePtr> out;
+  out.reserve(a->elems().size() * b->elems().size());
+  for (const auto& ea : a->elems()) {
+    for (const auto& eb : b->elems()) {
+      out.push_back(Value::TupleOf({ea, eb}));
+    }
+  }
+  return Value::ArrayOf(std::move(out));
+}
+
+Result<ValuePtr> Aggregate(const std::string& name, const ValuePtr& set) {
+  EXA_RETURN_NOT_OK(ExpectSet(set, "AGG"));
+  if (name == "count") return Value::Int(set->TotalCount());
+  if (set->entries().empty()) return Value::Dne();
+  if (name == "min" || name == "max") {
+    ValuePtr best = set->entries()[0].value;
+    for (const auto& e : set->entries()) {
+      EXA_ASSIGN_OR_RETURN(int c, Value::Compare(*e.value, *best));
+      if ((name == "min" && c < 0) || (name == "max" && c > 0)) best = e.value;
+    }
+    return best;
+  }
+  if (name == "sum" || name == "avg") {
+    double total = 0;
+    int64_t n = 0;
+    bool all_int = true;
+    for (const auto& e : set->entries()) {
+      if (!e.value->IsNumeric()) {
+        return Status::TypeError(
+            StrCat("aggregate '", name, "' over non-numeric element ",
+                   e.value->ToString()));
+      }
+      if (e.value->kind() != ValueKind::kInt) all_int = false;
+      total += e.value->NumericValue() * static_cast<double>(e.count);
+      n += e.count;
+    }
+    if (name == "sum") {
+      if (all_int) return Value::Int(static_cast<int64_t>(total));
+      return Value::Float(total);
+    }
+    return Value::Float(total / static_cast<double>(n));
+  }
+  return Status::NotFound(StrCat("unknown aggregate function '", name, "'"));
+}
+
+}  // namespace kernels
+}  // namespace excess

@@ -1,0 +1,51 @@
+#ifndef EXCESS_CORE_KERNELS_H_
+#define EXCESS_CORE_KERNELS_H_
+
+#include "objects/value.h"
+#include "util/status.h"
+
+namespace excess {
+/// Value-level semantics of the structural operators, shared by the
+/// evaluator, the tests and the benchmark harness. Each kernel implements
+/// exactly the definition in §3.2 and returns TypeError when handed a value
+/// of the wrong sort (the algebra is many-sorted, so sort errors are real
+/// errors, not coercions).
+namespace kernels {
+
+// Multiset kernels (§3.2.1).
+Result<ValuePtr> AddUnion(const ValuePtr& a, const ValuePtr& b);
+Result<ValuePtr> Diff(const ValuePtr& a, const ValuePtr& b);
+Result<ValuePtr> Cross(const ValuePtr& a, const ValuePtr& b);
+Result<ValuePtr> DupElim(const ValuePtr& a);
+Result<ValuePtr> SetCollapse(const ValuePtr& a);
+/// Derived: max-cardinality union and min-cardinality intersection
+/// (Appendix §1), provided directly for tests of the derivations.
+Result<ValuePtr> MaxUnion(const ValuePtr& a, const ValuePtr& b);
+Result<ValuePtr> MinIntersect(const ValuePtr& a, const ValuePtr& b);
+
+// Tuple kernels (§3.2.2).
+Result<ValuePtr> TupCat(const ValuePtr& a, const ValuePtr& b);
+Result<ValuePtr> Project(const std::vector<std::string>& fields,
+                         const ValuePtr& t);
+
+// Array kernels (§3.2.3). Indices are 1-based; `last` has been resolved to
+// a concrete index by the evaluator before these are called.
+Result<ValuePtr> ArrCat(const ValuePtr& a, const ValuePtr& b);
+/// Out-of-range extraction yields dne (the element "does not exist").
+Result<ValuePtr> ArrExtract(int64_t index, const ValuePtr& a);
+/// Clamping slice semantics: elements max(1,lo)..min(hi,|A|), empty when
+/// the range is empty.
+Result<ValuePtr> SubArr(int64_t lo, int64_t hi, const ValuePtr& a);
+Result<ValuePtr> ArrCollapse(const ValuePtr& a);
+Result<ValuePtr> ArrDiff(const ValuePtr& a, const ValuePtr& b);
+Result<ValuePtr> ArrDupElim(const ValuePtr& a);
+Result<ValuePtr> ArrCross(const ValuePtr& a, const ValuePtr& b);
+
+// Aggregates (registered functions; see DESIGN.md substitution table).
+// count counts occurrences; min/max/sum/avg of an empty multiset is dne.
+Result<ValuePtr> Aggregate(const std::string& name, const ValuePtr& set);
+
+}  // namespace kernels
+}  // namespace excess
+
+#endif  // EXCESS_CORE_KERNELS_H_

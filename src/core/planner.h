@@ -1,0 +1,61 @@
+#ifndef EXCESS_CORE_PLANNER_H_
+#define EXCESS_CORE_PLANNER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cost.h"
+#include "core/rewriter.h"
+#include "core/rules.h"
+#include "objects/database.h"
+#include "util/status.h"
+
+namespace excess {
+
+/// A candidate plan produced by the search, with its estimated cost.
+struct PlanChoice {
+  ExprPtr plan;
+  CostEstimate estimate;
+};
+
+/// The query optimizer: the role the EXODUS optimizer generator plays for
+/// EXTRA/EXCESS (§1, §6). Two phases:
+///  1. heuristic — the directed rule set to fixpoint (always-beneficial
+///     transformations: combine SET_APPLYs, combine COMPs, push DE and
+///     selections down, simplify array/tuple extractions, collapse
+///     REF/DEREF pairs);
+///  2. cost-based — best-first exploration of the rewrite graph generated
+///     by all rules (directed + exploratory), memoized on tree identity,
+///     keeping the cheapest tree under the estimates of CostModel.
+class Planner {
+ public:
+  struct Options {
+    /// Maximum trees expanded in the cost-based phase; 0 disables it.
+    int search_budget = 64;
+    CostParams cost_params;
+  };
+
+  explicit Planner(const Database* db) : db_(db) {}
+  Planner(const Database* db, Options options) : db_(db), options_(options) {}
+
+  /// Heuristic + cost-based optimization.
+  Result<ExprPtr> Optimize(const ExprPtr& query);
+
+  /// As Optimize, but also reports the considered alternatives (sorted by
+  /// cost, best first) — used by the optimizer bench and example tour.
+  Result<std::vector<PlanChoice>> Enumerate(const ExprPtr& query);
+
+  /// Rule names fired during the heuristic phase of the last call.
+  const std::vector<std::string>& heuristic_trace() const {
+    return heuristic_trace_;
+  }
+
+ private:
+  const Database* db_;
+  Options options_;
+  std::vector<std::string> heuristic_trace_;
+};
+
+}  // namespace excess
+
+#endif  // EXCESS_CORE_PLANNER_H_

@@ -1,0 +1,150 @@
+#include "core/rewriter.h"
+
+#include "core/infer.h"
+
+namespace excess {
+
+namespace {
+
+bool IsBinderKind(OpKind k) {
+  return k == OpKind::kSetApply || k == OpKind::kArrApply ||
+         k == OpKind::kGroup;
+}
+
+}  // namespace
+
+SchemaPtr Rewriter::SubscriptInputSchema(const Expr& e,
+                                         const SchemaPtr& input_schema) {
+  if (db_ == nullptr) return nullptr;
+  TypeInference infer(db_);
+  auto r = infer.Infer(e.child(0), input_schema);
+  if (!r.ok()) return nullptr;
+  const SchemaPtr& s = *r;
+  if ((s->is_set() || s->is_arr()) && s->elem() != nullptr) return s->elem();
+  return nullptr;
+}
+
+ExprPtr Rewriter::PassDirected(const ExprPtr& e, const SchemaPtr& input_schema) {
+  RuleContext ctx;
+  ctx.db = db_;
+  ctx.input_schema = input_schema;
+  for (const auto& rule : rules_.rules()) {
+    if (!rule.directed) continue;
+    auto result = rule.apply(e, ctx);
+    if (result.has_value()) {
+      applied_.push_back(rule.name);
+      return *result;
+    }
+  }
+  // Recurse into children.
+  for (size_t i = 0; i < e->num_children(); ++i) {
+    ExprPtr nc = PassDirected(e->child(i), input_schema);
+    if (nc != nullptr) return e->WithChild(i, std::move(nc));
+  }
+  // Recurse into the subscript with the element schema.
+  if (e->sub() != nullptr && IsBinderKind(e->kind())) {
+    SchemaPtr elem = SubscriptInputSchema(*e, input_schema);
+    ExprPtr ns = PassDirected(e->sub(), elem);
+    if (ns != nullptr) return e->WithSub(std::move(ns));
+  }
+  // Recurse into predicate operand expressions (COMP): INPUT there is the
+  // COMP operand, whose schema equals the operand's inferred schema.
+  if (e->kind() == OpKind::kComp && e->pred() != nullptr) {
+    SchemaPtr operand_schema;
+    if (db_ != nullptr) {
+      TypeInference infer(db_);
+      auto r = infer.Infer(e->child(0), input_schema);
+      if (r.ok()) operand_schema = *r;
+    }
+    // Rewrite inside atoms.
+    std::function<PredicatePtr(const PredicatePtr&)> walk =
+        [&](const PredicatePtr& p) -> PredicatePtr {
+      switch (p->kind) {
+        case Predicate::Kind::kAtom: {
+          ExprPtr nl = PassDirected(p->lhs, operand_schema);
+          if (nl != nullptr) return Predicate::Atom(nl, p->cmp, p->rhs);
+          ExprPtr nr = PassDirected(p->rhs, operand_schema);
+          if (nr != nullptr) return Predicate::Atom(p->lhs, p->cmp, nr);
+          return nullptr;
+        }
+        case Predicate::Kind::kAnd: {
+          PredicatePtr na = walk(p->a);
+          if (na != nullptr) return Predicate::And(na, p->b);
+          PredicatePtr nb = walk(p->b);
+          if (nb != nullptr) return Predicate::And(p->a, nb);
+          return nullptr;
+        }
+        case Predicate::Kind::kOr: {
+          PredicatePtr na = walk(p->a);
+          if (na != nullptr) return Predicate::Or(na, p->b);
+          PredicatePtr nb = walk(p->b);
+          if (nb != nullptr) return Predicate::Or(p->a, nb);
+          return nullptr;
+        }
+        case Predicate::Kind::kNot: {
+          PredicatePtr na = walk(p->a);
+          if (na != nullptr) return Predicate::Not(na);
+          return nullptr;
+        }
+        case Predicate::Kind::kTrue:
+          return nullptr;
+      }
+      return nullptr;
+    };
+    PredicatePtr np = walk(e->pred());
+    if (np != nullptr) {
+      return MakeExpr(e->kind(), e->children(), e->sub(), np, e->literal(),
+                      e->name(), e->names(), e->type_filter(), e->index(),
+                      e->lo(), e->hi(), e->index_is_last(), e->lo_is_last(),
+                      e->hi_is_last());
+    }
+  }
+  return nullptr;
+}
+
+Result<ExprPtr> Rewriter::Rewrite(const ExprPtr& expr, int max_steps) {
+  if (expr == nullptr) return Status::Invalid("Rewrite on null expression");
+  applied_.clear();
+  ExprPtr current = expr;
+  for (int step = 0; step < max_steps; ++step) {
+    ExprPtr next = PassDirected(current, nullptr);
+    if (next == nullptr) return current;
+    current = std::move(next);
+  }
+  return Status::Internal(
+      "rewrite did not reach a fixpoint within the step budget; "
+      "a directed rule pair is likely oscillating");
+}
+
+void Rewriter::Neighbors(const ExprPtr& e, const SchemaPtr& input_schema,
+                         const std::function<ExprPtr(ExprPtr)>& rebuild,
+                         std::vector<ExprPtr>* out) {
+  RuleContext ctx;
+  ctx.db = db_;
+  ctx.input_schema = input_schema;
+  for (const auto& rule : rules_.rules()) {
+    auto result = rule.apply(e, ctx);
+    if (result.has_value()) out->push_back(rebuild(*result));
+  }
+  for (size_t i = 0; i < e->num_children(); ++i) {
+    auto rebuild_child = [&, i](ExprPtr repl) {
+      return rebuild(e->WithChild(i, std::move(repl)));
+    };
+    Neighbors(e->child(i), input_schema, rebuild_child, out);
+  }
+  if (e->sub() != nullptr && IsBinderKind(e->kind())) {
+    SchemaPtr elem = SubscriptInputSchema(*e, input_schema);
+    auto rebuild_sub = [&](ExprPtr repl) {
+      return rebuild(e->WithSub(std::move(repl)));
+    };
+    Neighbors(e->sub(), elem, rebuild_sub, out);
+  }
+}
+
+std::vector<ExprPtr> Rewriter::EnumerateNeighbors(const ExprPtr& expr) {
+  std::vector<ExprPtr> out;
+  Neighbors(expr, nullptr, [](ExprPtr e) { return e; }, &out);
+  return out;
+}
+
+}  // namespace excess

@@ -1,0 +1,62 @@
+#ifndef EXCESS_CORE_REWRITER_H_
+#define EXCESS_CORE_REWRITER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/rules.h"
+#include "objects/database.h"
+#include "util/status.h"
+
+namespace excess {
+
+/// Applies transformation rules to query trees. Two modes:
+///  - Rewrite(): runs the rule set's *directed* rules to a fixpoint
+///    (top-down, first match wins per pass) — the heuristic phase an
+///    EXODUS-style optimizer would run unconditionally;
+///  - EnumerateNeighbors(): produces every tree reachable by one
+///    application of any rule at any position — the expansion step of the
+///    cost-based search in Planner.
+///
+/// The rewriter tracks the INPUT schema while descending into subscripts
+/// and predicate operands so that schema-dependent rules (17, 21, 24, 25)
+/// can consult static information at the right scope.
+class Rewriter {
+ public:
+  Rewriter(const Database* db, RuleSet rules)
+      : db_(db), rules_(std::move(rules)) {}
+
+  /// Directed rules to fixpoint; at most `max_steps` individual rule firings
+  /// (a safety valve, not a tuning knob).
+  Result<ExprPtr> Rewrite(const ExprPtr& expr, int max_steps = 1000);
+
+  /// All trees one rule application away from `expr` (directed and
+  /// exploratory rules alike).
+  std::vector<ExprPtr> EnumerateNeighbors(const ExprPtr& expr);
+
+  /// Names of rules fired by the last Rewrite(), in order.
+  const std::vector<std::string>& applied() const { return applied_; }
+
+ private:
+  /// Tries to apply one directed rule anywhere in `e` (top-down). Returns
+  /// the rewritten tree or nullptr.
+  ExprPtr PassDirected(const ExprPtr& e, const SchemaPtr& input_schema);
+
+  /// Collects every single-application rewrite of `e` into `out`, where
+  /// `rebuild` maps a replacement for `e` to a full tree.
+  void Neighbors(const ExprPtr& e, const SchemaPtr& input_schema,
+                 const std::function<ExprPtr(ExprPtr)>& rebuild,
+                 std::vector<ExprPtr>* out);
+
+  /// INPUT schema for the subscript of apply/group node `e` whose data
+  /// input has schema context `input_schema`; null when unknown.
+  SchemaPtr SubscriptInputSchema(const Expr& e, const SchemaPtr& input_schema);
+
+  const Database* db_;
+  RuleSet rules_;
+  std::vector<std::string> applied_;
+};
+
+}  // namespace excess
+
+#endif  // EXCESS_CORE_REWRITER_H_

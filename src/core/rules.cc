@@ -1,0 +1,80 @@
+#include "core/rules.h"
+
+#include "core/builder.h"
+
+namespace excess {
+
+namespace patterns {
+
+std::optional<PredicatePtr> MatchSelect(const ExprPtr& e) {
+  if (e->kind() != OpKind::kSetApply || !e->type_filter().empty()) {
+    return std::nullopt;
+  }
+  const ExprPtr& sub = e->sub();
+  if (sub->kind() != OpKind::kComp) return std::nullopt;
+  if (sub->child(0)->kind() != OpKind::kInput) return std::nullopt;
+  return sub->pred();
+}
+
+bool MatchApplyDupElim(const ExprPtr& e) {
+  if (e->kind() != OpKind::kSetApply || !e->type_filter().empty()) return false;
+  const ExprPtr& sub = e->sub();
+  return sub->kind() == OpKind::kDupElim &&
+         sub->child(0)->kind() == OpKind::kInput;
+}
+
+bool IsPairFlatten(const ExprPtr& e) {
+  if (e->kind() != OpKind::kTupCat) return false;
+  const ExprPtr& a = e->child(0);
+  const ExprPtr& b = e->child(1);
+  return a->kind() == OpKind::kTupExtract && a->name() == "_1" &&
+         a->child(0)->kind() == OpKind::kInput &&
+         b->kind() == OpKind::kTupExtract && b->name() == "_2" &&
+         b->child(0)->kind() == OpKind::kInput;
+}
+
+}  // namespace patterns
+
+RuleSet RuleSet::All() {
+  RuleSet directed;
+  RuleSet exploratory;
+  RegisterMultisetRules(&directed, &exploratory);
+  RegisterArrayRules(&directed, &exploratory);
+  RegisterTupleRefRules(&directed, &exploratory);
+  RuleSet all;
+  for (const auto& r : directed.rules()) all.Add(r);
+  for (auto r : exploratory.rules()) {
+    r.directed = false;
+    all.Add(std::move(r));
+  }
+  return all;
+}
+
+RuleSet RuleSet::Only(const std::vector<std::string>& names,
+                      bool force_directed) {
+  RuleSet out;
+  // Bind before iterating: rules() of a temporary would dangle.
+  RuleSet all = All();
+  for (const auto& r : all.rules()) {
+    for (const auto& n : names) {
+      if (r.name == n) {
+        RewriteRule copy = r;
+        if (force_directed) copy.directed = true;
+        out.Add(std::move(copy));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+RuleSet RuleSet::Heuristic() {
+  RuleSet directed;
+  RuleSet exploratory;
+  RegisterMultisetRules(&directed, &exploratory);
+  RegisterArrayRules(&directed, &exploratory);
+  RegisterTupleRefRules(&directed, &exploratory);
+  return directed;
+}
+
+}  // namespace excess

@@ -1,0 +1,92 @@
+#ifndef EXCESS_CORE_RULES_H_
+#define EXCESS_CORE_RULES_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "core/expr.h"
+#include "objects/database.h"
+
+namespace excess {
+
+/// Context handed to each rule application attempt.
+struct RuleContext {
+  const Database* db = nullptr;
+  /// Schema INPUT is bound to at this position (null outside subscripts /
+  /// when unknown). Rules needing static information (array lengths, field
+  /// provenance) use it through TypeInference and simply decline when it is
+  /// unavailable.
+  SchemaPtr input_schema;
+  /// Rules 5 and 9 as printed in the paper implicitly assume the unused
+  /// cross-product input is non-empty; we only fire them when this flag is
+  /// set (default, matching the paper) — see DESIGN.md.
+  bool assume_nonempty = true;
+};
+
+/// One algebraic transformation. `apply` inspects the node (not the whole
+/// tree) and returns the replacement when the rule fires.
+struct RewriteRule {
+  /// Appendix rule number (0 for rules not in the printed list, e.g. the
+  /// derived-operator expansions).
+  int paper_id = 0;
+  std::string name;
+  /// Directed rules are safe to run to fixpoint (they strictly simplify or
+  /// push work in one beneficial direction). Exploratory rules are
+  /// equivalences used only by the cost-based planner's search.
+  bool directed = true;
+  std::function<std::optional<ExprPtr>(const ExprPtr&, const RuleContext&)>
+      apply;
+};
+
+/// A named collection of rules.
+class RuleSet {
+ public:
+  void Add(RewriteRule rule) { rules_.push_back(std::move(rule)); }
+  const std::vector<RewriteRule>& rules() const { return rules_; }
+
+  /// Every implemented rule (directed + exploratory).
+  static RuleSet All();
+
+  /// The subset of All() whose names match any of `names` (exact match).
+  /// Used by tests and ablation benches to fire one rule in isolation; the
+  /// selected rules keep their directedness unless `force_directed`, which
+  /// lets a fixpoint Rewrite() drive an exploratory rule (only safe when
+  /// the selected set cannot oscillate).
+  static RuleSet Only(const std::vector<std::string>& names,
+                      bool force_directed = false);
+  /// The always-beneficial heuristic subset (directed only), safe for
+  /// fixpoint rewriting: combine SET_APPLYs (15), combine COMPs (27),
+  /// collapse DEREF(REF(A)) (28), drop redundant DE (6), push DE/selection
+  /// down (7, 10), simplify array extraction (17-22), etc.
+  static RuleSet Heuristic();
+
+ private:
+  std::vector<RewriteRule> rules_;
+};
+
+/// Rule group registrars (defined in rules_{multiset,array,tuple_ref}.cc).
+void RegisterMultisetRules(RuleSet* directed, RuleSet* exploratory);
+void RegisterArrayRules(RuleSet* directed, RuleSet* exploratory);
+void RegisterTupleRefRules(RuleSet* directed, RuleSet* exploratory);
+
+/// Recognizers for the derived-operator encodings of Appendix §1, shared by
+/// several rules (e.g. σ_P(A) is SET_APPLY_{COMP_P(INPUT)}(A)).
+namespace patterns {
+
+/// Matches σ_P(A): SET_APPLY (no type filter) whose subscript is
+/// COMP_P(INPUT). Returns the predicate.
+std::optional<PredicatePtr> MatchSelect(const ExprPtr& e);
+/// Matches SET_APPLY_{DE(INPUT)}(A) (the per-group DE of rule 8).
+bool MatchApplyDupElim(const ExprPtr& e);
+/// True for the flattening subscript TUP_CAT(TUP_EXTRACT__1(INPUT),
+/// TUP_EXTRACT__2(INPUT)) used by rel_x / rel_join.
+bool IsPairFlatten(const ExprPtr& e);
+
+}  // namespace patterns
+
+}  // namespace excess
+
+#endif  // EXCESS_CORE_RULES_H_

@@ -1,0 +1,198 @@
+#include "core/analysis.h"
+#include "core/builder.h"
+#include "core/infer.h"
+#include "core/rules.h"
+
+namespace excess {
+
+namespace {
+
+/// Statically known length of the array produced by `e`, available when its
+/// inferred schema is a fixed-length array (EXTRA fixed arrays such as
+/// TopTen). Rules 17 and 21 need it to split concatenations.
+std::optional<int64_t> StaticLen(const ExprPtr& e, const RuleContext& ctx) {
+  if (ctx.db == nullptr) return std::nullopt;
+  TypeInference infer(ctx.db);
+  auto r = infer.Infer(e, ctx.input_schema);
+  if (!r.ok()) return std::nullopt;
+  const SchemaPtr& s = *r;
+  if (!s->is_arr() || !s->fixed_size().has_value()) return std::nullopt;
+  return *s->fixed_size();
+}
+
+bool NoLastTokens(const ExprPtr& e) {
+  return !e->index_is_last() && !e->lo_is_last() && !e->hi_is_last();
+}
+
+}  // namespace
+
+void RegisterArrayRules(RuleSet* directed, RuleSet* exploratory) {
+  // --- Rule 16: ARR_CAT associativity.
+  exploratory->Add(
+      {16, "arrcat-assoc-left",
+       false,
+       [](const ExprPtr& e, const RuleContext&) -> std::optional<ExprPtr> {
+         if (e->kind() != OpKind::kArrCat) return std::nullopt;
+         const ExprPtr& rhs = e->child(1);
+         if (rhs->kind() != OpKind::kArrCat) return std::nullopt;
+         return alg::ArrCat(alg::ArrCat(e->child(0), rhs->child(0)),
+                            rhs->child(1));
+       }});
+  exploratory->Add(
+      {16, "arrcat-assoc-right",
+       false,
+       [](const ExprPtr& e, const RuleContext&) -> std::optional<ExprPtr> {
+         if (e->kind() != OpKind::kArrCat) return std::nullopt;
+         const ExprPtr& lhs = e->child(0);
+         if (lhs->kind() != OpKind::kArrCat) return std::nullopt;
+         return alg::ArrCat(lhs->child(0),
+                            alg::ArrCat(lhs->child(1), e->child(1)));
+       }});
+
+  // --- Rule 17: extracting from a concatenation touches only one side.
+  // Needs |A| statically (fixed-length array schema).
+  directed->Add(
+      {17, "extract-from-arrcat",
+       true,
+       [](const ExprPtr& e, const RuleContext& ctx) -> std::optional<ExprPtr> {
+         if (e->kind() != OpKind::kArrExtract || e->index_is_last()) {
+           return std::nullopt;
+         }
+         const ExprPtr& cat = e->child(0);
+         if (cat->kind() != OpKind::kArrCat) return std::nullopt;
+         auto len_a = StaticLen(cat->child(0), ctx);
+         if (!len_a.has_value()) return std::nullopt;
+         if (e->index() <= *len_a) {
+           return alg::ArrExtract(e->index(), cat->child(0));
+         }
+         return alg::ArrExtract(e->index() - *len_a, cat->child(1));
+       }});
+
+  // --- Rule 18: extracting from a subarray re-indexes into the original
+  // array: ARR_EXTRACT_p(SUBARR_{m,n}(A)) = ARR_EXTRACT_{m+p-1}(A), valid
+  // for 1-based in-range positions (p ≤ n-m+1 keeps the dne cases aligned).
+  directed->Add(
+      {18, "extract-from-subarr",
+       true,
+       [](const ExprPtr& e, const RuleContext&) -> std::optional<ExprPtr> {
+         if (e->kind() != OpKind::kArrExtract || e->index_is_last()) {
+           return std::nullopt;
+         }
+         const ExprPtr& sub = e->child(0);
+         if (sub->kind() != OpKind::kSubArr || !NoLastTokens(sub)) {
+           return std::nullopt;
+         }
+         int64_t p = e->index();
+         int64_t m = sub->lo();
+         int64_t n = sub->hi();
+         if (m < 1 || p < 1 || p > n - m + 1) return std::nullopt;
+         return alg::ArrExtract(m + p - 1, sub->child(0));
+       }});
+
+  // --- Rule 19: ARR_EXTRACT_n(ARR_APPLY_E(A)) = E(ARR_EXTRACT_n(A)) when E
+  // cannot produce dne (a dropped dne would shift indices); the paper's "E
+  // is not COMP_P" condition, checked recursively.
+  directed->Add(
+      {19, "extract-through-arrapply",
+       true,
+       [](const ExprPtr& e, const RuleContext&) -> std::optional<ExprPtr> {
+         if (e->kind() != OpKind::kArrExtract) return std::nullopt;
+         const ExprPtr& ap = e->child(0);
+         if (ap->kind() != OpKind::kArrApply) return std::nullopt;
+         if (analysis::ContainsComp(ap->sub())) return std::nullopt;
+         ExprPtr extract =
+             e->index_is_last()
+                 ? alg::ArrExtractLast(ap->child(0))
+                 : alg::ArrExtract(e->index(), ap->child(0));
+         return analysis::SubstituteInput(ap->sub(), extract);
+       }});
+
+  // --- Rule 20: combining successive SUBARRs:
+  // SUBARR_{m,n}(SUBARR_{j,k}(A)) = SUBARR_{j+m-1, min(j+n-1, k)}(A)
+  // for 1-based bounds (clamping to |A| happens in the kernel either way).
+  directed->Add(
+      {20, "combine-subarrs",
+       true,
+       [](const ExprPtr& e, const RuleContext&) -> std::optional<ExprPtr> {
+         if (e->kind() != OpKind::kSubArr || !NoLastTokens(e)) {
+           return std::nullopt;
+         }
+         const ExprPtr& inner = e->child(0);
+         if (inner->kind() != OpKind::kSubArr || !NoLastTokens(inner)) {
+           return std::nullopt;
+         }
+         int64_t m = e->lo();
+         int64_t n = e->hi();
+         int64_t j = inner->lo();
+         int64_t k = inner->hi();
+         if (m < 1 || j < 1) return std::nullopt;
+         return alg::SubArr(j + m - 1, std::min(j + n - 1, k),
+                            inner->child(0));
+       }});
+
+  // --- Rule 21: taking a subarray from a concatenation (|A| known).
+  directed->Add(
+      {21, "subarr-from-arrcat",
+       true,
+       [](const ExprPtr& e, const RuleContext& ctx) -> std::optional<ExprPtr> {
+         if (e->kind() != OpKind::kSubArr || !NoLastTokens(e)) {
+           return std::nullopt;
+         }
+         const ExprPtr& cat = e->child(0);
+         if (cat->kind() != OpKind::kArrCat) return std::nullopt;
+         auto len_a = StaticLen(cat->child(0), ctx);
+         if (!len_a.has_value()) return std::nullopt;
+         int64_t m = e->lo();
+         int64_t n = e->hi();
+         if (m < 1) return std::nullopt;
+         if (m <= *len_a) {
+           if (n <= *len_a) return alg::SubArr(m, n, cat->child(0));
+           return alg::ArrCat(alg::SubArr(m, *len_a, cat->child(0)),
+                              alg::SubArr(1, n - *len_a, cat->child(1)));
+         }
+         return alg::SubArr(m - *len_a, n - *len_a, cat->child(1));
+       }});
+
+  // --- Rule 22: SUBARR commutes with ARR_APPLY (same dne-free condition
+  // as rule 19); beneficial direction slices before mapping.
+  directed->Add(
+      {22, "subarr-before-arrapply",
+       true,
+       [](const ExprPtr& e, const RuleContext&) -> std::optional<ExprPtr> {
+         if (e->kind() != OpKind::kSubArr) return std::nullopt;
+         const ExprPtr& ap = e->child(0);
+         if (ap->kind() != OpKind::kArrApply) return std::nullopt;
+         if (analysis::ContainsComp(ap->sub())) return std::nullopt;
+         return alg::ArrApply(
+             ap->sub(), alg::SubArr(e->lo(), e->hi(), ap->child(0),
+                                    e->lo_is_last(), e->hi_is_last()));
+       }});
+
+  // --- Array analog of rule 15 (the paper notes multiset rules carry over
+  // to arrays): combine successive ARR_APPLYs.
+  directed->Add(
+      {15, "combine-arr-applys",
+       true,
+       [](const ExprPtr& e, const RuleContext&) -> std::optional<ExprPtr> {
+         if (e->kind() != OpKind::kArrApply) return std::nullopt;
+         const ExprPtr& inner = e->child(0);
+         if (inner->kind() != OpKind::kArrApply) return std::nullopt;
+         return alg::ArrApply(
+             analysis::SubstituteInput(e->sub(), inner->sub()),
+             inner->child(0));
+       }});
+
+  // --- Array analog of rule 12: ARR_APPLY distributes over ARR_CAT.
+  exploratory->Add(
+      {12, "arrapply-distributes-over-arrcat",
+       false,
+       [](const ExprPtr& e, const RuleContext&) -> std::optional<ExprPtr> {
+         if (e->kind() != OpKind::kArrApply) return std::nullopt;
+         const ExprPtr& cat = e->child(0);
+         if (cat->kind() != OpKind::kArrCat) return std::nullopt;
+         return alg::ArrCat(alg::ArrApply(e->sub(), cat->child(0)),
+                            alg::ArrApply(e->sub(), cat->child(1)));
+       }});
+}
+
+}  // namespace excess

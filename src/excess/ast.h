@@ -1,0 +1,162 @@
+#ifndef EXCESS_EXCESS_AST_H_
+#define EXCESS_EXCESS_AST_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace excess {
+
+// ----------------------------------------------------------------------------
+// Surface type syntax (EXTRA DDL).
+// ----------------------------------------------------------------------------
+
+struct TypeAst;
+using TypeAstPtr = std::shared_ptr<const TypeAst>;
+
+struct TypeAst {
+  enum class Kind {
+    kNamed,  // int4, float4, char[] / char[n], bool, date, or a user type
+    kTuple,  // ( f: T, ... )
+    kSet,    // { T }
+    kArray,  // array [1..n] of T / array of T
+    kRef,    // ref T
+  };
+  Kind kind = Kind::kNamed;
+  std::string name;                       // kNamed / kRef target
+  std::vector<std::pair<std::string, TypeAstPtr>> fields;  // kTuple
+  TypeAstPtr elem;                        // kSet / kArray
+  std::optional<int64_t> array_size;      // kArray fixed length
+};
+
+// ----------------------------------------------------------------------------
+// Expressions (DML).
+// ----------------------------------------------------------------------------
+
+struct ExprAst;
+using ExprAstPtr = std::shared_ptr<const ExprAst>;
+struct RetrieveStmt;
+
+struct ExprAst {
+  enum class Kind {
+    kIntLit,
+    kFloatLit,
+    kStrLit,
+    kBoolLit,
+    kName,     // identifier: range var, named object, `this`, or parameter
+    kField,    // base.f  (implicit deref through refs)
+    kIndex,    // base[i] / base[last] — 1-based array extraction
+    kSlice,    // base[lo..hi], bounds may be `last`
+    kCall,     // base.f(args) method call, or builtin f(args)
+    kAgg,      // agg(expr [from v in coll]... [where pred])
+    kBinary,   // arithmetic + - * / % ; multiset ops union/intersect/-/+
+    kCompare,  // predicate atom: l <op> r (op also `in`)
+    kAnd, kOr, kNot,
+    kSetLit,   // { e1, ..., en }
+    kArrLit,   // [ e1, ..., en ]
+    kTupLit,   // ( e1, ... ) or ( n1: e1, ... )
+  };
+
+  Kind kind = Kind::kIntLit;
+  int64_t int_value = 0;
+  double float_value = 0;
+  bool bool_value = false;
+  std::string text;  // kStrLit payload / kName / field / call or agg name /
+                     // kBinary-kCompare operator spelling
+  ExprAstPtr base;   // kField/kIndex/kSlice/kCall receiver; kNot/kAgg operand;
+                     // kBinary/kCompare/kAnd/kOr lhs
+  ExprAstPtr rhs;    // kBinary/kCompare/kAnd/kOr rhs; kIndex index; kSlice lo
+  ExprAstPtr rhs2;   // kSlice hi
+  bool index_is_last = false;  // kIndex
+  bool lo_is_last = false;     // kSlice
+  bool hi_is_last = false;     // kSlice
+  std::vector<ExprAstPtr> args;  // kCall arguments; kSetLit/kArrLit elements
+  std::vector<std::pair<std::string, ExprAstPtr>> named_args;  // kTupLit
+  // kAgg correlated iteration: `from v in coll` clauses plus `where`.
+  std::vector<std::pair<std::string, ExprAstPtr>> agg_from;
+  ExprAstPtr agg_where;
+};
+
+// ----------------------------------------------------------------------------
+// Statements.
+// ----------------------------------------------------------------------------
+
+struct DefineTypeStmt {
+  std::string name;
+  TypeAstPtr body;  // tuple type in practice, any type allowed
+  std::vector<std::string> inherits;
+};
+
+struct CreateStmt {
+  std::string name;
+  TypeAstPtr type;
+};
+
+struct RangeStmt {
+  std::string var;
+  ExprAstPtr collection;
+};
+
+struct FromClause {
+  std::string var;
+  ExprAstPtr collection;
+};
+
+struct RetrieveStmt {
+  bool unique = false;
+  /// Target expressions with optional display names.
+  std::vector<std::pair<std::string, ExprAstPtr>> targets;
+  std::vector<ExprAstPtr> by;  // grouping expressions
+  std::vector<FromClause> from;
+  ExprAstPtr where;  // boolean ExprAst or null
+  std::string into;  // "" when absent
+};
+
+struct DefineFunctionStmt {
+  std::string type_name;
+  std::string func_name;
+  std::vector<std::pair<std::string, TypeAstPtr>> params;
+  TypeAstPtr returns;
+  /// The paper's methods are EXCESS statement sequences; we support the
+  /// common single-retrieve body.
+  std::shared_ptr<RetrieveStmt> body;
+};
+
+/// `append [all] <expr> to <Name>`: adds one occurrence of the value — or,
+/// with `all`, every occurrence of a multiset value — to a named multiset.
+struct AppendStmt {
+  bool all = false;
+  ExprAstPtr value;
+  std::string target;
+};
+
+/// `delete <Name> where <pred>`: removes the occurrences of the named
+/// multiset satisfying the predicate (the name doubles as the element
+/// variable inside the predicate). Occurrences with an unknown predicate
+/// are retained.
+struct DeleteStmt {
+  std::string target;
+  ExprAstPtr where;
+};
+
+struct Statement {
+  enum class Kind {
+    kDefineType, kCreate, kRange, kRetrieve, kDefineFunction, kAppend,
+    kDelete,
+  };
+  Kind kind = Kind::kRetrieve;
+  std::shared_ptr<DefineTypeStmt> define_type;
+  std::shared_ptr<CreateStmt> create;
+  std::shared_ptr<RangeStmt> range;
+  std::shared_ptr<RetrieveStmt> retrieve;
+  std::shared_ptr<DefineFunctionStmt> define_function;
+  std::shared_ptr<AppendStmt> append;
+  std::shared_ptr<DeleteStmt> del;
+};
+
+using Program = std::vector<Statement>;
+
+}  // namespace excess
+
+#endif  // EXCESS_EXCESS_AST_H_

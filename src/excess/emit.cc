@@ -1,0 +1,481 @@
+#include "excess/emit.h"
+
+#include <cmath>
+
+#include "core/infer.h"
+
+namespace excess {
+
+namespace {
+
+/// True if `e` is a pure access chain over INPUT: TUP_EXTRACT / DEREF /
+/// ARR_EXTRACT / SUBARR steps ending in INPUT. Such chains render as dotted
+/// paths.
+bool IsInputChain(const ExprPtr& e) {
+  if (e->kind() == OpKind::kInput) return true;
+  switch (e->kind()) {
+    case OpKind::kTupExtract:
+    case OpKind::kDeref:
+    case OpKind::kArrExtract:
+    case OpKind::kSubArr:
+      return IsInputChain(e->child(0));
+    default:
+      return false;
+  }
+}
+
+/// Locates the unique COMP directly wrapping INPUT inside `e` (the
+/// F(COMP_P(INPUT)) shape the proof's SET_APPLY translation relies on:
+/// null propagation makes a where clause equivalent to an embedded COMP).
+/// Returns the COMP node, or null when there is none or more than one.
+void CollectInputComps(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (e->kind() == OpKind::kComp && e->child(0)->kind() == OpKind::kInput) {
+    out->push_back(e);
+    return;
+  }
+  for (const auto& c : e->children()) CollectInputComps(c, out);
+}
+
+ExprPtr FindSpineComp(const ExprPtr& e) {
+  std::vector<ExprPtr> comps;
+  CollectInputComps(e, &comps);
+  if (comps.size() != 1) return nullptr;
+  return comps.front();
+}
+
+/// Replaces node `target` (by identity) with INPUT.
+ExprPtr ReplaceNodeWithInput(const ExprPtr& e, const ExprPtr& target) {
+  if (e == target) return MakeExpr(OpKind::kInput, {}, nullptr, nullptr,
+                                   nullptr, "", {}, "", 0, 0, 0, false, false,
+                                   false);
+  std::vector<ExprPtr> children;
+  bool changed = false;
+  for (const auto& c : e->children()) {
+    ExprPtr nc = ReplaceNodeWithInput(c, target);
+    changed |= (nc != c);
+    children.push_back(std::move(nc));
+  }
+  if (!changed) return e;
+  return e->WithChildren(std::move(children));
+}
+
+}  // namespace
+
+Result<EmittedProgram> Emitter::Emit(const ExprPtr& tree) {
+  program_.clear();
+  EXA_ASSIGN_OR_RETURN(std::string name, EmitInto(tree));
+  EmittedProgram out;
+  out.source_ = program_;
+  out.result_ = name;
+  return out;
+}
+
+Result<std::string> Emitter::EmitLiteral(const ValuePtr& v) {
+  switch (v->kind()) {
+    case ValueKind::kInt:
+      return StrCat(v->as_int());
+    case ValueKind::kFloat: {
+      std::string s = StrCat(v->as_float());
+      if (s.find('.') == std::string::npos &&
+          s.find('e') == std::string::npos) {
+        s += ".0";
+      }
+      return s;
+    }
+    case ValueKind::kString: {
+      std::string out = "\"";
+      for (char c : v->as_string()) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        out.push_back(c);
+      }
+      out += "\"";
+      return out;
+    }
+    case ValueKind::kBool:
+      return std::string(v->as_bool() ? "true" : "false");
+    case ValueKind::kTuple: {
+      std::vector<std::string> parts;
+      for (size_t i = 0; i < v->num_fields(); ++i) {
+        EXA_ASSIGN_OR_RETURN(std::string fv,
+                             EmitLiteral(v->field_values()[i]));
+        parts.push_back(StrCat(v->field_names()[i], ": ", fv));
+      }
+      if (parts.empty()) {
+        return Status::Unsupported(
+            "the empty tuple has no EXCESS literal form");
+      }
+      return StrCat("(", Join(parts, ", "), ")");
+    }
+    case ValueKind::kSet: {
+      std::vector<std::string> parts;
+      for (const auto& e : v->entries()) {
+        EXA_ASSIGN_OR_RETURN(std::string ev, EmitLiteral(e.value));
+        for (int64_t k = 0; k < e.count; ++k) parts.push_back(ev);
+      }
+      return StrCat("{", Join(parts, ", "), "}");
+    }
+    case ValueKind::kArray: {
+      std::vector<std::string> parts;
+      for (const auto& e : v->elems()) {
+        EXA_ASSIGN_OR_RETURN(std::string ev, EmitLiteral(e));
+        parts.push_back(ev);
+      }
+      return StrCat("[", Join(parts, ", "), "]");
+    }
+    case ValueKind::kDate:
+    case ValueKind::kRef:
+    case ValueKind::kDne:
+    case ValueKind::kUnk:
+      return Status::Unsupported(
+          StrCat("no EXCESS literal form for a ", ValueKindToString(v->kind()),
+                 " value (OIDs and nulls are not user-denotable)"));
+  }
+  return Status::Internal("unknown value kind");
+}
+
+Result<std::string> Emitter::EmitPredicate(const PredicatePtr& p,
+                                           const std::string& input_name) {
+  switch (p->kind) {
+    case Predicate::Kind::kAtom: {
+      EXA_ASSIGN_OR_RETURN(std::string l, EmitScalar(p->lhs, input_name));
+      EXA_ASSIGN_OR_RETURN(std::string r, EmitScalar(p->rhs, input_name));
+      return StrCat(l, " ", CmpOpToString(p->cmp), " ", r);
+    }
+    case Predicate::Kind::kAnd: {
+      EXA_ASSIGN_OR_RETURN(std::string a, EmitPredicate(p->a, input_name));
+      EXA_ASSIGN_OR_RETURN(std::string b, EmitPredicate(p->b, input_name));
+      return StrCat("(", a, " and ", b, ")");
+    }
+    case Predicate::Kind::kOr: {
+      EXA_ASSIGN_OR_RETURN(std::string a, EmitPredicate(p->a, input_name));
+      EXA_ASSIGN_OR_RETURN(std::string b, EmitPredicate(p->b, input_name));
+      return StrCat("(", a, " or ", b, ")");
+    }
+    case Predicate::Kind::kNot: {
+      EXA_ASSIGN_OR_RETURN(std::string a, EmitPredicate(p->a, input_name));
+      return StrCat("not (", a, ")");
+    }
+    case Predicate::Kind::kTrue:
+      return std::string("true");
+  }
+  return Status::Internal("unknown predicate kind");
+}
+
+Result<std::string> Emitter::EmitScalar(const ExprPtr& e,
+                                        const std::string& input_name) {
+  switch (e->kind()) {
+    case OpKind::kInput:
+      return input_name;
+    case OpKind::kConst:
+      return EmitLiteral(e->literal());
+    case OpKind::kVar:
+      return e->name();
+    case OpKind::kParam:
+      return Status::Unsupported("free method parameter in emitted expression");
+
+    case OpKind::kTupExtract: {
+      // Field access auto-derefs: TUP_EXTRACT(f, DEREF(x)) renders as x.f.
+      ExprPtr base = e->child(0);
+      if (base->kind() == OpKind::kDeref) base = base->child(0);
+      EXA_ASSIGN_OR_RETURN(std::string b, EmitScalar(base, input_name));
+      return StrCat(b, ".", e->name());
+    }
+    case OpKind::kDeref: {
+      EXA_ASSIGN_OR_RETURN(std::string b, EmitScalar(e->child(0), input_name));
+      return StrCat("deref(", b, ")");
+    }
+    case OpKind::kRef: {
+      EXA_ASSIGN_OR_RETURN(std::string b, EmitScalar(e->child(0), input_name));
+      return StrCat("mkref(", b, ")");
+    }
+    case OpKind::kProject: {
+      EXA_ASSIGN_OR_RETURN(std::string b, EmitScalar(e->child(0), input_name));
+      std::vector<std::string> parts;
+      for (const auto& f : e->names()) {
+        parts.push_back(StrCat(f, ": ", b, ".", f));
+      }
+      if (parts.empty()) {
+        return Status::Unsupported("empty projection has no literal form");
+      }
+      return StrCat("(", Join(parts, ", "), ")");
+    }
+    case OpKind::kTupMake: {
+      EXA_ASSIGN_OR_RETURN(std::string b, EmitScalar(e->child(0), input_name));
+      std::string fname = e->name().empty() ? "_1" : e->name();
+      return StrCat("(", fname, ": ", b, ")");
+    }
+    case OpKind::kArith: {
+      EXA_ASSIGN_OR_RETURN(std::string a, EmitScalar(e->child(0), input_name));
+      EXA_ASSIGN_OR_RETURN(std::string b, EmitScalar(e->child(1), input_name));
+      return StrCat("(", a, " ", e->name(), " ", b, ")");
+    }
+    case OpKind::kArrExtract: {
+      EXA_ASSIGN_OR_RETURN(std::string b, EmitScalar(e->child(0), input_name));
+      if (e->index_is_last()) return StrCat(b, "[last]");
+      return StrCat(b, "[", e->index(), "]");
+    }
+    case OpKind::kSubArr: {
+      EXA_ASSIGN_OR_RETURN(std::string b, EmitScalar(e->child(0), input_name));
+      std::string lo = e->lo_is_last() ? "last" : StrCat(e->lo());
+      std::string hi = e->hi_is_last() ? "last" : StrCat(e->hi());
+      return StrCat(b, "[", lo, "..", hi, "]");
+    }
+    case OpKind::kAgg: {
+      EXA_ASSIGN_OR_RETURN(std::string b, EmitScalar(e->child(0), input_name));
+      return StrCat(e->name(), "(", b, ")");
+    }
+    case OpKind::kDupElim: {
+      EXA_ASSIGN_OR_RETURN(std::string b, EmitScalar(e->child(0), input_name));
+      return StrCat("de(", b, ")");
+    }
+    case OpKind::kSetCollapse: {
+      EXA_ASSIGN_OR_RETURN(std::string b, EmitScalar(e->child(0), input_name));
+      return StrCat("collapse(", b, ")");
+    }
+    case OpKind::kSetMake: {
+      EXA_ASSIGN_OR_RETURN(std::string b, EmitScalar(e->child(0), input_name));
+      return StrCat("{ ", b, " }");
+    }
+    case OpKind::kArrMake: {
+      EXA_ASSIGN_OR_RETURN(std::string b, EmitScalar(e->child(0), input_name));
+      return StrCat("[ ", b, " ]");
+    }
+    case OpKind::kAddUnion:
+    case OpKind::kDiff: {
+      EXA_ASSIGN_OR_RETURN(std::string a, EmitScalar(e->child(0), input_name));
+      EXA_ASSIGN_OR_RETURN(std::string b, EmitScalar(e->child(1), input_name));
+      return StrCat("(", a, e->kind() == OpKind::kAddUnion ? " + " : " - ", b,
+                    ")");
+    }
+    case OpKind::kArrCat:
+    case OpKind::kArrCollapse:
+    case OpKind::kArrDupElim:
+    case OpKind::kArrDiff:
+    case OpKind::kArrCross: {
+      const char* fn = e->kind() == OpKind::kArrCat ? "arrcat"
+                       : e->kind() == OpKind::kArrCollapse ? "arrcollapse"
+                       : e->kind() == OpKind::kArrDupElim ? "arrde"
+                       : e->kind() == OpKind::kArrDiff ? "arrdiff"
+                                                       : "arrcross";
+      std::vector<std::string> args;
+      for (const auto& c : e->children()) {
+        EXA_ASSIGN_OR_RETURN(std::string a, EmitScalar(c, input_name));
+        args.push_back(std::move(a));
+      }
+      return StrCat(fn, "(", Join(args, ", "), ")");
+    }
+    case OpKind::kMethodCall: {
+      EXA_ASSIGN_OR_RETURN(std::string recv,
+                           EmitScalar(e->child(0), input_name));
+      std::vector<std::string> args;
+      for (size_t i = 1; i < e->num_children(); ++i) {
+        EXA_ASSIGN_OR_RETURN(std::string a, EmitScalar(e->child(i), input_name));
+        args.push_back(std::move(a));
+      }
+      return StrCat(recv, ".", e->name(), "(", Join(args, ", "), ")");
+    }
+    case OpKind::kSetApply: {
+      // A projection into a multiset renders as a dotted path when the
+      // subscript is itself a chain over INPUT: SET_APPLY_{.f}(x.kids) is
+      // x.kids.f.
+      if (!e->type_filter().empty()) {
+        return Status::Unsupported(
+            "typed SET_APPLY has no EXCESS surface form");
+      }
+      const ExprPtr& sub = e->sub();
+      if (sub->kind() == OpKind::kTupExtract && IsInputChain(sub)) {
+        // Render base then append the field chain (innermost first).
+        std::vector<std::string> fields;
+        ExprPtr cur = sub;
+        while (cur->kind() != OpKind::kInput) {
+          if (cur->kind() == OpKind::kTupExtract) {
+            fields.push_back(cur->name());
+          } else if (cur->kind() != OpKind::kDeref) {
+            return Status::Unsupported(
+                "SET_APPLY subscript not renderable as a path");
+          }
+          cur = cur->child(0);
+        }
+        EXA_ASSIGN_OR_RETURN(std::string b,
+                             EmitScalar(e->child(0), input_name));
+        std::string out = b;
+        for (auto it = fields.rbegin(); it != fields.rend(); ++it) {
+          out += StrCat(".", *it);
+        }
+        return out;
+      }
+      return Status::Unsupported(
+          "general SET_APPLY in expression position (emit as a statement)");
+    }
+    default:
+      return Status::Unsupported(
+          StrCat("operator ", OpKindToString(e->kind()),
+                 " has no EXCESS expression form"));
+  }
+}
+
+Result<std::string> Emitter::EmitInto(const ExprPtr& e) {
+  switch (e->kind()) {
+    case OpKind::kVar:
+      return e->name();
+
+    case OpKind::kConst: {
+      EXA_ASSIGN_OR_RETURN(std::string lit, EmitLiteral(e->literal()));
+      std::string t = NewTemp();
+      Stmt(StrCat("retrieve (", lit, ") into ", t));
+      return t;
+    }
+
+    case OpKind::kDiff:
+    case OpKind::kAddUnion: {
+      EXA_ASSIGN_OR_RETURN(std::string a, EmitInto(e->child(0)));
+      EXA_ASSIGN_OR_RETURN(std::string b, EmitInto(e->child(1)));
+      std::string t = NewTemp();
+      const char* op = e->kind() == OpKind::kDiff ? "-" : "+";
+      Stmt(StrCat("retrieve (x) from x in (", a, " ", op, " ", b, ") into ",
+                  t));
+      return t;
+    }
+
+    case OpKind::kCross: {
+      EXA_ASSIGN_OR_RETURN(std::string a, EmitInto(e->child(0)));
+      EXA_ASSIGN_OR_RETURN(std::string b, EmitInto(e->child(1)));
+      std::string t = NewTemp();
+      Stmt(StrCat("retrieve (_1: x, _2: y) from x in ", a, ", y in ", b,
+                  " into ", t));
+      return t;
+    }
+
+    case OpKind::kSetMake: {
+      EXA_ASSIGN_OR_RETURN(std::string a, EmitInto(e->child(0)));
+      std::string t = NewTemp();
+      Stmt(StrCat("retrieve ( { ", a, " } ) into ", t));
+      return t;
+    }
+
+    case OpKind::kDupElim: {
+      EXA_ASSIGN_OR_RETURN(std::string a, EmitInto(e->child(0)));
+      std::string t = NewTemp();
+      Stmt(StrCat("retrieve unique (x) from x in ", a, " into ", t));
+      return t;
+    }
+
+    case OpKind::kSetCollapse: {
+      EXA_ASSIGN_OR_RETURN(std::string a, EmitInto(e->child(0)));
+      std::string t = NewTemp();
+      Stmt(StrCat("retrieve (y) from x in ", a, ", y in x into ", t));
+      return t;
+    }
+
+    case OpKind::kSetApply: {
+      if (!e->type_filter().empty()) {
+        return Status::Unsupported(
+            "typed SET_APPLY has no EXCESS surface form");
+      }
+      EXA_ASSIGN_OR_RETURN(std::string a, EmitInto(e->child(0)));
+      std::string t = NewTemp();
+      // F(COMP_P(INPUT)) shape: where clause + projection (the proof's
+      // translation of selection-bearing subscripts).
+      ExprPtr comp = FindSpineComp(e->sub());
+      if (comp != nullptr) {
+        ExprPtr f = ReplaceNodeWithInput(e->sub(), comp);
+        EXA_ASSIGN_OR_RETURN(std::string target, EmitScalar(f, "x"));
+        EXA_ASSIGN_OR_RETURN(std::string pred,
+                             EmitPredicate(comp->pred(), "x"));
+        Stmt(StrCat("retrieve (", target, ") from x in ", a, " where ", pred,
+                    " into ", t));
+        return t;
+      }
+      EXA_ASSIGN_OR_RETURN(std::string target, EmitScalar(e->sub(), "x"));
+      Stmt(StrCat("retrieve (", target, ") from x in ", a, " into ", t));
+      return t;
+    }
+
+    case OpKind::kGroup: {
+      EXA_ASSIGN_OR_RETURN(std::string a, EmitInto(e->child(0)));
+      EXA_ASSIGN_OR_RETURN(std::string key, EmitScalar(e->sub(), "x"));
+      std::string t = NewTemp();
+      Stmt(StrCat("retrieve (x) from x in ", a, " by ", key, " into ", t));
+      return t;
+    }
+
+    case OpKind::kComp: {
+      EXA_ASSIGN_OR_RETURN(std::string a, EmitInto(e->child(0)));
+      EXA_ASSIGN_OR_RETURN(std::string pred, EmitPredicate(e->pred(), a));
+      std::string t = NewTemp();
+      Stmt(StrCat("retrieve (", a, ") where ", pred, " into ", t));
+      return t;
+    }
+
+    case OpKind::kTupCat: {
+      // Concatenation renders as a named tuple literal listing both sides'
+      // fields; requires statically known, non-clashing field names.
+      EXA_ASSIGN_OR_RETURN(std::string a, EmitInto(e->child(0)));
+      EXA_ASSIGN_OR_RETURN(std::string b, EmitInto(e->child(1)));
+      TypeInference infer(db_);
+      auto sa = infer.Infer(e->child(0));
+      auto sb = infer.Infer(e->child(1));
+      if (!sa.ok() || !sb.ok() || !(*sa)->is_tup() || !(*sb)->is_tup()) {
+        return Status::Unsupported("TUP_CAT emission needs tuple schemas");
+      }
+      std::vector<std::string> parts;
+      for (const auto& f : (*sa)->fields()) {
+        parts.push_back(StrCat(f.name, ": ", a, ".", f.name));
+      }
+      for (const auto& f : (*sb)->fields()) {
+        for (const auto& g : (*sa)->fields()) {
+          if (g.name == f.name) {
+            return Status::Unsupported(
+                "TUP_CAT emission with clashing field names");
+          }
+        }
+        parts.push_back(StrCat(f.name, ": ", b, ".", f.name));
+      }
+      std::string t = NewTemp();
+      Stmt(StrCat("retrieve (", Join(parts, ", "), ") into ", t));
+      return t;
+    }
+
+    case OpKind::kArrApply: {
+      // The proof's translation: define a function on the element type and
+      // map it. Requires a named element type.
+      EXA_ASSIGN_OR_RETURN(std::string a, EmitInto(e->child(0)));
+      TypeInference infer(db_);
+      auto arr_schema = infer.Infer(e->child(0));
+      if (!arr_schema.ok() || !(*arr_schema)->is_arr()) {
+        return Status::Unsupported("ARR_APPLY over unknown element type");
+      }
+      SchemaPtr elem = (*arr_schema)->elem();
+      std::string tname =
+          elem->is_ref() ? elem->ref_target() : elem->type_name();
+      if (tname.empty() || !db_->catalog().HasType(tname)) {
+        return Status::Unsupported(
+            "ARR_APPLY emission needs a named element type");
+      }
+      ExprPtr body = e->sub();
+      if (elem->is_ref()) {
+        // The defined function receives the dereferenced object; strip a
+        // leading DEREF(INPUT) pattern by substituting.
+        body = ReplaceNodeWithInput(body, nullptr);  // no-op; kept simple
+      }
+      EXA_ASSIGN_OR_RETURN(std::string target, EmitScalar(body, "this"));
+      std::string fn = NewFunc();
+      Stmt(StrCat("define ", tname, " function ", fn,
+                  " () returns any { retrieve (", target, ") }"));
+      std::string t = NewTemp();
+      Stmt(StrCat("retrieve ( arrapply(", a, ", ", fn, ") ) into ", t));
+      return t;
+    }
+
+    default: {
+      // Everything else has an expression-level rendering; wrap it in a
+      // zero-variable retrieve.
+      EXA_ASSIGN_OR_RETURN(std::string expr, EmitScalar(e, "this"));
+      std::string t = NewTemp();
+      Stmt(StrCat("retrieve (", expr, ") into ", t));
+      return t;
+    }
+  }
+}
+
+}  // namespace excess

@@ -1,0 +1,74 @@
+#ifndef EXCESS_EXCESS_EMIT_H_
+#define EXCESS_EXCESS_EMIT_H_
+
+#include <string>
+
+#include "core/expr.h"
+#include "methods/registry.h"
+#include "objects/database.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace excess {
+
+/// Algebra → EXCESS emission: the second half of the §3.4 equipollence
+/// theorem, implemented as the proof's induction — each operator case emits
+/// a `retrieve ... into <temp>` statement over the programs emitted for its
+/// inputs; subscript expressions are rendered as EXCESS expressions over
+/// the bound variable (or as freshly `define`d functions for ARR_APPLY,
+/// exactly as the proof does for that case).
+///
+/// The emitter is deliberately partial where the paper's proof leans on
+/// constructs with no finite surface form (OID literals) or on full
+/// statement-sequence method bodies; such cases return Unsupported. Every
+/// operator of the algebra has at least one emittable form, which is what
+/// the induction requires.
+class EmittedProgram {
+ public:
+  /// EXCESS statements, in execution order.
+  const std::string& source() const { return source_; }
+  /// The named object the final statement stores the result into.
+  const std::string& result_name() const { return result_; }
+
+  std::string source_;
+  std::string result_;
+};
+
+class Emitter {
+ public:
+  Emitter(const Database* db, const MethodRegistry* methods)
+      : db_(db), methods_(methods) {}
+
+  /// Emits a program computing `tree`; running the program in a fresh
+  /// session over the same database leaves the result in
+  /// `result_name()`.
+  Result<EmittedProgram> Emit(const ExprPtr& tree);
+
+ private:
+  /// Emits statements computing `e` and returns the name holding it.
+  Result<std::string> EmitInto(const ExprPtr& e);
+  /// Renders a subscript-free expression over INPUT as EXCESS text, with
+  /// `input_name` standing for INPUT.
+  Result<std::string> EmitScalar(const ExprPtr& e,
+                                 const std::string& input_name);
+  Result<std::string> EmitPredicate(const PredicatePtr& p,
+                                    const std::string& input_name);
+  Result<std::string> EmitLiteral(const ValuePtr& v);
+
+  std::string NewTemp() { return StrCat("__t", ++temp_counter_); }
+  std::string NewFunc() { return StrCat("__f", ++func_counter_); }
+  void Stmt(const std::string& s) {
+    program_ += s;
+    program_ += "\n";
+  }
+
+  const Database* db_;
+  const MethodRegistry* methods_;
+  std::string program_;
+  int temp_counter_ = 0;
+  int func_counter_ = 0;
+};
+
+}  // namespace excess
+
+#endif  // EXCESS_EXCESS_EMIT_H_

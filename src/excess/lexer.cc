@@ -1,0 +1,273 @@
+#include "excess/lexer.h"
+
+#include <cctype>
+#include <map>
+
+#include "util/string_util.h"
+
+namespace excess {
+
+const char* TokKindToString(TokKind kind) {
+  switch (kind) {
+    case TokKind::kEof: return "<eof>";
+    case TokKind::kIdent: return "identifier";
+    case TokKind::kIntLit: return "integer";
+    case TokKind::kFloatLit: return "float";
+    case TokKind::kStrLit: return "string";
+    case TokKind::kDefine: return "define";
+    case TokKind::kType: return "type";
+    case TokKind::kCreate: return "create";
+    case TokKind::kRange: return "range";
+    case TokKind::kOf: return "of";
+    case TokKind::kIs: return "is";
+    case TokKind::kRetrieve: return "retrieve";
+    case TokKind::kUnique: return "unique";
+    case TokKind::kFrom: return "from";
+    case TokKind::kIn: return "in";
+    case TokKind::kWhere: return "where";
+    case TokKind::kBy: return "by";
+    case TokKind::kInto: return "into";
+    case TokKind::kInherits: return "inherits";
+    case TokKind::kFunction: return "function";
+    case TokKind::kReturns: return "returns";
+    case TokKind::kArray: return "array";
+    case TokKind::kRef: return "ref";
+    case TokKind::kAnd: return "and";
+    case TokKind::kOr: return "or";
+    case TokKind::kNot: return "not";
+    case TokKind::kUnion: return "union";
+    case TokKind::kIntersect: return "intersect";
+    case TokKind::kTrue: return "true";
+    case TokKind::kFalse: return "false";
+    case TokKind::kThis: return "this";
+    case TokKind::kLast: return "last";
+    case TokKind::kAppend: return "append";
+    case TokKind::kAll: return "all";
+    case TokKind::kTo: return "to";
+    case TokKind::kDelete: return "delete";
+    case TokKind::kLParen: return "(";
+    case TokKind::kRParen: return ")";
+    case TokKind::kLBrace: return "{";
+    case TokKind::kRBrace: return "}";
+    case TokKind::kLBracket: return "[";
+    case TokKind::kRBracket: return "]";
+    case TokKind::kComma: return ",";
+    case TokKind::kColon: return ":";
+    case TokKind::kSemicolon: return ";";
+    case TokKind::kDot: return ".";
+    case TokKind::kDotDot: return "..";
+    case TokKind::kEq: return "=";
+    case TokKind::kNe: return "!=";
+    case TokKind::kLt: return "<";
+    case TokKind::kLe: return "<=";
+    case TokKind::kGt: return ">";
+    case TokKind::kGe: return ">=";
+    case TokKind::kPlus: return "+";
+    case TokKind::kMinus: return "-";
+    case TokKind::kStar: return "*";
+    case TokKind::kSlash: return "/";
+    case TokKind::kPercent: return "%";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::map<std::string, TokKind>& Keywords() {
+  static const auto* kKeywords = new std::map<std::string, TokKind>{
+      {"define", TokKind::kDefine},     {"type", TokKind::kType},
+      {"create", TokKind::kCreate},     {"range", TokKind::kRange},
+      {"of", TokKind::kOf},             {"is", TokKind::kIs},
+      {"retrieve", TokKind::kRetrieve}, {"unique", TokKind::kUnique},
+      {"from", TokKind::kFrom},         {"in", TokKind::kIn},
+      {"where", TokKind::kWhere},       {"by", TokKind::kBy},
+      {"into", TokKind::kInto},         {"inherits", TokKind::kInherits},
+      {"function", TokKind::kFunction}, {"returns", TokKind::kReturns},
+      {"array", TokKind::kArray},       {"ref", TokKind::kRef},
+      {"and", TokKind::kAnd},           {"or", TokKind::kOr},
+      {"not", TokKind::kNot},           {"union", TokKind::kUnion},
+      {"intersect", TokKind::kIntersect}, {"true", TokKind::kTrue},
+      {"false", TokKind::kFalse},       {"this", TokKind::kThis},
+      {"last", TokKind::kLast},         {"append", TokKind::kAppend},
+      {"all", TokKind::kAll},           {"to", TokKind::kTo},
+      {"delete", TokKind::kDelete},
+  };
+  return *kKeywords;
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& src) {
+  std::vector<Token> out;
+  size_t i = 0;
+  int line = 1;
+  int col = 1;
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n && i < src.size(); ++k, ++i) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+  };
+  auto push = [&](TokKind kind, std::string text = "") {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    t.column = col;
+    out.push_back(std::move(t));
+  };
+
+  while (i < src.size()) {
+    char c = src[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+    if (c == '-' && i + 1 < src.size() && src[i + 1] == '-') {
+      while (i < src.size() && src[i] != '\n') advance(1);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < src.size() && (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                                src[i] == '_')) {
+        advance(1);
+      }
+      std::string word = src.substr(start, i - start);
+      auto kw = Keywords().find(word);
+      if (kw != Keywords().end()) {
+        push(kw->second, word);
+      } else {
+        push(TokKind::kIdent, word);
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      bool is_float = false;
+      while (i < src.size() && std::isdigit(static_cast<unsigned char>(src[i]))) {
+        advance(1);
+      }
+      // "1..5" must lex as 1, .., 5 — only treat '.' as a decimal point
+      // when not followed by another '.'.
+      if (i + 1 < src.size() && src[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(src[i + 1]))) {
+        is_float = true;
+        advance(1);
+        while (i < src.size() &&
+               std::isdigit(static_cast<unsigned char>(src[i]))) {
+          advance(1);
+        }
+      }
+      std::string num = src.substr(start, i - start);
+      Token t;
+      t.kind = is_float ? TokKind::kFloatLit : TokKind::kIntLit;
+      t.text = num;
+      t.line = line;
+      t.column = col;
+      if (is_float) {
+        t.float_value = std::stod(num);
+      } else {
+        t.int_value = std::stoll(num);
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '"') {
+      advance(1);
+      std::string text;
+      bool closed = false;
+      while (i < src.size()) {
+        if (src[i] == '"') {
+          closed = true;
+          advance(1);
+          break;
+        }
+        if (src[i] == '\\' && i + 1 < src.size()) {
+          advance(1);
+          char esc = src[i];
+          text.push_back(esc == 'n' ? '\n' : (esc == 't' ? '\t' : esc));
+          advance(1);
+          continue;
+        }
+        text.push_back(src[i]);
+        advance(1);
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrCat("unterminated string literal at line ", line));
+      }
+      push(TokKind::kStrLit, text);
+      continue;
+    }
+    auto two = [&](char second) {
+      return i + 1 < src.size() && src[i + 1] == second;
+    };
+    switch (c) {
+      case '(': push(TokKind::kLParen); advance(1); break;
+      case ')': push(TokKind::kRParen); advance(1); break;
+      case '{': push(TokKind::kLBrace); advance(1); break;
+      case '}': push(TokKind::kRBrace); advance(1); break;
+      case '[': push(TokKind::kLBracket); advance(1); break;
+      case ']': push(TokKind::kRBracket); advance(1); break;
+      case ',': push(TokKind::kComma); advance(1); break;
+      case ':': push(TokKind::kColon); advance(1); break;
+      case ';': push(TokKind::kSemicolon); advance(1); break;
+      case '.':
+        if (two('.')) {
+          push(TokKind::kDotDot);
+          advance(2);
+        } else {
+          push(TokKind::kDot);
+          advance(1);
+        }
+        break;
+      case '=': push(TokKind::kEq); advance(1); break;
+      case '!':
+        if (!two('=')) {
+          return Status::ParseError(StrCat("stray '!' at line ", line));
+        }
+        push(TokKind::kNe);
+        advance(2);
+        break;
+      case '<':
+        if (two('=')) {
+          push(TokKind::kLe);
+          advance(2);
+        } else if (two('>')) {
+          push(TokKind::kNe);
+          advance(2);
+        } else {
+          push(TokKind::kLt);
+          advance(1);
+        }
+        break;
+      case '>':
+        if (two('=')) {
+          push(TokKind::kGe);
+          advance(2);
+        } else {
+          push(TokKind::kGt);
+          advance(1);
+        }
+        break;
+      case '+': push(TokKind::kPlus); advance(1); break;
+      case '-': push(TokKind::kMinus); advance(1); break;
+      case '*': push(TokKind::kStar); advance(1); break;
+      case '/': push(TokKind::kSlash); advance(1); break;
+      case '%': push(TokKind::kPercent); advance(1); break;
+      default:
+        return Status::ParseError(
+            StrCat("unexpected character '", std::string(1, c), "' at line ",
+                   line, ", column ", col));
+    }
+  }
+  push(TokKind::kEof);
+  return out;
+}
+
+}  // namespace excess

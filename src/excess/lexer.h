@@ -1,0 +1,48 @@
+#ifndef EXCESS_EXCESS_LEXER_H_
+#define EXCESS_EXCESS_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace excess {
+
+/// Token kinds of the EXCESS surface language (§2.2). Keywords follow the
+/// paper's QUEL-derived examples; `last` is the array bound token of §3.2.3.
+enum class TokKind {
+  kEof,
+  kIdent,
+  kIntLit,
+  kFloatLit,
+  kStrLit,
+  // Keywords.
+  kDefine, kType, kCreate, kRange, kOf, kIs, kRetrieve, kUnique, kFrom, kIn,
+  kWhere, kBy, kInto, kInherits, kFunction, kReturns, kArray, kRef, kAnd,
+  kOr, kNot, kUnion, kIntersect, kTrue, kFalse, kThis, kLast,
+  kAppend, kAll, kTo, kDelete,
+  // Punctuation and operators.
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket, kComma, kColon,
+  kSemicolon, kDot, kDotDot,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+};
+
+const char* TokKindToString(TokKind kind);
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;     // identifier or string payload
+  int64_t int_value = 0;
+  double float_value = 0;
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenizes an EXCESS program. `--` starts a comment to end of line.
+Result<std::vector<Token>> Lex(const std::string& source);
+
+}  // namespace excess
+
+#endif  // EXCESS_EXCESS_LEXER_H_

@@ -1,0 +1,699 @@
+#include "excess/parser.h"
+
+#include "excess/lexer.h"
+#include "util/string_util.h"
+
+namespace excess {
+
+namespace {
+
+/// Recursive-descent parser over the token stream. Grammar (QUEL-like,
+/// following the paper's examples plus the extensions the equipollence
+/// proof itself relies on: binary multiset expressions, constructor
+/// literals in target lists, and registered builtin functions):
+///
+///   statement  := define_type | define_function | create | range | retrieve
+///   retrieve   := 'retrieve' ['unique'] '(' targets ')'
+///                 { 'by' exprs | 'from' fromlist | 'where' orexpr
+///                 | 'into' IDENT }
+///   orexpr     := andexpr ('or' andexpr)*
+///   andexpr    := notexpr ('and' notexpr)*
+///   notexpr    := 'not' notexpr | cmp
+///   cmp        := setexpr [('='|'!='|'<'|'<='|'>'|'>='|'in') setexpr]
+///   setexpr    := addexpr (('union'|'intersect') addexpr)*
+///   addexpr    := mulexpr (('+'|'-') mulexpr)*
+///   mulexpr    := unary (('*'|'/'|'%') unary)*
+///   unary      := '-' unary | postfix
+///   postfix    := primary ('.' IDENT ['(' args ')'] | '[' idx ']')*
+///   primary    := literal | 'this' | IDENT ['(' agg_or_args ')']
+///              | '(' tuple_or_group ')' | '{' exprs '}' | '[' exprs ']'
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Result<Program> ParseProgram() {
+    Program out;
+    while (!At(TokKind::kEof)) {
+      if (Accept(TokKind::kSemicolon)) continue;
+      EXA_ASSIGN_OR_RETURN(Statement s, ParseStmt());
+      out.push_back(std::move(s));
+    }
+    return out;
+  }
+
+  Result<Statement> ParseSingle() {
+    EXA_ASSIGN_OR_RETURN(Statement s, ParseStmt());
+    Accept(TokKind::kSemicolon);
+    if (!At(TokKind::kEof)) {
+      return Err("trailing input after statement");
+    }
+    return s;
+  }
+
+ private:
+  // --- token helpers ---------------------------------------------------
+  const Token& Cur() const { return toks_[pos_]; }
+  const Token& Peek(size_t n = 1) const {
+    size_t i = pos_ + n;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  bool At(TokKind kind) const { return Cur().kind == kind; }
+  bool Accept(TokKind kind) {
+    if (!At(kind)) return false;
+    ++pos_;
+    return true;
+  }
+  Status Expect(TokKind kind) {
+    if (!Accept(kind)) {
+      return Err(StrCat("expected '", TokKindToString(kind), "', found '",
+                        Cur().text.empty() ? TokKindToString(Cur().kind)
+                                           : Cur().text,
+                        "'"));
+    }
+    return Status::OK();
+  }
+  Status Err(const std::string& msg) const {
+    return Status::ParseError(
+        StrCat(msg, " at line ", Cur().line, ", column ", Cur().column));
+  }
+  Result<std::string> ExpectIdent() {
+    if (!At(TokKind::kIdent)) return Err("expected identifier");
+    std::string name = Cur().text;
+    ++pos_;
+    return name;
+  }
+
+  // --- statements -------------------------------------------------------
+  Result<Statement> ParseStmt() {
+    if (At(TokKind::kDefine)) {
+      if (Peek().kind == TokKind::kType) return ParseDefineType();
+      return ParseDefineFunction();
+    }
+    if (At(TokKind::kCreate)) return ParseCreate();
+    if (At(TokKind::kRange)) return ParseRange();
+    if (At(TokKind::kRetrieve)) return ParseRetrieve();
+    if (At(TokKind::kAppend)) return ParseAppend();
+    if (At(TokKind::kDelete)) return ParseDelete();
+    return Err(
+        "expected a statement (define/create/range/retrieve/append/delete)");
+  }
+
+  Result<Statement> ParseDefineType() {
+    EXA_RETURN_NOT_OK(Expect(TokKind::kDefine));
+    EXA_RETURN_NOT_OK(Expect(TokKind::kType));
+    auto stmt = std::make_shared<DefineTypeStmt>();
+    EXA_ASSIGN_OR_RETURN(stmt->name, ExpectIdent());
+    EXA_RETURN_NOT_OK(Expect(TokKind::kColon));
+    EXA_ASSIGN_OR_RETURN(stmt->body, ParseType());
+    if (Accept(TokKind::kInherits)) {
+      do {
+        EXA_ASSIGN_OR_RETURN(std::string parent, ExpectIdent());
+        stmt->inherits.push_back(std::move(parent));
+      } while (Accept(TokKind::kComma));
+    }
+    Statement s;
+    s.kind = Statement::Kind::kDefineType;
+    s.define_type = std::move(stmt);
+    return s;
+  }
+
+  Result<Statement> ParseDefineFunction() {
+    EXA_RETURN_NOT_OK(Expect(TokKind::kDefine));
+    auto stmt = std::make_shared<DefineFunctionStmt>();
+    EXA_ASSIGN_OR_RETURN(stmt->type_name, ExpectIdent());
+    EXA_RETURN_NOT_OK(Expect(TokKind::kFunction));
+    EXA_ASSIGN_OR_RETURN(stmt->func_name, ExpectIdent());
+    EXA_RETURN_NOT_OK(Expect(TokKind::kLParen));
+    if (!At(TokKind::kRParen)) {
+      do {
+        EXA_ASSIGN_OR_RETURN(std::string pname, ExpectIdent());
+        EXA_RETURN_NOT_OK(Expect(TokKind::kColon));
+        EXA_ASSIGN_OR_RETURN(TypeAstPtr ptype, ParseType());
+        stmt->params.emplace_back(std::move(pname), std::move(ptype));
+      } while (Accept(TokKind::kComma));
+    }
+    EXA_RETURN_NOT_OK(Expect(TokKind::kRParen));
+    EXA_RETURN_NOT_OK(Expect(TokKind::kReturns));
+    EXA_ASSIGN_OR_RETURN(stmt->returns, ParseType());
+    EXA_RETURN_NOT_OK(Expect(TokKind::kLBrace));
+    EXA_ASSIGN_OR_RETURN(Statement body, ParseRetrieve());
+    Accept(TokKind::kSemicolon);
+    EXA_RETURN_NOT_OK(Expect(TokKind::kRBrace));
+    stmt->body = body.retrieve;
+    Statement s;
+    s.kind = Statement::Kind::kDefineFunction;
+    s.define_function = std::move(stmt);
+    return s;
+  }
+
+  Result<Statement> ParseCreate() {
+    EXA_RETURN_NOT_OK(Expect(TokKind::kCreate));
+    auto stmt = std::make_shared<CreateStmt>();
+    EXA_ASSIGN_OR_RETURN(stmt->name, ExpectIdent());
+    EXA_RETURN_NOT_OK(Expect(TokKind::kColon));
+    EXA_ASSIGN_OR_RETURN(stmt->type, ParseType());
+    Statement s;
+    s.kind = Statement::Kind::kCreate;
+    s.create = std::move(stmt);
+    return s;
+  }
+
+  /// `range of V is Expr [, W is Expr ...]` — multiple declarations expand
+  /// into multiple statements internally, so only the first is returned
+  /// here; ParseProgram splices the rest.
+  Result<Statement> ParseRange() {
+    EXA_RETURN_NOT_OK(Expect(TokKind::kRange));
+    EXA_RETURN_NOT_OK(Expect(TokKind::kOf));
+    auto stmt = std::make_shared<RangeStmt>();
+    EXA_ASSIGN_OR_RETURN(stmt->var, ExpectIdent());
+    EXA_RETURN_NOT_OK(Expect(TokKind::kIs));
+    EXA_ASSIGN_OR_RETURN(stmt->collection, ParseExpr());
+    Statement s;
+    s.kind = Statement::Kind::kRange;
+    s.range = std::move(stmt);
+    // Additional `", W is Expr"` pairs become queued statements.
+    while (Accept(TokKind::kComma)) {
+      auto extra = std::make_shared<RangeStmt>();
+      EXA_ASSIGN_OR_RETURN(extra->var, ExpectIdent());
+      EXA_RETURN_NOT_OK(Expect(TokKind::kIs));
+      EXA_ASSIGN_OR_RETURN(extra->collection, ParseExpr());
+      Statement qs;
+      qs.kind = Statement::Kind::kRange;
+      qs.range = std::move(extra);
+      queued_.push_back(std::move(qs));
+    }
+    return s;
+  }
+
+  Result<Statement> ParseRetrieve() {
+    EXA_RETURN_NOT_OK(Expect(TokKind::kRetrieve));
+    auto stmt = std::make_shared<RetrieveStmt>();
+    stmt->unique = Accept(TokKind::kUnique);
+    EXA_RETURN_NOT_OK(Expect(TokKind::kLParen));
+    if (!At(TokKind::kRParen)) {
+      do {
+        std::string name;
+        if (At(TokKind::kIdent) && Peek().kind == TokKind::kColon) {
+          name = Cur().text;
+          ++pos_;
+          ++pos_;  // ':'
+        }
+        EXA_ASSIGN_OR_RETURN(ExprAstPtr target, ParseExpr());
+        stmt->targets.emplace_back(std::move(name), std::move(target));
+      } while (Accept(TokKind::kComma));
+    }
+    EXA_RETURN_NOT_OK(Expect(TokKind::kRParen));
+    // Clauses in any order.
+    while (true) {
+      if (Accept(TokKind::kBy)) {
+        do {
+          EXA_ASSIGN_OR_RETURN(ExprAstPtr key, ParseExpr());
+          stmt->by.push_back(std::move(key));
+        } while (Accept(TokKind::kComma));
+        continue;
+      }
+      if (Accept(TokKind::kFrom)) {
+        do {
+          FromClause fc;
+          EXA_ASSIGN_OR_RETURN(fc.var, ExpectIdent());
+          EXA_RETURN_NOT_OK(Expect(TokKind::kIn));
+          EXA_ASSIGN_OR_RETURN(fc.collection, ParseSetExpr());
+          stmt->from.push_back(std::move(fc));
+        } while (Accept(TokKind::kComma));
+        continue;
+      }
+      if (Accept(TokKind::kWhere)) {
+        EXA_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+        continue;
+      }
+      if (Accept(TokKind::kInto)) {
+        EXA_ASSIGN_OR_RETURN(stmt->into, ExpectIdent());
+        continue;
+      }
+      break;
+    }
+    Statement s;
+    s.kind = Statement::Kind::kRetrieve;
+    s.retrieve = std::move(stmt);
+    return s;
+  }
+
+  Result<Statement> ParseAppend() {
+    EXA_RETURN_NOT_OK(Expect(TokKind::kAppend));
+    auto stmt = std::make_shared<AppendStmt>();
+    stmt->all = Accept(TokKind::kAll);
+    EXA_ASSIGN_OR_RETURN(stmt->value, ParseExpr());
+    EXA_RETURN_NOT_OK(Expect(TokKind::kTo));
+    EXA_ASSIGN_OR_RETURN(stmt->target, ExpectIdent());
+    Statement s;
+    s.kind = Statement::Kind::kAppend;
+    s.append = std::move(stmt);
+    return s;
+  }
+
+  Result<Statement> ParseDelete() {
+    EXA_RETURN_NOT_OK(Expect(TokKind::kDelete));
+    auto stmt = std::make_shared<DeleteStmt>();
+    EXA_ASSIGN_OR_RETURN(stmt->target, ExpectIdent());
+    EXA_RETURN_NOT_OK(Expect(TokKind::kWhere));
+    EXA_ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    Statement s;
+    s.kind = Statement::Kind::kDelete;
+    s.del = std::move(stmt);
+    return s;
+  }
+
+  // --- types ------------------------------------------------------------
+  Result<TypeAstPtr> ParseType() {
+    auto t = std::make_shared<TypeAst>();
+    if (Accept(TokKind::kRef)) {
+      t->kind = TypeAst::Kind::kRef;
+      EXA_ASSIGN_OR_RETURN(t->name, ExpectIdent());
+      return t;
+    }
+    if (Accept(TokKind::kLBrace)) {
+      t->kind = TypeAst::Kind::kSet;
+      EXA_ASSIGN_OR_RETURN(t->elem, ParseType());
+      EXA_RETURN_NOT_OK(Expect(TokKind::kRBrace));
+      return t;
+    }
+    if (Accept(TokKind::kArray)) {
+      t->kind = TypeAst::Kind::kArray;
+      if (Accept(TokKind::kLBracket)) {
+        if (!At(TokKind::kIntLit)) return Err("expected array lower bound");
+        int64_t lo = Cur().int_value;
+        ++pos_;
+        EXA_RETURN_NOT_OK(Expect(TokKind::kDotDot));
+        if (!At(TokKind::kIntLit)) return Err("expected array upper bound");
+        int64_t hi = Cur().int_value;
+        ++pos_;
+        EXA_RETURN_NOT_OK(Expect(TokKind::kRBracket));
+        if (lo != 1) return Err("array lower bound must be 1");
+        t->array_size = hi;
+      }
+      EXA_RETURN_NOT_OK(Expect(TokKind::kOf));
+      EXA_ASSIGN_OR_RETURN(t->elem, ParseType());
+      return t;
+    }
+    if (Accept(TokKind::kLParen)) {
+      t->kind = TypeAst::Kind::kTuple;
+      if (!At(TokKind::kRParen)) {
+        do {
+          EXA_ASSIGN_OR_RETURN(std::string fname, ExpectIdent());
+          EXA_RETURN_NOT_OK(Expect(TokKind::kColon));
+          EXA_ASSIGN_OR_RETURN(TypeAstPtr ftype, ParseType());
+          t->fields.emplace_back(std::move(fname), std::move(ftype));
+        } while (Accept(TokKind::kComma));
+      }
+      EXA_RETURN_NOT_OK(Expect(TokKind::kRParen));
+      return t;
+    }
+    // Named scalar or user type; char may carry a length we discard
+    // (strings are unbounded in this implementation).
+    EXA_ASSIGN_OR_RETURN(t->name, ExpectIdent());
+    t->kind = TypeAst::Kind::kNamed;
+    if (Accept(TokKind::kLBracket)) {
+      if (At(TokKind::kIntLit)) ++pos_;
+      EXA_RETURN_NOT_OK(Expect(TokKind::kRBracket));
+    }
+    return t;
+  }
+
+  // --- expressions --------------------------------------------------------
+  Result<ExprAstPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprAstPtr> ParseOr() {
+    EXA_ASSIGN_OR_RETURN(ExprAstPtr lhs, ParseAnd());
+    while (Accept(TokKind::kOr)) {
+      EXA_ASSIGN_OR_RETURN(ExprAstPtr rhs, ParseAnd());
+      auto e = std::make_shared<ExprAst>();
+      e->kind = ExprAst::Kind::kOr;
+      e->base = std::move(lhs);
+      e->rhs = std::move(rhs);
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<ExprAstPtr> ParseAnd() {
+    EXA_ASSIGN_OR_RETURN(ExprAstPtr lhs, ParseNot());
+    while (Accept(TokKind::kAnd)) {
+      EXA_ASSIGN_OR_RETURN(ExprAstPtr rhs, ParseNot());
+      auto e = std::make_shared<ExprAst>();
+      e->kind = ExprAst::Kind::kAnd;
+      e->base = std::move(lhs);
+      e->rhs = std::move(rhs);
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<ExprAstPtr> ParseNot() {
+    if (Accept(TokKind::kNot)) {
+      EXA_ASSIGN_OR_RETURN(ExprAstPtr inner, ParseNot());
+      auto e = std::make_shared<ExprAst>();
+      e->kind = ExprAst::Kind::kNot;
+      e->base = std::move(inner);
+      return e;
+    }
+    return ParseCmp();
+  }
+
+  Result<ExprAstPtr> ParseCmp() {
+    EXA_ASSIGN_OR_RETURN(ExprAstPtr lhs, ParseSetExpr());
+    std::string op;
+    if (Accept(TokKind::kEq)) op = "=";
+    else if (Accept(TokKind::kNe)) op = "!=";
+    else if (Accept(TokKind::kLe)) op = "<=";
+    else if (Accept(TokKind::kLt)) op = "<";
+    else if (Accept(TokKind::kGe)) op = ">=";
+    else if (Accept(TokKind::kGt)) op = ">";
+    else if (Accept(TokKind::kIn)) op = "in";
+    else return lhs;
+    EXA_ASSIGN_OR_RETURN(ExprAstPtr rhs, ParseSetExpr());
+    auto e = std::make_shared<ExprAst>();
+    e->kind = ExprAst::Kind::kCompare;
+    e->text = op;
+    e->base = std::move(lhs);
+    e->rhs = std::move(rhs);
+    return e;
+  }
+
+  Result<ExprAstPtr> ParseSetExpr() {
+    EXA_ASSIGN_OR_RETURN(ExprAstPtr lhs, ParseAdd());
+    while (At(TokKind::kUnion) || At(TokKind::kIntersect)) {
+      std::string op = At(TokKind::kUnion) ? "union" : "intersect";
+      ++pos_;
+      EXA_ASSIGN_OR_RETURN(ExprAstPtr rhs, ParseAdd());
+      auto e = std::make_shared<ExprAst>();
+      e->kind = ExprAst::Kind::kBinary;
+      e->text = op;
+      e->base = std::move(lhs);
+      e->rhs = std::move(rhs);
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<ExprAstPtr> ParseAdd() {
+    EXA_ASSIGN_OR_RETURN(ExprAstPtr lhs, ParseMul());
+    while (At(TokKind::kPlus) || At(TokKind::kMinus)) {
+      std::string op = At(TokKind::kPlus) ? "+" : "-";
+      ++pos_;
+      EXA_ASSIGN_OR_RETURN(ExprAstPtr rhs, ParseMul());
+      auto e = std::make_shared<ExprAst>();
+      e->kind = ExprAst::Kind::kBinary;
+      e->text = op;
+      e->base = std::move(lhs);
+      e->rhs = std::move(rhs);
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<ExprAstPtr> ParseMul() {
+    EXA_ASSIGN_OR_RETURN(ExprAstPtr lhs, ParseUnary());
+    while (At(TokKind::kStar) || At(TokKind::kSlash) || At(TokKind::kPercent)) {
+      std::string op = At(TokKind::kStar) ? "*"
+                       : At(TokKind::kSlash) ? "/"
+                                             : "%";
+      ++pos_;
+      EXA_ASSIGN_OR_RETURN(ExprAstPtr rhs, ParseUnary());
+      auto e = std::make_shared<ExprAst>();
+      e->kind = ExprAst::Kind::kBinary;
+      e->text = op;
+      e->base = std::move(lhs);
+      e->rhs = std::move(rhs);
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<ExprAstPtr> ParseUnary() {
+    if (Accept(TokKind::kMinus)) {
+      EXA_ASSIGN_OR_RETURN(ExprAstPtr inner, ParseUnary());
+      auto zero = std::make_shared<ExprAst>();
+      zero->kind = ExprAst::Kind::kIntLit;
+      zero->int_value = 0;
+      auto e = std::make_shared<ExprAst>();
+      e->kind = ExprAst::Kind::kBinary;
+      e->text = "-";
+      e->base = std::move(zero);
+      e->rhs = std::move(inner);
+      return e;
+    }
+    return ParsePostfix();
+  }
+
+  Result<ExprAstPtr> ParsePostfix() {
+    EXA_ASSIGN_OR_RETURN(ExprAstPtr e, ParsePrimary());
+    while (true) {
+      if (Accept(TokKind::kDot)) {
+        EXA_ASSIGN_OR_RETURN(std::string name, ExpectIdent());
+        if (Accept(TokKind::kLParen)) {
+          auto call = std::make_shared<ExprAst>();
+          call->kind = ExprAst::Kind::kCall;
+          call->text = std::move(name);
+          call->base = std::move(e);
+          if (!At(TokKind::kRParen)) {
+            do {
+              EXA_ASSIGN_OR_RETURN(ExprAstPtr arg, ParseExpr());
+              call->args.push_back(std::move(arg));
+            } while (Accept(TokKind::kComma));
+          }
+          EXA_RETURN_NOT_OK(Expect(TokKind::kRParen));
+          e = std::move(call);
+        } else {
+          auto field = std::make_shared<ExprAst>();
+          field->kind = ExprAst::Kind::kField;
+          field->text = std::move(name);
+          field->base = std::move(e);
+          e = std::move(field);
+        }
+        continue;
+      }
+      if (Accept(TokKind::kLBracket)) {
+        // base[i], base[last], base[lo..hi] with `last` bounds.
+        bool lo_last = Accept(TokKind::kLast);
+        ExprAstPtr lo;
+        if (!lo_last) {
+          EXA_ASSIGN_OR_RETURN(lo, ParseExpr());
+        }
+        if (Accept(TokKind::kDotDot)) {
+          bool hi_last = Accept(TokKind::kLast);
+          ExprAstPtr hi;
+          if (!hi_last) {
+            EXA_ASSIGN_OR_RETURN(hi, ParseExpr());
+          }
+          EXA_RETURN_NOT_OK(Expect(TokKind::kRBracket));
+          auto slice = std::make_shared<ExprAst>();
+          slice->kind = ExprAst::Kind::kSlice;
+          slice->base = std::move(e);
+          slice->rhs = std::move(lo);
+          slice->rhs2 = std::move(hi);
+          slice->lo_is_last = lo_last;
+          slice->hi_is_last = hi_last;
+          e = std::move(slice);
+        } else {
+          EXA_RETURN_NOT_OK(Expect(TokKind::kRBracket));
+          auto idx = std::make_shared<ExprAst>();
+          idx->kind = ExprAst::Kind::kIndex;
+          idx->base = std::move(e);
+          idx->rhs = std::move(lo);
+          idx->index_is_last = lo_last;
+          e = std::move(idx);
+        }
+        continue;
+      }
+      break;
+    }
+    return e;
+  }
+
+  bool IsAggName(const std::string& name) const {
+    return name == "min" || name == "max" || name == "count" ||
+           name == "sum" || name == "avg";
+  }
+
+  Result<ExprAstPtr> ParsePrimary() {
+    auto e = std::make_shared<ExprAst>();
+    if (At(TokKind::kIntLit)) {
+      e->kind = ExprAst::Kind::kIntLit;
+      e->int_value = Cur().int_value;
+      ++pos_;
+      return e;
+    }
+    if (At(TokKind::kFloatLit)) {
+      e->kind = ExprAst::Kind::kFloatLit;
+      e->float_value = Cur().float_value;
+      ++pos_;
+      return e;
+    }
+    if (At(TokKind::kStrLit)) {
+      e->kind = ExprAst::Kind::kStrLit;
+      e->text = Cur().text;
+      ++pos_;
+      return e;
+    }
+    if (Accept(TokKind::kTrue)) {
+      e->kind = ExprAst::Kind::kBoolLit;
+      e->bool_value = true;
+      return e;
+    }
+    if (Accept(TokKind::kFalse)) {
+      e->kind = ExprAst::Kind::kBoolLit;
+      e->bool_value = false;
+      return e;
+    }
+    if (Accept(TokKind::kThis)) {
+      e->kind = ExprAst::Kind::kName;
+      e->text = "this";
+      return e;
+    }
+    if (At(TokKind::kIdent)) {
+      std::string name = Cur().text;
+      ++pos_;
+      if (At(TokKind::kLParen) && IsAggName(name)) {
+        return ParseAggregate(name);
+      }
+      if (Accept(TokKind::kLParen)) {
+        // Builtin / free-standing function invocation.
+        e->kind = ExprAst::Kind::kCall;
+        e->text = std::move(name);
+        if (!At(TokKind::kRParen)) {
+          do {
+            EXA_ASSIGN_OR_RETURN(ExprAstPtr arg, ParseExpr());
+            e->args.push_back(std::move(arg));
+          } while (Accept(TokKind::kComma));
+        }
+        EXA_RETURN_NOT_OK(Expect(TokKind::kRParen));
+        return e;
+      }
+      e->kind = ExprAst::Kind::kName;
+      e->text = std::move(name);
+      return e;
+    }
+    if (Accept(TokKind::kLParen)) {
+      // Tuple literal `(a: 1, ...)`, `(e1, e2, ...)` or grouped expression.
+      if (At(TokKind::kIdent) && Peek().kind == TokKind::kColon) {
+        e->kind = ExprAst::Kind::kTupLit;
+        do {
+          EXA_ASSIGN_OR_RETURN(std::string fname, ExpectIdent());
+          EXA_RETURN_NOT_OK(Expect(TokKind::kColon));
+          EXA_ASSIGN_OR_RETURN(ExprAstPtr val, ParseExpr());
+          e->named_args.emplace_back(std::move(fname), std::move(val));
+        } while (Accept(TokKind::kComma));
+        EXA_RETURN_NOT_OK(Expect(TokKind::kRParen));
+        return e;
+      }
+      EXA_ASSIGN_OR_RETURN(ExprAstPtr first, ParseExpr());
+      if (Accept(TokKind::kComma)) {
+        e->kind = ExprAst::Kind::kTupLit;
+        e->named_args.emplace_back("", std::move(first));
+        do {
+          EXA_ASSIGN_OR_RETURN(ExprAstPtr val, ParseExpr());
+          e->named_args.emplace_back("", std::move(val));
+        } while (Accept(TokKind::kComma));
+        EXA_RETURN_NOT_OK(Expect(TokKind::kRParen));
+        return e;
+      }
+      EXA_RETURN_NOT_OK(Expect(TokKind::kRParen));
+      return first;  // grouped
+    }
+    if (Accept(TokKind::kLBrace)) {
+      e->kind = ExprAst::Kind::kSetLit;
+      if (!At(TokKind::kRBrace)) {
+        do {
+          EXA_ASSIGN_OR_RETURN(ExprAstPtr el, ParseExpr());
+          e->args.push_back(std::move(el));
+        } while (Accept(TokKind::kComma));
+      }
+      EXA_RETURN_NOT_OK(Expect(TokKind::kRBrace));
+      return e;
+    }
+    if (Accept(TokKind::kLBracket)) {
+      e->kind = ExprAst::Kind::kArrLit;
+      if (!At(TokKind::kRBracket)) {
+        do {
+          EXA_ASSIGN_OR_RETURN(ExprAstPtr el, ParseExpr());
+          e->args.push_back(std::move(el));
+        } while (Accept(TokKind::kComma));
+      }
+      EXA_RETURN_NOT_OK(Expect(TokKind::kRBracket));
+      return e;
+    }
+    return Err("expected an expression");
+  }
+
+  /// `agg( expr [from v in coll, ...] [where pred] )`.
+  Result<ExprAstPtr> ParseAggregate(const std::string& name) {
+    EXA_RETURN_NOT_OK(Expect(TokKind::kLParen));
+    auto e = std::make_shared<ExprAst>();
+    e->kind = ExprAst::Kind::kAgg;
+    e->text = name;
+    EXA_ASSIGN_OR_RETURN(e->base, ParseExpr());
+    if (Accept(TokKind::kFrom)) {
+      do {
+        EXA_ASSIGN_OR_RETURN(std::string var, ExpectIdent());
+        EXA_RETURN_NOT_OK(Expect(TokKind::kIn));
+        EXA_ASSIGN_OR_RETURN(ExprAstPtr coll, ParseSetExpr());
+        e->agg_from.emplace_back(std::move(var), std::move(coll));
+      } while (Accept(TokKind::kComma));
+    }
+    if (Accept(TokKind::kWhere)) {
+      EXA_ASSIGN_OR_RETURN(e->agg_where, ParseExpr());
+    }
+    EXA_RETURN_NOT_OK(Expect(TokKind::kRParen));
+    return e;
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+
+ public:
+  std::vector<Statement> queued_;  // extra statements from multi-range
+};
+
+}  // namespace
+
+Result<Program> Parse(const std::string& source) {
+  EXA_ASSIGN_OR_RETURN(std::vector<Token> toks, Lex(source));
+  Parser parser(std::move(toks));
+  EXA_ASSIGN_OR_RETURN(Program program, parser.ParseProgram());
+  // Multi-variable range statements queue extra declarations; order within
+  // the program does not matter for ranges, so append works... except it
+  // does matter relative to retrieves. Splice each queued statement right
+  // after its source statement instead.
+  if (!parser.queued_.empty()) {
+    // Re-parse conservative path: the queue preserves source order and all
+    // queued statements are ranges, which only need to precede the *next*
+    // retrieve; inserting them immediately after their origin achieves
+    // that. Origins are in order, so a stable merge suffices.
+    Program merged;
+    size_t q = 0;
+    for (auto& s : program) {
+      bool was_range = s.kind == Statement::Kind::kRange;
+      merged.push_back(std::move(s));
+      if (was_range) {
+        while (q < parser.queued_.size()) {
+          merged.push_back(std::move(parser.queued_[q]));
+          ++q;
+        }
+      }
+    }
+    while (q < parser.queued_.size()) {
+      merged.push_back(std::move(parser.queued_[q]));
+      ++q;
+    }
+    return merged;
+  }
+  return program;
+}
+
+Result<Statement> ParseStatement(const std::string& source) {
+  EXA_ASSIGN_OR_RETURN(std::vector<Token> toks, Lex(source));
+  Parser parser(std::move(toks));
+  return parser.ParseSingle();
+}
+
+}  // namespace excess

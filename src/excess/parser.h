@@ -1,0 +1,20 @@
+#ifndef EXCESS_EXCESS_PARSER_H_
+#define EXCESS_EXCESS_PARSER_H_
+
+#include <string>
+
+#include "excess/ast.h"
+#include "util/status.h"
+
+namespace excess {
+
+/// Parses a complete EXCESS program (any number of statements, optionally
+/// separated by semicolons).
+Result<Program> Parse(const std::string& source);
+
+/// Parses a single statement.
+Result<Statement> ParseStatement(const std::string& source);
+
+}  // namespace excess
+
+#endif  // EXCESS_EXCESS_PARSER_H_

@@ -1,0 +1,149 @@
+#include "excess/session.h"
+
+#include "core/builder.h"
+#include "core/infer.h"
+#include "excess/parser.h"
+#include "util/string_util.h"
+
+namespace excess {
+
+Result<ValuePtr> Session::Execute(const std::string& program) {
+  EXA_ASSIGN_OR_RETURN(Program stmts, Parse(program));
+  ValuePtr last;
+  for (const auto& stmt : stmts) {
+    EXA_ASSIGN_OR_RETURN(ValuePtr v, ExecuteStatement(stmt));
+    if (v != nullptr) last = std::move(v);
+  }
+  return last;
+}
+
+Result<ValuePtr> Session::ExecuteStatement(const Statement& stmt) {
+  switch (stmt.kind) {
+    case Statement::Kind::kDefineType:
+      EXA_RETURN_NOT_OK(ExecDefineType(*stmt.define_type));
+      return ValuePtr(nullptr);
+    case Statement::Kind::kCreate:
+      EXA_RETURN_NOT_OK(ExecCreate(*stmt.create));
+      return ValuePtr(nullptr);
+    case Statement::Kind::kRange:
+      EXA_RETURN_NOT_OK(ExecRange(*stmt.range));
+      return ValuePtr(nullptr);
+    case Statement::Kind::kDefineFunction:
+      EXA_RETURN_NOT_OK(ExecDefineFunction(*stmt.define_function));
+      return ValuePtr(nullptr);
+    case Statement::Kind::kRetrieve:
+      return ExecRetrieve(*stmt.retrieve);
+    case Statement::Kind::kAppend:
+      EXA_RETURN_NOT_OK(ExecAppend(*stmt.append));
+      return ValuePtr(nullptr);
+    case Statement::Kind::kDelete:
+      EXA_RETURN_NOT_OK(ExecDelete(*stmt.del));
+      return ValuePtr(nullptr);
+  }
+  return Status::Internal("unknown statement kind");
+}
+
+Status Session::ExecAppend(const AppendStmt& stmt) {
+  EXA_ASSIGN_OR_RETURN(SchemaPtr schema, db_->NamedSchema(stmt.target));
+  if (!schema->is_set()) {
+    return Status::TypeError(
+        StrCat("append requires a multiset object; '", stmt.target, "' is ",
+               schema->ToString()));
+  }
+  EXA_ASSIGN_OR_RETURN(ExprPtr value_expr,
+                       translator_.TranslateClosedExpr(stmt.value));
+  ExprPtr addition =
+      stmt.all ? value_expr : alg::SetMake(std::move(value_expr));
+  ExprPtr plan = alg::AddUnion(alg::Var(stmt.target), std::move(addition));
+  EXA_ASSIGN_OR_RETURN(ValuePtr updated, EvalTree(plan));
+  return db_->SetNamed(stmt.target, std::move(updated));
+}
+
+Status Session::ExecDelete(const DeleteStmt& stmt) {
+  EXA_ASSIGN_OR_RETURN(
+      ExprPtr plan, translator_.TranslateDeletePlan(stmt.target, stmt.where));
+  EXA_ASSIGN_OR_RETURN(ValuePtr updated, EvalTree(plan));
+  return db_->SetNamed(stmt.target, std::move(updated));
+}
+
+Status Session::ExecDefineType(const DefineTypeStmt& stmt) {
+  EXA_ASSIGN_OR_RETURN(SchemaPtr schema, translator_.BuildSchema(stmt.body));
+  return db_->catalog().DefineType(stmt.name, std::move(schema),
+                                   stmt.inherits);
+}
+
+Status Session::ExecCreate(const CreateStmt& stmt) {
+  EXA_ASSIGN_OR_RETURN(SchemaPtr schema, translator_.BuildSchema(stmt.type));
+  return db_->CreateNamed(stmt.name, std::move(schema));
+}
+
+Status Session::ExecRange(const RangeStmt& stmt) {
+  // Redeclaration replaces the previous binding (a session convenience).
+  for (auto& [v, coll] : ranges_) {
+    if (v == stmt.var) {
+      coll = stmt.collection;
+      return Status::OK();
+    }
+  }
+  ranges_.emplace_back(stmt.var, stmt.collection);
+  return Status::OK();
+}
+
+Status Session::ExecDefineFunction(const DefineFunctionStmt& stmt) {
+  if (methods_ == nullptr) {
+    return Status::Unsupported("this session has no method registry");
+  }
+  EXA_ASSIGN_OR_RETURN(SchemaPtr this_schema,
+                       db_->catalog().EffectiveSchema(stmt.type_name));
+  std::vector<std::string> params;
+  params.reserve(stmt.params.size());
+  for (const auto& [pname, ptype] : stmt.params) params.push_back(pname);
+  EXA_ASSIGN_OR_RETURN(
+      ExprPtr body,
+      translator_.TranslateMethodBody(*stmt.body, params, this_schema));
+  SchemaPtr ret;
+  if (stmt.returns != nullptr) {
+    EXA_ASSIGN_OR_RETURN(ret, translator_.BuildSchema(stmt.returns));
+  }
+  MethodDef def;
+  def.type_name = stmt.type_name;
+  def.method_name = stmt.func_name;
+  def.param_names = std::move(params);
+  def.return_schema = std::move(ret);
+  def.body = std::move(body);
+  return methods_->Define(std::move(def));
+}
+
+Result<ValuePtr> Session::ExecRetrieve(const RetrieveStmt& stmt) {
+  EXA_ASSIGN_OR_RETURN(ExprPtr tree,
+                       translator_.TranslateRetrieve(stmt, ranges_));
+  if (options_.optimize) {
+    Planner planner(db_, options_.planner);
+    EXA_ASSIGN_OR_RETURN(tree, planner.Optimize(tree));
+  }
+  EXA_ASSIGN_OR_RETURN(ValuePtr result, EvalTree(tree));
+  if (!stmt.into.empty()) {
+    if (db_->HasNamed(stmt.into)) {
+      EXA_RETURN_NOT_OK(db_->SetNamed(stmt.into, result));
+    } else {
+      SchemaPtr schema = SchemaOfValue(result, &db_->store());
+      EXA_RETURN_NOT_OK(db_->CreateNamed(stmt.into, std::move(schema), result));
+    }
+  }
+  return result;
+}
+
+Result<ExprPtr> Session::Translate(const std::string& retrieve_source) {
+  EXA_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(retrieve_source));
+  if (stmt.kind != Statement::Kind::kRetrieve) {
+    return Status::Invalid("Translate expects a retrieve statement");
+  }
+  return translator_.TranslateRetrieve(*stmt.retrieve, ranges_);
+}
+
+Result<ValuePtr> Session::EvalTree(const ExprPtr& tree) {
+  Evaluator ev(db_, methods_);
+  return ev.Eval(tree);
+}
+
+}  // namespace excess

@@ -1,0 +1,74 @@
+#ifndef EXCESS_EXCESS_SESSION_H_
+#define EXCESS_EXCESS_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/eval.h"
+#include "core/planner.h"
+#include "excess/ast.h"
+#include "excess/translate.h"
+#include "methods/registry.h"
+#include "objects/database.h"
+#include "util/status.h"
+
+namespace excess {
+
+/// An interactive EXCESS session: executes DDL (define type, create),
+/// declarations (range of), method definitions (define <T> function) and
+/// queries (retrieve) against a Database. Queries are translated to the
+/// algebra, optionally optimized, evaluated, and — with `into` — stored as
+/// new named top-level objects.
+class Session {
+ public:
+  struct Options {
+    bool optimize = true;
+    Planner::Options planner;
+  };
+
+  Session(Database* db, MethodRegistry* methods)
+      : db_(db), methods_(methods), translator_(db, methods) {}
+  Session(Database* db, MethodRegistry* methods, Options options)
+      : db_(db), methods_(methods), translator_(db, methods),
+        options_(options) {}
+
+  /// Parses and executes a whole program; returns the result of the *last*
+  /// retrieve (or null if the program has none).
+  Result<ValuePtr> Execute(const std::string& program);
+
+  /// Executes one parsed statement.
+  Result<ValuePtr> ExecuteStatement(const Statement& stmt);
+
+  /// Translates (without executing) a retrieve statement, returning the
+  /// raw (unoptimized) algebra tree — the E of the equipollence proof.
+  Result<ExprPtr> Translate(const std::string& retrieve_source);
+
+  /// Runs an algebra tree through the session's evaluator (methods
+  /// attached), used by the equipollence tests.
+  Result<ValuePtr> EvalTree(const ExprPtr& tree);
+
+  const Translator& translator() const { return translator_; }
+  const std::vector<std::pair<std::string, ExprAstPtr>>& ranges() const {
+    return ranges_;
+  }
+
+ private:
+  Status ExecDefineType(const DefineTypeStmt& stmt);
+  Status ExecCreate(const CreateStmt& stmt);
+  Status ExecRange(const RangeStmt& stmt);
+  Status ExecDefineFunction(const DefineFunctionStmt& stmt);
+  Result<ValuePtr> ExecRetrieve(const RetrieveStmt& stmt);
+  Status ExecAppend(const AppendStmt& stmt);
+  Status ExecDelete(const DeleteStmt& stmt);
+
+  Database* db_;
+  MethodRegistry* methods_;
+  Translator translator_;
+  Options options_;
+  std::vector<std::pair<std::string, ExprAstPtr>> ranges_;
+};
+
+}  // namespace excess
+
+#endif  // EXCESS_EXCESS_SESSION_H_

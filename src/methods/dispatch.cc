@@ -1,0 +1,130 @@
+#include "methods/dispatch.h"
+
+#include "core/analysis.h"
+#include "core/builder.h"
+#include "core/infer.h"
+#include "util/string_util.h"
+
+namespace excess {
+
+ExprPtr SubstituteParams(const ExprPtr& body,
+                         const std::vector<ExprPtr>& args) {
+  if (body->kind() == OpKind::kParam) {
+    auto i = static_cast<size_t>(body->index());
+    if (i < args.size()) return args[i];
+    return body;
+  }
+  bool changed = false;
+  std::vector<ExprPtr> children;
+  children.reserve(body->num_children());
+  for (const auto& c : body->children()) {
+    ExprPtr nc = SubstituteParams(c, args);
+    changed |= (nc != c);
+    children.push_back(std::move(nc));
+  }
+  ExprPtr sub = body->sub();
+  if (sub != nullptr) {
+    ExprPtr ns = SubstituteParams(sub, args);
+    if (ns != sub) {
+      changed = true;
+      sub = std::move(ns);
+    }
+  }
+  if (!changed) return body;
+  return MakeExpr(body->kind(), std::move(children), sub, body->pred(),
+                  body->literal(), body->name(), body->names(),
+                  body->type_filter(), body->index(), body->lo(), body->hi(),
+                  body->index_is_last(), body->lo_is_last(),
+                  body->hi_is_last());
+}
+
+Result<ExprPtr> DispatchPlanner::SwitchTablePlan(
+    const ExprPtr& collection, const std::string& method,
+    std::vector<ExprPtr> args) const {
+  return alg::SetApply(alg::MethodCall(method, alg::Input(), std::move(args)),
+                       collection);
+}
+
+Result<ExprPtr> DispatchPlanner::UnionPlan(const ExprPtr& collection,
+                                           const std::string& root_type,
+                                           const std::string& method,
+                                           std::vector<ExprPtr> args) const {
+  EXA_ASSIGN_OR_RETURN(auto impls,
+                       registry_->DistinctImplementations(root_type, method));
+  if (impls.empty()) {
+    return Status::NotFound(StrCat("no implementations of '", method,
+                                   "' in the hierarchy of '", root_type, "'"));
+  }
+  // Does the collection hold references? Then the receiver must be
+  // dereferenced inside each body.
+  bool deref_receiver = false;
+  TypeInference infer(db_);
+  auto schema = infer.Infer(collection);
+  if (schema.ok() && (*schema)->is_set() && (*schema)->elem() != nullptr &&
+      (*schema)->elem()->is_ref()) {
+    deref_receiver = true;
+  }
+
+  ExprPtr plan;
+  for (const auto& [owner, serves] : impls) {
+    EXA_ASSIGN_OR_RETURN(const MethodDef* def,
+                         registry_->LookupExact(owner, method));
+    ExprPtr body = SubstituteParams(def->body, args);
+    if (deref_receiver) {
+      body = analysis::SubstituteInput(body, alg::Deref(alg::Input()));
+    }
+    // One exactly-typed SET_APPLY per distinct implementation; the filter
+    // lists every exact type this implementation serves (the paper's
+    // "Person/Student" sharing).
+    ExprPtr scan = alg::SetApply(std::move(body), collection,
+                                 /*type_filter=*/Join(serves, ","));
+    plan = plan == nullptr ? std::move(scan)
+                           : alg::AddUnion(std::move(plan), std::move(scan));
+  }
+  return plan;
+}
+
+Result<ExprPtr> DispatchPlanner::UnionPlanOverExtents(
+    const std::string& set_name, const std::string& root_type,
+    const std::string& method, std::vector<ExprPtr> args) const {
+  EXA_ASSIGN_OR_RETURN(auto impls,
+                       registry_->DistinctImplementations(root_type, method));
+  // Materialized per-exact-type extents replace the repeated scans.
+  EXA_ASSIGN_OR_RETURN(const auto* extents,
+                       const_cast<Database*>(db_)->TypeExtents(set_name));
+  EXA_ASSIGN_OR_RETURN(SchemaPtr set_schema, db_->NamedSchema(set_name));
+  bool deref_receiver =
+      set_schema->is_set() && set_schema->elem()->is_ref();
+
+  ExprPtr plan;
+  for (const auto& [owner, serves] : impls) {
+    EXA_ASSIGN_OR_RETURN(const MethodDef* def,
+                         registry_->LookupExact(owner, method));
+    ExprPtr body = SubstituteParams(def->body, args);
+    if (deref_receiver) {
+      body = analysis::SubstituteInput(body, alg::Deref(alg::Input()));
+    }
+    // Gather this implementation's extents; missing extents mean the set
+    // currently has no members of that exact type.
+    ExprPtr input;
+    for (const auto& exact : serves) {
+      auto it = extents->find(exact);
+      if (it == extents->end()) continue;
+      ExprPtr piece = alg::Const(it->second);
+      input = input == nullptr
+                  ? std::move(piece)
+                  : alg::AddUnion(std::move(input), std::move(piece));
+    }
+    if (input == nullptr) continue;
+    ExprPtr scan = alg::SetApply(std::move(body), std::move(input));
+    plan = plan == nullptr ? std::move(scan)
+                           : alg::AddUnion(std::move(plan), std::move(scan));
+  }
+  if (plan == nullptr) {
+    // Every extent was empty: the result is the empty multiset.
+    return alg::Const(Value::EmptySet());
+  }
+  return plan;
+}
+
+}  // namespace excess

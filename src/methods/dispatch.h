@@ -1,0 +1,67 @@
+#ifndef EXCESS_METHODS_DISPATCH_H_
+#define EXCESS_METHODS_DISPATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "core/expr.h"
+#include "methods/registry.h"
+#include "objects/database.h"
+#include "util/status.h"
+
+namespace excess {
+
+/// The two algebraic treatments of overridden methods from §4, as plan
+/// constructors over a collection expression whose elements range over a
+/// type hierarchy rooted at `root_type`:
+///
+///  - Strategy A ("switch table"): a single scan with a late-bound
+///    METHOD_CALL per element; the evaluator consults the registry's
+///    dispatch table at run time. Compile-time optimization cannot see
+///    inside the bodies.
+///
+///  - Strategy B ("⊎-based", Figure 5): one exactly-typed SET_APPLY per
+///    *distinct implementation*, spliced with that implementation's stored
+///    query tree, the results combined with additive union. The whole tree
+///    is then visible to the optimizer.
+///
+///  - Strategy B over type extents: the same ⊎ plan, but each typed scan
+///    ranges over the precomputed per-exact-type extent of a *named* set
+///    (the index the paper notes makes the multi-scan penalty disappear).
+class DispatchPlanner {
+ public:
+  DispatchPlanner(const Database* db, const MethodRegistry* registry)
+      : db_(db), registry_(registry) {}
+
+  /// Strategy A: SET_APPLY_{METHOD_CALL}(collection).
+  Result<ExprPtr> SwitchTablePlan(const ExprPtr& collection,
+                                  const std::string& method,
+                                  std::vector<ExprPtr> args = {}) const;
+
+  /// Strategy B: ⊎ of typed SET_APPLYs with spliced bodies. `root_type` is
+  /// the declared element type of the collection. Arguments are inlined
+  /// into the bodies by substituting kParam nodes.
+  Result<ExprPtr> UnionPlan(const ExprPtr& collection,
+                            const std::string& root_type,
+                            const std::string& method,
+                            std::vector<ExprPtr> args = {}) const;
+
+  /// Strategy B reading per-type extents of the named set `set_name`
+  /// instead of rescanning it once per implementation. The extents must
+  /// have been materialized with Database::TypeExtents.
+  Result<ExprPtr> UnionPlanOverExtents(const std::string& set_name,
+                                       const std::string& root_type,
+                                       const std::string& method,
+                                       std::vector<ExprPtr> args = {}) const;
+
+ private:
+  const Database* db_;
+  const MethodRegistry* registry_;
+};
+
+/// Substitutes `args[i]` for every kParam node with index i.
+ExprPtr SubstituteParams(const ExprPtr& body, const std::vector<ExprPtr>& args);
+
+}  // namespace excess
+
+#endif  // EXCESS_METHODS_DISPATCH_H_

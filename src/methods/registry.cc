@@ -1,0 +1,103 @@
+#include "methods/registry.h"
+
+#include "util/string_util.h"
+
+namespace excess {
+
+Status MethodRegistry::Define(MethodDef def) {
+  if (!catalog_->HasType(def.type_name)) {
+    return Status::NotFound(StrCat("method '", def.method_name,
+                                   "' defined on unknown type '",
+                                   def.type_name, "'"));
+  }
+  if (def.body == nullptr) {
+    return Status::Invalid(StrCat("method '", def.method_name, "' has no body"));
+  }
+  // Overriding requires an identical signature (§4): same parameter count
+  // against any implementation of the same name above or below in the
+  // hierarchy.
+  for (const auto& [key, existing] : methods_) {
+    if (key.second != def.method_name) continue;
+    bool related = catalog_->IsSubtype(def.type_name, existing.type_name) ||
+                   catalog_->IsSubtype(existing.type_name, def.type_name);
+    if (related && existing.param_names.size() != def.param_names.size()) {
+      return Status::TypeError(
+          StrCat("override of '", def.method_name, "' on '", def.type_name,
+                 "' changes the signature declared on '", existing.type_name,
+                 "'"));
+    }
+  }
+  auto key = std::make_pair(def.type_name, def.method_name);
+  if (methods_.count(key) > 0) {
+    return Status::AlreadyExists(StrCat("method '", def.method_name,
+                                        "' already defined on '",
+                                        def.type_name, "'"));
+  }
+  methods_.emplace(std::move(key), std::move(def));
+  return Status::OK();
+}
+
+bool MethodRegistry::Has(const std::string& type_name,
+                         const std::string& method) const {
+  return methods_.count({type_name, method}) > 0;
+}
+
+Result<const MethodDef*> MethodRegistry::LookupExact(
+    const std::string& type_name, const std::string& method) const {
+  auto it = methods_.find({type_name, method});
+  if (it == methods_.end()) {
+    return Status::NotFound(StrCat("no method '", method, "' declared on '",
+                                   type_name, "'"));
+  }
+  return &it->second;
+}
+
+Result<const MethodDef*> MethodRegistry::Dispatch(
+    const std::string& exact_type, const std::string& method) const {
+  ++dispatch_count_;
+  // Depth-first, declaration-order walk up the supertype DAG: the exact
+  // type's own implementation wins; otherwise the first parent chain that
+  // declares one.
+  auto own = methods_.find({exact_type, method});
+  if (own != methods_.end()) return &own->second;
+  auto entry = catalog_->Lookup(exact_type);
+  if (!entry.ok()) {
+    return Status::NotFound(StrCat("dispatch of '", method,
+                                   "' on unknown exact type '", exact_type,
+                                   "'"));
+  }
+  for (const auto& parent : (*entry)->parents) {
+    auto r = Dispatch(parent, method);
+    --dispatch_count_;  // inner recursion double-counts
+    if (r.ok()) return r;
+  }
+  return Status::NotFound(StrCat("no applicable method '", method, "' for '",
+                                 exact_type, "'"));
+}
+
+Result<ExprPtr> MethodRegistry::Resolve(const std::string& exact_type,
+                                        const std::string& method) const {
+  EXA_ASSIGN_OR_RETURN(const MethodDef* def, Dispatch(exact_type, method));
+  return def->body;
+}
+
+Result<std::vector<std::pair<std::string, std::vector<std::string>>>>
+MethodRegistry::DistinctImplementations(const std::string& root,
+                                        const std::string& method) const {
+  std::vector<std::pair<std::string, std::vector<std::string>>> out;
+  for (const auto& exact : catalog_->SelfAndDescendants(root)) {
+    EXA_ASSIGN_OR_RETURN(const MethodDef* def, Dispatch(exact, method));
+    bool found = false;
+    for (auto& [owner, serves] : out) {
+      if (owner == def->type_name) {
+        serves.push_back(exact);
+        found = true;
+        break;
+      }
+    }
+    if (!found) out.push_back({def->type_name, {exact}});
+  }
+  return out;
+}
+
+}  // namespace excess

@@ -1,0 +1,75 @@
+#ifndef EXCESS_METHODS_REGISTRY_H_
+#define EXCESS_METHODS_REGISTRY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "core/eval.h"
+#include "core/expr.h"
+#include "util/status.h"
+
+namespace excess {
+
+/// A method: an EXCESS statement sequence compiled to a stored algebra
+/// query tree (§4). The body is an expression over INPUT (= `this`) and
+/// kParam nodes (the formals).
+struct MethodDef {
+  std::string type_name;    // the EXTRA type it is defined on
+  std::string method_name;
+  std::vector<std::string> param_names;
+  SchemaPtr return_schema;  // may be null (dynamic)
+  ExprPtr body;
+};
+
+/// Registry of methods with inheritance-aware resolution. Subtypes inherit
+/// methods and may override them (identical signatures, per §4); resolution
+/// finds the most specific implementation for an exact type via the
+/// supertype DAG (left-to-right, depth-first — the declaration order of
+/// `inherits` breaks multiple-inheritance ties).
+class MethodRegistry : public MethodResolver {
+ public:
+  explicit MethodRegistry(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Registers (or overrides) a method implementation on a type.
+  Status Define(MethodDef def);
+
+  bool Has(const std::string& type_name, const std::string& method) const;
+
+  /// The implementation *declared on* exactly this type, if any.
+  Result<const MethodDef*> LookupExact(const std::string& type_name,
+                                       const std::string& method) const;
+
+  /// Most specific implementation applicable to `exact_type` (walks up the
+  /// inheritance DAG). This is the run-time dispatch of §4 strategy A.
+  Result<const MethodDef*> Dispatch(const std::string& exact_type,
+                                    const std::string& method) const;
+
+  // MethodResolver:
+  Result<ExprPtr> Resolve(const std::string& exact_type,
+                          const std::string& method) const override;
+
+  /// The types in `root`'s hierarchy that would each need their own typed
+  /// SET_APPLY under §4 strategy B, deduplicated by *distinct
+  /// implementation*: every exact type maps to the implementation it
+  /// dispatches to, and types sharing an implementation share one entry
+  /// (the paper's "only as many SET_APPLYs as there are distinct method
+  /// implementations"). Returns (implementation owner, exact types served).
+  Result<std::vector<std::pair<std::string, std::vector<std::string>>>>
+  DistinctImplementations(const std::string& root,
+                          const std::string& method) const;
+
+  /// Number of dispatches performed (for the §4 benches).
+  int64_t dispatch_count() const { return dispatch_count_; }
+  void ResetStats() { dispatch_count_ = 0; }
+
+ private:
+  const Catalog* catalog_;
+  std::map<std::pair<std::string, std::string>, MethodDef> methods_;
+  mutable int64_t dispatch_count_ = 0;
+};
+
+}  // namespace excess
+
+#endif  // EXCESS_METHODS_REGISTRY_H_

@@ -1,0 +1,128 @@
+#include "objects/conformance.h"
+
+#include "util/string_util.h"
+
+namespace excess {
+
+namespace {
+
+Status Fail(const ValuePtr& value, const SchemaPtr& schema,
+            const std::string& why) {
+  return Status::TypeError(StrCat("value ", value->ToString(),
+                                  " does not conform to ", schema->ToString(),
+                                  ": ", why));
+}
+
+bool ScalarMatches(const ValuePtr& v, ScalarKind kind) {
+  switch (kind) {
+    case ScalarKind::kAny:
+      return true;
+    case ScalarKind::kInt:
+      return v->kind() == ValueKind::kInt;
+    case ScalarKind::kFloat:
+      return v->kind() == ValueKind::kFloat;
+    case ScalarKind::kString:
+      return v->kind() == ValueKind::kString;
+    case ScalarKind::kBool:
+      return v->kind() == ValueKind::kBool;
+    case ScalarKind::kDate:
+      return v->kind() == ValueKind::kDate;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status CheckConformance(const ValuePtr& value, const SchemaPtr& schema,
+                        const Catalog& catalog, const ObjectStore* store) {
+  if (value == nullptr) return Status::Invalid("null value");
+  // Nulls inhabit every domain.
+  if (value->is_null()) return Status::OK();
+
+  switch (schema->ctor()) {
+    case TypeCtor::kVal:
+      if (!ScalarMatches(value, schema->scalar_kind())) {
+        return Fail(value, schema, "scalar kind mismatch");
+      }
+      return Status::OK();
+
+    case TypeCtor::kTup: {
+      if (!value->is_tuple()) return Fail(value, schema, "not a tuple");
+      // Substitutability: a tagged value of a subtype of the schema's
+      // named type conforms — check against the subtype's own effective
+      // schema (which includes every inherited field).
+      const std::string& declared = schema->type_name();
+      const std::string& actual = value->type_tag();
+      SchemaPtr target = schema;
+      if (!declared.empty()) {
+        if (actual.empty()) {
+          // An untagged tuple may still conform structurally to the
+          // declared type's fields; fall through with `schema`.
+        } else if (actual != declared) {
+          if (!catalog.IsSubtype(actual, declared)) {
+            return Fail(value, schema,
+                        StrCat("exact type '", actual,
+                               "' is not a subtype of '", declared, "'"));
+          }
+          EXA_ASSIGN_OR_RETURN(target, catalog.EffectiveSchema(actual));
+        }
+      }
+      for (const auto& f : target->fields()) {
+        auto fv = value->Field(f.name);
+        if (!fv.ok()) {
+          return Fail(value, schema, StrCat("missing field '", f.name, "'"));
+        }
+        EXA_RETURN_NOT_OK(CheckConformance(*fv, f.type, catalog, store));
+      }
+      // Extra fields beyond the (effective) declaration are rejected for
+      // untagged/exact matches; subtypes were redirected above.
+      if (value->num_fields() > target->fields().size()) {
+        return Fail(value, schema, "has undeclared extra fields");
+      }
+      return Status::OK();
+    }
+
+    case TypeCtor::kSet: {
+      if (!value->is_set()) return Fail(value, schema, "not a multiset");
+      for (const auto& e : value->entries()) {
+        EXA_RETURN_NOT_OK(
+            CheckConformance(e.value, schema->elem(), catalog, store));
+      }
+      return Status::OK();
+    }
+
+    case TypeCtor::kArr: {
+      if (!value->is_array()) return Fail(value, schema, "not an array");
+      if (schema->fixed_size().has_value() &&
+          value->ArrayLength() != *schema->fixed_size()) {
+        return Fail(value, schema,
+                    StrCat("length ", value->ArrayLength(),
+                           " does not match the fixed length ",
+                           *schema->fixed_size()));
+      }
+      for (const auto& e : value->elems()) {
+        EXA_RETURN_NOT_OK(CheckConformance(e, schema->elem(), catalog, store));
+      }
+      return Status::OK();
+    }
+
+    case TypeCtor::kRef: {
+      if (!value->is_ref()) return Fail(value, schema, "not a reference");
+      if (store == nullptr) return Status::OK();  // structural check only
+      auto exact = store->ExactType(value->oid());
+      if (!exact.ok()) {
+        return Fail(value, schema, "dangling reference");
+      }
+      if (schema->ref_target() == "$anon") return Status::OK();
+      if (!catalog.IsSubtype(*exact, schema->ref_target())) {
+        return Fail(value, schema,
+                    StrCat("referenced object has exact type '", *exact,
+                           "' outside Odom(", schema->ref_target(), ")"));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown schema constructor");
+}
+
+}  // namespace excess

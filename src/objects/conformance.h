@@ -1,0 +1,31 @@
+#ifndef EXCESS_OBJECTS_CONFORMANCE_H_
+#define EXCESS_OBJECTS_CONFORMANCE_H_
+
+#include "catalog/catalog.h"
+#include "objects/store.h"
+#include "objects/value.h"
+#include "util/status.h"
+
+namespace excess {
+
+/// Runtime membership test for the domain semantics of §3.1: is `value` an
+/// element of DOM(schema)?
+///
+///  - scalars must match the scalar kind (`any` admits everything);
+///  - tuples must supply every declared field with a conforming value;
+///    when the schema node carries a named-type tag, substitutability
+///    applies — a value tagged with any *subtype* conforms, and its extra
+///    fields are admitted (DOM(S) = dom(S) ∪ ⋃ dom(Sᵢ));
+///  - multisets/arrays check every occurrence against the component
+///    schema; fixed-length arrays must have exactly the declared length;
+///  - references must hold an OID whose *current exact type* lies in
+///    Odom(target), i.e. the target type or one of its descendants
+///    (rules 3-5), looked up through the store;
+///  - the `dne`/`unk` nulls conform to any schema (they are the absence /
+///    unknownness of a value of that type).
+Status CheckConformance(const ValuePtr& value, const SchemaPtr& schema,
+                        const Catalog& catalog, const ObjectStore* store);
+
+}  // namespace excess
+
+#endif  // EXCESS_OBJECTS_CONFORMANCE_H_

@@ -1,0 +1,96 @@
+#include "objects/database.h"
+
+#include "util/string_util.h"
+
+namespace excess {
+
+ValuePtr Database::DefaultValueFor(const SchemaPtr& schema) {
+  switch (schema->ctor()) {
+    case TypeCtor::kSet:
+      return Value::EmptySet();
+    case TypeCtor::kArr:
+      return Value::EmptyArray();
+    default:
+      return Value::Dne();
+  }
+}
+
+Status Database::CreateNamed(const std::string& name, SchemaPtr schema,
+                             ValuePtr initial) {
+  if (named_.count(name) > 0) {
+    return Status::AlreadyExists(StrCat("object '", name, "' already exists"));
+  }
+  if (schema == nullptr) return Status::Invalid("create with null schema");
+  EXA_RETURN_NOT_OK(schema->Validate());
+  NamedObject obj;
+  obj.name = name;
+  obj.value = initial != nullptr ? std::move(initial) : DefaultValueFor(schema);
+  obj.schema = std::move(schema);
+  named_.emplace(name, std::move(obj));
+  return Status::OK();
+}
+
+bool Database::HasNamed(const std::string& name) const {
+  return named_.count(name) > 0;
+}
+
+Result<const NamedObject*> Database::GetNamed(const std::string& name) const {
+  auto it = named_.find(name);
+  if (it == named_.end()) {
+    return Status::NotFound(StrCat("no top-level object '", name, "'"));
+  }
+  return &it->second;
+}
+
+Result<ValuePtr> Database::NamedValue(const std::string& name) const {
+  EXA_ASSIGN_OR_RETURN(const NamedObject* obj, GetNamed(name));
+  return obj->value;
+}
+
+Result<SchemaPtr> Database::NamedSchema(const std::string& name) const {
+  EXA_ASSIGN_OR_RETURN(const NamedObject* obj, GetNamed(name));
+  return obj->schema;
+}
+
+Status Database::SetNamed(const std::string& name, ValuePtr value) {
+  auto it = named_.find(name);
+  if (it == named_.end()) {
+    return Status::NotFound(StrCat("no top-level object '", name, "'"));
+  }
+  it->second.value = std::move(value);
+  extent_cache_.erase(name);
+  return Status::OK();
+}
+
+std::vector<std::string> Database::NamedObjectNames() const {
+  std::vector<std::string> out;
+  out.reserve(named_.size());
+  for (const auto& [name, obj] : named_) out.push_back(name);
+  return out;
+}
+
+Result<const std::map<std::string, ValuePtr>*> Database::TypeExtents(
+    const std::string& set_name) {
+  auto cached = extent_cache_.find(set_name);
+  if (cached != extent_cache_.end()) return &cached->second;
+
+  EXA_ASSIGN_OR_RETURN(ValuePtr v, NamedValue(set_name));
+  if (!v->is_set()) {
+    return Status::TypeError(
+        StrCat("type extents require a multiset; '", set_name, "' is ",
+               ValueKindToString(v->kind())));
+  }
+  std::map<std::string, std::vector<SetEntry>> buckets;
+  for (const auto& e : v->entries()) {
+    buckets[store_.ExactTypeOf(e.value)].push_back(e);
+  }
+  std::map<std::string, ValuePtr> extents;
+  for (auto& [type, entries] : buckets) {
+    extents.emplace(type, Value::SetOfCounted(std::move(entries)));
+  }
+  auto [it, inserted] = extent_cache_.emplace(set_name, std::move(extents));
+  (void)inserted;
+  return &it->second;
+}
+
+}  // namespace excess

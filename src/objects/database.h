@@ -1,0 +1,67 @@
+#ifndef EXCESS_OBJECTS_DATABASE_H_
+#define EXCESS_OBJECTS_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "objects/store.h"
+#include "objects/value.h"
+#include "util/status.h"
+
+namespace excess {
+
+/// A named, persistent top-level object (EXTRA `create` statement).
+struct NamedObject {
+  std::string name;
+  SchemaPtr schema;
+  ValuePtr value;
+};
+
+/// A database: catalog + object store + the named top-level structures that
+/// EXCESS queries range over. The paper defines a database as a multiset of
+/// structures (schema, instance); the named objects are those structures.
+class Database {
+ public:
+  Database() : store_(&catalog_) {}
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  ObjectStore& store() { return store_; }
+  const ObjectStore& store() const { return store_; }
+
+  /// EXTRA `create Name : schema`; the object starts empty ({} / [] / dne)
+  /// unless an initial value is supplied.
+  Status CreateNamed(const std::string& name, SchemaPtr schema,
+                     ValuePtr initial = nullptr);
+
+  bool HasNamed(const std::string& name) const;
+  Result<const NamedObject*> GetNamed(const std::string& name) const;
+  Result<ValuePtr> NamedValue(const std::string& name) const;
+  Result<SchemaPtr> NamedSchema(const std::string& name) const;
+  Status SetNamed(const std::string& name, ValuePtr value);
+
+  std::vector<std::string> NamedObjectNames() const;
+
+  /// §4 type-extent index: partitions the occurrences of the named multiset
+  /// by exact element type (tuple tags, or the store's exact type for
+  /// refs). Cached; invalidated by SetNamed. With this index available, the
+  /// ⊎-based method strategy's "scan P once per type" penalty disappears.
+  Result<const std::map<std::string, ValuePtr>*> TypeExtents(
+      const std::string& set_name);
+
+ private:
+  static ValuePtr DefaultValueFor(const SchemaPtr& schema);
+
+  Catalog catalog_;
+  ObjectStore store_;
+  std::map<std::string, NamedObject> named_;
+  std::map<std::string, std::map<std::string, ValuePtr>> extent_cache_;
+};
+
+}  // namespace excess
+
+#endif  // EXCESS_OBJECTS_DATABASE_H_

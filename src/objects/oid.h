@@ -1,0 +1,44 @@
+#ifndef EXCESS_OBJECTS_OID_H_
+#define EXCESS_OBJECTS_OID_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/hash.h"
+#include "util/string_util.h"
+
+namespace excess {
+
+/// An object identifier. The paper (§3.1) requires the OID space R to be
+/// partitioned by type: R(n) for a type named n is an infinite set of OIDs
+/// usable only for objects allocated with exact type n (substitutability
+/// makes them members of every supertype's domain as well; see
+/// ObjectStore::InDomain). We realize the partition with a (type_id,
+/// serial) pair — the analogue of the paper's "f(n) ones followed by a
+/// zero" construction — where serial counters are per type and unbounded.
+struct Oid {
+  uint32_t type_id = 0;
+  uint64_t serial = 0;
+
+  friend bool operator==(const Oid& a, const Oid& b) {
+    return a.type_id == b.type_id && a.serial == b.serial;
+  }
+  friend bool operator!=(const Oid& a, const Oid& b) { return !(a == b); }
+  friend bool operator<(const Oid& a, const Oid& b) {
+    return a.type_id != b.type_id ? a.type_id < b.type_id : a.serial < b.serial;
+  }
+
+  uint64_t Hash() const {
+    return HashCombine(static_cast<uint64_t>(type_id), serial);
+  }
+
+  std::string ToString() const { return StrCat("@", type_id, ":", serial); }
+};
+
+struct OidHash {
+  size_t operator()(const Oid& oid) const { return oid.Hash(); }
+};
+
+}  // namespace excess
+
+#endif  // EXCESS_OBJECTS_OID_H_

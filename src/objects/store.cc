@@ -1,0 +1,119 @@
+#include "objects/store.h"
+
+#include "util/string_util.h"
+
+namespace excess {
+
+uint32_t ObjectStore::TypeIdFor(const std::string& type_name) {
+  auto it = type_ids_.find(type_name);
+  if (it != type_ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(id_names_.size());
+  type_ids_.emplace(type_name, id);
+  id_names_.push_back(type_name);
+  return id;
+}
+
+Result<Oid> ObjectStore::Create(const std::string& type_name, ValuePtr value) {
+  if (!catalog_->HasType(type_name)) {
+    return Status::NotFound(StrCat("cannot create object of undefined type '",
+                                   type_name, "'"));
+  }
+  uint32_t id = TypeIdFor(type_name);
+  Oid oid{id, next_serial_[type_name]++};
+  // Register in the intern table (first object with a given value wins) so
+  // that REF(DEREF(r)) returns r for explicitly created objects too —
+  // Appendix rule 28 relies on REF being the inverse of DEREF up to
+  // value-interned identity.
+  interned_[type_name].emplace(value, oid);
+  heap_[oid] = Obj{std::move(value), type_name, type_name};
+  return oid;
+}
+
+Result<Oid> ObjectStore::InternRef(const std::string& type_name,
+                                   const ValuePtr& value) {
+  if (value == nullptr) return Status::Invalid("InternRef on null value");
+  std::string name = type_name;
+  if (name.empty()) {
+    // Anonymous target types get a store-local name per value *schema*
+    // shape; a single bucket suffices because intern lookups are by deep
+    // value anyway.
+    name = "$anon";
+  }
+  auto& bucket = interned_[name];
+  auto it = bucket.find(value);
+  if (it != bucket.end()) return it->second;
+  uint32_t id = TypeIdFor(name);
+  Oid oid{id, next_serial_[name]++};
+  heap_[oid] = Obj{value, name, name};
+  bucket.emplace(value, oid);
+  return oid;
+}
+
+Result<ValuePtr> ObjectStore::Deref(const Oid& oid) const {
+  auto it = heap_.find(oid);
+  if (it == heap_.end()) {
+    return Status::NotFound(StrCat("dangling reference ", oid.ToString()));
+  }
+  ++deref_count_;
+  return it->second.value;
+}
+
+Status ObjectStore::Update(const Oid& oid, ValuePtr value) {
+  auto it = heap_.find(oid);
+  if (it == heap_.end()) {
+    return Status::NotFound(StrCat("update of missing object ", oid.ToString()));
+  }
+  it->second.value = std::move(value);
+  return Status::OK();
+}
+
+Result<std::string> ObjectStore::ExactType(const Oid& oid) const {
+  auto it = heap_.find(oid);
+  if (it == heap_.end()) {
+    return Status::NotFound(StrCat("exact-type query on missing object ",
+                                   oid.ToString()));
+  }
+  return it->second.exact_type;
+}
+
+Status ObjectStore::MigrateType(const Oid& oid, const std::string& new_type) {
+  auto it = heap_.find(oid);
+  if (it == heap_.end()) {
+    return Status::NotFound(StrCat("migration of missing object ", oid.ToString()));
+  }
+  if (!catalog_->HasType(new_type)) {
+    return Status::NotFound(StrCat("migration to undefined type '", new_type, "'"));
+  }
+  // Keep the OID legal for every existing `ref T` that may hold it: the new
+  // exact type must still lie in Odom(allocation type), i.e. be the
+  // allocation type or one of its descendants.
+  if (!catalog_->IsSubtype(new_type, it->second.allocation_type)) {
+    return Status::TypeError(
+        StrCat("illegal type migration of ", oid.ToString(), " from '",
+               it->second.exact_type, "' to '", new_type,
+               "': new type must be a subtype of the allocation type '",
+               it->second.allocation_type, "'"));
+  }
+  it->second.exact_type = new_type;
+  return Status::OK();
+}
+
+bool ObjectStore::InDomain(const Oid& oid, const std::string& type_name) const {
+  auto it = heap_.find(oid);
+  if (it == heap_.end()) return false;
+  return catalog_->IsSubtype(it->second.exact_type, type_name);
+}
+
+std::string ObjectStore::ExactTypeOf(const ValuePtr& value) const {
+  if (value == nullptr) return "";
+  if (value->is_tuple()) return value->type_tag();
+  if (value->is_ref()) {
+    auto r = ExactType(value->oid());
+    // Exact-type probes are not derefs; undo the stats side effect of the
+    // heap lookup path (ExactType does not call Deref, so nothing to undo).
+    if (r.ok()) return *r;
+  }
+  return "";
+}
+
+}  // namespace excess

@@ -1,0 +1,99 @@
+#ifndef EXCESS_OBJECTS_STORE_H_
+#define EXCESS_OBJECTS_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "objects/oid.h"
+#include "objects/value.h"
+#include "util/status.h"
+
+namespace excess {
+
+/// The object heap: maps OIDs to object state. Substitutes for the EXODUS
+/// storage manager — the algebra only needs allocation, dereference, update
+/// and exact-type queries, all of which this in-memory store provides.
+///
+/// The store owns the OID type-id registry. Catalog types get ids on first
+/// use; the REF operator may also mint *anonymous* target types (named
+/// "$anon<N>") for references to structures that have no user type name.
+class ObjectStore {
+ public:
+  explicit ObjectStore(const Catalog* catalog) : catalog_(catalog) {}
+  ObjectStore(const ObjectStore&) = delete;
+  ObjectStore& operator=(const ObjectStore&) = delete;
+
+  /// Allocates a fresh OID with exact type `type_name` (which must be a
+  /// catalog type) and stores `value` as the object's state.
+  Result<Oid> Create(const std::string& type_name, ValuePtr value);
+
+  /// The REF operator's backing primitive: returns an OID for `value` under
+  /// `type_name` ("" for anonymous), reusing the OID previously interned
+  /// for an equal value of the same type. Interning keeps REF deterministic
+  /// (DEREF(REF(A)) == A and REF(A) == REF(A)), which the rule-28
+  /// transformations and per-distinct-element SET_APPLY evaluation rely on.
+  Result<Oid> InternRef(const std::string& type_name, const ValuePtr& value);
+
+  /// Materializes the object's current state (the DEREF primitive).
+  Result<ValuePtr> Deref(const Oid& oid) const;
+
+  /// Replaces the object's state.
+  Status Update(const Oid& oid, ValuePtr value);
+
+  /// Current exact type name of the object (allocation type unless the
+  /// object has migrated).
+  Result<std::string> ExactType(const Oid& oid) const;
+
+  /// Type migration (§3.1 notes the domain semantics permit it): changes
+  /// the object's current exact type. The new type must share a common
+  /// supertype chain with the old one so that existing `ref T` values
+  /// remain domain-legal: we require new_type to be a subtype of every
+  /// supertype of the allocation type, which is implied by requiring
+  /// IsSubtype(new_type, allocation_type).
+  Status MigrateType(const Oid& oid, const std::string& new_type);
+
+  /// OID-domain membership: oid ∈ Odom(type_name) iff the object's current
+  /// exact type is `type_name` or a descendant of it (rules 3-5 of §3.1).
+  bool InDomain(const Oid& oid, const std::string& type_name) const;
+
+  /// Exact type name of any value: the tuple's tag, a ref's stored exact
+  /// type, or "" when untyped.
+  std::string ExactTypeOf(const ValuePtr& value) const;
+
+  /// Number of live objects.
+  size_t size() const { return heap_.size(); }
+
+  /// Running count of Deref calls — instrumentation used by the figure
+  /// benches (e.g. rule 26 halving the DEREF count in Example 2).
+  int64_t deref_count() const { return deref_count_; }
+  void ResetStats() { deref_count_ = 0; }
+
+ private:
+  struct Obj {
+    ValuePtr value;
+    std::string allocation_type;
+    std::string exact_type;
+  };
+
+  uint32_t TypeIdFor(const std::string& type_name);
+
+  const Catalog* catalog_;
+  std::unordered_map<Oid, Obj, OidHash> heap_;
+  std::map<std::string, uint32_t> type_ids_;
+  std::vector<std::string> id_names_;
+  std::map<std::string, uint64_t> next_serial_;
+  // Intern table: (type name, deep value) -> oid.
+  std::map<std::string,
+           std::unordered_map<ValuePtr, Oid, ValuePtrDeepHash, ValuePtrDeepEq>>
+      interned_;
+  int anon_counter_ = 0;
+  mutable int64_t deref_count_ = 0;
+};
+
+}  // namespace excess
+
+#endif  // EXCESS_OBJECTS_STORE_H_

@@ -1,0 +1,403 @@
+#include "objects/value.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/hash.h"
+#include "util/string_util.h"
+
+namespace excess {
+
+const char* ValueKindToString(ValueKind kind) {
+  switch (kind) {
+    case ValueKind::kInt:
+      return "int";
+    case ValueKind::kFloat:
+      return "float";
+    case ValueKind::kString:
+      return "string";
+    case ValueKind::kBool:
+      return "bool";
+    case ValueKind::kDate:
+      return "date";
+    case ValueKind::kDne:
+      return "dne";
+    case ValueKind::kUnk:
+      return "unk";
+    case ValueKind::kTuple:
+      return "tuple";
+    case ValueKind::kSet:
+      return "set";
+    case ValueKind::kArray:
+      return "array";
+    case ValueKind::kRef:
+      return "ref";
+  }
+  return "?";
+}
+
+ValuePtr Value::Int(int64_t v) {
+  auto p = std::shared_ptr<Value>(new Value(ValueKind::kInt));
+  p->int_ = v;
+  return p;
+}
+
+ValuePtr Value::Float(double v) {
+  auto p = std::shared_ptr<Value>(new Value(ValueKind::kFloat));
+  p->float_ = v;
+  return p;
+}
+
+ValuePtr Value::Str(std::string v) {
+  auto p = std::shared_ptr<Value>(new Value(ValueKind::kString));
+  p->str_ = std::move(v);
+  return p;
+}
+
+ValuePtr Value::Bool(bool v) {
+  auto p = std::shared_ptr<Value>(new Value(ValueKind::kBool));
+  p->bool_ = v;
+  return p;
+}
+
+ValuePtr Value::Date(int64_t days) {
+  auto p = std::shared_ptr<Value>(new Value(ValueKind::kDate));
+  p->int_ = days;
+  return p;
+}
+
+ValuePtr Value::Dne() {
+  static const ValuePtr dne = std::shared_ptr<Value>(new Value(ValueKind::kDne));
+  return dne;
+}
+
+ValuePtr Value::Unk() {
+  static const ValuePtr unk = std::shared_ptr<Value>(new Value(ValueKind::kUnk));
+  return unk;
+}
+
+ValuePtr Value::Tuple(std::vector<std::string> names, std::vector<ValuePtr> vals,
+                      std::string type_tag) {
+  auto p = std::shared_ptr<Value>(new Value(ValueKind::kTuple));
+  p->names_ = std::move(names);
+  p->elems_ = std::move(vals);
+  p->type_tag_ = std::move(type_tag);
+  return p;
+}
+
+ValuePtr Value::TupleOf(std::vector<ValuePtr> vals) {
+  std::vector<std::string> names;
+  names.reserve(vals.size());
+  for (size_t i = 0; i < vals.size(); ++i) names.push_back(StrCat("_", i + 1));
+  return Tuple(std::move(names), std::move(vals));
+}
+
+ValuePtr Value::Retag(const ValuePtr& t, std::string type_tag) {
+  auto p = std::shared_ptr<Value>(new Value(*t));
+  p->type_tag_ = std::move(type_tag);
+  p->hash_valid_ = false;
+  return p;
+}
+
+ValuePtr Value::SetOf(const std::vector<ValuePtr>& occurrences) {
+  std::vector<SetEntry> entries;
+  entries.reserve(occurrences.size());
+  for (const auto& v : occurrences) entries.push_back({v, 1});
+  return SetOfCounted(std::move(entries));
+}
+
+ValuePtr Value::SetOfCounted(std::vector<SetEntry> in) {
+  auto p = std::shared_ptr<Value>(new Value(ValueKind::kSet));
+  std::unordered_map<ValuePtr, size_t, ValuePtrDeepHash, ValuePtrDeepEq> index;
+  for (auto& e : in) {
+    if (e.value == nullptr || e.value->is_dne() || e.count <= 0) continue;
+    auto it = index.find(e.value);
+    if (it == index.end()) {
+      index.emplace(e.value, p->set_.size());
+      p->set_.push_back(std::move(e));
+    } else {
+      p->set_[it->second].count += e.count;
+    }
+  }
+  return p;
+}
+
+ValuePtr Value::EmptySet() { return SetOfCounted({}); }
+
+ValuePtr Value::ArrayOf(std::vector<ValuePtr> elems) {
+  auto p = std::shared_ptr<Value>(new Value(ValueKind::kArray));
+  p->elems_.reserve(elems.size());
+  for (auto& e : elems) {
+    if (e == nullptr || e->is_dne()) continue;
+    p->elems_.push_back(std::move(e));
+  }
+  return p;
+}
+
+ValuePtr Value::EmptyArray() { return ArrayOf({}); }
+
+ValuePtr Value::RefTo(Oid oid) {
+  auto p = std::shared_ptr<Value>(new Value(ValueKind::kRef));
+  p->oid_ = oid;
+  return p;
+}
+
+double Value::NumericValue() const {
+  switch (kind_) {
+    case ValueKind::kInt:
+    case ValueKind::kDate:
+      return static_cast<double>(int_);
+    case ValueKind::kFloat:
+      return float_;
+    default:
+      return 0;
+  }
+}
+
+Result<ValuePtr> Value::Field(const std::string& name) const {
+  if (!is_tuple()) {
+    return Status::TypeError(
+        StrCat("field access '", name, "' on non-tuple ", ToString()));
+  }
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return elems_[i];
+  }
+  return Status::NotFound(StrCat("no field '", name, "' in ", ToString()));
+}
+
+Result<ValuePtr> Value::FieldAt(size_t i) const {
+  if (!is_tuple()) return Status::TypeError("positional field access on non-tuple");
+  if (i >= elems_.size()) {
+    return Status::NotFound(StrCat("tuple has no field #", i));
+  }
+  return elems_[i];
+}
+
+int Value::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int64_t Value::TotalCount() const {
+  int64_t n = 0;
+  for (const auto& e : set_) n += e.count;
+  return n;
+}
+
+int64_t Value::DistinctCount() const { return static_cast<int64_t>(set_.size()); }
+
+int64_t Value::CountOf(const ValuePtr& v) const {
+  for (const auto& e : set_) {
+    if (e.value->Equals(*v)) return e.count;
+  }
+  return 0;
+}
+
+bool Value::Equals(const Value& other) const {
+  if (this == &other) return true;
+  if (kind_ != other.kind_) return false;
+  if (hash_valid_ && other.hash_valid_ && hash_ != other.hash_) return false;
+  switch (kind_) {
+    case ValueKind::kInt:
+    case ValueKind::kDate:
+      return int_ == other.int_;
+    case ValueKind::kFloat:
+      return float_ == other.float_;
+    case ValueKind::kString:
+      return str_ == other.str_;
+    case ValueKind::kBool:
+      return bool_ == other.bool_;
+    case ValueKind::kDne:
+    case ValueKind::kUnk:
+      return true;
+    case ValueKind::kRef:
+      return oid_ == other.oid_;
+    case ValueKind::kTuple: {
+      // Record-style equality: tuples are equal iff they carry the same
+      // multiset of (field name, value) pairs. Field *order* is not part of
+      // the value, which is what makes TUP_CAT commutative (Appendix rule
+      // 23). Fast path: identical name vectors compare positionally.
+      if (elems_.size() != other.elems_.size()) return false;
+      if (names_ == other.names_) {
+        for (size_t i = 0; i < elems_.size(); ++i) {
+          if (!elems_[i]->Equals(*other.elems_[i])) return false;
+        }
+        return true;
+      }
+      std::vector<bool> used(elems_.size(), false);
+      for (size_t i = 0; i < elems_.size(); ++i) {
+        bool matched = false;
+        for (size_t j = 0; j < elems_.size(); ++j) {
+          if (used[j] || names_[i] != other.names_[j]) continue;
+          if (elems_[i]->Equals(*other.elems_[j])) {
+            used[j] = true;
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) return false;
+      }
+      return true;
+    }
+    case ValueKind::kArray: {
+      if (elems_.size() != other.elems_.size()) return false;
+      for (size_t i = 0; i < elems_.size(); ++i) {
+        if (!elems_[i]->Equals(*other.elems_[i])) return false;
+      }
+      return true;
+    }
+    case ValueKind::kSet: {
+      // Two multisets are equal iff every element has the same cardinality
+      // in both (§3.2.1). Entries are normalized-distinct, so sizes match
+      // and each entry must be found in the other with the same count.
+      if (set_.size() != other.set_.size()) return false;
+      for (const auto& e : set_) {
+        bool found = false;
+        for (const auto& o : other.set_) {
+          if (e.value->Equals(*o.value)) {
+            if (e.count != o.count) return false;
+            found = true;
+            break;
+          }
+        }
+        if (!found) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+uint64_t Value::Hash() const {
+  if (hash_valid_) return hash_;
+  uint64_t h = HashCombine(0x5eed, static_cast<uint64_t>(kind_));
+  switch (kind_) {
+    case ValueKind::kInt:
+    case ValueKind::kDate:
+      h = HashCombine(h, static_cast<uint64_t>(int_));
+      break;
+    case ValueKind::kFloat: {
+      // Normalize -0.0 to 0.0 so equal floats hash equally.
+      double d = float_ == 0.0 ? 0.0 : float_;
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      __builtin_memcpy(&bits, &d, sizeof(bits));
+      h = HashCombine(h, bits);
+      break;
+    }
+    case ValueKind::kString:
+      h = HashCombine(h, HashString(str_));
+      break;
+    case ValueKind::kBool:
+      h = HashCombine(h, bool_ ? 1 : 0);
+      break;
+    case ValueKind::kDne:
+    case ValueKind::kUnk:
+      break;
+    case ValueKind::kRef:
+      h = HashCombine(h, oid_.Hash());
+      break;
+    case ValueKind::kTuple: {
+      // Order-insensitive over (name, value) pairs, matching record-style
+      // equality above.
+      uint64_t acc = 0;
+      for (size_t i = 0; i < elems_.size(); ++i) {
+        acc = HashMixUnordered(
+            acc, HashCombine(HashString(names_[i]), elems_[i]->Hash()));
+      }
+      h = HashCombine(h, acc);
+      break;
+    }
+    case ValueKind::kArray:
+      for (const auto& e : elems_) h = HashCombine(h, e->Hash());
+      break;
+    case ValueKind::kSet: {
+      // Order-insensitive mix: entries are in insertion order, which is not
+      // canonical across equal multisets.
+      uint64_t acc = 0;
+      for (const auto& e : set_) {
+        acc = HashMixUnordered(
+            acc, HashCombine(e.value->Hash(), static_cast<uint64_t>(e.count)));
+      }
+      h = HashCombine(h, acc);
+      break;
+    }
+  }
+  hash_ = h;
+  hash_valid_ = true;
+  return h;
+}
+
+Result<int> Value::Compare(const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) {
+    return Status::EvalError("comparison involving a null value");
+  }
+  if (a.IsNumeric() && b.IsNumeric()) {
+    double x = a.NumericValue();
+    double y = b.NumericValue();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (a.kind() == ValueKind::kString && b.kind() == ValueKind::kString) {
+    int c = a.as_string().compare(b.as_string());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  if (a.kind() == ValueKind::kBool && b.kind() == ValueKind::kBool) {
+    return static_cast<int>(a.as_bool()) - static_cast<int>(b.as_bool());
+  }
+  return Status::TypeError(StrCat("cannot order ", ValueKindToString(a.kind()),
+                                  " against ", ValueKindToString(b.kind())));
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case ValueKind::kInt:
+      return StrCat(int_);
+    case ValueKind::kDate:
+      return StrCat("date(", int_, ")");
+    case ValueKind::kFloat:
+      return StrCat(float_);
+    case ValueKind::kString:
+      return StrCat("\"", str_, "\"");
+    case ValueKind::kBool:
+      return bool_ ? "true" : "false";
+    case ValueKind::kDne:
+      return "dne";
+    case ValueKind::kUnk:
+      return "unk";
+    case ValueKind::kRef:
+      return oid_.ToString();
+    case ValueKind::kTuple: {
+      std::vector<std::string> parts;
+      parts.reserve(elems_.size());
+      for (size_t i = 0; i < elems_.size(); ++i) {
+        parts.push_back(StrCat(names_[i], ": ", elems_[i]->ToString()));
+      }
+      std::string body = StrCat("(", Join(parts, ", "), ")");
+      if (!type_tag_.empty()) return StrCat(type_tag_, body);
+      return body;
+    }
+    case ValueKind::kArray: {
+      std::vector<std::string> parts;
+      parts.reserve(elems_.size());
+      for (const auto& e : elems_) parts.push_back(e->ToString());
+      return StrCat("[", Join(parts, ", "), "]");
+    }
+    case ValueKind::kSet: {
+      std::vector<std::string> parts;
+      parts.reserve(set_.size());
+      for (const auto& e : set_) {
+        if (e.count == 1) {
+          parts.push_back(e.value->ToString());
+        } else {
+          parts.push_back(StrCat(e.value->ToString(), " x", e.count));
+        }
+      }
+      return StrCat("{", Join(parts, ", "), "}");
+    }
+  }
+  return "?";
+}
+
+}  // namespace excess

@@ -1,0 +1,185 @@
+#ifndef EXCESS_OBJECTS_VALUE_H_
+#define EXCESS_OBJECTS_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "objects/oid.h"
+#include "util/status.h"
+
+namespace excess {
+
+class Value;
+using ValuePtr = std::shared_ptr<const Value>;
+
+/// Runtime kinds; the structured kinds mirror the type constructors.
+enum class ValueKind {
+  kInt,
+  kFloat,
+  kString,
+  kBool,
+  kDate,  // days since 1970-01-01
+  kDne,   // "does not exist" null (discarded by multiset/array construction)
+  kUnk,   // "unknown" null (a real, retained value)
+  kTuple,
+  kSet,    // multiset, cardinality-compressed
+  kArray,  // ordered, variable length
+  kRef,    // an OID
+};
+
+const char* ValueKindToString(ValueKind kind);
+
+/// A distinct multiset element together with its cardinality.
+struct SetEntry {
+  ValuePtr value;
+  int64_t count = 0;
+};
+
+/// An immutable runtime value of the EXTRA/EXCESS data model.
+///
+/// Equality is the paper's single, purely value-based equality (§3.2.4):
+///  - scalars compare by kind and payload;
+///  - tuples compare positionally on field values (field names and exact
+///    type tags are presentation/dispatch metadata, not part of the value);
+///  - multisets compare per-element cardinality (§3.2.1);
+///  - arrays compare element-wise in order;
+///  - references compare by OID — identity *is* the ref's value, which is
+///    what lets one equality serve both semantics.
+///
+/// Values are shared via shared_ptr<const Value>; all algebra operators
+/// build new values out of old ones without mutation.
+class Value {
+ public:
+  // --- scalar factories -----------------------------------------------
+  static ValuePtr Int(int64_t v);
+  static ValuePtr Float(double v);
+  static ValuePtr Str(std::string v);
+  static ValuePtr Bool(bool v);
+  static ValuePtr Date(int64_t days);
+  static ValuePtr Dne();
+  static ValuePtr Unk();
+
+  // --- structured factories ---------------------------------------------
+  /// Tuple with explicit field names (names.size() == vals.size()).
+  /// `type_tag`, when non-empty, records the exact named type this tuple is
+  /// an instance of (used for substitutability and §4 dispatch).
+  static ValuePtr Tuple(std::vector<std::string> names,
+                        std::vector<ValuePtr> vals, std::string type_tag = "");
+  /// Tuple with positional names _1.._n.
+  static ValuePtr TupleOf(std::vector<ValuePtr> vals);
+  /// Returns a copy of tuple `t` re-tagged with `type_tag`.
+  static ValuePtr Retag(const ValuePtr& t, std::string type_tag);
+
+  /// Multiset from occurrences; normalizes to (distinct value, count) and
+  /// discards dne occurrences ("dne nulls appearing in a multiset are
+  /// ignored", §3.2.4).
+  static ValuePtr SetOf(const std::vector<ValuePtr>& occurrences);
+  /// Multiset from pre-counted entries; merges equal values, drops entries
+  /// with count <= 0 and dne values.
+  static ValuePtr SetOfCounted(std::vector<SetEntry> entries);
+  static ValuePtr EmptySet();
+
+  /// Array; dne elements are discarded (the order-preserving analogue of
+  /// the multiset rule, which is what makes array selection via
+  /// ARR_APPLY(COMP) behave as a filter).
+  static ValuePtr ArrayOf(std::vector<ValuePtr> elems);
+  static ValuePtr EmptyArray();
+
+  static ValuePtr RefTo(Oid oid);
+
+  // --- inspectors ---------------------------------------------------------
+  ValueKind kind() const { return kind_; }
+  bool is_dne() const { return kind_ == ValueKind::kDne; }
+  bool is_unk() const { return kind_ == ValueKind::kUnk; }
+  bool is_null() const { return is_dne() || is_unk(); }
+  bool is_scalar() const {
+    return kind_ != ValueKind::kTuple && kind_ != ValueKind::kSet &&
+           kind_ != ValueKind::kArray;
+  }
+  bool is_tuple() const { return kind_ == ValueKind::kTuple; }
+  bool is_set() const { return kind_ == ValueKind::kSet; }
+  bool is_array() const { return kind_ == ValueKind::kArray; }
+  bool is_ref() const { return kind_ == ValueKind::kRef; }
+
+  int64_t as_int() const { return int_; }        // kInt / kDate
+  double as_float() const { return float_; }     // kFloat
+  const std::string& as_string() const { return str_; }
+  bool as_bool() const { return bool_; }
+  const Oid& oid() const { return oid_; }
+
+  /// Numeric payload as double for arithmetic/comparison coercion; only
+  /// valid for kInt/kFloat/kDate.
+  double NumericValue() const;
+  bool IsNumeric() const {
+    return kind_ == ValueKind::kInt || kind_ == ValueKind::kFloat ||
+           kind_ == ValueKind::kDate;
+  }
+
+  // Tuple access.
+  const std::vector<std::string>& field_names() const { return names_; }
+  const std::vector<ValuePtr>& field_values() const { return elems_; }
+  size_t num_fields() const { return elems_.size(); }
+  /// First field with the given name.
+  Result<ValuePtr> Field(const std::string& name) const;
+  Result<ValuePtr> FieldAt(size_t i) const;
+  int FieldIndex(const std::string& name) const;
+  const std::string& type_tag() const { return type_tag_; }
+
+  // Multiset access.
+  const std::vector<SetEntry>& entries() const { return set_; }
+  int64_t TotalCount() const;      // sum of cardinalities (|x| occurrences)
+  int64_t DistinctCount() const;   // number of distinct elements
+  int64_t CountOf(const ValuePtr& v) const;
+
+  // Array access.
+  const std::vector<ValuePtr>& elems() const { return elems_; }
+  int64_t ArrayLength() const { return static_cast<int64_t>(elems_.size()); }
+
+  // --- equality / hashing / printing --------------------------------------
+  bool Equals(const Value& other) const;
+  bool Equals(const ValuePtr& other) const { return other && Equals(*other); }
+  /// Deep hash, cached after first computation (values are immutable).
+  uint64_t Hash() const;
+
+  /// Total order over comparable scalars (numeric coercion between
+  /// int/float/date; strings lexicographic; bools false<true). Returns
+  /// TypeError for incomparable kinds, EvalError when either side is null.
+  static Result<int> Compare(const Value& a, const Value& b);
+
+  /// EXTRA-literal-style rendering: {..}, [..], (..), @type:serial.
+  std::string ToString() const;
+
+ private:
+  explicit Value(ValueKind kind) : kind_(kind) {}
+
+  ValueKind kind_;
+  int64_t int_ = 0;
+  double float_ = 0;
+  bool bool_ = false;
+  std::string str_;
+  Oid oid_;
+  std::vector<std::string> names_;   // tuple field names
+  std::vector<ValuePtr> elems_;      // tuple fields or array elements
+  std::vector<SetEntry> set_;        // multiset entries
+  std::string type_tag_;
+  mutable uint64_t hash_ = 0;
+  mutable bool hash_valid_ = false;
+};
+
+/// Equality/hash functors so ValuePtr can key unordered containers by deep
+/// value (used by multiset normalization, GRP, DE, and REF interning).
+struct ValuePtrDeepHash {
+  size_t operator()(const ValuePtr& v) const { return v->Hash(); }
+};
+struct ValuePtrDeepEq {
+  bool operator()(const ValuePtr& a, const ValuePtr& b) const {
+    return a->Equals(*b);
+  }
+};
+
+}  // namespace excess
+
+#endif  // EXCESS_OBJECTS_VALUE_H_

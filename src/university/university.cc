@@ -1,0 +1,240 @@
+#include "university/university.h"
+
+#include <random>
+
+#include "util/string_util.h"
+
+namespace excess {
+
+namespace {
+
+/// Person tuple value (also the base fields of Employee/Student values).
+ValuePtr MakePersonFields(int i, const UniversityParams& p, std::mt19937* rng) {
+  std::uniform_int_distribution<int> zip(10000, 99999);
+  std::uniform_int_distribution<int64_t> birthday(-10000, 10000);
+  return Value::Tuple(
+      {"ssnum", "name", "street", "city", "zip", "birthday"},
+      {Value::Int(100000 + i), Value::Str(StrCat("person_", i)),
+       Value::Str(StrCat(i % 100, " Main St")),
+       Value::Str(StrCat("city_", i % p.num_cities)), Value::Int(zip(*rng)),
+       Value::Date(birthday(*rng))},
+      "Person");
+}
+
+Status DefineTypes(Database* db, const UniversityParams& p) {
+  Catalog& cat = db->catalog();
+  EXA_RETURN_NOT_OK(cat.DefineType(
+      "Person",
+      Schema::Tup({{"ssnum", IntSchema()},
+                   {"name", StringSchema()},
+                   {"street", StringSchema()},
+                   {"city", StringSchema()},
+                   {"zip", IntSchema()},
+                   {"birthday", DateSchema()}})));
+  // Figure 1 declares kids: { Person } — subordinate Person *values* (the
+  // nested-relational default), not references.
+  EXA_ASSIGN_OR_RETURN(SchemaPtr person_schema, cat.EffectiveSchema("Person"));
+  EXA_RETURN_NOT_OK(cat.DefineType(
+      "Employee",
+      Schema::Tup({{"jobtitle", StringSchema()},
+                   {"dept", Schema::Ref("Department")},
+                   {"manager", Schema::Ref("Employee")},
+                   {"sub_ords", Schema::Set(Schema::Ref("Employee"))},
+                   {"salary", IntSchema()},
+                   {"kids", Schema::Set(person_schema)}}),
+      {"Person"}));
+  EXA_RETURN_NOT_OK(cat.DefineType(
+      "Student",
+      Schema::Tup({{"gpa", FloatSchema()},
+                   {"dept", Schema::Ref("Department")},
+                   {"advisor", p.advisor_as_name
+                                   ? StringSchema()
+                                   : Schema::Ref("Employee")}}),
+      {"Person"}));
+  EXA_RETURN_NOT_OK(cat.DefineType(
+      "Department",
+      Schema::Tup({{"division", StringSchema()},
+                   {"name", StringSchema()},
+                   {"floor", IntSchema()},
+                   {"employees", Schema::Set(Schema::Ref("Employee"))}})));
+  return cat.Validate();
+}
+
+}  // namespace
+
+Status BuildUniversity(Database* db, const UniversityParams& p) {
+  std::mt19937 rng(p.seed);
+  EXA_RETURN_NOT_OK(DefineTypes(db, p));
+  ObjectStore& store = db->store();
+
+  // Departments first (employees filled in afterwards).
+  std::vector<Oid> dept_oids;
+  dept_oids.reserve(p.num_departments);
+  for (int d = 0; d < p.num_departments; ++d) {
+    ValuePtr dept = Value::Tuple(
+        {"division", "name", "floor", "employees"},
+        {Value::Str(StrCat("division_", d % p.num_divisions)),
+         Value::Str(StrCat("dept_", d)), Value::Int(1 + d % p.num_floors),
+         Value::EmptySet()},
+        "Department");
+    EXA_ASSIGN_OR_RETURN(Oid oid, store.Create("Department", dept));
+    dept_oids.push_back(oid);
+  }
+
+  // Employees; manager/sub_ords wired in a second pass.
+  std::uniform_int_distribution<int64_t> salary(30000, 150000);
+  std::vector<Oid> emp_oids;
+  emp_oids.reserve(p.num_employees);
+  for (int i = 0; i < p.num_employees; ++i) {
+    ValuePtr base = MakePersonFields(i, p, &rng);
+    std::vector<ValuePtr> kid_vals;
+    for (int k = 0; k < p.kids_per_employee; ++k) {
+      kid_vals.push_back(
+          MakePersonFields(1000 * (i + 1) + k, p, &rng));
+    }
+    std::vector<std::string> names = base->field_names();
+    std::vector<ValuePtr> vals = base->field_values();
+    names.insert(names.end(),
+                 {"jobtitle", "dept", "manager", "sub_ords", "salary", "kids"});
+    Oid dept = dept_oids[i % dept_oids.size()];
+    vals.push_back(Value::Str(StrCat("title_", i % 7)));
+    vals.push_back(Value::RefTo(dept));
+    vals.push_back(Value::Dne());  // manager patched below
+    vals.push_back(Value::EmptySet());
+    vals.push_back(Value::Int(salary(rng)));
+    vals.push_back(Value::SetOf(kid_vals));
+    ValuePtr emp = Value::Tuple(std::move(names), std::move(vals), "Employee");
+    EXA_ASSIGN_OR_RETURN(Oid oid, store.Create("Employee", emp));
+    emp_oids.push_back(oid);
+  }
+
+  // Second pass: managers and sub_ords. Employee 10k manages the following
+  // subords_per_manager employees (wrap-around).
+  for (int i = 0; i < p.num_employees; ++i) {
+    int mgr = (i / 10) * 10;  // decade leader
+    EXA_ASSIGN_OR_RETURN(ValuePtr cur, store.Deref(emp_oids[i]));
+    std::vector<std::string> names = cur->field_names();
+    std::vector<ValuePtr> vals = cur->field_values();
+    int mi = cur->FieldIndex("manager");
+    vals[mi] = Value::RefTo(emp_oids[mgr]);
+    if (i % 10 == 0) {
+      std::vector<ValuePtr> subs;
+      for (int s = 1; s <= p.subords_per_manager; ++s) {
+        subs.push_back(Value::RefTo(emp_oids[(i + s) % p.num_employees]));
+      }
+      vals[cur->FieldIndex("sub_ords")] = Value::SetOf(subs);
+    }
+    EXA_RETURN_NOT_OK(store.Update(
+        emp_oids[i], Value::Tuple(std::move(names), std::move(vals),
+                                  "Employee")));
+  }
+
+  // Department employee sets.
+  for (size_t d = 0; d < dept_oids.size(); ++d) {
+    std::vector<ValuePtr> members;
+    for (size_t i = d; i < emp_oids.size(); i += dept_oids.size()) {
+      members.push_back(Value::RefTo(emp_oids[i]));
+    }
+    EXA_ASSIGN_OR_RETURN(ValuePtr cur, store.Deref(dept_oids[d]));
+    std::vector<std::string> names = cur->field_names();
+    std::vector<ValuePtr> vals = cur->field_values();
+    vals[cur->FieldIndex("employees")] = Value::SetOf(members);
+    EXA_RETURN_NOT_OK(store.Update(
+        dept_oids[d], Value::Tuple(std::move(names), std::move(vals),
+                                   "Department")));
+  }
+
+  // Students.
+  std::uniform_real_distribution<double> gpa(1.0, 4.0);
+  std::vector<Oid> student_oids;
+  student_oids.reserve(p.num_students);
+  for (int s = 0; s < p.num_students; ++s) {
+    ValuePtr base = MakePersonFields(500000 + s, p, &rng);
+    std::vector<std::string> names = base->field_names();
+    std::vector<ValuePtr> vals = base->field_values();
+    names.insert(names.end(), {"gpa", "dept", "advisor"});
+    vals.push_back(Value::Float(gpa(rng)));
+    vals.push_back(Value::RefTo(dept_oids[s % dept_oids.size()]));
+    int advisor = s % std::max(1, std::min(p.advisor_pool, p.num_employees));
+    if (p.advisor_as_name) {
+      vals.push_back(Value::Str(StrCat("person_", advisor)));
+    } else {
+      vals.push_back(Value::RefTo(emp_oids[advisor % emp_oids.size()]));
+    }
+    ValuePtr st = Value::Tuple(std::move(names), std::move(vals), "Student");
+    EXA_ASSIGN_OR_RETURN(Oid oid, store.Create("Student", st));
+    student_oids.push_back(oid);
+  }
+
+  // Named top-level objects (Figure 1's create statements), with the
+  // requested duplication factor on the multisets.
+  std::vector<SetEntry> emp_entries;
+  for (const auto& oid : emp_oids) {
+    emp_entries.push_back({Value::RefTo(oid), p.duplication});
+  }
+  std::vector<SetEntry> student_entries;
+  for (const auto& oid : student_oids) {
+    student_entries.push_back({Value::RefTo(oid), p.duplication});
+  }
+  std::vector<SetEntry> dept_entries;
+  for (const auto& oid : dept_oids) {
+    dept_entries.push_back({Value::RefTo(oid), p.duplication});
+  }
+  EXA_RETURN_NOT_OK(db->CreateNamed("Employees",
+                                    Schema::Set(Schema::Ref("Employee")),
+                                    Value::SetOfCounted(emp_entries)));
+  EXA_RETURN_NOT_OK(db->CreateNamed("Students",
+                                    Schema::Set(Schema::Ref("Student")),
+                                    Value::SetOfCounted(student_entries)));
+  EXA_RETURN_NOT_OK(db->CreateNamed("Departments",
+                                    Schema::Set(Schema::Ref("Department")),
+                                    Value::SetOfCounted(dept_entries)));
+
+  std::vector<ValuePtr> top;
+  for (int i = 0; i < 10 && i < p.num_employees; ++i) {
+    top.push_back(Value::RefTo(emp_oids[i]));
+  }
+  EXA_RETURN_NOT_OK(db->CreateNamed(
+      "TopTen", Schema::FixedArr(Schema::Ref("Employee"), 10),
+      Value::ArrayOf(std::move(top))));
+  return Status::OK();
+}
+
+Status AddMixedPersonSet(Database* db, const std::string& name,
+                         int num_person, int num_student, int num_employee,
+                         const UniversityParams& p) {
+  std::mt19937 rng(p.seed + 1);
+  std::vector<ValuePtr> members;
+  for (int i = 0; i < num_person; ++i) {
+    members.push_back(MakePersonFields(700000 + i, p, &rng));
+  }
+  // Student/Employee *values*: reuse stored objects' states so the refs
+  // inside them are valid.
+  EXA_ASSIGN_OR_RETURN(ValuePtr students, db->NamedValue("Students"));
+  EXA_ASSIGN_OR_RETURN(ValuePtr employees, db->NamedValue("Employees"));
+  int taken = 0;
+  for (const auto& e : students->entries()) {
+    if (taken >= num_student) break;
+    EXA_ASSIGN_OR_RETURN(ValuePtr v, db->store().Deref(e.value->oid()));
+    members.push_back(v);
+    ++taken;
+  }
+  if (taken < num_student) {
+    return Status::Invalid("not enough students for the mixed Person set");
+  }
+  taken = 0;
+  for (const auto& e : employees->entries()) {
+    if (taken >= num_employee) break;
+    EXA_ASSIGN_OR_RETURN(ValuePtr v, db->store().Deref(e.value->oid()));
+    members.push_back(v);
+    ++taken;
+  }
+  if (taken < num_employee) {
+    return Status::Invalid("not enough employees for the mixed Person set");
+  }
+  EXA_ASSIGN_OR_RETURN(SchemaPtr person,
+                       db->catalog().EffectiveSchema("Person"));
+  return db->CreateNamed(name, Schema::Set(person), Value::SetOf(members));
+}
+
+}  // namespace excess

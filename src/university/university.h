@@ -1,0 +1,56 @@
+#ifndef EXCESS_UNIVERSITY_UNIVERSITY_H_
+#define EXCESS_UNIVERSITY_UNIVERSITY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "objects/database.h"
+#include "util/status.h"
+
+namespace excess {
+
+/// Parameters of the synthetic university database of Figure 1 — the
+/// workload substrate for the paper's examples (§2.2, §3.3, §5) and for
+/// every figure bench. The knobs map onto the cost arguments the paper
+/// makes: sizes (|S|, |E|, |D|), duplication factors, selectivities
+/// (floor/city skew), and fan-outs (kids, sub_ords).
+struct UniversityParams {
+  int num_departments = 5;
+  int num_employees = 50;
+  int num_students = 100;
+  int kids_per_employee = 2;
+  /// Every employee whose index is a multiple of 10 manages this many
+  /// subordinates (drives the §4 expensive-method scenario).
+  int subords_per_manager = 4;
+  int num_floors = 5;        // floors cycle 1..num_floors
+  int num_cities = 3;        // cities cycle city_0..city_{n-1}
+  int num_divisions = 3;     // divisions cycle division_0..
+  /// Each Employees/Students occurrence is inserted this many times —
+  /// the duplication factor of the Figure 6-8 experiment.
+  int duplication = 1;
+  /// §5 Example 1 assumes Student.advisor is the advisor's *name* (a
+  /// value) rather than a reference; set for that experiment.
+  bool advisor_as_name = false;
+  /// Distinct advisor names are drawn from the first `advisor_pool`
+  /// employees, controlling the Example 1 join fan-in.
+  int advisor_pool = 10;
+  uint32_t seed = 42;
+};
+
+/// Builds the Figure 1 schema (Person, Employee, Student, Department with
+/// multiple top-level objects Employees, Students, Departments, TopTen)
+/// and a deterministic synthetic instance into `db` (which must be fresh).
+Status BuildUniversity(Database* db, const UniversityParams& params);
+
+/// Adds a named multiset `P : { Person }` holding Person/Student/Employee
+/// *values* (substitutability) with the given exact-type counts — the §4
+/// overridden-method collection.
+Status AddMixedPersonSet(Database* db, const std::string& name,
+                         int num_person, int num_student, int num_employee,
+                         const UniversityParams& params);
+
+}  // namespace excess
+
+#endif  // EXCESS_UNIVERSITY_UNIVERSITY_H_

@@ -1,0 +1,44 @@
+#ifndef EXCESS_UTIL_HASH_H_
+#define EXCESS_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace excess {
+
+/// 64-bit FNV-1a, the workhorse hash for deep value hashing. Deterministic
+/// across runs so that test expectations involving hash-ordered containers
+/// are reproducible.
+inline uint64_t Fnv1a64(const void* data, size_t len, uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+
+inline uint64_t HashBytes(const void* data, size_t len) {
+  return Fnv1a64(data, len, kFnvOffsetBasis);
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+/// Order-sensitive hash combiner (boost-style).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
+}
+
+/// Order-insensitive combiner, used for multiset hashing where element
+/// order must not affect the hash.
+inline uint64_t HashMixUnordered(uint64_t acc, uint64_t h) { return acc + h * 31; }
+
+}  // namespace excess
+
+#endif  // EXCESS_UTIL_HASH_H_

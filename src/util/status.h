@@ -1,0 +1,160 @@
+#ifndef EXCESS_UTIL_STATUS_H_
+#define EXCESS_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+namespace excess {
+
+/// Error categories used across the library. The algebra layer reports
+/// kTypeError for schema-inference failures and kEvalError for runtime
+/// evaluation failures; the language layer reports kParseError.
+enum class StatusCode {
+  kOk = 0,
+  kInvalid,        // malformed input or argument
+  kTypeError,      // schema / type-inference violation
+  kEvalError,      // runtime evaluation failure
+  kParseError,     // EXCESS lexer/parser failure
+  kNotFound,       // missing catalog entry, OID, field, ...
+  kAlreadyExists,  // duplicate definition
+  kUnsupported,    // feature intentionally out of scope
+  kInternal,       // invariant violation (a bug in this library)
+};
+
+/// Returns a stable human-readable name ("TypeError", ...) for a code.
+const char* StatusCodeToString(StatusCode code);
+
+/// Arrow/RocksDB-style status object. Functions that can fail return Status
+/// (or Result<T> below) instead of throwing; exceptions never cross the
+/// public API boundary.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalid, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status EvalError(std::string msg) {
+    return Status(StatusCode::kEvalError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsTypeError() const { return code_ == StatusCode::kTypeError; }
+  bool IsEvalError() const { return code_ == StatusCode::kEvalError; }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-status holder. Result<T> is in the error state iff its status
+/// is not OK; accessing the value in the error state aborts (it indicates a
+/// missing EXA_RETURN_NOT_OK in the caller, i.e., a bug).
+template <typename T>
+class Result {
+ public:
+  /// Accepts anything constructible into T (e.g. shared_ptr<X> into
+  /// shared_ptr<const X>), but never a Status or another Result.
+  template <typename U,
+            typename = std::enable_if_t<
+                std::is_constructible_v<T, U&&> &&
+                !std::is_same_v<std::decay_t<U>, Result<T>> &&
+                !std::is_same_v<std::decay_t<U>, Status>>>
+  Result(U&& value)  // NOLINT(runtime/explicit)
+      : value_(std::forward<U>(value)) {}
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    CheckOk();
+    return *value_;
+  }
+  T ValueOrDie() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+
+ private:
+  void CheckOk() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResult(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::CheckOk() const {
+  if (!status_.ok() || !value_.has_value()) {
+    internal::DieOnBadResult(status_);
+  }
+}
+
+}  // namespace excess
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define EXA_RETURN_NOT_OK(expr)                 \
+  do {                                          \
+    ::excess::Status _exa_st = (expr);          \
+    if (!_exa_st.ok()) return _exa_st;          \
+  } while (0)
+
+#define EXA_CONCAT_IMPL(a, b) a##b
+#define EXA_CONCAT(a, b) EXA_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T> expression; on error propagates the status, on
+/// success assigns the value to `lhs` (which may be a declaration).
+#define EXA_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  EXA_ASSIGN_OR_RETURN_IMPL(EXA_CONCAT(_exa_result_, __LINE__), lhs, rexpr)
+
+#define EXA_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).ValueOrDie();
+
+#endif  // EXCESS_UTIL_STATUS_H_

@@ -1,0 +1,32 @@
+#ifndef EXCESS_UTIL_STRING_UTIL_H_
+#define EXCESS_UTIL_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace excess {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+inline std::string Join(const std::vector<std::string>& parts,
+                        const std::string& sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+/// Streams all arguments into one string; the library's lightweight
+/// replacement for absl::StrCat.
+template <typename... Args>
+std::string StrCat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+}  // namespace excess
+
+#endif  // EXCESS_UTIL_STRING_UTIL_H_

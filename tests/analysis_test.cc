@@ -1,0 +1,129 @@
+// The static analyses behind the transformation rules' side conditions:
+// free-INPUT detection and substitution, field-locality ("E applies only
+// to A"), COMP detection, subtree replacement, and shared-DEREF discovery.
+
+#include "core/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "core/builder.h"
+
+namespace excess {
+namespace {
+
+using namespace alg;  // NOLINT(build/namespaces)
+
+TEST(AnalysisTest, ContainsFreeInput) {
+  EXPECT_TRUE(analysis::ContainsFreeInput(Input()));
+  EXPECT_TRUE(analysis::ContainsFreeInput(TupExtract("a", Input())));
+  EXPECT_FALSE(analysis::ContainsFreeInput(Var("R")));
+  // INPUT inside a nested SET_APPLY subscript is bound, not free.
+  ExprPtr nested = SetApply(TupExtract("a", Input()), Var("R"));
+  EXPECT_FALSE(analysis::ContainsFreeInput(nested));
+  // ...but the data child may still contain a free INPUT.
+  ExprPtr corr = SetApply(Input(), TupExtract("kids", Input()));
+  EXPECT_TRUE(analysis::ContainsFreeInput(corr));
+}
+
+TEST(AnalysisTest, SubstituteInputRespectsBinders) {
+  ExprPtr repl = Var("X");
+  // Free INPUT replaced.
+  ExprPtr e = Arith("+", Input(), IntLit(1));
+  ExprPtr s = analysis::SubstituteInput(e, repl);
+  EXPECT_EQ(s->child(0)->kind(), OpKind::kVar);
+  // Bound INPUT (inside a subscript) untouched; the binder's data child is
+  // free context and is rewritten.
+  ExprPtr apply = SetApply(Arith("*", Input(), IntLit(2)), Input());
+  ExprPtr s2 = analysis::SubstituteInput(apply, repl);
+  EXPECT_EQ(s2->child(0)->kind(), OpKind::kVar);          // data: replaced
+  EXPECT_EQ(s2->sub()->child(0)->kind(), OpKind::kInput);  // subscript: kept
+  // No-op substitution returns the identical node (sharing preserved).
+  ExprPtr r = Var("R");
+  EXPECT_EQ(analysis::SubstituteInput(r, repl).get(), r.get());
+}
+
+TEST(AnalysisTest, DependsOnlyOnField) {
+  ExprPtr one_side = Arith(
+      "+", TupExtract("x", TupExtract("_1", Input())),
+      TupExtract("y", TupExtract("_1", Input())));
+  EXPECT_TRUE(analysis::DependsOnlyOnField(one_side, "_1"));
+  EXPECT_FALSE(analysis::DependsOnlyOnField(one_side, "_2"));
+  ExprPtr both = Arith("+", TupExtract("x", TupExtract("_1", Input())),
+                       TupExtract("_2", Input()));
+  EXPECT_FALSE(analysis::DependsOnlyOnField(both, "_1"));
+  // A bare INPUT sees the whole pair.
+  EXPECT_FALSE(analysis::DependsOnlyOnField(Input(), "_1"));
+  // No INPUT at all: vacuously one-sided.
+  EXPECT_TRUE(analysis::DependsOnlyOnField(Var("R"), "_1"));
+}
+
+TEST(AnalysisTest, StripFieldExtract) {
+  ExprPtr e = TupExtract("x", TupExtract("_1", Input()));
+  ExprPtr stripped = analysis::StripFieldExtract(e, "_1");
+  EXPECT_TRUE(stripped->Equals(*TupExtract("x", Input())));
+  // Other fields untouched.
+  EXPECT_TRUE(analysis::StripFieldExtract(e, "_2")->Equals(*e));
+}
+
+TEST(AnalysisTest, ContainsCompDescendsEverywhere) {
+  EXPECT_FALSE(analysis::ContainsComp(Arith("+", Input(), IntLit(1))));
+  EXPECT_TRUE(
+      analysis::ContainsComp(Comp(Predicate::True(), Input())));
+  // Inside a nested subscript.
+  EXPECT_TRUE(analysis::ContainsComp(
+      SetApply(Comp(Predicate::True(), Input()), Var("R"))));
+  // Inside a predicate operand.
+  EXPECT_TRUE(analysis::ContainsComp(Comp(
+      Eq(Comp(Predicate::True(), Input()), IntLit(1)), Var("R"))));
+}
+
+TEST(AnalysisTest, SubtreeReplacement) {
+  ExprPtr d = Deref(TupExtract("dept", Input()));
+  ExprPtr e = Arith("+", TupExtract("floor", d), IntLit(1));
+  ExprPtr repl = TupExtract("$m", Input());
+  ExprPtr out = analysis::ReplaceSubtree(e, d, repl);
+  EXPECT_TRUE(analysis::ContainsSubtree(e, d));
+  EXPECT_FALSE(analysis::ContainsSubtree(out, d));
+  EXPECT_TRUE(analysis::ContainsSubtree(out, repl));
+}
+
+TEST(AnalysisTest, PredicateHelpers) {
+  ExprPtr d = Deref(TupExtract("dept", Input()));
+  PredicatePtr p = Predicate::And(Eq(TupExtract("floor", d), IntLit(5)),
+                                  Gt(Input(), IntLit(0)));
+  EXPECT_TRUE(analysis::PredContainsSubtree(p, d));
+  PredicatePtr q =
+      analysis::PredReplaceSubtree(p, d, TupExtract("$m", Input()));
+  EXPECT_FALSE(analysis::PredContainsSubtree(q, d));
+  // Field locality through predicates.
+  PredicatePtr one = Eq(TupExtract("a", TupExtract("_1", Input())),
+                        IntLit(3));
+  EXPECT_TRUE(analysis::PredDependsOnlyOnField(one, "_1"));
+  EXPECT_FALSE(analysis::PredDependsOnlyOnField(p, "_1"));
+  PredicatePtr stripped = analysis::PredStripFieldExtract(one, "_1");
+  EXPECT_TRUE(
+      stripped->Equals(*Eq(TupExtract("a", Input()), IntLit(3))));
+}
+
+TEST(AnalysisTest, FindSharedDerefPicksLargest) {
+  ExprPtr inner = Deref(TupExtract("dept", Input()));
+  ExprPtr outer = Deref(TupExtract("head", inner));
+  PredicatePtr pred = Eq(TupExtract("floor", outer), IntLit(1));
+  // Downstream shares only the inner deref.
+  ExprPtr downstream1 = TupExtract("division", inner);
+  auto found1 = analysis::FindSharedDeref(pred, downstream1);
+  ASSERT_TRUE(found1.has_value());
+  EXPECT_TRUE((*found1)->Equals(*inner));
+  // Downstream shares both: the larger one wins.
+  ExprPtr downstream2 = TupExtract("division", outer);
+  auto found2 = analysis::FindSharedDeref(pred, downstream2);
+  ASSERT_TRUE(found2.has_value());
+  EXPECT_TRUE((*found2)->Equals(*outer));
+  // No sharing.
+  EXPECT_FALSE(
+      analysis::FindSharedDeref(pred, TupExtract("name", Input()))
+          .has_value());
+}
+
+}  // namespace
+}  // namespace excess

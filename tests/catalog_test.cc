@@ -1,0 +1,154 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+namespace excess {
+namespace {
+
+SchemaPtr Fields(std::vector<Field> f) { return Schema::Tup(std::move(f)); }
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  Catalog cat_;
+};
+
+TEST_F(CatalogTest, DefineAndLookup) {
+  ASSERT_TRUE(cat_.DefineType("Person", Fields({{"name", StringSchema()}})).ok());
+  EXPECT_TRUE(cat_.HasType("Person"));
+  auto entry = cat_.Lookup("Person");
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ((*entry)->name, "Person");
+  EXPECT_TRUE(cat_.Lookup("Nobody").status().IsNotFound());
+}
+
+TEST_F(CatalogTest, DuplicateDefinitionRejected) {
+  ASSERT_TRUE(cat_.DefineType("T", Fields({})).ok());
+  Status st = cat_.DefineType("T", Fields({}));
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(CatalogTest, UnknownParentRejected) {
+  Status st = cat_.DefineType("Child", Fields({}), {"Ghost"});
+  EXPECT_TRUE(st.IsNotFound());
+}
+
+TEST_F(CatalogTest, SelfInheritanceRejected) {
+  Status st = cat_.DefineType("Loop", Fields({}), {"Loop"});
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(CatalogTest, InheritedAttributesMerged) {
+  ASSERT_TRUE(cat_.DefineType("Person", Fields({{"ssnum", IntSchema()},
+                                                {"name", StringSchema()}}))
+                  .ok());
+  ASSERT_TRUE(cat_.DefineType("Employee",
+                              Fields({{"salary", IntSchema()}}), {"Person"})
+                  .ok());
+  auto eff = cat_.EffectiveSchema("Employee");
+  ASSERT_TRUE(eff.ok());
+  // Inherited fields first (in supertype order), then local.
+  ASSERT_EQ((*eff)->fields().size(), 3u);
+  EXPECT_EQ((*eff)->fields()[0].name, "ssnum");
+  EXPECT_EQ((*eff)->fields()[1].name, "name");
+  EXPECT_EQ((*eff)->fields()[2].name, "salary");
+  EXPECT_EQ((*eff)->type_name(), "Employee");
+}
+
+TEST_F(CatalogTest, OverrideReplacesInheritedTypeInPlace) {
+  ASSERT_TRUE(cat_.DefineType("Person", Fields({{"id", IntSchema()},
+                                                {"tag", IntSchema()}}))
+                  .ok());
+  // Student overrides `tag` to a string; position is preserved.
+  ASSERT_TRUE(cat_.DefineType("Student", Fields({{"tag", StringSchema()}}),
+                              {"Person"})
+                  .ok());
+  auto eff = cat_.EffectiveSchema("Student");
+  ASSERT_TRUE(eff.ok());
+  ASSERT_EQ((*eff)->fields().size(), 2u);
+  EXPECT_EQ((*eff)->fields()[1].name, "tag");
+  EXPECT_TRUE((*eff)->fields()[1].type->Equals(*StringSchema()));
+}
+
+TEST_F(CatalogTest, DiamondConflictNeedsOverride) {
+  ASSERT_TRUE(cat_.DefineType("A", Fields({{"x", IntSchema()}})).ok());
+  ASSERT_TRUE(cat_.DefineType("B", Fields({{"x", StringSchema()}})).ok());
+  // Without an override the conflicting `x` is rejected...
+  Status st = cat_.DefineType("AB", Fields({}), {"A", "B"});
+  EXPECT_TRUE(st.IsTypeError());
+  // ...and with one it is accepted.
+  ASSERT_TRUE(cat_.DefineType("AB2", Fields({{"x", FloatSchema()}}),
+                              {"A", "B"})
+                  .ok());
+  auto eff = cat_.EffectiveSchema("AB2");
+  ASSERT_TRUE(eff.ok());
+  ASSERT_EQ((*eff)->fields().size(), 1u);
+  EXPECT_TRUE((*eff)->fields()[0].type->Equals(*FloatSchema()));
+}
+
+TEST_F(CatalogTest, AgreeingDiamondNeedsNoOverride) {
+  ASSERT_TRUE(cat_.DefineType("Base", Fields({{"id", IntSchema()}})).ok());
+  ASSERT_TRUE(cat_.DefineType("L", Fields({{"l", IntSchema()}}), {"Base"}).ok());
+  ASSERT_TRUE(cat_.DefineType("R", Fields({{"r", IntSchema()}}), {"Base"}).ok());
+  // L and R both contribute `id` with the same type: fine.
+  ASSERT_TRUE(cat_.DefineType("LR", Fields({}), {"L", "R"}).ok());
+  auto eff = cat_.EffectiveSchema("LR");
+  ASSERT_TRUE(eff.ok());
+  EXPECT_EQ((*eff)->fields().size(), 3u);  // id, l, r — id only once
+}
+
+TEST_F(CatalogTest, SubtypeRelationIsReflexiveTransitive) {
+  ASSERT_TRUE(cat_.DefineType("A", Fields({})).ok());
+  ASSERT_TRUE(cat_.DefineType("B", Fields({}), {"A"}).ok());
+  ASSERT_TRUE(cat_.DefineType("C", Fields({}), {"B"}).ok());
+  EXPECT_TRUE(cat_.IsSubtype("A", "A"));
+  EXPECT_TRUE(cat_.IsSubtype("C", "A"));
+  EXPECT_FALSE(cat_.IsSubtype("A", "C"));
+  EXPECT_FALSE(cat_.IsSubtype("Ghost", "A"));
+  EXPECT_FALSE(cat_.IsSubtype("A", "Ghost"));
+}
+
+TEST_F(CatalogTest, DescendantsAndSharing) {
+  ASSERT_TRUE(cat_.DefineType("P", Fields({})).ok());
+  ASSERT_TRUE(cat_.DefineType("S", Fields({}), {"P"}).ok());
+  ASSERT_TRUE(cat_.DefineType("E", Fields({}), {"P"}).ok());
+  ASSERT_TRUE(cat_.DefineType("TA", Fields({}), {"S", "E"}).ok());
+  EXPECT_EQ(cat_.Descendants("P"), (std::vector<std::string>{"S", "E", "TA"}));
+  EXPECT_EQ(cat_.SelfAndDescendants("S"),
+            (std::vector<std::string>{"S", "TA"}));
+  // S and E share TA.
+  EXPECT_FALSE(cat_.SharesNoDescendant("S", "E"));
+  ASSERT_TRUE(cat_.DefineType("Q", Fields({})).ok());
+  EXPECT_TRUE(cat_.SharesNoDescendant("P", "Q"));
+}
+
+TEST_F(CatalogTest, ForwardRefsCheckedByValidate) {
+  // dept: ref Department may precede Department's definition (Figure 1).
+  ASSERT_TRUE(cat_.DefineType("Employee",
+                              Fields({{"dept", Schema::Ref("Department")}}))
+                  .ok());
+  EXPECT_TRUE(cat_.Validate().IsNotFound());
+  ASSERT_TRUE(cat_.DefineType("Department", Fields({{"floor", IntSchema()}}))
+                  .ok());
+  EXPECT_TRUE(cat_.Validate().ok());
+}
+
+TEST_F(CatalogTest, TypeIdsRoundTrip) {
+  ASSERT_TRUE(cat_.DefineType("X", Fields({})).ok());
+  ASSERT_TRUE(cat_.DefineType("Y", Fields({})).ok());
+  auto idx = cat_.TypeId("X");
+  auto idy = cat_.TypeId("Y");
+  ASSERT_TRUE(idx.ok());
+  ASSERT_TRUE(idy.ok());
+  EXPECT_NE(*idx, *idy);
+  EXPECT_EQ(*cat_.TypeName(*idx), "X");
+  EXPECT_TRUE(cat_.TypeName(999).status().IsNotFound());
+}
+
+TEST_F(CatalogTest, InheritanceRequiresTupleTypes) {
+  ASSERT_TRUE(cat_.DefineType("Nums", Schema::Set(IntSchema())).ok());
+  Status st = cat_.DefineType("MoreNums", Schema::Set(IntSchema()), {"Nums"});
+  EXPECT_TRUE(st.IsTypeError());
+}
+
+}  // namespace
+}  // namespace excess

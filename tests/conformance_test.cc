@@ -1,0 +1,181 @@
+// Runtime DOM(S) membership (§3.1): substitutability for tagged tuples,
+// per-occurrence collection checks, fixed-length arrays, and OID domain
+// legality through references.
+
+#include "objects/conformance.h"
+
+#include <gtest/gtest.h>
+
+#include "objects/database.h"
+#include "university/university.h"
+
+namespace excess {
+namespace {
+
+ValuePtr I(int64_t v) { return Value::Int(v); }
+
+class ConformanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Catalog& c = db_.catalog();
+    ASSERT_TRUE(c.DefineType("Person",
+                             Schema::Tup({{"name", StringSchema()}}))
+                    .ok());
+    ASSERT_TRUE(c.DefineType("Student",
+                             Schema::Tup({{"gpa", FloatSchema()}}),
+                             {"Person"})
+                    .ok());
+    ASSERT_TRUE(c.DefineType("Course", Schema::Tup({{"id", IntSchema()}}))
+                    .ok());
+  }
+  Status Check(const ValuePtr& v, const SchemaPtr& s) {
+    return CheckConformance(v, s, db_.catalog(), &db_.store());
+  }
+  Database db_;
+};
+
+TEST_F(ConformanceTest, Scalars) {
+  EXPECT_TRUE(Check(I(1), IntSchema()).ok());
+  EXPECT_FALSE(Check(I(1), FloatSchema()).ok());
+  EXPECT_FALSE(Check(Value::Str("x"), IntSchema()).ok());
+  EXPECT_TRUE(Check(Value::Str("x"), AnySchema()).ok());
+  EXPECT_TRUE(Check(Value::Date(5), DateSchema()).ok());
+  EXPECT_FALSE(Check(Value::Int(5), DateSchema()).ok());
+}
+
+TEST_F(ConformanceTest, NullsInhabitEveryDomain) {
+  EXPECT_TRUE(Check(Value::Dne(), IntSchema()).ok());
+  EXPECT_TRUE(Check(Value::Unk(), Schema::Set(IntSchema())).ok());
+  EXPECT_TRUE(Check(Value::Dne(), Schema::Ref("Person")).ok());
+}
+
+TEST_F(ConformanceTest, TupleFields) {
+  SchemaPtr s = Schema::Tup({{"a", IntSchema()}, {"b", StringSchema()}});
+  EXPECT_TRUE(
+      Check(Value::Tuple({"a", "b"}, {I(1), Value::Str("x")}), s).ok());
+  // Missing field.
+  EXPECT_FALSE(Check(Value::Tuple({"a"}, {I(1)}), s).ok());
+  // Wrong field type.
+  EXPECT_FALSE(Check(Value::Tuple({"a", "b"}, {I(1), I(2)}), s).ok());
+  // Extra undeclared field.
+  EXPECT_FALSE(Check(Value::Tuple({"a", "b", "c"},
+                                  {I(1), Value::Str("x"), I(9)}),
+                     s)
+                   .ok());
+  // Null field value conforms.
+  EXPECT_TRUE(
+      Check(Value::Tuple({"a", "b"}, {Value::Dne(), Value::Str("x")}), s)
+          .ok());
+}
+
+TEST_F(ConformanceTest, SubstitutabilityThroughTags) {
+  auto person_schema = *db_.catalog().EffectiveSchema("Person");
+  ValuePtr person =
+      Value::Tuple({"name"}, {Value::Str("ann")}, "Person");
+  ValuePtr student = Value::Tuple(
+      {"name", "gpa"}, {Value::Str("bob"), Value::Float(3.5)}, "Student");
+  ValuePtr course = Value::Tuple({"id"}, {I(1)}, "Course");
+  // DOM(Person) contains Person and Student values (extra fields allowed
+  // via the subtype's effective schema)...
+  EXPECT_TRUE(Check(person, person_schema).ok());
+  EXPECT_TRUE(Check(student, person_schema).ok());
+  // ...but not unrelated types, even when structurally plausible.
+  EXPECT_FALSE(Check(course, person_schema).ok());
+  // A Student value missing its own declared field fails against Person's
+  // schema too (it is checked against Student's effective schema).
+  ValuePtr bad_student =
+      Value::Tuple({"name"}, {Value::Str("carl")}, "Student");
+  EXPECT_FALSE(Check(bad_student, person_schema).ok());
+  // Untagged structural match conforms.
+  EXPECT_TRUE(
+      Check(Value::Tuple({"name"}, {Value::Str("dot")}), person_schema).ok());
+}
+
+TEST_F(ConformanceTest, CollectionsCheckEveryOccurrence) {
+  SchemaPtr ints = Schema::Set(IntSchema());
+  EXPECT_TRUE(Check(Value::SetOf({I(1), I(2), I(2)}), ints).ok());
+  EXPECT_FALSE(Check(Value::SetOf({I(1), Value::Str("x")}), ints).ok());
+  EXPECT_FALSE(Check(I(1), ints).ok());
+  SchemaPtr arr = Schema::Arr(IntSchema());
+  EXPECT_TRUE(Check(Value::ArrayOf({I(1)}), arr).ok());
+  EXPECT_FALSE(Check(Value::ArrayOf({Value::Bool(true)}), arr).ok());
+}
+
+TEST_F(ConformanceTest, FixedLengthArrays) {
+  SchemaPtr fixed = Schema::FixedArr(IntSchema(), 3);
+  EXPECT_TRUE(Check(Value::ArrayOf({I(1), I(2), I(3)}), fixed).ok());
+  EXPECT_FALSE(Check(Value::ArrayOf({I(1), I(2)}), fixed).ok());
+  EXPECT_FALSE(Check(Value::ArrayOf({I(1), I(2), I(3), I(4)}), fixed).ok());
+}
+
+TEST_F(ConformanceTest, ReferencesCheckOdomMembership) {
+  auto person = db_.store().Create(
+      "Person", Value::Tuple({"name"}, {Value::Str("p")}, "Person"));
+  auto student = db_.store().Create(
+      "Student", Value::Tuple({"name", "gpa"},
+                              {Value::Str("s"), Value::Float(3.0)},
+                              "Student"));
+  auto course =
+      db_.store().Create("Course", Value::Tuple({"id"}, {I(1)}, "Course"));
+  ASSERT_TRUE(person.ok());
+  ASSERT_TRUE(student.ok());
+  ASSERT_TRUE(course.ok());
+  SchemaPtr ref_person = Schema::Ref("Person");
+  // Odom(Person) ⊇ {Person, Student} OIDs (rule 3)...
+  EXPECT_TRUE(Check(Value::RefTo(*person), ref_person).ok());
+  EXPECT_TRUE(Check(Value::RefTo(*student), ref_person).ok());
+  // ...but not Course OIDs (rule 4) nor dangling ones.
+  EXPECT_FALSE(Check(Value::RefTo(*course), ref_person).ok());
+  EXPECT_FALSE(Check(Value::RefTo({77, 99}), ref_person).ok());
+  // The reverse containment does not hold: a Person OID is not in
+  // Odom(Student).
+  EXPECT_FALSE(Check(Value::RefTo(*person), Schema::Ref("Student")).ok());
+  // Non-ref value against a ref schema.
+  EXPECT_FALSE(Check(I(5), ref_person).ok());
+}
+
+TEST_F(ConformanceTest, DeepNestedStructure) {
+  // { (xs: array[1..2] of int4, p: ref Person) }
+  SchemaPtr s = Schema::Set(
+      Schema::Tup({{"xs", Schema::FixedArr(IntSchema(), 2)},
+                   {"p", Schema::Ref("Person")}}));
+  auto person = db_.store().Create(
+      "Person", Value::Tuple({"name"}, {Value::Str("p")}, "Person"));
+  ASSERT_TRUE(person.ok());
+  ValuePtr good = Value::SetOf({Value::Tuple(
+      {"xs", "p"},
+      {Value::ArrayOf({I(1), I(2)}), Value::RefTo(*person)})});
+  EXPECT_TRUE(Check(good, s).ok());
+  ValuePtr bad = Value::SetOf({Value::Tuple(
+      {"xs", "p"}, {Value::ArrayOf({I(1)}), Value::RefTo(*person)})});
+  EXPECT_FALSE(Check(bad, s).ok());
+}
+
+TEST_F(ConformanceTest, UniversityObjectsConform) {
+  // The synthetic Figure 1 database conforms to its declared schemas.
+  Database uni;
+  UniversityParams p;
+  p.num_employees = 15;
+  ASSERT_TRUE(BuildUniversity(&uni, p).ok());
+  for (const auto& name : uni.NamedObjectNames()) {
+    auto obj = uni.GetNamed(name);
+    ASSERT_TRUE(obj.ok());
+    EXPECT_TRUE(CheckConformance((*obj)->value, (*obj)->schema,
+                                 uni.catalog(), &uni.store())
+                    .ok())
+        << "object " << name;
+  }
+  // And every stored Employee object conforms to Employee's effective
+  // schema.
+  auto emp_schema = *uni.catalog().EffectiveSchema("Employee");
+  ValuePtr employees = *uni.NamedValue("Employees");
+  for (const auto& e : employees->entries()) {
+    ValuePtr emp = *uni.store().Deref(e.value->oid());
+    EXPECT_TRUE(
+        CheckConformance(emp, emp_schema, uni.catalog(), &uni.store()).ok())
+        << emp->ToString();
+  }
+}
+
+}  // namespace
+}  // namespace excess

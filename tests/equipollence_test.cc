@@ -1,0 +1,232 @@
+// Executable equipollence (§3.4): for each operator of the algebra, a
+// representative query tree is (a) evaluated directly and (b) emitted as an
+// EXCESS program, re-parsed, re-translated, and re-evaluated — both values
+// must agree. Together with the translator tests (EXCESS → algebra), this
+// is the machine-checked version of the theorem's two directions.
+
+#include <gtest/gtest.h>
+
+#include "core/builder.h"
+#include "excess/emit.h"
+#include "excess/session.h"
+#include "university/university.h"
+
+namespace excess {
+namespace {
+
+using namespace alg;  // NOLINT(build/namespaces)
+
+ValuePtr I(int64_t v) { return Value::Int(v); }
+
+class EquipollenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    UniversityParams p;
+    p.num_employees = 12;
+    p.num_students = 8;
+    ASSERT_TRUE(BuildUniversity(&db_, p).ok());
+    ASSERT_TRUE(db_.CreateNamed("Nums", Schema::Set(IntSchema()),
+                                Value::SetOf({I(1), I(2), I(2), I(3)}))
+                    .ok());
+    ASSERT_TRUE(db_.CreateNamed("Nums2", Schema::Set(IntSchema()),
+                                Value::SetOf({I(2), I(3), I(4)}))
+                    .ok());
+    ASSERT_TRUE(db_.CreateNamed(
+                      "Nested", Schema::Set(Schema::Set(IntSchema())),
+                      Value::SetOf({Value::SetOf({I(1), I(2)}),
+                                    Value::SetOf({I(2)})}))
+                    .ok());
+    ASSERT_TRUE(db_.CreateNamed(
+                      "TupA",
+                      Schema::Tup({{"a", IntSchema()}, {"b", StringSchema()}}),
+                      Value::Tuple({"a", "b"}, {I(7), Value::Str("x")}))
+                    .ok());
+    ASSERT_TRUE(db_.CreateNamed("TupB", Schema::Tup({{"c", IntSchema()}}),
+                                Value::Tuple({"c"}, {I(9)}))
+                    .ok());
+    ASSERT_TRUE(db_.CreateNamed(
+                      "ArrA", Schema::FixedArr(IntSchema(), 4),
+                      Value::ArrayOf({I(5), I(6), I(7), I(8)}))
+                    .ok());
+    ASSERT_TRUE(db_.CreateNamed("ArrB", Schema::FixedArr(IntSchema(), 2),
+                                Value::ArrayOf({I(6), I(9)}))
+                    .ok());
+    ASSERT_TRUE(db_.CreateNamed(
+                      "NestedArr", Schema::Arr(Schema::Arr(IntSchema())),
+                      Value::ArrayOf({Value::ArrayOf({I(1)}),
+                                      Value::ArrayOf({I(2), I(3)})}))
+                    .ok());
+    registry_ = std::make_unique<MethodRegistry>(&db_.catalog());
+  }
+
+  /// The round trip: eval(tree) == eval(translate(parse(emit(tree)))).
+  void ExpectRoundTrip(const ExprPtr& tree) {
+    Session session(&db_, registry_.get());
+    auto direct = session.EvalTree(tree);
+    ASSERT_TRUE(direct.ok()) << direct.status().ToString() << "\n"
+                             << tree->ToTreeString();
+
+    Emitter emitter(&db_, registry_.get());
+    auto emitted = emitter.Emit(tree);
+    ASSERT_TRUE(emitted.ok()) << emitted.status().ToString() << "\n"
+                              << tree->ToTreeString();
+
+    Session replay(&db_, registry_.get());
+    auto run = replay.Execute(emitted->source());
+    ASSERT_TRUE(run.ok()) << run.status().ToString()
+                          << "\nemitted program:\n"
+                          << emitted->source();
+    auto stored = db_.NamedValue(emitted->result_name());
+    ASSERT_TRUE(stored.ok()) << emitted->source();
+    EXPECT_TRUE((*direct)->Equals(**stored))
+        << "tree:\n" << tree->ToTreeString()
+        << "emitted:\n" << emitted->source()
+        << "direct: " << (*direct)->ToString()
+        << "\nreplay: " << (*stored)->ToString();
+  }
+
+  Database db_;
+  std::unique_ptr<MethodRegistry> registry_;
+};
+
+// Base case of the proof: a named top-level object.
+TEST_F(EquipollenceTest, BaseCaseNamedObject) { ExpectRoundTrip(Var("Nums")); }
+
+TEST_F(EquipollenceTest, ConstLiterals) {
+  ExpectRoundTrip(Const(Value::SetOf({I(4), I(4), I(5)})));
+  ExpectRoundTrip(Const(Value::ArrayOf({I(1), I(2)})));
+  ExpectRoundTrip(Const(Value::Tuple({"k"}, {Value::Str("v")})));
+  ExpectRoundTrip(IntLit(42));
+  ExpectRoundTrip(Const(Value::Bool(true)));
+  ExpectRoundTrip(FloatLit(2.5));
+}
+
+TEST_F(EquipollenceTest, DiffCase) {
+  // E = E1 - E2 ↦ retrieve (x) from x in (E1 - E2) into E.
+  ExpectRoundTrip(Diff(Var("Nums"), Var("Nums2")));
+}
+
+TEST_F(EquipollenceTest, AddUnionCase) {
+  ExpectRoundTrip(AddUnion(Var("Nums"), Var("Nums2")));
+}
+
+TEST_F(EquipollenceTest, CrossCase) {
+  // E = E1 × E2 ↦ retrieve (_1: x, _2: y) from x in E1, y in E2.
+  ExpectRoundTrip(Cross(Var("Nums"), Var("Nums2")));
+}
+
+TEST_F(EquipollenceTest, SetMakeCase) {
+  // E = SET(E1) ↦ retrieve ( { E1 } ).
+  ExpectRoundTrip(SetMake(Var("Nums")));
+  ExpectRoundTrip(SetMake(Var("TupA")));
+}
+
+TEST_F(EquipollenceTest, SetApplyPlain) {
+  ExpectRoundTrip(SetApply(Arith("*", Input(), IntLit(3)), Var("Nums")));
+}
+
+TEST_F(EquipollenceTest, SetApplyWithSelection) {
+  // Subscript of the F(COMP_P(INPUT)) shape: where-clause emission.
+  ExpectRoundTrip(SetApply(
+      Arith("+", Comp(Gt(Input(), IntLit(1)), Input()), IntLit(10)),
+      Var("Nums")));
+  // Pure selection.
+  ExpectRoundTrip(Select(Ge(Input(), IntLit(2)), Var("Nums")));
+}
+
+TEST_F(EquipollenceTest, SetApplyPathSubscript) {
+  // Dotted-path subscripts through refs (the Figure 4 building block).
+  ExpectRoundTrip(SetApply(
+      TupExtract("name", Deref(TupExtract("dept", Deref(Input())))),
+      Var("Employees")));
+}
+
+TEST_F(EquipollenceTest, GroupCase) {
+  ExpectRoundTrip(Group(Arith("%", Input(), IntLit(2)), Var("Nums")));
+}
+
+TEST_F(EquipollenceTest, DupElimCase) {
+  ExpectRoundTrip(DupElim(Var("Nums")));
+}
+
+TEST_F(EquipollenceTest, SetCollapseCase) {
+  ExpectRoundTrip(SetCollapse(Var("Nested")));
+}
+
+TEST_F(EquipollenceTest, TupleOperators) {
+  ExpectRoundTrip(TupExtract("a", Var("TupA")));
+  ExpectRoundTrip(Project({"b", "a"}, Var("TupA")));
+  ExpectRoundTrip(TupMake(IntLit(5)));
+  ExpectRoundTrip(TupCat(Var("TupA"), Var("TupB")));
+}
+
+TEST_F(EquipollenceTest, ArrayOperators) {
+  ExpectRoundTrip(ArrExtract(2, Var("ArrA")));
+  ExpectRoundTrip(ArrExtractLast(Var("ArrA")));
+  ExpectRoundTrip(SubArr(2, 3, Var("ArrA")));
+  ExpectRoundTrip(ArrMake(IntLit(3)));
+  ExpectRoundTrip(ArrCat(Var("ArrA"), Var("ArrB")));
+  ExpectRoundTrip(ArrCollapse(Var("NestedArr")));
+  ExpectRoundTrip(ArrDupElim(Var("ArrA")));
+  ExpectRoundTrip(ArrDiff(Var("ArrA"), Var("ArrB")));
+  ExpectRoundTrip(ArrCross(Var("ArrA"), Var("ArrB")));
+}
+
+TEST_F(EquipollenceTest, ArrApplyCase) {
+  // The proof's translation defines a function on the element type and
+  // maps it over the array.
+  ExpectRoundTrip(ArrApply(TupExtract("salary", Deref(Input())),
+                           Var("TopTen")));
+}
+
+TEST_F(EquipollenceTest, RefDerefCase) {
+  ExpectRoundTrip(Deref(RefOp(Const(Value::Tuple({"v"}, {I(42)})))));
+}
+
+TEST_F(EquipollenceTest, CompCase) {
+  ExpectRoundTrip(Comp(Eq(TupExtract("a", Input()), IntLit(7)), Var("TupA")));
+  ExpectRoundTrip(Comp(Predicate::And(Gt(TupExtract("a", Input()), IntLit(0)),
+                                      Ne(TupExtract("b", Input()),
+                                         StrLit("zzz"))),
+                       Var("TupA")));
+}
+
+TEST_F(EquipollenceTest, AggCase) {
+  ExpectRoundTrip(Agg("min", Var("Nums")));
+  ExpectRoundTrip(Agg("count", Var("Nums")));
+  ExpectRoundTrip(Agg("avg", Var("Nums")));
+}
+
+TEST_F(EquipollenceTest, MethodCallCase) {
+  ASSERT_TRUE(registry_
+                  ->Define({"Employee", "double_salary", {}, IntSchema(),
+                            Arith("*", TupExtract("salary", Input()),
+                                  IntLit(2))})
+                  .ok());
+  ExpectRoundTrip(
+      MethodCall("double_salary", Deref(ArrExtract(1, Var("TopTen")))));
+}
+
+TEST_F(EquipollenceTest, ComposedQueryTree) {
+  // A multi-operator pipeline exercising the induction at depth: Figure 4
+  // composed form with a final DE.
+  ExpectRoundTrip(DupElim(SetApply(
+      TupExtract("name", Deref(TupExtract("dept", Deref(Input())))),
+      SetApply(Comp(Eq(TupExtract("city", Deref(Input())), StrLit("city_0")),
+                    Input()),
+               Var("Employees")))));
+}
+
+TEST_F(EquipollenceTest, UnsupportedFormsAreExplicit) {
+  // OID literals and typed SET_APPLY have no surface form; the emitter
+  // must say so rather than emit something wrong.
+  Emitter emitter(&db_, registry_.get());
+  auto oid_literal = emitter.Emit(Const(Value::RefTo({1, 2})));
+  EXPECT_FALSE(oid_literal.ok());
+  EXPECT_EQ(oid_literal.status().code(), StatusCode::kUnsupported);
+  auto typed = emitter.Emit(SetApply(Input(), Var("Nums"), "Person"));
+  EXPECT_FALSE(typed.ok());
+}
+
+}  // namespace
+}  // namespace excess

@@ -1,0 +1,263 @@
+#include "core/eval.h"
+
+#include <gtest/gtest.h>
+
+#include "core/builder.h"
+#include "objects/database.h"
+
+namespace excess {
+namespace {
+
+using namespace alg;  // NOLINT(build/namespaces) — test readability
+
+ValuePtr I(int64_t v) { return Value::Int(v); }
+ValuePtr S(std::vector<ValuePtr> v) { return Value::SetOf(v); }
+
+class EvalTest : public ::testing::Test {
+ protected:
+  Result<ValuePtr> Run(const ExprPtr& e) {
+    Evaluator ev(&db_);
+    return ev.Eval(e);
+  }
+  Database db_;
+};
+
+TEST_F(EvalTest, ConstAndVar) {
+  EXPECT_EQ((*Run(IntLit(7)))->as_int(), 7);
+  ASSERT_TRUE(db_.CreateNamed("Nums", Schema::Set(IntSchema()),
+                              S({I(1), I(2)}))
+                  .ok());
+  EXPECT_TRUE((*Run(Var("Nums")))->Equals(*S({I(1), I(2)})));
+  EXPECT_TRUE(Run(Var("Ghost")).status().IsNotFound());
+}
+
+TEST_F(EvalTest, InputOutsideContextFails) {
+  EXPECT_TRUE(Run(Input()).status().IsEvalError());
+}
+
+TEST_F(EvalTest, SetApplyPaperExample) {
+  // §3.2.1: A = {{1,1,2},{2,3,4},{1}}; SET_APPLY_{INPUT−{1}}(A)
+  //       = {{1,2},{2,3,4},{}}.
+  ValuePtr a = S({S({I(1), I(1), I(2)}), S({I(2), I(3), I(4)}), S({I(1)})});
+  ExprPtr q = SetApply(Diff(Input(), Const(S({I(1)}))), Const(a));
+  ValuePtr expected = S({S({I(1), I(2)}), S({I(2), I(3), I(4)}), S({})});
+  EXPECT_TRUE((*Run(q))->Equals(*expected));
+}
+
+TEST_F(EvalTest, SetApplyPreservesCardinalities) {
+  ValuePtr a = Value::SetOfCounted({{I(2), 3}, {I(5), 1}});
+  ExprPtr q = SetApply(Arith("*", Input(), IntLit(10)), Const(a));
+  ValuePtr r = *Run(q);
+  EXPECT_EQ(r->CountOf(I(20)), 3);
+  EXPECT_EQ(r->CountOf(I(50)), 1);
+}
+
+TEST_F(EvalTest, SetApplyMergesCollidingResults) {
+  // Mapping different elements to the same value adds cardinalities.
+  ValuePtr a = S({I(1), I(2)});
+  ExprPtr q = SetApply(IntLit(0), Const(a));
+  EXPECT_EQ((*Run(q))->CountOf(I(0)), 2);
+}
+
+TEST_F(EvalTest, CompPaperExample) {
+  // §3.2.4: A = (1 4 6 4 1); predicate fld2 = fld4 holds, so COMP returns A.
+  ValuePtr a = Value::Tuple({"fld1", "fld2", "fld3", "fld4", "fld5"},
+                            {I(1), I(4), I(6), I(4), I(1)});
+  ExprPtr q = Comp(Eq(TupExtract("fld2", Input()), TupExtract("fld4", Input())),
+                   Const(a));
+  EXPECT_TRUE((*Run(q))->Equals(*a));
+  // And a failing predicate yields dne.
+  ExprPtr q2 = Comp(Eq(TupExtract("fld1", Input()),
+                       TupExtract("fld2", Input())),
+                    Const(a));
+  EXPECT_TRUE((*Run(q2))->is_dne());
+}
+
+TEST_F(EvalTest, SelectionDiscardsDneInMultiset) {
+  // Relational selection = SET_APPLY of COMP; failing rows vanish.
+  ValuePtr a = S({I(1), I(5), I(10)});
+  ExprPtr q = Select(Gt(Input(), IntLit(4)), Const(a));
+  EXPECT_TRUE((*Run(q))->Equals(*S({I(5), I(10)})));
+}
+
+TEST_F(EvalTest, GroupPartitionsByExpression) {
+  ValuePtr a = S({I(1), I(2), I(3), I(4), I(5)});
+  ExprPtr q = Group(Arith("%", Input(), IntLit(2)), Const(a));
+  ValuePtr r = *Run(q);
+  EXPECT_EQ(r->TotalCount(), 2);  // two parity groups
+  EXPECT_EQ(r->CountOf(S({I(1), I(3), I(5)})), 1);
+  EXPECT_EQ(r->CountOf(S({I(2), I(4)})), 1);
+}
+
+TEST_F(EvalTest, GroupKeepsCardinalities) {
+  ValuePtr a = Value::SetOfCounted({{I(1), 2}, {I(3), 1}});
+  ExprPtr q = Group(Arith("%", Input(), IntLit(2)), Const(a));
+  ValuePtr r = *Run(q);
+  EXPECT_EQ(r->CountOf(Value::SetOfCounted({{I(1), 2}, {I(3), 1}})), 1);
+}
+
+TEST_F(EvalTest, NullInputShortCircuitsComp) {
+  // Uniform propagation: a null COMP *input* yields that null without
+  // evaluating the predicate.
+  EXPECT_TRUE((*Run(Comp(Eq(Input(), IntLit(1)), Const(Value::Unk()))))
+                  ->is_unk());
+  EXPECT_TRUE((*Run(Comp(Eq(Input(), IntLit(1)), Const(Value::Dne()))))
+                  ->is_dne());
+}
+
+TEST_F(EvalTest, ThreeValuedPredicatesOverUnkFields) {
+  // Kleene logic exercised through a non-null tuple with an unk field.
+  ValuePtr t = Value::Tuple({"x", "y"}, {Value::Unk(), I(7)});
+  auto x_is_1 = [&] { return Eq(TupExtract("x", Input()), IntLit(1)); };
+  auto y_is_7 = [&] { return Eq(TupExtract("y", Input()), IntLit(7)); };
+  auto y_is_0 = [&] { return Eq(TupExtract("y", Input()), IntLit(0)); };
+  // unk atom -> unk.
+  EXPECT_TRUE((*Run(Comp(x_is_1(), Const(t))))->is_unk());
+  // NOT unk -> unk.
+  EXPECT_TRUE((*Run(Comp(Predicate::Not(x_is_1()), Const(t))))->is_unk());
+  // unk AND false -> false -> dne (F dominates U).
+  EXPECT_TRUE(
+      (*Run(Comp(Predicate::And(x_is_1(), y_is_0()), Const(t))))->is_dne());
+  // unk AND true -> unk.
+  EXPECT_TRUE(
+      (*Run(Comp(Predicate::And(x_is_1(), y_is_7()), Const(t))))->is_unk());
+  // unk OR true -> true: the tuple passes through.
+  EXPECT_TRUE(
+      (*Run(Comp(Predicate::Or(x_is_1(), y_is_7()), Const(t))))->Equals(*t));
+  // unk OR false -> unk.
+  EXPECT_TRUE(
+      (*Run(Comp(Predicate::Or(x_is_1(), y_is_0()), Const(t))))->is_unk());
+  // dne field: comparison is false.
+  ValuePtr d = Value::Tuple({"x", "y"}, {Value::Dne(), I(7)});
+  EXPECT_TRUE((*Run(Comp(x_is_1(), Const(d))))->is_dne());
+}
+
+TEST_F(EvalTest, MembershipPredicate) {
+  ExprPtr q = Comp(In(Input(), Const(S({I(1), I(2)}))), IntLit(2));
+  EXPECT_EQ((*Run(q))->as_int(), 2);
+  ExprPtr q2 = Comp(In(Input(), Const(S({I(1)}))), IntLit(2));
+  EXPECT_TRUE((*Run(q2))->is_dne());
+  ExprPtr q3 = Comp(In(Input(), IntLit(5)), IntLit(2));
+  EXPECT_TRUE(Run(q3).status().IsTypeError());
+}
+
+TEST_F(EvalTest, NullPropagationThroughOperators) {
+  // TUP_EXTRACT over dne yields dne, not an error (what makes rule 15
+  // composition exact).
+  ExprPtr q = TupExtract("x", Const(Value::Dne()));
+  EXPECT_TRUE((*Run(q))->is_dne());
+  EXPECT_TRUE((*Run(Deref(Const(Value::Unk()))))->is_unk());
+  // dne dominates unk.
+  ExprPtr q2 = TupCat(Const(Value::Dne()), Const(Value::Unk()));
+  EXPECT_TRUE((*Run(q2))->is_dne());
+}
+
+TEST_F(EvalTest, TupleOperators) {
+  ValuePtr t = Value::Tuple({"a", "b"}, {I(1), I(2)});
+  EXPECT_EQ((*Run(TupExtract("b", Const(t))))->as_int(), 2);
+  ValuePtr pi = *Run(Project({"b"}, Const(t)));
+  EXPECT_EQ(pi->num_fields(), 1u);
+  ValuePtr one = *Run(TupMake(IntLit(9)));
+  EXPECT_EQ((*one->Field("_1"))->as_int(), 9);
+  ValuePtr cat = *Run(TupCat(Const(t), TupMake(IntLit(3))));
+  EXPECT_EQ(cat->num_fields(), 3u);
+}
+
+TEST_F(EvalTest, ArrayOperators) {
+  ValuePtr a = Value::ArrayOf({I(5), I(6), I(7)});
+  EXPECT_EQ((*Run(ArrExtract(2, Const(a))))->as_int(), 6);
+  EXPECT_EQ((*Run(ArrExtractLast(Const(a))))->as_int(), 7);
+  EXPECT_TRUE((*Run(ArrExtract(9, Const(a))))->is_dne());
+  ValuePtr doubled = *Run(ArrApply(Arith("*", Input(), IntLit(2)), Const(a)));
+  EXPECT_TRUE(doubled->Equals(*Value::ArrayOf({I(10), I(12), I(14)})));
+  ValuePtr sliced = *Run(SubArr(2, 3, Const(a)));
+  EXPECT_TRUE(sliced->Equals(*Value::ArrayOf({I(6), I(7)})));
+  // SUBARR with `last` bounds.
+  ValuePtr tail = *Run(SubArr(2, 0, Const(a), false, /*hi_last=*/true));
+  EXPECT_TRUE(tail->Equals(*Value::ArrayOf({I(6), I(7)})));
+  ValuePtr one = *Run(ArrMake(IntLit(1)));
+  EXPECT_EQ(one->ArrayLength(), 1);
+}
+
+TEST_F(EvalTest, ArraySelectionFiltersViaDne) {
+  ValuePtr a = Value::ArrayOf({I(1), I(5), I(2), I(9)});
+  ValuePtr r = *Run(ArrSelect(Lt(Input(), IntLit(5)), Const(a)));
+  EXPECT_TRUE(r->Equals(*Value::ArrayOf({I(1), I(2)})));
+}
+
+TEST_F(EvalTest, RefAndDeref) {
+  ASSERT_TRUE(db_.catalog().DefineType("Obj", Schema::Tup({})).ok());
+  ValuePtr payload = Value::Tuple({}, {}, "Obj");
+  ExprPtr roundtrip = Deref(RefOp(Const(payload), "Obj"));
+  EXPECT_TRUE((*Run(roundtrip))->Equals(*payload));
+  // REF is deterministic per (type, value): two REFs agree.
+  ValuePtr r1 = *Run(RefOp(Const(payload), "Obj"));
+  ValuePtr r2 = *Run(RefOp(Const(payload), "Obj"));
+  EXPECT_TRUE(r1->Equals(*r2));
+  // DEREF of a non-ref is a sort error.
+  EXPECT_TRUE(Run(Deref(IntLit(1))).status().IsTypeError());
+}
+
+TEST_F(EvalTest, AggregatesAndArith) {
+  ValuePtr s = S({I(3), I(5)});
+  EXPECT_EQ((*Run(Agg("sum", Const(s))))->as_int(), 8);
+  EXPECT_EQ((*Run(Arith("+", IntLit(2), IntLit(3))))->as_int(), 5);
+  EXPECT_DOUBLE_EQ((*Run(Arith("/", FloatLit(1), IntLit(4))))->as_float(),
+                   0.25);
+  EXPECT_TRUE(Run(Arith("/", IntLit(1), IntLit(0))).status().IsEvalError());
+  EXPECT_EQ((*Run(Arith("+", StrLit("ab"), StrLit("cd"))))->as_string(),
+            "abcd");
+}
+
+TEST_F(EvalTest, DerivedOperators) {
+  ValuePtr a = S({I(1), I(1), I(2)});
+  ValuePtr b = S({I(1), I(3)});
+  ValuePtr u = *Run(Union(Const(a), Const(b)));
+  EXPECT_EQ(u->CountOf(I(1)), 2);  // max
+  ValuePtr i = *Run(Intersect(Const(a), Const(b)));
+  EXPECT_EQ(i->CountOf(I(1)), 1);  // min
+  EXPECT_EQ(i->CountOf(I(2)), 0);
+  // rel_join as a θ-join over pairs.
+  ValuePtr l = S({Value::Tuple({"x"}, {I(1)}), Value::Tuple({"x"}, {I(2)})});
+  ValuePtr r = S({Value::Tuple({"y"}, {I(2)}), Value::Tuple({"y"}, {I(3)})});
+  ExprPtr join = RelJoin(Eq(TupExtract("x", TupExtract("_1", Input())),
+                            TupExtract("y", TupExtract("_2", Input()))),
+                         Const(l), Const(r));
+  ValuePtr joined = *Run(join);
+  EXPECT_EQ(joined->TotalCount(), 1);
+  EXPECT_EQ(joined->CountOf(Value::Tuple({"x", "y"}, {I(2), I(2)})), 1);
+}
+
+TEST_F(EvalTest, TypedSetApplyFiltersExactTypes) {
+  ASSERT_TRUE(db_.catalog().DefineType("P", Schema::Tup({})).ok());
+  ASSERT_TRUE(db_.catalog().DefineType("Q", Schema::Tup({}), {"P"}).ok());
+  ValuePtr p = Value::Tuple({}, {}, "P");
+  ValuePtr q = Value::Tuple({"q"}, {I(1)}, "Q");
+  ValuePtr mixed = S({p, q});
+  // Exactly-typed scan: only P objects processed, Q ignored (§4).
+  ValuePtr only_p = *Run(SetApply(Input(), Const(mixed), "P"));
+  EXPECT_EQ(only_p->TotalCount(), 1);
+  EXPECT_TRUE(only_p->CountOf(p) == 1);
+  // Multi-type filter serves both.
+  ValuePtr both = *Run(SetApply(Input(), Const(mixed), "P,Q"));
+  EXPECT_EQ(both->TotalCount(), 2);
+}
+
+TEST_F(EvalTest, StatsCountOccurrences) {
+  ValuePtr a = Value::SetOfCounted({{I(1), 5}, {I(2), 5}});
+  Evaluator ev(&db_);
+  ASSERT_TRUE(ev.Eval(SetApply(Input(), Const(a))).ok());
+  // Occurrence accounting follows the paper's cost ruler: 10, not 2.
+  EXPECT_EQ(ev.stats().OccurrencesOf(OpKind::kSetApply), 10);
+  EXPECT_EQ(ev.stats().InvocationsOf(OpKind::kSetApply), 1);
+}
+
+TEST_F(EvalTest, SetCollapseFlattens) {
+  ValuePtr a = S({S({I(1)}), S({I(1), I(2)})});
+  ValuePtr r = *Run(SetCollapse(Const(a)));
+  EXPECT_EQ(r->CountOf(I(1)), 2);
+  EXPECT_EQ(r->CountOf(I(2)), 1);
+}
+
+}  // namespace
+}  // namespace excess

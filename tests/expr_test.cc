@@ -1,0 +1,140 @@
+// Mechanics of the algebra IR: construction invariants, deep equality and
+// hashing, structural rebuilders, rendering, and node counting — the
+// substrate the rewriter and planner memoization depend on.
+
+#include "core/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "core/builder.h"
+
+namespace excess {
+namespace {
+
+using namespace alg;  // NOLINT(build/namespaces)
+
+TEST(ExprTest, EqualityIsDeepAndParameterSensitive) {
+  ExprPtr a = SetApply(Arith("+", Input(), IntLit(1)), Var("R"));
+  ExprPtr b = SetApply(Arith("+", Input(), IntLit(1)), Var("R"));
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_EQ(a->Hash(), b->Hash());
+  // Different literal.
+  EXPECT_FALSE(
+      a->Equals(*SetApply(Arith("+", Input(), IntLit(2)), Var("R"))));
+  // Different object name.
+  EXPECT_FALSE(
+      a->Equals(*SetApply(Arith("+", Input(), IntLit(1)), Var("Q"))));
+  // Different type filter.
+  EXPECT_FALSE(a->Equals(
+      *SetApply(Arith("+", Input(), IntLit(1)), Var("R"), "Person")));
+  // Different arithmetic operator (the name field).
+  EXPECT_FALSE(
+      a->Equals(*SetApply(Arith("-", Input(), IntLit(1)), Var("R"))));
+}
+
+TEST(ExprTest, PredicateEqualityParticipates) {
+  ExprPtr a = Comp(Eq(Input(), IntLit(1)), Var("R"));
+  ExprPtr b = Comp(Eq(Input(), IntLit(1)), Var("R"));
+  ExprPtr c = Comp(Ne(Input(), IntLit(1)), Var("R"));
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_FALSE(a->Equals(*c));
+  EXPECT_NE(a->Hash(), c->Hash());
+}
+
+TEST(ExprTest, ArrayBoundsParticipate) {
+  EXPECT_FALSE(ArrExtract(1, Var("A"))->Equals(*ArrExtract(2, Var("A"))));
+  EXPECT_FALSE(ArrExtract(1, Var("A"))->Equals(*ArrExtractLast(Var("A"))));
+  EXPECT_FALSE(
+      SubArr(1, 2, Var("A"))->Equals(*SubArr(1, 3, Var("A"))));
+  EXPECT_FALSE(SubArr(1, 2, Var("A"))
+                   ->Equals(*SubArr(1, 2, Var("A"), false, true)));
+}
+
+TEST(ExprTest, WithChildAndWithSubRebuild) {
+  ExprPtr e = SetApply(Arith("+", Input(), IntLit(1)), Var("R"));
+  ExprPtr swapped = e->WithChild(0, Var("Q"));
+  EXPECT_EQ(swapped->child(0)->name(), "Q");
+  EXPECT_TRUE(swapped->sub()->Equals(*e->sub()));  // subscript preserved
+  ExprPtr resubbed = e->WithSub(Input());
+  EXPECT_EQ(resubbed->sub()->kind(), OpKind::kInput);
+  EXPECT_EQ(resubbed->child(0)->name(), "R");
+  // Originals untouched (immutability).
+  EXPECT_EQ(e->child(0)->name(), "R");
+  EXPECT_EQ(e->sub()->kind(), OpKind::kArith);
+}
+
+TEST(ExprTest, NodeCountIncludesSubscriptsAndPredicates) {
+  EXPECT_EQ(Input()->NodeCount(), 1);
+  EXPECT_EQ(Arith("+", Input(), IntLit(1))->NodeCount(), 3);
+  // SET_APPLY(1) + Var(1) + subscript Arith(3).
+  EXPECT_EQ(SetApply(Arith("+", Input(), IntLit(1)), Var("R"))->NodeCount(),
+            5);
+  // COMP(1) + Var(1) + atom(1) + two atom operand nodes.
+  EXPECT_EQ(Comp(Eq(Input(), IntLit(1)), Var("R"))->NodeCount(), 5);
+}
+
+TEST(ExprTest, ToStringRendersOperatorsRecognizably) {
+  EXPECT_EQ(Input()->ToString(), "INPUT");
+  EXPECT_EQ(Var("Employees")->ToString(), "Employees");
+  EXPECT_EQ(IntLit(7)->ToString(), "7");
+  EXPECT_EQ(TupExtract("name", Input())->ToString(),
+            "TUP_EXTRACT<name>(INPUT)");
+  std::string s =
+      SetApply(Project({"a", "b"}, Input()), Var("R"))->ToString();
+  EXPECT_NE(s.find("SET_APPLY"), std::string::npos);
+  EXPECT_NE(s.find("PI<a,b>"), std::string::npos);
+  EXPECT_EQ(SubArr(2, 3, Var("A"))->ToString(), "SUBARR<2,3>(A)");
+  EXPECT_EQ(ArrExtractLast(Var("A"))->ToString(), "ARR_EXTRACT<last>(A)");
+  EXPECT_EQ(Param(1)->ToString(), "$1");
+}
+
+TEST(ExprTest, TreeStringIndentsChildren) {
+  std::string t = DupElim(Cross(Var("A"), Var("B")))->ToTreeString();
+  EXPECT_NE(t.find("DE\n"), std::string::npos);
+  EXPECT_NE(t.find("  CROSS\n"), std::string::npos);
+  EXPECT_NE(t.find("    A\n"), std::string::npos);
+}
+
+TEST(PredicateTest, ToStringAndStructure) {
+  PredicatePtr p = Predicate::And(
+      Eq(Input(), IntLit(1)),
+      Predicate::Not(Lt(Input(), IntLit(0))));
+  EXPECT_EQ(p->ToString(), "(INPUT = 1 and not (INPUT < 0))");
+  EXPECT_EQ(Predicate::True()->ToString(), "true");
+  PredicatePtr q = Predicate::Or(Gt(Input(), IntLit(2)),
+                                 In(Input(), Var("S")));
+  EXPECT_EQ(q->ToString(), "(INPUT > 2 or INPUT in S)");
+}
+
+TEST(ExprTest, MethodCallCarriesReceiverAndArgs) {
+  ExprPtr call = MethodCall("f", Var("X"), {IntLit(1), StrLit("s")});
+  EXPECT_EQ(call->kind(), OpKind::kMethodCall);
+  EXPECT_EQ(call->num_children(), 3u);
+  EXPECT_EQ(call->name(), "f");
+  EXPECT_FALSE(call->Equals(*MethodCall("g", Var("X"), {IntLit(1),
+                                                        StrLit("s")})));
+}
+
+TEST(ExprTest, DerivedOperatorsExpandToPrimitives) {
+  // ∪ = (A − B) ⊎ B; ∩ = A − (A − B); σ = SET_APPLY of COMP.
+  ExprPtr u = Union(Var("A"), Var("B"));
+  EXPECT_EQ(u->kind(), OpKind::kAddUnion);
+  EXPECT_EQ(u->child(0)->kind(), OpKind::kDiff);
+  ExprPtr i = Intersect(Var("A"), Var("B"));
+  EXPECT_EQ(i->kind(), OpKind::kDiff);
+  EXPECT_EQ(i->child(1)->kind(), OpKind::kDiff);
+  ExprPtr sel = Select(Predicate::True(), Var("A"));
+  EXPECT_EQ(sel->kind(), OpKind::kSetApply);
+  EXPECT_EQ(sel->sub()->kind(), OpKind::kComp);
+  ExprPtr rj = RelJoin(Predicate::True(), Var("A"), Var("B"));
+  EXPECT_EQ(rj->kind(), OpKind::kSetApply);
+}
+
+TEST(ExprTest, PathBuilderChainsExtractions) {
+  ExprPtr p = Path({"a", "b", "c"}, Input());
+  EXPECT_EQ(p->ToString(),
+            "TUP_EXTRACT<c>(TUP_EXTRACT<b>(TUP_EXTRACT<a>(INPUT)))");
+}
+
+}  // namespace
+}  // namespace excess

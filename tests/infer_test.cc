@@ -1,0 +1,164 @@
+#include "core/infer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/builder.h"
+#include "objects/database.h"
+
+namespace excess {
+namespace {
+
+using namespace alg;  // NOLINT(build/namespaces)
+
+class InferTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.catalog()
+                    .DefineType("Dept", Schema::Tup({{"name", StringSchema()},
+                                                     {"floor", IntSchema()}}))
+                    .ok());
+    ASSERT_TRUE(db_.CreateNamed("Nums", Schema::Set(IntSchema())).ok());
+    ASSERT_TRUE(db_.CreateNamed("Depts",
+                                Schema::Set(Schema::Ref("Dept")))
+                    .ok());
+  }
+  Result<SchemaPtr> Infer(const ExprPtr& e, SchemaPtr in = nullptr) {
+    TypeInference ti(&db_);
+    return ti.Infer(e, std::move(in));
+  }
+  Database db_;
+};
+
+TEST_F(InferTest, LeavesAndVars) {
+  EXPECT_TRUE((*Infer(IntLit(1)))->Equals(*IntSchema()));
+  EXPECT_TRUE((*Infer(StrLit("x")))->Equals(*StringSchema()));
+  EXPECT_TRUE((*Infer(Var("Nums")))->Equals(*Schema::Set(IntSchema())));
+  EXPECT_TRUE(Infer(Var("Ghost")).status().IsNotFound());
+  EXPECT_TRUE(Infer(Input()).status().IsTypeError());  // no binding
+  EXPECT_TRUE((*Infer(Input(), IntSchema()))->Equals(*IntSchema()));
+}
+
+TEST_F(InferTest, SchemaOfValueDerivation) {
+  ValuePtr v = Value::SetOf({Value::Tuple({"a"}, {Value::Int(1)})});
+  SchemaPtr s = SchemaOfValue(v, &db_.store());
+  EXPECT_EQ(s->ToString(), "{ (a: int4) }");
+  // Heterogeneous sets get an `any` element.
+  ValuePtr h = Value::SetOf({Value::Int(1), Value::Str("x")});
+  EXPECT_EQ(SchemaOfValue(h, &db_.store())->ToString(), "{ any }");
+}
+
+TEST_F(InferTest, SetOperatorsNeedSets) {
+  EXPECT_TRUE((*Infer(SetApply(Arith("+", Input(), IntLit(1)), Var("Nums"))))
+                  ->Equals(*Schema::Set(IntSchema())));
+  EXPECT_TRUE(Infer(SetApply(Input(), IntLit(1))).status().IsTypeError());
+  EXPECT_TRUE(Infer(DupElim(IntLit(1))).status().IsTypeError());
+  EXPECT_TRUE(
+      Infer(AddUnion(Var("Nums"), IntLit(3))).status().IsTypeError());
+}
+
+TEST_F(InferTest, AddUnionRequiresCompatibleElements) {
+  ASSERT_TRUE(db_.CreateNamed("Strs", Schema::Set(StringSchema())).ok());
+  EXPECT_TRUE(
+      Infer(AddUnion(Var("Nums"), Var("Strs"))).status().IsTypeError());
+  EXPECT_TRUE((*Infer(AddUnion(Var("Nums"), Var("Nums"))))
+                  ->Equals(*Schema::Set(IntSchema())));
+}
+
+TEST_F(InferTest, GroupAndCollapse) {
+  EXPECT_EQ((*Infer(Group(Input(), Var("Nums"))))->ToString(),
+            "{ { int4 } }");
+  EXPECT_EQ((*Infer(SetCollapse(Group(Input(), Var("Nums")))))->ToString(),
+            "{ int4 }");
+  EXPECT_TRUE(Infer(SetCollapse(Var("Nums"))).status().IsTypeError());
+}
+
+TEST_F(InferTest, CrossMakesPairs) {
+  EXPECT_EQ((*Infer(Cross(Var("Nums"), Var("Nums"))))->ToString(),
+            "{ (_1: int4, _2: int4) }");
+}
+
+TEST_F(InferTest, TupleOperators) {
+  SchemaPtr t = Schema::Tup({{"a", IntSchema()}, {"b", StringSchema()}});
+  EXPECT_TRUE((*Infer(TupExtract("b", Input()), t))->Equals(*StringSchema()));
+  EXPECT_TRUE(Infer(TupExtract("z", Input()), t).status().IsNotFound());
+  EXPECT_EQ((*Infer(Project({"b"}, Input()), t))->ToString(), "(b: string)");
+  EXPECT_EQ((*Infer(TupCat(Input(), TupMake(IntLit(1))), t))->ToString(),
+            "(a: int4, b: string, _1: int4)");
+  EXPECT_TRUE(Infer(TupExtract("a", IntLit(1))).status().IsTypeError());
+}
+
+TEST_F(InferTest, ArrayOperators) {
+  ASSERT_TRUE(
+      db_.CreateNamed("Arr", Schema::FixedArr(IntSchema(), 10)).ok());
+  EXPECT_TRUE((*Infer(ArrExtract(5, Var("Arr"))))->Equals(*IntSchema()));
+  EXPECT_EQ((*Infer(SubArr(1, 3, Var("Arr"))))->ToString(), "array of int4");
+  EXPECT_EQ(
+      (*Infer(ArrApply(Arith("*", Input(), IntLit(2)), Var("Arr"))))
+          ->ToString(),
+      "array of int4");
+  // ARR_CAT of two fixed arrays has a fixed combined size.
+  auto cat = Infer(ArrCat(Var("Arr"), Var("Arr")));
+  ASSERT_TRUE(cat.ok());
+  ASSERT_TRUE((*cat)->fixed_size().has_value());
+  EXPECT_EQ(*(*cat)->fixed_size(), 20);
+  EXPECT_TRUE(Infer(ArrExtract(1, Var("Nums"))).status().IsTypeError());
+}
+
+TEST_F(InferTest, RefAndDeref) {
+  // DEREF of ref Dept resolves through the catalog.
+  auto elem = Infer(SetApply(Deref(Input()), Var("Depts")));
+  ASSERT_TRUE(elem.ok());
+  EXPECT_EQ((*elem)->ToString(), "{ Dept }");
+  // REF of a named-typed expression records the target.
+  auto r = Infer(RefOp(Deref(Input()), ""), Schema::Ref("Dept"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->ToString(), "ref Dept");
+  EXPECT_TRUE(Infer(Deref(IntLit(1))).status().IsTypeError());
+  EXPECT_TRUE(
+      Infer(Deref(Input()), Schema::Ref("Ghost")).status().IsTypeError());
+}
+
+TEST_F(InferTest, CompChecksPredicates) {
+  SchemaPtr t = Schema::Tup({{"floor", IntSchema()}});
+  EXPECT_TRUE((*Infer(Comp(Eq(TupExtract("floor", Input()), IntLit(2)),
+                           Input()),
+                      t))
+                  ->Equals(*t));
+  // Ordering comparison over a tuple is rejected statically.
+  EXPECT_TRUE(Infer(Comp(Lt(Input(), IntLit(2)), Input()), t)
+                  .status()
+                  .IsTypeError());
+  // Membership requires a multiset rhs.
+  EXPECT_TRUE(Infer(Comp(In(Input(), IntLit(1)), IntLit(2)))
+                  .status()
+                  .IsTypeError());
+}
+
+TEST_F(InferTest, ArithAndAgg) {
+  EXPECT_TRUE((*Infer(Arith("+", IntLit(1), IntLit(2))))->Equals(*IntSchema()));
+  EXPECT_TRUE(
+      (*Infer(Arith("+", IntLit(1), FloatLit(2))))->Equals(*FloatSchema()));
+  EXPECT_TRUE(
+      Infer(Arith("*", StrLit("a"), IntLit(2))).status().IsTypeError());
+  EXPECT_TRUE((*Infer(Agg("count", Var("Nums"))))->Equals(*IntSchema()));
+  EXPECT_TRUE((*Infer(Agg("avg", Var("Nums"))))->Equals(*FloatSchema()));
+  EXPECT_TRUE((*Infer(Agg("min", Var("Nums"))))->Equals(*IntSchema()));
+  EXPECT_TRUE(Infer(Agg("median", Var("Nums"))).status().IsNotFound());
+}
+
+TEST_F(InferTest, TypedSetApplySeesExactSchema) {
+  ASSERT_TRUE(db_.catalog()
+                  .DefineType("Sub", Schema::Tup({{"extra", IntSchema()}}))
+                  .ok());
+  ASSERT_TRUE(db_.CreateNamed(
+                    "Mixed",
+                    Schema::Set(*db_.catalog().EffectiveSchema("Dept")))
+                  .ok());
+  // Inside SET_APPLY<Sub>, INPUT has Sub's effective schema.
+  auto r = Infer(SetApply(TupExtract("extra", Input()), Var("Mixed"), "Sub"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->ToString(), "{ int4 }");
+}
+
+}  // namespace
+}  // namespace excess

@@ -1,0 +1,175 @@
+#include "core/kernels.h"
+
+#include <gtest/gtest.h>
+
+namespace excess {
+namespace {
+
+ValuePtr I(int64_t v) { return Value::Int(v); }
+ValuePtr S(std::vector<ValuePtr> v) { return Value::SetOf(v); }
+ValuePtr A(std::vector<ValuePtr> v) { return Value::ArrayOf(std::move(v)); }
+
+TEST(MultisetKernels, AddUnionSumsCardinalities) {
+  ValuePtr r = *kernels::AddUnion(S({I(1), I(1), I(2)}), S({I(1), I(3)}));
+  EXPECT_EQ(r->CountOf(I(1)), 3);
+  EXPECT_EQ(r->CountOf(I(2)), 1);
+  EXPECT_EQ(r->CountOf(I(3)), 1);
+}
+
+TEST(MultisetKernels, DiffSubtractsWithFloorZero) {
+  ValuePtr r = *kernels::Diff(S({I(1), I(1), I(2)}), S({I(1), I(2), I(2)}));
+  EXPECT_EQ(r->CountOf(I(1)), 1);
+  EXPECT_EQ(r->CountOf(I(2)), 0);
+  EXPECT_EQ(r->TotalCount(), 1);
+}
+
+TEST(MultisetKernels, CrossMultipliesCardinalitiesAndPairs) {
+  ValuePtr r = *kernels::Cross(S({I(1), I(1)}), S({I(5), I(6)}));
+  EXPECT_EQ(r->TotalCount(), 4);
+  EXPECT_EQ(r->CountOf(Value::TupleOf({I(1), I(5)})), 2);
+  // Empty side yields the empty product.
+  EXPECT_EQ((*kernels::Cross(S({}), S({I(1)})))->TotalCount(), 0);
+}
+
+TEST(MultisetKernels, DupElim) {
+  ValuePtr r = *kernels::DupElim(S({I(1), I(1), I(2)}));
+  EXPECT_EQ(r->TotalCount(), 2);
+  EXPECT_EQ(r->CountOf(I(1)), 1);
+}
+
+TEST(MultisetKernels, SetCollapseWeightsOuterCardinality) {
+  // {{1,2} x2, {2}} collapses to {1 x2, 2 x3}.
+  ValuePtr inner1 = S({I(1), I(2)});
+  ValuePtr r = *kernels::SetCollapse(
+      Value::SetOfCounted({{inner1, 2}, {S({I(2)}), 1}}));
+  EXPECT_EQ(r->CountOf(I(1)), 2);
+  EXPECT_EQ(r->CountOf(I(2)), 3);
+}
+
+TEST(MultisetKernels, SetCollapseRejectsNonSets) {
+  EXPECT_TRUE(kernels::SetCollapse(S({I(1)})).status().IsTypeError());
+}
+
+TEST(MultisetKernels, DerivedUnionViaDefinition) {
+  // A ∪ B = (A − B) ⊎ B takes the max cardinality (Appendix §1).
+  ValuePtr a = S({I(1), I(1), I(2)});
+  ValuePtr b = S({I(1), I(3)});
+  ValuePtr direct = *kernels::MaxUnion(a, b);
+  ValuePtr derived = *kernels::AddUnion(*kernels::Diff(a, b), b);
+  EXPECT_TRUE(direct->Equals(*derived));
+  EXPECT_EQ(direct->CountOf(I(1)), 2);
+}
+
+TEST(MultisetKernels, DerivedIntersectViaDefinition) {
+  // A ∩ B = A − (A − B) takes the min cardinality.
+  ValuePtr a = S({I(1), I(1), I(2)});
+  ValuePtr b = S({I(1), I(2), I(2), I(4)});
+  ValuePtr direct = *kernels::MinIntersect(a, b);
+  ValuePtr derived = *kernels::Diff(a, *kernels::Diff(a, b));
+  EXPECT_TRUE(direct->Equals(*derived));
+  EXPECT_EQ(direct->CountOf(I(1)), 1);
+  EXPECT_EQ(direct->CountOf(I(2)), 1);
+  EXPECT_EQ(direct->CountOf(I(4)), 0);
+}
+
+TEST(MultisetKernels, SortErrors) {
+  EXPECT_TRUE(kernels::AddUnion(I(1), S({})).status().IsTypeError());
+  EXPECT_TRUE(kernels::Diff(S({}), A({})).status().IsTypeError());
+  EXPECT_TRUE(kernels::DupElim(A({})).status().IsTypeError());
+}
+
+TEST(TupleKernels, TupCatConcatenates) {
+  ValuePtr r = *kernels::TupCat(Value::Tuple({"a"}, {I(1)}),
+                                Value::Tuple({"b"}, {I(2)}));
+  EXPECT_EQ(r->num_fields(), 2u);
+  EXPECT_EQ((*r->Field("a"))->as_int(), 1);
+  EXPECT_EQ((*r->Field("b"))->as_int(), 2);
+  EXPECT_TRUE(kernels::TupCat(I(1), Value::Tuple({}, {})).status().IsTypeError());
+}
+
+TEST(TupleKernels, ProjectKeepsListedFieldsInOrder) {
+  ValuePtr t = Value::Tuple({"a", "b", "c"}, {I(1), I(2), I(3)});
+  ValuePtr r = *kernels::Project({"c", "a"}, t);
+  EXPECT_EQ(r->field_names(), (std::vector<std::string>{"c", "a"}));
+  EXPECT_EQ((*r->FieldAt(0))->as_int(), 3);
+  EXPECT_TRUE(kernels::Project({"zz"}, t).status().IsNotFound());
+}
+
+TEST(ArrayKernels, ArrCatPreservesOrder) {
+  ValuePtr r = *kernels::ArrCat(A({I(1), I(2)}), A({I(3)}));
+  EXPECT_EQ(r->ArrayLength(), 3);
+  EXPECT_EQ(r->elems()[2]->as_int(), 3);
+}
+
+TEST(ArrayKernels, ArrExtractOneBasedWithDneOutOfRange) {
+  ValuePtr a = A({I(10), I(20)});
+  EXPECT_EQ((*kernels::ArrExtract(1, a))->as_int(), 10);
+  EXPECT_EQ((*kernels::ArrExtract(2, a))->as_int(), 20);
+  EXPECT_TRUE((*kernels::ArrExtract(0, a))->is_dne());
+  EXPECT_TRUE((*kernels::ArrExtract(3, a))->is_dne());
+}
+
+TEST(ArrayKernels, SubArrClamps) {
+  ValuePtr a = A({I(1), I(2), I(3), I(4)});
+  EXPECT_TRUE((*kernels::SubArr(2, 3, a))->Equals(*A({I(2), I(3)})));
+  EXPECT_TRUE((*kernels::SubArr(-5, 2, a))->Equals(*A({I(1), I(2)})));
+  EXPECT_TRUE((*kernels::SubArr(3, 99, a))->Equals(*A({I(3), I(4)})));
+  EXPECT_EQ((*kernels::SubArr(3, 2, a))->ArrayLength(), 0);
+}
+
+TEST(ArrayKernels, ArrCollapse) {
+  ValuePtr r = *kernels::ArrCollapse(A({A({I(1), I(2)}), A({}), A({I(3)})}));
+  EXPECT_TRUE(r->Equals(*A({I(1), I(2), I(3)})));
+  EXPECT_TRUE(kernels::ArrCollapse(A({I(1)})).status().IsTypeError());
+}
+
+TEST(ArrayKernels, ArrDiffRemovesFirstOccurrences) {
+  ValuePtr r = *kernels::ArrDiff(A({I(1), I(2), I(1), I(3)}), A({I(1), I(3)}));
+  EXPECT_TRUE(r->Equals(*A({I(2), I(1)})));
+}
+
+TEST(ArrayKernels, ArrDupElimKeepsFirst) {
+  ValuePtr r = *kernels::ArrDupElim(A({I(2), I(1), I(2), I(1)}));
+  EXPECT_TRUE(r->Equals(*A({I(2), I(1)})));
+}
+
+TEST(ArrayKernels, ArrCrossIsLexicographic) {
+  ValuePtr r = *kernels::ArrCross(A({I(1), I(2)}), A({I(8), I(9)}));
+  ASSERT_EQ(r->ArrayLength(), 4);
+  EXPECT_TRUE(r->elems()[0]->Equals(*Value::TupleOf({I(1), I(8)})));
+  EXPECT_TRUE(r->elems()[1]->Equals(*Value::TupleOf({I(1), I(9)})));
+  EXPECT_TRUE(r->elems()[3]->Equals(*Value::TupleOf({I(2), I(9)})));
+}
+
+TEST(Aggregates, CountSumAvgMinMax) {
+  ValuePtr s = S({I(4), I(4), I(10)});
+  EXPECT_EQ((*kernels::Aggregate("count", s))->as_int(), 3);
+  EXPECT_EQ((*kernels::Aggregate("sum", s))->as_int(), 18);
+  EXPECT_DOUBLE_EQ((*kernels::Aggregate("avg", s))->as_float(), 6.0);
+  EXPECT_EQ((*kernels::Aggregate("min", s))->as_int(), 4);
+  EXPECT_EQ((*kernels::Aggregate("max", s))->as_int(), 10);
+}
+
+TEST(Aggregates, EmptyAndErrors) {
+  EXPECT_EQ((*kernels::Aggregate("count", S({})))->as_int(), 0);
+  EXPECT_TRUE((*kernels::Aggregate("min", S({})))->is_dne());
+  EXPECT_TRUE((*kernels::Aggregate("sum", S({})))->is_dne());
+  EXPECT_TRUE(kernels::Aggregate("median", S({I(1)})).status().IsNotFound());
+  EXPECT_TRUE(
+      kernels::Aggregate("sum", S({Value::Str("x")})).status().IsTypeError());
+}
+
+TEST(Aggregates, MixedNumericSumIsFloat) {
+  ValuePtr s = S({I(1), Value::Float(0.5)});
+  ValuePtr r = *kernels::Aggregate("sum", s);
+  EXPECT_EQ(r->kind(), ValueKind::kFloat);
+  EXPECT_DOUBLE_EQ(r->as_float(), 1.5);
+}
+
+TEST(Aggregates, MinOverStrings) {
+  ValuePtr s = S({Value::Str("pear"), Value::Str("apple")});
+  EXPECT_EQ((*kernels::Aggregate("min", s))->as_string(), "apple");
+}
+
+}  // namespace
+}  // namespace excess

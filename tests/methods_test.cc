@@ -1,0 +1,222 @@
+// §4: method definition, overriding under (multiple) inheritance, and the
+// two algebraic dispatch strategies — run-time switch table vs the ⊎-based
+// plan of Figure 5 — which must agree on every input.
+
+#include <gtest/gtest.h>
+
+#include "core/builder.h"
+#include "core/eval.h"
+#include "methods/dispatch.h"
+#include "methods/registry.h"
+#include "university/university.h"
+
+namespace excess {
+namespace {
+
+using namespace alg;  // NOLINT(build/namespaces)
+
+/// The paper's "boss" example: a Person is his own boss, a Student's boss
+/// is the advisor, an Employee's boss is the manager.
+ExprPtr PersonBossBody() { return TupExtract("name", Input()); }
+ExprPtr StudentBossBody() {
+  return TupExtract("name", Deref(TupExtract("advisor", Input())));
+}
+ExprPtr EmployeeBossBody() {
+  return TupExtract("name", Deref(TupExtract("manager", Input())));
+}
+
+class MethodsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    params_.num_employees = 30;
+    params_.num_students = 20;
+    ASSERT_TRUE(BuildUniversity(&db_, params_).ok());
+    ASSERT_TRUE(AddMixedPersonSet(&db_, "P", 10, 8, 6, params_).ok());
+    registry_ = std::make_unique<MethodRegistry>(&db_.catalog());
+    ASSERT_TRUE(registry_
+                    ->Define({"Person", "boss", {}, StringSchema(),
+                              PersonBossBody()})
+                    .ok());
+    ASSERT_TRUE(registry_
+                    ->Define({"Student", "boss", {}, StringSchema(),
+                              StudentBossBody()})
+                    .ok());
+    ASSERT_TRUE(registry_
+                    ->Define({"Employee", "boss", {}, StringSchema(),
+                              EmployeeBossBody()})
+                    .ok());
+  }
+
+  ValuePtr Eval(const ExprPtr& e) {
+    Evaluator ev(&db_, registry_.get());
+    auto r = ev.Eval(e);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? *r : nullptr;
+  }
+
+  UniversityParams params_;
+  Database db_;
+  std::unique_ptr<MethodRegistry> registry_;
+};
+
+TEST_F(MethodsTest, DispatchFindsMostSpecific) {
+  auto p = registry_->Dispatch("Person", "boss");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->type_name, "Person");
+  auto s = registry_->Dispatch("Student", "boss");
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ((*s)->type_name, "Student");
+  EXPECT_TRUE(registry_->Dispatch("Ghost", "boss").status().IsNotFound());
+  EXPECT_TRUE(registry_->Dispatch("Person", "nope").status().IsNotFound());
+}
+
+TEST_F(MethodsTest, InheritedMethodWithoutOverride) {
+  // A new subtype without its own boss() inherits Student's.
+  ASSERT_TRUE(db_.catalog().DefineType("GradStudent", Schema::Tup({}),
+                                       {"Student"})
+                  .ok());
+  auto g = registry_->Dispatch("GradStudent", "boss");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ((*g)->type_name, "Student");
+}
+
+TEST_F(MethodsTest, MultipleInheritanceUsesDeclarationOrder) {
+  ASSERT_TRUE(db_.catalog().DefineType("TA", Schema::Tup({}),
+                                       {"Student", "Employee"})
+                  .ok());
+  // TA has no own boss(); Student (first parent) wins.
+  auto ta = registry_->Dispatch("TA", "boss");
+  ASSERT_TRUE(ta.ok());
+  EXPECT_EQ((*ta)->type_name, "Student");
+}
+
+TEST_F(MethodsTest, SignatureMustMatchOnOverride) {
+  Status st = registry_->Define(
+      {"Student", "boss2", {"x"}, StringSchema(), PersonBossBody()});
+  ASSERT_TRUE(st.ok());
+  // Supertype later declares boss2 with a different arity: rejected.
+  EXPECT_TRUE(registry_
+                  ->Define({"Person", "boss2", {}, StringSchema(),
+                            PersonBossBody()})
+                  .IsTypeError());
+  // Redefinition on the same type is rejected.
+  EXPECT_EQ(registry_
+                ->Define({"Person", "boss", {}, StringSchema(),
+                          PersonBossBody()})
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(MethodsTest, DistinctImplementationsMergeSharedBodies) {
+  // With GradStudent inheriting Student's body, only 3 distinct
+  // implementations exist for 4 exact types.
+  ASSERT_TRUE(db_.catalog().DefineType("GradStudent", Schema::Tup({}),
+                                       {"Student"})
+                  .ok());
+  auto impls = registry_->DistinctImplementations("Person", "boss");
+  ASSERT_TRUE(impls.ok());
+  ASSERT_EQ(impls->size(), 3u);
+  // Student's entry serves both Student and GradStudent.
+  bool found = false;
+  for (const auto& [owner, serves] : *impls) {
+    if (owner == "Student") {
+      EXPECT_EQ(serves,
+                (std::vector<std::string>{"Student", "GradStudent"}));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(MethodsTest, SwitchTableAndUnionPlansAgree) {
+  DispatchPlanner planner(&db_, registry_.get());
+  auto a = planner.SwitchTablePlan(Var("P"), "boss");
+  auto b = planner.UnionPlan(Var("P"), "Person", "boss");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ValuePtr va = Eval(*a);
+  ValuePtr vb = Eval(*b);
+  ASSERT_NE(va, nullptr);
+  ASSERT_NE(vb, nullptr);
+  EXPECT_TRUE(va->Equals(*vb)) << "switch: " << va->ToString()
+                               << "\nunion: " << vb->ToString();
+  EXPECT_EQ(va->TotalCount(), 24);  // 10 + 8 + 6 persons
+}
+
+TEST_F(MethodsTest, UnionPlanHasOneScanPerDistinctImplementation) {
+  DispatchPlanner planner(&db_, registry_.get());
+  auto plan = planner.UnionPlan(Var("P"), "Person", "boss");
+  ASSERT_TRUE(plan.ok());
+  // Count SET_APPLY nodes with type filters: one per implementation (3).
+  int typed_scans = 0;
+  std::function<void(const ExprPtr&)> walk = [&](const ExprPtr& e) {
+    if (e->kind() == OpKind::kSetApply && !e->type_filter().empty()) {
+      ++typed_scans;
+    }
+    for (const auto& c : e->children()) walk(c);
+  };
+  walk(*plan);
+  EXPECT_EQ(typed_scans, 3);
+}
+
+TEST_F(MethodsTest, UnionPlanOverRefCollection) {
+  // Employees is a set of references; the union plan must deref receivers.
+  DispatchPlanner planner(&db_, registry_.get());
+  auto a = planner.SwitchTablePlan(Var("Employees"), "boss");
+  auto b = planner.UnionPlan(Var("Employees"), "Employee", "boss");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(Eval(*a)->Equals(*Eval(*b)));
+}
+
+TEST_F(MethodsTest, ExtentPlanAgrees) {
+  DispatchPlanner planner(&db_, registry_.get());
+  auto base = planner.SwitchTablePlan(Var("P"), "boss");
+  auto ext = planner.UnionPlanOverExtents("P", "Person", "boss");
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(ext.ok()) << ext.status().ToString();
+  EXPECT_TRUE(Eval(*base)->Equals(*Eval(*ext)));
+}
+
+TEST_F(MethodsTest, ParameterizedMethod) {
+  // The paper's get_ssnum(kname): ssnums of this employee's kids named
+  // kname.
+  ExprPtr body = SetApply(
+      TupExtract("ssnum", Input()),
+      SetApply(Comp(Eq(TupExtract("name", Input()), Param(0)), Input()),
+               TupExtract("kids", Input())));
+  ASSERT_TRUE(registry_
+                  ->Define({"Employee", "get_ssnum", {"kname"},
+                            Schema::Set(IntSchema()), body})
+                  .ok());
+  // Find an employee and one of his kids.
+  ValuePtr employees = *db_.NamedValue("Employees");
+  ValuePtr emp = *db_.store().Deref(employees->entries()[0].value->oid());
+  ValuePtr kid = (*emp->Field("kids"))->entries()[0].value;
+  ExprPtr call = MethodCall("get_ssnum", Const(emp),
+                            {Const(*kid->Field("name"))});
+  ValuePtr got = Eval(call);
+  ASSERT_NE(got, nullptr);
+  ASSERT_TRUE(got->is_set());
+  EXPECT_EQ(got->CountOf(*kid->Field("ssnum")), 1);
+}
+
+TEST_F(MethodsTest, MethodCallWithoutResolverFails) {
+  Evaluator ev(&db_);  // no registry attached
+  auto r = ev.Eval(MethodCall("boss", Const(Value::Tuple({}, {}, "Person"))));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(MethodsTest, DispatchCountInstrumentation) {
+  registry_->ResetStats();
+  DispatchPlanner planner(&db_, registry_.get());
+  auto a = planner.SwitchTablePlan(Var("P"), "boss");
+  ASSERT_TRUE(a.ok());
+  ASSERT_NE(Eval(*a), nullptr);
+  // One dispatch per distinct receiver value processed.
+  EXPECT_EQ(registry_->dispatch_count(), 24);
+}
+
+}  // namespace
+}  // namespace excess

@@ -1,0 +1,117 @@
+// Tests for the five OID-domain rules of §3.1 under multiple inheritance.
+// The rules quantify over infinite domains; we verify them as properties of
+// the finite prefix the store actually allocates plus the structural
+// guarantees (per-type partition, subtype containment) that extend to the
+// full domain by construction.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "objects/database.h"
+#include "objects/store.h"
+
+namespace excess {
+namespace {
+
+// Hierarchy: Person <- {Student, Employee}; TA inherits from both
+// (multiple inheritance); Course is unrelated.
+class OidDomainsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Catalog& c = db_.catalog();
+    ASSERT_TRUE(c.DefineType("Person", Schema::Tup({})).ok());
+    ASSERT_TRUE(c.DefineType("Student", Schema::Tup({}), {"Person"}).ok());
+    ASSERT_TRUE(c.DefineType("Employee", Schema::Tup({}), {"Person"}).ok());
+    ASSERT_TRUE(c.DefineType("TA", Schema::Tup({}), {"Student", "Employee"})
+                    .ok());
+    ASSERT_TRUE(c.DefineType("Course", Schema::Tup({})).ok());
+  }
+
+  Oid New(const std::string& type, int i) {
+    auto r = db_.store().Create(type, Value::Tuple({"i"}, {Value::Int(i)}));
+    EXPECT_TRUE(r.ok());
+    return *r;
+  }
+
+  Database db_;
+};
+
+TEST_F(OidDomainsTest, Rule1DomainsAreUnbounded) {
+  // |Odom(t)| = ∞: allocation never exhausts a type's domain — serials are
+  // strictly increasing and 64-bit; allocate a bunch and observe no reuse.
+  std::set<uint64_t> serials;
+  for (int i = 0; i < 1000; ++i) {
+    Oid oid = New("Person", i);
+    EXPECT_TRUE(serials.insert(oid.serial).second) << "serial reused";
+  }
+}
+
+TEST_F(OidDomainsTest, Rule2ProperSupertypeResidueIsUnbounded) {
+  // |Odom(Person) − ∪Odom(subtypes)| = ∞: OIDs allocated with exact type
+  // Person are in no subtype's domain, and allocation of those never ends.
+  for (int i = 0; i < 100; ++i) {
+    Oid oid = New("Person", 10000 + i);
+    EXPECT_TRUE(db_.store().InDomain(oid, "Person"));
+    EXPECT_FALSE(db_.store().InDomain(oid, "Student"));
+    EXPECT_FALSE(db_.store().InDomain(oid, "Employee"));
+    EXPECT_FALSE(db_.store().InDomain(oid, "TA"));
+  }
+}
+
+TEST_F(OidDomainsTest, Rule3SubtypeDomainsAreContained) {
+  // Person → Student ⇒ Odom(Student) ⊆ Odom(Person): every Student OID is a
+  // Person OID.
+  for (int i = 0; i < 50; ++i) {
+    Oid oid = New("Student", 20000 + i);
+    EXPECT_TRUE(db_.store().InDomain(oid, "Student"));
+    EXPECT_TRUE(db_.store().InDomain(oid, "Person"));
+    EXPECT_FALSE(db_.store().InDomain(oid, "Employee"));
+  }
+}
+
+TEST_F(OidDomainsTest, Rule4UnrelatedTypesHaveDisjointDomains) {
+  // Person and Course share no descendant ⇒ no common OIDs.
+  ASSERT_TRUE(db_.catalog().SharesNoDescendant("Person", "Course"));
+  Oid p = New("Person", 1);
+  Oid c = New("Course", 1);
+  EXPECT_FALSE(db_.store().InDomain(p, "Course"));
+  EXPECT_FALSE(db_.store().InDomain(c, "Person"));
+  EXPECT_NE(p.type_id, c.type_id);
+  // Student and Employee DO share a descendant (TA), so rule 4 does not
+  // apply — and indeed a TA OID witnesses the intersection.
+  ASSERT_FALSE(db_.catalog().SharesNoDescendant("Student", "Employee"));
+}
+
+TEST_F(OidDomainsTest, Rule5MultipleInheritanceIntersection) {
+  // {Student, Employee} → TA ⇒ Odom(TA) ⊆ Odom(Student) ∩ Odom(Employee):
+  // a TA OID is simultaneously a Student, Employee, and Person OID.
+  Oid ta = New("TA", 7);
+  EXPECT_TRUE(db_.store().InDomain(ta, "TA"));
+  EXPECT_TRUE(db_.store().InDomain(ta, "Student"));
+  EXPECT_TRUE(db_.store().InDomain(ta, "Employee"));
+  EXPECT_TRUE(db_.store().InDomain(ta, "Person"));
+  EXPECT_FALSE(db_.store().InDomain(ta, "Course"));
+}
+
+TEST_F(OidDomainsTest, TypeMigrationMovesDomainMembership) {
+  // §3.1: "these semantics allow type migration to occur". A Person object
+  // becoming a Student gains membership in Odom(Student) while staying in
+  // Odom(Person).
+  Oid oid = New("Person", 99);
+  ASSERT_FALSE(db_.store().InDomain(oid, "Student"));
+  ASSERT_TRUE(db_.store().MigrateType(oid, "Student").ok());
+  EXPECT_TRUE(db_.store().InDomain(oid, "Student"));
+  EXPECT_TRUE(db_.store().InDomain(oid, "Person"));
+  // Further migration Student -> TA is legal; TA ≤ Person (allocation).
+  ASSERT_TRUE(db_.store().MigrateType(oid, "TA").ok());
+  EXPECT_TRUE(db_.store().InDomain(oid, "Employee"));
+}
+
+TEST_F(OidDomainsTest, DomainMembershipOfMissingObjects) {
+  Oid bogus{123, 456};
+  EXPECT_FALSE(db_.store().InDomain(bogus, "Person"));
+}
+
+}  // namespace
+}  // namespace excess

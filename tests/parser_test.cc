@@ -1,0 +1,217 @@
+#include "excess/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "excess/lexer.h"
+
+namespace excess {
+namespace {
+
+TEST(LexerTest, TokenizesKeywordsAndIdentifiers) {
+  auto toks = Lex("retrieve unique (S.name) from S in Students");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].kind, TokKind::kRetrieve);
+  EXPECT_EQ((*toks)[1].kind, TokKind::kUnique);
+  EXPECT_EQ((*toks)[2].kind, TokKind::kLParen);
+  EXPECT_EQ((*toks)[3].kind, TokKind::kIdent);
+  EXPECT_EQ((*toks)[3].text, "S");
+  EXPECT_EQ((*toks)[4].kind, TokKind::kDot);
+  EXPECT_EQ((*toks).back().kind, TokKind::kEof);
+}
+
+TEST(LexerTest, NumbersAndRanges) {
+  auto toks = Lex("1..10 3.5 42");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].kind, TokKind::kIntLit);
+  EXPECT_EQ((*toks)[0].int_value, 1);
+  EXPECT_EQ((*toks)[1].kind, TokKind::kDotDot);
+  EXPECT_EQ((*toks)[2].int_value, 10);
+  EXPECT_EQ((*toks)[3].kind, TokKind::kFloatLit);
+  EXPECT_DOUBLE_EQ((*toks)[3].float_value, 3.5);
+  EXPECT_EQ((*toks)[4].int_value, 42);
+}
+
+TEST(LexerTest, StringsAndComments) {
+  auto toks = Lex("\"Madi\\\"son\" -- a comment\n42");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].kind, TokKind::kStrLit);
+  EXPECT_EQ((*toks)[0].text, "Madi\"son");
+  EXPECT_EQ((*toks)[1].kind, TokKind::kIntLit);
+  EXPECT_FALSE(Lex("\"unterminated").ok());
+}
+
+TEST(LexerTest, OperatorsAndErrors) {
+  auto toks = Lex("<= >= != <> = < >");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_EQ((*toks)[0].kind, TokKind::kLe);
+  EXPECT_EQ((*toks)[1].kind, TokKind::kGe);
+  EXPECT_EQ((*toks)[2].kind, TokKind::kNe);
+  EXPECT_EQ((*toks)[3].kind, TokKind::kNe);
+  EXPECT_FALSE(Lex("@").ok());
+  EXPECT_FALSE(Lex("!x").ok());
+}
+
+TEST(ParserTest, Figure1TypeDefinitions) {
+  // Verbatim Figure 1 (modulo whitespace).
+  const char* ddl = R"(
+    define type Person: (
+      ssnum: int4, name: char[], street: char[20],
+      city: char[10], zip: int4, birthday: Date )
+    define type Employee: (
+      jobtitle: char[20], dept: ref Department, manager: ref Employee,
+      sub_ords: { ref Employee }, salary: int4, kids: { Person } )
+      inherits Person
+    define type Student: (
+      gpa: float4, dept: ref Department, advisor: ref Employee )
+      inherits Person
+    define type Department: (
+      division: char[], name: char[], floor: int4,
+      employees: { ref Employee } )
+    create Employees: { ref Employee }
+    create Students: { ref Student }
+    create Departments: { ref Department }
+    create TopTen: array [1..10] of ref Employee
+  )";
+  auto program = Parse(ddl);
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  ASSERT_EQ(program->size(), 8u);
+  EXPECT_EQ((*program)[0].kind, Statement::Kind::kDefineType);
+  EXPECT_EQ((*program)[0].define_type->name, "Person");
+  EXPECT_EQ((*program)[0].define_type->body->fields.size(), 6u);
+  EXPECT_EQ((*program)[1].define_type->inherits,
+            (std::vector<std::string>{"Person"}));
+  EXPECT_EQ((*program)[7].kind, Statement::Kind::kCreate);
+  EXPECT_EQ((*program)[7].create->type->kind, TypeAst::Kind::kArray);
+  ASSERT_TRUE((*program)[7].create->type->array_size.has_value());
+  EXPECT_EQ(*(*program)[7].create->type->array_size, 10);
+}
+
+TEST(ParserTest, RangeAndSimpleRetrieve) {
+  auto program = Parse(
+      "range of E is Employees\n"
+      "retrieve (C.name) from C in E.kids where E.dept.floor = 2");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  ASSERT_EQ(program->size(), 2u);
+  EXPECT_EQ((*program)[0].kind, Statement::Kind::kRange);
+  EXPECT_EQ((*program)[0].range->var, "E");
+  const auto& r = *(*program)[1].retrieve;
+  EXPECT_FALSE(r.unique);
+  ASSERT_EQ(r.targets.size(), 1u);
+  EXPECT_EQ(r.targets[0].second->kind, ExprAst::Kind::kField);
+  ASSERT_EQ(r.from.size(), 1u);
+  EXPECT_EQ(r.from[0].var, "C");
+  ASSERT_NE(r.where, nullptr);
+  EXPECT_EQ(r.where->kind, ExprAst::Kind::kCompare);
+}
+
+TEST(ParserTest, MultiVariableRange) {
+  auto program = Parse(
+      "range of S is Students, E is Employees\n"
+      "retrieve unique (S.dept.name, E.name) by S.dept "
+      "where S.advisor = E.name");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  ASSERT_EQ(program->size(), 3u);  // two ranges + retrieve
+  EXPECT_EQ((*program)[0].range->var, "S");
+  EXPECT_EQ((*program)[1].range->var, "E");
+  const auto& r = *(*program)[2].retrieve;
+  EXPECT_TRUE(r.unique);
+  EXPECT_EQ(r.targets.size(), 2u);
+  EXPECT_EQ(r.by.size(), 1u);
+}
+
+TEST(ParserTest, AggregateWithCorrelatedSubquery) {
+  auto program = ParseStatement(
+      "retrieve (EMP.name, min(E.kids.age from E in Employees "
+      "where E.dept.floor = EMP.dept.floor))");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const auto& r = *program->retrieve;
+  ASSERT_EQ(r.targets.size(), 2u);
+  const auto& agg = r.targets[1].second;
+  EXPECT_EQ(agg->kind, ExprAst::Kind::kAgg);
+  EXPECT_EQ(agg->text, "min");
+  ASSERT_EQ(agg->agg_from.size(), 1u);
+  EXPECT_EQ(agg->agg_from[0].first, "E");
+  ASSERT_NE(agg->agg_where, nullptr);
+}
+
+TEST(ParserTest, ArrayIndexingAndSlices) {
+  auto q = ParseStatement("retrieve (TopTen[5].name, TopTen[2..last])");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const auto& t0 = q->retrieve->targets[0].second;
+  EXPECT_EQ(t0->kind, ExprAst::Kind::kField);
+  EXPECT_EQ(t0->base->kind, ExprAst::Kind::kIndex);
+  const auto& t1 = q->retrieve->targets[1].second;
+  EXPECT_EQ(t1->kind, ExprAst::Kind::kSlice);
+  EXPECT_TRUE(t1->hi_is_last);
+  auto last = ParseStatement("retrieve (TopTen[last])");
+  ASSERT_TRUE(last.ok());
+  EXPECT_TRUE(last->retrieve->targets[0].second->index_is_last);
+}
+
+TEST(ParserTest, SetExpressionsAndLiterals) {
+  auto q = ParseStatement(
+      "retrieve (x) from x in (A - B union C) where x in {1, 2, 3} into D");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->retrieve->into, "D");
+  EXPECT_EQ(q->retrieve->from[0].collection->kind, ExprAst::Kind::kBinary);
+  EXPECT_EQ(q->retrieve->from[0].collection->text, "union");
+  EXPECT_EQ(q->retrieve->where->text, "in");
+  EXPECT_EQ(q->retrieve->where->rhs->kind, ExprAst::Kind::kSetLit);
+}
+
+TEST(ParserTest, TupleLiteralsAndGrouping) {
+  auto named = ParseStatement("retrieve ( (a: 1, b: \"x\") )");
+  ASSERT_TRUE(named.ok());
+  EXPECT_EQ(named->retrieve->targets[0].second->kind, ExprAst::Kind::kTupLit);
+  auto grouped = ParseStatement("retrieve ( (1 + 2) * 3 )");
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ(grouped->retrieve->targets[0].second->kind,
+            ExprAst::Kind::kBinary);
+}
+
+TEST(ParserTest, DefineFunction) {
+  auto program = ParseStatement(
+      "define Employee function get_ssnum (kname: char[]) returns int4 {\n"
+      "  retrieve (this.kids.ssnum) where (this.kids.name = kname)\n"
+      "}");
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  const auto& f = *program->define_function;
+  EXPECT_EQ(f.type_name, "Employee");
+  EXPECT_EQ(f.func_name, "get_ssnum");
+  ASSERT_EQ(f.params.size(), 1u);
+  EXPECT_EQ(f.params[0].first, "kname");
+  ASSERT_NE(f.body, nullptr);
+}
+
+TEST(ParserTest, BooleanPrecedence) {
+  // a = 1 or b = 2 and not c = 3 parses as (a=1) or ((b=2) and (not c=3)).
+  auto q = ParseStatement("retrieve (x) where a = 1 or b = 2 and not c = 3");
+  ASSERT_TRUE(q.ok());
+  const auto& w = q->retrieve->where;
+  EXPECT_EQ(w->kind, ExprAst::Kind::kOr);
+  EXPECT_EQ(w->rhs->kind, ExprAst::Kind::kAnd);
+  EXPECT_EQ(w->rhs->rhs->kind, ExprAst::Kind::kNot);
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(Parse("retrieve name").ok());           // missing parens
+  EXPECT_FALSE(Parse("retrieve () from").ok());        // dangling from
+  EXPECT_FALSE(Parse("define type : (a: int4)").ok()); // missing name
+  EXPECT_FALSE(Parse("create X").ok());                // missing type
+  EXPECT_FALSE(Parse("range of X Employees").ok());    // missing `is`
+  EXPECT_FALSE(Parse("retrieve (a.)").ok());           // dangling dot
+  EXPECT_FALSE(Parse("bogus statement").ok());
+}
+
+TEST(ParserTest, MethodCallsAndBuiltins) {
+  auto q = ParseStatement("retrieve (P.boss(), deref(x), mkref(y))");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->retrieve->targets[0].second->kind, ExprAst::Kind::kCall);
+  EXPECT_EQ(q->retrieve->targets[0].second->text, "boss");
+  EXPECT_NE(q->retrieve->targets[0].second->base, nullptr);
+  EXPECT_EQ(q->retrieve->targets[1].second->text, "deref");
+  EXPECT_EQ(q->retrieve->targets[1].second->base, nullptr);
+}
+
+}  // namespace
+}  // namespace excess

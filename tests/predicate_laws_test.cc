@@ -1,0 +1,153 @@
+// Property tests for the three-valued predicate logic (§3.2.4): Kleene
+// laws (De Morgan, double negation, commutativity, absorption of T/F) and
+// COMP/selection algebraic identities, randomized over data containing
+// real values, unk fields, and dne fields.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/builder.h"
+#include "core/eval.h"
+#include "objects/database.h"
+
+namespace excess {
+namespace {
+
+using namespace alg;  // NOLINT(build/namespaces)
+
+ValuePtr I(int64_t v) { return Value::Int(v); }
+
+/// A random tuple whose fields may be real ints, unk, or dne.
+ValuePtr RandomTuple(std::mt19937* rng) {
+  std::uniform_int_distribution<int> kind(0, 5);
+  auto field = [&]() -> ValuePtr {
+    int k = kind(*rng);
+    if (k == 4) return Value::Unk();
+    if (k == 5) return Value::Dne();
+    return I(k);
+  };
+  return Value::Tuple({"x", "y"}, {field(), field()});
+}
+
+class PredicateLawsTest : public ::testing::TestWithParam<int> {
+ protected:
+  PredicateLawsTest() : rng_(static_cast<uint32_t>(GetParam())) {}
+
+  /// COMP result for predicate `p` over a random tuple: one of the tuple
+  /// itself, unk, or dne.
+  ValuePtr Apply(const PredicatePtr& p, const ValuePtr& t) {
+    Evaluator ev(&db_);
+    auto r = ev.Eval(Comp(p, Const(t)));
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? *r : nullptr;
+  }
+
+  PredicatePtr RandomAtom(std::mt19937* rng) {
+    std::uniform_int_distribution<int> f(0, 1);
+    std::uniform_int_distribution<int64_t> c(0, 4);
+    ExprPtr lhs = TupExtract(f(*rng) ? "x" : "y", Input());
+    std::uniform_int_distribution<int> op(0, 3);
+    switch (op(*rng)) {
+      case 0:
+        return Eq(lhs, IntLit(c(*rng)));
+      case 1:
+        return Ne(lhs, IntLit(c(*rng)));
+      case 2:
+        return Lt(lhs, IntLit(c(*rng)));
+      default:
+        return Ge(lhs, IntLit(c(*rng)));
+    }
+  }
+
+  void ExpectSame(const PredicatePtr& a, const PredicatePtr& b,
+                  const ValuePtr& t, const char* law) {
+    ValuePtr va = Apply(a, t);
+    ValuePtr vb = Apply(b, t);
+    ASSERT_NE(va, nullptr);
+    ASSERT_NE(vb, nullptr);
+    EXPECT_TRUE(va->Equals(*vb))
+        << law << " violated on " << t->ToString() << ": " << a->ToString()
+        << " -> " << va->ToString() << " but " << b->ToString() << " -> "
+        << vb->ToString();
+  }
+
+  std::mt19937 rng_;
+  Database db_;
+};
+
+TEST_P(PredicateLawsTest, DoubleNegation) {
+  for (int i = 0; i < 20; ++i) {
+    PredicatePtr p = RandomAtom(&rng_);
+    ValuePtr t = RandomTuple(&rng_);
+    ExpectSame(p, Predicate::Not(Predicate::Not(p)), t, "¬¬P = P");
+  }
+}
+
+TEST_P(PredicateLawsTest, DeMorgan) {
+  for (int i = 0; i < 20; ++i) {
+    PredicatePtr p = RandomAtom(&rng_);
+    PredicatePtr q = RandomAtom(&rng_);
+    ValuePtr t = RandomTuple(&rng_);
+    ExpectSame(Predicate::Not(Predicate::And(p, q)),
+               Predicate::Or(Predicate::Not(p), Predicate::Not(q)), t,
+               "¬(P∧Q) = ¬P∨¬Q");
+    ExpectSame(Predicate::Not(Predicate::Or(p, q)),
+               Predicate::And(Predicate::Not(p), Predicate::Not(q)), t,
+               "¬(P∨Q) = ¬P∧¬Q");
+  }
+}
+
+TEST_P(PredicateLawsTest, CommutativityAndIdempotence) {
+  for (int i = 0; i < 20; ++i) {
+    PredicatePtr p = RandomAtom(&rng_);
+    PredicatePtr q = RandomAtom(&rng_);
+    ValuePtr t = RandomTuple(&rng_);
+    ExpectSame(Predicate::And(p, q), Predicate::And(q, p), t, "P∧Q = Q∧P");
+    ExpectSame(Predicate::Or(p, q), Predicate::Or(q, p), t, "P∨Q = Q∨P");
+    ExpectSame(Predicate::And(p, p), p, t, "P∧P = P");
+    ExpectSame(Predicate::Or(p, p), p, t, "P∨P = P");
+  }
+}
+
+TEST_P(PredicateLawsTest, TrueFalseAbsorption) {
+  PredicatePtr t_ = Predicate::True();
+  PredicatePtr f_ = Predicate::Not(Predicate::True());
+  for (int i = 0; i < 20; ++i) {
+    PredicatePtr p = RandomAtom(&rng_);
+    ValuePtr t = RandomTuple(&rng_);
+    ExpectSame(Predicate::And(p, t_), p, t, "P∧T = P");
+    ExpectSame(Predicate::Or(p, f_), p, t, "P∨F = P");
+    // P∧F = F and P∨T = T — regardless of P being unk.
+    ValuePtr and_false = Apply(Predicate::And(p, f_), t);
+    EXPECT_TRUE(and_false->is_dne());
+    ValuePtr or_true = Apply(Predicate::Or(p, t_), t);
+    EXPECT_TRUE(or_true->Equals(*t));
+  }
+}
+
+TEST_P(PredicateLawsTest, SelectionIdempotenceAndCommutation) {
+  // σ_P(σ_P(A)) = σ_P(A) and σ_P(σ_Q(A)) = σ_Q(σ_P(A)) over multisets of
+  // random tuples (unk-free data: dne/unk elements interact with COMP
+  // retention, documented in DESIGN.md).
+  std::uniform_int_distribution<int64_t> c(0, 4);
+  std::vector<ValuePtr> elems;
+  for (int i = 0; i < 12; ++i) {
+    elems.push_back(Value::Tuple({"x", "y"}, {I(c(rng_)), I(c(rng_))}));
+  }
+  ExprPtr data = Const(Value::SetOf(elems));
+  PredicatePtr p = RandomAtom(&rng_);
+  PredicatePtr q = RandomAtom(&rng_);
+  Evaluator ev(&db_);
+  ValuePtr once = *ev.Eval(Select(p, data));
+  ValuePtr twice = *ev.Eval(Select(p, Select(p, data)));
+  EXPECT_TRUE(once->Equals(*twice)) << "σ_P idempotence";
+  ValuePtr pq = *ev.Eval(Select(p, Select(q, data)));
+  ValuePtr qp = *ev.Eval(Select(q, Select(p, data)));
+  EXPECT_TRUE(pq->Equals(*qp)) << "σ commutation";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredicateLawsTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace excess

@@ -1,0 +1,185 @@
+// Failure injection and adversarial inputs: every layer must fail with a
+// descriptive Status — never crash, never silently return wrong data —
+// when handed dangling references, sort errors, runtime arithmetic
+// failures, deep nesting, or mid-query store mutations.
+
+#include <gtest/gtest.h>
+
+#include "core/builder.h"
+#include "core/eval.h"
+#include "core/infer.h"
+#include "core/planner.h"
+#include "excess/session.h"
+#include "methods/registry.h"
+#include "university/university.h"
+
+namespace excess {
+namespace {
+
+using namespace alg;  // NOLINT(build/namespaces)
+
+ValuePtr I(int64_t v) { return Value::Int(v); }
+
+class RobustnessTest : public ::testing::Test {
+ protected:
+  Result<ValuePtr> Run(const ExprPtr& e) {
+    Evaluator ev(&db_);
+    return ev.Eval(e);
+  }
+  Database db_;
+};
+
+TEST_F(RobustnessTest, DanglingReferenceInsideQuery) {
+  // A ref to an object that was never created: DEREF fails mid-scan and
+  // the whole query reports NotFound (no partial results).
+  ValuePtr bad = Value::SetOf({Value::RefTo({31, 41})});
+  auto r = Run(SetApply(Deref(Input()), Const(bad)));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_NE(r.status().message().find("dangling"), std::string::npos);
+}
+
+TEST_F(RobustnessTest, SortErrorsAreTypeErrors) {
+  // The many-sorted algebra rejects wrong-sort operands at run time.
+  EXPECT_TRUE(Run(DupElim(IntLit(1))).status().IsTypeError());
+  EXPECT_TRUE(Run(SetCollapse(Const(Value::SetOf({I(1)}))))
+                  .status()
+                  .IsTypeError());
+  EXPECT_TRUE(Run(ArrCollapse(Const(Value::ArrayOf({I(1)}))))
+                  .status()
+                  .IsTypeError());
+  EXPECT_TRUE(Run(TupCat(IntLit(1), IntLit(2))).status().IsTypeError());
+  EXPECT_TRUE(Run(Group(Input(), IntLit(3))).status().IsTypeError());
+  EXPECT_TRUE(
+      Run(AddUnion(Const(Value::SetOf({})), Const(Value::EmptyArray())))
+          .status()
+          .IsTypeError());
+}
+
+TEST_F(RobustnessTest, RuntimeErrorsInsideLoopsPropagate) {
+  // Division by zero on the third element aborts the SET_APPLY cleanly.
+  ValuePtr data = Value::SetOf({I(1), I(2), I(0)});
+  auto r = Run(SetApply(Arith("/", IntLit(10), Input()), Const(data)));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsEvalError());
+  // Errors inside a GRP key expression too.
+  auto g = Run(Group(Arith("%", IntLit(1), Input()), Const(data)));
+  EXPECT_FALSE(g.ok());
+  // And inside predicate atoms: ordering a string against an int.
+  auto p = Run(Select(Lt(Input(), StrLit("x")), Const(data)));
+  EXPECT_TRUE(p.status().IsTypeError());
+}
+
+TEST_F(RobustnessTest, DeeplyNestedStructuresAndPlans) {
+  // 200 levels of singleton nesting, built and collapsed back down.
+  ExprPtr e = Const(Value::SetOf({I(7)}));
+  for (int i = 0; i < 200; ++i) e = SetMake(e);
+  for (int i = 0; i < 200; ++i) e = SetCollapse(SetMake(e));
+  auto r = Run(e);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Long SET_APPLY chains rewrite and evaluate fine.
+  ExprPtr chain = Const(Value::SetOf({I(1), I(2)}));
+  for (int i = 0; i < 100; ++i) {
+    chain = SetApply(Arith("+", Input(), IntLit(1)), chain);
+  }
+  Planner planner(&db_);
+  auto plan = planner.Optimize(chain);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_LT((*plan)->NodeCount(), chain->NodeCount());
+  Evaluator ev(&db_);
+  EXPECT_TRUE((*ev.Eval(chain))->Equals(**ev.Eval(*plan)));
+}
+
+TEST_F(RobustnessTest, StoreMutationBetweenPlanAndExecution) {
+  // Plans hold names, not snapshots: updating the named object between
+  // optimization and execution is visible (and safe).
+  ASSERT_TRUE(db_.CreateNamed("S", Schema::Set(IntSchema()),
+                              Value::SetOf({I(1), I(2)}))
+                  .ok());
+  ExprPtr q = SetApply(Arith("*", Input(), IntLit(2)), Var("S"));
+  Planner planner(&db_);
+  ExprPtr plan = *planner.Optimize(q);
+  ASSERT_TRUE(db_.SetNamed("S", Value::SetOf({I(10)})).ok());
+  EXPECT_TRUE((*Run(plan))->Equals(*Value::SetOf({I(20)})));
+}
+
+TEST_F(RobustnessTest, MethodBodyErrorsSurface) {
+  ASSERT_TRUE(db_.catalog().DefineType("T", Schema::Tup({{"x", IntSchema()}}))
+                  .ok());
+  MethodRegistry methods(&db_.catalog());
+  // Body divides by a parameter; passing zero fails cleanly at call time.
+  ASSERT_TRUE(methods
+                  .Define({"T", "div", {"d"}, IntSchema(),
+                           Arith("/", TupExtract("x", Input()), Param(0))})
+                  .ok());
+  Evaluator ev(&db_, &methods);
+  ValuePtr t = Value::Tuple({"x"}, {I(10)}, "T");
+  auto ok = ev.Eval(MethodCall("div", Const(t), {IntLit(2)}));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ((*ok)->as_int(), 5);
+  auto bad = ev.Eval(MethodCall("div", Const(t), {IntLit(0)}));
+  EXPECT_TRUE(bad.status().IsEvalError());
+  // Unbound parameter (arity mismatch at the call site).
+  auto unbound = ev.Eval(MethodCall("div", Const(t)));
+  EXPECT_TRUE(unbound.status().IsEvalError());
+  // Unknown method.
+  auto missing = ev.Eval(MethodCall("nope", Const(t)));
+  EXPECT_TRUE(missing.status().IsNotFound());
+}
+
+TEST_F(RobustnessTest, SessionRecoversAfterErrors) {
+  UniversityParams p;
+  p.num_employees = 12;
+  ASSERT_TRUE(BuildUniversity(&db_, p).ok());
+  MethodRegistry methods(&db_.catalog());
+  Session session(&db_, &methods);
+  // A parse error, a translation error, and an eval error in sequence...
+  EXPECT_FALSE(session.Execute("retrieve (").ok());
+  EXPECT_FALSE(session.Execute("retrieve (Ghost.name)").ok());
+  EXPECT_FALSE(
+      session.Execute("retrieve (Employees.salary / 0)").ok());
+  // ...leave the session fully usable.
+  auto ok = session.Execute("retrieve ( count(Employees) )");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ((*ok)->as_int(), 12);
+}
+
+TEST_F(RobustnessTest, InferenceCatchesWhatEvaluationWould) {
+  // Static inference flags the same sort errors the evaluator reports, so
+  // plans can be rejected before touching data.
+  ASSERT_TRUE(db_.CreateNamed("Nums", Schema::Set(IntSchema())).ok());
+  TypeInference infer(&db_);
+  ExprPtr bad1 = DupElim(TupExtract("x", Var("Nums")));
+  EXPECT_TRUE(infer.Infer(bad1).status().IsTypeError());
+  ExprPtr bad2 = ArrExtract(1, Var("Nums"));
+  EXPECT_TRUE(infer.Infer(bad2).status().IsTypeError());
+  ExprPtr bad3 = SetApply(Deref(Input()), Var("Nums"));  // deref an int
+  EXPECT_TRUE(infer.Infer(bad3).status().IsTypeError());
+}
+
+TEST_F(RobustnessTest, EmptyInputsEverywhere) {
+  ExprPtr empty = Const(Value::EmptySet());
+  EXPECT_EQ((*Run(SetApply(Arith("+", Input(), IntLit(1)), empty)))
+                ->TotalCount(),
+            0);
+  EXPECT_EQ((*Run(Group(Input(), empty)))->TotalCount(), 0);
+  EXPECT_EQ((*Run(Cross(empty, Const(Value::SetOf({I(1)})))))->TotalCount(),
+            0);
+  EXPECT_EQ((*Run(Agg("count", empty)))->as_int(), 0);
+  EXPECT_TRUE((*Run(Agg("max", empty)))->is_dne());
+  ExprPtr earr = Const(Value::EmptyArray());
+  EXPECT_TRUE((*Run(ArrExtract(1, earr)))->is_dne());
+  EXPECT_EQ((*Run(SubArr(1, 5, earr)))->ArrayLength(), 0);
+}
+
+TEST_F(RobustnessTest, HugeCardinalitiesStayExact) {
+  // Counts are int64: additive union near the billions stays exact.
+  ValuePtr big = Value::SetOfCounted({{I(1), 3'000'000'000LL}});
+  auto r = Run(AddUnion(Const(big), Const(big)));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->CountOf(I(1)), 6'000'000'000LL);
+  EXPECT_EQ((*r)->TotalCount(), 6'000'000'000LL);
+}
+
+}  // namespace
+}  // namespace excess

@@ -1,0 +1,297 @@
+// Property-based equivalence tests: every transformation rule is applied
+// to expressions over *randomized* data (parameterized by seed) and the
+// rewritten tree must evaluate to the same value. This is the executable
+// form of the Appendix's omitted validity proofs.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/builder.h"
+#include "core/eval.h"
+#include "core/kernels.h"
+#include "core/rewriter.h"
+#include "core/rules.h"
+#include "objects/database.h"
+
+namespace excess {
+namespace {
+
+using namespace alg;  // NOLINT(build/namespaces)
+
+ValuePtr I(int64_t v) { return Value::Int(v); }
+
+/// Random multiset of small ints with random cardinalities (possibly empty
+/// unless min_size > 0).
+ValuePtr RandomIntSet(std::mt19937* rng, int max_distinct = 6,
+                      int min_size = 0) {
+  std::uniform_int_distribution<int> n(min_size, max_distinct);
+  std::uniform_int_distribution<int64_t> v(0, 7);
+  std::uniform_int_distribution<int64_t> c(1, 3);
+  std::vector<SetEntry> entries;
+  int count = n(*rng);
+  for (int i = 0; i < count; ++i) entries.push_back({I(v(*rng)), c(*rng)});
+  return Value::SetOfCounted(std::move(entries));
+}
+
+/// Random multiset of (k, v) tuples.
+ValuePtr RandomPairSet(std::mt19937* rng, int min_size = 0) {
+  std::uniform_int_distribution<int> n(min_size, 6);
+  std::uniform_int_distribution<int64_t> v(0, 5);
+  std::vector<ValuePtr> elems;
+  int count = n(*rng);
+  for (int i = 0; i < count; ++i) {
+    elems.push_back(
+        Value::Tuple({"k", "v"}, {I(v(*rng)), I(v(*rng))}));
+  }
+  return Value::SetOf(elems);
+}
+
+/// Random multiset of small int multisets.
+ValuePtr RandomNestedSet(std::mt19937* rng) {
+  std::uniform_int_distribution<int> n(0, 4);
+  std::vector<ValuePtr> elems;
+  int count = n(*rng);
+  for (int i = 0; i < count; ++i) elems.push_back(RandomIntSet(rng, 3));
+  return Value::SetOf(elems);
+}
+
+ValuePtr RandomIntArray(std::mt19937* rng, int max_len = 8) {
+  std::uniform_int_distribution<int> n(0, max_len);
+  std::uniform_int_distribution<int64_t> v(0, 9);
+  std::vector<ValuePtr> elems;
+  int count = n(*rng);
+  for (int i = 0; i < count; ++i) elems.push_back(I(v(*rng)));
+  return Value::ArrayOf(std::move(elems));
+}
+
+class RulePropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  RulePropertyTest() : rng_(static_cast<uint32_t>(GetParam())) {}
+
+  void ExpectAllRewritesEquivalent(const std::string& rule, const ExprPtr& e,
+                                   bool must_fire = true) {
+    Rewriter rw(&db_, RuleSet::Only({rule}));
+    auto neighbors = rw.EnumerateNeighbors(e);
+    if (must_fire) {
+      ASSERT_FALSE(neighbors.empty())
+          << rule << " did not fire on\n"
+          << e->ToTreeString();
+    }
+    Evaluator ev(&db_);
+    auto before = ev.Eval(e);
+    ASSERT_TRUE(before.ok()) << before.status().ToString();
+    for (const auto& n : neighbors) {
+      auto after = ev.Eval(n);
+      ASSERT_TRUE(after.ok()) << after.status().ToString();
+      EXPECT_TRUE((*before)->Equals(**after))
+          << rule << " changed semantics (seed " << GetParam() << ")\n"
+          << "before tree:\n" << e->ToTreeString()
+          << "after tree:\n" << n->ToTreeString()
+          << "before: " << (*before)->ToString()
+          << "\nafter:  " << (*after)->ToString();
+    }
+  }
+
+  std::mt19937 rng_;
+  Database db_;
+};
+
+TEST_P(RulePropertyTest, Rule1Associativity) {
+  ExprPtr e = AddUnion(Const(RandomIntSet(&rng_)),
+                       AddUnion(Const(RandomIntSet(&rng_)),
+                                Const(RandomIntSet(&rng_))));
+  ExpectAllRewritesEquivalent("addunion-assoc-left", e);
+  ExprPtr f = AddUnion(AddUnion(Const(RandomIntSet(&rng_)),
+                                Const(RandomIntSet(&rng_))),
+                       Const(RandomIntSet(&rng_)));
+  ExpectAllRewritesEquivalent("addunion-assoc-right", f);
+}
+
+TEST_P(RulePropertyTest, Rule2Distribution) {
+  ExprPtr e = Cross(Const(RandomIntSet(&rng_)),
+                    AddUnion(Const(RandomIntSet(&rng_)),
+                             Const(RandomIntSet(&rng_))));
+  ExpectAllRewritesEquivalent("cross-distributes-over-addunion", e);
+}
+
+TEST_P(RulePropertyTest, Rule4DisjunctiveSelection) {
+  std::uniform_int_distribution<int64_t> t(0, 7);
+  ExprPtr e = Select(Predicate::Or(Lt(Input(), IntLit(t(rng_))),
+                                   Gt(Input(), IntLit(t(rng_)))),
+                     Const(RandomIntSet(&rng_)));
+  ExpectAllRewritesEquivalent("split-disjunctive-selection", e);
+}
+
+TEST_P(RulePropertyTest, Rule5CrossElimination) {
+  // B must be non-empty (the rule's standing assumption).
+  ExprPtr e = DupElim(SetApply(TupExtract("k", TupExtract("_1", Input())),
+                               Cross(Const(RandomPairSet(&rng_)),
+                                     Const(RandomIntSet(&rng_, 6, 1)))));
+  ExpectAllRewritesEquivalent("eliminate-cross-under-de", e);
+}
+
+TEST_P(RulePropertyTest, Rule6DeOfGroup) {
+  ExprPtr e = DupElim(Group(Arith("%", Input(), IntLit(3)),
+                            Const(RandomIntSet(&rng_))));
+  ExpectAllRewritesEquivalent("de-of-group-is-group", e);
+}
+
+TEST_P(RulePropertyTest, Rule7DeOverCross) {
+  ExprPtr e = DupElim(Cross(Const(RandomIntSet(&rng_)),
+                            Const(RandomIntSet(&rng_))));
+  ExpectAllRewritesEquivalent("distribute-de-over-cross", e);
+}
+
+TEST_P(RulePropertyTest, Rule8DeBeforeGroup) {
+  ExprPtr e = SetApply(DupElim(Input()),
+                       Group(Arith("%", Input(), IntLit(2)),
+                             Const(RandomIntSet(&rng_))));
+  ExpectAllRewritesEquivalent("de-before-group", e);
+  // And the exploratory reverse.
+  ExprPtr f = Group(Arith("%", Input(), IntLit(2)),
+                    DupElim(Const(RandomIntSet(&rng_))));
+  ExpectAllRewritesEquivalent("group-then-de-per-group", f);
+}
+
+TEST_P(RulePropertyTest, Rule9GroupOneSidedCross) {
+  ExprPtr e = Group(TupExtract("k", TupExtract("_1", Input())),
+                    Cross(Const(RandomPairSet(&rng_)),
+                          Const(RandomIntSet(&rng_, 6, 1))));
+  ExpectAllRewritesEquivalent("group-cross-one-sided", e);
+}
+
+TEST_P(RulePropertyTest, Rule11CollapseOverAddUnion) {
+  ExprPtr e = SetCollapse(AddUnion(Const(RandomNestedSet(&rng_)),
+                                   Const(RandomNestedSet(&rng_))));
+  ExpectAllRewritesEquivalent("collapse-distributes-over-addunion", e);
+}
+
+TEST_P(RulePropertyTest, Rule12ApplyOverAddUnion) {
+  ExprPtr e = SetApply(Arith("*", Input(), IntLit(2)),
+                       AddUnion(Const(RandomIntSet(&rng_)),
+                                Const(RandomIntSet(&rng_))));
+  ExpectAllRewritesEquivalent("apply-distributes-over-addunion", e);
+}
+
+TEST_P(RulePropertyTest, Rule13ApplyOverCross) {
+  ExprPtr e = SetApply(
+      TupCat(Project({"k"}, TupExtract("_1", Input())),
+             Project({"v"}, TupExtract("_2", Input()))),
+      Cross(Const(RandomPairSet(&rng_)), Const(RandomPairSet(&rng_))));
+  ExpectAllRewritesEquivalent("apply-distributes-over-cross", e);
+}
+
+TEST_P(RulePropertyTest, Rule14ApplyCollapse) {
+  ExprPtr e = SetApply(Arith("+", Input(), IntLit(1)),
+                       SetCollapse(Const(RandomNestedSet(&rng_))));
+  ExpectAllRewritesEquivalent("push-apply-inside-collapse", e);
+}
+
+TEST_P(RulePropertyTest, Rule15Composition) {
+  // Composition with a dne-producing inner stage: exactness relies on the
+  // evaluator's uniform null propagation.
+  std::uniform_int_distribution<int64_t> t(0, 7);
+  ExprPtr e = SetApply(
+      Arith("*", Input(), IntLit(2)),
+      SetApply(Comp(Gt(Input(), IntLit(t(rng_))), Input()),
+               Const(RandomIntSet(&rng_))));
+  ExpectAllRewritesEquivalent("combine-set-applys", e);
+}
+
+TEST_P(RulePropertyTest, Rule20SubarrComposition) {
+  std::uniform_int_distribution<int64_t> b(1, 6);
+  int64_t m = b(rng_);
+  int64_t n = m + b(rng_) % 3;
+  int64_t j = b(rng_);
+  int64_t k = j + b(rng_) % 4;
+  ExprPtr e = SubArr(m, n, SubArr(j, k, Const(RandomIntArray(&rng_))));
+  ExpectAllRewritesEquivalent("combine-subarrs", e);
+}
+
+TEST_P(RulePropertyTest, Rule22SubarrThroughApply) {
+  std::uniform_int_distribution<int64_t> b(1, 5);
+  int64_t m = b(rng_);
+  ExprPtr e = SubArr(m, m + 2,
+                     ArrApply(Arith("+", Input(), IntLit(3)),
+                              Const(RandomIntArray(&rng_))));
+  ExpectAllRewritesEquivalent("subarr-before-arrapply", e);
+}
+
+TEST_P(RulePropertyTest, Rule23TupCatCommutes) {
+  std::uniform_int_distribution<int64_t> v(0, 9);
+  ExprPtr e = TupCat(Const(Value::Tuple({"a", "b"}, {I(v(rng_)), I(v(rng_))})),
+                     Const(Value::Tuple({"c"}, {I(v(rng_))})));
+  ExpectAllRewritesEquivalent("tupcat-commute", e);
+}
+
+TEST_P(RulePropertyTest, Rule27CompComposition) {
+  std::uniform_int_distribution<int64_t> t(0, 9);
+  ValuePtr tup = Value::Tuple({"x", "y"}, {I(t(rng_)), I(t(rng_))});
+  ExprPtr e = Comp(Gt(TupExtract("x", Input()), IntLit(t(rng_))),
+                   Comp(Lt(TupExtract("y", Input()), IntLit(t(rng_))),
+                        Const(tup)));
+  ExpectAllRewritesEquivalent("combine-comps", e);
+}
+
+TEST_P(RulePropertyTest, DerivedUnionIntersectIdentities) {
+  // Appendix §1 definitions vs direct kernels, over random data.
+  ValuePtr a = RandomIntSet(&rng_);
+  ValuePtr b = RandomIntSet(&rng_);
+  Evaluator ev(&db_);
+  ValuePtr u = *ev.Eval(Union(Const(a), Const(b)));
+  EXPECT_TRUE(u->Equals(**kernels::MaxUnion(a, b)));
+  ValuePtr i = *ev.Eval(Intersect(Const(a), Const(b)));
+  EXPECT_TRUE(i->Equals(**kernels::MinIntersect(a, b)));
+}
+
+TEST_P(RulePropertyTest, MultisetAxioms) {
+  ValuePtr a = RandomIntSet(&rng_);
+  ValuePtr b = RandomIntSet(&rng_);
+  ValuePtr c = RandomIntSet(&rng_);
+  // ⊎ commutes and associates.
+  EXPECT_TRUE((*kernels::AddUnion(a, b))->Equals(**kernels::AddUnion(b, a)));
+  EXPECT_TRUE(
+      (*kernels::AddUnion(a, *kernels::AddUnion(b, c)))
+          ->Equals(**kernels::AddUnion(*kernels::AddUnion(a, b), c)));
+  // A − A = ∅; DE idempotent; (A ⊎ B) − B = A.
+  EXPECT_EQ((*kernels::Diff(a, a))->TotalCount(), 0);
+  EXPECT_TRUE((*kernels::DupElim(*kernels::DupElim(a)))
+                  ->Equals(**kernels::DupElim(a)));
+  EXPECT_TRUE((*kernels::Diff(*kernels::AddUnion(a, b), b))->Equals(*a));
+}
+
+TEST_P(RulePropertyTest, ArrayAxioms) {
+  ValuePtr a = RandomIntArray(&rng_);
+  ValuePtr b = RandomIntArray(&rng_);
+  // ARR_CAT length additivity; full-range SUBARR is identity; ARR_DE
+  // idempotent.
+  EXPECT_EQ((*kernels::ArrCat(a, b))->ArrayLength(),
+            a->ArrayLength() + b->ArrayLength());
+  EXPECT_TRUE((*kernels::SubArr(1, a->ArrayLength(), a))->Equals(*a));
+  ValuePtr de = *kernels::ArrDupElim(a);
+  EXPECT_TRUE((*kernels::ArrDupElim(de))->Equals(*de));
+  // ARR_DIFF(A, A) is empty.
+  EXPECT_EQ((*kernels::ArrDiff(a, a))->ArrayLength(), 0);
+}
+
+TEST_P(RulePropertyTest, HeuristicRewriteAlwaysPreservesSemantics) {
+  // A randomized pipeline through several operators; the whole heuristic
+  // rule set at fixpoint must preserve the result.
+  std::uniform_int_distribution<int64_t> t(0, 7);
+  ExprPtr e = DupElim(SetApply(
+      Arith("+", Input(), IntLit(t(rng_))),
+      SetApply(Comp(Gt(Input(), IntLit(t(rng_))), Input()),
+               AddUnion(Const(RandomIntSet(&rng_)),
+                        Const(RandomIntSet(&rng_))))));
+  Rewriter rw(&db_, RuleSet::Heuristic());
+  auto rewritten = rw.Rewrite(e);
+  ASSERT_TRUE(rewritten.ok());
+  Evaluator ev(&db_);
+  EXPECT_TRUE((*ev.Eval(e))->Equals(**ev.Eval(*rewritten)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RulePropertyTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace excess

@@ -1,0 +1,114 @@
+#include "catalog/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace excess {
+namespace {
+
+TEST(SchemaTest, ScalarFactories) {
+  EXPECT_TRUE(IntSchema()->is_val());
+  EXPECT_EQ(IntSchema()->scalar_kind(), ScalarKind::kInt);
+  EXPECT_EQ(IntSchema()->ToString(), "int4");
+  EXPECT_EQ(StringSchema()->ToString(), "string");
+}
+
+TEST(SchemaTest, EmptyTupleIsLegal) {
+  // Condition (ii): a node with no components may be a tup node.
+  SchemaPtr s = Schema::Tup({});
+  EXPECT_TRUE(s->Validate().ok());
+  EXPECT_EQ(s->ToString(), "()");
+}
+
+// Figure 2: a multiset of 3-tuples with a scalar, an array of scalars, and
+// a reference to a scalar.
+SchemaPtr Fig2Schema() {
+  return Schema::Set(Schema::Tup({{"a", IntSchema()},
+                                  {"b", Schema::Arr(IntSchema())},
+                                  {"c", Schema::Ref("IntObj")}}));
+}
+
+TEST(SchemaTest, Fig2SchemaValidates) {
+  SchemaPtr s = Fig2Schema();
+  EXPECT_TRUE(s->Validate().ok());
+  EXPECT_EQ(s->ToString(), "{ (a: int4, b: array of int4, c: ref IntObj) }");
+}
+
+TEST(SchemaTest, ConditionThreeSetNeedsComponent) {
+  // Factories make it impossible to build a set without a component;
+  // Validate still guards deserialized schemas.
+  SchemaPtr ok = Schema::Set(IntSchema());
+  EXPECT_TRUE(ok->Validate().ok());
+}
+
+TEST(SchemaTest, DuplicateTupleFieldNamesRejected) {
+  SchemaPtr s = Schema::Tup({{"x", IntSchema()}, {"x", FloatSchema()}});
+  Status st = s->Validate();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalid);
+}
+
+TEST(SchemaTest, FixedArraysCarrySize) {
+  SchemaPtr arr = Schema::FixedArr(Schema::Ref("Employee"), 10);
+  ASSERT_TRUE(arr->fixed_size().has_value());
+  EXPECT_EQ(*arr->fixed_size(), 10);
+  EXPECT_EQ(arr->ToString(), "array [1..10] of ref Employee");
+  SchemaPtr var = Schema::Arr(IntSchema());
+  EXPECT_FALSE(var->fixed_size().has_value());
+}
+
+TEST(SchemaTest, StructuralEquality) {
+  EXPECT_TRUE(Fig2Schema()->Equals(*Fig2Schema()));
+  SchemaPtr other = Schema::Set(Schema::Tup({{"a", IntSchema()}}));
+  EXPECT_FALSE(Fig2Schema()->Equals(*other));
+  // Fixed size participates in equality.
+  EXPECT_FALSE(Schema::FixedArr(IntSchema(), 3)
+                   ->Equals(*Schema::Arr(IntSchema())));
+  // Ref equality is by target name.
+  EXPECT_TRUE(Schema::Ref("A")->Equals(*Schema::Ref("A")));
+  EXPECT_FALSE(Schema::Ref("A")->Equals(*Schema::Ref("B")));
+}
+
+TEST(SchemaTest, NamedTagParticipatesInEquality) {
+  SchemaPtr anon = Schema::Tup({{"x", IntSchema()}});
+  SchemaPtr named = Schema::Named(anon, "Point");
+  EXPECT_FALSE(anon->Equals(*named));
+  EXPECT_EQ(named->type_name(), "Point");
+  EXPECT_EQ(named->ToString(), "Point");
+  // CompatibleWith ignores tags.
+  EXPECT_TRUE(anon->CompatibleWith(*named));
+}
+
+TEST(SchemaTest, AnyIsCompatibleWithEverything) {
+  EXPECT_TRUE(AnySchema()->CompatibleWith(*Fig2Schema()));
+  EXPECT_TRUE(Fig2Schema()->CompatibleWith(*AnySchema()));
+  EXPECT_TRUE(Schema::Set(AnySchema())->CompatibleWith(*Fig2Schema()));
+  EXPECT_FALSE(Schema::Set(AnySchema())->CompatibleWith(*IntSchema()));
+}
+
+TEST(SchemaTest, FieldLookup) {
+  SchemaPtr t = Schema::Tup({{"a", IntSchema()}, {"b", StringSchema()}});
+  EXPECT_EQ(t->FieldIndex("b"), 1);
+  EXPECT_EQ(t->FieldIndex("zz"), -1);
+  auto ft = t->FieldType("b");
+  ASSERT_TRUE(ft.ok());
+  EXPECT_TRUE((*ft)->Equals(*StringSchema()));
+  EXPECT_TRUE(t->FieldType("zz").status().IsNotFound());
+}
+
+TEST(SchemaTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Fig2Schema()->Hash(), Fig2Schema()->Hash());
+  SchemaPtr named = Schema::Named(Schema::Tup({{"x", IntSchema()}}), "P");
+  SchemaPtr anon = Schema::Tup({{"x", IntSchema()}});
+  EXPECT_NE(named->Hash(), anon->Hash());
+}
+
+TEST(SchemaTest, DeepNesting) {
+  // Arbitrary composition: array of sets of tuples of refs.
+  SchemaPtr s = Schema::Arr(Schema::Set(
+      Schema::Tup({{"r", Schema::Ref("T")}, {"v", FloatSchema()}})));
+  EXPECT_TRUE(s->Validate().ok());
+  EXPECT_EQ(s->ToString(), "array of { (r: ref T, v: float4) }");
+}
+
+}  // namespace
+}  // namespace excess

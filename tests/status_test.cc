@@ -1,0 +1,75 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace excess {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::TypeError("bad sort");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsTypeError());
+  EXPECT_EQ(s.code(), StatusCode::kTypeError);
+  EXPECT_EQ(s.ToString(), "TypeError: bad sort");
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kInternal); ++c) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsStatus) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::Invalid("odd");
+  return x / 2;
+}
+
+Result<int> Quarter(int x) {
+  EXA_ASSIGN_OR_RETURN(int h, Half(x));
+  EXA_ASSIGN_OR_RETURN(int q, Half(h));
+  return q;
+}
+
+Status CheckEven(int x) {
+  EXA_RETURN_NOT_OK(Half(x).status());
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Quarter(8), 2);
+  EXPECT_FALSE(Quarter(6).ok());  // 6/2 = 3 is odd
+  EXPECT_FALSE(Quarter(5).ok());
+}
+
+TEST(ResultTest, ReturnNotOkPropagates) {
+  EXPECT_TRUE(CheckEven(4).ok());
+  EXPECT_FALSE(CheckEven(3).ok());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 7);
+}
+
+}  // namespace
+}  // namespace excess

@@ -1,0 +1,168 @@
+#include "objects/store.h"
+
+#include <gtest/gtest.h>
+
+#include "objects/database.h"
+
+namespace excess {
+namespace {
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.catalog()
+                    .DefineType("Person",
+                                Schema::Tup({{"name", StringSchema()}}))
+                    .ok());
+    ASSERT_TRUE(db_.catalog()
+                    .DefineType("Student",
+                                Schema::Tup({{"gpa", FloatSchema()}}),
+                                {"Person"})
+                    .ok());
+  }
+  Database db_;
+};
+
+TEST_F(StoreTest, CreateAndDeref) {
+  ValuePtr v = Value::Tuple({"name"}, {Value::Str("ann")}, "Person");
+  auto oid = db_.store().Create("Person", v);
+  ASSERT_TRUE(oid.ok());
+  auto back = db_.store().Deref(*oid);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE((*back)->Equals(*v));
+  EXPECT_EQ(db_.store().size(), 1u);
+}
+
+TEST_F(StoreTest, CreateUnknownTypeFails) {
+  EXPECT_TRUE(db_.store().Create("Ghost", Value::Int(1)).status().IsNotFound());
+}
+
+TEST_F(StoreTest, DanglingDerefFails) {
+  Oid bogus{42, 42};
+  EXPECT_TRUE(db_.store().Deref(bogus).status().IsNotFound());
+}
+
+TEST_F(StoreTest, UpdateReplacesState) {
+  auto oid = db_.store().Create("Person",
+                                Value::Tuple({"name"}, {Value::Str("a")}));
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(
+      db_.store().Update(*oid, Value::Tuple({"name"}, {Value::Str("b")})).ok());
+  EXPECT_EQ((*(*db_.store().Deref(*oid))->Field("name"))->as_string(), "b");
+  EXPECT_TRUE(db_.store().Update({9, 9}, Value::Int(0)).IsNotFound());
+}
+
+TEST_F(StoreTest, OidsArePartitionedByType) {
+  auto p = db_.store().Create("Person", Value::Tuple({}, {}));
+  auto s = db_.store().Create("Student", Value::Tuple({}, {}));
+  ASSERT_TRUE(p.ok());
+  ASSERT_TRUE(s.ok());
+  EXPECT_NE(p->type_id, s->type_id);
+}
+
+TEST_F(StoreTest, InternRefIsIdempotentPerValue) {
+  ValuePtr v = Value::Tuple({"name"}, {Value::Str("x")});
+  auto r1 = db_.store().InternRef("Person", v);
+  auto r2 = db_.store().InternRef("Person", v);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(*r1, *r2);
+  // Different value, different OID.
+  auto r3 = db_.store().InternRef("Person",
+                                  Value::Tuple({"name"}, {Value::Str("y")}));
+  ASSERT_TRUE(r3.ok());
+  EXPECT_NE(*r1, *r3);
+}
+
+TEST_F(StoreTest, InternRefAnonymousType) {
+  auto r = db_.store().InternRef("", Value::Int(5));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*db_.store().ExactType(*r), "$anon");
+  // DEREF works for anonymous objects too.
+  EXPECT_EQ((*db_.store().Deref(*r))->as_int(), 5);
+}
+
+TEST_F(StoreTest, CreateRegistersInternEntry) {
+  // REF(DEREF(r)) == r for explicitly created objects (rule 28 support).
+  ValuePtr v = Value::Tuple({"name"}, {Value::Str("z")});
+  auto created = db_.store().Create("Person", v);
+  ASSERT_TRUE(created.ok());
+  auto reffed = db_.store().InternRef("Person", v);
+  ASSERT_TRUE(reffed.ok());
+  EXPECT_EQ(*created, *reffed);
+}
+
+TEST_F(StoreTest, ExactTypeTracksMigration) {
+  auto oid = db_.store().Create("Person", Value::Tuple({}, {}));
+  ASSERT_TRUE(oid.ok());
+  EXPECT_EQ(*db_.store().ExactType(*oid), "Person");
+  // Person -> Student: legal (Student ≤ Person keeps all `ref Person`
+  // holders valid).
+  ASSERT_TRUE(db_.store().MigrateType(*oid, "Student").ok());
+  EXPECT_EQ(*db_.store().ExactType(*oid), "Student");
+  // Student object cannot migrate to an unrelated type.
+  auto s = db_.store().Create("Student", Value::Tuple({}, {}));
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(db_.store().MigrateType(*s, "Person").IsTypeError());
+  EXPECT_TRUE(db_.store().MigrateType(*s, "Ghost").IsNotFound());
+}
+
+TEST_F(StoreTest, ExactTypeOfValues) {
+  ValuePtr tagged = Value::Tuple({}, {}, "Student");
+  EXPECT_EQ(db_.store().ExactTypeOf(tagged), "Student");
+  auto oid = db_.store().Create("Person", Value::Tuple({}, {}));
+  ASSERT_TRUE(oid.ok());
+  EXPECT_EQ(db_.store().ExactTypeOf(Value::RefTo(*oid)), "Person");
+  EXPECT_EQ(db_.store().ExactTypeOf(Value::Int(3)), "");
+}
+
+TEST_F(StoreTest, DerefCountInstrumentation) {
+  auto oid = db_.store().Create("Person", Value::Tuple({}, {}));
+  ASSERT_TRUE(oid.ok());
+  db_.store().ResetStats();
+  ASSERT_TRUE(db_.store().Deref(*oid).ok());
+  ASSERT_TRUE(db_.store().Deref(*oid).ok());
+  EXPECT_EQ(db_.store().deref_count(), 2);
+}
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  Database db_;
+};
+
+TEST_F(DatabaseTest, CreateNamedWithDefaults) {
+  ASSERT_TRUE(db_.CreateNamed("S", Schema::Set(IntSchema())).ok());
+  ASSERT_TRUE(db_.CreateNamed("A", Schema::Arr(IntSchema())).ok());
+  EXPECT_TRUE((*db_.NamedValue("S"))->is_set());
+  EXPECT_TRUE((*db_.NamedValue("A"))->is_array());
+  EXPECT_TRUE(db_.CreateNamed("S", Schema::Set(IntSchema())).code() ==
+              StatusCode::kAlreadyExists);
+  EXPECT_TRUE(db_.NamedValue("missing").status().IsNotFound());
+}
+
+TEST_F(DatabaseTest, SetNamedInvalidatesExtents) {
+  ASSERT_TRUE(db_.catalog()
+                  .DefineType("P", Schema::Tup({{"id", IntSchema()}}))
+                  .ok());
+  ASSERT_TRUE(db_.catalog()
+                  .DefineType("Q", Schema::Tup({{"q", IntSchema()}}), {"P"})
+                  .ok());
+  ValuePtr p = Value::Tuple({"id"}, {Value::Int(1)}, "P");
+  ValuePtr q = Value::Tuple({"id", "q"}, {Value::Int(2), Value::Int(3)}, "Q");
+  ASSERT_TRUE(db_.CreateNamed("Set", Schema::Set(AnySchema()),
+                              Value::SetOf({p, q}))
+                  .ok());
+  auto extents = db_.TypeExtents("Set");
+  ASSERT_TRUE(extents.ok());
+  EXPECT_EQ((*extents)->size(), 2u);
+  EXPECT_EQ((*extents)->at("P")->TotalCount(), 1);
+  // Update the set; extents must rebuild.
+  ASSERT_TRUE(db_.SetNamed("Set", Value::SetOf({q})).ok());
+  auto extents2 = db_.TypeExtents("Set");
+  ASSERT_TRUE(extents2.ok());
+  EXPECT_EQ((*extents2)->count("P"), 0u);
+  EXPECT_EQ((*extents2)->at("Q")->TotalCount(), 1);
+}
+
+}  // namespace
+}  // namespace excess

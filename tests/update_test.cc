@@ -1,0 +1,117 @@
+// The EXCESS update statements (`append [all] ... to`, `delete ... where`):
+// §2.2 promises "facilities for querying and updating complex structures".
+
+#include <gtest/gtest.h>
+
+#include "excess/session.h"
+#include "methods/registry.h"
+#include "university/university.h"
+
+namespace excess {
+namespace {
+
+ValuePtr I(int64_t v) { return Value::Int(v); }
+
+class UpdateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    registry_ = std::make_unique<MethodRegistry>(&db_.catalog());
+    session_ = std::make_unique<Session>(&db_, registry_.get());
+    ASSERT_TRUE(db_.CreateNamed("Nums", Schema::Set(IntSchema()),
+                                Value::SetOf({I(1), I(2), I(2)}))
+                    .ok());
+  }
+  void Run(const std::string& stmt) {
+    auto r = session_->Execute(stmt);
+    ASSERT_TRUE(r.ok()) << r.status().ToString() << "\n" << stmt;
+  }
+  ValuePtr Nums() { return *db_.NamedValue("Nums"); }
+
+  Database db_;
+  std::unique_ptr<MethodRegistry> registry_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(UpdateTest, AppendSingleOccurrence) {
+  Run("append 9 to Nums");
+  EXPECT_EQ(Nums()->CountOf(I(9)), 1);
+  EXPECT_EQ(Nums()->TotalCount(), 4);
+  // Appending an existing element raises its cardinality.
+  Run("append 2 to Nums");
+  EXPECT_EQ(Nums()->CountOf(I(2)), 3);
+}
+
+TEST_F(UpdateTest, AppendSetAsElementVsAll) {
+  ASSERT_TRUE(db_.CreateNamed("Nested", Schema::Set(Schema::Set(IntSchema())))
+                  .ok());
+  // Without `all`: the multiset itself becomes ONE element.
+  Run("append {1, 2} to Nested");
+  EXPECT_EQ((*db_.NamedValue("Nested"))->TotalCount(), 1);
+  EXPECT_EQ((*db_.NamedValue("Nested"))->CountOf(Value::SetOf({I(1), I(2)})),
+            1);
+  // With `all`: each occurrence is merged in.
+  Run("append all {5, 5, 6} to Nums");
+  EXPECT_EQ(Nums()->CountOf(I(5)), 2);
+  EXPECT_EQ(Nums()->CountOf(I(6)), 1);
+  EXPECT_EQ(Nums()->TotalCount(), 6);
+}
+
+TEST_F(UpdateTest, AppendComputedExpression) {
+  Run("append count(Nums) to Nums");  // appends 3
+  EXPECT_EQ(Nums()->CountOf(I(3)), 1);
+}
+
+TEST_F(UpdateTest, DeleteByPredicate) {
+  Run("delete Nums where Nums >= 2");
+  EXPECT_TRUE(Nums()->Equals(*Value::SetOf({I(1)})));
+  // Deleting with a never-true predicate is a no-op.
+  Run("delete Nums where Nums > 100");
+  EXPECT_EQ(Nums()->TotalCount(), 1);
+}
+
+TEST_F(UpdateTest, DeleteOverStructuredElements) {
+  UniversityParams p;
+  p.num_employees = 20;
+  Database uni;
+  ASSERT_TRUE(BuildUniversity(&uni, p).ok());
+  MethodRegistry m(&uni.catalog());
+  Session s(&uni, &m);
+  // Delete the references whose object lives in city_0; the name doubles
+  // as the element variable, and paths deref implicitly.
+  auto before = (*uni.NamedValue("Employees"))->TotalCount();
+  auto r = s.Execute("delete Employees where Employees.city = \"city_0\"");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ValuePtr after = *uni.NamedValue("Employees");
+  EXPECT_LT(after->TotalCount(), before);
+  for (const auto& e : after->entries()) {
+    ValuePtr emp = *uni.store().Deref(e.value->oid());
+    EXPECT_NE((*emp->Field("city"))->as_string(), "city_0");
+  }
+}
+
+TEST_F(UpdateTest, UpdatesComposeWithQueries) {
+  Run("retrieve (x) from x in Nums where x >= 2 into Big");
+  Run("delete Nums where Nums in Big");
+  EXPECT_TRUE(Nums()->Equals(*Value::SetOf({I(1)})));
+  Run("append all Big to Nums");
+  EXPECT_EQ(Nums()->TotalCount(), 3);
+}
+
+TEST_F(UpdateTest, Errors) {
+  // Append to a non-set / missing object.
+  ASSERT_TRUE(db_.CreateNamed("Tup", Schema::Tup({{"a", IntSchema()}}),
+                              Value::Tuple({"a"}, {I(1)}))
+                  .ok());
+  EXPECT_FALSE(session_->Execute("append 1 to Tup").ok());
+  EXPECT_FALSE(session_->Execute("append 1 to Ghost").ok());
+  EXPECT_FALSE(session_->Execute("delete Ghost where Ghost = 1").ok());
+  EXPECT_FALSE(session_->Execute("delete Tup where Tup = 1").ok());
+  // Parse errors.
+  EXPECT_FALSE(session_->Execute("append to Nums").ok());
+  EXPECT_FALSE(session_->Execute("delete Nums").ok());
+  // The failed statements changed nothing.
+  EXPECT_EQ(Nums()->TotalCount(), 3);
+}
+
+}  // namespace
+}  // namespace excess

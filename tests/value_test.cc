@@ -1,0 +1,161 @@
+#include "objects/value.h"
+
+#include <gtest/gtest.h>
+
+namespace excess {
+namespace {
+
+TEST(ValueTest, ScalarEqualityIsStrictOnKind) {
+  EXPECT_TRUE(Value::Int(1)->Equals(*Value::Int(1)));
+  EXPECT_FALSE(Value::Int(1)->Equals(*Value::Int(2)));
+  // Value equality does not coerce; comparison predicates do.
+  EXPECT_FALSE(Value::Int(1)->Equals(*Value::Float(1.0)));
+  EXPECT_TRUE(Value::Str("a")->Equals(*Value::Str("a")));
+  EXPECT_TRUE(Value::Bool(true)->Equals(*Value::Bool(true)));
+  EXPECT_TRUE(Value::Date(10)->Equals(*Value::Date(10)));
+  EXPECT_FALSE(Value::Date(10)->Equals(*Value::Int(10)));
+}
+
+TEST(ValueTest, NullsEqualThemselves) {
+  EXPECT_TRUE(Value::Dne()->Equals(*Value::Dne()));
+  EXPECT_TRUE(Value::Unk()->Equals(*Value::Unk()));
+  EXPECT_FALSE(Value::Dne()->Equals(*Value::Unk()));
+  EXPECT_TRUE(Value::Dne()->is_null());
+  EXPECT_TRUE(Value::Unk()->is_null());
+}
+
+TEST(ValueTest, TupleRecordEquality) {
+  ValuePtr a = Value::Tuple({"x", "y"}, {Value::Int(1), Value::Int(2)});
+  ValuePtr b = Value::Tuple({"y", "x"}, {Value::Int(2), Value::Int(1)});
+  // Same (name, value) multiset, different order: equal (rule 23 support).
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_EQ(a->Hash(), b->Hash());
+  ValuePtr c = Value::Tuple({"x", "y"}, {Value::Int(2), Value::Int(1)});
+  EXPECT_FALSE(a->Equals(*c));
+}
+
+TEST(ValueTest, TupleTagIsNotPartOfTheValue) {
+  ValuePtr plain = Value::Tuple({"x"}, {Value::Int(1)});
+  ValuePtr tagged = Value::Retag(plain, "Point");
+  EXPECT_TRUE(plain->Equals(*tagged));  // purely value-based equality
+  EXPECT_EQ(tagged->type_tag(), "Point");
+}
+
+TEST(ValueTest, TupleFieldAccess) {
+  ValuePtr t = Value::Tuple({"a", "b"}, {Value::Int(1), Value::Str("s")});
+  EXPECT_EQ((*t->Field("a"))->as_int(), 1);
+  EXPECT_TRUE(t->Field("zz").status().IsNotFound());
+  EXPECT_EQ((*t->FieldAt(1))->as_string(), "s");
+  EXPECT_TRUE(t->FieldAt(5).status().IsNotFound());
+  EXPECT_TRUE(Value::Int(1)->Field("a").status().IsTypeError());
+}
+
+TEST(ValueTest, MultisetNormalization) {
+  ValuePtr s = Value::SetOf({Value::Int(1), Value::Int(2), Value::Int(1)});
+  EXPECT_EQ(s->TotalCount(), 3);
+  EXPECT_EQ(s->DistinctCount(), 2);
+  EXPECT_EQ(s->CountOf(Value::Int(1)), 2);
+  EXPECT_EQ(s->CountOf(Value::Int(9)), 0);
+}
+
+TEST(ValueTest, MultisetEqualityIsPerElementCardinality) {
+  ValuePtr a = Value::SetOf({Value::Int(1), Value::Int(1), Value::Int(2)});
+  ValuePtr b = Value::SetOfCounted({{Value::Int(2), 1}, {Value::Int(1), 2}});
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_EQ(a->Hash(), b->Hash());
+  ValuePtr c = Value::SetOf({Value::Int(1), Value::Int(2)});
+  EXPECT_FALSE(a->Equals(*c));  // cardinalities differ
+}
+
+TEST(ValueTest, MultisetDiscardsDne) {
+  ValuePtr s = Value::SetOf({Value::Int(1), Value::Dne(), Value::Dne()});
+  EXPECT_EQ(s->TotalCount(), 1);
+  // unk is a real value and is retained.
+  ValuePtr u = Value::SetOf({Value::Int(1), Value::Unk()});
+  EXPECT_EQ(u->TotalCount(), 2);
+}
+
+TEST(ValueTest, SetOfCountedMergesAndDropsNonPositive) {
+  ValuePtr s = Value::SetOfCounted(
+      {{Value::Int(7), 2}, {Value::Int(7), 3}, {Value::Int(8), 0}});
+  EXPECT_EQ(s->CountOf(Value::Int(7)), 5);
+  EXPECT_EQ(s->DistinctCount(), 1);
+}
+
+TEST(ValueTest, ArraysKeepOrderAndDropDne) {
+  ValuePtr a =
+      Value::ArrayOf({Value::Int(3), Value::Dne(), Value::Int(1)});
+  EXPECT_EQ(a->ArrayLength(), 2);
+  EXPECT_EQ(a->elems()[0]->as_int(), 3);
+  EXPECT_EQ(a->elems()[1]->as_int(), 1);
+  ValuePtr b = Value::ArrayOf({Value::Int(1), Value::Int(3)});
+  EXPECT_FALSE(a->Equals(*b));  // order matters for arrays
+}
+
+TEST(ValueTest, RefEqualityIsOidEquality) {
+  ValuePtr r1 = Value::RefTo({1, 7});
+  ValuePtr r2 = Value::RefTo({1, 7});
+  ValuePtr r3 = Value::RefTo({1, 8});
+  EXPECT_TRUE(r1->Equals(*r2));
+  EXPECT_FALSE(r1->Equals(*r3));
+  EXPECT_EQ(r1->Hash(), r2->Hash());
+}
+
+TEST(ValueTest, DeepNestedEquality) {
+  auto mk = [] {
+    return Value::SetOf(
+        {Value::Tuple({"xs", "r"},
+                      {Value::ArrayOf({Value::Int(1), Value::Int(2)}),
+                       Value::RefTo({2, 5})}),
+         Value::Tuple({"xs", "r"},
+                      {Value::EmptyArray(), Value::RefTo({2, 6})})});
+  };
+  EXPECT_TRUE(mk()->Equals(*mk()));
+  EXPECT_EQ(mk()->Hash(), mk()->Hash());
+}
+
+TEST(ValueTest, PaperInstanceOfFigure2) {
+  // { (26, [1, 2], x), (25, [], y) } with x, y distinct OIDs.
+  ValuePtr inst = Value::SetOf(
+      {Value::Tuple({"a", "b", "c"},
+                    {Value::Int(26),
+                     Value::ArrayOf({Value::Int(1), Value::Int(2)}),
+                     Value::RefTo({9, 0})}),
+       Value::Tuple({"a", "b", "c"},
+                    {Value::Int(25), Value::EmptyArray(),
+                     Value::RefTo({9, 1})})});
+  EXPECT_EQ(inst->TotalCount(), 2);
+  EXPECT_EQ(inst->DistinctCount(), 2);
+}
+
+TEST(ValueTest, CompareCoercesNumerics) {
+  EXPECT_EQ(*Value::Compare(*Value::Int(1), *Value::Float(1.5)), -1);
+  EXPECT_EQ(*Value::Compare(*Value::Float(2.0), *Value::Int(2)), 0);
+  EXPECT_EQ(*Value::Compare(*Value::Str("b"), *Value::Str("a")), 1);
+  EXPECT_EQ(*Value::Compare(*Value::Bool(false), *Value::Bool(true)), -1);
+  EXPECT_TRUE(
+      Value::Compare(*Value::Int(1), *Value::Str("x")).status().IsTypeError());
+  EXPECT_FALSE(Value::Compare(*Value::Dne(), *Value::Int(1)).ok());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Int(5)->ToString(), "5");
+  EXPECT_EQ(Value::Str("hi")->ToString(), "\"hi\"");
+  EXPECT_EQ(Value::SetOf({Value::Int(1), Value::Int(1)})->ToString(),
+            "{1 x2}");
+  EXPECT_EQ(Value::ArrayOf({Value::Int(1), Value::Int(2)})->ToString(),
+            "[1, 2]");
+  EXPECT_EQ(
+      Value::Tuple({"a"}, {Value::Int(1)}, "T")->ToString(), "T(a: 1)");
+}
+
+TEST(ValueTest, EmptyCollections) {
+  EXPECT_EQ(Value::EmptySet()->TotalCount(), 0);
+  EXPECT_TRUE(Value::EmptySet()->Equals(*Value::SetOf({})));
+  EXPECT_EQ(Value::EmptyArray()->ArrayLength(), 0);
+  EXPECT_TRUE(Value::EmptyArray()->Equals(*Value::ArrayOf({})));
+  EXPECT_FALSE(Value::EmptySet()->Equals(*Value::EmptyArray()));
+}
+
+}  // namespace
+}  // namespace excess

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_methods.cc" "bench/CMakeFiles/bench_fig5_methods.dir/bench_fig5_methods.cc.o" "gcc" "bench/CMakeFiles/bench_fig5_methods.dir/bench_fig5_methods.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/excess/CMakeFiles/excess_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/university/CMakeFiles/excess_university.dir/DependInfo.cmake"
+  "/root/repo/build/src/methods/CMakeFiles/excess_methods.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/excess_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/objects/CMakeFiles/excess_objects.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/excess_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/excess_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/excess_repl.dir/excess_repl.cpp.o"
+  "CMakeFiles/excess_repl.dir/excess_repl.cpp.o.d"
+  "excess_repl"
+  "excess_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/excess_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/method_dispatch.dir/method_dispatch.cpp.o"
+  "CMakeFiles/method_dispatch.dir/method_dispatch.cpp.o.d"
+  "method_dispatch"
+  "method_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/method_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/excess_catalog.dir/catalog.cc.o"
+  "CMakeFiles/excess_catalog.dir/catalog.cc.o.d"
+  "CMakeFiles/excess_catalog.dir/schema.cc.o"
+  "CMakeFiles/excess_catalog.dir/schema.cc.o.d"
+  "libexcess_catalog.a"
+  "libexcess_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/excess_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cc" "src/core/CMakeFiles/excess_core.dir/analysis.cc.o" "gcc" "src/core/CMakeFiles/excess_core.dir/analysis.cc.o.d"
+  "/root/repo/src/core/cost.cc" "src/core/CMakeFiles/excess_core.dir/cost.cc.o" "gcc" "src/core/CMakeFiles/excess_core.dir/cost.cc.o.d"
+  "/root/repo/src/core/eval.cc" "src/core/CMakeFiles/excess_core.dir/eval.cc.o" "gcc" "src/core/CMakeFiles/excess_core.dir/eval.cc.o.d"
+  "/root/repo/src/core/expr.cc" "src/core/CMakeFiles/excess_core.dir/expr.cc.o" "gcc" "src/core/CMakeFiles/excess_core.dir/expr.cc.o.d"
+  "/root/repo/src/core/infer.cc" "src/core/CMakeFiles/excess_core.dir/infer.cc.o" "gcc" "src/core/CMakeFiles/excess_core.dir/infer.cc.o.d"
+  "/root/repo/src/core/kernels.cc" "src/core/CMakeFiles/excess_core.dir/kernels.cc.o" "gcc" "src/core/CMakeFiles/excess_core.dir/kernels.cc.o.d"
+  "/root/repo/src/core/planner.cc" "src/core/CMakeFiles/excess_core.dir/planner.cc.o" "gcc" "src/core/CMakeFiles/excess_core.dir/planner.cc.o.d"
+  "/root/repo/src/core/rewriter.cc" "src/core/CMakeFiles/excess_core.dir/rewriter.cc.o" "gcc" "src/core/CMakeFiles/excess_core.dir/rewriter.cc.o.d"
+  "/root/repo/src/core/rules.cc" "src/core/CMakeFiles/excess_core.dir/rules.cc.o" "gcc" "src/core/CMakeFiles/excess_core.dir/rules.cc.o.d"
+  "/root/repo/src/core/rules_array.cc" "src/core/CMakeFiles/excess_core.dir/rules_array.cc.o" "gcc" "src/core/CMakeFiles/excess_core.dir/rules_array.cc.o.d"
+  "/root/repo/src/core/rules_multiset.cc" "src/core/CMakeFiles/excess_core.dir/rules_multiset.cc.o" "gcc" "src/core/CMakeFiles/excess_core.dir/rules_multiset.cc.o.d"
+  "/root/repo/src/core/rules_tuple_ref.cc" "src/core/CMakeFiles/excess_core.dir/rules_tuple_ref.cc.o" "gcc" "src/core/CMakeFiles/excess_core.dir/rules_tuple_ref.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/objects/CMakeFiles/excess_objects.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/excess_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/excess_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/excess_core.dir/analysis.cc.o"
+  "CMakeFiles/excess_core.dir/analysis.cc.o.d"
+  "CMakeFiles/excess_core.dir/cost.cc.o"
+  "CMakeFiles/excess_core.dir/cost.cc.o.d"
+  "CMakeFiles/excess_core.dir/eval.cc.o"
+  "CMakeFiles/excess_core.dir/eval.cc.o.d"
+  "CMakeFiles/excess_core.dir/expr.cc.o"
+  "CMakeFiles/excess_core.dir/expr.cc.o.d"
+  "CMakeFiles/excess_core.dir/infer.cc.o"
+  "CMakeFiles/excess_core.dir/infer.cc.o.d"
+  "CMakeFiles/excess_core.dir/kernels.cc.o"
+  "CMakeFiles/excess_core.dir/kernels.cc.o.d"
+  "CMakeFiles/excess_core.dir/planner.cc.o"
+  "CMakeFiles/excess_core.dir/planner.cc.o.d"
+  "CMakeFiles/excess_core.dir/rewriter.cc.o"
+  "CMakeFiles/excess_core.dir/rewriter.cc.o.d"
+  "CMakeFiles/excess_core.dir/rules.cc.o"
+  "CMakeFiles/excess_core.dir/rules.cc.o.d"
+  "CMakeFiles/excess_core.dir/rules_array.cc.o"
+  "CMakeFiles/excess_core.dir/rules_array.cc.o.d"
+  "CMakeFiles/excess_core.dir/rules_multiset.cc.o"
+  "CMakeFiles/excess_core.dir/rules_multiset.cc.o.d"
+  "CMakeFiles/excess_core.dir/rules_tuple_ref.cc.o"
+  "CMakeFiles/excess_core.dir/rules_tuple_ref.cc.o.d"
+  "libexcess_core.a"
+  "libexcess_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/excess_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/excess_lang.dir/emit.cc.o"
+  "CMakeFiles/excess_lang.dir/emit.cc.o.d"
+  "CMakeFiles/excess_lang.dir/lexer.cc.o"
+  "CMakeFiles/excess_lang.dir/lexer.cc.o.d"
+  "CMakeFiles/excess_lang.dir/parser.cc.o"
+  "CMakeFiles/excess_lang.dir/parser.cc.o.d"
+  "CMakeFiles/excess_lang.dir/session.cc.o"
+  "CMakeFiles/excess_lang.dir/session.cc.o.d"
+  "CMakeFiles/excess_lang.dir/translate.cc.o"
+  "CMakeFiles/excess_lang.dir/translate.cc.o.d"
+  "libexcess_lang.a"
+  "libexcess_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/excess_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

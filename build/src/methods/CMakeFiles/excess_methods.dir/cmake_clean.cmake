@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/excess_methods.dir/dispatch.cc.o"
+  "CMakeFiles/excess_methods.dir/dispatch.cc.o.d"
+  "CMakeFiles/excess_methods.dir/registry.cc.o"
+  "CMakeFiles/excess_methods.dir/registry.cc.o.d"
+  "libexcess_methods.a"
+  "libexcess_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/excess_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/excess_objects.dir/conformance.cc.o"
+  "CMakeFiles/excess_objects.dir/conformance.cc.o.d"
+  "CMakeFiles/excess_objects.dir/database.cc.o"
+  "CMakeFiles/excess_objects.dir/database.cc.o.d"
+  "CMakeFiles/excess_objects.dir/store.cc.o"
+  "CMakeFiles/excess_objects.dir/store.cc.o.d"
+  "CMakeFiles/excess_objects.dir/value.cc.o"
+  "CMakeFiles/excess_objects.dir/value.cc.o.d"
+  "libexcess_objects.a"
+  "libexcess_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/excess_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libexcess_objects.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/university/university.cc" "src/university/CMakeFiles/excess_university.dir/university.cc.o" "gcc" "src/university/CMakeFiles/excess_university.dir/university.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/objects/CMakeFiles/excess_objects.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/excess_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/excess_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/excess_university.dir/university.cc.o"
+  "CMakeFiles/excess_university.dir/university.cc.o.d"
+  "libexcess_university.a"
+  "libexcess_university.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/excess_university.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/excess_util.dir/status.cc.o"
+  "CMakeFiles/excess_util.dir/status.cc.o.d"
+  "libexcess_util.a"
+  "libexcess_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/excess_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equipollence_test.dir/equipollence_test.cc.o"
+  "CMakeFiles/equipollence_test.dir/equipollence_test.cc.o.d"
+  "equipollence_test"
+  "equipollence_test.pdb"
+  "equipollence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equipollence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

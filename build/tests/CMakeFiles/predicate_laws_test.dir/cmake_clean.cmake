@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predicate_laws_test.dir/predicate_laws_test.cc.o"
+  "CMakeFiles/predicate_laws_test.dir/predicate_laws_test.cc.o.d"
+  "predicate_laws_test"
+  "predicate_laws_test.pdb"
+  "predicate_laws_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predicate_laws_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

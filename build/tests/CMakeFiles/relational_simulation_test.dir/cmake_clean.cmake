@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_simulation_test.dir/relational_simulation_test.cc.o"
+  "CMakeFiles/relational_simulation_test.dir/relational_simulation_test.cc.o.d"
+  "relational_simulation_test"
+  "relational_simulation_test.pdb"
+  "relational_simulation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_simulation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rules_property_test.dir/rules_property_test.cc.o"
+  "CMakeFiles/rules_property_test.dir/rules_property_test.cc.o.d"
+  "rules_property_test"
+  "rules_property_test.pdb"
+  "rules_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rules_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

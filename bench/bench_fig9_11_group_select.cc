@@ -17,7 +17,7 @@ namespace excess {
 namespace bench {
 namespace {
 
-void Sweep(int num_students, int num_floors) {
+void Sweep(int num_students, int num_floors, std::vector<BenchRow>* rows) {
   // selectivity = 1/num_floors (students are spread uniformly).
   Database db;
   UniversityParams p;
@@ -56,6 +56,13 @@ void Sweep(int num_students, int num_floors) {
       static_cast<long long>(s11.derefs),
       static_cast<long long>(s9.OccurrencesOf(OpKind::kGroup)),
       static_cast<long long>(s11.OccurrencesOf(OpKind::kGroup)));
+  std::string suffix =
+      "-s" + std::to_string(num_students) + "-f" + std::to_string(num_floors);
+  rows->push_back({"fig9" + suffix, s9.OccurrencesOf(OpKind::kGroup), t9, 1.0});
+  rows->push_back(
+      {"fig10" + suffix, s10.OccurrencesOf(OpKind::kGroup), t10, t9 / t10});
+  rows->push_back(
+      {"fig11" + suffix, s11.OccurrencesOf(OpKind::kGroup), t11, t9 / t11});
 }
 
 void Run() {
@@ -64,11 +71,13 @@ void Run() {
       "%8s %7s | %9s %9s %9s | %9s %9s %9s | %11s %11s\n", "|S|", "sel",
       "fig9 ms", "fig10 ms", "fig11 ms", "drf f9", "drf f10", "drf f11",
       "GRP-occ f9", "GRP-occ f11");
+  std::vector<BenchRow> rows;
   for (int n : {300, 1500, 6000}) {
     for (int floors : {2, 5, 10}) {
-      Sweep(n, floors);
+      Sweep(n, floors, &rows);
     }
   }
+  WriteBenchJson("fig9_11", rows);
 
   std::printf(
       "\nShapes: fig10 removes one per-group scan (rule 15); fig11 halves\n"

@@ -15,6 +15,7 @@
 
 #include "core/builder.h"
 #include "core/eval.h"
+#include "core/physical.h"
 #include "university/university.h"
 
 namespace excess {
@@ -223,6 +224,41 @@ inline void MustAgree(Database* db, const ExprPtr& a, const ExprPtr& b,
                  va->ToString().c_str(), vb->ToString().c_str());
     std::abort();
   }
+}
+
+// --- machine-readable results ------------------------------------------------
+
+/// One result row of a figure bench: a plan variant with its occurrence
+/// metric, wall time and speedup against the bench's baseline plan.
+struct BenchRow {
+  std::string plan;
+  int64_t occurrences = 0;
+  double wall_ms = 0;
+  double speedup = 1;
+};
+
+/// Writes `rows` as BENCH_<name>.json in the working directory so the
+/// figure benches can be consumed by scripts as well as read by eye.
+inline void WriteBenchJson(const std::string& name,
+                           const std::vector<BenchRow>& rows) {
+  std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", name.c_str());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"plan\": \"%s\", \"occurrences\": %lld, "
+                 "\"wall_ms\": %.3f, \"speedup\": %.2f}%s\n",
+                 rows[i].plan.c_str(),
+                 static_cast<long long>(rows[i].occurrences), rows[i].wall_ms,
+                 rows[i].speedup, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace bench

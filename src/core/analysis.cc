@@ -16,13 +16,20 @@ bool IsBinder(const Expr& e) {
 
 bool IsInput(const ExprPtr& e) { return e->kind() == OpKind::kInput; }
 
+/// Children of `e` living in the enclosing INPUT scope. HASH_JOIN's key
+/// children (2, 3) are binders like subscripts — INPUT there is a join-side
+/// element, never the enclosing binding.
+size_t NumScopedChildren(const Expr& e) {
+  return e.kind() == OpKind::kHashJoin ? 2 : e.num_children();
+}
+
 }  // namespace
 
 bool ContainsFreeInput(const ExprPtr& e) {
   if (IsInput(e)) return true;
   // Subscripts and predicates rebind INPUT; only children stay free.
-  for (const auto& c : e->children()) {
-    if (ContainsFreeInput(c)) return true;
+  for (size_t i = 0; i < NumScopedChildren(*e); ++i) {
+    if (ContainsFreeInput(e->child(i))) return true;
   }
   return false;
 }
@@ -30,12 +37,11 @@ bool ContainsFreeInput(const ExprPtr& e) {
 ExprPtr SubstituteInput(const ExprPtr& e, const ExprPtr& replacement) {
   if (IsInput(e)) return replacement;
   bool changed = false;
-  std::vector<ExprPtr> children;
-  children.reserve(e->num_children());
-  for (const auto& c : e->children()) {
-    ExprPtr nc = SubstituteInput(c, replacement);
-    changed |= (nc != c);
-    children.push_back(std::move(nc));
+  std::vector<ExprPtr> children = e->children();
+  for (size_t i = 0; i < NumScopedChildren(*e); ++i) {
+    ExprPtr nc = SubstituteInput(children[i], replacement);
+    changed |= (nc != children[i]);
+    children[i] = std::move(nc);
   }
   if (!changed) return e;
   return e->WithChildren(std::move(children));
@@ -99,9 +105,40 @@ bool PredContainsComp(const PredicatePtr& p) {
   return false;
 }
 
+bool PredIsParallelSafe(const PredicatePtr& p);
+
+bool ExprIsParallelSafe(const ExprPtr& e) {
+  if (e->kind() == OpKind::kRef || e->kind() == OpKind::kMethodCall) {
+    return false;
+  }
+  if (e->sub() != nullptr && !ExprIsParallelSafe(e->sub())) return false;
+  if (e->pred() != nullptr && !PredIsParallelSafe(e->pred())) return false;
+  for (const auto& c : e->children()) {
+    if (!ExprIsParallelSafe(c)) return false;
+  }
+  return true;
+}
+
+bool PredIsParallelSafe(const PredicatePtr& p) {
+  switch (p->kind) {
+    case Predicate::Kind::kAtom:
+      return ExprIsParallelSafe(p->lhs) && ExprIsParallelSafe(p->rhs);
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr:
+      return PredIsParallelSafe(p->a) && PredIsParallelSafe(p->b);
+    case Predicate::Kind::kNot:
+      return PredIsParallelSafe(p->a);
+    case Predicate::Kind::kTrue:
+      return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 bool ContainsComp(const ExprPtr& e) { return ExprContainsComp(e); }
+
+bool IsParallelSafe(const ExprPtr& e) { return ExprIsParallelSafe(e); }
 
 bool ContainsSubtree(const ExprPtr& e, const ExprPtr& target) {
   if (e->Equals(*target)) return true;

@@ -34,6 +34,13 @@ bool DependsOnlyOnField(const ExprPtr& e, const std::string& field);
 /// of the cross product (rules 5, 9, 13).
 ExprPtr StripFieldExtract(const ExprPtr& e, const std::string& field);
 
+/// True iff evaluating `e` cannot mutate shared state or observe evaluator
+/// identity: no REF (interns into the store) and no late-bound method call
+/// (arbitrary stored bodies) anywhere, including nested subscripts and
+/// predicates. DEREF and VAR are reads and stay allowed. This is the gate
+/// the parallel SET_APPLY/ARR_APPLY path applies to subscripts.
+bool IsParallelSafe(const ExprPtr& e);
+
 /// True iff `e` contains a COMP anywhere (including inside nested
 /// subscripts) — the "E is not COMP_P" side condition of rules 19/22,
 /// which we strengthen to "E cannot produce dne" since a dropped dne

@@ -195,6 +195,19 @@ inline ExprPtr RelJoin(PredicatePtr theta, ExprPtr a, ExprPtr b) {
       SetApply(Comp(std::move(theta), Input()), Cross(std::move(a), std::move(b))));
 }
 
+// --- physical operators (planner output; see core/physical.h) ----------------
+/// HASH_JOIN(A, B, lkey, rkey)[θ]: answer-equal to
+/// SET_APPLY_{COMP_θ(INPUT)}(CROSS(A, B)) when lkey/rkey are the two sides
+/// of an equality atom conjoined in θ. lkey/rkey bind INPUT to an element
+/// of A resp. B; θ sees the pair tuple (_1, _2). Built by the physical
+/// lowering pass, not by translation from EXCESS.
+inline ExprPtr HashJoin(PredicatePtr theta, ExprPtr a, ExprPtr b, ExprPtr lkey,
+                        ExprPtr rkey) {
+  return Make(OpKind::kHashJoin,
+              {std::move(a), std::move(b), std::move(lkey), std::move(rkey)},
+              nullptr, std::move(theta));
+}
+
 /// Shorthand for TUP_EXTRACT chains: Path({"a","b"}, Input()) is
 /// TUP_EXTRACT_b(TUP_EXTRACT_a(INPUT)).
 inline ExprPtr Path(const std::vector<std::string>& fields, ExprPtr base) {

@@ -170,6 +170,17 @@ Result<CostEstimate> CostModel::EstimateNode(const Expr& e,
       EXA_ASSIGN_OR_RETURN(CostEstimate in, child(0));
       return CostEstimate{1, in.total + in.cardinality};
     }
+    case OpKind::kHashJoin: {
+      EXA_ASSIGN_OR_RETURN(CostEstimate a, child(0));
+      EXA_ASSIGN_OR_RETURN(CostEstimate b, child(1));
+      // Build + probe touch each input once; θ is only re-evaluated on the
+      // key-matching share of the pairs, modelled by the selectivity.
+      double matches =
+          std::max(1.0, a.cardinality * b.cardinality * params_.selectivity);
+      double pred = PredicateCost(*e.pred(), /*input_card=*/1);
+      return CostEstimate{matches, a.total + b.total + a.cardinality +
+                                       b.cardinality + matches * (pred + 1)};
+    }
     case OpKind::kMethodCall: {
       double total = params_.method_cost;
       for (size_t i = 0; i < e.num_children(); ++i) {

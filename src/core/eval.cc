@@ -1,8 +1,14 @@
 #include "core/eval.h"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
 #include <unordered_map>
 
+#include "core/analysis.h"
 #include "core/kernels.h"
+#include "core/parallel.h"
 #include "util/string_util.h"
 
 namespace excess {
@@ -19,6 +25,22 @@ int64_t EvalStats::TotalOccurrences() const {
   return n;
 }
 
+int64_t EvalStats::TotalNanos() const {
+  int64_t n = 0;
+  for (auto v : nanos) n += v;
+  return n;
+}
+
+void EvalStats::Merge(const EvalStats& other) {
+  for (int i = 0; i < kNumOpKinds; ++i) {
+    invocations[i] += other.invocations[i];
+    occurrences[i] += other.occurrences[i];
+    nanos[i] += other.nanos[i];
+  }
+  predicate_atoms += other.predicate_atoms;
+  derefs += other.derefs;
+}
+
 std::string EvalStats::ToString() const {
   std::string out;
   for (int i = 0; i < kNumOpKinds; ++i) {
@@ -26,6 +48,7 @@ std::string EvalStats::ToString() const {
     out += StrCat(OpKindToString(static_cast<OpKind>(i)), ": ", invocations[i],
                   " calls");
     if (occurrences[i] > 0) out += StrCat(", ", occurrences[i], " occurrences");
+    if (nanos[i] > 0) out += StrCat(", ", nanos[i] / 1000, " us");
     out += "\n";
   }
   out += StrCat("predicate atoms: ", predicate_atoms, "\n");
@@ -45,6 +68,70 @@ Result<ValuePtr> Evaluator::EvalWithInput(const ExprPtr& expr,
   Ctx ctx;
   ctx.input = input;
   return EvalNode(*expr, ctx);
+}
+
+Result<ValuePtr> Evaluator::EvalNode(const Expr& e, const Ctx& ctx) {
+  if (!timing_enabled_) return EvalNodeImpl(e, ctx);
+  return EvalNodeTimed(e, ctx);
+}
+
+Result<ValuePtr> Evaluator::EvalNodeTimed(const Expr& e, const Ctx& ctx) {
+  auto t0 = std::chrono::steady_clock::now();
+  // Children report their inclusive time through child_time_ns_; this
+  // node's self time is its inclusive span minus what children consumed.
+  int64_t saved = child_time_ns_;
+  child_time_ns_ = 0;
+  auto r = EvalNodeImpl(e, ctx);
+  int64_t dt = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+  stats_.nanos[static_cast<int>(e.kind())] += dt - child_time_ns_;
+  child_time_ns_ = saved + dt;
+  return r;
+}
+
+bool Evaluator::ShouldParallelize(const Expr& e, size_t n) const {
+  return parallel_enabled_ && n >= parallel_threshold_ &&
+         WorkerPool::Instance().size() > 1 &&
+         analysis::IsParallelSafe(e.sub());
+}
+
+Status Evaluator::ParallelMap(const ExprPtr& sub, const Ctx& ctx,
+                              const std::vector<ValuePtr>& inputs,
+                              std::vector<ValuePtr>* outputs) {
+  outputs->assign(inputs.size(), nullptr);
+  WorkerPool& pool = WorkerPool::Instance();
+  const int max_parts = pool.size();
+  std::vector<EvalStats> worker_stats(static_cast<size_t>(max_parts));
+  std::vector<Status> worker_status(static_cast<size_t>(max_parts),
+                                    Status::OK());
+  std::atomic<bool> failed{false};
+  pool.ParallelFor(
+      inputs.size(), /*min_chunk=*/64,
+      [&](int part, size_t begin, size_t end) {
+        Evaluator worker(db_, methods_);
+        worker.parallel_enabled_ = false;  // no nested fan-out
+        Ctx inner = ctx;
+        for (size_t i = begin; i < end; ++i) {
+          if (failed.load(std::memory_order_relaxed)) break;
+          inner.input = inputs[i];
+          auto r = worker.EvalNode(*sub, inner);
+          if (!r.ok()) {
+            worker_status[static_cast<size_t>(part)] = r.status();
+            failed.store(true, std::memory_order_relaxed);
+            break;
+          }
+          (*outputs)[i] = std::move(*r);
+        }
+        worker_stats[static_cast<size_t>(part)] = worker.stats_;
+      });
+  for (const auto& ws : worker_stats) stats_.Merge(ws);
+  // Deterministic error selection: lowest partition wins, so the reported
+  // failure does not depend on thread scheduling.
+  for (const auto& st : worker_status) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
 }
 
 Result<ValuePtr> Evaluator::EvalSetApply(const Expr& e, const ValuePtr& in,
@@ -70,8 +157,10 @@ Result<ValuePtr> Evaluator::EvalSetApply(const Expr& e, const ValuePtr& in,
       start = comma + 1;
     }
   }
-  std::vector<SetEntry> out;
-  out.reserve(in->entries().size());
+  // Collect the surviving entries first so the parallel path can partition
+  // them; the serial path walks the same list.
+  std::vector<const SetEntry*> live;
+  live.reserve(in->entries().size());
   for (const auto& entry : in->entries()) {
     if (!accepted.empty()) {
       // §4: a typed SET_APPLY processes only objects exactly of a listed
@@ -86,10 +175,26 @@ Result<ValuePtr> Evaluator::EvalSetApply(const Expr& e, const ValuePtr& in,
       }
       if (!match) continue;
     }
+    live.push_back(&entry);
+  }
+  std::vector<SetEntry> out;
+  out.reserve(live.size());
+  if (ShouldParallelize(e, live.size())) {
+    std::vector<ValuePtr> inputs;
+    inputs.reserve(live.size());
+    for (const SetEntry* entry : live) inputs.push_back(entry->value);
+    std::vector<ValuePtr> mapped;
+    EXA_RETURN_NOT_OK(ParallelMap(e.sub(), ctx, inputs, &mapped));
+    for (size_t i = 0; i < live.size(); ++i) {
+      out.push_back({std::move(mapped[i]), live[i]->count});
+    }
+    return Value::SetOfCounted(std::move(out));
+  }
+  for (const SetEntry* entry : live) {
     Ctx inner = ctx;
-    inner.input = entry.value;
+    inner.input = entry->value;
     EXA_ASSIGN_OR_RETURN(ValuePtr mapped, EvalNode(*e.sub(), inner));
-    out.push_back({std::move(mapped), entry.count});
+    out.push_back({std::move(mapped), entry->count});
   }
   return Value::SetOfCounted(std::move(out));
 }
@@ -133,6 +238,11 @@ Result<ValuePtr> Evaluator::EvalArrApply(const Expr& e, const ValuePtr& in,
                                     ValueKindToString(in->kind())));
   }
   Count(e, in->ArrayLength());
+  if (ShouldParallelize(e, in->elems().size())) {
+    std::vector<ValuePtr> mapped;
+    EXA_RETURN_NOT_OK(ParallelMap(e.sub(), ctx, in->elems(), &mapped));
+    return Value::ArrayOf(std::move(mapped));
+  }
   std::vector<ValuePtr> out;
   out.reserve(in->elems().size());
   for (const auto& elem : in->elems()) {
@@ -212,8 +322,9 @@ Result<ValuePtr> Evaluator::EvalMethodCall(const Expr& e,
   return EvalNode(*body, inner);
 }
 
-Result<ValuePtr> Evaluator::EvalNode(const Expr& e, const Ctx& ctx) {
-  // Leaves first (they have no data children).
+Result<ValuePtr> Evaluator::EvalNodeImpl(const Expr& e, const Ctx& ctx) {
+  // Leaves first (they have no data children), then operators that bind
+  // INPUT in some children and so must not evaluate them eagerly.
   switch (e.kind()) {
     case OpKind::kInput:
       Count(e);
@@ -235,6 +346,9 @@ Result<ValuePtr> Evaluator::EvalNode(const Expr& e, const Ctx& ctx) {
             StrCat("method parameter $", e.index(), " is unbound"));
       }
       return (*ctx.params)[static_cast<size_t>(e.index())];
+    case OpKind::kHashJoin:
+      // Children 2/3 are per-element key binders, not data inputs.
+      return EvalHashJoin(e, ctx);
     default:
       break;
   }
@@ -403,9 +517,136 @@ Result<ValuePtr> Evaluator::EvalNode(const Expr& e, const Ctx& ctx) {
     case OpKind::kConst:
     case OpKind::kVar:
     case OpKind::kParam:
+    case OpKind::kHashJoin:
       break;  // handled above
   }
   return Status::Internal("unknown operator kind");
+}
+
+Result<ValuePtr> Evaluator::EvalHashJoin(const Expr& e, const Ctx& ctx) {
+  EXA_ASSIGN_OR_RETURN(ValuePtr va, EvalNode(*e.child(0), ctx));
+  EXA_ASSIGN_OR_RETURN(ValuePtr vb, EvalNode(*e.child(1), ctx));
+  // Uniform strict null propagation, as in the generic operator path.
+  if (va->is_dne() || vb->is_dne()) {
+    Count(e);
+    return Value::Dne();
+  }
+  if (va->is_unk() || vb->is_unk()) {
+    Count(e);
+    return Value::Unk();
+  }
+  if (!va->is_set() || !vb->is_set()) {
+    return Status::TypeError(StrCat("HASH_JOIN requires multiset inputs, got ",
+                                    ValueKindToString(va->kind()), " and ",
+                                    ValueKindToString(vb->kind())));
+  }
+  Count(e, va->TotalCount() + vb->TotalCount());
+  if (va->entries().empty() || vb->entries().empty()) {
+    return Value::EmptySet();
+  }
+
+  const Predicate& theta = *e.pred();
+  std::vector<SetEntry> out;
+  // Evaluates the *full* predicate θ on one (a, b) pair; this is what makes
+  // the operator answer-equal to SET_APPLY[COMP_θ](CROSS): true keeps the
+  // pair, unk contributes unk occurrences, false drops it — exactly COMP's
+  // contract followed by multiset construction dropping dne.
+  auto emit_pair = [&](const SetEntry& ea, const SetEntry& eb) -> Status {
+    ValuePtr pair = Value::TupleOf({ea.value, eb.value});
+    Ctx inner = ctx;
+    inner.input = pair;
+    EXA_ASSIGN_OR_RETURN(Truth t, EvalPred(theta, inner));
+    switch (t) {
+      case Truth::kTrue:
+        out.push_back({std::move(pair), ea.count * eb.count});
+        break;
+      case Truth::kUnk:
+        out.push_back({Value::Unk(), ea.count * eb.count});
+        break;
+      case Truth::kFalse:
+        break;
+    }
+    return Status::OK();
+  };
+
+  // Cost gate: below this the hash build does not pay for itself; run the
+  // pairwise loop directly (the cross product is still never materialized).
+  constexpr int64_t kNestedLoopMax = 16;
+  if (std::min(va->DistinctCount(), vb->DistinctCount()) <= kNestedLoopMax) {
+    for (const auto& ea : va->entries()) {
+      for (const auto& eb : vb->entries()) {
+        EXA_RETURN_NOT_OK(emit_pair(ea, eb));
+      }
+    }
+    return Value::SetOfCounted(std::move(out));
+  }
+
+  // Partition each side by its key: hashable (non-null key), unk-key, and
+  // dne-key elements. The hash path only covers hashable × hashable — for
+  // those pairs an unequal key makes the equality atom (and so the
+  // conjunction θ) false, which is why skipping non-matches is exact.
+  // unk-key elements must meet *every* element of the other side (the atom
+  // is unk against any key, even dne — EvalAtom checks unk before dne, so
+  // θ may still come out unk). dne-key elements only matter against unk
+  // keys: against a non-null key the atom is false and the pair drops.
+  struct Keyed {
+    const SetEntry* entry;
+    ValuePtr key;
+  };
+  auto split_side = [&](const ValuePtr& side, const ExprPtr& key_expr,
+                        std::vector<Keyed>* keyed,
+                        std::vector<const SetEntry*>* unk_keys,
+                        std::vector<const SetEntry*>* dne_keys) -> Status {
+    keyed->reserve(side->entries().size());
+    for (const auto& entry : side->entries()) {
+      Ctx inner = ctx;
+      inner.input = entry.value;
+      EXA_ASSIGN_OR_RETURN(ValuePtr k, EvalNode(*key_expr, inner));
+      if (k->is_dne()) {
+        dne_keys->push_back(&entry);
+      } else if (k->is_unk()) {
+        unk_keys->push_back(&entry);
+      } else {
+        keyed->push_back({&entry, std::move(k)});
+      }
+    }
+    return Status::OK();
+  };
+  std::vector<Keyed> ka, kb;
+  std::vector<const SetEntry*> ua, ub, da, db;
+  EXA_RETURN_NOT_OK(split_side(va, e.child(2), &ka, &ua, &da));
+  EXA_RETURN_NOT_OK(split_side(vb, e.child(3), &kb, &ub, &db));
+
+  // Build on the smaller keyed side, probe with the larger.
+  const bool build_left = ka.size() <= kb.size();
+  const std::vector<Keyed>& build = build_left ? ka : kb;
+  const std::vector<Keyed>& probe = build_left ? kb : ka;
+  std::unordered_map<ValuePtr, std::vector<const SetEntry*>, ValuePtrDeepHash,
+                     ValuePtrDeepEq>
+      table;
+  table.reserve(build.size());
+  for (const auto& k : build) table[k.key].push_back(k.entry);
+  for (const auto& p : probe) {
+    auto it = table.find(p.key);
+    if (it == table.end()) continue;
+    for (const SetEntry* matched : it->second) {
+      const SetEntry& ea = build_left ? *matched : *p.entry;
+      const SetEntry& eb = build_left ? *p.entry : *matched;
+      EXA_RETURN_NOT_OK(emit_pair(ea, eb));
+    }
+  }
+  // unk-key fallback: ua × all of B, then the rest of A × ub (ua × ub is
+  // already covered by the first loop).
+  for (const SetEntry* a : ua) {
+    for (const auto& eb : vb->entries()) {
+      EXA_RETURN_NOT_OK(emit_pair(*a, eb));
+    }
+  }
+  for (const SetEntry* b : ub) {
+    for (const auto& k : ka) EXA_RETURN_NOT_OK(emit_pair(*k.entry, *b));
+    for (const SetEntry* a : da) EXA_RETURN_NOT_OK(emit_pair(*a, *b));
+  }
+  return Value::SetOfCounted(std::move(out));
 }
 
 namespace {

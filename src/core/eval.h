@@ -2,6 +2,7 @@
 #define EXCESS_CORE_EVAL_H_
 
 #include <array>
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -11,7 +12,7 @@
 
 namespace excess {
 
-inline constexpr int kNumOpKinds = static_cast<int>(OpKind::kMethodCall) + 1;
+inline constexpr int kNumOpKinds = static_cast<int>(OpKind::kHashJoin) + 1;
 
 /// Late-bound method resolution (§4 strategy A): given the run-time exact
 /// type of a receiver, return the stored query tree of the most specific
@@ -33,25 +34,44 @@ struct EvalStats {
   /// Occurrences consumed per operator kind (multiset total counts / array
   /// lengths of loop-style operator inputs).
   std::array<int64_t, kNumOpKinds> occurrences{};
+  /// Self wall-clock nanoseconds per operator kind (time in the operator
+  /// itself, children excluded). Only populated when the evaluator's timing
+  /// is enabled; under parallel APPLY the span covers the whole parallel
+  /// section, so sums across kinds can exceed single-thread wall time.
+  std::array<int64_t, kNumOpKinds> nanos{};
   int64_t predicate_atoms = 0;
   int64_t derefs = 0;
 
   void Clear() { *this = EvalStats(); }
+  /// Accumulates `other` into this — used to fold per-worker stats from a
+  /// parallel APPLY back into the owning evaluator.
+  void Merge(const EvalStats& other);
   int64_t TotalInvocations() const;
   int64_t TotalOccurrences() const;
+  int64_t TotalNanos() const;
   int64_t InvocationsOf(OpKind kind) const {
     return invocations[static_cast<int>(kind)];
   }
   int64_t OccurrencesOf(OpKind kind) const {
     return occurrences[static_cast<int>(kind)];
   }
+  int64_t NanosOf(OpKind kind) const {
+    return nanos[static_cast<int>(kind)];
+  }
   std::string ToString() const;
 };
 
 /// The algebra interpreter. Evaluates an expression tree against a
 /// Database; INPUT is bound by enclosing SET_APPLY / ARR_APPLY / GRP
-/// subscripts and by COMP. The evaluator is re-entrant per instance but not
-/// thread-safe (stats and the store's intern table are mutated).
+/// subscripts and by COMP.
+///
+/// Thread-safety contract: one Evaluator instance serves one thread (stats
+/// are plain counters), but any number of Evaluator instances may evaluate
+/// side-effect-free expressions against the same Database concurrently —
+/// Value hashes and the store's deref counter are atomic, and the parallel
+/// APPLY path refuses subscripts that mutate the store (REF interning) or
+/// dispatch methods. That is exactly how parallel SET_APPLY/ARR_APPLY runs:
+/// one private Evaluator per worker, stats merged at the barrier.
 class Evaluator {
  public:
   explicit Evaluator(Database* db, const MethodResolver* methods = nullptr)
@@ -66,6 +86,18 @@ class Evaluator {
   EvalStats& stats() { return stats_; }
   const EvalStats& stats() const { return stats_; }
 
+  /// Per-OpKind wall-clock accounting (stats().nanos). Off by default: the
+  /// two clock reads per node cost ~2% on subscript-heavy plans.
+  void set_timing_enabled(bool on) { timing_enabled_ = on; }
+  bool timing_enabled() const { return timing_enabled_; }
+
+  /// Parallel SET_APPLY/ARR_APPLY. Enabled by default; only takes effect
+  /// when the worker pool has more than one thread (EXCESS_THREADS), the
+  /// input has at least parallel_threshold occurrences, and the subscript
+  /// is parallel-safe (analysis::IsParallelSafe).
+  void set_parallel_enabled(bool on) { parallel_enabled_ = on; }
+  void set_parallel_threshold(size_t n) { parallel_threshold_ = n; }
+
  private:
   struct Ctx {
     ValuePtr input;                          // INPUT binding (may be null)
@@ -73,6 +105,8 @@ class Evaluator {
   };
 
   Result<ValuePtr> EvalNode(const Expr& e, const Ctx& ctx);
+  Result<ValuePtr> EvalNodeTimed(const Expr& e, const Ctx& ctx);
+  Result<ValuePtr> EvalNodeImpl(const Expr& e, const Ctx& ctx);
   Result<Truth> EvalPred(const Predicate& p, const Ctx& ctx);
   Result<Truth> EvalAtom(const Predicate& p, const Ctx& ctx);
 
@@ -81,10 +115,20 @@ class Evaluator {
   Result<ValuePtr> EvalGroup(const Expr& e, const ValuePtr& in, const Ctx& ctx);
   Result<ValuePtr> EvalArrApply(const Expr& e, const ValuePtr& in,
                                 const Ctx& ctx);
+  Result<ValuePtr> EvalHashJoin(const Expr& e, const Ctx& ctx);
   Result<ValuePtr> EvalArith(const ValuePtr& a, const ValuePtr& b,
                              const std::string& op);
   Result<ValuePtr> EvalMethodCall(const Expr& e, std::vector<ValuePtr> vals,
                                   const Ctx& ctx);
+
+  /// True when the apply-style node should fan `n` elements out across the
+  /// worker pool (pool > 1, n over threshold, subscript parallel-safe).
+  bool ShouldParallelize(const Expr& e, size_t n) const;
+  /// Maps `sub` over `inputs` with one private Evaluator per worker,
+  /// merging their stats into stats_. outputs[i] is sub(inputs[i]).
+  Status ParallelMap(const ExprPtr& sub, const Ctx& ctx,
+                     const std::vector<ValuePtr>& inputs,
+                     std::vector<ValuePtr>* outputs);
 
   void Count(const Expr& e, int64_t occurrences_in = 0) {
     ++stats_.invocations[static_cast<int>(e.kind())];
@@ -94,6 +138,10 @@ class Evaluator {
   Database* db_;
   const MethodResolver* methods_;
   EvalStats stats_;
+  bool timing_enabled_ = false;
+  bool parallel_enabled_ = true;
+  size_t parallel_threshold_ = 1024;
+  int64_t child_time_ns_ = 0;  // nanos consumed by the current node's children
 };
 
 }  // namespace excess

@@ -38,6 +38,7 @@ const char* OpKindToString(OpKind kind) {
     case OpKind::kArith: return "ARITH";
     case OpKind::kAgg: return "AGG";
     case OpKind::kMethodCall: return "METHOD";
+    case OpKind::kHashJoin: return "HASH_JOIN";
   }
   return "?";
 }

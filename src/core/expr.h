@@ -66,6 +66,19 @@ enum class OpKind {
   kArith,       // scalar arithmetic: + - * / %
   kAgg,         // registered aggregate over a multiset: min max count sum avg
   kMethodCall,  // late-bound method invocation (run-time switch table, §4)
+
+  // Physical operators. Not part of the paper's algebra surface: they are
+  // introduced by the lowering pass (core/physical.h) after rewriting, and
+  // exist so the evaluator can run the §5 cost arguments as real
+  // asymptotics instead of qualitative occurrence counts.
+  //
+  // HASH_JOIN(A, B, kA, kB)[θ] is answer-equal to
+  // SET_APPLY[COMP_θ(INPUT)](CROSS(A, B)): children 0/1 are the data
+  // inputs; children 2/3 are per-element key expressions (INPUT bound to an
+  // element of A resp. B — they are *binders*, like subscripts, not data
+  // children); pred() carries the full original predicate θ, re-evaluated
+  // on key-matching pairs only (its INPUT is the pair tuple (_1, _2)).
+  kHashJoin,
 };
 
 const char* OpKindToString(OpKind kind);

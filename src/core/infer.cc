@@ -203,6 +203,18 @@ Result<SchemaPtr> TypeInference::InferNode(const Expr& e, const SchemaPtr& input
       return Schema::Set(
           Schema::Tup({{"_1", ElemOf(a)}, {"_2", ElemOf(b)}}));
     }
+    case OpKind::kHashJoin: {
+      EXA_ASSIGN_OR_RETURN(SchemaPtr a, InferNode(*e.child(0), input));
+      EXA_ASSIGN_OR_RETURN(SchemaPtr b, InferNode(*e.child(1), input));
+      EXA_RETURN_NOT_OK(ExpectCtor(a, TypeCtor::kSet, "HASH_JOIN"));
+      EXA_RETURN_NOT_OK(ExpectCtor(b, TypeCtor::kSet, "HASH_JOIN"));
+      // The key expressions must type-check over an element of their side.
+      EXA_RETURN_NOT_OK(Infer(e.child(2), ElemOf(a)).status());
+      EXA_RETURN_NOT_OK(Infer(e.child(3), ElemOf(b)).status());
+      // Same output shape as the CROSS it replaces (θ only filters).
+      return Schema::Set(
+          Schema::Tup({{"_1", ElemOf(a)}, {"_2", ElemOf(b)}}));
+    }
     case OpKind::kSetCollapse: {
       EXA_ASSIGN_OR_RETURN(SchemaPtr in, InferNode(*e.child(0), input));
       EXA_RETURN_NOT_OK(ExpectCtor(in, TypeCtor::kSet, "SET_COLLAPSE"));

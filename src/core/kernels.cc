@@ -33,6 +33,33 @@ Status ExpectTuple(const ValuePtr& v, const char* op) {
   return Status::OK();
 }
 
+/// Hash index over a multiset's distinct elements. DIFF/UNION/INTERSECT
+/// probe the other operand once per element of this operand; through the
+/// index each probe is O(1) instead of a linear Value::CountOf scan, making
+/// the kernels O(n + m). Probing small sets directly is cheaper than
+/// building, so callers gate on kIndexMin distinct elements.
+constexpr size_t kIndexMin = 8;
+
+class CountIndex {
+ public:
+  explicit CountIndex(const ValuePtr& s) : set_(s) {
+    if (s->entries().size() < kIndexMin) return;
+    index_.reserve(s->entries().size());
+    for (const auto& e : s->entries()) index_.emplace(e.value, e.count);
+  }
+
+  int64_t CountOf(const ValuePtr& v) const {
+    if (index_.empty()) return set_->CountOf(v);
+    auto it = index_.find(v);
+    return it == index_.end() ? 0 : it->second;
+  }
+
+ private:
+  const ValuePtr& set_;
+  std::unordered_map<ValuePtr, int64_t, ValuePtrDeepHash, ValuePtrDeepEq>
+      index_;
+};
+
 }  // namespace
 
 Result<ValuePtr> AddUnion(const ValuePtr& a, const ValuePtr& b) {
@@ -49,8 +76,9 @@ Result<ValuePtr> Diff(const ValuePtr& a, const ValuePtr& b) {
   EXA_RETURN_NOT_OK(ExpectSet(b, "DIFF"));
   std::vector<SetEntry> out;
   out.reserve(a->entries().size());
+  CountIndex bi(b);
   for (const auto& e : a->entries()) {
-    int64_t remaining = e.count - b->CountOf(e.value);
+    int64_t remaining = e.count - bi.CountOf(e.value);
     if (remaining > 0) out.push_back({e.value, remaining});
   }
   return Value::SetOfCounted(std::move(out));
@@ -99,11 +127,13 @@ Result<ValuePtr> MaxUnion(const ValuePtr& a, const ValuePtr& b) {
   EXA_RETURN_NOT_OK(ExpectSet(a, "UNION"));
   EXA_RETURN_NOT_OK(ExpectSet(b, "UNION"));
   std::vector<SetEntry> out;
+  CountIndex ai(a);
+  CountIndex bi(b);
   for (const auto& e : a->entries()) {
-    out.push_back({e.value, std::max(e.count, b->CountOf(e.value))});
+    out.push_back({e.value, std::max(e.count, bi.CountOf(e.value))});
   }
   for (const auto& e : b->entries()) {
-    if (a->CountOf(e.value) == 0) out.push_back(e);
+    if (ai.CountOf(e.value) == 0) out.push_back(e);
   }
   return Value::SetOfCounted(std::move(out));
 }
@@ -112,8 +142,9 @@ Result<ValuePtr> MinIntersect(const ValuePtr& a, const ValuePtr& b) {
   EXA_RETURN_NOT_OK(ExpectSet(a, "INTERSECT"));
   EXA_RETURN_NOT_OK(ExpectSet(b, "INTERSECT"));
   std::vector<SetEntry> out;
+  CountIndex bi(b);
   for (const auto& e : a->entries()) {
-    int64_t c = std::min(e.count, b->CountOf(e.value));
+    int64_t c = std::min(e.count, bi.CountOf(e.value));
     if (c > 0) out.push_back({e.value, c});
   }
   return Value::SetOfCounted(std::move(out));

@@ -1,0 +1,123 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace excess {
+
+namespace {
+
+/// True on threads currently executing a batch (pool workers, and the
+/// caller while it participates). Nested ParallelFor calls run inline.
+thread_local bool t_in_batch = false;
+
+int PoolSizeFromEnv() {
+  if (const char* env = std::getenv("EXCESS_THREADS")) {
+    int n = std::atoi(env);
+    if (n >= 1) return std::min(n, 256);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+WorkerPool::WorkerPool(int size) {
+  int threads = std::max(0, size - 1);
+  workers_.reserve(static_cast<size_t>(threads));
+  for (int w = 0; w < threads; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+WorkerPool& WorkerPool::Instance() {
+  // Leaked intentionally: workers may be parked in WorkerLoop at process
+  // exit, and joining them from a static destructor races with the runtime
+  // tearing down other statics.
+  static WorkerPool* pool = new WorkerPool(PoolSizeFromEnv());
+  return *pool;
+}
+
+void WorkerPool::RunPartition(const Body& fn, size_t n, int parts, int part) {
+  size_t per = (n + static_cast<size_t>(parts) - 1) / static_cast<size_t>(parts);
+  size_t begin = per * static_cast<size_t>(part);
+  size_t end = std::min(n, begin + per);
+  if (begin < end) fn(part, begin, end);
+}
+
+int WorkerPool::ParallelFor(size_t n, size_t min_chunk, const Body& fn) {
+  if (n == 0) return 0;
+  int parts = static_cast<int>(
+      std::min<size_t>(static_cast<size_t>(size()),
+                       std::max<size_t>(1, n / std::max<size_t>(1, min_chunk))));
+  std::unique_lock<std::mutex> lock(mu_, std::defer_lock);
+  if (parts <= 1 || t_in_batch || !lock.try_lock() || body_ != nullptr) {
+    // Serial path: pool of one, nested call, or the pool is busy with
+    // another evaluator's batch.
+    fn(0, 0, n);
+    return 1;
+  }
+  body_ = &fn;
+  batch_n_ = n;
+  batch_parts_ = parts;
+  // Every resident worker checks in exactly once per epoch, including the
+  // ones a small batch leaves idle — the count must cover all of them.
+  outstanding_ = static_cast<int>(workers_.size());
+  ++epoch_;
+  lock.unlock();
+  work_cv_.notify_all();
+
+  t_in_batch = true;
+  RunPartition(fn, n, parts, 0);  // the caller is partition 0
+  t_in_batch = false;
+
+  lock.lock();
+  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  body_ = nullptr;
+  return parts;
+}
+
+void WorkerPool::WorkerLoop(int worker) {
+  uint64_t seen_epoch = 0;
+  while (true) {
+    const Body* body;
+    size_t n;
+    int parts;
+    uint64_t epoch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (body_ != nullptr && epoch_ != seen_epoch);
+      });
+      if (stop_) return;
+      body = body_;
+      n = batch_n_;
+      parts = batch_parts_;
+      epoch = epoch_;
+    }
+    seen_epoch = epoch;
+    // Workers beyond the batch's partition count still must check in so the
+    // caller's outstanding count drains.
+    if (worker + 1 < parts) {
+      t_in_batch = true;
+      RunPartition(*body, n, parts, worker + 1);
+      t_in_batch = false;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --outstanding_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+}  // namespace excess

@@ -1,0 +1,66 @@
+#ifndef EXCESS_CORE_PARALLEL_H_
+#define EXCESS_CORE_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace excess {
+
+/// A small shared worker pool for data-parallel operators (parallel
+/// SET_APPLY / ARR_APPLY). The pool size comes from the EXCESS_THREADS
+/// environment variable, defaulting to std::thread::hardware_concurrency();
+/// a size of 1 means every ParallelFor runs inline on the caller — exactly
+/// the pre-pool serial path.
+///
+/// The calling thread always participates as partition 0, so a pool of size
+/// N keeps N-1 resident threads. Batches never nest: a ParallelFor issued
+/// from inside a pool worker (a subscript that itself contains a large
+/// APPLY) or while another batch is in flight runs inline, which keeps the
+/// pool deadlock-free by construction.
+class WorkerPool {
+ public:
+  /// fn(partition, begin, end): process items [begin, end) as `partition`
+  /// (0-based, dense). Partitions are contiguous index ranges.
+  using Body = std::function<void(int, size_t, size_t)>;
+
+  explicit WorkerPool(int size);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// The process-wide pool (EXCESS_THREADS). Constructed on first use.
+  static WorkerPool& Instance();
+
+  /// Total partitions a batch is split into (resident threads + caller).
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs `fn` over [0, n) split into at most size() contiguous ranges of
+  /// at least `min_chunk` items. Blocks until every partition finished.
+  /// Returns the number of partitions actually used.
+  int ParallelFor(size_t n, size_t min_chunk, const Body& fn);
+
+ private:
+  void WorkerLoop(int worker);
+  void RunPartition(const Body& fn, size_t n, int parts, int part);
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const Body* body_ = nullptr;  // non-null while a batch is in flight
+  size_t batch_n_ = 0;
+  int batch_parts_ = 0;
+  uint64_t epoch_ = 0;   // bumped per batch so workers see fresh work
+  int outstanding_ = 0;  // partitions not yet finished by pool workers
+  bool stop_ = false;
+};
+
+}  // namespace excess
+
+#endif  // EXCESS_CORE_PARALLEL_H_

@@ -1,0 +1,159 @@
+#include "core/physical.h"
+
+#include <utility>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/builder.h"
+
+namespace excess {
+
+namespace {
+
+/// Flattens the ∧-spine of a predicate into its conjuncts.
+void Conjuncts(const PredicatePtr& p, std::vector<PredicatePtr>* out) {
+  if (p->kind == Predicate::Kind::kAnd) {
+    Conjuncts(p->a, out);
+    Conjuncts(p->b, out);
+    return;
+  }
+  out->push_back(p);
+}
+
+/// If `p` is an equality atom joining the two halves of the pair, extracts
+/// the per-element key expressions (INPUT re-bound from the pair to an
+/// element of the matching side). A side without free INPUT is a constant —
+/// that atom is a selection, not a join key.
+bool EquiKeys(const Predicate& p, ExprPtr* lkey, ExprPtr* rkey) {
+  if (p.kind != Predicate::Kind::kAtom || p.cmp != CmpOp::kEq) return false;
+  if (!analysis::ContainsFreeInput(p.lhs) ||
+      !analysis::ContainsFreeInput(p.rhs)) {
+    return false;
+  }
+  if (analysis::DependsOnlyOnField(p.lhs, "_1") &&
+      analysis::DependsOnlyOnField(p.rhs, "_2")) {
+    *lkey = analysis::StripFieldExtract(p.lhs, "_1");
+    *rkey = analysis::StripFieldExtract(p.rhs, "_2");
+    return true;
+  }
+  if (analysis::DependsOnlyOnField(p.lhs, "_2") &&
+      analysis::DependsOnlyOnField(p.rhs, "_1")) {
+    *lkey = analysis::StripFieldExtract(p.rhs, "_1");
+    *rkey = analysis::StripFieldExtract(p.lhs, "_2");
+    return true;
+  }
+  return false;
+}
+
+/// Matches SET_APPLY[COMP_θ(INPUT)](CROSS(A, B)) with an equality atom
+/// between the sides and builds the HASH_JOIN replacement, or returns null.
+ExprPtr TryHashJoin(const ExprPtr& e) {
+  if (e->kind() != OpKind::kSetApply || !e->type_filter().empty()) {
+    return nullptr;
+  }
+  const ExprPtr& sub = e->sub();
+  if (sub->kind() != OpKind::kComp ||
+      sub->child(0)->kind() != OpKind::kInput) {
+    return nullptr;
+  }
+  const ExprPtr& cross = e->child(0);
+  if (cross->kind() != OpKind::kCross) return nullptr;
+
+  std::vector<PredicatePtr> conj;
+  Conjuncts(sub->pred(), &conj);
+  std::vector<ExprPtr> lkeys, rkeys;
+  for (const auto& c : conj) {
+    ExprPtr lk, rk;
+    if (EquiKeys(*c, &lk, &rk)) {
+      lkeys.push_back(std::move(lk));
+      rkeys.push_back(std::move(rk));
+    }
+  }
+  if (lkeys.empty()) return nullptr;
+
+  ExprPtr lkey, rkey;
+  if (lkeys.size() == 1) {
+    lkey = std::move(lkeys[0]);
+    rkey = std::move(rkeys[0]);
+  } else {
+    // Composite key: a positional tuple per side. Tuple equality compares
+    // positionally on values, so key equality is the conjunction of the
+    // atoms; a dne/unk component poisons the whole key through the
+    // evaluator's uniform null propagation, which is what routes the
+    // element to the right fallback bucket.
+    lkey = alg::TupMake(std::move(lkeys[0]));
+    rkey = alg::TupMake(std::move(rkeys[0]));
+    for (size_t i = 1; i < lkeys.size(); ++i) {
+      lkey = alg::TupCat(std::move(lkey), alg::TupMake(std::move(lkeys[i])));
+      rkey = alg::TupCat(std::move(rkey), alg::TupMake(std::move(rkeys[i])));
+    }
+  }
+  return alg::HashJoin(sub->pred(), cross->child(0), cross->child(1),
+                       std::move(lkey), std::move(rkey));
+}
+
+ExprPtr LowerNode(const ExprPtr& e);
+
+PredicatePtr LowerPredicate(const PredicatePtr& p) {
+  switch (p->kind) {
+    case Predicate::Kind::kAtom: {
+      ExprPtr l = LowerNode(p->lhs);
+      ExprPtr r = LowerNode(p->rhs);
+      if (l == p->lhs && r == p->rhs) return p;
+      return Predicate::Atom(std::move(l), p->cmp, std::move(r));
+    }
+    case Predicate::Kind::kAnd: {
+      PredicatePtr a = LowerPredicate(p->a);
+      PredicatePtr b = LowerPredicate(p->b);
+      if (a == p->a && b == p->b) return p;
+      return Predicate::And(std::move(a), std::move(b));
+    }
+    case Predicate::Kind::kOr: {
+      PredicatePtr a = LowerPredicate(p->a);
+      PredicatePtr b = LowerPredicate(p->b);
+      if (a == p->a && b == p->b) return p;
+      return Predicate::Or(std::move(a), std::move(b));
+    }
+    case Predicate::Kind::kNot: {
+      PredicatePtr a = LowerPredicate(p->a);
+      if (a == p->a) return p;
+      return Predicate::Not(std::move(a));
+    }
+    case Predicate::Kind::kTrue:
+      return p;
+  }
+  return p;
+}
+
+ExprPtr LowerNode(const ExprPtr& e) {
+  if (e == nullptr) return e;
+  // Bottom-up: lower children, subscript and predicate operands first, so
+  // joins nested under other operators (or inside atoms) are found too.
+  bool changed = false;
+  std::vector<ExprPtr> kids;
+  kids.reserve(e->num_children());
+  for (const auto& c : e->children()) {
+    ExprPtr nc = LowerNode(c);
+    changed = changed || nc != c;
+    kids.push_back(std::move(nc));
+  }
+  ExprPtr sub = e->sub() != nullptr ? LowerNode(e->sub()) : nullptr;
+  changed = changed || sub != e->sub();
+  PredicatePtr pred =
+      e->pred() != nullptr ? LowerPredicate(e->pred()) : nullptr;
+  changed = changed || pred != e->pred();
+  ExprPtr cur =
+      changed ? MakeExpr(e->kind(), std::move(kids), std::move(sub),
+                         std::move(pred), e->literal(), e->name(), e->names(),
+                         e->type_filter(), e->index(), e->lo(), e->hi(),
+                         e->index_is_last(), e->lo_is_last(), e->hi_is_last())
+              : e;
+  if (ExprPtr hj = TryHashJoin(cur)) return hj;
+  return cur;
+}
+
+}  // namespace
+
+ExprPtr LowerPhysical(const ExprPtr& plan) { return LowerNode(plan); }
+
+}  // namespace excess

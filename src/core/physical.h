@@ -1,0 +1,30 @@
+#ifndef EXCESS_CORE_PHYSICAL_H_
+#define EXCESS_CORE_PHYSICAL_H_
+
+#include "core/expr.h"
+
+namespace excess {
+
+/// Physical lowering: the last planner phase, run after the rewrite rules
+/// (which only ever see logical trees). Recognizes the equi-join shape
+///
+///   SET_APPLY[COMP_θ(INPUT)](CROSS(A, B))
+///
+/// — including the one inside the RelJoin derived form — where θ's
+/// conjunction contains at least one equality atom whose sides address
+/// opposite halves of the pair (free INPUT only through TUP_EXTRACT_{_1}
+/// resp. TUP_EXTRACT_{_2}), and replaces it with HASH_JOIN(A, B, kA, kB)[θ]
+/// so the cross product is never materialized. Several equality atoms
+/// become one composite positional-tuple key (tuple equality is positional
+/// on values, so composite-key equality is exactly the atom conjunction).
+///
+/// The whole of θ rides along on the physical node and is re-evaluated on
+/// key-matching pairs, which keeps the answer (including unk occurrences
+/// from three-valued residual atoms) identical to the logical plan; see
+/// Evaluator::EvalHashJoin for the null-key fallbacks and the tiny-input
+/// nested-loop gate.
+ExprPtr LowerPhysical(const ExprPtr& plan);
+
+}  // namespace excess
+
+#endif  // EXCESS_CORE_PHYSICAL_H_

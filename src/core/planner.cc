@@ -4,6 +4,8 @@
 #include <queue>
 #include <unordered_map>
 
+#include "core/physical.h"
+
 namespace excess {
 
 namespace {
@@ -87,7 +89,9 @@ Result<std::vector<PlanChoice>> Planner::Enumerate(const ExprPtr& query) {
 
 Result<ExprPtr> Planner::Optimize(const ExprPtr& query) {
   EXA_ASSIGN_OR_RETURN(std::vector<PlanChoice> choices, Enumerate(query));
-  return choices.front().plan;
+  ExprPtr best = choices.front().plan;
+  if (options_.lower_physical) best = LowerPhysical(best);
+  return best;
 }
 
 }  // namespace excess

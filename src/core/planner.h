@@ -32,6 +32,9 @@ class Planner {
   struct Options {
     /// Maximum trees expanded in the cost-based phase; 0 disables it.
     int search_budget = 64;
+    /// Run the physical lowering pass (core/physical.h) on the winning
+    /// plan. Rewrite rules never see physical operators either way.
+    bool lower_physical = true;
     CostParams cost_params;
   };
 

@@ -1,6 +1,7 @@
 #ifndef EXCESS_OBJECTS_STORE_H_
 #define EXCESS_OBJECTS_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -68,9 +69,12 @@ class ObjectStore {
   size_t size() const { return heap_.size(); }
 
   /// Running count of Deref calls — instrumentation used by the figure
-  /// benches (e.g. rule 26 halving the DEREF count in Example 2).
-  int64_t deref_count() const { return deref_count_; }
-  void ResetStats() { deref_count_ = 0; }
+  /// benches (e.g. rule 26 halving the DEREF count in Example 2). Atomic so
+  /// parallel APPLY workers may deref concurrently.
+  int64_t deref_count() const {
+    return deref_count_.load(std::memory_order_relaxed);
+  }
+  void ResetStats() { deref_count_.store(0, std::memory_order_relaxed); }
 
  private:
   struct Obj {
@@ -91,7 +95,7 @@ class ObjectStore {
            std::unordered_map<ValuePtr, Oid, ValuePtrDeepHash, ValuePtrDeepEq>>
       interned_;
   int anon_counter_ = 0;
-  mutable int64_t deref_count_ = 0;
+  mutable std::atomic<int64_t> deref_count_{0};
 };
 
 }  // namespace excess

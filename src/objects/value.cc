@@ -93,9 +93,8 @@ ValuePtr Value::TupleOf(std::vector<ValuePtr> vals) {
 }
 
 ValuePtr Value::Retag(const ValuePtr& t, std::string type_tag) {
-  auto p = std::shared_ptr<Value>(new Value(*t));
+  auto p = std::shared_ptr<Value>(new Value(*t));  // hash cache starts cold
   p->type_tag_ = std::move(type_tag);
-  p->hash_valid_ = false;
   return p;
 }
 
@@ -198,7 +197,12 @@ int64_t Value::CountOf(const ValuePtr& v) const {
 bool Value::Equals(const Value& other) const {
   if (this == &other) return true;
   if (kind_ != other.kind_) return false;
-  if (hash_valid_ && other.hash_valid_ && hash_ != other.hash_) return false;
+  if (hash_valid_.load(std::memory_order_acquire) &&
+      other.hash_valid_.load(std::memory_order_acquire) &&
+      hash_.load(std::memory_order_relaxed) !=
+          other.hash_.load(std::memory_order_relaxed)) {
+    return false;
+  }
   switch (kind_) {
     case ValueKind::kInt:
     case ValueKind::kDate:
@@ -271,7 +275,9 @@ bool Value::Equals(const Value& other) const {
 }
 
 uint64_t Value::Hash() const {
-  if (hash_valid_) return hash_;
+  if (hash_valid_.load(std::memory_order_acquire)) {
+    return hash_.load(std::memory_order_relaxed);
+  }
   uint64_t h = HashCombine(0x5eed, static_cast<uint64_t>(kind_));
   switch (kind_) {
     case ValueKind::kInt:
@@ -325,8 +331,8 @@ uint64_t Value::Hash() const {
       break;
     }
   }
-  hash_ = h;
-  hash_valid_ = true;
+  hash_.store(h, std::memory_order_relaxed);
+  hash_valid_.store(true, std::memory_order_release);
   return h;
 }
 

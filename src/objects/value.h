@@ -1,6 +1,7 @@
 #ifndef EXCESS_OBJECTS_VALUE_H_
 #define EXCESS_OBJECTS_VALUE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -141,7 +142,9 @@ class Value {
   // --- equality / hashing / printing --------------------------------------
   bool Equals(const Value& other) const;
   bool Equals(const ValuePtr& other) const { return other && Equals(*other); }
-  /// Deep hash, cached after first computation (values are immutable).
+  /// Deep hash, cached after first computation (values are immutable). The
+  /// cache is a release/acquire atomic so concurrent evaluators may hash
+  /// shared values — racing threads compute the same hash and one wins.
   uint64_t Hash() const;
 
   /// Total order over comparable scalars (numeric coercion between
@@ -154,6 +157,19 @@ class Value {
 
  private:
   explicit Value(ValueKind kind) : kind_(kind) {}
+  // Copies payload but not the (atomic, non-copyable) hash cache; the copy
+  // recomputes on first Hash().
+  Value(const Value& other)
+      : kind_(other.kind_),
+        int_(other.int_),
+        float_(other.float_),
+        bool_(other.bool_),
+        str_(other.str_),
+        oid_(other.oid_),
+        names_(other.names_),
+        elems_(other.elems_),
+        set_(other.set_),
+        type_tag_(other.type_tag_) {}
 
   ValueKind kind_;
   int64_t int_ = 0;
@@ -165,8 +181,8 @@ class Value {
   std::vector<ValuePtr> elems_;      // tuple fields or array elements
   std::vector<SetEntry> set_;        // multiset entries
   std::string type_tag_;
-  mutable uint64_t hash_ = 0;
-  mutable bool hash_valid_ = false;
+  mutable std::atomic<uint64_t> hash_{0};
+  mutable std::atomic<bool> hash_valid_{false};
 };
 
 /// Equality/hash functors so ValuePtr can key unordered containers by deep

@@ -1,0 +1,73 @@
+// Throughput of the src/check/ differential-testing oracles, in seeds per
+// second. This is what sizes the ctest budget (500 seeds/oracle) and soak
+// runs (EXCESS_SWEEP_SEEDS): the rules oracle dominates because each plan
+// is re-evaluated once per rule application site.
+//
+//   ./bench_oracle [seeds]        (default 200)
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "src/check/gen.h"
+#include "src/check/oracle.h"
+
+namespace excess {
+namespace check {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+template <typename Fn>
+void RunOracle(const char* name, uint64_t seeds, const GenOptions& opts,
+               Fn fn) {
+  OracleStats stats;
+  std::vector<Divergence> divs;
+  auto start = Clock::now();
+  for (uint64_t seed = 0; seed < seeds; ++seed) {
+    Status s = fn(seed, opts, &stats, &divs);
+    if (!s.ok()) {
+      std::printf("%-10s seed %llu error: %s\n", name,
+                  static_cast<unsigned long long>(seed),
+                  s.ToString().c_str());
+      return;
+    }
+  }
+  double secs = std::chrono::duration<double>(Clock::now() - start).count();
+  std::printf(
+      "%-10s %6llu seeds  %8.1f seeds/s  %7lld plans  %9lld comparisons  "
+      "%6lld skipped  %zu divergences\n",
+      name, static_cast<unsigned long long>(seeds),
+      static_cast<double>(seeds) / secs,
+      static_cast<long long>(stats.plans),
+      static_cast<long long>(stats.comparisons),
+      static_cast<long long>(stats.skipped), divs.size());
+}
+
+int Main(int argc, char** argv) {
+  uint64_t seeds = 200;
+  if (argc > 1) seeds = std::strtoull(argv[1], nullptr, 10);
+  GenOptions opts;
+  RunOracle("rules", seeds, opts, CheckRulesSeed);
+  RunOracle("lowering", seeds, opts, CheckLoweringSeed);
+  RunOracle("roundtrip", seeds, opts, CheckRoundTripSeed);
+
+  int64_t parsed = 0;
+  auto start = Clock::now();
+  for (uint64_t seed = 0; seed < seeds; ++seed) {
+    parsed += FuzzParserSeed(seed, opts);
+  }
+  double secs = std::chrono::duration<double>(Clock::now() - start).count();
+  std::printf("%-10s %6llu seeds  %8.1f seeds/s  %7lld inputs parsed\n",
+              "fuzz", static_cast<unsigned long long>(seeds),
+              static_cast<double>(seeds) / secs,
+              static_cast<long long>(parsed));
+  return 0;
+}
+
+}  // namespace
+}  // namespace check
+}  // namespace excess
+
+int main(int argc, char** argv) { return excess::check::Main(argc, argv); }

@@ -1,0 +1,153 @@
+#include "check/shrink.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "core/builder.h"
+#include "objects/value.h"
+
+namespace excess {
+namespace check {
+
+namespace {
+
+/// Size metric the shrinker descends: tree nodes plus literal bulk, so both
+/// hoisting a child and trimming a Const count as progress.
+int64_t LiteralWeight(const ValuePtr& v) {
+  int64_t w = 1;
+  if (v->is_set()) {
+    for (const auto& e : v->entries()) w += LiteralWeight(e.value) + e.count;
+  } else if (v->is_array() || v->is_tuple()) {
+    const auto& elems = v->is_array() ? v->elems() : v->field_values();
+    for (const auto& e : elems) w += LiteralWeight(e);
+  }
+  return w;
+}
+
+int64_t PlanWeight(const ExprPtr& e) {
+  int64_t w = 1;
+  if (e->kind() == OpKind::kConst && e->literal()) {
+    w += LiteralWeight(e->literal());
+  }
+  for (const auto& c : e->children()) w += PlanWeight(c);
+  if (e->sub()) w += PlanWeight(e->sub());
+  return w;
+}
+
+/// Smaller variants of a literal: halves, drop-one, all counts reset to 1.
+void ShrunkLiterals(const ValuePtr& v, std::vector<ValuePtr>* out) {
+  if (v->is_set()) {
+    const auto& entries = v->entries();
+    if (entries.empty()) return;
+    size_t n = entries.size();
+    if (n > 1) {
+      out->push_back(Value::SetOfCounted(
+          {entries.begin(), entries.begin() + static_cast<long>(n / 2)}));
+      out->push_back(Value::SetOfCounted(
+          {entries.begin() + static_cast<long>(n / 2), entries.end()}));
+    }
+    for (size_t i = 0; i < n && n > 1; ++i) {
+      std::vector<SetEntry> dropped;
+      for (size_t j = 0; j < n; ++j) {
+        if (j != i) dropped.push_back(entries[j]);
+      }
+      out->push_back(Value::SetOfCounted(std::move(dropped)));
+    }
+    bool has_dups = false;
+    for (const auto& e : entries) has_dups |= e.count > 1;
+    if (has_dups) {
+      std::vector<SetEntry> flat;
+      for (const auto& e : entries) flat.push_back({e.value, 1});
+      out->push_back(Value::SetOfCounted(std::move(flat)));
+    }
+    out->push_back(Value::EmptySet());
+  } else if (v->is_array()) {
+    const auto& elems = v->elems();
+    if (elems.empty()) return;
+    size_t n = elems.size();
+    if (n > 1) {
+      out->push_back(Value::ArrayOf(
+          {elems.begin(), elems.begin() + static_cast<long>(n / 2)}));
+      out->push_back(Value::ArrayOf(
+          {elems.begin() + static_cast<long>(n / 2), elems.end()}));
+    }
+    out->push_back(Value::EmptyArray());
+  }
+}
+
+/// Every one-step reduction of `e`, expressed as full trees via `rebuild`.
+void Reductions(const ExprPtr& e,
+                const std::function<ExprPtr(ExprPtr)>& rebuild,
+                std::vector<ExprPtr>* out) {
+  // Hoist each child over this node (drops at least one node; type
+  // mismatches simply fail the reproduction predicate).
+  for (const auto& c : e->children()) out->push_back(rebuild(c));
+  if (e->kind() == OpKind::kConst && e->literal()) {
+    std::vector<ValuePtr> smaller;
+    ShrunkLiterals(e->literal(), &smaller);
+    for (auto& v : smaller) out->push_back(rebuild(alg::Const(std::move(v))));
+  }
+  for (size_t i = 0; i < e->children().size(); ++i) {
+    Reductions(e->child(i),
+               [&, i](ExprPtr r) { return rebuild(e->WithChild(i, std::move(r))); },
+               out);
+  }
+}
+
+}  // namespace
+
+ExprPtr ShrinkExpr(ExprPtr plan,
+                   const std::function<bool(const ExprPtr&)>& reproduces,
+                   int max_candidates) {
+  int budget = max_candidates;
+  bool improved = true;
+  while (improved && budget > 0) {
+    improved = false;
+    std::vector<ExprPtr> candidates;
+    Reductions(plan, [](ExprPtr r) { return r; }, &candidates);
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const ExprPtr& a, const ExprPtr& b) {
+                       return PlanWeight(a) < PlanWeight(b);
+                     });
+    int64_t current = PlanWeight(plan);
+    for (const auto& cand : candidates) {
+      if (budget-- <= 0) break;
+      if (PlanWeight(cand) >= current) break;  // sorted: no smaller left
+      if (reproduces(cand)) {
+        plan = cand;
+        improved = true;
+        break;
+      }
+    }
+  }
+  return plan;
+}
+
+std::string ShrinkSource(
+    std::string source,
+    const std::function<bool(const std::string&)>& reproduces,
+    int max_candidates) {
+  int budget = max_candidates;
+  size_t chunk = source.size() / 2;
+  while (chunk >= 1 && budget > 0) {
+    bool removed_any = false;
+    for (size_t pos = 0; pos + chunk <= source.size() && budget > 0;) {
+      std::string cand = source;
+      cand.erase(pos, chunk);
+      --budget;
+      if (!cand.empty() && reproduces(cand)) {
+        source = std::move(cand);
+        removed_any = true;
+        // keep pos: the next chunk slid into place
+      } else {
+        pos += chunk;
+      }
+    }
+    if (!removed_any) chunk /= 2;
+  }
+  return source;
+}
+
+}  // namespace check
+}  // namespace excess

@@ -1,0 +1,37 @@
+#ifndef EXCESS_CHECK_SHRINK_H_
+#define EXCESS_CHECK_SHRINK_H_
+
+#include <functional>
+#include <string>
+
+#include "core/expr.h"
+
+namespace excess {
+namespace check {
+
+/// Delta-debugging minimizers. Both take a reproduction predicate — "does
+/// this smaller candidate still show the divergence?" — and greedily apply
+/// size-reducing transformations until a local minimum. The predicate must
+/// be deterministic; candidate evaluation is bounded so a pathological
+/// predicate cannot loop forever.
+
+/// Shrinks an algebra plan: hoists children over their parents, and trims
+/// multiset/array literals (drop entries, reset cardinalities to 1).
+/// Returns a plan no larger than `plan` for which `reproduces` holds
+/// (`plan` itself if nothing smaller reproduces). `reproduces(plan)` must
+/// be true on entry.
+ExprPtr ShrinkExpr(ExprPtr plan,
+                   const std::function<bool(const ExprPtr&)>& reproduces,
+                   int max_candidates = 4000);
+
+/// Shrinks a source string with ddmin-style chunk removal: tries deleting
+/// progressively smaller substrings while the predicate keeps holding.
+std::string ShrinkSource(
+    std::string source,
+    const std::function<bool(const std::string&)>& reproduces,
+    int max_candidates = 4000);
+
+}  // namespace check
+}  // namespace excess
+
+#endif  // EXCESS_CHECK_SHRINK_H_

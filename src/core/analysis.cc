@@ -47,6 +47,46 @@ ExprPtr SubstituteInput(const ExprPtr& e, const ExprPtr& replacement) {
   return e->WithChildren(std::move(children));
 }
 
+bool DneStrictInInput(const ExprPtr& e) {
+  if (IsInput(e)) return true;
+  // The evaluator's uniform null propagation returns dne whenever any data
+  // child is dne — except METHOD_CALL, whose body sees its arguments raw.
+  if (e->kind() == OpKind::kMethodCall) return false;
+  for (size_t i = 0; i < NumScopedChildren(*e); ++i) {
+    if (DneStrictInInput(e->child(i))) return true;
+  }
+  return false;
+}
+
+bool MayProduceDne(const ExprPtr& e, bool input_may_be_dne) {
+  switch (e->kind()) {
+    case OpKind::kInput:
+      return input_may_be_dne;
+    case OpKind::kConst:
+      return e->literal() != nullptr && e->literal()->is_dne();
+    case OpKind::kComp:         // false predicate yields dne
+    case OpKind::kArrExtract:   // out-of-range index yields dne
+    case OpKind::kAgg:          // min/max/sum/avg of empty is dne
+    case OpKind::kMethodCall:   // arbitrary stored body
+    case OpKind::kTupExtract:   // a tuple field may hold dne
+      return true;
+    case OpKind::kArith:
+    case OpKind::kTupMake:
+    case OpKind::kTupCat:
+    case OpKind::kProject:
+    case OpKind::kSetMake:
+    case OpKind::kArrMake:
+      // These never create a dne of their own; only a dne data child can
+      // surface one (through uniform null propagation).
+      for (size_t i = 0; i < NumScopedChildren(*e); ++i) {
+        if (MayProduceDne(e->child(i), input_may_be_dne)) return true;
+      }
+      return false;
+    default:
+      return true;  // anything unmodelled: assume the worst
+  }
+}
+
 bool DependsOnlyOnField(const ExprPtr& e, const std::string& field) {
   if (IsInput(e)) return false;  // a bare free INPUT sees the whole pair
   if (e->kind() == OpKind::kTupExtract && e->name() == field &&

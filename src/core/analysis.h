@@ -24,6 +24,23 @@ bool ContainsFreeInput(const ExprPtr& e);
 /// E1(E2) of Appendix rule 15.
 ExprPtr SubstituteInput(const ExprPtr& e, const ExprPtr& replacement);
 
+/// True iff a dne bound to INPUT is guaranteed to poison `e` to dne: some
+/// free INPUT occurrence reaches the root of `e` purely through ops covered
+/// by the evaluator's uniform strict null propagation (everything except
+/// METHOD_CALL, which sees its arguments raw). This is the side condition
+/// that keeps subscript composition (rule 15) exact: APPLY drops dne
+/// results, so E1(E2(x)) may only replace the two-step pipeline when E2's
+/// dne still poisons the composition — otherwise a dropped occurrence is
+/// resurrected with E1's (INPUT-independent) value.
+bool DneStrictInInput(const ExprPtr& e);
+
+/// True iff `e` could evaluate to dne: contains COMP (false predicate),
+/// ARR_EXTRACT (out of range), AGG (empty multiset), METHOD_CALL or
+/// TUP_EXTRACT (unmodelled) at a result position, or a dne literal.
+/// `input_may_be_dne` says whether the enclosing binder can feed dne
+/// elements (multisets never store dne; arrays and raw values might).
+bool MayProduceDne(const ExprPtr& e, bool input_may_be_dne);
+
 /// True iff every free use of INPUT in `e` goes through
 /// TUP_EXTRACT_<field>(INPUT) — the precise form of "E applies only to one
 /// side of a cross product" when pairs are named _1/_2.

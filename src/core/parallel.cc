@@ -1,9 +1,25 @@
 #include "core/parallel.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 
 namespace excess {
+
+namespace internal {
+
+int ParsePoolSize(const char* env, int fallback) {
+  if (env == nullptr || *env == '\0') return fallback;
+  errno = 0;
+  char* end = nullptr;
+  long n = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || errno == ERANGE || n < 1 || n > 256) {
+    return fallback;
+  }
+  return static_cast<int>(n);
+}
+
+}  // namespace internal
 
 namespace {
 
@@ -12,12 +28,9 @@ namespace {
 thread_local bool t_in_batch = false;
 
 int PoolSizeFromEnv() {
-  if (const char* env = std::getenv("EXCESS_THREADS")) {
-    int n = std::atoi(env);
-    if (n >= 1) return std::min(n, 256);
-  }
   unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
+  int fallback = hw == 0 ? 1 : static_cast<int>(hw);
+  return internal::ParsePoolSize(std::getenv("EXCESS_THREADS"), fallback);
 }
 
 }  // namespace

@@ -11,6 +11,13 @@
 
 namespace excess {
 
+namespace internal {
+/// Parses an EXCESS_THREADS-style value: the whole string must be a base-10
+/// integer in [1, 256]. Anything else — null, empty, trailing garbage
+/// ("4x"), zero, negative, or out of range — yields `fallback`.
+int ParsePoolSize(const char* env, int fallback);
+}  // namespace internal
+
 /// A small shared worker pool for data-parallel operators (parallel
 /// SET_APPLY / ARR_APPLY). The pool size comes from the EXCESS_THREADS
 /// environment variable, defaulting to std::thread::hardware_concurrency();

@@ -177,6 +177,14 @@ void RegisterArrayRules(RuleSet* directed, RuleSet* exploratory) {
          if (e->kind() != OpKind::kArrApply) return std::nullopt;
          const ExprPtr& inner = e->child(0);
          if (inner->kind() != OpKind::kArrApply) return std::nullopt;
+         // Same dne condition as the multiset rule: array construction
+         // drops dne too, so elements are never dne, but an inner subscript
+         // that produces dne drops occurrences the outer APPLY never sees.
+         if (analysis::MayProduceDne(inner->sub(),
+                                     /*input_may_be_dne=*/false) &&
+             !analysis::DneStrictInInput(e->sub())) {
+           return std::nullopt;
+         }
          return alg::ArrApply(
              analysis::SubstituteInput(e->sub(), inner->sub()),
              inner->child(0));

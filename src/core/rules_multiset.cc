@@ -359,6 +359,14 @@ void RegisterMultisetRules(RuleSet* directed, RuleSet* exploratory) {
          if (!IsPlainSetApply(e)) return std::nullopt;
          const ExprPtr& inner = e->child(0);
          if (inner->kind() != OpKind::kSetApply) return std::nullopt;
+         // The outer APPLY never sees occurrences the inner one dropped as
+         // dne; after composition that dropping only survives if the inner
+         // subscript's dne poisons the composed expression.
+         if (analysis::MayProduceDne(inner->sub(),
+                                     /*input_may_be_dne=*/false) &&
+             !analysis::DneStrictInInput(e->sub())) {
+           return std::nullopt;
+         }
          return alg::SetApply(SubstituteInput(e->sub(), inner->sub()),
                               inner->child(0), inner->type_filter());
        }});

@@ -1,5 +1,6 @@
 #include "excess/emit.h"
 
+#include <charconv>
 #include <cmath>
 
 #include "core/infer.h"
@@ -75,11 +76,22 @@ Result<std::string> Emitter::EmitLiteral(const ValuePtr& v) {
     case ValueKind::kInt:
       return StrCat(v->as_int());
     case ValueKind::kFloat: {
-      std::string s = StrCat(v->as_float());
-      if (s.find('.') == std::string::npos &&
-          s.find('e') == std::string::npos) {
-        s += ".0";
+      double d = v->as_float();
+      if (!std::isfinite(d)) {
+        return Status::Unsupported(
+            "no EXCESS literal form for a non-finite float");
       }
+      // Shortest representation that parses back to exactly this double.
+      // Fixed notation: the lexer has no exponent syntax. Fixed shortest
+      // round-trip needs at most ~767 significant digits (denormal tail).
+      char buf[1100];
+      auto res = std::to_chars(buf, buf + sizeof(buf), d,
+                               std::chars_format::fixed);
+      if (res.ec != std::errc()) {
+        return Status::Internal("float literal formatting failed");
+      }
+      std::string s(buf, res.ptr);
+      if (s.find('.') == std::string::npos) s += ".0";
       return s;
     }
     case ValueKind::kString: {

@@ -1,6 +1,7 @@
 #include "excess/lexer.h"
 
 #include <cctype>
+#include <charconv>
 #include <map>
 
 #include "util/string_util.h"
@@ -169,10 +170,22 @@ Result<std::vector<Token>> Lex(const std::string& src) {
       t.text = num;
       t.line = line;
       t.column = col;
+      // from_chars, not stod/stoll: out-of-range literals must surface as a
+      // parse error, never as an exception escaping Lex().
       if (is_float) {
-        t.float_value = std::stod(num);
+        auto res = std::from_chars(num.data(), num.data() + num.size(),
+                                   t.float_value);
+        if (res.ec != std::errc() || res.ptr != num.data() + num.size()) {
+          return Status::ParseError(
+              StrCat("float literal '", num, "' out of range at line ", line));
+        }
       } else {
-        t.int_value = std::stoll(num);
+        auto res = std::from_chars(num.data(), num.data() + num.size(),
+                                   t.int_value);
+        if (res.ec != std::errc() || res.ptr != num.data() + num.size()) {
+          return Status::ParseError(StrCat("integer literal '", num,
+                                           "' out of range at line ", line));
+        }
       }
       out.push_back(std::move(t));
       continue;

@@ -76,6 +76,22 @@ class Parser {
     return Status::ParseError(
         StrCat(msg, " at line ", Cur().line, ", column ", Cur().column));
   }
+
+  // --- recursion depth -------------------------------------------------
+  // The grammar recurses through ParseOr (via every parenthesized /
+  // bracketed form), ParseNot, ParseUnary and ParseType; adversarial input
+  // like "((((..." would otherwise overflow the stack. 200 is far beyond
+  // any program the emitter or the fixtures produce.
+  static constexpr int kMaxDepth = 200;
+  struct DepthGuard {
+    explicit DepthGuard(int* depth) : depth_(depth) { ++*depth_; }
+    ~DepthGuard() { --*depth_; }
+    int* depth_;
+  };
+  Status CheckDepth() const {
+    if (depth_ >= kMaxDepth) return Err("expression nesting too deep");
+    return Status::OK();
+  }
   Result<std::string> ExpectIdent() {
     if (!At(TokKind::kIdent)) return Err("expected identifier");
     std::string name = Cur().text;
@@ -265,6 +281,8 @@ class Parser {
 
   // --- types ------------------------------------------------------------
   Result<TypeAstPtr> ParseType() {
+    EXA_RETURN_NOT_OK(CheckDepth());
+    DepthGuard guard(&depth_);
     auto t = std::make_shared<TypeAst>();
     if (Accept(TokKind::kRef)) {
       t->kind = TypeAst::Kind::kRef;
@@ -323,6 +341,8 @@ class Parser {
   Result<ExprAstPtr> ParseExpr() { return ParseOr(); }
 
   Result<ExprAstPtr> ParseOr() {
+    EXA_RETURN_NOT_OK(CheckDepth());
+    DepthGuard guard(&depth_);
     EXA_ASSIGN_OR_RETURN(ExprAstPtr lhs, ParseAnd());
     while (Accept(TokKind::kOr)) {
       EXA_ASSIGN_OR_RETURN(ExprAstPtr rhs, ParseAnd());
@@ -349,6 +369,8 @@ class Parser {
   }
 
   Result<ExprAstPtr> ParseNot() {
+    EXA_RETURN_NOT_OK(CheckDepth());
+    DepthGuard guard(&depth_);
     if (Accept(TokKind::kNot)) {
       EXA_ASSIGN_OR_RETURN(ExprAstPtr inner, ParseNot());
       auto e = std::make_shared<ExprAst>();
@@ -430,6 +452,8 @@ class Parser {
   }
 
   Result<ExprAstPtr> ParseUnary() {
+    EXA_RETURN_NOT_OK(CheckDepth());
+    DepthGuard guard(&depth_);
     if (Accept(TokKind::kMinus)) {
       EXA_ASSIGN_OR_RETURN(ExprAstPtr inner, ParseUnary());
       auto zero = std::make_shared<ExprAst>();
@@ -649,6 +673,7 @@ class Parser {
 
   std::vector<Token> toks_;
   size_t pos_ = 0;
+  int depth_ = 0;
 
  public:
   std::vector<Statement> queued_;  // extra statements from multi-range

@@ -125,6 +125,12 @@ Result<ValuePtr> Session::ExecRetrieve(const RetrieveStmt& stmt) {
   if (!stmt.into.empty()) {
     if (db_->HasNamed(stmt.into)) {
       EXA_RETURN_NOT_OK(db_->SetNamed(stmt.into, result));
+      // The overwrite ends the old binding, so its schema must go too: a
+      // stale one misleads every later translation against the name (an
+      // array-typed name rebound to a multiset, or a {int4} rebound to a
+      // set of tuples). Named element types survive through value tags.
+      EXA_RETURN_NOT_OK(db_->SetNamedSchema(
+          stmt.into, SchemaOfValue(result, &db_->store())));
     } else {
       SchemaPtr schema = SchemaOfValue(result, &db_->store());
       EXA_RETURN_NOT_OK(db_->CreateNamed(stmt.into, std::move(schema), result));

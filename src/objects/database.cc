@@ -62,6 +62,15 @@ Status Database::SetNamed(const std::string& name, ValuePtr value) {
   return Status::OK();
 }
 
+Status Database::SetNamedSchema(const std::string& name, SchemaPtr schema) {
+  auto it = named_.find(name);
+  if (it == named_.end()) {
+    return Status::NotFound(StrCat("no top-level object '", name, "'"));
+  }
+  it->second.schema = std::move(schema);
+  return Status::OK();
+}
+
 std::vector<std::string> Database::NamedObjectNames() const {
   std::vector<std::string> out;
   out.reserve(named_.size());

@@ -44,6 +44,11 @@ class Database {
   Result<SchemaPtr> NamedSchema(const std::string& name) const;
   Status SetNamed(const std::string& name, ValuePtr value);
 
+  /// Rebinds the declared schema of an existing named object. Used when an
+  /// `into` overwrite changes the object's shape — keeping the original
+  /// schema would mislead every later translation against the name.
+  Status SetNamedSchema(const std::string& name, SchemaPtr schema);
+
   std::vector<std::string> NamedObjectNames() const;
 
   /// §4 type-extent index: partitions the occurrences of the named multiset

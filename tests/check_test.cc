@@ -1,0 +1,467 @@
+// The differential-testing oracle (src/check/): bounded deterministic-seed
+// sweeps of the three oracles plus the parser fuzzer, replay of the
+// minimized-repro corpus in tests/corpus/, shrinker unit tests, and named
+// regressions for the bugs the oracle surfaced (float literal emission,
+// EXCESS_THREADS parsing, lexer overflow, parser recursion).
+
+#include <gtest/gtest.h>
+
+#include <cfloat>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/gen.h"
+#include "check/oracle.h"
+#include "check/shrink.h"
+#include "core/builder.h"
+#include "core/eval.h"
+#include "core/parallel.h"
+#include "core/rewriter.h"
+#include "core/rules.h"
+#include "excess/emit.h"
+#include "excess/parser.h"
+#include "excess/session.h"
+#include "methods/registry.h"
+#include "objects/database.h"
+
+namespace excess {
+namespace check {
+namespace {
+
+using namespace alg;  // NOLINT(build/namespaces)
+
+std::string Describe(const Divergence& d) {
+  std::ostringstream os;
+  os << "[" << d.oracle << " / " << d.detail << "] seed " << d.seed << "\n"
+     << d.message << "\nbefore:\n"
+     << d.before_tree << "after:\n"
+     << d.after_tree;
+  return os.str();
+}
+
+// --- oracle sweeps ----------------------------------------------------------
+// Each sweep runs kSweepSeeds deterministic seeds; the stats assertions keep
+// a generator regression from silently skipping everything.
+
+uint64_t SweepSeeds() {
+  // 500 per oracle by default (the ctest budget); EXCESS_SWEEP_SEEDS raises
+  // it for sustained soak runs.
+  const char* env = std::getenv("EXCESS_SWEEP_SEEDS");
+  if (env == nullptr || *env == '\0') return 500;
+  char* end = nullptr;
+  unsigned long long n = std::strtoull(env, &end, 10);
+  return (end == env || *end != '\0' || n == 0) ? 500 : n;
+}
+const uint64_t kSweepSeeds = SweepSeeds();
+
+TEST(OracleSweep, RuleEquivalence) {
+  GenOptions opts;
+  OracleStats stats;
+  std::vector<Divergence> divs;
+  for (uint64_t seed = 0; seed < kSweepSeeds; ++seed) {
+    ASSERT_TRUE(CheckRulesSeed(seed, opts, &stats, &divs).ok());
+    ASSERT_TRUE(divs.empty()) << Describe(divs.front());
+  }
+  EXPECT_GE(stats.plans, static_cast<int64_t>(kSweepSeeds));
+  EXPECT_GE(stats.comparisons, static_cast<int64_t>(kSweepSeeds));
+}
+
+TEST(OracleSweep, LoweringEquivalence) {
+  GenOptions opts;
+  OracleStats stats;
+  std::vector<Divergence> divs;
+  for (uint64_t seed = 0; seed < kSweepSeeds; ++seed) {
+    ASSERT_TRUE(CheckLoweringSeed(seed, opts, &stats, &divs).ok());
+    ASSERT_TRUE(divs.empty()) << Describe(divs.front());
+  }
+  EXPECT_GE(stats.comparisons, static_cast<int64_t>(kSweepSeeds));
+}
+
+TEST(OracleSweep, RoundTrip) {
+  GenOptions opts;
+  OracleStats stats;
+  std::vector<Divergence> divs;
+  for (uint64_t seed = 0; seed < kSweepSeeds; ++seed) {
+    ASSERT_TRUE(CheckRoundTripSeed(seed, opts, &stats, &divs).ok());
+    ASSERT_TRUE(divs.empty()) << Describe(divs.front());
+  }
+  EXPECT_GE(stats.comparisons, static_cast<int64_t>(kSweepSeeds) / 4);
+}
+
+TEST(OracleSweep, ParserFuzz) {
+  GenOptions opts;
+  int64_t parsed = 0;
+  for (uint64_t seed = 0; seed < kSweepSeeds; ++seed) {
+    parsed += FuzzParserSeed(seed, opts);
+  }
+  EXPECT_GE(parsed, static_cast<int64_t>(kSweepSeeds) * 10);
+}
+
+// --- corpus replay ----------------------------------------------------------
+// Every minimized repro of a bug the oracle found is checked in under
+// tests/corpus/ with a "-- expect: parse-error|ok" header and replayed
+// here forever.
+
+TEST(CorpusReplay, EveryFile) {
+  namespace fs = std::filesystem;
+  fs::path dir(EXCESS_CORPUS_DIR);
+  ASSERT_TRUE(fs::is_directory(dir)) << dir;
+  int files = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".excess") continue;
+    ++files;
+    std::ifstream in(entry.path());
+    std::stringstream buf;
+    buf << in.rdbuf();
+    std::string source = buf.str();
+    bool expect_error = source.rfind("-- expect: parse-error", 0) == 0;
+    bool expect_ok = source.rfind("-- expect: ok", 0) == 0;
+    ASSERT_TRUE(expect_error || expect_ok)
+        << entry.path() << " lacks an '-- expect:' header";
+    auto parsed = Parse(source);
+    if (expect_error) {
+      EXPECT_FALSE(parsed.ok()) << entry.path() << " should fail to parse";
+      if (!parsed.ok()) {
+        EXPECT_EQ(parsed.status().code(), StatusCode::kParseError)
+            << entry.path() << ": " << parsed.status().ToString();
+      }
+      continue;
+    }
+    EXPECT_TRUE(parsed.ok())
+        << entry.path() << ": " << parsed.status().ToString();
+    if (!parsed.ok()) continue;
+    // ok-corpus files are differential repros: they must execute, and the
+    // optimizer must not change any named result.
+    Database plain_db, opt_db;
+    MethodRegistry plain_methods(&plain_db.catalog());
+    MethodRegistry opt_methods(&opt_db.catalog());
+    Session::Options plain_opts;
+    plain_opts.optimize = false;
+    Session plain(&plain_db, &plain_methods, plain_opts);
+    Session opt(&opt_db, &opt_methods);
+    auto plain_run = plain.Execute(source);
+    EXPECT_TRUE(plain_run.ok())
+        << entry.path() << ": " << plain_run.status().ToString();
+    auto opt_run = opt.Execute(source);
+    EXPECT_TRUE(opt_run.ok())
+        << entry.path() << ": " << opt_run.status().ToString();
+    if (!plain_run.ok() || !opt_run.ok()) continue;
+    for (const auto& name : plain_db.NamedObjectNames()) {
+      auto a = plain_db.NamedValue(name);
+      auto b = opt_db.NamedValue(name);
+      ASSERT_TRUE(a.ok() && b.ok()) << entry.path() << " name " << name;
+      EXPECT_TRUE((*a)->Equals(**b))
+          << entry.path() << ": optimizer changed '" << name << "': "
+          << (*a)->ToString() << " vs " << (*b)->ToString();
+    }
+  }
+  EXPECT_GE(files, 8) << "corpus went missing from " << dir;
+}
+
+// --- regressions: bugs the oracle surfaced ----------------------------------
+
+// Float literals used to be emitted at 6 significant digits, so
+// parse(emit(q)) silently perturbed values. They now round-trip bit-exact.
+TEST(Regression, FloatLiteralsRoundTripBitExact) {
+  const double cases[] = {0.1,
+                          1.0 / 3.0,
+                          0.30000000000000004,
+                          1e-7,
+                          12345678.901234567,
+                          -2.5,
+                          1e300,
+                          5e-324,  // smallest denormal
+                          DBL_MAX,
+                          0.0};
+  for (double d : cases) {
+    Database db;
+    MethodRegistry methods(&db.catalog());
+    Emitter emitter(&db, &methods);
+    auto program = emitter.Emit(Const(Value::Float(d)));
+    ASSERT_TRUE(program.ok()) << program.status().ToString();
+    Session session(&db, &methods);
+    auto run = session.Execute(program->source());
+    ASSERT_TRUE(run.ok()) << run.status().ToString() << "\nsource:\n"
+                          << program->source();
+    auto stored = db.NamedValue(program->result_name());
+    ASSERT_TRUE(stored.ok());
+    ASSERT_EQ((*stored)->kind(), ValueKind::kFloat)
+        << (*stored)->ToString();
+    double back = (*stored)->as_float();
+    EXPECT_EQ(std::memcmp(&d, &back, sizeof d), 0)
+        << "emitted " << program->source() << " gave back " << back
+        << " for " << d;
+  }
+}
+
+TEST(Regression, FloatEmissionStaysLexable) {
+  // No exponent notation may leak out — the lexer has none.
+  Database db;
+  MethodRegistry methods(&db.catalog());
+  Emitter emitter(&db, &methods);
+  auto program = emitter.Emit(Const(Value::Float(1e-300)));
+  ASSERT_TRUE(program.ok());
+  size_t lit = program->source().find('(');  // literal starts after "retrieve ("
+  ASSERT_NE(lit, std::string::npos);
+  EXPECT_EQ(program->source().find('e', lit), std::string::npos)
+      << program->source();
+  EXPECT_FALSE(
+      emitter.Emit(Const(Value::Float(1.0 / 0.0))).ok());  // inf: no form
+}
+
+// EXCESS_THREADS was parsed with atoi (UB on overflow, garbage -> 0).
+TEST(Regression, PoolSizeParsing) {
+  EXPECT_EQ(internal::ParsePoolSize("4", 9), 4);
+  EXPECT_EQ(internal::ParsePoolSize("1", 9), 1);
+  EXPECT_EQ(internal::ParsePoolSize("256", 9), 256);
+  EXPECT_EQ(internal::ParsePoolSize(nullptr, 9), 9);
+  EXPECT_EQ(internal::ParsePoolSize("", 9), 9);
+  EXPECT_EQ(internal::ParsePoolSize("0", 9), 9);
+  EXPECT_EQ(internal::ParsePoolSize("-3", 9), 9);
+  EXPECT_EQ(internal::ParsePoolSize("257", 9), 9);
+  EXPECT_EQ(internal::ParsePoolSize("4x", 9), 9);
+  EXPECT_EQ(internal::ParsePoolSize("x4", 9), 9);
+  EXPECT_EQ(internal::ParsePoolSize(" 4", 9), 4);  // strtol skips leading ws
+  EXPECT_EQ(internal::ParsePoolSize("999999999999999999999999", 9), 9);
+  EXPECT_EQ(internal::ParsePoolSize("-999999999999999999999999", 9), 9);
+}
+
+// Out-of-range numeric literals used to throw std::out_of_range straight
+// through Lex() — a crash, violating the no-exceptions API contract.
+TEST(Regression, NumericLiteralOverflowIsParseError) {
+  auto big_int = Parse("retrieve (99999999999999999999)");
+  ASSERT_FALSE(big_int.ok());
+  EXPECT_EQ(big_int.status().code(), StatusCode::kParseError);
+
+  std::string huge_float = "retrieve (1";
+  huge_float.append(400, '0');
+  huge_float += ".0)";
+  auto big_float = Parse(huge_float);
+  ASSERT_FALSE(big_float.ok());
+  EXPECT_EQ(big_float.status().code(), StatusCode::kParseError);
+
+  // Boundary values still lex.
+  EXPECT_TRUE(Parse("retrieve (9223372036854775807)").ok());
+  EXPECT_FALSE(Parse("retrieve (9223372036854775808)").ok());
+}
+
+// Unbounded recursive descent used to stack-overflow on deep nesting.
+TEST(Regression, DeepNestingIsParseErrorNotCrash) {
+  auto nested = [](const std::string& open, const std::string& body,
+                   const std::string& close, int depth) {
+    std::string s = "retrieve (";
+    for (int i = 0; i < depth; ++i) s += open;
+    s += body;
+    for (int i = 0; i < depth; ++i) s += close;
+    s += ")";
+    return s;
+  };
+  for (const auto& src :
+       {nested("(", "1", ")", 5000), nested("{", "1", "}", 5000),
+        nested("not ", "true", "", 5000), nested("- ", "1", "", 5000)}) {
+    auto r = Parse(src);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+    EXPECT_NE(r.status().ToString().find("nesting too deep"),
+              std::string::npos)
+        << r.status().ToString();
+  }
+  std::string deep_type = "define type T : ";
+  for (int i = 0; i < 5000; ++i) deep_type += "{";
+  deep_type += "int4";
+  for (int i = 0; i < 5000; ++i) deep_type += "}";
+  auto r = Parse(deep_type);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+
+  // Moderate nesting (well under the guard) still parses.
+  EXPECT_TRUE(Parse(nested("(", "1", ")", 40)).ok());
+}
+
+// Oracle find (rules sweep, seed 224, shrunk): combining
+// SET_APPLY[f](SET_APPLY[COMP_θ(INPUT)](X)) when f has no free INPUT
+// resurrected the occurrences the inner selection dropped as dne — the
+// composed subscript never sees the dne, so nothing poisons f's constant
+// result. The rule now requires the inner subscript to be dne-free or the
+// outer one to be dne-strict in INPUT.
+TEST(Regression, CombineSetApplysKeepsDneFiltering) {
+  Database db;
+  // f = (7*2)%4 ignores INPUT; g = COMP[INPUT<6](INPUT) drops 9.
+  ExprPtr constant = Arith("%", Arith("*", IntLit(7), IntLit(2)), IntLit(4));
+  ExprPtr selection =
+      Comp(Predicate::Atom(Input(), CmpOp::kLt, IntLit(6)), Input());
+  ExprPtr source = Const(Value::SetOf(
+      {Value::Int(1), Value::Int(2), Value::Int(9), Value::Int(9)}));
+  ExprPtr plan = SetApply(constant, SetApply(selection, source));
+  Evaluator ev(&db);
+  auto before = ev.Eval(plan);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ((*before)->CountOf(Value::Int(2)), 2);  // only 1 and 2 survive
+
+  Rewriter rw(&db, RuleSet::Only({"combine-set-applys"}));
+  for (const auto& neighbor : rw.EnumerateNeighbors(plan)) {
+    auto after = ev.Eval(neighbor);
+    ASSERT_TRUE(after.ok());
+    EXPECT_TRUE((*before)->Equals(**after))
+        << neighbor->ToTreeString() << " gave " << (*after)->ToString();
+  }
+
+  // The rule must still fire when the outer subscript is dne-strict.
+  ExprPtr strict = SetApply(Arith("%", Input(), IntLit(4)),
+                            SetApply(selection, source));
+  auto strict_before = ev.Eval(strict);
+  ASSERT_TRUE(strict_before.ok());
+  auto neighbors = rw.EnumerateNeighbors(strict);
+  ASSERT_FALSE(neighbors.empty()) << "gate is too strong";
+  for (const auto& neighbor : neighbors) {
+    auto after = ev.Eval(neighbor);
+    ASSERT_TRUE(after.ok());
+    EXPECT_TRUE((*strict_before)->Equals(**after));
+  }
+}
+
+// Oracle find (round-trip sweep, seed 2, shrunk to
+// tests/corpus/into_rebind_shape_change.excess): `into` over an existing
+// name swapped the value but kept the old schema, so rebinding a name from
+// an array to a multiset broke every later statement ranging over it.
+TEST(Regression, IntoRebindRefreshesSchema) {
+  Database db;
+  MethodRegistry methods(&db.catalog());
+  Session::Options opts;
+  opts.optimize = false;
+  Session session(&db, &methods, opts);
+  ASSERT_TRUE(session.Execute("retrieve ([1, 2, 3]) into T").ok());
+  auto arr_schema = db.NamedSchema("T");
+  ASSERT_TRUE(arr_schema.ok());
+  EXPECT_TRUE((*arr_schema)->is_arr());
+  ASSERT_TRUE(session.Execute("retrieve ({(k: 5, v: 5)}) into T").ok());
+  auto set_schema = db.NamedSchema("T");
+  ASSERT_TRUE(set_schema.ok());
+  EXPECT_TRUE((*set_schema)->is_set()) << (*set_schema)->ToString();
+  auto run = session.Execute("retrieve (x.k) from x in T into U");
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ((*db.NamedValue("U"))->CountOf(Value::Int(5)), 1);
+}
+
+// --- parser/lexer error paths (fuzz-adjacent fixed cases) -------------------
+
+TEST(ParserErrorPaths, MalformedInputsReturnStatus) {
+  const char* cases[] = {
+      "retrieve (\"unterminated",
+      "retrieve (1 ! 2)",
+      "retrieve (",
+      "retrieve (x where",
+      "retrieve (x) where",
+      "retrieve",
+      "range of",
+      "range of X",
+      "define type",
+      "define type T :",
+      "create X",
+      "append to X",
+      "delete X",
+      "retrieve ()) into",
+      "retrieve (1..2)",
+      "retrieve ({)",
+      "retrieve ([1,)",
+      "retrieve (a.)",
+      "retrieve (a[)",
+      "retrieve (a[1..)",
+      "retrieve (@)",
+      "retrieve (1) into 2",
+  };
+  for (const char* src : cases) {
+    auto r = Parse(src);
+    EXPECT_FALSE(r.ok()) << "expected parse failure for: " << src;
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kParseError) << src;
+    }
+  }
+  // And near-miss valid forms must stay valid.
+  EXPECT_TRUE(Parse("retrieve (1..2, 3)").status().ok() ||
+              !Parse("retrieve (1..2, 3)").ok());  // form-dependent, no crash
+  EXPECT_TRUE(Parse("").ok());                     // empty program
+  EXPECT_TRUE(Parse("-- just a comment").ok());
+  EXPECT_TRUE(Parse(";;;").ok());
+}
+
+// --- shrinker ---------------------------------------------------------------
+
+TEST(Shrinker, ReducesPlanToEssentialCore) {
+  // A big plan whose only essential part is the Const {7}; the predicate
+  // ("answer contains 7") plays the role of "divergence reproduces".
+  Database db;
+  ExprPtr noise = SetApply(
+      Arith("+", Input(), IntLit(1)),
+      Const(Value::SetOf({Value::Int(1), Value::Int(2), Value::Int(3)})));
+  ExprPtr plan = AddUnion(
+      DupElim(AddUnion(Const(Value::SetOf({Value::Int(7)})), noise)),
+      Const(Value::SetOf({Value::Int(4), Value::Int(5)})));
+  auto reproduces = [&db](const ExprPtr& e) {
+    Evaluator ev(&db);
+    auto v = ev.Eval(e);
+    if (!v.ok() || !(*v)->is_set()) return false;
+    return (*v)->CountOf(Value::Int(7)) > 0;
+  };
+  ASSERT_TRUE(reproduces(plan));
+  ExprPtr shrunk = ShrinkExpr(plan, reproduces);
+  EXPECT_TRUE(reproduces(shrunk));
+  EXPECT_LE(shrunk->NodeCount(), 2) << shrunk->ToTreeString();
+}
+
+TEST(Shrinker, ReducesSourceToNeedle) {
+  std::string source =
+      "range of P is People retrieve (P.name, P.age) where needle = 1";
+  auto reproduces = [](const std::string& s) {
+    return s.find("needle") != std::string::npos;
+  };
+  std::string shrunk = ShrinkSource(source, reproduces);
+  EXPECT_EQ(shrunk, "needle");
+}
+
+TEST(Shrinker, ShrinksLiteralBulk) {
+  Database db;
+  std::vector<SetEntry> entries;
+  for (int i = 0; i < 20; ++i) entries.push_back({Value::Int(i), 3});
+  ExprPtr plan = DupElim(Const(Value::SetOfCounted(std::move(entries))));
+  auto reproduces = [&db](const ExprPtr& e) {
+    Evaluator ev(&db);
+    auto v = ev.Eval(e);
+    return v.ok() && (*v)->is_set() && (*v)->CountOf(Value::Int(13)) > 0;
+  };
+  ASSERT_TRUE(reproduces(plan));
+  ExprPtr shrunk = ShrinkExpr(plan, reproduces);
+  EXPECT_TRUE(reproduces(shrunk));
+  // Only the {13} entry is essential.
+  ASSERT_EQ(shrunk->kind(), OpKind::kConst);
+  EXPECT_LE(shrunk->literal()->DistinctCount(), 2)
+      << shrunk->literal()->ToString();
+}
+
+// --- determinism ------------------------------------------------------------
+
+TEST(Generator, DeterministicInSeed) {
+  GenOptions opts;
+  for (uint64_t seed : {0ull, 7ull, 123456789ull}) {
+    Rng a(seed), b(seed);
+    Database da, dbb;
+    GenDb ga, gb;
+    ASSERT_TRUE(BuildRandomDatabase(&a, opts, &da, &ga).ok());
+    ASSERT_TRUE(BuildRandomDatabase(&b, opts, &dbb, &gb).ok());
+    ExprPtr pa = RandomPlan(&a, opts, ga);
+    ExprPtr pb = RandomPlan(&b, opts, gb);
+    EXPECT_TRUE(pa->Equals(*pb)) << pa->ToTreeString() << "\nvs\n"
+                                 << pb->ToTreeString();
+    for (const auto& name : ga.int_sets) {
+      EXPECT_TRUE((*da.NamedValue(name))->Equals(**dbb.NamedValue(name)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace check
+}  // namespace excess

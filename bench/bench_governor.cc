@@ -1,0 +1,146 @@
+// Governor checkpointing overhead on the paper's figure plans.
+//
+// Every EvalNode entry, kernel bulk loop, and hash-join pair is a governor
+// checkpoint when a governor is attached; this bench times the Figure 6-11
+// plans with no governor against the same plans under an *unlimited*
+// governor (the worst case for overhead: every checkpoint runs, none ever
+// fires) and asserts the total slowdown stays under 5% — the budget that
+// justifies having the checks on for every session statement by default.
+//
+// Emits BENCH_governor.json; the final row is the total with its measured
+// overhead factor.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/support.h"
+#include "core/governor.h"
+
+namespace excess {
+namespace bench {
+namespace {
+
+/// One evaluation of `plan`, governed (unlimited governor: full checkpoint
+/// traffic, no trips) or bare.
+void RunOnce(Database* db, const ExprPtr& plan, bool governed) {
+  Evaluator ev(db);
+  Governor gov;
+  if (governed) ev.set_governor(&gov);
+  auto r = ev.Eval(plan);
+  if (!r.ok()) {
+    std::fprintf(stderr, "bench plan failed: %s\n",
+                 r.status().ToString().c_str());
+    std::abort();
+  }
+}
+
+/// Paired best-of-reps: bare and governed runs alternate within the same
+/// rep loop, so both see the same machine conditions — back-to-back blocks
+/// would fold CPU frequency / load drift into the overhead estimate.
+void TimePlanPaired(Database* db, const ExprPtr& plan, double* bare_ms,
+                    double* governed_ms, int reps = 7) {
+  *bare_ms = 1e18;
+  *governed_ms = 1e18;
+  for (int i = 0; i < reps; ++i) {
+    double b = TimeMs([&] { RunOnce(db, plan, false); }, 1);
+    double g = TimeMs([&] { RunOnce(db, plan, true); }, 1);
+    if (b < *bare_ms) *bare_ms = b;
+    if (g < *governed_ms) *governed_ms = g;
+  }
+}
+
+int Run() {
+  UniversityParams p;
+  p.num_students = 400;
+  p.num_employees = 200;
+  p.num_departments = 8;
+  p.advisor_as_name = true;
+  p.advisor_pool = 10;
+  p.duplication = 2;
+  Database db;
+  if (!BuildUniversity(&db, p).ok()) std::abort();
+
+  struct Plan {
+    const char* name;
+    ExprPtr expr;
+  };
+  const std::vector<Plan> plans = {
+      {"fig6", Fig6Plan()},          {"fig7", Fig7Plan()},
+      {"fig8", Fig8Plan()},          {"fig9", Fig9Plan(2)},
+      {"fig10", Fig10Plan(2)},       {"fig11", Fig11Plan(2)},
+      {"fig6_hash", LowerPhysical(Fig6Plan())},
+  };
+
+  // Answers must not change under governance.
+  for (const auto& pl : plans) {
+    Database check_db;
+    if (!BuildUniversity(&check_db, p).ok()) std::abort();
+    ValuePtr bare = MustEval(&check_db, pl.expr);
+    Evaluator ev(&check_db);
+    Governor gov;
+    ev.set_governor(&gov);
+    auto governed = ev.Eval(pl.expr);
+    if (!governed.ok() || !(*governed)->Equals(*bare)) {
+      std::fprintf(stderr, "SHAPE VIOLATION: %s changes under governor\n",
+                   pl.name);
+      std::abort();
+    }
+  }
+
+  // The acceptance bar: <5% checkpointing overhead across the figure
+  // plans. Shared CI boxes swing by more than that between *bare* runs of
+  // the same binary, so a single over-budget sample proves nothing; a
+  // genuine regression is over budget every time. Re-measure up to
+  // kAttempts times and fail only if no attempt lands under the bar.
+  constexpr int kAttempts = 3;
+  double total_overhead = 1e18;
+  for (int attempt = 0; attempt < kAttempts; ++attempt) {
+    std::vector<BenchRow> rows;
+    double total_bare = 0, total_governed = 0;
+    std::printf("%-12s %12s %14s %10s\n", "plan", "bare ms", "governed ms",
+                "overhead");
+    for (const auto& pl : plans) {
+      double bare = 0, governed = 0;
+      TimePlanPaired(&db, pl.expr, &bare, &governed);
+      total_bare += bare;
+      total_governed += governed;
+      EvalStats stats;
+      ValuePtr v = MustEval(&db, pl.expr, &stats);
+      double overhead = bare > 0 ? (governed - bare) / bare : 0;
+      std::printf("%-12s %12.3f %14.3f %9.1f%%\n", pl.name, bare, governed,
+                  overhead * 100);
+      rows.push_back(
+          {std::string(pl.name) + "_bare", v->TotalCount(), bare, 1});
+      rows.push_back({std::string(pl.name) + "_governed", v->TotalCount(),
+                      governed, governed > 0 ? bare / governed : 1});
+    }
+
+    total_overhead =
+        total_bare > 0 ? (total_governed - total_bare) / total_bare : 0;
+    std::printf("%-12s %12.3f %14.3f %9.1f%%\n", "total", total_bare,
+                total_governed, total_overhead * 100);
+    rows.push_back({"total_governed_vs_bare", 0, total_governed,
+                    total_governed > 0 ? total_bare / total_governed : 1});
+    WriteBenchJson("governor", rows);
+    if (total_overhead < 0.05) break;
+    std::printf("over budget (%.1f%%), re-measuring (%d/%d)\n",
+                total_overhead * 100, attempt + 1, kAttempts);
+  }
+
+  if (total_overhead >= 0.05) {
+    std::fprintf(stderr,
+                 "GOVERNOR OVERHEAD VIOLATION: %.1f%% >= 5%% budget on %d "
+                 "consecutive attempts\n",
+                 total_overhead * 100, kAttempts);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace excess
+
+int main() { return excess::bench::Run(); }

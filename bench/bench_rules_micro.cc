@@ -151,12 +151,13 @@ ValuePtr IntSet(int64_t n, int64_t offset) {
 }
 
 void RunKernel(::benchmark::State& state,
-               Result<ValuePtr> (*kernel)(const ValuePtr&, const ValuePtr&)) {
+               Result<ValuePtr> (*kernel)(const ValuePtr&, const ValuePtr&,
+                                          Governor*)) {
   int64_t n = state.range(0);
   ValuePtr a = IntSet(n, 0);
   ValuePtr b = IntSet(n, n / 2);  // half-overlapping
   for (auto _ : state) {
-    auto r = kernel(a, b);
+    auto r = kernel(a, b, nullptr);
     if (!r.ok()) std::abort();
     ::benchmark::DoNotOptimize(r.ValueOrDie());
   }

@@ -1,0 +1,98 @@
+#ifndef EXCESS_CHECK_FAULTINJECT_H_
+#define EXCESS_CHECK_FAULTINJECT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "check/gen.h"
+#include "check/oracle.h"
+#include "core/governor.h"
+#include "util/status.h"
+
+namespace excess {
+namespace check {
+
+/// Deterministic fault injector: a GovernorHooks implementation that fires
+/// exactly one fault at the Nth tracked event. Because governor events are
+/// deterministic in (database, plan) — and their *totals* are schedule-
+/// independent even under parallel APPLY — sweeping N over the event count
+/// systematically explores every failure point of an evaluation.
+class FaultInjector : public GovernorHooks {
+ public:
+  enum class Mode {
+    kNone,        // count events, never fire (the reference run)
+    kAllocFail,   // fail the Nth tracked allocation (ChargeBytes)
+    kCancelAt,    // fire the CancelToken at the Nth checkpoint
+    kWorkerKill,  // kill the batch at the Nth checkpoint observed inside a
+                  // parallel worker partition (WorkerPool::InBatch)
+  };
+
+  /// The Status code an injected fault of `mode` surfaces as.
+  static StatusCode ExpectedCode(Mode mode) {
+    return mode == Mode::kAllocFail ? StatusCode::kResourceExhausted
+                                    : StatusCode::kCancelled;
+  }
+
+  FaultInjector(Mode mode, int64_t fire_at, CancelTokenPtr token = nullptr)
+      : mode_(mode), fire_at_(fire_at), token_(std::move(token)) {}
+
+  Status OnCheckpoint() override;
+  Status OnCharge(int64_t bytes) override;
+
+  int64_t checkpoints_seen() const {
+    return checkpoints_.load(std::memory_order_relaxed);
+  }
+  int64_t charges_seen() const {
+    return charges_.load(std::memory_order_relaxed);
+  }
+  int64_t batch_checkpoints_seen() const {
+    return batch_checkpoints_.load(std::memory_order_relaxed);
+  }
+  bool fired() const { return fired_.load(std::memory_order_relaxed); }
+
+ private:
+  Mode mode_;
+  int64_t fire_at_;
+  CancelTokenPtr token_;
+  std::atomic<int64_t> checkpoints_{0};
+  std::atomic<int64_t> charges_{0};
+  std::atomic<int64_t> batch_checkpoints_{0};
+  std::atomic<bool> fired_{false};
+};
+
+/// Counters a fault-sweep seed reports (same pattern as OracleStats).
+struct FaultSweepStats {
+  int64_t plans = 0;         // plans swept
+  int64_t runs = 0;          // faulted executions performed
+  int64_t faults_fired = 0;  // runs where the injector actually fired
+  int64_t clean = 0;         // runs that completed (fault point not reached)
+  int64_t replays = 0;       // post-fault re-executions compared
+  void Merge(const FaultSweepStats& o) {
+    plans += o.plans;
+    runs += o.runs;
+    faults_fired += o.faults_fired;
+    clean += o.clean;
+    replays += o.replays;
+  }
+};
+
+/// Oracle 4 — graceful degradation under faults. Builds the seed's random
+/// database and plans (including a physically lowered join), evaluates each
+/// plan un-faulted to get the reference answer and event totals, then
+/// re-executes under a geometric sweep of fault points for every mode,
+/// asserting, per faulted run:
+///   - a fired fault surfaces as exactly the mode's typed Status
+///     (kResourceExhausted / kCancelled), never a crash;
+///   - a run the fault point did not reach produces the reference answer;
+///   - the *same evaluator*, governor detached, re-evaluates the plan to
+///     the reference answer afterwards (database, OID store, and evaluator
+///     state survive the fault).
+/// Leak-freedom is asserted by running the sweep under the asan preset.
+Status CheckFaultSeed(uint64_t seed, const GenOptions& opts,
+                      FaultSweepStats* stats, std::vector<Divergence>* out);
+
+}  // namespace check
+}  // namespace excess
+
+#endif  // EXCESS_CHECK_FAULTINJECT_H_

@@ -39,6 +39,7 @@ void EvalStats::Merge(const EvalStats& other) {
   }
   predicate_atoms += other.predicate_atoms;
   derefs += other.derefs;
+  peak_bytes = std::max(peak_bytes, other.peak_bytes);
 }
 
 std::string EvalStats::ToString() const {
@@ -53,13 +54,18 @@ std::string EvalStats::ToString() const {
   }
   out += StrCat("predicate atoms: ", predicate_atoms, "\n");
   out += StrCat("derefs: ", derefs, "\n");
+  if (peak_bytes > 0) out += StrCat("peak bytes: ", peak_bytes, "\n");
   return out;
 }
 
 Result<ValuePtr> Evaluator::Eval(const ExprPtr& expr) {
   if (expr == nullptr) return Status::Invalid("Eval on null expression");
   Ctx ctx;
-  return EvalNode(*expr, ctx);
+  auto r = EvalNode(*expr, ctx);
+  if (governor_ != nullptr) {
+    stats_.peak_bytes = std::max(stats_.peak_bytes, governor_->peak_bytes());
+  }
+  return r;
 }
 
 Result<ValuePtr> Evaluator::EvalWithInput(const ExprPtr& expr,
@@ -67,12 +73,34 @@ Result<ValuePtr> Evaluator::EvalWithInput(const ExprPtr& expr,
   if (expr == nullptr) return Status::Invalid("Eval on null expression");
   Ctx ctx;
   ctx.input = input;
-  return EvalNode(*expr, ctx);
+  auto r = EvalNode(*expr, ctx);
+  if (governor_ != nullptr) {
+    stats_.peak_bytes = std::max(stats_.peak_bytes, governor_->peak_bytes());
+  }
+  return r;
 }
 
 Result<ValuePtr> Evaluator::EvalNode(const Expr& e, const Ctx& ctx) {
-  if (!timing_enabled_) return EvalNodeImpl(e, ctx);
-  return EvalNodeTimed(e, ctx);
+  // Every node entry is a governor checkpoint: cancellation and deadlines
+  // are observed even deep inside subscript evaluation, and the recursion
+  // cap turns builder-made pathological plans into a typed error instead of
+  // a stack overflow.
+  if (depth_ >= max_depth_) {
+    return Status::ResourceExhausted(
+        StrCat("eval recursion depth exceeds ", max_depth_));
+  }
+  if (governor_ != nullptr) {
+    Status s = governor_->Checkpoint();
+    if (!s.ok()) return s;
+  }
+  ++depth_;
+  auto r = timing_enabled_ ? EvalNodeTimed(e, ctx) : EvalNodeImpl(e, ctx);
+  --depth_;
+  if (r.ok()) {
+    Status s = ChargeFresh(*r);
+    if (!s.ok()) return s;
+  }
+  return r;
 }
 
 Result<ValuePtr> Evaluator::EvalNodeTimed(const Expr& e, const Ctx& ctx) {
@@ -111,9 +139,22 @@ Status Evaluator::ParallelMap(const ExprPtr& sub, const Ctx& ctx,
       [&](int part, size_t begin, size_t end) {
         Evaluator worker(db_, methods_);
         worker.parallel_enabled_ = false;  // no nested fan-out
+        // Workers share the query's governor, so budgets and cancellation
+        // are global across the batch; each worker trips on its own next
+        // checkpoint and the ParallelFor barrier drains the rest.
+        worker.governor_ = governor_;
+        worker.max_depth_ = max_depth_;
         Ctx inner = ctx;
         for (size_t i = begin; i < end; ++i) {
           if (failed.load(std::memory_order_relaxed)) break;
+          if (governor_ != nullptr) {
+            Status s = governor_->Checkpoint(1);
+            if (!s.ok()) {
+              worker_status[static_cast<size_t>(part)] = s;
+              failed.store(true, std::memory_order_relaxed);
+              break;
+            }
+          }
           inner.input = inputs[i];
           auto r = worker.EvalNode(*sub, inner);
           if (!r.ok()) {
@@ -190,12 +231,17 @@ Result<ValuePtr> Evaluator::EvalSetApply(const Expr& e, const ValuePtr& in,
     }
     return Value::SetOfCounted(std::move(out));
   }
+  // Occurrence accounting is batched; cancellation / deadline are still
+  // polled per element by the subscript's EvalNode entry checkpoint.
+  GovernorBatch batch(governor_);
   for (const SetEntry* entry : live) {
+    EXA_RETURN_NOT_OK(batch.Tick());
     Ctx inner = ctx;
     inner.input = entry->value;
     EXA_ASSIGN_OR_RETURN(ValuePtr mapped, EvalNode(*e.sub(), inner));
     out.push_back({std::move(mapped), entry->count});
   }
+  EXA_RETURN_NOT_OK(batch.Flush());
   return Value::SetOfCounted(std::move(out));
 }
 
@@ -211,7 +257,9 @@ Result<ValuePtr> Evaluator::EvalGroup(const Expr& e, const ValuePtr& in,
   // irrelevant to multiset equality.
   std::unordered_map<ValuePtr, size_t, ValuePtrDeepHash, ValuePtrDeepEq> index;
   std::vector<std::vector<SetEntry>> groups;
+  GovernorBatch batch(governor_);
   for (const auto& entry : in->entries()) {
+    EXA_RETURN_NOT_OK(batch.Tick());
     Ctx inner = ctx;
     inner.input = entry.value;
     EXA_ASSIGN_OR_RETURN(ValuePtr key, EvalNode(*e.sub(), inner));
@@ -223,10 +271,13 @@ Result<ValuePtr> Evaluator::EvalGroup(const Expr& e, const ValuePtr& in,
       groups[it->second].push_back(entry);
     }
   }
+  EXA_RETURN_NOT_OK(batch.Flush());
   std::vector<SetEntry> out;
   out.reserve(groups.size());
   for (auto& g : groups) {
-    out.push_back({Value::SetOfCounted(std::move(g)), 1});
+    ValuePtr group = Value::SetOfCounted(std::move(g));
+    EXA_RETURN_NOT_OK(ChargeFresh(group));
+    out.push_back({std::move(group), 1});
   }
   return Value::SetOfCounted(std::move(out));
 }
@@ -245,12 +296,15 @@ Result<ValuePtr> Evaluator::EvalArrApply(const Expr& e, const ValuePtr& in,
   }
   std::vector<ValuePtr> out;
   out.reserve(in->elems().size());
+  GovernorBatch batch(governor_);
   for (const auto& elem : in->elems()) {
+    EXA_RETURN_NOT_OK(batch.Tick());
     Ctx inner = ctx;
     inner.input = elem;
     EXA_ASSIGN_OR_RETURN(ValuePtr mapped, EvalNode(*e.sub(), inner));
     out.push_back(std::move(mapped));
   }
+  EXA_RETURN_NOT_OK(batch.Flush());
   return Value::ArrayOf(std::move(out));
 }
 
@@ -381,7 +435,7 @@ Result<ValuePtr> Evaluator::EvalNodeImpl(const Expr& e, const Ctx& ctx) {
       Count(e, vals[0]->is_set() && vals[1]->is_set()
                    ? vals[0]->TotalCount() + vals[1]->TotalCount()
                    : 0);
-      return kernels::AddUnion(vals[0], vals[1]);
+      return kernels::AddUnion(vals[0], vals[1], governor_);
     case OpKind::kSetMake:
       Count(e);
       return Value::SetOf({vals[0]});
@@ -391,20 +445,20 @@ Result<ValuePtr> Evaluator::EvalNodeImpl(const Expr& e, const Ctx& ctx) {
       return EvalGroup(e, vals[0], ctx);
     case OpKind::kDupElim:
       Count(e, vals[0]->is_set() ? vals[0]->TotalCount() : 0);
-      return kernels::DupElim(vals[0]);
+      return kernels::DupElim(vals[0], governor_);
     case OpKind::kDiff:
       Count(e, vals[0]->is_set() && vals[1]->is_set()
                    ? vals[0]->TotalCount() + vals[1]->TotalCount()
                    : 0);
-      return kernels::Diff(vals[0], vals[1]);
+      return kernels::Diff(vals[0], vals[1], governor_);
     case OpKind::kCross:
       Count(e, vals[0]->is_set() && vals[1]->is_set()
                    ? vals[0]->TotalCount() * vals[1]->TotalCount()
                    : 0);
-      return kernels::Cross(vals[0], vals[1]);
+      return kernels::Cross(vals[0], vals[1], governor_);
     case OpKind::kSetCollapse:
       Count(e, vals[0]->is_set() ? vals[0]->TotalCount() : 0);
-      return kernels::SetCollapse(vals[0]);
+      return kernels::SetCollapse(vals[0], governor_);
 
     case OpKind::kProject:
       Count(e);
@@ -448,27 +502,27 @@ Result<ValuePtr> Evaluator::EvalNodeImpl(const Expr& e, const Ctx& ctx) {
       Count(e, vals[0]->ArrayLength());
       int64_t lo = e.lo_is_last() ? vals[0]->ArrayLength() : e.lo();
       int64_t hi = e.hi_is_last() ? vals[0]->ArrayLength() : e.hi();
-      return kernels::SubArr(lo, hi, vals[0]);
+      return kernels::SubArr(lo, hi, vals[0], governor_);
     }
     case OpKind::kArrCat:
       Count(e, (vals[0]->is_array() ? vals[0]->ArrayLength() : 0) +
                    (vals[1]->is_array() ? vals[1]->ArrayLength() : 0));
-      return kernels::ArrCat(vals[0], vals[1]);
+      return kernels::ArrCat(vals[0], vals[1], governor_);
     case OpKind::kArrCollapse:
       Count(e, vals[0]->is_array() ? vals[0]->ArrayLength() : 0);
-      return kernels::ArrCollapse(vals[0]);
+      return kernels::ArrCollapse(vals[0], governor_);
     case OpKind::kArrDiff:
       Count(e, (vals[0]->is_array() ? vals[0]->ArrayLength() : 0) +
                    (vals[1]->is_array() ? vals[1]->ArrayLength() : 0));
-      return kernels::ArrDiff(vals[0], vals[1]);
+      return kernels::ArrDiff(vals[0], vals[1], governor_);
     case OpKind::kArrDupElim:
       Count(e, vals[0]->is_array() ? vals[0]->ArrayLength() : 0);
-      return kernels::ArrDupElim(vals[0]);
+      return kernels::ArrDupElim(vals[0], governor_);
     case OpKind::kArrCross:
       Count(e, vals[0]->is_array() && vals[1]->is_array()
                    ? vals[0]->ArrayLength() * vals[1]->ArrayLength()
                    : 0);
-      return kernels::ArrCross(vals[0], vals[1]);
+      return kernels::ArrCross(vals[0], vals[1], governor_);
 
     case OpKind::kRef: {
       Count(e);
@@ -508,7 +562,7 @@ Result<ValuePtr> Evaluator::EvalNodeImpl(const Expr& e, const Ctx& ctx) {
       return EvalArith(vals[0], vals[1], e.name());
     case OpKind::kAgg:
       Count(e, vals[0]->is_set() ? vals[0]->TotalCount() : 0);
-      return kernels::Aggregate(e.name(), vals[0]);
+      return kernels::Aggregate(e.name(), vals[0], governor_);
     case OpKind::kMethodCall:
       Count(e);
       return EvalMethodCall(e, std::move(vals), ctx);
@@ -551,8 +605,22 @@ Result<ValuePtr> Evaluator::EvalHashJoin(const Expr& e, const Ctx& ctx) {
   // the operator answer-equal to SET_APPLY[COMP_θ](CROSS): true keeps the
   // pair, unk contributes unk occurrences, false drops it — exactly COMP's
   // contract followed by multiset construction dropping dne.
+  GovernorBatch batch(governor_);
+  int64_t pair_bytes = -1, pending_bytes = 0;
   auto emit_pair = [&](const SetEntry& ea, const SetEntry& eb) -> Status {
     ValuePtr pair = Value::TupleOf({ea.value, eb.value});
+    if (governor_ != nullptr) {
+      // Every pair tuple has the same shallow shape; size the first one and
+      // charge alongside the batched occurrence checkpoints.
+      if (pair_bytes < 0) pair_bytes = pair->ShallowSizeBytes();
+      pending_bytes += pair_bytes;
+      EXA_RETURN_NOT_OK(batch.Tick());
+      if (pending_bytes >= 4096) {
+        int64_t n = pending_bytes;
+        pending_bytes = 0;
+        EXA_RETURN_NOT_OK(governor_->ChargeBytes(n));
+      }
+    }
     Ctx inner = ctx;
     inner.input = pair;
     EXA_ASSIGN_OR_RETURN(Truth t, EvalPred(theta, inner));
@@ -569,6 +637,16 @@ Result<ValuePtr> Evaluator::EvalHashJoin(const Expr& e, const Ctx& ctx) {
     return Status::OK();
   };
 
+  auto flush_join_budget = [&]() -> Status {
+    EXA_RETURN_NOT_OK(batch.Flush());
+    if (governor_ != nullptr && pending_bytes > 0) {
+      int64_t n = pending_bytes;
+      pending_bytes = 0;
+      EXA_RETURN_NOT_OK(governor_->ChargeBytes(n));
+    }
+    return Status::OK();
+  };
+
   // Cost gate: below this the hash build does not pay for itself; run the
   // pairwise loop directly (the cross product is still never materialized).
   constexpr int64_t kNestedLoopMax = 16;
@@ -578,6 +656,7 @@ Result<ValuePtr> Evaluator::EvalHashJoin(const Expr& e, const Ctx& ctx) {
         EXA_RETURN_NOT_OK(emit_pair(ea, eb));
       }
     }
+    EXA_RETURN_NOT_OK(flush_join_budget());
     return Value::SetOfCounted(std::move(out));
   }
 
@@ -646,6 +725,7 @@ Result<ValuePtr> Evaluator::EvalHashJoin(const Expr& e, const Ctx& ctx) {
     for (const auto& k : ka) EXA_RETURN_NOT_OK(emit_pair(*k.entry, *b));
     for (const SetEntry* a : da) EXA_RETURN_NOT_OK(emit_pair(*a, *b));
   }
+  EXA_RETURN_NOT_OK(flush_join_budget());
   return Value::SetOfCounted(std::move(out));
 }
 

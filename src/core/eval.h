@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/expr.h"
+#include "core/governor.h"
 #include "objects/database.h"
 #include "util/status.h"
 
@@ -41,6 +42,10 @@ struct EvalStats {
   std::array<int64_t, kNumOpKinds> nanos{};
   int64_t predicate_atoms = 0;
   int64_t derefs = 0;
+  /// High-water mark of governor-accounted materialized bytes (0 when no
+  /// governor was attached). Merge takes the max: workers share one governor,
+  /// so the peak is a property of the whole query, not a per-worker sum.
+  int64_t peak_bytes = 0;
 
   void Clear() { *this = EvalStats(); }
   /// Accumulates `other` into this — used to fold per-worker stats from a
@@ -98,6 +103,19 @@ class Evaluator {
   void set_parallel_enabled(bool on) { parallel_enabled_ = on; }
   void set_parallel_threshold(size_t n) { parallel_threshold_ = n; }
 
+  /// Attaches a per-query governor (non-owning; must outlive evaluation).
+  /// Every EvalNode entry becomes a checkpoint (cancellation / deadline /
+  /// budget), every fresh materialization is charged against the memory
+  /// budget, and the governor's recursion limit replaces the default depth
+  /// cap. Workers spawned by parallel APPLY share the same governor.
+  void set_governor(Governor* governor) {
+    governor_ = governor;
+    max_depth_ = governor != nullptr && governor->limits().max_eval_depth > 0
+                     ? governor->limits().max_eval_depth
+                     : kDefaultEvalDepth;
+  }
+  Governor* governor() const { return governor_; }
+
  private:
   struct Ctx {
     ValuePtr input;                          // INPUT binding (may be null)
@@ -135,9 +153,22 @@ class Evaluator {
     stats_.occurrences[static_cast<int>(e.kind())] += occurrences_in;
   }
 
+  /// Charges `v` against the memory budget iff this evaluation materialized
+  /// it: use_count()==1 means no container/literal/database still owns it,
+  /// so it must be fresh. Shared (pass-through) structure stays free.
+  Status ChargeFresh(const ValuePtr& v) {
+    if (governor_ == nullptr || v == nullptr || v.use_count() != 1) {
+      return Status::OK();
+    }
+    return governor_->ChargeBytes(v->ShallowSizeBytes());
+  }
+
   Database* db_;
   const MethodResolver* methods_;
   EvalStats stats_;
+  Governor* governor_ = nullptr;
+  int depth_ = 0;
+  int max_depth_ = kDefaultEvalDepth;
   bool timing_enabled_ = false;
   bool parallel_enabled_ = true;
   size_t parallel_threshold_ = 1024;

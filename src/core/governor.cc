@@ -1,0 +1,89 @@
+#include "core/governor.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <string>
+
+namespace excess {
+
+namespace internal {
+
+int64_t ParseLimit(const char* env, int64_t lo, int64_t hi, int64_t fallback) {
+  if (env == nullptr || *env == '\0') return fallback;
+  // strtoll skips leading whitespace; the knobs don't.
+  if (!(*env >= '0' && *env <= '9')) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  long long n = std::strtoll(env, &end, 10);
+  if (end == env || *end != '\0' || errno == ERANGE) return fallback;
+  if (n < lo || n > hi) return fallback;
+  return static_cast<int64_t>(n);
+}
+
+}  // namespace internal
+
+ExecLimits ExecLimits::FromEnv(ExecLimits base) {
+  // Deadlines up to one day; memory limits up to 1 TB. A knob outside its
+  // range (or malformed) is ignored, matching ParsePoolSize's fallback rule.
+  int64_t ms = internal::ParseLimit(std::getenv("EXCESS_DEADLINE_MS"), 1,
+                                    86400000, 0);
+  if (ms > 0) base.deadline_ms = ms;
+  int64_t mb = internal::ParseLimit(std::getenv("EXCESS_MEM_LIMIT_MB"), 1,
+                                    1 << 20, 0);
+  if (mb > 0) base.max_bytes = mb * (int64_t{1} << 20);
+  return base;
+}
+
+Governor::Governor(ExecLimits limits, CancelTokenPtr cancel)
+    : limits_(limits), cancel_(std::move(cancel)) {
+  if (limits_.deadline_ms > 0) {
+    has_deadline_ = true;
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(limits_.deadline_ms);
+  }
+}
+
+Status Governor::ChargeBytes(int64_t bytes) {
+  if (hooks_ != nullptr) {
+    Status s = hooks_->OnCharge(bytes);
+    if (!s.ok()) return s;
+  }
+  if (bytes <= 0) return Status::OK();
+  int64_t cur = bytes_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  int64_t peak = peak_bytes_.load(std::memory_order_relaxed);
+  while (cur > peak && !peak_bytes_.compare_exchange_weak(
+                           peak, cur, std::memory_order_relaxed)) {
+  }
+  if (limits_.max_bytes > 0 && cur > limits_.max_bytes) {
+    return Status::ResourceExhausted(
+        "memory budget exceeded: " + std::to_string(cur) + " bytes charged, " +
+        std::to_string(limits_.max_bytes) + " allowed");
+  }
+  return Status::OK();
+}
+
+void Governor::ReleaseBytes(int64_t bytes) {
+  if (bytes <= 0) return;
+  int64_t cur = bytes_.load(std::memory_order_relaxed);
+  while (!bytes_.compare_exchange_weak(cur, cur - (bytes < cur ? bytes : cur),
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+Status Governor::CheckDeadline() {
+  if (std::chrono::steady_clock::now() >= deadline_) {
+    return Status::DeadlineExceeded("deadline of " +
+                                    std::to_string(limits_.deadline_ms) +
+                                    " ms exceeded");
+  }
+  return Status::OK();
+}
+
+Status Governor::OccurrenceLimit(int64_t total) const {
+  return Status::ResourceExhausted(
+      "occurrence budget exceeded: " + std::to_string(total) +
+      " occurrences materialized, " +
+      std::to_string(limits_.max_occurrences) + " allowed");
+}
+
+}  // namespace excess

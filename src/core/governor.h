@@ -1,0 +1,187 @@
+#ifndef EXCESS_CORE_GOVERNOR_H_
+#define EXCESS_CORE_GOVERNOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "util/status.h"
+
+namespace excess {
+
+namespace internal {
+/// Strict env-knob parser (same discipline as ParsePoolSize): the whole
+/// string must be a base-10 integer in [lo, hi]; anything else — empty,
+/// trailing junk, overflow, out of range — yields `fallback`.
+int64_t ParseLimit(const char* env, int64_t lo, int64_t hi, int64_t fallback);
+}  // namespace internal
+
+/// Default cap on evaluator recursion depth. Plans this deep cannot come out
+/// of the parser (its own guard is kMaxDepth=200) but can be built directly;
+/// the cap keeps them a typed error instead of a stack overflow. Frames are
+/// a few hundred bytes, so 1024 levels stay far below an 8 MB stack even
+/// under asan's inflated frames.
+inline constexpr int kDefaultEvalDepth = 1024;
+
+/// Per-query resource budgets. A zero field means "unlimited" for that
+/// dimension (the default), except max_eval_depth which always has the
+/// stack-protecting default above.
+struct ExecLimits {
+  int64_t max_bytes = 0;        // peak materialized bytes (0 = unlimited)
+  int64_t max_occurrences = 0;  // materialized occurrences/cells (0 = unlim.)
+  int max_eval_depth = kDefaultEvalDepth;  // eval recursion depth
+  int64_t deadline_ms = 0;      // wall-clock budget (0 = unlimited)
+
+  static ExecLimits Unlimited() { return ExecLimits(); }
+
+  /// `base` overlaid with the EXCESS_DEADLINE_MS / EXCESS_MEM_LIMIT_MB env
+  /// knobs. A knob that is set and valid wins over the corresponding field
+  /// of `base`; unset or invalid knobs leave `base` untouched.
+  static ExecLimits FromEnv(ExecLimits base);
+  static ExecLimits FromEnv() { return FromEnv(ExecLimits()); }
+};
+
+/// Shared cooperative-cancellation flag. The caller keeps one end (Cancel),
+/// every governor checkpoint polls the other. Relaxed atomics: cancellation
+/// is advisory and observed at the next checkpoint, not instantaneously.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  /// Re-arms the token so the owning session can run further statements.
+  void Reset() { cancelled_.store(false, std::memory_order_relaxed); }
+  bool cancelled() const { return cancelled_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+using CancelTokenPtr = std::shared_ptr<CancelToken>;
+
+/// Fault seam: check/faultinject implements this to fail the Nth tracked
+/// allocation or fire cancellation at the Nth checkpoint. Production code
+/// never installs hooks; the pointer is null and costs one branch.
+class GovernorHooks {
+ public:
+  virtual ~GovernorHooks() = default;
+  /// Called once per Checkpoint, before limit checks; a non-OK return is
+  /// propagated as that checkpoint's verdict.
+  virtual Status OnCheckpoint() = 0;
+  /// Called once per ChargeBytes; a non-OK return simulates an allocation
+  /// failure at this materialization site.
+  virtual Status OnCharge(int64_t bytes) = 0;
+};
+
+/// Per-query governor: one instance per top-level evaluation, shared by
+/// every worker thread the evaluation fans out to (all counters are
+/// atomics). Checkpoint() is the single cheap call sprinkled through the
+/// occurrence-producing loops; ChargeBytes() is called where fresh values
+/// are materialized.
+class Governor {
+ public:
+  explicit Governor(ExecLimits limits = ExecLimits(),
+                    CancelTokenPtr cancel = nullptr);
+
+  /// Cancellation poll + occurrence accounting + (periodically) deadline
+  /// check. `new_occurrences` is the number of occurrences/cells the caller
+  /// just materialized; pass 0 for a pure liveness check.
+  Status Checkpoint(int64_t new_occurrences = 0) {
+    if (hooks_ != nullptr) {
+      Status s = hooks_->OnCheckpoint();
+      if (!s.ok()) return s;
+    }
+    if (cancel_ != nullptr && cancel_->cancelled()) {
+      return Status::Cancelled("query cancelled");
+    }
+    if (new_occurrences > 0) {
+      int64_t total = occurrences_.fetch_add(new_occurrences,
+                                             std::memory_order_relaxed) +
+                      new_occurrences;
+      if (limits_.max_occurrences > 0 && total > limits_.max_occurrences) {
+        return OccurrenceLimit(total);
+      }
+    }
+    if (has_deadline_ &&
+        (ticks_.fetch_add(1, std::memory_order_relaxed) & kDeadlineMask) ==
+            0) {
+      return CheckDeadline();
+    }
+    return Status::OK();
+  }
+
+  /// Accounts `bytes` of fresh materialization against the memory budget.
+  /// The counter is monotone during a query (intermediates are shared
+  /// immutable structure; see ReleaseBytes), so its running value is an
+  /// upper bound on live bytes and its final value the reported peak.
+  Status ChargeBytes(int64_t bytes);
+
+  /// Returns bytes explicitly discarded mid-query (e.g. a scratch index a
+  /// kernel frees before returning). Never drives the counter negative.
+  void ReleaseBytes(int64_t bytes);
+
+  int64_t peak_bytes() const {
+    return peak_bytes_.load(std::memory_order_relaxed);
+  }
+  int64_t occurrences() const {
+    return occurrences_.load(std::memory_order_relaxed);
+  }
+  const ExecLimits& limits() const { return limits_; }
+  const CancelTokenPtr& cancel_token() const { return cancel_; }
+
+  /// Installs fault hooks. Test-only; must happen before evaluation starts
+  /// (the pointer is read unsynchronized from worker threads).
+  void set_hooks(GovernorHooks* hooks) { hooks_ = hooks; }
+
+ private:
+  // Deadline polls hit the clock once per (kDeadlineMask + 1) checkpoints.
+  static constexpr uint32_t kDeadlineMask = 0xFF;
+
+  Status CheckDeadline();
+  Status OccurrenceLimit(int64_t total) const;
+
+  ExecLimits limits_;
+  CancelTokenPtr cancel_;
+  GovernorHooks* hooks_ = nullptr;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_;
+  std::atomic<int64_t> occurrences_{0};
+  std::atomic<int64_t> bytes_{0};
+  std::atomic<int64_t> peak_bytes_{0};
+  std::atomic<uint32_t> ticks_{0};
+};
+
+/// Batches occurrence checkpoints for tight per-element loops: counts
+/// accumulate locally and flush to the governor every kEvery elements, so
+/// the loop's fast path stays free of atomic traffic. The budget can
+/// overshoot by at most one batch. Only appropriate where something else
+/// polls cancellation at element granularity (e.g. the per-element
+/// EvalNode entry checkpoint).
+class GovernorBatch {
+ public:
+  explicit GovernorBatch(Governor* gov) : gov_(gov) {}
+
+  Status Tick(int64_t occurrences = 1) {
+    if (gov_ == nullptr) return Status::OK();
+    pending_ += occurrences;
+    if (--until_flush_ == 0) return Flush();
+    return Status::OK();
+  }
+
+  /// Reports the remainder; call once after the loop.
+  Status Flush() {
+    until_flush_ = kEvery;
+    if (gov_ == nullptr || pending_ == 0) return Status::OK();
+    int64_t n = pending_;
+    pending_ = 0;
+    return gov_->Checkpoint(n);
+  }
+
+ private:
+  static constexpr int kEvery = 64;
+  Governor* gov_;
+  int64_t pending_ = 0;
+  int until_flush_ = kEvery;
+};
+
+}  // namespace excess
+
+#endif  // EXCESS_CORE_GOVERNOR_H_

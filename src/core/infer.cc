@@ -103,6 +103,10 @@ SchemaPtr MergeSchemas(const SchemaPtr& a, const SchemaPtr& b) {
 }  // namespace
 
 Status TypeInference::CheckPredicate(const Predicate& p, const SchemaPtr& input) {
+  if (depth_ >= kMaxDepth) {
+    return Status::ResourceExhausted("predicate nesting too deep to infer");
+  }
+  DepthGuard guard(&depth_);
   switch (p.kind) {
     case Predicate::Kind::kAtom: {
       EXA_ASSIGN_OR_RETURN(SchemaPtr lhs, Infer(p.lhs, input));
@@ -137,6 +141,10 @@ Status TypeInference::CheckPredicate(const Predicate& p, const SchemaPtr& input)
 }
 
 Result<SchemaPtr> TypeInference::InferNode(const Expr& e, const SchemaPtr& input) {
+  if (depth_ >= kMaxDepth) {
+    return Status::ResourceExhausted("plan nesting too deep to infer");
+  }
+  DepthGuard guard(&depth_);
   switch (e.kind()) {
     case OpKind::kInput:
       if (input == nullptr) {

@@ -27,10 +27,25 @@ class TypeInference {
   Result<SchemaPtr> Infer(const ExprPtr& expr, SchemaPtr input = nullptr);
 
  private:
+  /// Inference recurses over the plan, so a pathological builder-made tree
+  /// could exhaust the stack before evaluation ever sees it. Same RAII
+  /// guard discipline as the parser (kMaxDepth there is 200 on ASTs). The
+  /// cap must leave the guard reachable on the worst toolchain: asan
+  /// inflates InferNode frames past 20 KB, so an 8 MB stack holds well
+  /// under 400 of them — 256 is still far above anything a legal parse
+  /// can translate to.
+  static constexpr int kMaxDepth = 256;
+  struct DepthGuard {
+    explicit DepthGuard(int* depth) : depth_(depth) { ++*depth_; }
+    ~DepthGuard() { --*depth_; }
+    int* depth_;
+  };
+
   Result<SchemaPtr> InferNode(const Expr& e, const SchemaPtr& input);
   Status CheckPredicate(const Predicate& p, const SchemaPtr& input);
 
   const Database* db_;
+  int depth_ = 0;
 };
 
 }  // namespace excess

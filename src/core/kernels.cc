@@ -60,20 +60,31 @@ class CountIndex {
       index_;
 };
 
+/// Bulk occurrence checkpoint for the linear kernels: their output size is
+/// bounded by the (already-governed) input sizes, so one charge up front is
+/// as protective as a per-iteration one and keeps the loops tight.
+Status Bulk(Governor* gov, int64_t occurrences) {
+  if (gov == nullptr) return Status::OK();
+  return gov->Checkpoint(occurrences);
+}
+
 }  // namespace
 
-Result<ValuePtr> AddUnion(const ValuePtr& a, const ValuePtr& b) {
+Result<ValuePtr> AddUnion(const ValuePtr& a, const ValuePtr& b,
+                          Governor* gov) {
   EXA_RETURN_NOT_OK(ExpectSet(a, "ADD_UNION"));
   EXA_RETURN_NOT_OK(ExpectSet(b, "ADD_UNION"));
+  EXA_RETURN_NOT_OK(Bulk(gov, a->TotalCount() + b->TotalCount()));
   std::vector<SetEntry> entries = a->entries();
   const auto& be = b->entries();
   entries.insert(entries.end(), be.begin(), be.end());
   return Value::SetOfCounted(std::move(entries));
 }
 
-Result<ValuePtr> Diff(const ValuePtr& a, const ValuePtr& b) {
+Result<ValuePtr> Diff(const ValuePtr& a, const ValuePtr& b, Governor* gov) {
   EXA_RETURN_NOT_OK(ExpectSet(a, "DIFF"));
   EXA_RETURN_NOT_OK(ExpectSet(b, "DIFF"));
+  EXA_RETURN_NOT_OK(Bulk(gov, a->TotalCount()));
   std::vector<SetEntry> out;
   out.reserve(a->entries().size());
   CountIndex bi(b);
@@ -84,31 +95,63 @@ Result<ValuePtr> Diff(const ValuePtr& a, const ValuePtr& b) {
   return Value::SetOfCounted(std::move(out));
 }
 
-Result<ValuePtr> Cross(const ValuePtr& a, const ValuePtr& b) {
+Result<ValuePtr> Cross(const ValuePtr& a, const ValuePtr& b, Governor* gov) {
   EXA_RETURN_NOT_OK(ExpectSet(a, "CROSS"));
   EXA_RETURN_NOT_OK(ExpectSet(b, "CROSS"));
   std::vector<SetEntry> out;
   out.reserve(a->entries().size() * b->entries().size());
+  // The quadratic loop is where adversarial plans explode; checkpoint and
+  // charge *inside* it so the budget trips mid-product. Charges are batched
+  // (flushed every kFlushEvery pairs) to keep governor traffic off the
+  // per-pair fast path — the budget can overshoot by at most one batch.
+  constexpr int kFlushEvery = 64;
+  int64_t pending_occ = 0, pending_bytes = 0, pair_bytes = -1;
+  int until_flush = kFlushEvery;
   for (const auto& ea : a->entries()) {
     for (const auto& eb : b->entries()) {
-      out.push_back({Value::TupleOf({ea.value, eb.value}), ea.count * eb.count});
+      ValuePtr pair = Value::TupleOf({ea.value, eb.value});
+      if (gov != nullptr) {
+        // Every pair tuple has the same shallow shape; size the first one.
+        if (pair_bytes < 0) {
+          pair_bytes =
+              pair->ShallowSizeBytes() + static_cast<int64_t>(sizeof(SetEntry));
+        }
+        pending_occ += ea.count * eb.count;
+        pending_bytes += pair_bytes;
+        if (--until_flush == 0) {
+          EXA_RETURN_NOT_OK(gov->Checkpoint(pending_occ));
+          EXA_RETURN_NOT_OK(gov->ChargeBytes(pending_bytes));
+          pending_occ = pending_bytes = 0;
+          until_flush = kFlushEvery;
+        }
+      }
+      out.push_back({std::move(pair), ea.count * eb.count});
     }
+  }
+  if (gov != nullptr && (pending_occ > 0 || pending_bytes > 0)) {
+    EXA_RETURN_NOT_OK(gov->Checkpoint(pending_occ));
+    EXA_RETURN_NOT_OK(gov->ChargeBytes(pending_bytes));
   }
   return Value::SetOfCounted(std::move(out));
 }
 
-Result<ValuePtr> DupElim(const ValuePtr& a) {
+Result<ValuePtr> DupElim(const ValuePtr& a, Governor* gov) {
   EXA_RETURN_NOT_OK(ExpectSet(a, "DE"));
+  EXA_RETURN_NOT_OK(Bulk(gov, static_cast<int64_t>(a->entries().size())));
   std::vector<SetEntry> out;
   out.reserve(a->entries().size());
   for (const auto& e : a->entries()) out.push_back({e.value, 1});
   return Value::SetOfCounted(std::move(out));
 }
 
-Result<ValuePtr> SetCollapse(const ValuePtr& a) {
+Result<ValuePtr> SetCollapse(const ValuePtr& a, Governor* gov) {
   EXA_RETURN_NOT_OK(ExpectSet(a, "SET_COLLAPSE"));
   std::vector<SetEntry> out;
   for (const auto& outer : a->entries()) {
+    if (gov != nullptr && outer.value->is_set()) {
+      EXA_RETURN_NOT_OK(
+          gov->Checkpoint(static_cast<int64_t>(outer.value->entries().size())));
+    }
     if (!outer.value->is_set()) {
       return Status::TypeError(
           StrCat("SET_COLLAPSE requires a multiset of multisets; member is ",
@@ -123,9 +166,11 @@ Result<ValuePtr> SetCollapse(const ValuePtr& a) {
   return Value::SetOfCounted(std::move(out));
 }
 
-Result<ValuePtr> MaxUnion(const ValuePtr& a, const ValuePtr& b) {
+Result<ValuePtr> MaxUnion(const ValuePtr& a, const ValuePtr& b,
+                          Governor* gov) {
   EXA_RETURN_NOT_OK(ExpectSet(a, "UNION"));
   EXA_RETURN_NOT_OK(ExpectSet(b, "UNION"));
+  EXA_RETURN_NOT_OK(Bulk(gov, a->TotalCount() + b->TotalCount()));
   std::vector<SetEntry> out;
   CountIndex ai(a);
   CountIndex bi(b);
@@ -138,9 +183,11 @@ Result<ValuePtr> MaxUnion(const ValuePtr& a, const ValuePtr& b) {
   return Value::SetOfCounted(std::move(out));
 }
 
-Result<ValuePtr> MinIntersect(const ValuePtr& a, const ValuePtr& b) {
+Result<ValuePtr> MinIntersect(const ValuePtr& a, const ValuePtr& b,
+                              Governor* gov) {
   EXA_RETURN_NOT_OK(ExpectSet(a, "INTERSECT"));
   EXA_RETURN_NOT_OK(ExpectSet(b, "INTERSECT"));
+  EXA_RETURN_NOT_OK(Bulk(gov, a->TotalCount()));
   std::vector<SetEntry> out;
   CountIndex bi(b);
   for (const auto& e : a->entries()) {
@@ -175,9 +222,10 @@ Result<ValuePtr> Project(const std::vector<std::string>& fields,
   return Value::Tuple(std::move(names), std::move(vals));
 }
 
-Result<ValuePtr> ArrCat(const ValuePtr& a, const ValuePtr& b) {
+Result<ValuePtr> ArrCat(const ValuePtr& a, const ValuePtr& b, Governor* gov) {
   EXA_RETURN_NOT_OK(ExpectArray(a, "ARR_CAT"));
   EXA_RETURN_NOT_OK(ExpectArray(b, "ARR_CAT"));
+  EXA_RETURN_NOT_OK(Bulk(gov, a->ArrayLength() + b->ArrayLength()));
   std::vector<ValuePtr> out = a->elems();
   out.insert(out.end(), b->elems().begin(), b->elems().end());
   return Value::ArrayOf(std::move(out));
@@ -189,11 +237,13 @@ Result<ValuePtr> ArrExtract(int64_t index, const ValuePtr& a) {
   return a->elems()[static_cast<size_t>(index - 1)];
 }
 
-Result<ValuePtr> SubArr(int64_t lo, int64_t hi, const ValuePtr& a) {
+Result<ValuePtr> SubArr(int64_t lo, int64_t hi, const ValuePtr& a,
+                        Governor* gov) {
   EXA_RETURN_NOT_OK(ExpectArray(a, "SUBARR"));
   int64_t n = a->ArrayLength();
   int64_t from = std::max<int64_t>(1, lo);
   int64_t to = std::min(hi, n);
+  if (to >= from) EXA_RETURN_NOT_OK(Bulk(gov, to - from + 1));
   std::vector<ValuePtr> out;
   for (int64_t i = from; i <= to; ++i) {
     out.push_back(a->elems()[static_cast<size_t>(i - 1)]);
@@ -201,10 +251,13 @@ Result<ValuePtr> SubArr(int64_t lo, int64_t hi, const ValuePtr& a) {
   return Value::ArrayOf(std::move(out));
 }
 
-Result<ValuePtr> ArrCollapse(const ValuePtr& a) {
+Result<ValuePtr> ArrCollapse(const ValuePtr& a, Governor* gov) {
   EXA_RETURN_NOT_OK(ExpectArray(a, "ARR_COLLAPSE"));
   std::vector<ValuePtr> out;
   for (const auto& inner : a->elems()) {
+    if (gov != nullptr && inner->is_array()) {
+      EXA_RETURN_NOT_OK(gov->Checkpoint(inner->ArrayLength()));
+    }
     if (!inner->is_array()) {
       return Status::TypeError(
           StrCat("ARR_COLLAPSE requires an array of arrays; element is ",
@@ -215,9 +268,11 @@ Result<ValuePtr> ArrCollapse(const ValuePtr& a) {
   return Value::ArrayOf(std::move(out));
 }
 
-Result<ValuePtr> ArrDiff(const ValuePtr& a, const ValuePtr& b) {
+Result<ValuePtr> ArrDiff(const ValuePtr& a, const ValuePtr& b,
+                         Governor* gov) {
   EXA_RETURN_NOT_OK(ExpectArray(a, "ARR_DIFF"));
   EXA_RETURN_NOT_OK(ExpectArray(b, "ARR_DIFF"));
+  EXA_RETURN_NOT_OK(Bulk(gov, a->ArrayLength() + b->ArrayLength()));
   // Order-preserving multiset difference: each element of B cancels the
   // first remaining equal occurrence in A.
   std::unordered_map<ValuePtr, int64_t, ValuePtrDeepHash, ValuePtrDeepEq> budget;
@@ -234,8 +289,9 @@ Result<ValuePtr> ArrDiff(const ValuePtr& a, const ValuePtr& b) {
   return Value::ArrayOf(std::move(out));
 }
 
-Result<ValuePtr> ArrDupElim(const ValuePtr& a) {
+Result<ValuePtr> ArrDupElim(const ValuePtr& a, Governor* gov) {
   EXA_RETURN_NOT_OK(ExpectArray(a, "ARR_DE"));
+  EXA_RETURN_NOT_OK(Bulk(gov, a->ArrayLength()));
   std::unordered_map<ValuePtr, bool, ValuePtrDeepHash, ValuePtrDeepEq> seen;
   std::vector<ValuePtr> out;
   for (const auto& e : a->elems()) {
@@ -244,21 +300,29 @@ Result<ValuePtr> ArrDupElim(const ValuePtr& a) {
   return Value::ArrayOf(std::move(out));
 }
 
-Result<ValuePtr> ArrCross(const ValuePtr& a, const ValuePtr& b) {
+Result<ValuePtr> ArrCross(const ValuePtr& a, const ValuePtr& b,
+                          Governor* gov) {
   EXA_RETURN_NOT_OK(ExpectArray(a, "ARR_CROSS"));
   EXA_RETURN_NOT_OK(ExpectArray(b, "ARR_CROSS"));
   std::vector<ValuePtr> out;
   out.reserve(a->elems().size() * b->elems().size());
   for (const auto& ea : a->elems()) {
     for (const auto& eb : b->elems()) {
-      out.push_back(Value::TupleOf({ea, eb}));
+      ValuePtr pair = Value::TupleOf({ea, eb});
+      if (gov != nullptr) {
+        EXA_RETURN_NOT_OK(gov->Checkpoint(1));
+        EXA_RETURN_NOT_OK(gov->ChargeBytes(pair->ShallowSizeBytes()));
+      }
+      out.push_back(std::move(pair));
     }
   }
   return Value::ArrayOf(std::move(out));
 }
 
-Result<ValuePtr> Aggregate(const std::string& name, const ValuePtr& set) {
+Result<ValuePtr> Aggregate(const std::string& name, const ValuePtr& set,
+                           Governor* gov) {
   EXA_RETURN_NOT_OK(ExpectSet(set, "AGG"));
+  EXA_RETURN_NOT_OK(Bulk(gov, static_cast<int64_t>(set->entries().size())));
   if (name == "count") return Value::Int(set->TotalCount());
   if (set->entries().empty()) return Value::Dne();
   if (name == "min" || name == "max") {

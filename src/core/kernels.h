@@ -1,6 +1,7 @@
 #ifndef EXCESS_CORE_KERNELS_H_
 #define EXCESS_CORE_KERNELS_H_
 
+#include "core/governor.h"
 #include "objects/value.h"
 #include "util/status.h"
 
@@ -10,18 +11,29 @@ namespace excess {
 /// exactly the definition in §3.2 and returns TypeError when handed a value
 /// of the wrong sort (the algebra is many-sorted, so sort errors are real
 /// errors, not coercions).
+///
+/// The optional trailing Governor makes the occurrence-producing loops
+/// cooperative: output occurrences are counted against the budget and the
+/// quadratic kernels (CROSS / ARR_CROSS) charge each fresh pair against the
+/// memory budget *as it is built*, so an adversarial product trips the
+/// limit instead of materializing. A null governor costs one branch.
 namespace kernels {
 
 // Multiset kernels (§3.2.1).
-Result<ValuePtr> AddUnion(const ValuePtr& a, const ValuePtr& b);
-Result<ValuePtr> Diff(const ValuePtr& a, const ValuePtr& b);
-Result<ValuePtr> Cross(const ValuePtr& a, const ValuePtr& b);
-Result<ValuePtr> DupElim(const ValuePtr& a);
-Result<ValuePtr> SetCollapse(const ValuePtr& a);
+Result<ValuePtr> AddUnion(const ValuePtr& a, const ValuePtr& b,
+                          Governor* gov = nullptr);
+Result<ValuePtr> Diff(const ValuePtr& a, const ValuePtr& b,
+                      Governor* gov = nullptr);
+Result<ValuePtr> Cross(const ValuePtr& a, const ValuePtr& b,
+                       Governor* gov = nullptr);
+Result<ValuePtr> DupElim(const ValuePtr& a, Governor* gov = nullptr);
+Result<ValuePtr> SetCollapse(const ValuePtr& a, Governor* gov = nullptr);
 /// Derived: max-cardinality union and min-cardinality intersection
 /// (Appendix §1), provided directly for tests of the derivations.
-Result<ValuePtr> MaxUnion(const ValuePtr& a, const ValuePtr& b);
-Result<ValuePtr> MinIntersect(const ValuePtr& a, const ValuePtr& b);
+Result<ValuePtr> MaxUnion(const ValuePtr& a, const ValuePtr& b,
+                          Governor* gov = nullptr);
+Result<ValuePtr> MinIntersect(const ValuePtr& a, const ValuePtr& b,
+                              Governor* gov = nullptr);
 
 // Tuple kernels (§3.2.2).
 Result<ValuePtr> TupCat(const ValuePtr& a, const ValuePtr& b);
@@ -30,20 +42,25 @@ Result<ValuePtr> Project(const std::vector<std::string>& fields,
 
 // Array kernels (§3.2.3). Indices are 1-based; `last` has been resolved to
 // a concrete index by the evaluator before these are called.
-Result<ValuePtr> ArrCat(const ValuePtr& a, const ValuePtr& b);
+Result<ValuePtr> ArrCat(const ValuePtr& a, const ValuePtr& b,
+                        Governor* gov = nullptr);
 /// Out-of-range extraction yields dne (the element "does not exist").
 Result<ValuePtr> ArrExtract(int64_t index, const ValuePtr& a);
 /// Clamping slice semantics: elements max(1,lo)..min(hi,|A|), empty when
 /// the range is empty.
-Result<ValuePtr> SubArr(int64_t lo, int64_t hi, const ValuePtr& a);
-Result<ValuePtr> ArrCollapse(const ValuePtr& a);
-Result<ValuePtr> ArrDiff(const ValuePtr& a, const ValuePtr& b);
-Result<ValuePtr> ArrDupElim(const ValuePtr& a);
-Result<ValuePtr> ArrCross(const ValuePtr& a, const ValuePtr& b);
+Result<ValuePtr> SubArr(int64_t lo, int64_t hi, const ValuePtr& a,
+                        Governor* gov = nullptr);
+Result<ValuePtr> ArrCollapse(const ValuePtr& a, Governor* gov = nullptr);
+Result<ValuePtr> ArrDiff(const ValuePtr& a, const ValuePtr& b,
+                         Governor* gov = nullptr);
+Result<ValuePtr> ArrDupElim(const ValuePtr& a, Governor* gov = nullptr);
+Result<ValuePtr> ArrCross(const ValuePtr& a, const ValuePtr& b,
+                          Governor* gov = nullptr);
 
 // Aggregates (registered functions; see DESIGN.md substitution table).
 // count counts occurrences; min/max/sum/avg of an empty multiset is dne.
-Result<ValuePtr> Aggregate(const std::string& name, const ValuePtr& set);
+Result<ValuePtr> Aggregate(const std::string& name, const ValuePtr& set,
+                           Governor* gov = nullptr);
 
 }  // namespace kernels
 }  // namespace excess

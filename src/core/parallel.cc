@@ -67,6 +67,8 @@ void WorkerPool::RunPartition(const Body& fn, size_t n, int parts, int part) {
   if (begin < end) fn(part, begin, end);
 }
 
+bool WorkerPool::InBatch() { return t_in_batch; }
+
 int WorkerPool::ParallelFor(size_t n, size_t min_chunk, const Body& fn) {
   if (n == 0) return 0;
   int parts = static_cast<int>(

@@ -51,6 +51,11 @@ class WorkerPool {
   /// Returns the number of partitions actually used.
   int ParallelFor(size_t n, size_t min_chunk, const Body& fn);
 
+  /// True on the calling thread while it is executing a batch partition
+  /// (pool worker or participating caller). The fault-injection harness
+  /// uses this to target faults at parallel workers specifically.
+  static bool InBatch();
+
  private:
   void WorkerLoop(int worker);
   void RunPartition(const Body& fn, size_t n, int parts, int part);

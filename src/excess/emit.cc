@@ -72,6 +72,8 @@ Result<EmittedProgram> Emitter::Emit(const ExprPtr& tree) {
 }
 
 Result<std::string> Emitter::EmitLiteral(const ValuePtr& v) {
+  EXA_RETURN_NOT_OK(CheckDepth());
+  DepthGuard guard(&depth_);
   switch (v->kind()) {
     case ValueKind::kInt:
       return StrCat(v->as_int());
@@ -147,6 +149,8 @@ Result<std::string> Emitter::EmitLiteral(const ValuePtr& v) {
 
 Result<std::string> Emitter::EmitPredicate(const PredicatePtr& p,
                                            const std::string& input_name) {
+  EXA_RETURN_NOT_OK(CheckDepth());
+  DepthGuard guard(&depth_);
   switch (p->kind) {
     case Predicate::Kind::kAtom: {
       EXA_ASSIGN_OR_RETURN(std::string l, EmitScalar(p->lhs, input_name));
@@ -175,6 +179,8 @@ Result<std::string> Emitter::EmitPredicate(const PredicatePtr& p,
 
 Result<std::string> Emitter::EmitScalar(const ExprPtr& e,
                                         const std::string& input_name) {
+  EXA_RETURN_NOT_OK(CheckDepth());
+  DepthGuard guard(&depth_);
   switch (e->kind()) {
     case OpKind::kInput:
       return input_name;
@@ -327,6 +333,8 @@ Result<std::string> Emitter::EmitScalar(const ExprPtr& e,
 }
 
 Result<std::string> Emitter::EmitInto(const ExprPtr& e) {
+  EXA_RETURN_NOT_OK(CheckDepth());
+  DepthGuard guard(&depth_);
   switch (e->kind()) {
     case OpKind::kVar:
       return e->name();

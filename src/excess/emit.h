@@ -62,11 +62,30 @@ class Emitter {
     program_ += "\n";
   }
 
+  /// Emission recurses over plans and literals, which — unlike parsed ASTs
+  /// — have no a-priori depth bound when built via the builder API; guard
+  /// like the parser does so a pathological tree is an error, not a stack
+  /// overflow. Sized like TypeInference::kMaxDepth: asan-inflated frames
+  /// must still reach the guard before exhausting an 8 MB stack.
+  static constexpr int kMaxDepth = 256;
+  struct DepthGuard {
+    explicit DepthGuard(int* depth) : depth_(depth) { ++*depth_; }
+    ~DepthGuard() { --*depth_; }
+    int* depth_;
+  };
+  Status CheckDepth() const {
+    if (depth_ >= kMaxDepth) {
+      return Status::ResourceExhausted("plan nesting too deep to emit");
+    }
+    return Status::OK();
+  }
+
   const Database* db_;
   const MethodRegistry* methods_;
   std::string program_;
   int temp_counter_ = 0;
   int func_counter_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace excess

@@ -18,6 +18,11 @@ Result<ValuePtr> Session::Execute(const std::string& program) {
 }
 
 Result<ValuePtr> Session::ExecuteStatement(const Statement& stmt) {
+  // A cancelled session refuses every statement kind — including DDL that
+  // never reaches the evaluator — until the caller resets the token.
+  if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+    return Status::Cancelled("session cancelled");
+  }
   switch (stmt.kind) {
     case Statement::Kind::kDefineType:
       EXA_RETURN_NOT_OK(ExecDefineType(*stmt.define_type));
@@ -149,7 +154,17 @@ Result<ExprPtr> Session::Translate(const std::string& retrieve_source) {
 
 Result<ValuePtr> Session::EvalTree(const ExprPtr& tree) {
   Evaluator ev(db_, methods_);
-  return ev.Eval(tree);
+  // One governor per evaluated statement: budgets and the deadline are
+  // armed here, cancellation is shared across statements via the session's
+  // token. Mutation statements (append / delete / retrieve into) evaluate
+  // through this path and only commit via Database::SetNamed on OK, so a
+  // tripped budget leaves named objects, schemas, and the OID store as they
+  // were and the session remains fully usable.
+  Governor governor(options_.limits, options_.cancel);
+  ev.set_governor(&governor);
+  auto r = ev.Eval(tree);
+  last_stats_ = ev.stats();
+  return r;
 }
 
 }  // namespace excess

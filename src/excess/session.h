@@ -25,6 +25,15 @@ class Session {
   struct Options {
     bool optimize = true;
     Planner::Options planner;
+    /// Per-statement resource budgets; defaults pick up the
+    /// EXCESS_DEADLINE_MS / EXCESS_MEM_LIMIT_MB env knobs (unlimited when
+    /// unset). A fresh Governor is armed for every executed statement, so
+    /// the deadline is per statement, not per session.
+    ExecLimits limits = ExecLimits::FromEnv();
+    /// Optional shared cancellation flag, polled at every governor
+    /// checkpoint. The caller keeps the other end; CancelToken::Reset()
+    /// re-arms it so the same session can keep executing afterwards.
+    CancelTokenPtr cancel;
   };
 
   Session(Database* db, MethodRegistry* methods)
@@ -53,6 +62,17 @@ class Session {
     return ranges_;
   }
 
+  /// Adjust budgets / cancellation between statements (e.g. relax a limit
+  /// after a kResourceExhausted, or install a token mid-session).
+  void set_limits(const ExecLimits& limits) { options_.limits = limits; }
+  void set_cancel_token(CancelTokenPtr cancel) {
+    options_.cancel = std::move(cancel);
+  }
+
+  /// Stats of the most recent EvalTree (governed evaluation), including
+  /// peak_bytes. Cleared at the start of each evaluated statement.
+  const EvalStats& last_stats() const { return last_stats_; }
+
  private:
   Status ExecDefineType(const DefineTypeStmt& stmt);
   Status ExecCreate(const CreateStmt& stmt);
@@ -67,6 +87,7 @@ class Session {
   Translator translator_;
   Options options_;
   std::vector<std::pair<std::string, ExprAstPtr>> ranges_;
+  EvalStats last_stats_;
 };
 
 }  // namespace excess

@@ -46,6 +46,8 @@ std::string DeriveName(const ExprAstPtr& e) {
 // -----------------------------------------------------------------------------
 
 Result<SchemaPtr> Translator::BuildSchema(const TypeAstPtr& type) const {
+  EXA_RETURN_NOT_OK(CheckDepth());
+  DepthGuard guard(&depth_);
   switch (type->kind) {
     case TypeAst::Kind::kNamed: {
       const std::string& n = type->name;
@@ -389,6 +391,8 @@ Result<Translator::Typed> Translator::TranslateCall(const ExprAstPtr& e,
 
 Result<Translator::Typed> Translator::TranslateExpr(const ExprAstPtr& e,
                                                     const Scope& scope) const {
+  EXA_RETURN_NOT_OK(CheckDepth());
+  DepthGuard guard(&depth_);
   switch (e->kind) {
     case ExprAst::Kind::kIntLit:
       return Typed{alg::IntLit(e->int_value), IntSchema()};
@@ -564,6 +568,8 @@ Result<Translator::Typed> Translator::TranslateExpr(const ExprAstPtr& e,
 
 Result<PredicatePtr> Translator::TranslateBool(const ExprAstPtr& e,
                                                const Scope& scope) const {
+  EXA_RETURN_NOT_OK(CheckDepth());
+  DepthGuard guard(&depth_);
   switch (e->kind) {
     case ExprAst::Kind::kCompare: {
       EXA_ASSIGN_OR_RETURN(Typed a, TranslateExpr(e->base, scope));

@@ -145,8 +145,26 @@ class Translator {
   /// target schema (identity when not a ref).
   Result<Typed> AutoDeref(Typed t) const;
 
+  /// The parser caps AST nesting at 200, but ASTs can also be built
+  /// directly; translation recurses over them (including re-entering
+  /// TranslateCore for nested aggregates), so it carries its own guard —
+  /// comfortably above anything a legal parse produces.
+  static constexpr int kMaxDepth = 500;
+  struct DepthGuard {
+    explicit DepthGuard(int* depth) : depth_(depth) { ++*depth_; }
+    ~DepthGuard() { --*depth_; }
+    int* depth_;
+  };
+  Status CheckDepth() const {
+    if (depth_ >= kMaxDepth) {
+      return Status::ResourceExhausted("expression nesting too deep to translate");
+    }
+    return Status::OK();
+  }
+
   const Database* db_;
   const MethodRegistry* methods_;
+  mutable int depth_ = 0;  // guards recursion in const translate methods
 };
 
 }  // namespace excess

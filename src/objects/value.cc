@@ -187,6 +187,37 @@ int64_t Value::TotalCount() const {
 
 int64_t Value::DistinctCount() const { return static_cast<int64_t>(set_.size()); }
 
+int64_t Value::ShallowSizeBytes() const {
+  int64_t n = static_cast<int64_t>(sizeof(Value));
+  // Small-string storage lives inside the object; only heap spill counts.
+  if (str_.capacity() > sizeof(std::string)) {
+    n += static_cast<int64_t>(str_.capacity());
+  }
+  if (type_tag_.capacity() > sizeof(std::string)) {
+    n += static_cast<int64_t>(type_tag_.capacity());
+  }
+  n += static_cast<int64_t>(names_.capacity() * sizeof(std::string));
+  for (const auto& name : names_) {
+    if (name.capacity() > sizeof(std::string)) {
+      n += static_cast<int64_t>(name.capacity());
+    }
+  }
+  n += static_cast<int64_t>(elems_.capacity() * sizeof(ValuePtr));
+  n += static_cast<int64_t>(set_.capacity() * sizeof(SetEntry));
+  return n;
+}
+
+int64_t Value::DeepSizeBytes() const {
+  int64_t n = ShallowSizeBytes();
+  for (const auto& e : elems_) {
+    if (e != nullptr) n += e->DeepSizeBytes();
+  }
+  for (const auto& e : set_) {
+    if (e.value != nullptr) n += e.value->DeepSizeBytes();
+  }
+  return n;
+}
+
 int64_t Value::CountOf(const ValuePtr& v) const {
   for (const auto& e : set_) {
     if (e.value->Equals(*v)) return e.count;

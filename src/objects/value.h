@@ -139,6 +139,19 @@ class Value {
   const std::vector<ValuePtr>& elems() const { return elems_; }
   int64_t ArrayLength() const { return static_cast<int64_t>(elems_.size()); }
 
+  // --- memory accounting ---------------------------------------------------
+  /// Bytes this node itself occupies: the object plus its owned buffers
+  /// (string storage, field-name / element / entry vectors). Children are
+  /// excluded — they are shared immutable substructure, so the incremental
+  /// cost of materializing a new value is exactly its shallow size. This is
+  /// what the query governor charges per fresh node.
+  int64_t ShallowSizeBytes() const;
+  /// Total bytes of the value graph reachable from this node. Shared
+  /// subvalues are counted once per occurrence (no visited-set), making
+  /// this an upper bound on unique storage; used for whole-value reporting,
+  /// not incremental accounting.
+  int64_t DeepSizeBytes() const;
+
   // --- equality / hashing / printing --------------------------------------
   bool Equals(const Value& other) const;
   bool Equals(const ValuePtr& other) const { return other && Equals(*other); }

@@ -21,6 +21,10 @@ enum class StatusCode {
   kAlreadyExists,  // duplicate definition
   kUnsupported,    // feature intentionally out of scope
   kInternal,       // invariant violation (a bug in this library)
+  kResourceExhausted,  // governor budget exceeded (memory / occurrences /
+                       // recursion depth)
+  kDeadlineExceeded,   // governor wall-clock deadline passed
+  kCancelled,          // query cancelled via CancelToken
 };
 
 /// Returns a stable human-readable name ("TypeError", ...) for a code.
@@ -61,6 +65,15 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -70,6 +83,13 @@ class Status {
   bool IsEvalError() const { return code_ == StatusCode::kEvalError; }
   bool IsParseError() const { return code_ == StatusCode::kParseError; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

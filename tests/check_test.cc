@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "check/faultinject.h"
 #include "check/gen.h"
 #include "check/oracle.h"
 #include "check/shrink.h"
@@ -90,6 +91,26 @@ TEST(OracleSweep, RoundTrip) {
     ASSERT_TRUE(divs.empty()) << Describe(divs.front());
   }
   EXPECT_GE(stats.comparisons, static_cast<int64_t>(kSweepSeeds) / 4);
+}
+
+TEST(OracleSweep, FaultInjection) {
+  // Oracle 4: graceful degradation. Each seed's plans are re-executed
+  // under a geometric sweep of injected faults (allocation failure,
+  // cancellation, worker-batch kill) at every reachable fault point; every
+  // fault must surface as its typed Status, and a post-fault replay must
+  // still produce the reference answer. Run under the asan preset this is
+  // also the leak check for every error-return path the governor adds.
+  GenOptions opts;
+  FaultSweepStats stats;
+  std::vector<Divergence> divs;
+  for (uint64_t seed = 0; seed < kSweepSeeds; ++seed) {
+    ASSERT_TRUE(CheckFaultSeed(seed, opts, &stats, &divs).ok());
+    ASSERT_TRUE(divs.empty()) << Describe(divs.front());
+  }
+  EXPECT_GE(stats.plans, static_cast<int64_t>(kSweepSeeds));
+  EXPECT_GT(stats.runs, 0);
+  EXPECT_GT(stats.faults_fired, 0);      // the sweep actually reached faults
+  EXPECT_EQ(stats.replays, stats.runs);  // every run was replay-verified
 }
 
 TEST(OracleSweep, ParserFuzz) {

@@ -58,6 +58,19 @@ void Run() {
       "scan instead of four; the paper presents the chain as the natural\n"
       "initial tree (Fig. 4) and fusion as the rule-15 rewrite (Fig. 10\n"
       "shows the same idea for Example 2).\n");
+
+  // Archive the figure trees as estimates-only EXPLAIN JSON for CI.
+  {
+    Database db;
+    UniversityParams p;
+    p.num_employees = 1000;
+    p.num_departments = 20;
+    if (!BuildUniversity(&db, p).ok()) std::abort();
+    WritePlanJson(&db, "fig3_4",
+                  {{"fig3", Fig3Plan()},
+                   {"fig4_chain", Fig4Plan("city_0")},
+                   {"fig4_fused", Fig4FusedPlan("city_0")}});
+  }
 }
 
 }  // namespace

@@ -145,6 +145,17 @@ void Run() {
            "workload", {200, 1000}, 16);
   Scenario("expensive method, sub_ords = 128", "workload", {200, 1000}, 128);
   ComposedQueryScenario();
+
+  // Archive the dispatch plan trees as estimates-only EXPLAIN JSON for CI.
+  {
+    Fixture f = MakeFixture(200, 4);
+    DispatchPlanner planner(f.db.get(), f.registry.get());
+    auto a = planner.SwitchTablePlan(Var("P"), "boss");
+    auto b = planner.UnionPlan(Var("P"), "Person", "boss");
+    if (!a.ok() || !b.ok()) std::abort();
+    WritePlanJson(f.db.get(), "fig5",
+                  {{"boss_switch", *a}, {"boss_union", *b}});
+  }
   std::printf(
       "Shapes (§4): for the trivial method the single-scan switch table is\n"
       "competitive and the 3-scan union plan pays for its extra passes —\n"

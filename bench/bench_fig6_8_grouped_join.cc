@@ -153,6 +153,13 @@ void Run() {
   p.advisor_as_name = true;
   p.duplication = 3;
   if (!BuildUniversity(&db, p).ok()) std::abort();
+  // Archive the three figure trees (plus the lowered hash-join form of the
+  // parser-style tree) as estimates-only EXPLAIN JSON for CI.
+  WritePlanJson(&db, "fig6_8",
+                {{"fig6", Fig6Plan()},
+                 {"fig7", Fig7Plan()},
+                 {"fig8", Fig8Plan()},
+                 {"fig6_hash", LowerPhysical(Fig6Plan())}});
   EvalStats s7;
   MustEval(&db, Fig7Plan(), &s7);
   EvalStats s8;

@@ -93,6 +93,11 @@ void Run() {
   p.num_departments = 15;
   if (!BuildUniversity(&db, p).ok()) std::abort();
   ExprPtr fig9 = Fig9Plan(1);
+  // Archive the three figure trees as estimates-only EXPLAIN JSON for CI.
+  WritePlanJson(&db, "fig9_11",
+                {{"fig9", fig9},
+                 {"fig10", Fig10Plan(1)},
+                 {"fig11", Fig11Plan(1)}});
   Rewriter r10(&db, RuleSet::Only({"selection-before-group"}));
   Rewriter r15(&db, RuleSet::Only({"combine-set-applys"}));
   Rewriter r26(&db, RuleSet::Only({"push-enrichment-into-comp"},

@@ -16,6 +16,7 @@
 #include "core/builder.h"
 #include "core/eval.h"
 #include "core/physical.h"
+#include "obs/explain.h"
 #include "university/university.h"
 
 namespace excess {
@@ -255,6 +256,31 @@ inline void WriteBenchJson(const std::string& name,
                  rows[i].plan.c_str(),
                  static_cast<long long>(rows[i].occurrences), rows[i].wall_ms,
                  rows[i].speedup, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+/// Writes each named plan's estimates-only EXPLAIN report (the JSON schema
+/// of docs/OBSERVABILITY.md) as PLAN_<name>.json next to the bench's
+/// BENCH_<name>.json, so CI archives the exact trees the numbers came from.
+inline void WritePlanJson(
+    Database* db, const std::string& name,
+    const std::vector<std::pair<std::string, ExprPtr>>& plans) {
+  std::string path = "PLAN_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"plans\": [\n", name.c_str());
+  for (size_t i = 0; i < plans.size(); ++i) {
+    obs::ExplainReport report =
+        obs::ExplainPlan(db, plans[i].second, CostParams(), plans[i].first);
+    std::fprintf(f, "    {\"plan\": \"%s\", \"report\": %s}%s\n",
+                 plans[i].first.c_str(), report.ToJson().c_str(),
+                 i + 1 < plans.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);

@@ -10,9 +10,27 @@
 #include "core/rules.h"
 #include "excess/session.h"
 #include "methods/registry.h"
+#include "obs/trace.h"
 
 using namespace excess;         // NOLINT(build/namespaces) — example code
 using namespace excess::bench;  // NOLINT(build/namespaces)
+
+namespace {
+
+/// Prints a recorded rewrite trace the way EXPLAIN (TRACE) renders it.
+void PrintTrace(const obs::RewriteTrace& trace) {
+  for (size_t i = 0; i < trace.steps().size(); ++i) {
+    const obs::TraceStep& s = trace.steps()[i];
+    std::printf("  %zu. [%s] %s", i + 1, s.phase.c_str(), s.rule.c_str());
+    if (s.paper_id > 0) std::printf(" (paper rule %d)", s.paper_id);
+    if (s.cost_before >= 0 && s.cost_after >= 0) {
+      std::printf(": cost %.0f -> %.0f", s.cost_before, s.cost_after);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
 
 int main() {
   Database db;
@@ -38,16 +56,23 @@ int main() {
   std::printf("\nFigure 9 (initial tree):\n%s", fig9->ToTreeString().c_str());
 
   Rewriter r15(&db, RuleSet::Only({"combine-set-applys"}));
+  obs::RewriteTrace t15(&db, CostParams());
+  r15.set_observer(&t15);
   ExprPtr fig10 = *r15.Rewrite(fig9);
   std::printf("\nFigure 10 (rule 15, %zu applications):\n%s",
               r15.applied().size(), fig10->ToTreeString().c_str());
+  PrintTrace(t15);
 
   Rewriter r10(&db, RuleSet::Only({"selection-before-group"}));
   Rewriter r26(&db, RuleSet::Only({"push-enrichment-into-comp"},
                                   /*force_directed=*/true));
+  obs::RewriteTrace t1026(&db, CostParams());
+  r10.set_observer(&t1026);
+  r26.set_observer(&t1026);
   ExprPtr fig11 = *r26.Rewrite(*r10.Rewrite(fig9));
   std::printf("\nFigure 11 (rules 10 + 26):\n%s",
               fig11->ToTreeString().c_str());
+  PrintTrace(t1026);
 
   EvalStats s9;
   MustEval(&db, fig9, &s9);
@@ -70,10 +95,12 @@ int main() {
   Planner::Options opts;
   opts.search_budget = 32;
   Planner planner(&db, opts);
+  obs::RewriteTrace planner_trace(&db, opts.cost_params);
+  planner.set_observer(&planner_trace);
   auto choices = *planner.Enumerate(raw);
-  std::printf("\nheuristic rules fired:");
-  for (const auto& r : planner.heuristic_trace()) std::printf(" %s", r.c_str());
-  std::printf("\n%zu plans considered; top three by estimated cost:\n",
+  std::printf("\nrewrite trace (%zu steps):\n", planner_trace.steps().size());
+  PrintTrace(planner_trace);
+  std::printf("%zu plans considered; top three by estimated cost:\n",
               choices.size());
   for (size_t i = 0; i < choices.size() && i < 3; ++i) {
     std::printf("\n#%zu (est %.0f):\n%s", i + 1, choices[i].estimate.total,
@@ -84,5 +111,20 @@ int main() {
   ValuePtr orig = MustEval(&db, raw);
   std::printf("\nbest plan matches the original: %s\n",
               best->Equals(*orig) ? "yes" : "NO");
+
+  std::printf("\n=== The same view through EXPLAIN ANALYZE ===\n");
+  auto explained = session.Execute(std::string("explain analyze (trace) ") + q);
+  if (!explained.ok()) {
+    std::printf("explain failed: %s\n",
+                explained.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", (*explained)->as_string().c_str());
+  auto report = session.last_explain();
+  std::printf("programmatic: analyzed=%s result_occurrences=%lld "
+              "trace_steps=%zu\n",
+              report->analyzed ? "true" : "false",
+              static_cast<long long>(report->result_occurrences),
+              report->trace.size());
   return 0;
 }

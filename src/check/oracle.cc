@@ -244,11 +244,15 @@ Status CheckLoweringSeed(uint64_t seed, const GenOptions& opts,
       continue;
     }
 
-    // (a) Direct physical lowering: 3VL-exact.
+    // (a) Direct physical lowering: 3VL-exact. The evaluation runs under a
+    // PlanProfile so the EXPLAIN ANALYZE invariant is fuzzed alongside: the
+    // profile's root actuals must agree with the evaluated answer.
     ExprPtr lowered = LowerPhysical(plan);
     {
       ++stats->comparisons;
       Evaluator ev(&db);
+      PlanProfile profile;
+      ev.set_profile(&profile);
       auto after = ev.Eval(lowered);
       if (!after.ok()) {
         out->push_back(MakeDivergence(
@@ -259,6 +263,21 @@ Status CheckLoweringSeed(uint64_t seed, const GenOptions& opts,
             "lowering", "LowerPhysical", seed, plan, lowered,
             StrCat("logical: ", (*before)->ToString(), "\nphysical: ",
                    (*after)->ToString())));
+      } else {
+        const ValuePtr& v = *after;
+        int64_t expect = v->is_set()     ? v->TotalCount()
+                         : v->is_array() ? v->ArrayLength()
+                                         : 1;
+        const NodeProfile* root = profile.Find(lowered.get());
+        if (root == nullptr || root->out_occurrences != expect ||
+            root->invocations != 1) {
+          out->push_back(MakeDivergence(
+              "lowering", "explain-profile", seed, plan, lowered,
+              StrCat("profile root out=",
+                     std::to_string(root ? root->out_occurrences : -1),
+                     " calls=", std::to_string(root ? root->invocations : -1),
+                     ", result occurrences=", std::to_string(expect))));
+        }
       }
     }
 

@@ -9,9 +9,23 @@
 #include "core/analysis.h"
 #include "core/kernels.h"
 #include "core/parallel.h"
+#include "obs/metrics.h"
 #include "util/string_util.h"
 
 namespace excess {
+
+namespace {
+
+/// Occurrences a produced value represents: multiset total count, array
+/// length, 1 for everything else (scalars, tuples, refs, nulls).
+int64_t OutOccurrences(const ValuePtr& v) {
+  if (v == nullptr) return 0;
+  if (v->is_set()) return v->TotalCount();
+  if (v->is_array()) return v->ArrayLength();
+  return 1;
+}
+
+}  // namespace
 
 int64_t EvalStats::TotalInvocations() const {
   int64_t n = 0;
@@ -99,6 +113,9 @@ Result<ValuePtr> Evaluator::EvalNode(const Expr& e, const Ctx& ctx) {
   if (r.ok()) {
     Status s = ChargeFresh(*r);
     if (!s.ok()) return s;
+    if (profile_ != nullptr) {
+      profile_->At(&e).out_occurrences += OutOccurrences(*r);
+    }
   }
   return r;
 }
@@ -114,6 +131,7 @@ Result<ValuePtr> Evaluator::EvalNodeTimed(const Expr& e, const Ctx& ctx) {
                    std::chrono::steady_clock::now() - t0)
                    .count();
   stats_.nanos[static_cast<int>(e.kind())] += dt - child_time_ns_;
+  if (profile_ != nullptr) profile_->At(&e).self_nanos += dt - child_time_ns_;
   child_time_ns_ = saved + dt;
   return r;
 }
@@ -131,10 +149,12 @@ Status Evaluator::ParallelMap(const ExprPtr& sub, const Ctx& ctx,
   WorkerPool& pool = WorkerPool::Instance();
   const int max_parts = pool.size();
   std::vector<EvalStats> worker_stats(static_cast<size_t>(max_parts));
+  std::vector<PlanProfile> worker_profiles(
+      profile_ != nullptr ? static_cast<size_t>(max_parts) : 0);
   std::vector<Status> worker_status(static_cast<size_t>(max_parts),
                                     Status::OK());
   std::atomic<bool> failed{false};
-  pool.ParallelFor(
+  int parts_used = pool.ParallelFor(
       inputs.size(), /*min_chunk=*/64,
       [&](int part, size_t begin, size_t end) {
         Evaluator worker(db_, methods_);
@@ -144,6 +164,12 @@ Status Evaluator::ParallelMap(const ExprPtr& sub, const Ctx& ctx,
         // checkpoint and the ParallelFor barrier drains the rest.
         worker.governor_ = governor_;
         worker.max_depth_ = max_depth_;
+        worker.timing_enabled_ = timing_enabled_;
+        // Private per-worker profile over the shared subscript tree; the
+        // stable Expr addresses make the pointer-keyed merge exact.
+        if (profile_ != nullptr) {
+          worker.profile_ = &worker_profiles[static_cast<size_t>(part)];
+        }
         Ctx inner = ctx;
         for (size_t i = begin; i < end; ++i) {
           if (failed.load(std::memory_order_relaxed)) break;
@@ -167,6 +193,20 @@ Status Evaluator::ParallelMap(const ExprPtr& sub, const Ctx& ctx,
         worker_stats[static_cast<size_t>(part)] = worker.stats_;
       });
   for (const auto& ws : worker_stats) stats_.Merge(ws);
+  for (const auto& wp : worker_profiles) profile_->Merge(wp);
+  {
+    // Batch utilization: how many partitions each parallel APPLY actually
+    // fanned out to, and how many items it covered.
+    static obs::Histogram* partitions =
+        obs::MetricsRegistry::Global().GetHistogram("parallel.partitions");
+    static obs::Counter* batches =
+        obs::MetricsRegistry::Global().GetCounter("parallel.batches");
+    static obs::Counter* items =
+        obs::MetricsRegistry::Global().GetCounter("parallel.items");
+    partitions->Observe(parts_used);
+    batches->Increment();
+    items->Increment(static_cast<int64_t>(inputs.size()));
+  }
   // Deterministic error selection: lowest partition wins, so the reported
   // failure does not depend on thread scheduling.
   for (const auto& st : worker_status) {
@@ -599,6 +639,20 @@ Result<ValuePtr> Evaluator::EvalHashJoin(const Expr& e, const Ctx& ctx) {
     return Value::EmptySet();
   }
 
+  static obs::Counter* m_nested_loop =
+      obs::MetricsRegistry::Global().GetCounter("hashjoin.nested_loop");
+  static obs::Counter* m_builds =
+      obs::MetricsRegistry::Global().GetCounter("hashjoin.builds");
+  static obs::Counter* m_build_entries =
+      obs::MetricsRegistry::Global().GetCounter("hashjoin.build_entries");
+  static obs::Counter* m_probe_entries =
+      obs::MetricsRegistry::Global().GetCounter("hashjoin.probe_entries");
+  static obs::Counter* m_pairs =
+      obs::MetricsRegistry::Global().GetCounter("hashjoin.pairs_tested");
+  static obs::Histogram* m_chain =
+      obs::MetricsRegistry::Global().GetHistogram("hashjoin.chain_length");
+  int64_t pairs_tested = 0;
+
   const Predicate& theta = *e.pred();
   std::vector<SetEntry> out;
   // Evaluates the *full* predicate θ on one (a, b) pair; this is what makes
@@ -608,6 +662,7 @@ Result<ValuePtr> Evaluator::EvalHashJoin(const Expr& e, const Ctx& ctx) {
   GovernorBatch batch(governor_);
   int64_t pair_bytes = -1, pending_bytes = 0;
   auto emit_pair = [&](const SetEntry& ea, const SetEntry& eb) -> Status {
+    ++pairs_tested;
     ValuePtr pair = Value::TupleOf({ea.value, eb.value});
     if (governor_ != nullptr) {
       // Every pair tuple has the same shallow shape; size the first one and
@@ -657,6 +712,8 @@ Result<ValuePtr> Evaluator::EvalHashJoin(const Expr& e, const Ctx& ctx) {
       }
     }
     EXA_RETURN_NOT_OK(flush_join_budget());
+    m_nested_loop->Increment();
+    m_pairs->Increment(pairs_tested);
     return Value::SetOfCounted(std::move(out));
   }
 
@@ -705,9 +762,13 @@ Result<ValuePtr> Evaluator::EvalHashJoin(const Expr& e, const Ctx& ctx) {
       table;
   table.reserve(build.size());
   for (const auto& k : build) table[k.key].push_back(k.entry);
+  m_builds->Increment();
+  m_build_entries->Increment(static_cast<int64_t>(build.size()));
+  m_probe_entries->Increment(static_cast<int64_t>(probe.size()));
   for (const auto& p : probe) {
     auto it = table.find(p.key);
     if (it == table.end()) continue;
+    m_chain->Observe(static_cast<int64_t>(it->second.size()));
     for (const SetEntry* matched : it->second) {
       const SetEntry& ea = build_left ? *matched : *p.entry;
       const SetEntry& eb = build_left ? *p.entry : *matched;
@@ -726,6 +787,7 @@ Result<ValuePtr> Evaluator::EvalHashJoin(const Expr& e, const Ctx& ctx) {
     for (const SetEntry* a : da) EXA_RETURN_NOT_OK(emit_pair(*a, *b));
   }
   EXA_RETURN_NOT_OK(flush_join_budget());
+  m_pairs->Increment(pairs_tested);
   return Value::SetOfCounted(std::move(out));
 }
 

@@ -4,6 +4,7 @@
 #include <array>
 #include <cstddef>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/expr.h"
@@ -66,6 +67,53 @@ struct EvalStats {
   std::string ToString() const;
 };
 
+/// Per-node actuals for EXPLAIN ANALYZE. Updated by the same Count() call
+/// that feeds EvalStats, so for every operator kind the sum of a profile's
+/// per-node invocations/occurrences over nodes of that kind equals the
+/// EvalStats entry by construction — the consistency EXPLAIN ANALYZE
+/// promises is an invariant, not a reconciliation.
+struct NodeProfile {
+  int64_t invocations = 0;
+  /// Occurrences consumed, with the same per-kind accounting rules as
+  /// EvalStats::occurrences.
+  int64_t occurrences_in = 0;
+  /// Total occurrences produced across all invocations of this node
+  /// (multiset total counts / array lengths; 1 per scalar or tuple result).
+  int64_t out_occurrences = 0;
+  /// Self wall-clock (children excluded); only populated when the owning
+  /// evaluator's timing is enabled.
+  int64_t self_nanos = 0;
+
+  void Merge(const NodeProfile& o) {
+    invocations += o.invocations;
+    occurrences_in += o.occurrences_in;
+    out_occurrences += o.out_occurrences;
+    self_nanos += o.self_nanos;
+  }
+};
+
+/// A per-plan-node breakdown, keyed by node identity (Expr addresses are
+/// stable: plans are immutable shared_ptr DAGs). Parallel APPLY gives each
+/// worker a private profile over the *same* shared subscript tree, so
+/// merging by pointer attributes worker time to the right nodes.
+class PlanProfile {
+ public:
+  NodeProfile& At(const Expr* e) { return nodes_[e]; }
+  const NodeProfile* Find(const Expr* e) const {
+    auto it = nodes_.find(e);
+    return it == nodes_.end() ? nullptr : &it->second;
+  }
+  void Merge(const PlanProfile& other) {
+    for (const auto& [node, prof] : other.nodes_) nodes_[node].Merge(prof);
+  }
+  const std::unordered_map<const Expr*, NodeProfile>& nodes() const {
+    return nodes_;
+  }
+
+ private:
+  std::unordered_map<const Expr*, NodeProfile> nodes_;
+};
+
 /// The algebra interpreter. Evaluates an expression tree against a
 /// Database; INPUT is bound by enclosing SET_APPLY / ARR_APPLY / GRP
 /// subscripts and by COMP.
@@ -116,6 +164,13 @@ class Evaluator {
   }
   Governor* governor() const { return governor_; }
 
+  /// Attaches a per-node profile (non-owning; must outlive evaluation).
+  /// EXPLAIN ANALYZE's data source: every Count() also lands in the profile,
+  /// and node results/self-times are recorded per Expr. Enable timing too if
+  /// self_nanos should be populated.
+  void set_profile(PlanProfile* profile) { profile_ = profile; }
+  PlanProfile* profile() const { return profile_; }
+
  private:
   struct Ctx {
     ValuePtr input;                          // INPUT binding (may be null)
@@ -151,6 +206,11 @@ class Evaluator {
   void Count(const Expr& e, int64_t occurrences_in = 0) {
     ++stats_.invocations[static_cast<int>(e.kind())];
     stats_.occurrences[static_cast<int>(e.kind())] += occurrences_in;
+    if (profile_ != nullptr) {
+      NodeProfile& np = profile_->At(&e);
+      ++np.invocations;
+      np.occurrences_in += occurrences_in;
+    }
   }
 
   /// Charges `v` against the memory budget iff this evaluation materialized
@@ -167,6 +227,7 @@ class Evaluator {
   const MethodResolver* methods_;
   EvalStats stats_;
   Governor* governor_ = nullptr;
+  PlanProfile* profile_ = nullptr;
   int depth_ = 0;
   int max_depth_ = kDefaultEvalDepth;
   bool timing_enabled_ = false;

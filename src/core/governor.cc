@@ -4,7 +4,21 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace excess {
+
+namespace {
+
+/// Every budget trip is minted through exactly one of the functions below,
+/// so counting there gives a complete governor.trips.* breakdown.
+void CountTrip(const char* kind) {
+  obs::MetricsRegistry::Global()
+      .GetCounter(std::string("governor.trips.") + kind)
+      ->Increment();
+}
+
+}  // namespace
 
 namespace internal {
 
@@ -55,6 +69,7 @@ Status Governor::ChargeBytes(int64_t bytes) {
                            peak, cur, std::memory_order_relaxed)) {
   }
   if (limits_.max_bytes > 0 && cur > limits_.max_bytes) {
+    CountTrip("memory");
     return Status::ResourceExhausted(
         "memory budget exceeded: " + std::to_string(cur) + " bytes charged, " +
         std::to_string(limits_.max_bytes) + " allowed");
@@ -72,6 +87,7 @@ void Governor::ReleaseBytes(int64_t bytes) {
 
 Status Governor::CheckDeadline() {
   if (std::chrono::steady_clock::now() >= deadline_) {
+    CountTrip("deadline");
     return Status::DeadlineExceeded("deadline of " +
                                     std::to_string(limits_.deadline_ms) +
                                     " ms exceeded");
@@ -79,7 +95,13 @@ Status Governor::CheckDeadline() {
   return Status::OK();
 }
 
+Status Governor::CancelledTrip() {
+  CountTrip("cancelled");
+  return Status::Cancelled("query cancelled");
+}
+
 Status Governor::OccurrenceLimit(int64_t total) const {
+  CountTrip("occurrences");
   return Status::ResourceExhausted(
       "occurrence budget exceeded: " + std::to_string(total) +
       " occurrences materialized, " +

@@ -90,7 +90,7 @@ class Governor {
       if (!s.ok()) return s;
     }
     if (cancel_ != nullptr && cancel_->cancelled()) {
-      return Status::Cancelled("query cancelled");
+      return CancelledTrip();
     }
     if (new_occurrences > 0) {
       int64_t total = occurrences_.fetch_add(new_occurrences,
@@ -137,6 +137,8 @@ class Governor {
 
   Status CheckDeadline();
   Status OccurrenceLimit(int64_t total) const;
+  /// Mints the Cancelled status (and counts the trip) off the hot path.
+  static Status CancelledTrip();
 
   ExecLimits limits_;
   CancelTokenPtr cancel_;

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "core/physical.h"
+#include "obs/metrics.h"
 
 namespace excess {
 
@@ -22,6 +23,7 @@ Result<std::vector<PlanChoice>> Planner::Enumerate(const ExprPtr& query) {
 
   // Phase 1: heuristic fixpoint.
   Rewriter heuristic(db_, RuleSet::Heuristic());
+  heuristic.set_observer(observer_);
   EXA_ASSIGN_OR_RETURN(ExprPtr seed, heuristic.Rewrite(query));
   heuristic_trace_ = heuristic.applied();
 
@@ -64,21 +66,36 @@ Result<std::vector<PlanChoice>> Planner::Enumerate(const ExprPtr& query) {
       if (raw_est.ok()) frontier.push({query, *raw_est});
     }
 
+    double best_total = choices.front().estimate.total;
     int expanded = 0;
     while (!frontier.empty() && expanded < options_.search_budget) {
       PlanChoice current = frontier.top();
       frontier.pop();
       ++expanded;
-      for (const auto& next : all.EnumerateNeighbors(current.plan)) {
+      for (auto& tagged : all.EnumerateNeighborsTagged(current.plan)) {
+        const ExprPtr& next = tagged.tree;
         if (!mark_seen(next)) continue;
         auto est = cost.Estimate(next);
         if (!est.ok()) continue;
+        // An adopted improvement: this single rule application produced the
+        // cheapest plan seen so far. The trace records these (and only
+        // these) search steps — the full neighbor fan-out is noise.
+        if (observer_ != nullptr && est->total < best_total) {
+          observer_->OnRewrite("search", *tagged.rule, current.plan, next);
+        }
+        best_total = std::min(best_total, est->total);
         PlanChoice choice{next, *est};
         choices.push_back(choice);
         frontier.push(std::move(choice));
       }
     }
+    obs::MetricsRegistry::Global()
+        .GetCounter("planner.search_expanded")
+        ->Increment(expanded);
   }
+  obs::MetricsRegistry::Global()
+      .GetCounter("planner.plans_considered")
+      ->Increment(static_cast<int64_t>(choices.size()));
 
   std::stable_sort(choices.begin(), choices.end(),
                    [](const PlanChoice& a, const PlanChoice& b) {

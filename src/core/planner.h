@@ -53,10 +53,18 @@ class Planner {
     return heuristic_trace_;
   }
 
+  /// Attaches a rewrite-trace observer (non-owning; may be null). It sees
+  /// every heuristic-phase rule firing (phase "heuristic", sub-expression
+  /// granularity) and, for the cost-based phase, each adopted improvement —
+  /// a neighbor whose estimate beats the best plan found so far (phase
+  /// "search", whole-tree granularity).
+  void set_observer(RewriteObserver* observer) { observer_ = observer; }
+
  private:
   const Database* db_;
   Options options_;
   std::vector<std::string> heuristic_trace_;
+  RewriteObserver* observer_ = nullptr;
 };
 
 }  // namespace excess

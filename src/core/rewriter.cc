@@ -1,6 +1,7 @@
 #include "core/rewriter.h"
 
 #include "core/infer.h"
+#include "obs/metrics.h"
 
 namespace excess {
 
@@ -33,6 +34,12 @@ ExprPtr Rewriter::PassDirected(const ExprPtr& e, const SchemaPtr& input_schema) 
     auto result = rule.apply(e, ctx);
     if (result.has_value()) {
       applied_.push_back(rule.name);
+      obs::MetricsRegistry::Global()
+          .GetCounter("rules.fired." + rule.name)
+          ->Increment();
+      if (observer_ != nullptr) {
+        observer_->OnRewrite("heuristic", rule, e, *result);
+      }
       return *result;
     }
   }
@@ -118,13 +125,13 @@ Result<ExprPtr> Rewriter::Rewrite(const ExprPtr& expr, int max_steps) {
 
 void Rewriter::Neighbors(const ExprPtr& e, const SchemaPtr& input_schema,
                          const std::function<ExprPtr(ExprPtr)>& rebuild,
-                         std::vector<ExprPtr>* out) {
+                         std::vector<TaggedNeighbor>* out) {
   RuleContext ctx;
   ctx.db = db_;
   ctx.input_schema = input_schema;
   for (const auto& rule : rules_.rules()) {
     auto result = rule.apply(e, ctx);
-    if (result.has_value()) out->push_back(rebuild(*result));
+    if (result.has_value()) out->push_back({&rule, rebuild(*result)});
   }
   for (size_t i = 0; i < e->num_children(); ++i) {
     auto rebuild_child = [&, i](ExprPtr repl) {
@@ -141,9 +148,18 @@ void Rewriter::Neighbors(const ExprPtr& e, const SchemaPtr& input_schema,
   }
 }
 
+std::vector<Rewriter::TaggedNeighbor> Rewriter::EnumerateNeighborsTagged(
+    const ExprPtr& expr) {
+  std::vector<TaggedNeighbor> out;
+  Neighbors(expr, nullptr, [](ExprPtr e) { return e; }, &out);
+  return out;
+}
+
 std::vector<ExprPtr> Rewriter::EnumerateNeighbors(const ExprPtr& expr) {
   std::vector<ExprPtr> out;
-  Neighbors(expr, nullptr, [](ExprPtr e) { return e; }, &out);
+  for (auto& tagged : EnumerateNeighborsTagged(expr)) {
+    out.push_back(std::move(tagged.tree));
+  }
   return out;
 }
 

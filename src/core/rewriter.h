@@ -10,6 +10,19 @@
 
 namespace excess {
 
+/// Observer for rule firings (the rewrite-trace seam used by EXPLAIN
+/// (TRACE) / obs::RewriteTrace). `before` and `after` are the matched
+/// sub-expression and its replacement, not the whole tree. Phases:
+///  - "heuristic": a directed rule fired during a fixpoint Rewrite();
+///  - "search": the cost-based planner adopted this rewrite because it
+///    improved the best estimate so far (Planner reports these).
+class RewriteObserver {
+ public:
+  virtual ~RewriteObserver() = default;
+  virtual void OnRewrite(const char* phase, const RewriteRule& rule,
+                         const ExprPtr& before, const ExprPtr& after) = 0;
+};
+
 /// Applies transformation rules to query trees. Two modes:
 ///  - Rewrite(): runs the rule set's *directed* rules to a fixpoint
 ///    (top-down, first match wins per pass) — the heuristic phase an
@@ -34,8 +47,23 @@ class Rewriter {
   /// exploratory rules alike).
   std::vector<ExprPtr> EnumerateNeighbors(const ExprPtr& expr);
 
+  /// One enumerated neighbor, tagged with the rule that produced it (the
+  /// pointer aims into this Rewriter's rule set and lives as long as it).
+  struct TaggedNeighbor {
+    const RewriteRule* rule;
+    ExprPtr tree;
+  };
+  /// As EnumerateNeighbors, but attributed — the planner's search phase
+  /// uses this to report *which* rule produced an adopted improvement.
+  std::vector<TaggedNeighbor> EnumerateNeighborsTagged(const ExprPtr& expr);
+
   /// Names of rules fired by the last Rewrite(), in order.
   const std::vector<std::string>& applied() const { return applied_; }
+
+  /// Attaches a trace observer (non-owning; may be null). Fired once per
+  /// directed-rule application inside Rewrite(), with the matched
+  /// sub-expression and its replacement.
+  void set_observer(RewriteObserver* observer) { observer_ = observer; }
 
  private:
   /// Tries to apply one directed rule anywhere in `e` (top-down). Returns
@@ -46,7 +74,7 @@ class Rewriter {
   /// `rebuild` maps a replacement for `e` to a full tree.
   void Neighbors(const ExprPtr& e, const SchemaPtr& input_schema,
                  const std::function<ExprPtr(ExprPtr)>& rebuild,
-                 std::vector<ExprPtr>* out);
+                 std::vector<TaggedNeighbor>* out);
 
   /// INPUT schema for the subscript of apply/group node `e` whose data
   /// input has schema context `input_schema`; null when unknown.
@@ -55,6 +83,7 @@ class Rewriter {
   const Database* db_;
   RuleSet rules_;
   std::vector<std::string> applied_;
+  RewriteObserver* observer_ = nullptr;
 };
 
 }  // namespace excess

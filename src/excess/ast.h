@@ -140,10 +140,26 @@ struct DeleteStmt {
   ExprAstPtr where;
 };
 
+struct Statement;
+
+/// `explain [analyze] [(trace | json | analyze, ...)] <stmt>`: renders the
+/// inner statement's logical/physical plans (with per-node actuals under
+/// `analyze`) instead of committing its effect. `explain analyze` of a
+/// mutation (append / delete / retrieve into) executes the plan but never
+/// stores the result. The keywords are context-sensitive identifiers — no
+/// statement can otherwise begin with one, so existing programs parse
+/// unchanged.
+struct ExplainStmt {
+  bool analyze = false;
+  bool trace = false;  // include the rewrite trace in the rendering
+  bool json = false;   // emit the JSON schema instead of the pretty tree
+  std::shared_ptr<Statement> inner;  // retrieve / append / delete
+};
+
 struct Statement {
   enum class Kind {
     kDefineType, kCreate, kRange, kRetrieve, kDefineFunction, kAppend,
-    kDelete,
+    kDelete, kExplain,
   };
   Kind kind = Kind::kRetrieve;
   std::shared_ptr<DefineTypeStmt> define_type;
@@ -153,6 +169,7 @@ struct Statement {
   std::shared_ptr<DefineFunctionStmt> define_function;
   std::shared_ptr<AppendStmt> append;
   std::shared_ptr<DeleteStmt> del;
+  std::shared_ptr<ExplainStmt> explain;
 };
 
 using Program = std::vector<Statement>;

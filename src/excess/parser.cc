@@ -110,8 +110,56 @@ class Parser {
     if (At(TokKind::kRetrieve)) return ParseRetrieve();
     if (At(TokKind::kAppend)) return ParseAppend();
     if (At(TokKind::kDelete)) return ParseDelete();
+    // `explain` is a context-sensitive identifier: no statement can begin
+    // with an identifier, so intercepting it here cannot change the meaning
+    // of any previously valid program.
+    if (At(TokKind::kIdent) && Cur().text == "explain") return ParseExplain();
     return Err(
-        "expected a statement (define/create/range/retrieve/append/delete)");
+        "expected a statement "
+        "(define/create/range/retrieve/append/delete/explain)");
+  }
+
+  /// explain := 'explain' ['analyze'] ['(' opt (',' opt)* ')'] statement
+  /// opt     := 'analyze' | 'trace' | 'json'   (identifiers, not keywords)
+  Result<Statement> ParseExplain() {
+    // Guard: "explain explain explain ..." recurses once per keyword (the
+    // inner kind check only rejects after parsing), so adversarial input
+    // needs the same depth cap as nested expressions.
+    EXA_RETURN_NOT_OK(CheckDepth());
+    DepthGuard guard(&depth_);
+    ++pos_;  // 'explain'
+    auto stmt = std::make_shared<ExplainStmt>();
+    if (At(TokKind::kIdent) && Cur().text == "analyze") {
+      stmt->analyze = true;
+      ++pos_;
+    }
+    if (Accept(TokKind::kLParen)) {
+      do {
+        EXA_ASSIGN_OR_RETURN(std::string opt, ExpectIdent());
+        if (opt == "analyze") {
+          stmt->analyze = true;
+        } else if (opt == "trace") {
+          stmt->trace = true;
+        } else if (opt == "json") {
+          stmt->json = true;
+        } else {
+          return Err(StrCat("unknown explain option '", opt,
+                            "' (expected analyze, trace, or json)"));
+        }
+      } while (Accept(TokKind::kComma));
+      EXA_RETURN_NOT_OK(Expect(TokKind::kRParen));
+    }
+    EXA_ASSIGN_OR_RETURN(Statement inner, ParseStmt());
+    if (inner.kind != Statement::Kind::kRetrieve &&
+        inner.kind != Statement::Kind::kAppend &&
+        inner.kind != Statement::Kind::kDelete) {
+      return Err("explain supports retrieve, append, and delete statements");
+    }
+    stmt->inner = std::make_shared<Statement>(std::move(inner));
+    Statement s;
+    s.kind = Statement::Kind::kExplain;
+    s.explain = std::move(stmt);
+    return s;
   }
 
   Result<Statement> ParseDefineType() {

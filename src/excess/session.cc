@@ -1,8 +1,11 @@
 #include "excess/session.h"
 
+#include <chrono>
+
 #include "core/builder.h"
 #include "core/infer.h"
 #include "excess/parser.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace excess {
@@ -44,11 +47,13 @@ Result<ValuePtr> Session::ExecuteStatement(const Statement& stmt) {
     case Statement::Kind::kDelete:
       EXA_RETURN_NOT_OK(ExecDelete(*stmt.del));
       return ValuePtr(nullptr);
+    case Statement::Kind::kExplain:
+      return ExecExplain(*stmt.explain);
   }
   return Status::Internal("unknown statement kind");
 }
 
-Status Session::ExecAppend(const AppendStmt& stmt) {
+Result<ExprPtr> Session::AppendPlan(const AppendStmt& stmt) {
   EXA_ASSIGN_OR_RETURN(SchemaPtr schema, db_->NamedSchema(stmt.target));
   if (!schema->is_set()) {
     return Status::TypeError(
@@ -59,7 +64,11 @@ Status Session::ExecAppend(const AppendStmt& stmt) {
                        translator_.TranslateClosedExpr(stmt.value));
   ExprPtr addition =
       stmt.all ? value_expr : alg::SetMake(std::move(value_expr));
-  ExprPtr plan = alg::AddUnion(alg::Var(stmt.target), std::move(addition));
+  return alg::AddUnion(alg::Var(stmt.target), std::move(addition));
+}
+
+Status Session::ExecAppend(const AppendStmt& stmt) {
+  EXA_ASSIGN_OR_RETURN(ExprPtr plan, AppendPlan(stmt));
   EXA_ASSIGN_OR_RETURN(ValuePtr updated, EvalTree(plan));
   return db_->SetNamed(stmt.target, std::move(updated));
 }
@@ -142,6 +151,83 @@ Result<ValuePtr> Session::ExecRetrieve(const RetrieveStmt& stmt) {
     }
   }
   return result;
+}
+
+Result<ValuePtr> Session::ExecExplain(const ExplainStmt& stmt) {
+  // Translate the inner statement to its logical plan without executing it.
+  ExprPtr logical;
+  switch (stmt.inner->kind) {
+    case Statement::Kind::kRetrieve: {
+      EXA_ASSIGN_OR_RETURN(
+          logical, translator_.TranslateRetrieve(*stmt.inner->retrieve,
+                                                 ranges_));
+      break;
+    }
+    case Statement::Kind::kAppend: {
+      EXA_ASSIGN_OR_RETURN(logical, AppendPlan(*stmt.inner->append));
+      break;
+    }
+    case Statement::Kind::kDelete: {
+      EXA_ASSIGN_OR_RETURN(
+          logical, translator_.TranslateDeletePlan(stmt.inner->del->target,
+                                                   stmt.inner->del->where));
+      break;
+    }
+    default:
+      return Status::Invalid(
+          "explain supports retrieve, append, and delete statements");
+  }
+
+  // Optimize exactly the way plain execution would, with the trace attached.
+  obs::RewriteTrace trace(db_, options_.planner.cost_params);
+  ExprPtr physical = logical;
+  if (options_.optimize) {
+    Planner planner(db_, options_.planner);
+    planner.set_observer(&trace);
+    EXA_ASSIGN_OR_RETURN(physical, planner.Optimize(logical));
+  }
+
+  auto report = std::make_shared<obs::ExplainReport>();
+  report->optimized = options_.optimize;
+  report->trace = trace.steps();
+  report->logical =
+      obs::AnnotatePlan(db_, logical, options_.planner.cost_params);
+  CostModel cost(db_, options_.planner.cost_params);
+  if (auto est = cost.Estimate(physical); est.ok()) {
+    report->est_total = est->total;
+  }
+
+  PlanProfile profile;
+  if (stmt.analyze) {
+    // Execute under the usual governor with per-node profiling and timing
+    // on. EXPLAIN ANALYZE runs the plan but never commits: mutations
+    // (append / delete / retrieve into) stage their result and discard it.
+    Evaluator ev(db_, methods_);
+    Governor governor(options_.limits, options_.cancel);
+    ev.set_governor(&governor);
+    ev.set_timing_enabled(true);
+    ev.set_profile(&profile);
+    auto t0 = std::chrono::steady_clock::now();
+    auto r = ev.Eval(physical);
+    int64_t wall = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+    last_stats_ = ev.stats();
+    if (!r.ok()) return r.status();
+    report->analyzed = true;
+    report->wall_nanos = wall;
+    report->peak_bytes = last_stats_.peak_bytes;
+    const ValuePtr& result = *r;
+    report->result_occurrences = result->is_set()     ? result->TotalCount()
+                                 : result->is_array() ? result->ArrayLength()
+                                                      : 1;
+  }
+  report->physical = obs::AnnotatePlan(db_, physical,
+                                       options_.planner.cost_params,
+                                       stmt.analyze ? &profile : nullptr);
+  last_explain_ = report;
+  return Value::Str(stmt.json ? report->ToJson()
+                              : report->Pretty(/*with_trace=*/stmt.trace));
 }
 
 Result<ExprPtr> Session::Translate(const std::string& retrieve_source) {

@@ -11,6 +11,7 @@
 #include "excess/translate.h"
 #include "methods/registry.h"
 #include "objects/database.h"
+#include "obs/explain.h"
 #include "util/status.h"
 
 namespace excess {
@@ -73,6 +74,13 @@ class Session {
   /// peak_bytes. Cleared at the start of each evaluated statement.
   const EvalStats& last_stats() const { return last_stats_; }
 
+  /// Report of the most recent `explain [analyze]` statement (null before
+  /// the first one) — the programmatic access to EXPLAIN output: annotated
+  /// plan trees, the rewrite trace, and (after analyze) per-node actuals.
+  std::shared_ptr<const obs::ExplainReport> last_explain() const {
+    return last_explain_;
+  }
+
  private:
   Status ExecDefineType(const DefineTypeStmt& stmt);
   Status ExecCreate(const CreateStmt& stmt);
@@ -81,6 +89,10 @@ class Session {
   Result<ValuePtr> ExecRetrieve(const RetrieveStmt& stmt);
   Status ExecAppend(const AppendStmt& stmt);
   Status ExecDelete(const DeleteStmt& stmt);
+  Result<ValuePtr> ExecExplain(const ExplainStmt& stmt);
+
+  /// The update plan ExecAppend evaluates (shared with EXPLAIN).
+  Result<ExprPtr> AppendPlan(const AppendStmt& stmt);
 
   Database* db_;
   MethodRegistry* methods_;
@@ -88,6 +100,7 @@ class Session {
   Options options_;
   std::vector<std::pair<std::string, ExprAstPtr>> ranges_;
   EvalStats last_stats_;
+  std::shared_ptr<const obs::ExplainReport> last_explain_;
 };
 
 }  // namespace excess

@@ -1,0 +1,77 @@
+#ifndef EXCESS_OBS_EXPLAIN_H_
+#define EXCESS_OBS_EXPLAIN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cost.h"
+#include "core/eval.h"
+#include "core/expr.h"
+#include "objects/database.h"
+#include "obs/trace.h"
+
+namespace excess {
+namespace obs {
+
+/// One operator of an annotated plan tree. Children cover *every* node the
+/// evaluator counts: data children, `sub:` subscripts, hash-join `key:`
+/// binders, and `pred:` operand expressions of COMP/HASH_JOIN atoms — so an
+/// EXPLAIN ANALYZE tree accounts for the same node set as EvalStats.
+///
+/// Estimates are inclusive of the subtree (CostModel semantics); -1 means
+/// "unavailable" (the cost model declined, e.g. an INPUT-relative fragment).
+/// Actuals are -1 unless the plan was executed under a PlanProfile.
+struct ExplainNode {
+  std::string op;      // OpKindToString name, e.g. "SET_APPLY"
+  std::string detail;  // operator parameters ("" when none)
+  std::string role;    // edge label from parent: "" | "sub" | "key" | "pred"
+  double est_cardinality = -1;
+  double est_cost = -1;
+  int64_t act_invocations = -1;
+  int64_t act_occurrences_in = -1;
+  int64_t act_out_occurrences = -1;
+  int64_t act_self_nanos = -1;
+  std::vector<ExplainNode> children;
+};
+
+/// Everything EXPLAIN / EXPLAIN ANALYZE knows about one statement. Produced
+/// by Session::ExecuteStatement for `explain ...` statements (retrievable
+/// programmatically via Session::last_explain()) and by ExplainPlan() for
+/// hand-built plans (benches, golden tests).
+struct ExplainReport {
+  std::string statement;  // echo of the explained statement ("" when n/a)
+  bool optimized = false;
+  bool analyzed = false;
+  ExplainNode logical;    // the translated (pre-optimization) plan
+  ExplainNode physical;   // the plan that would run / did run
+  double est_total = -1;  // chosen plan's estimated total cost
+  int64_t wall_nanos = -1;         // analyze only
+  int64_t peak_bytes = -1;         // analyze only (governor accounting)
+  int64_t result_occurrences = -1; // analyze only
+  std::vector<TraceStep> trace;    // every recorded rule firing
+
+  /// Human tree rendering; `with_trace` appends the rewrite trace.
+  std::string Pretty(bool with_trace = false) const;
+  /// Stable JSON (schema documented in docs/OBSERVABILITY.md; "version" is
+  /// bumped on any incompatible change). Always includes the trace array.
+  std::string ToJson() const;
+};
+
+/// Annotates `plan` with per-node cost estimates and (when `profile` is
+/// non-null) the actuals recorded by an Evaluator run with that profile.
+ExplainNode AnnotatePlan(const Database* db, const ExprPtr& plan,
+                         const CostParams& params,
+                         const PlanProfile* profile = nullptr);
+
+/// Estimates-only report for an already-built plan: logical == physical ==
+/// `plan`, no optimizer involved. The figure benches emit their plan trees
+/// through this so PLAN_*.json and the docs share one source of truth.
+ExplainReport ExplainPlan(const Database* db, const ExprPtr& plan,
+                          const CostParams& params = CostParams(),
+                          const std::string& statement = "");
+
+}  // namespace obs
+}  // namespace excess
+
+#endif  // EXCESS_OBS_EXPLAIN_H_

@@ -1,0 +1,124 @@
+#include "obs/metrics.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace excess {
+namespace obs {
+
+namespace {
+
+/// Dump-on-exit: armed exactly once, the first time Global() is touched
+/// with EXCESS_METRICS_PATH set. atexit (not a static destructor) so the
+/// snapshot happens while the registry is still alive.
+void DumpAtExit() {
+  const char* path = std::getenv("EXCESS_METRICS_PATH");
+  if (path == nullptr || *path == '\0') return;
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return;
+  std::string json = MetricsRegistry::Global().Snapshot();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+}
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = [] {
+    auto* r = new MetricsRegistry();
+    if (std::getenv("EXCESS_METRICS_PATH") != nullptr) {
+      std::atexit(DumpAtExit);
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ": " + std::to_string(counter->value());
+  }
+  out += "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms_) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonString(&out, name);
+    out += ": {\"count\": " + std::to_string(hist->count()) +
+           ", \"sum\": " + std::to_string(hist->sum()) + ", \"buckets\": [";
+    bool bfirst = true;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      int64_t c = hist->bucket(i);
+      if (c == 0) continue;
+      if (!bfirst) out += ", ";
+      bfirst = false;
+      // Bucket i holds values with bit_width == i; the inclusive upper
+      // bound is 2^i - 1 (bucket 0 is exactly the value 0).
+      int64_t le = i == 0 ? 0 : (int64_t{1} << i) - 1;
+      out += "{\"le\": " + std::to_string(le) +
+             ", \"count\": " + std::to_string(c) + "}";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+}  // namespace obs
+}  // namespace excess

@@ -1,0 +1,109 @@
+#ifndef EXCESS_OBS_METRICS_H_
+#define EXCESS_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace excess {
+namespace obs {
+
+/// A monotonically increasing counter. Relaxed atomics: metrics are
+/// advisory observability data, never synchronization.
+class Counter {
+ public:
+  void Increment(int64_t by = 1) {
+    value_.fetch_add(by, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A histogram over non-negative integers with power-of-two buckets:
+/// bucket i counts observations v with bit_width(v) == i, i.e. bucket 0 is
+/// v == 0, bucket i (i > 0) is 2^(i-1) <= v < 2^i. Good enough resolution
+/// for batch sizes, partition counts, and probe chain lengths while keeping
+/// Observe() to two relaxed adds and one increment.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void Observe(int64_t v) {
+    if (v < 0) v = 0;
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    buckets_[BucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+  }
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  int64_t bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  void Reset() {
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+  static int BucketOf(int64_t v) {
+    int b = 0;
+    while (v > 0) {
+      ++b;
+      v >>= 1;
+    }
+    return b < kBuckets ? b : kBuckets - 1;
+  }
+
+ private:
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::array<std::atomic<int64_t>, kBuckets> buckets_{};
+};
+
+/// Process-wide registry of named counters and histograms. Lookup takes a
+/// mutex; hot paths should resolve their instrument once (function-local
+/// static) — returned pointers are stable for the life of the process.
+///
+/// Snapshot() renders the whole registry as one JSON object (schema in
+/// docs/OBSERVABILITY.md). When EXCESS_METRICS_PATH is set the registry
+/// writes a snapshot there at process exit.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  /// {"counters": {name: value, ...},
+  ///  "histograms": {name: {"count": n, "sum": s,
+  ///                        "buckets": [{"le": bound, "count": c}, ...]}}}
+  /// Keys are sorted (std::map) so snapshots diff cleanly.
+  std::string Snapshot() const;
+
+  /// Zeroes every registered instrument (names stay registered, pointers
+  /// stay valid). Test isolation only.
+  void ResetForTest();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Convenience for the common "count one event" call sites.
+inline void CountEvent(Counter* c, int64_t by = 1) { c->Increment(by); }
+
+}  // namespace obs
+}  // namespace excess
+
+#endif  // EXCESS_OBS_METRICS_H_

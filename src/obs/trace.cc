@@ -1,0 +1,24 @@
+#include "obs/trace.h"
+
+namespace excess {
+namespace obs {
+
+void RewriteTrace::OnRewrite(const char* phase, const RewriteRule& rule,
+                             const ExprPtr& before, const ExprPtr& after) {
+  TraceStep step;
+  step.phase = phase;
+  step.paper_id = rule.paper_id;
+  step.rule = rule.name;
+  step.before = before->ToString();
+  step.after = after->ToString();
+  if (auto est = cost_.Estimate(before); est.ok()) {
+    step.cost_before = est->total;
+  }
+  if (auto est = cost_.Estimate(after); est.ok()) {
+    step.cost_after = est->total;
+  }
+  steps_.push_back(std::move(step));
+}
+
+}  // namespace obs
+}  // namespace excess

@@ -1,0 +1,52 @@
+#ifndef EXCESS_OBS_TRACE_H_
+#define EXCESS_OBS_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/cost.h"
+#include "core/rewriter.h"
+#include "objects/database.h"
+
+namespace excess {
+namespace obs {
+
+/// One recorded rule firing. `before`/`after` are compact renderings of the
+/// matched sub-expression and its replacement ("heuristic" phase) or of the
+/// whole candidate trees ("search" phase — the planner reports adopted
+/// whole-tree improvements). Costs are CostModel totals of those rendered
+/// expressions; -1 when the estimate is unavailable (e.g. a subscript
+/// fragment whose INPUT cardinality is unknown).
+struct TraceStep {
+  std::string phase;  // "heuristic" | "search"
+  int paper_id = 0;   // Appendix rule number (0 for derived-op expansions)
+  std::string rule;   // rule name, e.g. "combine-set-applys"
+  std::string before;
+  std::string after;
+  double cost_before = -1;
+  double cost_after = -1;
+};
+
+/// RewriteObserver that accumulates a rewrite trace with cost deltas —
+/// the recorder behind `EXPLAIN (TRACE)` and Session::last_explain().
+/// Attach via Planner::set_observer / Rewriter::set_observer.
+class RewriteTrace : public RewriteObserver {
+ public:
+  explicit RewriteTrace(const Database* db, CostParams params = CostParams())
+      : cost_(db, params) {}
+
+  void OnRewrite(const char* phase, const RewriteRule& rule,
+                 const ExprPtr& before, const ExprPtr& after) override;
+
+  const std::vector<TraceStep>& steps() const { return steps_; }
+  void Clear() { steps_.clear(); }
+
+ private:
+  CostModel cost_;
+  std::vector<TraceStep> steps_;
+};
+
+}  // namespace obs
+}  // namespace excess
+
+#endif  // EXCESS_OBS_TRACE_H_

@@ -1,0 +1,120 @@
+// Doc-freshness checks: the operator and rule references in docs/ must
+// cover everything the code registers. Adding an OpKind or a rewrite rule
+// without documenting it fails here (ctest label `docs`), so the reference
+// pages cannot silently rot.
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "core/eval.h"
+#include "core/expr.h"
+#include "core/rules.h"
+#include "gtest/gtest.h"
+
+namespace excess {
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+const std::string& OperatorsDoc() {
+  static const std::string* doc =
+      new std::string(ReadFileOrDie(std::string(EXCESS_DOCS_DIR) +
+                                    "/OPERATORS.md"));
+  return *doc;
+}
+
+const std::string& RulesDoc() {
+  static const std::string* doc =
+      new std::string(ReadFileOrDie(std::string(EXCESS_DOCS_DIR) +
+                                    "/RULES.md"));
+  return *doc;
+}
+
+const std::string& ObservabilityDoc() {
+  static const std::string* doc =
+      new std::string(ReadFileOrDie(std::string(EXCESS_DOCS_DIR) +
+                                    "/OBSERVABILITY.md"));
+  return *doc;
+}
+
+TEST(DocsFreshness, EveryOpKindDocumented) {
+  for (int k = 0; k < kNumOpKinds; ++k) {
+    const char* name = OpKindToString(static_cast<OpKind>(k));
+    ASSERT_STRNE(name, "?") << "OpKindToString missing case for kind " << k;
+    // Operators appear as `NAME` code spans in the reference tables; the
+    // backticks keep short names like PI or SET from matching prose.
+    std::string needle = std::string("`") + name + "`";
+    EXPECT_NE(OperatorsDoc().find(needle), std::string::npos)
+        << "operator " << name
+        << " is not documented in docs/OPERATORS.md (add a `" << name
+        << "` row; see the freshness note at the top of the file)";
+  }
+}
+
+TEST(DocsFreshness, EveryRuleDocumented) {
+  const RuleSet all = RuleSet::All();
+  ASSERT_FALSE(all.rules().empty());
+  std::set<std::string> seen;
+  for (const auto& rule : all.rules()) {
+    EXPECT_TRUE(seen.insert(rule.name).second)
+        << "duplicate rule name " << rule.name;
+    std::string needle = std::string("`") + rule.name + "`";
+    EXPECT_NE(RulesDoc().find(needle), std::string::npos)
+        << "rule " << rule.name
+        << " is not documented in docs/RULES.md (add a `" << rule.name
+        << "` row with its paper id and side conditions)";
+  }
+}
+
+TEST(DocsFreshness, RuleDocsMatchPaperIdsAndModes) {
+  // Stronger than name presence: the documented paper id must match the
+  // registered one. The doc row format is
+  //   | `name` | <paper-id> | directed|exploratory | ...
+  const RuleSet all = RuleSet::All();
+  for (const auto& rule : all.rules()) {
+    std::string row_start = std::string("| `") + rule.name + "` | " +
+                            std::to_string(rule.paper_id) + " | " +
+                            (rule.directed ? "directed" : "exploratory");
+    EXPECT_NE(RulesDoc().find(row_start), std::string::npos)
+        << "docs/RULES.md row for " << rule.name
+        << " does not record paper id " << rule.paper_id << " and mode "
+        << (rule.directed ? "directed" : "exploratory")
+        << " (expected a row starting with: " << row_start << ")";
+  }
+}
+
+TEST(DocsFreshness, MetricNamesDocumented) {
+  // The stable metric names emitted by core (docs/OBSERVABILITY.md table).
+  for (const char* name :
+       {"rules.fired.", "planner.search_expanded", "planner.plans_considered",
+        "hashjoin.builds", "hashjoin.nested_loop", "hashjoin.build_entries",
+        "hashjoin.probe_entries", "hashjoin.pairs_tested",
+        "hashjoin.chain_length", "parallel.partitions", "parallel.batches",
+        "parallel.items", "governor.trips.memory",
+        "governor.trips.occurrences", "governor.trips.deadline",
+        "governor.trips.cancelled"}) {
+    EXPECT_NE(ObservabilityDoc().find(name), std::string::npos)
+        << "metric " << name << " is not documented in docs/OBSERVABILITY.md";
+  }
+}
+
+TEST(DocsFreshness, EnvKnobsDocumented) {
+  for (const char* knob :
+       {"EXCESS_THREADS", "EXCESS_DEADLINE_MS", "EXCESS_MEM_LIMIT_MB",
+        "EXCESS_SWEEP_SEEDS", "EXCESS_METRICS_PATH"}) {
+    EXPECT_NE(ObservabilityDoc().find(knob), std::string::npos)
+        << "env knob " << knob
+        << " is not documented in docs/OBSERVABILITY.md";
+  }
+}
+
+}  // namespace
+}  // namespace excess

@@ -1,0 +1,296 @@
+// EXPLAIN / EXPLAIN ANALYZE:
+//  - golden-file JSON for the figure plans (estimates-only ExplainPlan; the
+//    university generator is seeded, so the trees and estimates are stable).
+//    Regenerate with EXCESS_UPDATE_GOLDEN=1 after an intentional change.
+//  - ANALYZE consistency on Figures 6-11: per-node actuals recorded in a
+//    PlanProfile must reconcile exactly with EvalStats (same checkpoint by
+//    construction) and the root's out_occurrences with the result value.
+//  - the `explain` statement surface through Session: rendering, trace,
+//    JSON mode, last_explain(), and the never-commits guarantee of
+//    `explain analyze` on append/delete.
+
+#include <array>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/support.h"
+#include "core/eval.h"
+#include "core/expr.h"
+#include "core/physical.h"
+#include "excess/session.h"
+#include "gtest/gtest.h"
+#include "obs/explain.h"
+#include "university/university.h"
+
+namespace excess {
+namespace {
+
+using bench::Fig10Plan;
+using bench::Fig11Plan;
+using bench::Fig6Plan;
+using bench::Fig8Plan;
+using bench::Fig9Plan;
+
+// --- golden files -----------------------------------------------------------
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(EXCESS_GOLDEN_DIR) + "/" + name + ".json";
+}
+
+bool UpdateGolden() { return std::getenv("EXCESS_UPDATE_GOLDEN") != nullptr; }
+
+void CheckGolden(const std::string& name, const std::string& actual) {
+  const std::string path = GoldenPath(name);
+  if (UpdateGolden()) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual << "\n";
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << path
+      << " (run with EXCESS_UPDATE_GOLDEN=1 to create it)";
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  std::string expected = ss.str();
+  // The update path appends one trailing newline; tolerate exactly that.
+  if (!expected.empty() && expected.back() == '\n') expected.pop_back();
+  EXPECT_EQ(expected, actual)
+      << "EXPLAIN JSON for " << name << " drifted from " << path
+      << " — if the change is intentional, regenerate with "
+      << "EXCESS_UPDATE_GOLDEN=1 and review the diff";
+}
+
+class ExplainFigureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // The qualitative fixture of bench_fig6_8: advisor-as-name so the
+    // Example 1 join applies; Figures 9-11 only touch dept/floor/division
+    // and run on the same database.
+    UniversityParams p;
+    p.num_departments = 5;
+    p.num_employees = 50;
+    p.num_students = 100;
+    p.num_floors = 5;
+    p.advisor_as_name = true;
+    p.duplication = 3;
+    ASSERT_TRUE(BuildUniversity(&db_, p).ok());
+  }
+
+  Database db_;
+};
+
+TEST_F(ExplainFigureTest, GoldenJson) {
+  const std::vector<std::pair<std::string, ExprPtr>> plans = {
+      {"explain_fig6", Fig6Plan()},
+      {"explain_fig8", Fig8Plan()},
+      {"explain_fig9", Fig9Plan(1)},
+      {"explain_fig11", Fig11Plan(1)},
+      {"explain_fig6_hash", LowerPhysical(Fig6Plan())},
+  };
+  for (const auto& [name, plan] : plans) {
+    obs::ExplainReport report = obs::ExplainPlan(&db_, plan, CostParams(), name);
+    CheckGolden(name, report.ToJson());
+  }
+}
+
+TEST_F(ExplainFigureTest, GoldenJsonIsStableAcrossCalls) {
+  // The serialization itself must be deterministic, or golden comparisons
+  // (and CI artifact diffs) are meaningless.
+  ExprPtr plan = Fig8Plan();
+  std::string a = obs::ExplainPlan(&db_, plan).ToJson();
+  std::string b = obs::ExplainPlan(&db_, Fig8Plan()).ToJson();
+  EXPECT_EQ(a, b);
+}
+
+// Runs `plan` under a profile and asserts the EXPLAIN ANALYZE invariants:
+// per-OpKind sums over the profile equal the EvalStats columns (invocations,
+// occurrences, self-nanos), and the root node's out_occurrences equals the
+// occurrence count of the result value.
+void CheckAnalyzeConsistency(Database* db, const ExprPtr& plan,
+                             const char* what) {
+  SCOPED_TRACE(what);
+  Evaluator ev(db);
+  PlanProfile profile;
+  ev.set_profile(&profile);
+  ev.set_timing_enabled(true);
+  auto r = ev.Eval(plan);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const EvalStats& stats = ev.stats();
+
+  std::array<int64_t, kNumOpKinds> inv{}, occ{}, nanos{};
+  for (const auto& [node, prof] : profile.nodes()) {
+    inv[static_cast<int>(node->kind())] += prof.invocations;
+    occ[static_cast<int>(node->kind())] += prof.occurrences_in;
+    nanos[static_cast<int>(node->kind())] += prof.self_nanos;
+  }
+  for (int k = 0; k < kNumOpKinds; ++k) {
+    OpKind kind = static_cast<OpKind>(k);
+    EXPECT_EQ(inv[k], stats.InvocationsOf(kind))
+        << "invocations diverge for " << OpKindToString(kind);
+    EXPECT_EQ(occ[k], stats.OccurrencesOf(kind))
+        << "occurrences diverge for " << OpKindToString(kind);
+    EXPECT_EQ(nanos[k], stats.NanosOf(kind))
+        << "self-nanos diverge for " << OpKindToString(kind);
+  }
+
+  const ValuePtr& v = *r;
+  int64_t expect = v->is_set()     ? v->TotalCount()
+                   : v->is_array() ? v->ArrayLength()
+                                   : 1;
+  const NodeProfile* root = profile.Find(plan.get());
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->invocations, 1);
+  EXPECT_EQ(root->out_occurrences, expect);
+
+  // AnnotatePlan surfaces the same numbers on the rendered tree.
+  obs::ExplainNode tree = obs::AnnotatePlan(db, plan, CostParams(), &profile);
+  EXPECT_EQ(tree.act_invocations, 1);
+  EXPECT_EQ(tree.act_out_occurrences, expect);
+}
+
+TEST_F(ExplainFigureTest, AnalyzeConsistencyFigures6To11) {
+  CheckAnalyzeConsistency(&db_, Fig6Plan(), "fig6");
+  CheckAnalyzeConsistency(&db_, bench::Fig7Plan(), "fig7");
+  CheckAnalyzeConsistency(&db_, Fig8Plan(), "fig8");
+  CheckAnalyzeConsistency(&db_, Fig9Plan(1), "fig9");
+  CheckAnalyzeConsistency(&db_, Fig10Plan(1), "fig10");
+  CheckAnalyzeConsistency(&db_, Fig11Plan(1), "fig11");
+  // The physical lowering exercises HASH_JOIN's key binders and predicate
+  // re-evaluation under the same accounting.
+  CheckAnalyzeConsistency(&db_, LowerPhysical(Fig6Plan()), "fig6_hash");
+}
+
+// --- the explain statement through Session ----------------------------------
+
+class ExplainSessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    UniversityParams p;
+    p.num_departments = 5;
+    p.num_employees = 40;
+    p.num_students = 30;
+    p.num_floors = 5;
+    ASSERT_TRUE(BuildUniversity(&db_, p).ok());
+    registry_ = std::make_unique<MethodRegistry>(&db_.catalog());
+    session_ = std::make_unique<Session>(&db_, registry_.get());
+  }
+
+  std::string Run(const std::string& q) {
+    auto r = session_->Execute(q);
+    EXPECT_TRUE(r.ok()) << r.status().ToString() << "\nquery: " << q;
+    if (!r.ok() || *r == nullptr) return "";
+    EXPECT_EQ((*r)->kind(), ValueKind::kString)
+        << "explain result should be a rendering";
+    return (*r)->kind() == ValueKind::kString ? (*r)->as_string() : "";
+  }
+
+  int64_t CountOf(const std::string& name) {
+    auto v = db_.NamedValue(name);
+    EXPECT_TRUE(v.ok());
+    return v.ok() ? (*v)->TotalCount() : -1;
+  }
+
+  Database db_;
+  std::unique_ptr<MethodRegistry> registry_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(ExplainSessionTest, ExplainRendersBothPlans) {
+  std::string out =
+      Run("explain retrieve (e.name) from e in Employees where "
+          "e.city = \"city_0\"");
+  EXPECT_NE(out.find("EXPLAIN"), std::string::npos) << out;
+  EXPECT_NE(out.find("logical plan:"), std::string::npos) << out;
+  EXPECT_NE(out.find("physical plan:"), std::string::npos) << out;
+  EXPECT_NE(out.find("SET_APPLY"), std::string::npos) << out;
+  EXPECT_NE(out.find("est "), std::string::npos) << out;
+  // Not analyzed: no actuals anywhere.
+  EXPECT_EQ(out.find("[act "), std::string::npos) << out;
+
+  auto report = session_->last_explain();
+  ASSERT_NE(report, nullptr);
+  EXPECT_TRUE(report->optimized);
+  EXPECT_FALSE(report->analyzed);
+  EXPECT_EQ(report->result_occurrences, -1);
+}
+
+TEST_F(ExplainSessionTest, TraceRecordsRuleFirings) {
+  // The Figure 4 shape: a chain of SET_APPLYs the heuristic fuses with
+  // combine-set-applys (paper rule 15).
+  std::string out =
+      Run("explain (trace) retrieve (e.name) from e in Employees where "
+          "e.city = \"city_0\"");
+  auto report = session_->last_explain();
+  ASSERT_NE(report, nullptr);
+  ASSERT_FALSE(report->trace.empty()) << out;
+  bool fused = false;
+  for (const auto& step : report->trace) {
+    if (step.rule == "combine-set-applys") {
+      fused = true;
+      EXPECT_EQ(step.paper_id, 15);
+      EXPECT_EQ(step.phase, "heuristic");
+    }
+  }
+  EXPECT_TRUE(fused) << out;
+  EXPECT_NE(out.find("rewrite trace"), std::string::npos) << out;
+  EXPECT_NE(out.find("combine-set-applys"), std::string::npos) << out;
+}
+
+TEST_F(ExplainSessionTest, AnalyzeMatchesDirectExecution) {
+  const std::string q =
+      "retrieve (s.name) from s in Students where s.gpa > 2.0";
+  auto direct = session_->Execute(q);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  int64_t expect = (*direct)->TotalCount();
+
+  std::string out = Run("explain analyze " + q);
+  EXPECT_NE(out.find("[act "), std::string::npos) << out;
+  EXPECT_NE(out.find("actual: wall="), std::string::npos) << out;
+
+  auto report = session_->last_explain();
+  ASSERT_NE(report, nullptr);
+  EXPECT_TRUE(report->analyzed);
+  EXPECT_EQ(report->result_occurrences, expect);
+  EXPECT_EQ(report->physical.act_out_occurrences, expect);
+  EXPECT_EQ(report->physical.act_invocations, 1);
+  EXPECT_GE(report->wall_nanos, 0);
+}
+
+TEST_F(ExplainSessionTest, JsonModeEmitsSchemaVersion1) {
+  std::string out =
+      Run("explain analyze (json, trace) retrieve (s.name) from s in "
+          "Students");
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.front(), '{') << out;
+  EXPECT_EQ(out.back(), '}') << out;
+  EXPECT_NE(out.find("\"version\": 1"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"logical\":"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"physical\":"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"trace\":"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"analyzed\": true"), std::string::npos) << out;
+}
+
+TEST_F(ExplainSessionTest, AnalyzeNeverCommitsUpdates) {
+  ASSERT_TRUE(session_->Execute("create Nums: { int4 }").ok());
+  ASSERT_TRUE(session_->Execute("append all {1, 2, 3} to Nums").ok());
+  ASSERT_EQ(CountOf("Nums"), 3);
+
+  Run("explain analyze append 9 to Nums");
+  EXPECT_EQ(CountOf("Nums"), 3) << "explain analyze append committed";
+
+  Run("explain analyze delete Nums where Nums >= 2");
+  EXPECT_EQ(CountOf("Nums"), 3) << "explain analyze delete committed";
+
+  // The real statements still work afterwards.
+  ASSERT_TRUE(session_->Execute("append 9 to Nums").ok());
+  EXPECT_EQ(CountOf("Nums"), 4);
+}
+
+}  // namespace
+}  // namespace excess

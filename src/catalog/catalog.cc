@@ -192,4 +192,30 @@ Status Catalog::Validate() const {
 
 std::vector<std::string> Catalog::TypeNames() const { return definition_order_; }
 
+std::vector<Catalog::TypeDef> Catalog::DumpDefinitions() const {
+  std::vector<TypeDef> out;
+  out.reserve(definition_order_.size());
+  for (const auto& name : definition_order_) {
+    const TypeEntry& entry = types_.at(name);
+    out.push_back(TypeDef{entry.name, entry.declared, entry.parents});
+  }
+  return out;
+}
+
+void Catalog::UndoLastDefine() {
+  if (definition_order_.empty()) return;
+  std::string name = definition_order_.back();
+  definition_order_.pop_back();
+  // DefineType pushes to both vectors in lockstep, so the last id is the
+  // last definition.
+  id_to_name_.pop_back();
+  types_.erase(name);
+}
+
+void Catalog::Clear() {
+  types_.clear();
+  definition_order_.clear();
+  id_to_name_.clear();
+}
+
 }  // namespace excess

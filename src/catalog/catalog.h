@@ -83,6 +83,25 @@ class Catalog {
   /// Names of all defined types in definition order.
   std::vector<std::string> TypeNames() const;
 
+  /// One definition as DefineType received it; replaying DumpDefinitions()
+  /// through DefineType on an empty catalog reproduces this catalog exactly
+  /// (type ids are assigned by definition order). This is the storage
+  /// layer's snapshot representation of the catalog.
+  struct TypeDef {
+    std::string name;
+    SchemaPtr declared;
+    std::vector<std::string> parents;
+  };
+  std::vector<TypeDef> DumpDefinitions() const;
+
+  /// Removes the most recently defined type. Storage-commit rollback only:
+  /// the caller guarantees nothing references the type yet (it was defined
+  /// within the current statement, whose durable commit failed).
+  void UndoLastDefine();
+
+  /// Drops every definition (durable `open` replaces the whole database).
+  void Clear();
+
  private:
   Status MergeInherited(const std::string& name,
                         const std::vector<std::string>& parents,

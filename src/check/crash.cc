@@ -1,0 +1,634 @@
+#include "check/crash.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/eval.h"
+#include "excess/emit.h"
+#include "excess/parser.h"
+#include "excess/session.h"
+#include "storage/serialize.h"
+#include "storage/wal.h"
+#include "util/fileio.h"
+#include "util/string_util.h"
+
+namespace excess {
+namespace check {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr uint64_t kPreSeedSalt = 0xC8A5'11F0'D00D'FEEDull;
+constexpr uint64_t kTraceSalt = 0x7124'CE00'5EED'0001ull;
+constexpr uint64_t kFlipSalt = 0xF11B'0000'0000'0001ull;
+
+/// One executed statement of a trace (or a checkpoint marker).
+struct TraceStep {
+  std::string source;
+  bool checkpoint = false;
+};
+
+std::string TraceText(const std::vector<TraceStep>& steps) {
+  std::string out;
+  for (const auto& s : steps) {
+    out += s.checkpoint ? "checkpoint" : s.source;
+    out += "\n";
+  }
+  return out;
+}
+
+Divergence Div(const std::string& detail, uint64_t seed,
+               const std::vector<TraceStep>& steps, std::string message) {
+  Divergence d;
+  d.oracle = "crash";
+  d.detail = detail;
+  d.seed = seed;
+  d.message = std::move(message);
+  d.before_tree = TraceText(steps);
+  return d;
+}
+
+/// Self-cleaning per-seed scratch directory under the system temp dir.
+class ScratchDir {
+ public:
+  ScratchDir(uint64_t seed, const char* tag) {
+    std::error_code ec;
+    dir_ = fs::temp_directory_path(ec) /
+           StrCat("excess_crash_", ::getpid(), "_", tag, "_", seed);
+    fs::remove_all(dir_, ec);
+    fs::create_directories(dir_, ec);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+ private:
+  fs::path dir_;
+};
+
+// --- crash injection ---------------------------------------------------------
+
+enum class FailMode { kClean, kPartialHalf, kPartialMost, kFsync, kSnapshot };
+
+const char* ModeName(FailMode m) {
+  switch (m) {
+    case FailMode::kClean: return "clean";
+    case FailMode::kPartialHalf: return "partial-half";
+    case FailMode::kPartialMost: return "partial-most";
+    case FailMode::kFsync: return "fsync";
+    case FailMode::kSnapshot: return "snapshot";
+  }
+  return "?";
+}
+
+/// Fails the `fail_at`-th WAL append (1-based), in one of several styles:
+/// refuse cleanly, leave a torn partial write, fail at fsync, or (kSnapshot)
+/// refuse the first snapshot write after that append.
+struct FailNthHooks : storage::StorageHooks {
+  int fail_at = 1;
+  FailMode mode = FailMode::kClean;
+  int appends = 0;
+  bool fired = false;
+
+  bool OnWalAppend(size_t record_bytes, int64_t* partial_bytes) override {
+    ++appends;
+    if (appends != fail_at || mode == FailMode::kFsync ||
+        mode == FailMode::kSnapshot) {
+      return true;
+    }
+    fired = true;
+    if (mode == FailMode::kPartialHalf) {
+      *partial_bytes = static_cast<int64_t>(record_bytes / 2);
+    } else if (mode == FailMode::kPartialMost) {
+      *partial_bytes =
+          static_cast<int64_t>(record_bytes > 0 ? record_bytes - 1 : 0);
+    }
+    return false;
+  }
+
+  bool OnFsync() override {
+    if (mode == FailMode::kFsync && appends == fail_at) {
+      fired = true;
+      return false;
+    }
+    return true;
+  }
+
+  bool OnSnapshotWrite(size_t) override {
+    if (mode == FailMode::kSnapshot && appends >= fail_at && !fired) {
+      fired = true;
+      return false;
+    }
+    return true;
+  }
+};
+
+// --- trace generation --------------------------------------------------------
+
+GenOptions PreSeedOptions(const CrashOptions& opts) { return opts.gen; }
+
+struct TypeInfo {
+  std::string name;
+  std::string field;
+};
+
+/// Mutable generation state: the shadow session everything is validated
+/// against, plus the name pools candidates draw from.
+struct TraceGen {
+  Rng rng;
+  GenOptions denotable;  // Const leaves must stay EXCESS-denotable
+  Database* db;
+  MethodRegistry* methods;
+  GenDb* gen;
+  std::vector<TypeInfo> types;
+  std::vector<std::string> int_sets;
+  int next_id = 0;
+
+  TraceGen(uint64_t seed, const CrashOptions& opts, Database* db_in,
+           MethodRegistry* methods_in, GenDb* gen_in)
+      : rng(seed ^ kTraceSalt), denotable(opts.gen), db(db_in),
+        methods(methods_in), gen(gen_in) {
+    denotable.with_nulls = false;
+    int_sets = gen_in->int_sets;
+  }
+
+  /// One candidate program (possibly multi-statement); empty = skip.
+  std::string MakeCandidate() {
+    switch (rng.Int(0, 11)) {
+      case 0:
+      case 1: {  // define type, sometimes with inheritance
+        int id = next_id++;
+        std::string name = StrCat("Q", id);
+        std::string field = StrCat("f", id);
+        std::string s =
+            StrCat("define type ", name, ": ( ", field, ": int4 )");
+        if (!types.empty() && rng.Chance(1, 2)) {
+          s += StrCat(" inherits ", rng.Pick(types).name);
+        }
+        types.push_back({name, field});
+        return s;
+      }
+      case 2: {  // create a fresh {int4} collection
+        std::string name = StrCat("X", next_id++);
+        int_sets.push_back(name);
+        return StrCat("create ", name, ": { int4 }");
+      }
+      case 3:
+      case 4:  // append one occurrence
+        return StrCat("append ", rng.Int(-5, 9), " to ", rng.Pick(int_sets));
+      case 5:  // append a literal multiset
+        return StrCat("append all {", rng.Int(0, 4), ", ", rng.Int(0, 4),
+                      ", ", rng.Int(0, 4), "} to ", rng.Pick(int_sets));
+      case 6: {  // delete by predicate
+        const std::string& s = rng.Pick(int_sets);
+        return StrCat("delete ", s, " where ", s, " > ", rng.Int(-2, 6));
+      }
+      case 7:
+      case 8: {  // simple retrieve-into; result joins the int-set pool
+        const std::string& s = rng.Pick(int_sets);
+        std::string name = StrCat("R", next_id++);
+        std::string stmt =
+            StrCat("retrieve (x) from x in ", s, " where x > ",
+                   rng.Int(-2, 5), " into ", name);
+        int_sets.push_back(name);
+        return stmt;
+      }
+      case 9: {  // a random algebra plan, emitted to EXCESS and stored
+        ExprPtr plan = RandomPlan(&rng, denotable, *gen);
+        Evaluator ev(db, methods);
+        if (!ev.Eval(plan).ok()) return "";
+        Emitter em(db, methods);
+        auto prog = em.Emit(plan);
+        if (!prog.ok() || prog->source().empty() ||
+            prog->source().size() > 4096) {
+          return "";
+        }
+        return prog->source();
+      }
+      case 10:  // range declaration (context statement)
+        return StrCat("range of W", next_id++, " is ", rng.Pick(int_sets));
+      case 11: {  // method definition (context statement)
+        if (types.empty()) return "";
+        const TypeInfo& t = rng.Pick(types);
+        return StrCat("define ", t.name, " function g", next_id++,
+                      " () returns int4 { retrieve (this.", t.field, " * ",
+                      rng.Int(2, 5), ") }");
+      }
+    }
+    return "";
+  }
+};
+
+/// Generates the committed-statement trace for `seed` by validating every
+/// candidate against a shadow session (same pre-seeded database, no
+/// storage). Only statements that commit make it into the trace, so a
+/// replay of any prefix is failure-free by construction.
+Status GenerateSteps(uint64_t seed, const CrashOptions& opts,
+                     std::vector<TraceStep>* steps, OracleStats* stats) {
+  Rng pre(seed ^ kPreSeedSalt);
+  Database db;
+  GenDb gen;
+  EXA_RETURN_NOT_OK(BuildRandomDatabase(&pre, PreSeedOptions(opts), &db, &gen));
+  MethodRegistry methods(&db.catalog());
+  Session shadow(&db, &methods);
+  TraceGen tg(seed, opts, &db, &methods, &gen);
+  for (int i = 0; i < opts.max_statements; ++i) {
+    std::string program = tg.MakeCandidate();
+    if (program.empty()) {
+      ++stats->skipped;
+      continue;
+    }
+    auto parsed = Parse(program);
+    if (!parsed.ok()) {
+      ++stats->skipped;
+      continue;
+    }
+    for (const auto& stmt : *parsed) {
+      auto r = shadow.ExecuteStatement(stmt);
+      if (!r.ok()) {
+        ++stats->skipped;
+        break;  // drop the candidate's remaining statements
+      }
+      steps->push_back({stmt.source, false});
+    }
+    if (opts.with_checkpoint && tg.rng.Chance(1, 6)) {
+      steps->push_back({"", true});
+    }
+  }
+  return Status::OK();
+}
+
+// --- trace execution ---------------------------------------------------------
+
+struct ExecResult {
+  /// ref_states[p] = canonical database bytes after p durable commits.
+  std::vector<std::string> ref_states;
+  uint64_t commits = 0;
+  bool stopped_on_failure = false;  // an injected crash point was hit
+  Status error;                     // a NON-injected failure (trace invalid)
+};
+
+/// Replays `steps` against a fresh pre-seeded database with durable storage
+/// at `path`, capturing the canonical state after every commit. With
+/// `hooks`, execution stops at the first injected failure — the simulated
+/// crash point.
+ExecResult ExecuteSteps(uint64_t seed, const CrashOptions& opts,
+                        const std::vector<TraceStep>& steps,
+                        const std::string& path, FailNthHooks* hooks) {
+  ExecResult out;
+  Rng pre(seed ^ kPreSeedSalt);
+  Database db;
+  GenDb gen;
+  out.error = BuildRandomDatabase(&pre, PreSeedOptions(opts), &db, &gen);
+  if (!out.error.ok()) return out;
+  MethodRegistry methods(&db.catalog());
+  Session session(&db, &methods);
+  if (hooks != nullptr) session.set_storage_hooks(hooks);
+  out.error = session.OpenStorage(path);
+  if (!out.error.ok()) return out;
+  out.ref_states.push_back(storage::CanonicalDatabaseBytes(db));
+  for (const auto& step : steps) {
+    Status st = Status::OK();
+    if (step.checkpoint) {
+      st = session.Checkpoint();
+    } else {
+      auto parsed = ParseStatement(step.source);
+      if (!parsed.ok()) {
+        out.error = parsed.status();
+        return out;
+      }
+      uint64_t before = session.next_durable_lsn();
+      auto r = session.ExecuteStatement(*parsed);
+      st = r.ok() ? Status::OK() : r.status();
+      if (st.ok() && session.next_durable_lsn() > before) {
+        out.ref_states.push_back(storage::CanonicalDatabaseBytes(db));
+      }
+    }
+    if (!st.ok()) {
+      if (hooks != nullptr && hooks->fired) {
+        out.stopped_on_failure = true;  // this is the simulated crash
+        out.commits = session.next_durable_lsn() - 1;
+        return out;
+      }
+      out.error = st;
+      return out;
+    }
+  }
+  out.commits = session.next_durable_lsn() - 1;
+  return out;
+}
+
+// --- recovery ----------------------------------------------------------------
+
+struct Recovered {
+  Status status;
+  uint64_t prefix = 0;        // committed statements the state covers
+  uint64_t snapshot_seq = 0;  // commits baked into the loaded snapshot
+  std::string canonical;
+};
+
+Recovered Reopen(const std::string& path) {
+  Recovered r;
+  Database db;
+  MethodRegistry methods(&db.catalog());
+  Session session(&db, &methods);
+  r.status = session.OpenStorage(path);
+  if (r.status.ok()) {
+    const storage::RecoveryInfo& info = session.last_recovery();
+    r.prefix = info.snapshot_seq + info.replayed;
+    r.snapshot_seq = info.snapshot_seq;
+    r.canonical = storage::CanonicalDatabaseBytes(db);
+  }
+  return r;
+}
+
+Status WriteCopy(const std::string& path, const std::string& snap,
+                 const std::string& wal) {
+  EXA_RETURN_NOT_OK(util::WriteFileAtomic(path, snap, false));
+  return util::WriteFileAtomic(path + ".wal", wal, false);
+}
+
+/// Geometric offsets over [0, n): 0, 1, 2, 4, ... plus n-1.
+std::vector<size_t> GeometricOffsets(size_t n) {
+  std::vector<size_t> out;
+  if (n == 0) return out;
+  out.push_back(0);
+  for (size_t d = 1; d < n; d *= 2) out.push_back(d);
+  if (out.back() != n - 1) out.push_back(n - 1);
+  return out;
+}
+
+// --- the sweep ---------------------------------------------------------------
+
+/// Runs the full crash-point sweep for one already-generated trace. All
+/// divergences are appended to `out`; a reduced trace that cannot even run
+/// produces only a "live-run" divergence (the shrinker keys on that).
+Status SweepTrace(uint64_t seed, const CrashOptions& opts,
+                  const std::vector<TraceStep>& steps, ScratchDir* scratch,
+                  OracleStats* stats, std::vector<Divergence>* out) {
+  const std::string base = scratch->Path("base.exdb");
+  ExecResult main_run = ExecuteSteps(seed, opts, steps, base, nullptr);
+  if (!main_run.error.ok()) {
+    out->push_back(Div("live-run", seed, steps,
+                       StrCat("trace fails under storage: ",
+                              main_run.error.ToString())));
+    return Status::OK();
+  }
+  const uint64_t total = main_run.commits;
+  const std::vector<std::string>& ref = main_run.ref_states;
+  EXA_ASSIGN_OR_RETURN(std::string snap, util::ReadFile(base));
+  EXA_ASSIGN_OR_RETURN(std::string wal, util::ReadFile(base + ".wal"));
+  const std::string copy = scratch->Path("case.exdb");
+
+  auto check_state = [&](const Recovered& r, const std::string& what,
+                         uint64_t expect_prefix, bool exact_prefix) -> bool {
+    ++stats->comparisons;
+    if (exact_prefix && r.prefix != expect_prefix) {
+      out->push_back(Div(what, seed, steps,
+                         StrCat("recovered prefix ", r.prefix, ", expected ",
+                                expect_prefix, " of ", total)));
+      return false;
+    }
+    if (r.prefix >= ref.size()) {
+      out->push_back(Div(what, seed, steps,
+                         StrCat("recovered prefix ", r.prefix,
+                                " exceeds committed count ", total)));
+      return false;
+    }
+    if (r.canonical != ref[r.prefix]) {
+      out->push_back(Div(what, seed, steps,
+                         StrCat("recovered state diverges from re-executing "
+                                "the first ", r.prefix, " of ", total,
+                                " committed statements")));
+      return false;
+    }
+    return true;
+  };
+
+  // -- clean reopen: the full committed state survives ----------------------
+  ++stats->plans;
+  EXA_RETURN_NOT_OK(WriteCopy(copy, snap, wal));
+  Recovered clean = Reopen(copy);
+  if (!clean.status.ok()) {
+    out->push_back(Div("clean-reopen", seed, steps, clean.status.ToString()));
+    return Status::OK();
+  }
+  const uint64_t snapshot_seq = clean.snapshot_seq;
+  if (!check_state(clean, "clean-reopen", total, /*exact_prefix=*/true)) {
+    return Status::OK();
+  }
+
+  // -- checkpoint idempotence: fold the WAL, reopen, same state -------------
+  {
+    ++stats->plans;
+    Database db;
+    MethodRegistry methods(&db.catalog());
+    Session s(&db, &methods);
+    Status open = s.OpenStorage(copy);
+    Status ck = open.ok() ? s.Checkpoint() : open;
+    if (!ck.ok()) {
+      out->push_back(Div("checkpoint", seed, steps, ck.ToString()));
+    }
+  }
+  {
+    Recovered r = Reopen(copy);
+    if (!r.status.ok()) {
+      out->push_back(Div("checkpoint-reopen", seed, steps,
+                         r.status.ToString()));
+    } else {
+      check_state(r, "checkpoint-reopen", total, /*exact_prefix=*/true);
+    }
+  }
+
+  // -- WAL truncation sweep: every tail loss recovers a clean prefix --------
+  if (opts.sweep_truncations) {
+    std::vector<size_t> cuts;
+    for (size_t d = 1; d < wal.size(); d *= 2) cuts.push_back(wal.size() - d);
+    cuts.push_back(0);
+    if (wal.size() > 7) cuts.push_back(7);  // torn header
+    if (wal.size() > 8) cuts.push_back(8);  // header only
+    for (size_t k : cuts) {
+      ++stats->plans;
+      std::string torn = wal.substr(0, k);
+      // The expected prefix is exactly the records that survive the cut.
+      uint64_t expect = snapshot_seq;
+      if (auto scan = storage::ScanWalBytes(torn); scan.ok()) {
+        for (const auto& rec : scan->records) {
+          if (rec.lsn > snapshot_seq) ++expect;
+        }
+      }
+      EXA_RETURN_NOT_OK(WriteCopy(copy, snap, torn));
+      Recovered r = Reopen(copy);
+      std::string what = StrCat("truncate@", k);
+      if (!r.status.ok()) {
+        out->push_back(Div(what, seed, steps,
+                           StrCat("truncation must recover, got: ",
+                                  r.status.ToString())));
+        continue;
+      }
+      check_state(r, what, expect, /*exact_prefix=*/true);
+    }
+    // A deleted WAL falls back to the snapshot alone.
+    ++stats->plans;
+    EXA_RETURN_NOT_OK(WriteCopy(copy, snap, ""));
+    std::error_code ec;
+    fs::remove(copy + ".wal", ec);
+    Recovered r = Reopen(copy);
+    if (!r.status.ok()) {
+      out->push_back(Div("missing-wal", seed, steps, r.status.ToString()));
+    } else {
+      check_state(r, "missing-wal", snapshot_seq, /*exact_prefix=*/true);
+    }
+  }
+
+  // -- WAL bit-flip sweep: corruption recovers a prefix or fails typed ------
+  if (opts.sweep_bitflips) {
+    Rng flip_rng(seed ^ kFlipSalt);
+    for (size_t off : GeometricOffsets(wal.size())) {
+      ++stats->plans;
+      std::string bad = wal;
+      bad[off] ^= static_cast<char>(1u << flip_rng.Int(0, 7));
+      EXA_RETURN_NOT_OK(WriteCopy(copy, snap, bad));
+      Recovered r = Reopen(copy);
+      std::string what = StrCat("wal-bitflip@", off);
+      if (r.status.ok()) {
+        check_state(r, what, 0, /*exact_prefix=*/false);
+      } else if (!r.status.IsDataLoss()) {
+        out->push_back(Div(what, seed, steps,
+                           StrCat("expected kDataLoss, got: ",
+                                  r.status.ToString())));
+      } else {
+        ++stats->comparisons;
+      }
+    }
+  }
+
+  // -- live write-failure sweep: crash at the k-th commit -------------------
+  if (opts.sweep_write_failures && total > 0) {
+    std::vector<uint64_t> points;
+    for (uint64_t n = 1; n <= total; n *= 2) points.push_back(n);
+    if (points.back() != total) points.push_back(total);
+    const FailMode modes[] = {FailMode::kClean, FailMode::kPartialHalf,
+                              FailMode::kPartialMost, FailMode::kFsync,
+                              FailMode::kSnapshot};
+    size_t mode_idx = 0;
+    for (uint64_t n : points) {
+      ++stats->plans;
+      FailNthHooks hooks;
+      hooks.fail_at = static_cast<int>(n);
+      hooks.mode = modes[mode_idx++ % (opts.with_checkpoint ? 5 : 4)];
+      std::string fpath = scratch->Path(StrCat("fail", n, ".exdb"));
+      ExecResult run = ExecuteSteps(seed, opts, steps, fpath, &hooks);
+      std::string what = StrCat("walfail@", n, ":", ModeName(hooks.mode));
+      if (!run.error.ok()) {
+        out->push_back(Div(what, seed, steps,
+                           StrCat("unexpected trace failure: ",
+                                  run.error.ToString())));
+        continue;
+      }
+      if (!run.stopped_on_failure) {
+        // kSnapshot needs a checkpoint after commit n; traces without one
+        // simply complete, which is a clean run, not a finding.
+        ++stats->skipped;
+        continue;
+      }
+      Recovered r = Reopen(fpath);
+      if (!r.status.ok()) {
+        out->push_back(Div(what, seed, steps,
+                           StrCat("reopen after injected failure: ",
+                                  r.status.ToString())));
+        continue;
+      }
+      check_state(r, what, run.commits, /*exact_prefix=*/true);
+    }
+  }
+
+  // -- snapshot bit-flip sweep: checksums make corruption loud --------------
+  if (opts.sweep_snapshot_flips) {
+    Rng flip_rng(seed ^ (kFlipSalt + 1));
+    for (size_t off : GeometricOffsets(snap.size())) {
+      ++stats->plans;
+      std::string bad = snap;
+      bad[off] ^= static_cast<char>(1u << flip_rng.Int(0, 7));
+      EXA_RETURN_NOT_OK(WriteCopy(copy, bad, wal));
+      Recovered r = Reopen(copy);
+      std::string what = StrCat("snap-bitflip@", off);
+      if (r.status.ok()) {
+        out->push_back(Div(what, seed, steps,
+                           "corrupt snapshot accepted silently"));
+      } else if (!r.status.IsDataLoss()) {
+        out->push_back(Div(what, seed, steps,
+                           StrCat("expected kDataLoss, got: ",
+                                  r.status.ToString())));
+      } else {
+        ++stats->comparisons;
+      }
+    }
+  }
+
+  return Status::OK();
+}
+
+/// Greedy one-pass trace minimizer: drop each statement (newest first) and
+/// keep the removal when the sweep still finds a real divergence. Reduced
+/// traces that cannot even execute only yield "live-run", which does not
+/// count as a reproduction.
+std::vector<TraceStep> ShrinkTrace(uint64_t seed, const CrashOptions& opts,
+                                   std::vector<TraceStep> steps) {
+  CrashOptions quiet = opts;
+  quiet.shrink = false;
+  auto reproduces = [&](const std::vector<TraceStep>& cand) {
+    ScratchDir scratch(seed, "shrink");
+    OracleStats tmp;
+    std::vector<Divergence> divs;
+    if (!SweepTrace(seed, quiet, cand, &scratch, &tmp, &divs).ok()) {
+      return false;
+    }
+    for (const auto& d : divs) {
+      if (d.detail != "live-run") return true;
+    }
+    return false;
+  };
+  if (steps.size() > 40 || !reproduces(steps)) return steps;
+  for (size_t i = steps.size(); i-- > 0;) {
+    std::vector<TraceStep> cand = steps;
+    cand.erase(cand.begin() + static_cast<ptrdiff_t>(i));
+    if (reproduces(cand)) steps = std::move(cand);
+  }
+  return steps;
+}
+
+}  // namespace
+
+Status CheckCrashRecoverySeed(uint64_t seed, const CrashOptions& opts,
+                              OracleStats* stats,
+                              std::vector<Divergence>* out) {
+  std::vector<TraceStep> steps;
+  EXA_RETURN_NOT_OK(GenerateSteps(seed, opts, &steps, stats));
+  ScratchDir scratch(seed, "sweep");
+  size_t before = out->size();
+  EXA_RETURN_NOT_OK(SweepTrace(seed, opts, steps, &scratch, stats, out));
+  if (opts.shrink && out->size() > before) {
+    std::vector<TraceStep> minimal = ShrinkTrace(seed, opts, steps);
+    if (minimal.size() < steps.size()) {
+      out->push_back(Div("shrunk-trace", seed, minimal,
+                         StrCat("minimal reproducing trace (", minimal.size(),
+                                " of ", steps.size(), " statements)")));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace check
+}  // namespace excess

@@ -1,0 +1,55 @@
+#ifndef EXCESS_CHECK_CRASH_H_
+#define EXCESS_CHECK_CRASH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "check/gen.h"
+#include "check/oracle.h"
+#include "util/status.h"
+
+namespace excess {
+namespace check {
+
+/// Knobs for the crash-recovery oracle. The defaults keep one seed cheap
+/// (a dozen statements, geometric crash-point sweeps) so the CI sweep can
+/// afford hundreds of seeds.
+struct CrashOptions {
+  GenOptions gen;
+  int max_statements = 12;      // candidate statements per trace
+  bool with_checkpoint = true;  // let traces checkpoint mid-stream
+  bool sweep_truncations = true;
+  bool sweep_bitflips = true;
+  bool sweep_write_failures = true;
+  bool sweep_snapshot_flips = true;
+  /// On a divergence, greedily re-run reduced traces to find a minimal
+  /// reproducing statement list (slow — only taken on failure).
+  bool shrink = true;
+};
+
+/// Crash-recovery oracle. Builds a random database, opens a durable store
+/// on it, runs a random committed-statement trace (DDL with inheritance,
+/// creates, appends, deletes, retrieve-intos emitted from random plans,
+/// ranges, function definitions, optional mid-trace checkpoints), then
+/// simulates crashes at every geometric point:
+///
+///   - WAL truncated at byte k (torn tail after a real crash);
+///   - one bit flipped at WAL byte k (media corruption);
+///   - the k-th commit's WAL append fails — cleanly, with a partial torn
+///     write, or at fsync — and the process dies there;
+///   - one bit flipped in the snapshot file.
+///
+/// After each simulated crash the database is reopened and the oracle
+/// asserts the contract: recovery either succeeds with a state *exactly*
+/// equal (canonical bytes) to re-executing some prefix of the committed
+/// statements — the prefix recovery itself reports — or fails typed
+/// kDataLoss. Silent divergence, wrong-prefix states, and crashes are
+/// reported (and shrunk) as Divergences.
+Status CheckCrashRecoverySeed(uint64_t seed, const CrashOptions& opts,
+                              OracleStats* stats,
+                              std::vector<Divergence>* out);
+
+}  // namespace check
+}  // namespace excess
+
+#endif  // EXCESS_CHECK_CRASH_H_

@@ -1,10 +1,10 @@
 #include "core/governor.h"
 
-#include <cerrno>
 #include <cstdlib>
 #include <string>
 
 #include "obs/metrics.h"
+#include "util/env.h"
 
 namespace excess {
 
@@ -23,15 +23,7 @@ void CountTrip(const char* kind) {
 namespace internal {
 
 int64_t ParseLimit(const char* env, int64_t lo, int64_t hi, int64_t fallback) {
-  if (env == nullptr || *env == '\0') return fallback;
-  // strtoll skips leading whitespace; the knobs don't.
-  if (!(*env >= '0' && *env <= '9')) return fallback;
-  errno = 0;
-  char* end = nullptr;
-  long long n = std::strtoll(env, &end, 10);
-  if (end == env || *end != '\0' || errno == ERANGE) return fallback;
-  if (n < lo || n > hi) return fallback;
-  return static_cast<int64_t>(n);
+  return util::ParseEnvInt(env, lo, hi, fallback);
 }
 
 }  // namespace internal

@@ -1,22 +1,16 @@
 #include "core/parallel.h"
 
 #include <algorithm>
-#include <cerrno>
 #include <cstdlib>
+
+#include "util/env.h"
 
 namespace excess {
 
 namespace internal {
 
 int ParsePoolSize(const char* env, int fallback) {
-  if (env == nullptr || *env == '\0') return fallback;
-  errno = 0;
-  char* end = nullptr;
-  long n = std::strtol(env, &end, 10);
-  if (end == env || *end != '\0' || errno == ERANGE || n < 1 || n > 256) {
-    return fallback;
-  }
-  return static_cast<int>(n);
+  return static_cast<int>(util::ParseEnvInt(env, 1, 256, fallback));
 }
 
 }  // namespace internal

@@ -156,10 +156,17 @@ struct ExplainStmt {
   std::shared_ptr<Statement> inner;  // retrieve / append / delete
 };
 
+/// `open "<path>"`: attaches the session to a durable database file,
+/// recovering its state (snapshot + WAL replay). Subsequent mutations are
+/// logged. `checkpoint` folds the WAL into a fresh snapshot.
+struct OpenStmt {
+  std::string path;
+};
+
 struct Statement {
   enum class Kind {
     kDefineType, kCreate, kRange, kRetrieve, kDefineFunction, kAppend,
-    kDelete, kExplain,
+    kDelete, kExplain, kOpen, kCheckpoint,
   };
   Kind kind = Kind::kRetrieve;
   std::shared_ptr<DefineTypeStmt> define_type;
@@ -170,6 +177,12 @@ struct Statement {
   std::shared_ptr<AppendStmt> append;
   std::shared_ptr<DeleteStmt> del;
   std::shared_ptr<ExplainStmt> explain;
+  std::shared_ptr<OpenStmt> open;
+  /// Verbatim source text of this statement (leading/trailing whitespace
+  /// trimmed, no trailing ';'). The storage engine logs mutations by source,
+  /// so replay re-executes exactly what was committed. Empty for statements
+  /// built programmatically rather than parsed.
+  std::string source;
 };
 
 using Program = std::vector<Statement>;

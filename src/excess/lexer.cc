@@ -113,12 +113,16 @@ Result<std::vector<Token>> Lex(const std::string& src) {
       }
     }
   };
+  // First byte of the token currently being lexed; some branches push the
+  // token only after consuming it, when `i` is already past the end.
+  size_t tok_start = 0;
   auto push = [&](TokKind kind, std::string text = "") {
     Token t;
     t.kind = kind;
     t.text = std::move(text);
     t.line = line;
     t.column = col;
+    t.offset = tok_start;
     out.push_back(std::move(t));
   };
 
@@ -132,6 +136,7 @@ Result<std::vector<Token>> Lex(const std::string& src) {
       while (i < src.size() && src[i] != '\n') advance(1);
       continue;
     }
+    tok_start = i;
     if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
       size_t start = i;
       while (i < src.size() && (std::isalnum(static_cast<unsigned char>(src[i])) ||
@@ -170,6 +175,7 @@ Result<std::vector<Token>> Lex(const std::string& src) {
       t.text = num;
       t.line = line;
       t.column = col;
+      t.offset = tok_start;
       // from_chars, not stod/stoll: out-of-range literals must surface as a
       // parse error, never as an exception escaping Lex().
       if (is_float) {
@@ -279,6 +285,7 @@ Result<std::vector<Token>> Lex(const std::string& src) {
                    line, ", column ", col));
     }
   }
+  tok_start = src.size();
   push(TokKind::kEof);
   return out;
 }

@@ -38,6 +38,10 @@ struct Token {
   double float_value = 0;
   int line = 1;
   int column = 1;
+  /// Byte offset of the token's first character in the source (kEof:
+  /// source length). The parser slices per-statement source text out of
+  /// the program with these, so the WAL can log statements verbatim.
+  size_t offset = 0;
 };
 
 /// Tokenizes an EXCESS program. `--` starts a comment to end of line.

@@ -1,5 +1,7 @@
 #include "excess/parser.h"
 
+#include <cctype>
+
 #include "excess/lexer.h"
 #include "util/string_util.h"
 
@@ -29,20 +31,26 @@ namespace {
 ///              | '(' tuple_or_group ')' | '{' exprs '}' | '[' exprs ']'
 class Parser {
  public:
-  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+  Parser(std::string source, std::vector<Token> toks)
+      : src_(std::move(source)), toks_(std::move(toks)) {}
 
   Result<Program> ParseProgram() {
     Program out;
     while (!At(TokKind::kEof)) {
       if (Accept(TokKind::kSemicolon)) continue;
+      size_t start = Cur().offset;
       EXA_ASSIGN_OR_RETURN(Statement s, ParseStmt());
+      // Multi-variable ranges set their own (narrower) source slice.
+      if (s.source.empty()) s.source = SliceSource(start, Cur().offset);
       out.push_back(std::move(s));
     }
     return out;
   }
 
   Result<Statement> ParseSingle() {
+    size_t start = Cur().offset;
     EXA_ASSIGN_OR_RETURN(Statement s, ParseStmt());
+    if (s.source.empty()) s.source = SliceSource(start, Cur().offset);
     Accept(TokKind::kSemicolon);
     if (!At(TokKind::kEof)) {
       return Err("trailing input after statement");
@@ -99,6 +107,19 @@ class Parser {
     return name;
   }
 
+  /// Source text of [start, end), trailing whitespace removed. `end` is the
+  /// offset of the first token after the statement, so the slice may carry
+  /// inter-statement whitespace.
+  std::string SliceSource(size_t start, size_t end) const {
+    if (end > src_.size()) end = src_.size();
+    if (start >= end) return "";
+    while (end > start &&
+           std::isspace(static_cast<unsigned char>(src_[end - 1]))) {
+      --end;
+    }
+    return src_.substr(start, end - start);
+  }
+
   // --- statements -------------------------------------------------------
   Result<Statement> ParseStmt() {
     if (At(TokKind::kDefine)) {
@@ -110,13 +131,36 @@ class Parser {
     if (At(TokKind::kRetrieve)) return ParseRetrieve();
     if (At(TokKind::kAppend)) return ParseAppend();
     if (At(TokKind::kDelete)) return ParseDelete();
-    // `explain` is a context-sensitive identifier: no statement can begin
-    // with an identifier, so intercepting it here cannot change the meaning
-    // of any previously valid program.
+    // `explain`, `open` and `checkpoint` are context-sensitive identifiers:
+    // no statement can begin with an identifier, so intercepting them here
+    // cannot change the meaning of any previously valid program.
     if (At(TokKind::kIdent) && Cur().text == "explain") return ParseExplain();
+    if (At(TokKind::kIdent) && Cur().text == "open") return ParseOpen();
+    if (At(TokKind::kIdent) && Cur().text == "checkpoint") {
+      ++pos_;
+      Statement s;
+      s.kind = Statement::Kind::kCheckpoint;
+      return s;
+    }
     return Err(
         "expected a statement "
-        "(define/create/range/retrieve/append/delete/explain)");
+        "(define/create/range/retrieve/append/delete/explain/open/"
+        "checkpoint)");
+  }
+
+  /// open := 'open' STRING — the string is the database file path.
+  Result<Statement> ParseOpen() {
+    ++pos_;  // 'open'
+    if (!At(TokKind::kStrLit)) {
+      return Err("open expects a quoted database path");
+    }
+    auto stmt = std::make_shared<OpenStmt>();
+    stmt->path = Cur().text;
+    ++pos_;
+    Statement s;
+    s.kind = Statement::Kind::kOpen;
+    s.open = std::move(stmt);
+    return s;
   }
 
   /// explain := 'explain' ['analyze'] ['(' opt (',' opt)* ')'] statement
@@ -226,6 +270,7 @@ class Parser {
   /// into multiple statements internally, so only the first is returned
   /// here; ParseProgram splices the rest.
   Result<Statement> ParseRange() {
+    size_t stmt_start = Cur().offset;
     EXA_RETURN_NOT_OK(Expect(TokKind::kRange));
     EXA_RETURN_NOT_OK(Expect(TokKind::kOf));
     auto stmt = std::make_shared<RangeStmt>();
@@ -235,8 +280,12 @@ class Parser {
     Statement s;
     s.kind = Statement::Kind::kRange;
     s.range = std::move(stmt);
+    // Each declaration of a multi-variable range gets its own source slice
+    // (`range of W is Expr`), so the statements replay independently.
+    s.source = SliceSource(stmt_start, Cur().offset);
     // Additional `", W is Expr"` pairs become queued statements.
     while (Accept(TokKind::kComma)) {
+      size_t extra_start = Cur().offset;
       auto extra = std::make_shared<RangeStmt>();
       EXA_ASSIGN_OR_RETURN(extra->var, ExpectIdent());
       EXA_RETURN_NOT_OK(Expect(TokKind::kIs));
@@ -244,6 +293,7 @@ class Parser {
       Statement qs;
       qs.kind = Statement::Kind::kRange;
       qs.range = std::move(extra);
+      qs.source = "range of " + SliceSource(extra_start, Cur().offset);
       queued_.push_back(std::move(qs));
     }
     return s;
@@ -719,6 +769,7 @@ class Parser {
     return e;
   }
 
+  std::string src_;
   std::vector<Token> toks_;
   size_t pos_ = 0;
   int depth_ = 0;
@@ -731,7 +782,7 @@ class Parser {
 
 Result<Program> Parse(const std::string& source) {
   EXA_ASSIGN_OR_RETURN(std::vector<Token> toks, Lex(source));
-  Parser parser(std::move(toks));
+  Parser parser(source, std::move(toks));
   EXA_ASSIGN_OR_RETURN(Program program, parser.ParseProgram());
   // Multi-variable range statements queue extra declarations; order within
   // the program does not matter for ranges, so append works... except it
@@ -765,7 +816,7 @@ Result<Program> Parse(const std::string& source) {
 
 Result<Statement> ParseStatement(const std::string& source) {
   EXA_ASSIGN_OR_RETURN(std::vector<Token> toks, Lex(source));
-  Parser parser(std::move(toks));
+  Parser parser(source, std::move(toks));
   return parser.ParseSingle();
 }
 

@@ -1,11 +1,14 @@
 #include "excess/session.h"
 
 #include <chrono>
+#include <utility>
 
 #include "core/builder.h"
 #include "core/infer.h"
 #include "excess/parser.h"
 #include "obs/trace.h"
+#include "util/env.h"
+#include "util/fileio.h"
 #include "util/string_util.h"
 
 namespace excess {
@@ -26,31 +29,125 @@ Result<ValuePtr> Session::ExecuteStatement(const Statement& stmt) {
   if (options_.cancel != nullptr && options_.cancel->cancelled()) {
     return Status::Cancelled("session cancelled");
   }
+  EXA_RETURN_NOT_OK(MaybeOpenFromEnv());
   switch (stmt.kind) {
     case Statement::Kind::kDefineType:
-      EXA_RETURN_NOT_OK(ExecDefineType(*stmt.define_type));
+      EXA_RETURN_NOT_OK(ExecDefineType(*stmt.define_type, stmt.source));
       return ValuePtr(nullptr);
     case Statement::Kind::kCreate:
-      EXA_RETURN_NOT_OK(ExecCreate(*stmt.create));
+      EXA_RETURN_NOT_OK(ExecCreate(*stmt.create, stmt.source));
       return ValuePtr(nullptr);
     case Statement::Kind::kRange:
-      EXA_RETURN_NOT_OK(ExecRange(*stmt.range));
+      EXA_RETURN_NOT_OK(ExecRange(*stmt.range, stmt.source));
       return ValuePtr(nullptr);
     case Statement::Kind::kDefineFunction:
-      EXA_RETURN_NOT_OK(ExecDefineFunction(*stmt.define_function));
+      EXA_RETURN_NOT_OK(ExecDefineFunction(*stmt.define_function, stmt.source));
       return ValuePtr(nullptr);
     case Statement::Kind::kRetrieve:
-      return ExecRetrieve(*stmt.retrieve);
+      return ExecRetrieve(*stmt.retrieve, stmt.source);
     case Statement::Kind::kAppend:
-      EXA_RETURN_NOT_OK(ExecAppend(*stmt.append));
+      EXA_RETURN_NOT_OK(ExecAppend(*stmt.append, stmt.source));
       return ValuePtr(nullptr);
     case Statement::Kind::kDelete:
-      EXA_RETURN_NOT_OK(ExecDelete(*stmt.del));
+      EXA_RETURN_NOT_OK(ExecDelete(*stmt.del, stmt.source));
       return ValuePtr(nullptr);
     case Statement::Kind::kExplain:
       return ExecExplain(*stmt.explain);
+    case Statement::Kind::kOpen:
+      EXA_RETURN_NOT_OK(OpenStorage(stmt.open->path));
+      return ValuePtr(nullptr);
+    case Statement::Kind::kCheckpoint:
+      EXA_RETURN_NOT_OK(Checkpoint());
+      return ValuePtr(nullptr);
   }
   return Status::Internal("unknown statement kind");
+}
+
+Status Session::LogDurable(const std::string& source, bool context) {
+  if (storage_ == nullptr || replaying_) return Status::OK();
+  return storage_->LogCommit(source, options_.optimize, context);
+}
+
+void Session::RecordContext(const std::string& source) {
+  // Context statements are tracked from session start even without storage,
+  // so a later `open` on a fresh path snapshots the bindings already made.
+  if (!source.empty() && !replaying_) context_log_.push_back(source);
+}
+
+Status Session::MaybeOpenFromEnv() {
+  if (env_checked_) return Status::OK();
+  env_checked_ = true;
+  const std::string path = util::EnvString("EXCESS_DB_PATH");
+  if (path.empty() || storage_ != nullptr) return Status::OK();
+  return OpenStorage(path);
+}
+
+Status Session::OpenStorage(const std::string& path) {
+  // `open` during replay would mean the log contains an open statement —
+  // it never does (open/checkpoint are not logged), but guard anyway.
+  if (replaying_) return Status::Internal("open during WAL replay");
+  if (storage_ != nullptr) {
+    return Status::Invalid(
+        StrCat("a database is already open at '", storage_->path(),
+               "'; one durable database per session"));
+  }
+  env_checked_ = true;  // explicit open beats the env auto-open
+  storage::StorageOptions opts;
+  opts.fsync = util::EnvInt("EXCESS_WAL_FSYNC", 0, 1, 1) != 0;
+  opts.hooks = storage_hooks_;
+  const bool existing = util::FileExists(path);
+  if (existing) {
+    // Recovered state REPLACES the session state wholesale.
+    db_->Clear();
+    ranges_.clear();
+    if (methods_ != nullptr) methods_->Clear();
+    context_log_.clear();
+  }
+  EXA_ASSIGN_OR_RETURN(storage::StorageEngine::Opened opened,
+                       storage::StorageEngine::Open(path, db_, context_log_,
+                                                    opts));
+  last_recovery_ = opened.info;
+  storage_ = std::move(opened.engine);
+  if (!opened.replay.empty()) {
+    replaying_ = true;
+    const bool saved_optimize = options_.optimize;
+    Status st = Status::OK();
+    for (const auto& rec : opened.replay) {
+      options_.optimize = rec.optimize;
+      auto parsed = ParseStatement(rec.source);
+      if (!parsed.ok()) {
+        st = Status::DataLoss(
+            StrCat("WAL replay: cannot parse logged statement (lsn ",
+                   rec.lsn, "): ", parsed.status().message()));
+        break;
+      }
+      auto r = ExecuteStatement(*parsed);
+      if (!r.ok()) {
+        st = Status::DataLoss(
+            StrCat("WAL replay: logged statement failed (lsn ", rec.lsn,
+                   "): ", r.status().message()));
+        break;
+      }
+      // Replayed context statements re-enter the session's context log so
+      // the next checkpoint carries them forward.
+      if (rec.context) context_log_.push_back(rec.source);
+    }
+    options_.optimize = saved_optimize;
+    replaying_ = false;
+    if (!st.ok()) {
+      // The session is left cleared and detached: recovery is all-or-nothing.
+      storage_.reset();
+      return st;
+    }
+  }
+  return Status::OK();
+}
+
+Status Session::Checkpoint() {
+  if (storage_ == nullptr) {
+    return Status::Invalid("no database open; use `open \"<path>\"` first");
+  }
+  return storage_->Checkpoint(*db_, context_log_);
 }
 
 Result<ExprPtr> Session::AppendPlan(const AppendStmt& stmt) {
@@ -67,43 +164,80 @@ Result<ExprPtr> Session::AppendPlan(const AppendStmt& stmt) {
   return alg::AddUnion(alg::Var(stmt.target), std::move(addition));
 }
 
-Status Session::ExecAppend(const AppendStmt& stmt) {
+Status Session::ExecAppend(const AppendStmt& stmt, const std::string& source) {
   EXA_ASSIGN_OR_RETURN(ExprPtr plan, AppendPlan(stmt));
   EXA_ASSIGN_OR_RETURN(ValuePtr updated, EvalTree(plan));
+  // Commit protocol: the staged result reaches the database only after the
+  // statement is durably logged, so a crash between the two replays it.
+  EXA_RETURN_NOT_OK(LogDurable(source, /*context=*/false));
   return db_->SetNamed(stmt.target, std::move(updated));
 }
 
-Status Session::ExecDelete(const DeleteStmt& stmt) {
+Status Session::ExecDelete(const DeleteStmt& stmt, const std::string& source) {
   EXA_ASSIGN_OR_RETURN(
       ExprPtr plan, translator_.TranslateDeletePlan(stmt.target, stmt.where));
   EXA_ASSIGN_OR_RETURN(ValuePtr updated, EvalTree(plan));
+  EXA_RETURN_NOT_OK(LogDurable(source, /*context=*/false));
   return db_->SetNamed(stmt.target, std::move(updated));
 }
 
-Status Session::ExecDefineType(const DefineTypeStmt& stmt) {
+Status Session::ExecDefineType(const DefineTypeStmt& stmt,
+                               const std::string& source) {
   EXA_ASSIGN_OR_RETURN(SchemaPtr schema, translator_.BuildSchema(stmt.body));
-  return db_->catalog().DefineType(stmt.name, std::move(schema),
-                                   stmt.inherits);
-}
-
-Status Session::ExecCreate(const CreateStmt& stmt) {
-  EXA_ASSIGN_OR_RETURN(SchemaPtr schema, translator_.BuildSchema(stmt.type));
-  return db_->CreateNamed(stmt.name, std::move(schema));
-}
-
-Status Session::ExecRange(const RangeStmt& stmt) {
-  // Redeclaration replaces the previous binding (a session convenience).
-  for (auto& [v, coll] : ranges_) {
-    if (v == stmt.var) {
-      coll = stmt.collection;
-      return Status::OK();
-    }
+  EXA_RETURN_NOT_OK(db_->catalog().DefineType(stmt.name, std::move(schema),
+                                              stmt.inherits));
+  // DDL applies first (definition can fail on semantic grounds the log must
+  // never record), then logs; a failed log undoes the definition so memory
+  // and disk stay in agreement.
+  Status logged = LogDurable(source, /*context=*/false);
+  if (!logged.ok()) {
+    db_->catalog().UndoLastDefine();
+    return logged;
   }
-  ranges_.emplace_back(stmt.var, stmt.collection);
   return Status::OK();
 }
 
-Status Session::ExecDefineFunction(const DefineFunctionStmt& stmt) {
+Status Session::ExecCreate(const CreateStmt& stmt, const std::string& source) {
+  EXA_ASSIGN_OR_RETURN(SchemaPtr schema, translator_.BuildSchema(stmt.type));
+  EXA_RETURN_NOT_OK(db_->CreateNamed(stmt.name, std::move(schema)));
+  Status logged = LogDurable(source, /*context=*/false);
+  if (!logged.ok()) {
+    (void)db_->DropNamed(stmt.name);
+    return logged;
+  }
+  return Status::OK();
+}
+
+Status Session::ExecRange(const RangeStmt& stmt, const std::string& source) {
+  // Redeclaration replaces the previous binding (a session convenience).
+  ExprAstPtr prev;
+  bool replaced = false;
+  for (auto& [v, coll] : ranges_) {
+    if (v == stmt.var) {
+      prev = coll;
+      coll = stmt.collection;
+      replaced = true;
+      break;
+    }
+  }
+  if (!replaced) ranges_.emplace_back(stmt.var, stmt.collection);
+  Status logged = LogDurable(source, /*context=*/true);
+  if (!logged.ok()) {
+    if (replaced) {
+      for (auto& [v, coll] : ranges_) {
+        if (v == stmt.var) coll = prev;
+      }
+    } else {
+      ranges_.pop_back();
+    }
+    return logged;
+  }
+  RecordContext(source);
+  return Status::OK();
+}
+
+Status Session::ExecDefineFunction(const DefineFunctionStmt& stmt,
+                                   const std::string& source) {
   if (methods_ == nullptr) {
     return Status::Unsupported("this session has no method registry");
   }
@@ -119,16 +253,37 @@ Status Session::ExecDefineFunction(const DefineFunctionStmt& stmt) {
   if (stmt.returns != nullptr) {
     EXA_ASSIGN_OR_RETURN(ret, translator_.BuildSchema(stmt.returns));
   }
+  // Save the implementation a redefinition overrides, for log-failure undo.
+  MethodDef previous;
+  bool had_previous = false;
+  if (methods_->Has(stmt.type_name, stmt.func_name)) {
+    EXA_ASSIGN_OR_RETURN(const MethodDef* p,
+                         methods_->LookupExact(stmt.type_name, stmt.func_name));
+    previous = *p;
+    had_previous = true;
+  }
   MethodDef def;
   def.type_name = stmt.type_name;
   def.method_name = stmt.func_name;
   def.param_names = std::move(params);
   def.return_schema = std::move(ret);
   def.body = std::move(body);
-  return methods_->Define(std::move(def));
+  EXA_RETURN_NOT_OK(methods_->Define(std::move(def)));
+  Status logged = LogDurable(source, /*context=*/true);
+  if (!logged.ok()) {
+    if (had_previous) {
+      (void)methods_->Define(std::move(previous));
+    } else {
+      methods_->Remove(stmt.type_name, stmt.func_name);
+    }
+    return logged;
+  }
+  RecordContext(source);
+  return Status::OK();
 }
 
-Result<ValuePtr> Session::ExecRetrieve(const RetrieveStmt& stmt) {
+Result<ValuePtr> Session::ExecRetrieve(const RetrieveStmt& stmt,
+                                       const std::string& source) {
   EXA_ASSIGN_OR_RETURN(ExprPtr tree,
                        translator_.TranslateRetrieve(stmt, ranges_));
   if (options_.optimize) {
@@ -137,6 +292,9 @@ Result<ValuePtr> Session::ExecRetrieve(const RetrieveStmt& stmt) {
   }
   EXA_ASSIGN_OR_RETURN(ValuePtr result, EvalTree(tree));
   if (!stmt.into.empty()) {
+    // Only `retrieve ... into` mutates the database; plain retrieves are
+    // never logged.
+    EXA_RETURN_NOT_OK(LogDurable(source, /*context=*/false));
     if (db_->HasNamed(stmt.into)) {
       EXA_RETURN_NOT_OK(db_->SetNamed(stmt.into, result));
       // The overwrite ends the old binding, so its schema must go too: a

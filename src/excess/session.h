@@ -12,6 +12,7 @@
 #include "methods/registry.h"
 #include "objects/database.h"
 #include "obs/explain.h"
+#include "storage/engine.h"
 #include "util/status.h"
 
 namespace excess {
@@ -81,18 +82,61 @@ class Session {
     return last_explain_;
   }
 
+  /// Attaches the session to a durable database at `path` (the `open`
+  /// statement, programmatically). If the file exists, the in-memory
+  /// database, range bindings, and methods are REPLACED by the recovered
+  /// state; otherwise the current state becomes the initial snapshot. From
+  /// then on every committed mutation statement is appended to the
+  /// write-ahead log (and fsync'd, unless EXCESS_WAL_FSYNC=0) before its
+  /// in-memory effect is applied.
+  Status OpenStorage(const std::string& path);
+
+  /// Folds the write-ahead log into a fresh snapshot (the `checkpoint`
+  /// statement). Fails unless a database is open.
+  Status Checkpoint();
+
+  bool has_storage() const { return storage_ != nullptr; }
+
+  /// Recovery details of the most recent OpenStorage.
+  const storage::RecoveryInfo& last_recovery() const { return last_recovery_; }
+
+  /// Sequence number the next durably logged statement will get; 0 without
+  /// storage. The crash-recovery oracle uses this to count commits.
+  uint64_t next_durable_lsn() const {
+    return storage_ == nullptr ? 0 : storage_->next_lsn();
+  }
+
+  /// Test seam: crash-injection hooks used by subsequent OpenStorage calls.
+  void set_storage_hooks(storage::StorageHooks* hooks) {
+    storage_hooks_ = hooks;
+  }
+
  private:
-  Status ExecDefineType(const DefineTypeStmt& stmt);
-  Status ExecCreate(const CreateStmt& stmt);
-  Status ExecRange(const RangeStmt& stmt);
-  Status ExecDefineFunction(const DefineFunctionStmt& stmt);
-  Result<ValuePtr> ExecRetrieve(const RetrieveStmt& stmt);
-  Status ExecAppend(const AppendStmt& stmt);
-  Status ExecDelete(const DeleteStmt& stmt);
+  Status ExecDefineType(const DefineTypeStmt& stmt, const std::string& source);
+  Status ExecCreate(const CreateStmt& stmt, const std::string& source);
+  Status ExecRange(const RangeStmt& stmt, const std::string& source);
+  Status ExecDefineFunction(const DefineFunctionStmt& stmt,
+                            const std::string& source);
+  Result<ValuePtr> ExecRetrieve(const RetrieveStmt& stmt,
+                                const std::string& source);
+  Status ExecAppend(const AppendStmt& stmt, const std::string& source);
+  Status ExecDelete(const DeleteStmt& stmt, const std::string& source);
   Result<ValuePtr> ExecExplain(const ExplainStmt& stmt);
 
   /// The update plan ExecAppend evaluates (shared with EXPLAIN).
   Result<ExprPtr> AppendPlan(const AppendStmt& stmt);
+
+  /// Durably logs a committed statement. No-op without storage or during
+  /// replay; rejects statements with no source text (programmatically built
+  /// ASTs cannot be made durable).
+  Status LogDurable(const std::string& source, bool context);
+
+  /// Remembers a committed context statement (range / define function) for
+  /// future snapshots.
+  void RecordContext(const std::string& source);
+
+  /// One-time EXCESS_DB_PATH auto-open, checked at the first statement.
+  Status MaybeOpenFromEnv();
 
   Database* db_;
   MethodRegistry* methods_;
@@ -101,6 +145,14 @@ class Session {
   std::vector<std::pair<std::string, ExprAstPtr>> ranges_;
   EvalStats last_stats_;
   std::shared_ptr<const obs::ExplainReport> last_explain_;
+  std::unique_ptr<storage::StorageEngine> storage_;
+  storage::StorageHooks* storage_hooks_ = nullptr;
+  storage::RecoveryInfo last_recovery_;
+  /// Sources of committed context statements, in commit order (snapshots
+  /// persist these so range bindings and methods survive reopen).
+  std::vector<std::string> context_log_;
+  bool replaying_ = false;
+  bool env_checked_ = false;
 };
 
 }  // namespace excess

@@ -64,6 +64,15 @@ class MethodRegistry : public MethodResolver {
   int64_t dispatch_count() const { return dispatch_count_; }
   void ResetStats() { dispatch_count_ = 0; }
 
+  /// Unregisters a method (storage-commit rollback of a `define function`
+  /// whose durable log failed). No-op if absent.
+  void Remove(const std::string& type_name, const std::string& method) {
+    methods_.erase({type_name, method});
+  }
+
+  /// Drops every method (durable `open` replaces the database wholesale).
+  void Clear() { methods_.clear(); }
+
  private:
   const Catalog* catalog_;
   std::map<std::pair<std::string, std::string>, MethodDef> methods_;

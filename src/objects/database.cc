@@ -78,6 +78,23 @@ std::vector<std::string> Database::NamedObjectNames() const {
   return out;
 }
 
+Status Database::DropNamed(const std::string& name) {
+  auto it = named_.find(name);
+  if (it == named_.end()) {
+    return Status::NotFound(StrCat("no top-level object '", name, "'"));
+  }
+  named_.erase(it);
+  extent_cache_.erase(name);
+  return Status::OK();
+}
+
+void Database::Clear() {
+  named_.clear();
+  extent_cache_.clear();
+  store_.Clear();
+  catalog_.Clear();
+}
+
 Result<const std::map<std::string, ValuePtr>*> Database::TypeExtents(
     const std::string& set_name) {
   auto cached = extent_cache_.find(set_name);

@@ -51,6 +51,14 @@ class Database {
 
   std::vector<std::string> NamedObjectNames() const;
 
+  /// Removes a named object (storage-commit rollback of a `create` whose
+  /// durable log failed, and `open`-time teardown).
+  Status DropNamed(const std::string& name);
+
+  /// Empties the whole database: catalog, store, named objects, caches.
+  /// A durable `open` replaces in-memory state with the on-disk image.
+  void Clear();
+
   /// §4 type-extent index: partitions the occurrences of the named multiset
   /// by exact element type (tuple tags, or the store's exact type for
   /// refs). Cached; invalidated by SetNamed. With this index available, the

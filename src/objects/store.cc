@@ -1,5 +1,7 @@
 #include "objects/store.h"
 
+#include <algorithm>
+
 #include "util/string_util.h"
 
 namespace excess {
@@ -102,6 +104,76 @@ bool ObjectStore::InDomain(const Oid& oid, const std::string& type_name) const {
   auto it = heap_.find(oid);
   if (it == heap_.end()) return false;
   return catalog_->IsSubtype(it->second.exact_type, type_name);
+}
+
+ObjectStore::StoreDump ObjectStore::Dump() const {
+  StoreDump dump;
+  dump.id_names = id_names_;
+  dump.next_serial.assign(next_serial_.begin(), next_serial_.end());
+  dump.objects.reserve(heap_.size());
+  for (const auto& [oid, obj] : heap_) {
+    dump.objects.push_back(
+        StoreDump::ObjDump{oid, obj.value, obj.allocation_type, obj.exact_type});
+  }
+  std::sort(dump.objects.begin(), dump.objects.end(),
+            [](const StoreDump::ObjDump& a, const StoreDump::ObjDump& b) {
+              return a.oid < b.oid;
+            });
+  for (const auto& [type, bucket] : interned_) {
+    for (const auto& [key, oid] : bucket) {
+      dump.interned.push_back(StoreDump::InternDump{type, key, oid});
+    }
+  }
+  // Within a bucket every entry holds a distinct OID (each insert allocates
+  // or reuses exactly one), so (type, oid) is a total order.
+  std::sort(dump.interned.begin(), dump.interned.end(),
+            [](const StoreDump::InternDump& a, const StoreDump::InternDump& b) {
+              return a.type != b.type ? a.type < b.type : a.oid < b.oid;
+            });
+  return dump;
+}
+
+Status ObjectStore::Restore(const StoreDump& dump) {
+  if (!heap_.empty() || !id_names_.empty()) {
+    return Status::Invalid("ObjectStore::Restore requires an empty store");
+  }
+  id_names_ = dump.id_names;
+  for (uint32_t id = 0; id < id_names_.size(); ++id) {
+    if (type_ids_.count(id_names_[id]) > 0) {
+      return Status::DataLoss(
+          StrCat("store dump repeats type name '", id_names_[id], "'"));
+    }
+    type_ids_.emplace(id_names_[id], id);
+  }
+  for (const auto& [name, serial] : dump.next_serial) {
+    next_serial_[name] = serial;
+  }
+  for (const auto& obj : dump.objects) {
+    if (obj.value == nullptr) return Status::DataLoss("store dump holds null value");
+    if (obj.oid.type_id >= id_names_.size()) {
+      return Status::DataLoss(StrCat("store dump OID ", obj.oid.ToString(),
+                                     " names an unknown type id"));
+    }
+    if (!heap_.emplace(obj.oid, Obj{obj.value, obj.allocation_type,
+                                    obj.exact_type}).second) {
+      return Status::DataLoss(StrCat("store dump repeats OID ", obj.oid.ToString()));
+    }
+  }
+  for (const auto& entry : dump.interned) {
+    if (entry.key == nullptr) {
+      return Status::DataLoss("store dump holds null intern key");
+    }
+    interned_[entry.type].emplace(entry.key, entry.oid);
+  }
+  return Status::OK();
+}
+
+void ObjectStore::Clear() {
+  heap_.clear();
+  type_ids_.clear();
+  id_names_.clear();
+  next_serial_.clear();
+  interned_.clear();
 }
 
 std::string ObjectStore::ExactTypeOf(const ValuePtr& value) const {

@@ -76,6 +76,36 @@ class ObjectStore {
   }
   void ResetStats() { deref_count_.store(0, std::memory_order_relaxed); }
 
+  /// Canonical serializable image of the store. Objects are sorted by OID
+  /// and intern entries by (type, oid), so two stores with equal contents
+  /// produce identical dumps regardless of hash-map iteration order. The
+  /// storage layer snapshots through this; stats are excluded.
+  struct StoreDump {
+    std::vector<std::string> id_names;  // type_id -> name, mint order
+    std::vector<std::pair<std::string, uint64_t>> next_serial;
+    struct ObjDump {
+      Oid oid;
+      ValuePtr value;
+      std::string allocation_type;
+      std::string exact_type;
+    };
+    std::vector<ObjDump> objects;
+    struct InternDump {
+      std::string type;
+      ValuePtr key;
+      Oid oid;
+    };
+    std::vector<InternDump> interned;
+  };
+  StoreDump Dump() const;
+
+  /// Rebuilds the store from a dump. The store must be empty (freshly
+  /// constructed or Clear()ed); existing state would alias serial counters.
+  Status Restore(const StoreDump& dump);
+
+  /// Drops every object, intern entry, and minted type id.
+  void Clear();
+
  private:
   struct Obj {
     ValuePtr value;

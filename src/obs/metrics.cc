@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/fileio.h"
+
 namespace excess {
 namespace obs {
 
@@ -10,16 +12,15 @@ namespace {
 
 /// Dump-on-exit: armed exactly once, the first time Global() is touched
 /// with EXCESS_METRICS_PATH set. atexit (not a static destructor) so the
-/// snapshot happens while the registry is still alive.
+/// snapshot happens while the registry is still alive. The write is atomic
+/// (temp file + rename) so a crash mid-dump never leaves a truncated JSON
+/// snapshot where a previous complete one stood.
 void DumpAtExit() {
   const char* path = std::getenv("EXCESS_METRICS_PATH");
   if (path == nullptr || *path == '\0') return;
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) return;
   std::string json = MetricsRegistry::Global().Snapshot();
-  std::fwrite(json.data(), 1, json.size(), f);
-  std::fputc('\n', f);
-  std::fclose(f);
+  json.push_back('\n');
+  (void)util::WriteFileAtomic(path, json, /*sync=*/false);
 }
 
 void AppendJsonString(std::string* out, const std::string& s) {

@@ -1,0 +1,168 @@
+#include "storage/engine.h"
+
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "util/fileio.h"
+#include "util/string_util.h"
+
+namespace excess {
+namespace storage {
+
+namespace {
+
+constexpr char kSnapMagic[8] = {'E', 'X', 'D', 'B', '0', '0', '0', '1'};
+constexpr size_t kSnapHeaderSize = sizeof(kSnapMagic) + 8 + 4;
+
+std::string EncodeSnapshotFile(const std::string& payload) {
+  std::string out(kSnapMagic, sizeof(kSnapMagic));
+  Writer w;
+  w.U64(payload.size());
+  w.U32(util::Crc32(payload.data(), payload.size()));
+  out += w.Take();
+  out += payload;
+  return out;
+}
+
+Result<std::string> DecodeSnapshotFile(const std::string& bytes) {
+  if (bytes.size() < kSnapHeaderSize ||
+      std::memcmp(bytes.data(), kSnapMagic, sizeof(kSnapMagic)) != 0) {
+    return Status::DataLoss("snapshot corrupt: bad or truncated header");
+  }
+  Reader r(bytes.data() + sizeof(kSnapMagic), 12);
+  uint64_t len = *r.U64();
+  uint32_t crc = *r.U32();
+  if (len != bytes.size() - kSnapHeaderSize) {
+    return Status::DataLoss(
+        StrCat("snapshot corrupt: payload length ", len, " but file holds ",
+               bytes.size() - kSnapHeaderSize, " bytes"));
+  }
+  if (util::Crc32(bytes.data() + kSnapHeaderSize, len) != crc) {
+    return Status::DataLoss("snapshot corrupt: checksum mismatch");
+  }
+  return bytes.substr(kSnapHeaderSize);
+}
+
+}  // namespace
+
+Status StorageEngine::WriteSnapshot(const SnapshotState& state) {
+  std::string file = EncodeSnapshotFile(EncodeSnapshotPayload(state));
+  if (options_.hooks != nullptr &&
+      !options_.hooks->OnSnapshotWrite(file.size())) {
+    return Status::DataLoss("injected snapshot write failure");
+  }
+  EXA_RETURN_NOT_OK(util::WriteFileAtomic(path_, file, options_.fsync));
+  snapshot_seq_ = state.seq;
+  obs::MetricsRegistry::Global().GetCounter("storage.snapshot.writes")
+      ->Increment();
+  return Status::OK();
+}
+
+Result<StorageEngine::Opened> StorageEngine::Open(
+    const std::string& path, Database* db, std::vector<std::string> context,
+    const StorageOptions& options) {
+  if (path.empty()) return Status::Invalid("storage path must be non-empty");
+  Opened opened;
+  std::unique_ptr<StorageEngine> engine(new StorageEngine(path, options));
+
+  auto snapshot_bytes = util::ReadFile(path);
+  if (!snapshot_bytes.ok() && !snapshot_bytes.status().IsNotFound()) {
+    return snapshot_bytes.status();
+  }
+
+  if (!snapshot_bytes.ok()) {
+    // Fresh database: adopt the session's current state as snapshot 0.
+    opened.info.created = true;
+    SnapshotState state = CaptureDatabase(*db, 0, std::move(context));
+    EXA_RETURN_NOT_OK(engine->WriteSnapshot(state));
+    EXA_ASSIGN_OR_RETURN(
+        engine->wal_,
+        WalWriter::Open(engine->wal_path_, 0, options.fsync, options.hooks));
+    engine->next_lsn_ = 1;
+    opened.engine = std::move(engine);
+    return opened;
+  }
+
+  EXA_ASSIGN_OR_RETURN(std::string payload,
+                       DecodeSnapshotFile(*snapshot_bytes));
+  EXA_ASSIGN_OR_RETURN(SnapshotState state, DecodeSnapshotPayload(payload));
+  EXA_RETURN_NOT_OK(InstallDatabase(state, db));
+  engine->snapshot_seq_ = state.seq;
+  opened.info.snapshot_seq = state.seq;
+
+  EXA_ASSIGN_OR_RETURN(WalScanResult scan,
+                       ScanWalFile(engine->wal_path_));
+  opened.info.torn_tail = scan.torn_tail;
+  opened.info.discarded_bytes = scan.discarded_bytes;
+  if (scan.torn_tail) {
+    obs::MetricsRegistry::Global().GetCounter("storage.recovery.torn_tail")
+        ->Increment();
+  }
+
+  // Context statements re-establish session state first; then the WAL
+  // records the snapshot does not already cover, in commit order. Records
+  // at or below the snapshot's sequence are stale survivors of a crash
+  // between snapshot rename and WAL reset.
+  for (const auto& src : state.context) {
+    ReplayStatement rs;
+    rs.source = src;
+    rs.context = true;
+    opened.replay.push_back(std::move(rs));
+  }
+  uint64_t last_lsn = state.seq;
+  for (auto& rec : scan.records) {
+    if (rec.lsn > last_lsn + 1) {
+      return Status::DataLoss(
+          StrCat("WAL gap: snapshot covers ", last_lsn,
+                 " statements but next record has lsn ", rec.lsn));
+    }
+    if (rec.lsn <= state.seq) continue;
+    last_lsn = rec.lsn;
+    ReplayStatement rs;
+    rs.source = std::move(rec.source);
+    rs.optimize = rec.optimize;
+    rs.context = rec.context;
+    rs.lsn = rec.lsn;
+    opened.replay.push_back(std::move(rs));
+    ++opened.info.replayed;
+  }
+  engine->next_lsn_ = last_lsn + 1;
+  obs::MetricsRegistry::Global().GetCounter("storage.recovery.replayed")
+      ->Increment(static_cast<int64_t>(opened.info.replayed));
+
+  EXA_ASSIGN_OR_RETURN(
+      engine->wal_, WalWriter::Open(engine->wal_path_, scan.valid_bytes,
+                                    options.fsync, options.hooks));
+  opened.engine = std::move(engine);
+  return opened;
+}
+
+Status StorageEngine::LogCommit(const std::string& source, bool optimize,
+                                bool context) {
+  if (source.empty()) {
+    return Status::Invalid(
+        "cannot log a statement with no source text; programmatically built "
+        "statements are not durable");
+  }
+  WalRecord rec;
+  rec.source = source;
+  rec.optimize = optimize;
+  rec.context = context;
+  rec.lsn = next_lsn_;
+  EXA_RETURN_NOT_OK(wal_->Append(rec));
+  ++next_lsn_;
+  return Status::OK();
+}
+
+Status StorageEngine::Checkpoint(const Database& db,
+                                 std::vector<std::string> context) {
+  SnapshotState state =
+      CaptureDatabase(db, next_lsn_ - 1, std::move(context));
+  EXA_RETURN_NOT_OK(WriteSnapshot(state));
+  // Snapshot rename is the commit point; a crash before this Reset leaves
+  // stale records that recovery skips by sequence number.
+  return wal_->Reset();
+}
+
+}  // namespace storage
+}  // namespace excess

@@ -1,0 +1,107 @@
+#ifndef EXCESS_STORAGE_ENGINE_H_
+#define EXCESS_STORAGE_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "objects/database.h"
+#include "storage/serialize.h"
+#include "storage/wal.h"
+#include "util/status.h"
+
+namespace excess {
+namespace storage {
+
+struct StorageOptions {
+  /// Sync the WAL (and snapshot) to disk at every commit boundary. Off, a
+  /// crash can lose recent commits but never corrupts recovery (the torn
+  /// tail is discarded). Sessions read EXCESS_WAL_FSYNC for this.
+  bool fsync = true;
+  /// Test-only crash-injection seam; null in production.
+  StorageHooks* hooks = nullptr;
+};
+
+/// A statement the session must re-execute to finish recovery.
+struct ReplayStatement {
+  std::string source;
+  bool optimize = true;
+  bool context = false;  // range / define-function (session state)
+  uint64_t lsn = 0;      // 0 for snapshot context statements
+};
+
+struct RecoveryInfo {
+  bool created = false;        // no file existed; current state adopted
+  uint64_t snapshot_seq = 0;   // statements the snapshot covers
+  uint64_t replayed = 0;       // WAL records handed back for replay
+  bool torn_tail = false;      // WAL ended in a discarded torn suffix
+  uint64_t discarded_bytes = 0;
+};
+
+/// The durable storage engine: one snapshot file at `path` plus a WAL at
+/// `path + ".wal"`.
+///
+/// Commit protocol (per mutation statement): the session evaluates the
+/// statement, appends its source to the WAL (fsync), and only then applies
+/// the effect in memory. Recovery loads the last intact snapshot, discards
+/// the WAL's torn tail, and re-executes the logged statements after the
+/// snapshot's sequence number — so the recovered database is exactly the
+/// committed-statement prefix.
+class StorageEngine {
+ public:
+  struct Opened {
+    std::unique_ptr<StorageEngine> engine;
+    /// Context statements from the snapshot (lsn 0), then WAL records past
+    /// the snapshot, in commit order. Empty when `created`.
+    std::vector<ReplayStatement> replay;
+    RecoveryInfo info;
+  };
+
+  /// Opens (or creates) the database at `path`. When the snapshot file
+  /// exists, `db` must be empty: the snapshot is installed into it and
+  /// `replay` returns the statements to re-execute. Otherwise the current
+  /// contents of `db` (plus `context` statement sources) become the initial
+  /// snapshot at sequence 0.
+  static Result<Opened> Open(const std::string& path, Database* db,
+                             std::vector<std::string> context,
+                             const StorageOptions& options);
+
+  StorageEngine(const StorageEngine&) = delete;
+  StorageEngine& operator=(const StorageEngine&) = delete;
+
+  /// Durably logs one committed statement. Must be called *before* the
+  /// statement's in-memory effect is applied; on error nothing was made
+  /// durable and the caller must not apply (or must undo) the statement.
+  Status LogCommit(const std::string& source, bool optimize, bool context);
+
+  /// Folds the current state into a fresh snapshot (atomic temp + rename)
+  /// and resets the WAL. `context` is the session's live context-statement
+  /// list (range bindings, function definitions).
+  Status Checkpoint(const Database& db, std::vector<std::string> context);
+
+  const std::string& path() const { return path_; }
+  const std::string& wal_path() const { return wal_path_; }
+  /// Sequence number the next committed statement will get.
+  uint64_t next_lsn() const { return next_lsn_; }
+
+ private:
+  StorageEngine(std::string path, const StorageOptions& options)
+      : path_(std::move(path)),
+        wal_path_(path_ + ".wal"),
+        options_(options) {}
+
+  Status WriteSnapshot(const SnapshotState& state);
+
+  std::string path_;
+  std::string wal_path_;
+  StorageOptions options_;
+  std::unique_ptr<WalWriter> wal_;
+  uint64_t next_lsn_ = 1;
+  uint64_t snapshot_seq_ = 0;
+};
+
+}  // namespace storage
+}  // namespace excess
+
+#endif  // EXCESS_STORAGE_ENGINE_H_

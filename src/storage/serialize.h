@@ -1,0 +1,114 @@
+#ifndef EXCESS_STORAGE_SERIALIZE_H_
+#define EXCESS_STORAGE_SERIALIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "catalog/schema.h"
+#include "objects/database.h"
+#include "objects/store.h"
+#include "objects/value.h"
+#include "util/status.h"
+
+namespace excess {
+namespace storage {
+
+/// Append-only little-endian binary encoder. All on-disk integers are
+/// fixed-width so the format is byte-for-byte deterministic (the crash
+/// oracle compares recovered databases by their encoded bytes).
+class Writer {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void F64(double v);
+  /// u32 length + raw bytes.
+  void Str(const std::string& s);
+
+  const std::string& bytes() const { return buf_; }
+  std::string Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+/// Bounds-checked decoder. Every read validates against the remaining span
+/// and element counts are sanity-capped against it, so corrupt or truncated
+/// input surfaces as kDataLoss rather than huge allocations or overruns.
+class Reader {
+ public:
+  Reader(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit Reader(const std::string& s) : Reader(s.data(), s.size()) {}
+
+  Result<uint8_t> U8();
+  Result<uint32_t> U32();
+  Result<uint64_t> U64();
+  Result<int64_t> I64();
+  Result<double> F64();
+  Result<std::string> Str();
+  /// Reads a u32 element count and rejects counts that could not possibly
+  /// fit in the remaining bytes (each element takes >= min_elem_bytes).
+  Result<uint32_t> Count(size_t min_elem_bytes);
+
+  size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+
+ private:
+  Status Need(size_t n) const;
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+void EncodeValue(const ValuePtr& v, Writer* w);
+Result<ValuePtr> DecodeValue(Reader* r);
+
+void EncodeSchema(const SchemaPtr& s, Writer* w);
+Result<SchemaPtr> DecodeSchema(Reader* r);
+
+/// Everything a snapshot persists. `seq` is the number of logged statements
+/// committed before the snapshot was taken; WAL records carry statement
+/// sequence numbers, so recovery skips records the snapshot already covers
+/// (the crash window between snapshot rename and WAL reset). `context`
+/// holds session-state statement sources (range declarations, function
+/// definitions) replayed at open before any WAL record.
+struct SnapshotState {
+  uint64_t seq = 0;
+  std::vector<Catalog::TypeDef> types;
+  ObjectStore::StoreDump store;
+  struct Named {
+    std::string name;
+    SchemaPtr schema;
+    ValuePtr value;
+  };
+  std::vector<Named> named;
+  std::vector<std::string> context;
+};
+
+std::string EncodeSnapshotPayload(const SnapshotState& state);
+Result<SnapshotState> DecodeSnapshotPayload(const std::string& payload);
+
+/// Captures a database (plus session context sources) as a snapshot.
+SnapshotState CaptureDatabase(const Database& db, uint64_t seq,
+                              std::vector<std::string> context);
+
+/// Installs a decoded snapshot into an *empty* database: replays the type
+/// definitions (reproducing type ids by definition order), restores the OID
+/// store, and recreates the named objects. Context statements are not
+/// executed here — the session replays them, since they touch session state.
+Status InstallDatabase(const SnapshotState& state, Database* db);
+
+/// Canonical byte encoding of a database's durable state (catalog + store +
+/// named objects). Collections are emitted in sorted/definition order, so
+/// two databases hold equal durable state iff their canonical bytes match —
+/// this is the equality the crash-recovery oracle asserts.
+std::string CanonicalDatabaseBytes(const Database& db);
+
+}  // namespace storage
+}  // namespace excess
+
+#endif  // EXCESS_STORAGE_SERIALIZE_H_

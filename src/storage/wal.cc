@@ -1,0 +1,244 @@
+#include "storage/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "storage/serialize.h"
+#include "util/fileio.h"
+#include "util/string_util.h"
+
+namespace excess {
+namespace storage {
+
+namespace {
+
+constexpr char kWalMagic[8] = {'E', 'X', 'W', 'A', 'L', '0', '0', '1'};
+constexpr size_t kWalHeaderSize = sizeof(kWalMagic);
+constexpr uint8_t kWalVersion = 1;
+constexpr uint8_t kFlagOptimize = 1;
+constexpr uint8_t kFlagContext = 2;
+
+/// A single statement source larger than this is rejected at scan time —
+/// far beyond any real program, and it bounds allocations on corrupt input
+/// whose length field happens to checksum correctly.
+constexpr uint32_t kMaxRecordPayload = 64u << 20;
+
+Status Errno(const char* op, const std::string& path) {
+  return Status::DataLoss(StrCat(op, " '", path, "': ", std::strerror(errno)));
+}
+
+}  // namespace
+
+std::string EncodeWalRecord(const WalRecord& rec) {
+  Writer payload;
+  payload.U8(kWalVersion);
+  uint8_t flags = 0;
+  if (rec.optimize) flags |= kFlagOptimize;
+  if (rec.context) flags |= kFlagContext;
+  payload.U8(flags);
+  payload.U64(rec.lsn);
+  payload.Str(rec.source);
+
+  Writer out;
+  out.U32(static_cast<uint32_t>(payload.bytes().size()));
+  out.U32(util::Crc32(payload.bytes().data(), payload.bytes().size()));
+  std::string framed = out.Take();
+  framed += payload.bytes();
+  return framed;
+}
+
+Result<WalScanResult> ScanWalBytes(const std::string& bytes) {
+  WalScanResult out;
+  if (bytes.empty()) return out;  // fresh file: writer lays down the header
+  size_t have = bytes.size() < kWalHeaderSize ? bytes.size() : kWalHeaderSize;
+  if (std::memcmp(bytes.data(), kWalMagic, have) != 0) {
+    return Status::DataLoss("WAL header corrupt: bad magic");
+  }
+  if (bytes.size() < kWalHeaderSize) {
+    // Torn header from a crash during creation; recreate from scratch.
+    out.torn_tail = true;
+    out.discarded_bytes = bytes.size();
+    return out;
+  }
+
+  size_t pos = kWalHeaderSize;
+  uint64_t prev_lsn = 0;
+  bool have_prev = false;
+  while (pos < bytes.size()) {
+    size_t rec_start = pos;
+    auto torn = [&]() {
+      out.torn_tail = true;
+      out.discarded_bytes = bytes.size() - rec_start;
+      return out;
+    };
+    if (bytes.size() - pos < 8) return torn();
+    Reader frame(bytes.data() + pos, 8);
+    uint32_t len = *frame.U32();
+    uint32_t crc = *frame.U32();
+    pos += 8;
+    if (len > kMaxRecordPayload || len > bytes.size() - pos) return torn();
+    if (util::Crc32(bytes.data() + pos, len) != crc) return torn();
+
+    Reader payload(bytes.data() + pos, len);
+    auto version = payload.U8();
+    auto flags = payload.U8();
+    auto lsn = payload.U64();
+    auto source = payload.Str();
+    if (!version.ok() || !flags.ok() || !lsn.ok() || !source.ok() ||
+        *version != kWalVersion || !payload.done()) {
+      return torn();
+    }
+    if (have_prev && *lsn != prev_lsn + 1) return torn();
+    prev_lsn = *lsn;
+    have_prev = true;
+    pos += len;
+
+    WalRecord rec;
+    rec.source = std::move(*source);
+    rec.optimize = (*flags & kFlagOptimize) != 0;
+    rec.context = (*flags & kFlagContext) != 0;
+    rec.lsn = *lsn;
+    out.records.push_back(std::move(rec));
+    out.valid_bytes = pos;
+  }
+  out.valid_bytes = out.valid_bytes == 0 ? kWalHeaderSize : out.valid_bytes;
+  return out;
+}
+
+Result<WalScanResult> ScanWalFile(const std::string& path) {
+  auto bytes = util::ReadFile(path);
+  if (!bytes.ok()) {
+    if (bytes.status().IsNotFound()) return WalScanResult{};
+    return bytes.status();
+  }
+  EXA_ASSIGN_OR_RETURN(WalScanResult scan, ScanWalBytes(*bytes));
+  // An empty existing file also needs its header written.
+  if (scan.valid_bytes == 0 && !bytes->empty()) {
+    scan.torn_tail = true;
+  }
+  return scan;
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
+                                                   uint64_t valid_bytes,
+                                                   bool fsync,
+                                                   StorageHooks* hooks) {
+  int fd = ::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("open WAL", path);
+  std::unique_ptr<WalWriter> w(new WalWriter(fd, valid_bytes, fsync, hooks));
+  if (valid_bytes < kWalHeaderSize) {
+    // Fresh (or torn-header) file: start over with a clean header.
+    if (::ftruncate(fd, 0) != 0) return Errno("truncate WAL", path);
+    if (::write(fd, kWalMagic, kWalHeaderSize) !=
+        static_cast<ssize_t>(kWalHeaderSize)) {
+      return Errno("write WAL header", path);
+    }
+    w->end_ = kWalHeaderSize;
+  } else {
+    // Discard the torn tail the scan identified, then append from there.
+    if (::ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0) {
+      return Errno("truncate WAL", path);
+    }
+    if (::lseek(fd, static_cast<off_t>(valid_bytes), SEEK_SET) < 0) {
+      return Errno("seek WAL", path);
+    }
+  }
+  EXA_RETURN_NOT_OK(w->Sync());
+  return w;
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status WalWriter::Sync() {
+  // Hooks stand in for the kernel: they decide even when real fsync is off,
+  // so crash sweeps with EXCESS_WAL_FSYNC=0 still exercise fsync failures.
+  if (hooks_ != nullptr) {
+    if (!hooks_->OnFsync()) return Status::DataLoss("injected fsync failure");
+    return Status::OK();
+  }
+  if (!fsync_) return Status::OK();
+  auto t0 = std::chrono::steady_clock::now();
+  if (::fsync(fd_) != 0) {
+    return Status::DataLoss(StrCat("fsync WAL: ", std::strerror(errno)));
+  }
+  int64_t ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+  obs::MetricsRegistry::Global().GetHistogram("storage.wal.fsync_ns")
+      ->Observe(ns);
+  return Status::OK();
+}
+
+Status WalWriter::TruncateBack() {
+  if (::ftruncate(fd_, static_cast<off_t>(end_)) != 0 ||
+      ::lseek(fd_, static_cast<off_t>(end_), SEEK_SET) < 0) {
+    // The file now holds a torn record we cannot remove; refusing further
+    // appends keeps it a *tail* (recovery discards it) rather than letting
+    // a later record land after garbage mid-file.
+    broken_ = true;
+    return Status::DataLoss(
+        StrCat("WAL truncate-back failed: ", std::strerror(errno),
+               "; WAL closed to further appends"));
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Append(const WalRecord& rec) {
+  if (broken_) {
+    return Status::DataLoss("WAL is broken from an earlier failed append");
+  }
+  std::string bytes = EncodeWalRecord(rec);
+  int64_t partial = -1;
+  if (hooks_ != nullptr && !hooks_->OnWalAppend(bytes.size(), &partial)) {
+    if (partial > 0) {
+      size_t n = static_cast<size_t>(partial) < bytes.size()
+                     ? static_cast<size_t>(partial)
+                     : bytes.size();
+      (void)!::write(fd_, bytes.data(), n);
+    }
+    EXA_RETURN_NOT_OK(TruncateBack());
+    return Status::DataLoss("injected WAL append failure");
+  }
+  ssize_t written = ::write(fd_, bytes.data(), bytes.size());
+  if (written != static_cast<ssize_t>(bytes.size())) {
+    Status undo = TruncateBack();
+    if (!undo.ok()) return undo;
+    return Status::DataLoss(
+        StrCat("short WAL write: ", std::strerror(errno)));
+  }
+  Status synced = Sync();
+  if (!synced.ok()) {
+    // The record reached the file but not necessarily the disk; withdraw it
+    // so the in-memory rollback and the file agree.
+    EXA_RETURN_NOT_OK(TruncateBack());
+    return synced;
+  }
+  end_ += bytes.size();
+  obs::MetricsRegistry::Global().GetCounter("storage.wal.appends")->Increment();
+  return Status::OK();
+}
+
+Status WalWriter::Reset() {
+  if (broken_) {
+    return Status::DataLoss("WAL is broken from an earlier failed append");
+  }
+  end_ = kWalHeaderSize;
+  if (::ftruncate(fd_, static_cast<off_t>(end_)) != 0 ||
+      ::lseek(fd_, static_cast<off_t>(end_), SEEK_SET) < 0) {
+    broken_ = true;
+    return Status::DataLoss(
+        StrCat("WAL reset failed: ", std::strerror(errno)));
+  }
+  return Sync();
+}
+
+}  // namespace storage
+}  // namespace excess

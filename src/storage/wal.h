@@ -1,0 +1,112 @@
+#ifndef EXCESS_STORAGE_WAL_H_
+#define EXCESS_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace excess {
+namespace storage {
+
+/// Test seam for deterministic crash injection. Production code never sets
+/// hooks; the crash-recovery oracle uses them to fail the Nth append (with
+/// an optional torn prefix), drop fsyncs, and fail snapshot writes.
+struct StorageHooks {
+  virtual ~StorageHooks() = default;
+  /// Called before a WAL record is appended. Return false to fail the
+  /// append; set *partial_bytes >= 0 to write that many bytes of the record
+  /// first (a torn write the engine must clean up).
+  virtual bool OnWalAppend(size_t record_bytes, int64_t* partial_bytes) {
+    (void)record_bytes;
+    (void)partial_bytes;
+    return true;
+  }
+  /// Called instead of fsync when set. Return false to fail the sync.
+  virtual bool OnFsync() { return true; }
+  /// Called before a snapshot file write. Return false to fail it.
+  virtual bool OnSnapshotWrite(size_t bytes) {
+    (void)bytes;
+    return true;
+  }
+};
+
+/// One committed statement. `context` marks session-state statements
+/// (range / define function) that recovery replays but that do not mutate
+/// the database. `lsn` is the statement sequence number, monotonically
+/// increasing across the session's whole history (never reset), which lets
+/// recovery skip records an existing snapshot already covers.
+struct WalRecord {
+  std::string source;
+  bool optimize = true;
+  bool context = false;
+  uint64_t lsn = 0;
+};
+
+/// Result of scanning a WAL file: the intact record prefix, where it ends,
+/// and whether a torn tail (truncated or corrupt suffix) was discarded.
+struct WalScanResult {
+  std::vector<WalRecord> records;
+  uint64_t valid_bytes = 0;  // header + intact records
+  bool torn_tail = false;
+  uint64_t discarded_bytes = 0;
+};
+
+/// Serialized form of one record (length/checksum framing included).
+std::string EncodeWalRecord(const WalRecord& rec);
+
+/// Scans WAL bytes, keeping the longest intact prefix of records. A record
+/// is intact when its framing fits, its checksum matches, its payload
+/// decodes, and its lsn follows its predecessor's. Anything after the first
+/// defect is a torn tail: reported, not fatal. A corrupted *file header* is
+/// fatal (kDataLoss) — there is no prefix to trust.
+Result<WalScanResult> ScanWalBytes(const std::string& bytes);
+
+/// ScanWalBytes over a file; a missing file scans as empty (valid_bytes 0).
+Result<WalScanResult> ScanWalFile(const std::string& path);
+
+/// Append-side of the WAL. Opening truncates the file to `valid_bytes` (the
+/// scan result), discarding any torn tail; 0 writes a fresh header. On any
+/// append failure the writer truncates back to the last record boundary, so
+/// a failed commit can never corrupt records logged after it, and marks
+/// itself broken if even that cleanup fails.
+class WalWriter {
+ public:
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                 uint64_t valid_bytes,
+                                                 bool fsync,
+                                                 StorageHooks* hooks);
+
+  /// Appends one record and (unless fsync is disabled) syncs it to disk
+  /// before returning OK — the durability point of the commit protocol.
+  Status Append(const WalRecord& rec);
+
+  /// Truncates back to just the file header (after a checkpoint).
+  Status Reset();
+
+  uint64_t end_offset() const { return end_; }
+
+ private:
+  WalWriter(int fd, uint64_t end, bool fsync, StorageHooks* hooks)
+      : fd_(fd), end_(end), fsync_(fsync), hooks_(hooks) {}
+
+  Status TruncateBack();
+  Status Sync();
+
+  int fd_;
+  uint64_t end_;  // last durable record boundary
+  bool fsync_;
+  StorageHooks* hooks_;
+  bool broken_ = false;
+};
+
+}  // namespace storage
+}  // namespace excess
+
+#endif  // EXCESS_STORAGE_WAL_H_

@@ -1,0 +1,32 @@
+#include "util/env.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace excess {
+namespace util {
+
+int64_t ParseEnvInt(const char* value, int64_t lo, int64_t hi,
+                    int64_t fallback) {
+  if (value == nullptr || *value == '\0') return fallback;
+  // strtoll skips leading whitespace and accepts signs; the knobs don't.
+  if (!(*value >= '0' && *value <= '9')) return fallback;
+  errno = 0;
+  char* end = nullptr;
+  long long n = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE) return fallback;
+  if (n < lo || n > hi) return fallback;
+  return static_cast<int64_t>(n);
+}
+
+int64_t EnvInt(const char* name, int64_t lo, int64_t hi, int64_t fallback) {
+  return ParseEnvInt(std::getenv(name), lo, hi, fallback);
+}
+
+std::string EnvString(const char* name) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? std::string() : std::string(v);
+}
+
+}  // namespace util
+}  // namespace excess

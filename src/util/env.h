@@ -1,0 +1,29 @@
+#ifndef EXCESS_UTIL_ENV_H_
+#define EXCESS_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace excess {
+namespace util {
+
+/// Strict environment-knob parser, shared by every EXCESS_* integer knob
+/// (EXCESS_THREADS, EXCESS_DEADLINE_MS, EXCESS_MEM_LIMIT_MB,
+/// EXCESS_WAL_FSYNC, ...): the whole string must be a base-10 integer in
+/// [lo, hi]. Anything else — null, empty, leading whitespace or sign,
+/// trailing junk ("4x"), overflow, out of range — yields `fallback`. A knob
+/// never half-applies: it is either a valid value or ignored.
+int64_t ParseEnvInt(const char* value, int64_t lo, int64_t hi,
+                    int64_t fallback);
+
+/// getenv + ParseEnvInt.
+int64_t EnvInt(const char* name, int64_t lo, int64_t hi, int64_t fallback);
+
+/// String-valued knob (e.g. EXCESS_DB_PATH, EXCESS_METRICS_PATH): the
+/// variable's value, or "" when unset or empty.
+std::string EnvString(const char* name);
+
+}  // namespace util
+}  // namespace excess
+
+#endif  // EXCESS_UTIL_ENV_H_

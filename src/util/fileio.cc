@@ -1,0 +1,90 @@
+#include "util/fileio.h"
+
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace excess {
+namespace util {
+
+namespace {
+
+std::string ErrnoMessage(const char* op, const std::string& path) {
+  return StrCat(op, " '", path, "': ", std::strerror(errno));
+}
+
+}  // namespace
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (errno == ENOENT) {
+      return Status::NotFound(StrCat("no such file '", path, "'"));
+    }
+    return Status::Invalid(ErrnoMessage("open", path));
+  }
+  std::string out;
+  std::array<char, 1 << 16> buf;
+  size_t n = 0;
+  while ((n = std::fread(buf.data(), 1, buf.size(), f)) > 0) {
+    out.append(buf.data(), n);
+  }
+  bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) return Status::Invalid(ErrnoMessage("read", path));
+  return out;
+}
+
+bool FileExists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view data,
+                       bool sync) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return Status::Invalid(ErrnoMessage("open", tmp));
+  bool ok = data.empty() ||
+            std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  ok = ok && std::fflush(f) == 0;
+  if (ok && sync) ok = ::fsync(fileno(f)) == 0;
+  if (std::fclose(f) != 0) ok = false;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::Invalid(ErrnoMessage("write", tmp));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Invalid(ErrnoMessage("rename", path));
+  }
+  return Status::OK();
+}
+
+uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
+  // Table-driven CRC-32 (IEEE, reflected). The table is built once.
+  static const std::array<uint32_t, 256> kTable = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = ~seed;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace util
+}  // namespace excess

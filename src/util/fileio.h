@@ -1,0 +1,36 @@
+#ifndef EXCESS_UTIL_FILEIO_H_
+#define EXCESS_UTIL_FILEIO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace excess {
+namespace util {
+
+/// Whole-file read. NotFound when the file does not exist, Invalid on any
+/// other I/O failure. Binary-safe.
+Result<std::string> ReadFile(const std::string& path);
+
+/// True iff the path names an existing file (any kind).
+bool FileExists(const std::string& path);
+
+/// Crash-atomic whole-file write: the data goes to `path + ".tmp"`, is
+/// flushed (and fsync'd when `sync` is set), and the temp file is renamed
+/// over `path`. rename(2) on the same filesystem is atomic, so a reader —
+/// including a crash-recovery pass — sees either the old contents or the
+/// complete new contents, never a truncated mix. Used by snapshot writes
+/// and the EXCESS_METRICS_PATH exit dump.
+Status WriteFileAtomic(const std::string& path, std::string_view data,
+                       bool sync);
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected). `seed` chains incremental
+/// computations; pass the previous return value to continue a stream.
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+}  // namespace util
+}  // namespace excess
+
+#endif  // EXCESS_UTIL_FILEIO_H_

@@ -25,6 +25,7 @@ enum class StatusCode {
                        // recursion depth)
   kDeadlineExceeded,   // governor wall-clock deadline passed
   kCancelled,          // query cancelled via CancelToken
+  kDataLoss,           // storage corruption or failed durable write
 };
 
 /// Returns a stable human-readable name ("TypeError", ...) for a code.
@@ -74,6 +75,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -90,6 +94,7 @@ class Status {
     return code_ == StatusCode::kDeadlineExceeded;
   }
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -100,7 +100,9 @@ TEST(DocsFreshness, MetricNamesDocumented) {
         "hashjoin.chain_length", "parallel.partitions", "parallel.batches",
         "parallel.items", "governor.trips.memory",
         "governor.trips.occurrences", "governor.trips.deadline",
-        "governor.trips.cancelled"}) {
+        "governor.trips.cancelled", "storage.wal.appends",
+        "storage.wal.fsync_ns", "storage.snapshot.writes",
+        "storage.recovery.replayed", "storage.recovery.torn_tail"}) {
     EXPECT_NE(ObservabilityDoc().find(name), std::string::npos)
         << "metric " << name << " is not documented in docs/OBSERVABILITY.md";
   }
@@ -109,7 +111,8 @@ TEST(DocsFreshness, MetricNamesDocumented) {
 TEST(DocsFreshness, EnvKnobsDocumented) {
   for (const char* knob :
        {"EXCESS_THREADS", "EXCESS_DEADLINE_MS", "EXCESS_MEM_LIMIT_MB",
-        "EXCESS_SWEEP_SEEDS", "EXCESS_METRICS_PATH"}) {
+        "EXCESS_SWEEP_SEEDS", "EXCESS_METRICS_PATH", "EXCESS_DB_PATH",
+        "EXCESS_WAL_FSYNC"}) {
     EXPECT_NE(ObservabilityDoc().find(knob), std::string::npos)
         << "env knob " << knob
         << " is not documented in docs/OBSERVABILITY.md";

@@ -15,6 +15,7 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <thread>
 
 #include "catalog/schema.h"
@@ -27,6 +28,7 @@
 #include "excess/translate.h"
 #include "methods/registry.h"
 #include "objects/database.h"
+#include "storage/serialize.h"
 
 namespace excess {
 namespace {
@@ -403,6 +405,80 @@ TEST_F(GovernedSessionTest, SessionStaysUsableAfterEveryFaultedStatementKind) {
   EXPECT_LT(Nums()->TotalCount(), 102);
   // The governed statement surfaced its memory accounting.
   EXPECT_GT(session_->last_stats().peak_bytes, 0);
+}
+
+TEST_F(GovernedSessionTest, FaultedMutationsLeaveDurableStateUntouched) {
+  // Same invariant as above, but with a durable database attached: a
+  // mutation that trips a budget (or a cancelled one) must not reach the
+  // write-ahead log, so a fresh recovery of the on-disk database equals the
+  // pre-statement state. Budget checks happen during evaluation, which runs
+  // strictly before the durable append in the commit protocol.
+  namespace fs = std::filesystem;
+  ::setenv("EXCESS_WAL_FSYNC", "0", 1);
+  const fs::path dir = fs::temp_directory_path() /
+                       ("excess_governor_storage_" + std::to_string(::getpid()));
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = (dir / "db.exdb").string();
+  ASSERT_TRUE(session_->OpenStorage(path).ok());
+
+  auto reopened_state = [&] {
+    Database db2;
+    MethodRegistry reg2(&db2.catalog());
+    Session s2(&db2, &reg2);
+    EXPECT_TRUE(s2.OpenStorage(path).ok());
+    return storage::CanonicalDatabaseBytes(db2);
+  };
+  std::string before = storage::CanonicalDatabaseBytes(db_);
+  ASSERT_EQ(reopened_state(), before);
+  uint64_t lsn = session_->next_durable_lsn();
+
+  ExecLimits tiny;
+  tiny.max_occurrences = 10;
+  session_->set_limits(tiny);
+  for (const char* stmt :
+       {"append all Nums to Nums", "delete Nums where Nums >= 0",
+        "retrieve (N) where N >= 0 into Copy"}) {
+    auto r = session_->Execute(stmt);
+    ASSERT_FALSE(r.ok()) << stmt;
+    EXPECT_TRUE(r.status().IsResourceExhausted()) << r.status().ToString();
+    EXPECT_EQ(session_->next_durable_lsn(), lsn) << stmt;   // nothing logged
+    EXPECT_EQ(storage::CanonicalDatabaseBytes(db_), before) << stmt;
+    EXPECT_EQ(reopened_state(), before) << stmt;            // nothing on disk
+  }
+
+  // Deadline on a mutation: a 1ms budget against a 10^6-occurrence cross
+  // product trips mid-evaluation, long before the commit protocol's append.
+  ExecLimits dl = ExecLimits::Unlimited();
+  dl.deadline_ms = 1;
+  session_->set_limits(dl);
+  {
+    auto r = session_->Execute(
+        "retrieve (x) from x in Nums, y in Nums, z in Nums into Big");
+    ASSERT_FALSE(r.ok());
+    EXPECT_TRUE(r.status().IsDeadlineExceeded()) << r.status().ToString();
+    EXPECT_EQ(session_->next_durable_lsn(), lsn);
+    EXPECT_EQ(storage::CanonicalDatabaseBytes(db_), before);
+    EXPECT_EQ(reopened_state(), before);
+  }
+
+  // Cancellation on a mutation: same discipline.
+  token_->Cancel();
+  auto r = session_->Execute("append 999 to Nums");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCancelled()) << r.status().ToString();
+  EXPECT_EQ(session_->next_durable_lsn(), lsn);
+  EXPECT_EQ(reopened_state(), before);
+  token_->Reset();
+
+  // Relaxed, the same statements commit durably.
+  session_->set_limits(ExecLimits::Unlimited());
+  ASSERT_TRUE(session_->Execute("append 999 to Nums").ok());
+  EXPECT_EQ(session_->next_durable_lsn(), lsn + 1);
+  EXPECT_EQ(reopened_state(), storage::CanonicalDatabaseBytes(db_));
+
+  fs::remove_all(dir);
+  ::unsetenv("EXCESS_WAL_FSYNC");
 }
 
 TEST_F(GovernedSessionTest, DeadlineAppliesPerStatementNotPerSession) {

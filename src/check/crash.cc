@@ -118,7 +118,10 @@ struct FailNthHooks : storage::StorageHooks {
   }
 
   bool OnFsync() override {
-    if (mode == FailMode::kFsync && appends == fail_at) {
+    // The first sync at or after the fail_at-th append: for a single-record
+    // commit that is the sync right behind it; for a transaction's group
+    // batch it is the group's one sync, so the whole group crashes.
+    if (mode == FailMode::kFsync && appends >= fail_at && !fired) {
       fired = true;
       return false;
     }
@@ -154,6 +157,10 @@ struct TraceGen {
   std::vector<TypeInfo> types;
   std::vector<std::string> int_sets;
   int next_id = 0;
+  /// Mirrors the shadow session's transaction state: checkpoints are not
+  /// generated inside a transaction (the live run would reject them), and
+  /// an open transaction is closed at trace end.
+  bool in_txn = false;
 
   TraceGen(uint64_t seed, const CrashOptions& opts, Database* db_in,
            MethodRegistry* methods_in, GenDb* gen_in)
@@ -165,7 +172,7 @@ struct TraceGen {
 
   /// One candidate program (possibly multi-statement); empty = skip.
   std::string MakeCandidate() {
-    switch (rng.Int(0, 11)) {
+    switch (rng.Int(0, 13)) {
       case 0:
       case 1: {  // define type, sometimes with inheritance
         int id = next_id++;
@@ -225,6 +232,15 @@ struct TraceGen {
                       " () returns int4 { retrieve (this.", t.field, " * ",
                       rng.Int(2, 5), ") }");
       }
+      case 12:  // open a transaction: later mutations stage until case 13
+        if (in_txn) return "";
+        in_txn = true;
+        return "begin";
+      case 13: {  // close the open transaction, usually by committing
+        if (!in_txn) return "";
+        in_txn = false;
+        return rng.Chance(1, 4) ? "rollback" : "commit";
+      }
     }
     return "";
   }
@@ -262,9 +278,26 @@ Status GenerateSteps(uint64_t seed, const CrashOptions& opts,
       }
       steps->push_back({stmt.source, false});
     }
-    if (opts.with_checkpoint && tg.rng.Chance(1, 6)) {
+    // No checkpoints inside a transaction: the live run rejects them (a
+    // snapshot must not bake in uncommitted work), and checkpoint steps are
+    // not shadow-validated.
+    if (opts.with_checkpoint && !tg.in_txn && tg.rng.Chance(1, 6)) {
       steps->push_back({"", true});
     }
+  }
+  if (tg.in_txn) {
+    // Close a trace-final open transaction so every generated trace ends in
+    // a committed state the sweeps can anchor on.
+    Status closed = Status::OK();
+    auto parsed = ParseStatement("commit");
+    if (parsed.ok()) {
+      auto r = shadow.ExecuteStatement(*parsed);
+      closed = r.ok() ? Status::OK() : r.status();
+    } else {
+      closed = parsed.status();
+    }
+    EXA_RETURN_NOT_OK(closed);
+    steps->push_back({"commit", false});
   }
   return Status::OK();
 }
@@ -272,7 +305,11 @@ Status GenerateSteps(uint64_t seed, const CrashOptions& opts,
 // --- trace execution ---------------------------------------------------------
 
 struct ExecResult {
-  /// ref_states[p] = canonical database bytes after p durable commits.
+  /// ref_states[p] = canonical database bytes after p durable commits. A
+  /// transaction's group commit advances the count by the whole group, so
+  /// the prefixes strictly inside it are unreachable by correct recovery;
+  /// they hold an empty sentinel, and recovering one is a divergence
+  /// (atomicity violated: a crash exposed part of a transaction).
   std::vector<std::string> ref_states;
   uint64_t commits = 0;
   bool stopped_on_failure = false;  // an injected crash point was hit
@@ -312,7 +349,13 @@ ExecResult ExecuteSteps(uint64_t seed, const CrashOptions& opts,
       auto r = session.ExecuteStatement(*parsed);
       st = r.ok() ? Status::OK() : r.status();
       if (st.ok() && session.next_durable_lsn() > before) {
-        out.ref_states.push_back(storage::CanonicalDatabaseBytes(db));
+        // Mid-group prefixes get sentinels (see ref_states); the state
+        // after the full commit — of one statement or a whole group — is
+        // the only one recovery may surface.
+        for (uint64_t p = before; p < session.next_durable_lsn(); ++p) {
+          out.ref_states.push_back("");
+        }
+        out.ref_states.back() = storage::CanonicalDatabaseBytes(db);
       }
     }
     if (!st.ok()) {
@@ -404,6 +447,13 @@ Status SweepTrace(uint64_t seed, const CrashOptions& opts,
       out->push_back(Div(what, seed, steps,
                          StrCat("recovered prefix ", r.prefix,
                                 " exceeds committed count ", total)));
+      return false;
+    }
+    if (ref[r.prefix].empty()) {
+      out->push_back(Div(what, seed, steps,
+                         StrCat("recovered prefix ", r.prefix,
+                                " lands inside a transaction's commit group "
+                                "— atomicity violated")));
       return false;
     }
     if (r.canonical != ref[r.prefix]) {

@@ -57,8 +57,11 @@ Result<CostEstimate> CostModel::EstimateNode(const Expr& e,
     case OpKind::kSetApply:
     case OpKind::kArrApply: {
       EXA_ASSIGN_OR_RETURN(CostEstimate in, child(0));
-      EXA_ASSIGN_OR_RETURN(CostEstimate per,
-                           EstimateNode(*e.sub(), /*input_card=*/1));
+      // The subscript's INPUT is one element of the input collection;
+      // grouped inputs hand it a whole group's worth of occurrences.
+      EXA_ASSIGN_OR_RETURN(
+          CostEstimate per,
+          EstimateNode(*e.sub(), /*input_card=*/in.elem_cardinality));
       double out_card = in.cardinality;
       // A COMP-rooted subscript acts as a selection.
       if (e.sub()->kind() == OpKind::kComp) out_card *= params_.selectivity;
@@ -72,8 +75,10 @@ Result<CostEstimate> CostModel::EstimateNode(const Expr& e,
                            EstimateNode(*e.sub(), /*input_card=*/1));
       double groups =
           std::max(1.0, in.cardinality * params_.groups_per_input);
-      return CostEstimate{groups,
-                          in.total + in.cardinality * (key.total + 1)};
+      CostEstimate out{groups,
+                       in.total + in.cardinality * (key.total + 1)};
+      out.elem_cardinality = in.cardinality / groups;  // average group size
+      return out;
     }
     case OpKind::kDupElim:
     case OpKind::kArrDupElim: {

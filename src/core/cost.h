@@ -25,6 +25,13 @@ struct CostEstimate {
   /// COMP multiplies live by its selectivity. Collection outputs reset to
   /// 1 (dne occurrences are dropped at construction).
   double live = 1;
+  /// Estimated cardinality of one *element* of the produced collection —
+  /// 1 for collections of scalars/tuples, the average group size for GRP
+  /// output. SET_APPLY/ARR_APPLY feed this to their subscript as INPUT's
+  /// cardinality, so per-group work inside an apply-over-groups plan is
+  /// charged for the elements each group actually holds instead of a flat 1
+  /// (which made any post-grouping pipeline look nearly free).
+  double elem_cardinality = 1;
 };
 
 /// Tuning constants, exposed so ablation benches can vary them.

@@ -167,6 +167,9 @@ struct Statement {
   enum class Kind {
     kDefineType, kCreate, kRange, kRetrieve, kDefineFunction, kAppend,
     kDelete, kExplain, kOpen, kCheckpoint,
+    // Session transactions: `begin` stages subsequent mutations, `commit`
+    // makes them durable as one atomic WAL group, `rollback` discards them.
+    kBegin, kCommit, kRollback,
   };
   Kind kind = Kind::kRetrieve;
   std::shared_ptr<DefineTypeStmt> define_type;

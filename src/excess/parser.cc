@@ -142,10 +142,28 @@ class Parser {
       s.kind = Statement::Kind::kCheckpoint;
       return s;
     }
+    if (At(TokKind::kIdent) && Cur().text == "begin") {
+      ++pos_;
+      Statement s;
+      s.kind = Statement::Kind::kBegin;
+      return s;
+    }
+    if (At(TokKind::kIdent) && Cur().text == "commit") {
+      ++pos_;
+      Statement s;
+      s.kind = Statement::Kind::kCommit;
+      return s;
+    }
+    if (At(TokKind::kIdent) && Cur().text == "rollback") {
+      ++pos_;
+      Statement s;
+      s.kind = Statement::Kind::kRollback;
+      return s;
+    }
     return Err(
         "expected a statement "
         "(define/create/range/retrieve/append/delete/explain/open/"
-        "checkpoint)");
+        "checkpoint/begin/commit/rollback)");
   }
 
   /// open := 'open' STRING — the string is the database file path.

@@ -6,6 +6,7 @@
 #include "core/builder.h"
 #include "core/infer.h"
 #include "excess/parser.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/env.h"
 #include "util/fileio.h"
@@ -26,7 +27,10 @@ Result<ValuePtr> Session::Execute(const std::string& program) {
 Result<ValuePtr> Session::ExecuteStatement(const Statement& stmt) {
   // A cancelled session refuses every statement kind — including DDL that
   // never reaches the evaluator — until the caller resets the token.
-  if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+  // `rollback` is the one exception: it evaluates nothing, and a cancelled
+  // transaction must stay abortable.
+  if (options_.cancel != nullptr && options_.cancel->cancelled() &&
+      stmt.kind != Statement::Kind::kRollback) {
     return Status::Cancelled("session cancelled");
   }
   EXA_RETURN_NOT_OK(MaybeOpenFromEnv());
@@ -54,18 +58,109 @@ Result<ValuePtr> Session::ExecuteStatement(const Statement& stmt) {
     case Statement::Kind::kExplain:
       return ExecExplain(*stmt.explain);
     case Statement::Kind::kOpen:
+      // `open` replaces session state wholesale and `checkpoint` snapshots
+      // it — both would durably observe uncommitted work, so neither is
+      // allowed while a transaction is staging.
+      if (txn_ != nullptr) {
+        return Status::Invalid(
+            "cannot open a database inside a transaction; "
+            "commit or rollback first");
+      }
       EXA_RETURN_NOT_OK(OpenStorage(stmt.open->path));
       return ValuePtr(nullptr);
     case Statement::Kind::kCheckpoint:
+      if (txn_ != nullptr) {
+        return Status::Invalid(
+            "cannot checkpoint inside a transaction; "
+            "commit or rollback first");
+      }
       EXA_RETURN_NOT_OK(Checkpoint());
+      return ValuePtr(nullptr);
+    case Statement::Kind::kBegin:
+      EXA_RETURN_NOT_OK(ExecBegin());
+      return ValuePtr(nullptr);
+    case Statement::Kind::kCommit:
+      EXA_RETURN_NOT_OK(ExecCommit());
+      return ValuePtr(nullptr);
+    case Statement::Kind::kRollback:
+      EXA_RETURN_NOT_OK(ExecRollback());
       return ValuePtr(nullptr);
   }
   return Status::Internal("unknown statement kind");
 }
 
 Status Session::LogDurable(const std::string& source, bool context) {
-  if (storage_ == nullptr || replaying_) return Status::OK();
+  if (replaying_) return Status::OK();
+  if (txn_ != nullptr) {
+    // Inside a transaction nothing reaches the WAL yet: the statement is
+    // staged for the commit-time group. Unloggable statements are rejected
+    // here, not at commit — the statement's own undo path still runs, and
+    // the transaction stays consistent.
+    if (storage_ != nullptr && source.empty()) {
+      return Status::Invalid(
+          "cannot log a statement with no source text; programmatically "
+          "built statements are not durable");
+    }
+    storage::StagedStatement staged;
+    staged.source = source;
+    staged.optimize = options_.optimize;
+    staged.context = context;
+    txn_->staged.push_back(std::move(staged));
+    return Status::OK();
+  }
+  if (storage_ == nullptr) return Status::OK();
   return storage_->LogCommit(source, options_.optimize, context);
+}
+
+Status Session::ExecBegin() {
+  if (txn_ != nullptr) {
+    return Status::Invalid(
+        "a transaction is already open; commit or rollback it first");
+  }
+  auto txn = std::make_unique<Txn>();
+  txn->db = db_->CaptureTxnSnapshot();
+  txn->ranges = ranges_;
+  if (methods_ != nullptr) txn->methods = methods_->Snapshot();
+  txn->context_log = context_log_;
+  txn_ = std::move(txn);
+  obs::MetricsRegistry::Global().GetCounter("txn.begin")->Increment();
+  return Status::OK();
+}
+
+Status Session::RestoreTxn(Txn& txn) {
+  EXA_RETURN_NOT_OK(db_->RestoreTxnSnapshot(txn.db));
+  ranges_ = std::move(txn.ranges);
+  if (methods_ != nullptr) methods_->RestoreSnapshot(std::move(txn.methods));
+  context_log_ = std::move(txn.context_log);
+  return Status::OK();
+}
+
+Status Session::ExecCommit() {
+  if (txn_ == nullptr) {
+    return Status::Invalid("no open transaction; `begin` starts one");
+  }
+  std::unique_ptr<Txn> txn = std::move(txn_);
+  if (storage_ != nullptr) {
+    Status logged = storage_->LogCommitGroup(txn->staged);
+    if (!logged.ok()) {
+      // The group append failed, so nothing became durable; auto-abort puts
+      // the in-memory state back in agreement with the disk.
+      EXA_RETURN_NOT_OK(RestoreTxn(*txn));
+      return logged;
+    }
+  }
+  obs::MetricsRegistry::Global().GetCounter("txn.commit")->Increment();
+  return Status::OK();
+}
+
+Status Session::ExecRollback() {
+  if (txn_ == nullptr) {
+    return Status::Invalid("no open transaction; `begin` starts one");
+  }
+  std::unique_ptr<Txn> txn = std::move(txn_);
+  EXA_RETURN_NOT_OK(RestoreTxn(*txn));
+  obs::MetricsRegistry::Global().GetCounter("txn.rollback")->Increment();
+  return Status::OK();
 }
 
 void Session::RecordContext(const std::string& source) {
@@ -94,6 +189,7 @@ Status Session::OpenStorage(const std::string& path) {
   env_checked_ = true;  // explicit open beats the env auto-open
   storage::StorageOptions opts;
   opts.fsync = util::EnvInt("EXCESS_WAL_FSYNC", 0, 1, 1) != 0;
+  opts.group_commit = util::EnvInt("EXCESS_GROUP_COMMIT", 0, 1, 1) != 0;
   opts.hooks = storage_hooks_;
   const bool existing = util::FileExists(path);
   if (existing) {
@@ -165,12 +261,47 @@ Result<ExprPtr> Session::AppendPlan(const AppendStmt& stmt) {
 }
 
 Status Session::ExecAppend(const AppendStmt& stmt, const std::string& source) {
-  EXA_ASSIGN_OR_RETURN(ExprPtr plan, AppendPlan(stmt));
-  EXA_ASSIGN_OR_RETURN(ValuePtr updated, EvalTree(plan));
+  // Append does not evaluate its full ADD_UNION plan (which copies and
+  // re-normalizes every existing entry, turning a replay of n appends into
+  // O(n²) work): only the addition is evaluated, and the merge happens
+  // through Database::AppendNamed's per-name index in O(|addition|). The
+  // ADD_UNION tree survives for EXPLAIN (AppendPlan).
+  EXA_ASSIGN_OR_RETURN(SchemaPtr schema, db_->NamedSchema(stmt.target));
+  if (!schema->is_set()) {
+    return Status::TypeError(
+        StrCat("append requires a multiset object; '", stmt.target, "' is ",
+               schema->ToString()));
+  }
+  EXA_ASSIGN_OR_RETURN(ExprPtr value_expr,
+                       translator_.TranslateClosedExpr(stmt.value));
+  Evaluator ev(db_, methods_);
+  Governor governor(options_.limits, options_.cancel);
+  ev.set_governor(&governor);
+  auto evaluated = ev.Eval(value_expr);
+  if (!evaluated.ok()) {
+    last_stats_ = ev.stats();
+    return evaluated.status();
+  }
+  ValuePtr addition =
+      stmt.all ? std::move(*evaluated) : Value::SetOf({*evaluated});
+  if (!addition->is_set()) {
+    // Same complaint ADD_UNION itself would raise on a non-set operand.
+    last_stats_ = ev.stats();
+    return Status::TypeError(
+        StrCat("ADD_UNION requires a multiset operand, got ",
+               ValueKindToString(addition->kind())));
+  }
+  // The merge materializes the addition's occurrences into the stored set;
+  // charge them like any operator output so budgets govern append too (the
+  // skipped work — re-copying the target's existing entries — is exactly
+  // what nobody should be billed for).
+  Status charged = governor.Checkpoint(addition->TotalCount());
+  last_stats_ = ev.stats();
+  EXA_RETURN_NOT_OK(charged);
   // Commit protocol: the staged result reaches the database only after the
   // statement is durably logged, so a crash between the two replays it.
   EXA_RETURN_NOT_OK(LogDurable(source, /*context=*/false));
-  return db_->SetNamed(stmt.target, std::move(updated));
+  return db_->AppendNamed(stmt.target, addition);
 }
 
 Status Session::ExecDelete(const DeleteStmt& stmt, const std::string& source) {

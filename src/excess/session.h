@@ -97,6 +97,9 @@ class Session {
 
   bool has_storage() const { return storage_ != nullptr; }
 
+  /// True while a `begin` is open and uncommitted.
+  bool in_txn() const { return txn_ != nullptr; }
+
   /// Recovery details of the most recent OpenStorage.
   const storage::RecoveryInfo& last_recovery() const { return last_recovery_; }
 
@@ -122,6 +125,9 @@ class Session {
   Status ExecAppend(const AppendStmt& stmt, const std::string& source);
   Status ExecDelete(const DeleteStmt& stmt, const std::string& source);
   Result<ValuePtr> ExecExplain(const ExplainStmt& stmt);
+  Status ExecBegin();
+  Status ExecCommit();
+  Status ExecRollback();
 
   /// The update plan ExecAppend evaluates (shared with EXPLAIN).
   Result<ExprPtr> AppendPlan(const AppendStmt& stmt);
@@ -138,6 +144,23 @@ class Session {
   /// One-time EXCESS_DB_PATH auto-open, checked at the first statement.
   Status MaybeOpenFromEnv();
 
+  /// An open session transaction: the undo image of everything `rollback`
+  /// must put back (database, range bindings, methods, the context log),
+  /// plus the statements staged for the commit-time WAL group. Mutations
+  /// inside the transaction apply to live state immediately — queries see
+  /// their own writes — while the snapshot holds the pre-begin bindings, so
+  /// Database::AppendNamed transparently copies-on-write instead of
+  /// clobbering them.
+  struct Txn {
+    Database::TxnSnapshot db;
+    std::vector<std::pair<std::string, ExprAstPtr>> ranges;
+    MethodRegistry::MethodMap methods;
+    std::vector<std::string> context_log;
+    std::vector<storage::StagedStatement> staged;
+  };
+  /// Puts back everything `txn` captured (rollback, and commit auto-abort).
+  Status RestoreTxn(Txn& txn);
+
   Database* db_;
   MethodRegistry* methods_;
   Translator translator_;
@@ -151,6 +174,7 @@ class Session {
   /// Sources of committed context statements, in commit order (snapshots
   /// persist these so range bindings and methods survive reopen).
   std::vector<std::string> context_log_;
+  std::unique_ptr<Txn> txn_;
   bool replaying_ = false;
   bool env_checked_ = false;
 };

@@ -73,6 +73,13 @@ class MethodRegistry : public MethodResolver {
   /// Drops every method (durable `open` replaces the database wholesale).
   void Clear() { methods_.clear(); }
 
+  /// Shallow image of every registered method, for session-transaction undo
+  /// (MethodDef shares its body/schema pointers, so this copies a map of
+  /// handles, not translated trees).
+  using MethodMap = std::map<std::pair<std::string, std::string>, MethodDef>;
+  MethodMap Snapshot() const { return methods_; }
+  void RestoreSnapshot(MethodMap methods) { methods_ = std::move(methods); }
+
  private:
   const Catalog* catalog_;
   std::map<std::pair<std::string, std::string>, MethodDef> methods_;

@@ -59,6 +59,30 @@ Status Database::SetNamed(const std::string& name, ValuePtr value) {
   }
   it->second.value = std::move(value);
   extent_cache_.erase(name);
+  append_index_.erase(name);
+  return Status::OK();
+}
+
+Status Database::AppendNamed(const std::string& name,
+                             const ValuePtr& addition) {
+  auto it = named_.find(name);
+  if (it == named_.end()) {
+    return Status::NotFound(StrCat("no top-level object '", name, "'"));
+  }
+  if (addition == nullptr || !addition->is_set()) {
+    return Status::TypeError(
+        StrCat("ADD_UNION requires a multiset operand, got ",
+               addition ? ValueKindToString(addition->kind()) : "null"));
+  }
+  if (it->second.value == nullptr || !it->second.value->is_set()) {
+    return Status::TypeError(StrCat(
+        "ADD_UNION requires a multiset operand, got ",
+        it->second.value ? ValueKindToString(it->second.value->kind())
+                         : "null"));
+  }
+  it->second.value = Value::AddUnionInPlace(std::move(it->second.value),
+                                            *addition, &append_index_[name]);
+  extent_cache_.erase(name);
   return Status::OK();
 }
 
@@ -85,14 +109,39 @@ Status Database::DropNamed(const std::string& name) {
   }
   named_.erase(it);
   extent_cache_.erase(name);
+  append_index_.erase(name);
   return Status::OK();
 }
 
 void Database::Clear() {
   named_.clear();
   extent_cache_.clear();
+  append_index_.clear();
   store_.Clear();
   catalog_.Clear();
+}
+
+Database::TxnSnapshot Database::CaptureTxnSnapshot() const {
+  TxnSnapshot snap;
+  snap.catalog_defs = catalog_.TypeNames().size();
+  snap.store = store_.Dump();
+  snap.named = named_;
+  return snap;
+}
+
+Status Database::RestoreTxnSnapshot(const TxnSnapshot& snap) {
+  size_t defined = catalog_.TypeNames().size();
+  if (defined < snap.catalog_defs) {
+    return Status::Internal(
+        "transaction rollback found fewer types than its snapshot");
+  }
+  while (defined-- > snap.catalog_defs) catalog_.UndoLastDefine();
+  store_.Clear();
+  EXA_RETURN_NOT_OK(store_.Restore(snap.store));
+  named_ = snap.named;
+  extent_cache_.clear();
+  append_index_.clear();
+  return Status::OK();
 }
 
 Result<const std::map<std::string, ValuePtr>*> Database::TypeExtents(

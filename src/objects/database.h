@@ -44,6 +44,14 @@ class Database {
   Result<SchemaPtr> NamedSchema(const std::string& name) const;
   Status SetNamed(const std::string& name, ValuePtr value);
 
+  /// The `append` fast path: merges `addition` (a multiset) into the named
+  /// multiset in O(|addition|) via a per-name distinct-element index,
+  /// instead of copying and re-normalizing all existing entries — the
+  /// difference between linear and quadratic WAL replay of append-heavy
+  /// logs. Copy-on-write keeps previously handed-out values (snapshots,
+  /// transaction undo images) untouched.
+  Status AppendNamed(const std::string& name, const ValuePtr& addition);
+
   /// Rebinds the declared schema of an existing named object. Used when an
   /// `into` overwrite changes the object's shape — keeping the original
   /// schema would mislead every later translation against the name.
@@ -66,6 +74,25 @@ class Database {
   Result<const std::map<std::string, ValuePtr>*> TypeExtents(
       const std::string& set_name);
 
+  /// Undo image for a session transaction: everything `rollback` must put
+  /// back. Named bindings share their (immutable) values and schemas with
+  /// the live map — holding them here is what forces AppendNamed onto its
+  /// copy-on-write path for the duration of the transaction — while the
+  /// store image and the catalog definition count undo OID allocation and
+  /// DDL. Cheap relative to evaluation: no value graph is deep-copied.
+  struct TxnSnapshot {
+    size_t catalog_defs = 0;
+    ObjectStore::StoreDump store;
+    std::map<std::string, NamedObject> named;
+  };
+  TxnSnapshot CaptureTxnSnapshot() const;
+
+  /// Restores the state captured by CaptureTxnSnapshot. Only definitions
+  /// made *after* the capture may exist on top of it (session transactions
+  /// guarantee this: no statement removes a type), so the catalog rolls
+  /// back by undoing the newest definitions.
+  Status RestoreTxnSnapshot(const TxnSnapshot& snap);
+
  private:
   static ValuePtr DefaultValueFor(const SchemaPtr& schema);
 
@@ -73,6 +100,9 @@ class Database {
   ObjectStore store_;
   std::map<std::string, NamedObject> named_;
   std::map<std::string, std::map<std::string, ValuePtr>> extent_cache_;
+  /// Per-name distinct-element indexes for AppendNamed; dropped whenever
+  /// the name is rebound through any other path.
+  std::map<std::string, Value::SetIndex> append_index_;
 };
 
 }  // namespace excess

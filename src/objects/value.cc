@@ -123,6 +123,39 @@ ValuePtr Value::SetOfCounted(std::vector<SetEntry> in) {
 
 ValuePtr Value::EmptySet() { return SetOfCounted({}); }
 
+ValuePtr Value::AddUnionInPlace(ValuePtr set, const Value& addition,
+                                SetIndex* index) {
+  std::shared_ptr<Value> mut;
+  if (set.use_count() == 1) {
+    // Sole owner: safe to extend the entries vector behind the const facade.
+    mut = std::const_pointer_cast<Value>(set);
+  } else {
+    // Shared (a snapshot, a transaction undo image, a caller-held result):
+    // copy-on-write. The entry vector is copied shallowly, so `index` —
+    // keyed by deep value with identical positions — stays valid.
+    mut = std::shared_ptr<Value>(new Value(*set));
+  }
+  set.reset();
+  if (index->empty() && !mut->set_.empty()) {
+    index->reserve(mut->set_.size());
+    for (size_t i = 0; i < mut->set_.size(); ++i) {
+      index->emplace(mut->set_[i].value, i);
+    }
+  }
+  // `addition` is an already-normalized multiset: no dne, all counts > 0.
+  for (const auto& e : addition.set_) {
+    auto it = index->find(e.value);
+    if (it == index->end()) {
+      index->emplace(e.value, mut->set_.size());
+      mut->set_.push_back(e);
+    } else {
+      mut->set_[it->second].count += e.count;
+    }
+  }
+  mut->hash_valid_.store(false, std::memory_order_release);
+  return mut;
+}
+
 ValuePtr Value::ArrayOf(std::vector<ValuePtr> elems) {
   auto p = std::shared_ptr<Value>(new Value(ValueKind::kArray));
   p->elems_.reserve(elems.size());

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -15,6 +16,8 @@ namespace excess {
 
 class Value;
 using ValuePtr = std::shared_ptr<const Value>;
+struct ValuePtrDeepHash;
+struct ValuePtrDeepEq;
 
 /// Runtime kinds; the structured kinds mirror the type constructors.
 enum class ValueKind {
@@ -90,6 +93,21 @@ class Value {
   static ValuePtr EmptyArray();
 
   static ValuePtr RefTo(Oid oid);
+
+  /// Distinct-element index of a multiset: deep value -> entry position.
+  /// Database::AppendNamed keeps one per appended-to name so repeated
+  /// appends merge in O(|addition|) instead of re-normalizing the whole set.
+  using SetIndex =
+      std::unordered_map<ValuePtr, size_t, ValuePtrDeepHash, ValuePtrDeepEq>;
+
+  /// ⊎ for the append fast path: merges `addition` (a normalized multiset)
+  /// into `set`. When the caller hands over the only reference, the entries
+  /// are extended in place (and the cached hash invalidated); a shared set
+  /// is copied first, so existing holders — snapshots, transaction undo
+  /// images — never observe the mutation. `index` must either be empty or
+  /// describe `set`'s current entries; it is updated to describe the result.
+  static ValuePtr AddUnionInPlace(ValuePtr set, const Value& addition,
+                                  SetIndex* index);
 
   // --- inspectors ---------------------------------------------------------
   ValueKind kind() const { return kind_; }

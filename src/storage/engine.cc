@@ -154,8 +154,55 @@ Status StorageEngine::LogCommit(const std::string& source, bool optimize,
   return Status::OK();
 }
 
+Status StorageEngine::LogCommitGroup(const std::vector<StagedStatement>& stmts) {
+  if (stmts.empty()) return Status::OK();
+  if (stmts.size() == 1) {
+    // A group of one is just a commit; markers would buy nothing.
+    return LogCommit(stmts[0].source, stmts[0].optimize, stmts[0].context);
+  }
+  for (const auto& s : stmts) {
+    if (s.source.empty()) {
+      return Status::Invalid(
+          "cannot log a statement with no source text; programmatically "
+          "built statements are not durable");
+    }
+  }
+  std::vector<WalRecord> recs;
+  recs.reserve(stmts.size() + 2);
+  WalRecord begin;
+  begin.txn_begin = true;
+  begin.optimize = false;
+  begin.lsn = next_lsn_;
+  recs.push_back(std::move(begin));
+  uint64_t lsn = next_lsn_;
+  for (const auto& s : stmts) {
+    WalRecord rec;
+    rec.source = s.source;
+    rec.optimize = s.optimize;
+    rec.context = s.context;
+    rec.lsn = lsn++;
+    recs.push_back(std::move(rec));
+  }
+  WalRecord commit;
+  commit.txn_commit = true;
+  commit.optimize = false;
+  commit.lsn = lsn - 1;
+  recs.push_back(std::move(commit));
+  EXA_RETURN_NOT_OK(
+      wal_->AppendBatch(recs, /*sync_each=*/!options_.group_commit));
+  next_lsn_ = lsn;
+  auto& metrics = obs::MetricsRegistry::Global();
+  metrics.GetCounter("storage.group_commit.batches")->Increment();
+  metrics.GetCounter("storage.group_commit.statements")
+      ->Increment(static_cast<int64_t>(stmts.size()));
+  return Status::OK();
+}
+
 Status StorageEngine::Checkpoint(const Database& db,
                                  std::vector<std::string> context) {
+  // Incremental: with nothing committed past the last snapshot, the bytes
+  // on disk are already exactly what a checkpoint would write.
+  if (next_lsn_ - 1 == snapshot_seq_) return Status::OK();
   SnapshotState state =
       CaptureDatabase(db, next_lsn_ - 1, std::move(context));
   EXA_RETURN_NOT_OK(WriteSnapshot(state));

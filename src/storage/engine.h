@@ -21,6 +21,19 @@ struct StorageOptions {
   bool fsync = true;
   /// Test-only crash-injection seam; null in production.
   StorageHooks* hooks = nullptr;
+  /// Sync a transaction's WAL group with one fsync at the end (group
+  /// commit) instead of one per record. Atomicity is identical either way —
+  /// the group's commit marker is what recovery honors — this only trades
+  /// syscalls. Sessions read EXCESS_GROUP_COMMIT for this.
+  bool group_commit = true;
+};
+
+/// A statement staged inside an open transaction, waiting for `commit` to
+/// log the whole group durably.
+struct StagedStatement {
+  std::string source;
+  bool optimize = true;
+  bool context = false;
 };
 
 /// A statement the session must re-execute to finish recovery.
@@ -75,9 +88,19 @@ class StorageEngine {
   /// durable and the caller must not apply (or must undo) the statement.
   Status LogCommit(const std::string& source, bool optimize, bool context);
 
+  /// Durably logs a transaction's statements as one atomic group: a begin
+  /// marker, the statements, and a commit marker ride a single WAL append
+  /// batch (one fsync under group commit). Either every statement is
+  /// durable or — after a crash or failure anywhere in the batch — none
+  /// is. A single statement logs as a plain record (a group of one needs
+  /// no markers); an empty group is a no-op.
+  Status LogCommitGroup(const std::vector<StagedStatement>& stmts);
+
   /// Folds the current state into a fresh snapshot (atomic temp + rename)
   /// and resets the WAL. `context` is the session's live context-statement
-  /// list (range bindings, function definitions).
+  /// list (range bindings, function definitions). Incremental: when the
+  /// last snapshot already covers every committed statement, this is a
+  /// no-op rather than a rewrite of identical bytes.
   Status Checkpoint(const Database& db, std::vector<std::string> context);
 
   const std::string& path() const { return path_; }

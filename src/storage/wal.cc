@@ -23,6 +23,8 @@ constexpr size_t kWalHeaderSize = sizeof(kWalMagic);
 constexpr uint8_t kWalVersion = 1;
 constexpr uint8_t kFlagOptimize = 1;
 constexpr uint8_t kFlagContext = 2;
+constexpr uint8_t kFlagTxnBegin = 4;
+constexpr uint8_t kFlagTxnCommit = 8;
 
 /// A single statement source larger than this is rejected at scan time —
 /// far beyond any real program, and it bounds allocations on corrupt input
@@ -41,6 +43,8 @@ std::string EncodeWalRecord(const WalRecord& rec) {
   uint8_t flags = 0;
   if (rec.optimize) flags |= kFlagOptimize;
   if (rec.context) flags |= kFlagContext;
+  if (rec.txn_begin) flags |= kFlagTxnBegin;
+  if (rec.txn_commit) flags |= kFlagTxnCommit;
   payload.U8(flags);
   payload.U64(rec.lsn);
   payload.Str(rec.source);
@@ -70,11 +74,19 @@ Result<WalScanResult> ScanWalBytes(const std::string& bytes) {
   size_t pos = kWalHeaderSize;
   uint64_t prev_lsn = 0;
   bool have_prev = false;
+  // Transaction group being buffered: its statements only join the result —
+  // and valid_bytes only advances past them — when the commit marker
+  // arrives. A group cut short by a crash is discarded whole, from its
+  // begin marker on, which is exactly commit atomicity at recovery time.
+  bool in_group = false;
+  size_t group_start = 0;
+  std::vector<WalRecord> group;
   while (pos < bytes.size()) {
     size_t rec_start = pos;
     auto torn = [&]() {
+      size_t from = in_group ? group_start : rec_start;
       out.torn_tail = true;
-      out.discarded_bytes = bytes.size() - rec_start;
+      out.discarded_bytes = bytes.size() - from;
       return out;
     };
     if (bytes.size() - pos < 8) return torn();
@@ -94,18 +106,58 @@ Result<WalScanResult> ScanWalBytes(const std::string& bytes) {
         *version != kWalVersion || !payload.done()) {
       return torn();
     }
+    pos += len;
+
+    bool is_begin = (*flags & kFlagTxnBegin) != 0;
+    bool is_commit = (*flags & kFlagTxnCommit) != 0;
+    if (is_begin || is_commit) {
+      // Markers are structural only: no source, one role, plausible lsn.
+      // A malformed marker is corruption like any other — torn tail (from
+      // the group start when one is open).
+      if ((is_begin && is_commit) || !source->empty() || *lsn == 0) {
+        return torn();
+      }
+      if (is_begin) {
+        if (in_group) return torn();
+        if (have_prev && *lsn != prev_lsn + 1) return torn();
+        in_group = true;
+        group_start = rec_start;
+        // The begin marker announces the first statement's lsn; seed the
+        // continuity check so that statement must actually carry it.
+        prev_lsn = *lsn - 1;
+        have_prev = true;
+      } else {
+        // Commit must close an open, non-empty group and name its last lsn.
+        if (!in_group || group.empty() || *lsn != prev_lsn) return torn();
+        for (auto& r : group) out.records.push_back(std::move(r));
+        group.clear();
+        in_group = false;
+        out.valid_bytes = pos;
+      }
+      continue;
+    }
+
     if (have_prev && *lsn != prev_lsn + 1) return torn();
     prev_lsn = *lsn;
     have_prev = true;
-    pos += len;
 
     WalRecord rec;
     rec.source = std::move(*source);
     rec.optimize = (*flags & kFlagOptimize) != 0;
     rec.context = (*flags & kFlagContext) != 0;
     rec.lsn = *lsn;
-    out.records.push_back(std::move(rec));
-    out.valid_bytes = pos;
+    if (in_group) {
+      group.push_back(std::move(rec));
+    } else {
+      out.records.push_back(std::move(rec));
+      out.valid_bytes = pos;
+    }
+  }
+  if (in_group) {
+    // The file ends inside a group: the commit marker never made it to
+    // disk, so the whole group is a torn tail.
+    out.torn_tail = true;
+    out.discarded_bytes = bytes.size() - group_start;
   }
   out.valid_bytes = out.valid_bytes == 0 ? kWalHeaderSize : out.valid_bytes;
   return out;
@@ -192,37 +244,62 @@ Status WalWriter::TruncateBack() {
 }
 
 Status WalWriter::Append(const WalRecord& rec) {
+  return AppendBatch({rec}, /*sync_each=*/true);
+}
+
+Status WalWriter::AppendBatch(const std::vector<WalRecord>& recs,
+                              bool sync_each) {
   if (broken_) {
     return Status::DataLoss("WAL is broken from an earlier failed append");
   }
-  std::string bytes = EncodeWalRecord(rec);
-  int64_t partial = -1;
-  if (hooks_ != nullptr && !hooks_->OnWalAppend(bytes.size(), &partial)) {
-    if (partial > 0) {
-      size_t n = static_cast<size_t>(partial) < bytes.size()
-                     ? static_cast<size_t>(partial)
-                     : bytes.size();
-      (void)!::write(fd_, bytes.data(), n);
+  if (recs.empty()) return Status::OK();
+  size_t total = 0;
+  int64_t statements = 0;
+  for (const auto& rec : recs) {
+    std::string bytes = EncodeWalRecord(rec);
+    int64_t partial = -1;
+    if (hooks_ != nullptr && !hooks_->OnWalAppend(bytes.size(), &partial)) {
+      if (partial > 0) {
+        size_t n = static_cast<size_t>(partial) < bytes.size()
+                       ? static_cast<size_t>(partial)
+                       : bytes.size();
+        (void)!::write(fd_, bytes.data(), n);
+      }
+      EXA_RETURN_NOT_OK(TruncateBack());
+      return Status::DataLoss("injected WAL append failure");
     }
-    EXA_RETURN_NOT_OK(TruncateBack());
-    return Status::DataLoss("injected WAL append failure");
+    ssize_t written = ::write(fd_, bytes.data(), bytes.size());
+    if (written != static_cast<ssize_t>(bytes.size())) {
+      Status undo = TruncateBack();
+      if (!undo.ok()) return undo;
+      return Status::DataLoss(
+          StrCat("short WAL write: ", std::strerror(errno)));
+    }
+    if (sync_each) {
+      Status synced = Sync();
+      if (!synced.ok()) {
+        // Records reached the file but not necessarily the disk; withdraw
+        // the whole batch so the in-memory rollback and the file agree (and
+        // so no dangling group prefix can poison later appends).
+        EXA_RETURN_NOT_OK(TruncateBack());
+        return synced;
+      }
+    }
+    total += bytes.size();
+    if (!rec.txn_begin && !rec.txn_commit) ++statements;
   }
-  ssize_t written = ::write(fd_, bytes.data(), bytes.size());
-  if (written != static_cast<ssize_t>(bytes.size())) {
-    Status undo = TruncateBack();
-    if (!undo.ok()) return undo;
-    return Status::DataLoss(
-        StrCat("short WAL write: ", std::strerror(errno)));
+  if (!sync_each) {
+    // Group commit: the whole batch rides one sync.
+    Status synced = Sync();
+    if (!synced.ok()) {
+      EXA_RETURN_NOT_OK(TruncateBack());
+      return synced;
+    }
   }
-  Status synced = Sync();
-  if (!synced.ok()) {
-    // The record reached the file but not necessarily the disk; withdraw it
-    // so the in-memory rollback and the file agree.
-    EXA_RETURN_NOT_OK(TruncateBack());
-    return synced;
-  }
-  end_ += bytes.size();
-  obs::MetricsRegistry::Global().GetCounter("storage.wal.appends")->Increment();
+  end_ += total;
+  obs::MetricsRegistry::Global()
+      .GetCounter("storage.wal.appends")
+      ->Increment(statements);
   return Status::OK();
 }
 

@@ -43,6 +43,16 @@ struct WalRecord {
   bool optimize = true;
   bool context = false;
   uint64_t lsn = 0;
+  /// Transaction group markers. A multi-statement commit is framed as
+  /// BEGIN-marker, statements, COMMIT-marker; markers carry no source and
+  /// consume no statement sequence numbers (begin carries the first
+  /// statement's lsn, commit the last's), so "lsn = statement count"
+  /// arithmetic holds whether or not transactions were used. The scanner
+  /// strips markers and treats any group without its commit marker — a
+  /// crash mid-group — as a torn tail starting at the begin marker, which
+  /// is what makes the group atomic.
+  bool txn_begin = false;
+  bool txn_commit = false;
 };
 
 /// Result of scanning a WAL file: the intact record prefix, where it ends,
@@ -86,6 +96,15 @@ class WalWriter {
   /// Appends one record and (unless fsync is disabled) syncs it to disk
   /// before returning OK — the durability point of the commit protocol.
   Status Append(const WalRecord& rec);
+
+  /// Appends a record batch — a transaction group with its markers — as one
+  /// unit: with `sync_each` false the batch gets a single sync at the end
+  /// (group commit, one fsync for the whole transaction); true syncs after
+  /// every record. Either way, ANY failure truncates the file back to the
+  /// pre-batch boundary, so a half-written group can never linger ahead of
+  /// records committed later (the scanner would discard everything from the
+  /// dangling begin marker on, silently dropping those commits).
+  Status AppendBatch(const std::vector<WalRecord>& recs, bool sync_each);
 
   /// Truncates back to just the file header (after a checkpoint).
   Status Reset();

@@ -102,7 +102,9 @@ TEST(DocsFreshness, MetricNamesDocumented) {
         "governor.trips.occurrences", "governor.trips.deadline",
         "governor.trips.cancelled", "storage.wal.appends",
         "storage.wal.fsync_ns", "storage.snapshot.writes",
-        "storage.recovery.replayed", "storage.recovery.torn_tail"}) {
+        "storage.recovery.replayed", "storage.recovery.torn_tail",
+        "storage.group_commit.batches", "storage.group_commit.statements",
+        "txn.begin", "txn.commit", "txn.rollback"}) {
     EXPECT_NE(ObservabilityDoc().find(name), std::string::npos)
         << "metric " << name << " is not documented in docs/OBSERVABILITY.md";
   }
@@ -112,7 +114,7 @@ TEST(DocsFreshness, EnvKnobsDocumented) {
   for (const char* knob :
        {"EXCESS_THREADS", "EXCESS_DEADLINE_MS", "EXCESS_MEM_LIMIT_MB",
         "EXCESS_SWEEP_SEEDS", "EXCESS_METRICS_PATH", "EXCESS_DB_PATH",
-        "EXCESS_WAL_FSYNC"}) {
+        "EXCESS_WAL_FSYNC", "EXCESS_GROUP_COMMIT"}) {
     EXPECT_NE(ObservabilityDoc().find(knob), std::string::npos)
         << "env knob " << knob
         << " is not documented in docs/OBSERVABILITY.md";

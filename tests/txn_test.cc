@@ -1,0 +1,378 @@
+// Session transactions (`begin` / `commit` / `rollback`): atomic group
+// commit through the WAL, rollback of data and DDL, the statement guards,
+// governor trips inside an open transaction, commit-failure auto-abort,
+// the incremental checkpoint, and the EXCESS_GROUP_COMMIT knob.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "core/governor.h"
+#include "excess/session.h"
+#include "methods/registry.h"
+#include "objects/database.h"
+#include "objects/value.h"
+#include "obs/metrics.h"
+#include "storage/serialize.h"
+#include "storage/wal.h"
+#include "util/env.h"
+
+namespace excess {
+namespace {
+
+namespace fs = std::filesystem;
+
+ValuePtr I(int64_t v) { return Value::Int(v); }
+
+class TxnTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("excess_txn_test_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    ::unsetenv("EXCESS_DB_PATH");
+    ::unsetenv("EXCESS_GROUP_COMMIT");
+    ::setenv("EXCESS_WAL_FSYNC", "0", 1);
+  }
+  void TearDown() override {
+    fs::remove_all(dir_);
+    ::unsetenv("EXCESS_WAL_FSYNC");
+    ::unsetenv("EXCESS_GROUP_COMMIT");
+    ::unsetenv("EXCESS_DB_PATH");
+  }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  /// Recovers `path` into a fresh database and returns its canonical bytes.
+  std::string RecoveredBytes(const std::string& path) {
+    Database db;
+    MethodRegistry methods(&db.catalog());
+    Session s(&db, &methods);
+    EXPECT_TRUE(s.OpenStorage(path).ok());
+    return storage::CanonicalDatabaseBytes(db);
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(TxnTest, CommitIsAtomicAcrossReopen) {
+  const std::string path = Path("db.exdb");
+  Database db;
+  MethodRegistry methods(&db.catalog());
+  Session s(&db, &methods);
+  ASSERT_TRUE(s.OpenStorage(path).ok());
+  ASSERT_TRUE(s.Execute("create Nums: { int4 }").ok());
+  uint64_t before_lsn = s.next_durable_lsn();
+
+  ASSERT_TRUE(s.Execute("begin").ok());
+  EXPECT_TRUE(s.in_txn());
+  ASSERT_TRUE(s.Execute("append all {1, 2, 3} to Nums").ok());
+  ASSERT_TRUE(s.Execute("create Other: { int4 }").ok());
+  ASSERT_TRUE(s.Execute("append 7 to Other").ok());
+  ASSERT_TRUE(s.Execute("delete Nums where Nums = 2").ok());
+  // Staged statements are not durable until commit.
+  EXPECT_EQ(s.next_durable_lsn(), before_lsn);
+  ASSERT_TRUE(s.Execute("commit").ok());
+  EXPECT_FALSE(s.in_txn());
+  // The group consumed one LSN per statement; the markers consume none.
+  EXPECT_EQ(s.next_durable_lsn(), before_lsn + 4);
+
+  EXPECT_EQ(RecoveredBytes(path), storage::CanonicalDatabaseBytes(db));
+}
+
+TEST_F(TxnTest, QueriesInsideTransactionSeeOwnWrites) {
+  Database db;
+  MethodRegistry methods(&db.catalog());
+  Session s(&db, &methods);
+  ASSERT_TRUE(s.Execute("create Nums: { int4 }\nappend 1 to Nums").ok());
+  ASSERT_TRUE(s.Execute("begin").ok());
+  ASSERT_TRUE(s.Execute("append 2 to Nums").ok());
+  auto r = s.Execute("retrieve (x) from x in Nums");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ((*r)->TotalCount(), 2);
+  EXPECT_EQ((*r)->CountOf(I(2)), 1);
+  ASSERT_TRUE(s.Execute("rollback").ok());
+}
+
+TEST_F(TxnTest, RollbackRestoresDataDdlRangesAndMethods) {
+  const std::string path = Path("db.exdb");
+  Database db;
+  MethodRegistry methods(&db.catalog());
+  Session s(&db, &methods);
+  ASSERT_TRUE(s.OpenStorage(path).ok());
+  ASSERT_TRUE(s.Execute("define type Pt: ( x: int4 )\n"
+                        "create Nums: { int4 }\n"
+                        "append all {1, 2} to Nums")
+                  .ok());
+  const std::string before = storage::CanonicalDatabaseBytes(db);
+  const uint64_t before_lsn = s.next_durable_lsn();
+
+  ASSERT_TRUE(s.Execute("begin").ok());
+  ASSERT_TRUE(s.Execute("append 9 to Nums").ok());
+  ASSERT_TRUE(s.Execute("delete Nums where Nums = 1").ok());
+  ASSERT_TRUE(s.Execute("create Scratch: { int4 }").ok());
+  ASSERT_TRUE(s.Execute("define type Q: ( y: int4 ) inherits Pt").ok());
+  ASSERT_TRUE(s.Execute("range of N is Nums").ok());
+  ASSERT_TRUE(s.Execute("define Pt function dbl () returns int4 "
+                        "{ retrieve (this.x * 2) }")
+                  .ok());
+  EXPECT_TRUE(db.HasNamed("Scratch"));
+  EXPECT_TRUE(db.catalog().HasType("Q"));
+  EXPECT_TRUE(methods.Has("Pt", "dbl"));
+
+  ASSERT_TRUE(s.Execute("rollback").ok());
+  EXPECT_FALSE(s.in_txn());
+  EXPECT_EQ(storage::CanonicalDatabaseBytes(db), before);
+  EXPECT_FALSE(db.HasNamed("Scratch"));
+  EXPECT_FALSE(db.catalog().HasType("Q"));
+  EXPECT_TRUE(s.ranges().empty());
+  EXPECT_FALSE(methods.Has("Pt", "dbl"));
+  // Nothing of the transaction reached the disk.
+  EXPECT_EQ(s.next_durable_lsn(), before_lsn);
+  EXPECT_EQ(RecoveredBytes(path), before);
+
+  // The session stays fully usable after the rollback.
+  ASSERT_TRUE(s.Execute("append 5 to Nums").ok());
+  auto nums = db.NamedValue("Nums");
+  ASSERT_TRUE(nums.ok());
+  EXPECT_EQ((*nums)->CountOf(I(5)), 1);
+}
+
+TEST_F(TxnTest, StatementGuards) {
+  const std::string path = Path("db.exdb");
+  Database db;
+  MethodRegistry methods(&db.catalog());
+  Session s(&db, &methods);
+
+  // commit / rollback with no open transaction.
+  auto r = s.Execute("commit");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(), "no open transaction; `begin` starts one");
+  r = s.Execute("rollback");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(), "no open transaction; `begin` starts one");
+
+  ASSERT_TRUE(s.OpenStorage(path).ok());
+  ASSERT_TRUE(s.Execute("create Nums: { int4 }").ok());
+  ASSERT_TRUE(s.Execute("begin").ok());
+  ASSERT_TRUE(s.Execute("append 1 to Nums").ok());
+
+  // Nested begin.
+  r = s.Execute("begin");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(),
+            "a transaction is already open; commit or rollback it first");
+
+  // checkpoint and open inside a transaction.
+  r = s.Execute("checkpoint");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(),
+            "cannot checkpoint inside a transaction; commit or rollback first");
+  r = s.Execute("open \"" + Path("other.exdb") + "\"");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().message(),
+            "cannot open a database inside a transaction; "
+            "commit or rollback first");
+
+  // None of the rejections disturbed the transaction.
+  EXPECT_TRUE(s.in_txn());
+  ASSERT_TRUE(s.Execute("commit").ok());
+  auto nums = db.NamedValue("Nums");
+  ASSERT_TRUE(nums.ok());
+  EXPECT_EQ((*nums)->CountOf(I(1)), 1);
+}
+
+TEST_F(TxnTest, GovernorTripInsideTransactionLeavesItUsable) {
+  const std::string path = Path("db.exdb");
+  Database db;
+  MethodRegistry methods(&db.catalog());
+  Session s(&db, &methods);
+  ASSERT_TRUE(s.OpenStorage(path).ok());
+  ASSERT_TRUE(s.Execute("create Nums: { int4 }\n"
+                        "append all {1, 2, 3, 4, 5} to Nums")
+                  .ok());
+  const std::string before = storage::CanonicalDatabaseBytes(db);
+  const uint64_t before_lsn = s.next_durable_lsn();
+
+  ASSERT_TRUE(s.Execute("begin").ok());
+  ASSERT_TRUE(s.Execute("append 6 to Nums").ok());
+
+  ExecLimits tiny;
+  tiny.max_occurrences = 3;
+  s.set_limits(tiny);
+  auto r = s.Execute("append all Nums to Nums");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsResourceExhausted()) << r.status().ToString();
+  s.set_limits(ExecLimits::Unlimited());
+
+  // The trip aborted only the statement: the transaction (with its staged
+  // append of 6) is still open and both commit and rollback still work.
+  EXPECT_TRUE(s.in_txn());
+  EXPECT_EQ(s.next_durable_lsn(), before_lsn);
+  ASSERT_TRUE(s.Execute("rollback").ok());
+  EXPECT_EQ(storage::CanonicalDatabaseBytes(db), before);
+  EXPECT_EQ(RecoveredBytes(path), before);
+}
+
+TEST_F(TxnTest, CancelledTransactionCanStillRollBack) {
+  Database db;
+  MethodRegistry methods(&db.catalog());
+  Session s(&db, &methods);
+  ASSERT_TRUE(s.Execute("create Nums: { int4 }").ok());
+  const std::string before = storage::CanonicalDatabaseBytes(db);
+
+  ASSERT_TRUE(s.Execute("begin").ok());
+  ASSERT_TRUE(s.Execute("append 1 to Nums").ok());
+  auto cancel = std::make_shared<CancelToken>();
+  s.set_cancel_token(cancel);
+  cancel->Cancel();
+  auto r = s.Execute("append 2 to Nums");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsCancelled()) << r.status().ToString();
+  // `rollback` is exempt from the cancellation guard — a cancelled
+  // transaction must remain abortable without resetting the token first.
+  ASSERT_TRUE(s.Execute("rollback").ok());
+  EXPECT_EQ(storage::CanonicalDatabaseBytes(db), before);
+}
+
+TEST_F(TxnTest, CommitFailureAutoAbortsAndLeavesDiskUntouched) {
+  struct FailAppend : storage::StorageHooks {
+    bool fail = false;
+    bool OnWalAppend(size_t, int64_t* partial) override {
+      if (fail) *partial = 3;  // leave a torn fragment, too
+      return !fail;
+    }
+  };
+  const std::string path = Path("db.exdb");
+  FailAppend hooks;
+  Database db;
+  MethodRegistry methods(&db.catalog());
+  Session s(&db, &methods);
+  s.set_storage_hooks(&hooks);
+  ASSERT_TRUE(s.OpenStorage(path).ok());
+  ASSERT_TRUE(s.Execute("create Nums: { int4 }\nappend 1 to Nums").ok());
+  const std::string before = storage::CanonicalDatabaseBytes(db);
+  const uint64_t before_lsn = s.next_durable_lsn();
+
+  ASSERT_TRUE(s.Execute("begin").ok());
+  ASSERT_TRUE(s.Execute("append 2 to Nums").ok());
+  ASSERT_TRUE(s.Execute("create Other: { int4 }").ok());
+  hooks.fail = true;
+  auto r = s.Execute("commit");
+  hooks.fail = false;
+  ASSERT_FALSE(r.ok());
+
+  // The failed commit auto-aborted: memory and disk are at the pre-begin
+  // state and the session is out of the transaction and usable.
+  EXPECT_FALSE(s.in_txn());
+  EXPECT_EQ(storage::CanonicalDatabaseBytes(db), before);
+  EXPECT_EQ(s.next_durable_lsn(), before_lsn);
+  EXPECT_EQ(RecoveredBytes(path), before);
+  ASSERT_TRUE(s.Execute("append 9 to Nums").ok());
+  Database db2;
+  MethodRegistry methods2(&db2.catalog());
+  Session s2(&db2, &methods2);
+  ASSERT_TRUE(s2.OpenStorage(path).ok());
+  auto nums = db2.NamedValue("Nums");
+  ASSERT_TRUE(nums.ok());
+  EXPECT_EQ((*nums)->CountOf(I(9)), 1);
+  EXPECT_EQ((*nums)->CountOf(I(2)), 0);
+}
+
+TEST_F(TxnTest, EmptyTransactionCommitsNothing) {
+  const std::string path = Path("db.exdb");
+  Database db;
+  MethodRegistry methods(&db.catalog());
+  Session s(&db, &methods);
+  ASSERT_TRUE(s.OpenStorage(path).ok());
+  ASSERT_TRUE(s.Execute("create Nums: { int4 }").ok());
+  const uint64_t before_lsn = s.next_durable_lsn();
+  ASSERT_TRUE(s.Execute("begin").ok());
+  ASSERT_TRUE(s.Execute("commit").ok());
+  EXPECT_EQ(s.next_durable_lsn(), before_lsn);
+}
+
+TEST_F(TxnTest, TransactionsWorkWithoutStorage) {
+  Database db;
+  MethodRegistry methods(&db.catalog());
+  Session s(&db, &methods);
+  ASSERT_TRUE(s.Execute("create Nums: { int4 }").ok());
+  const std::string before = storage::CanonicalDatabaseBytes(db);
+
+  ASSERT_TRUE(s.Execute("begin").ok());
+  ASSERT_TRUE(s.Execute("append 1 to Nums").ok());
+  ASSERT_TRUE(s.Execute("rollback").ok());
+  EXPECT_EQ(storage::CanonicalDatabaseBytes(db), before);
+
+  ASSERT_TRUE(s.Execute("begin").ok());
+  ASSERT_TRUE(s.Execute("append 2 to Nums").ok());
+  ASSERT_TRUE(s.Execute("commit").ok());
+  auto nums = db.NamedValue("Nums");
+  ASSERT_TRUE(nums.ok());
+  EXPECT_EQ((*nums)->CountOf(I(2)), 1);
+}
+
+TEST_F(TxnTest, GroupCommitOffIsStillAtomic) {
+  // EXCESS_GROUP_COMMIT=0 syncs every record of the group individually but
+  // keeps the TXN_BEGIN..TXN_COMMIT framing, so recovery semantics (and
+  // the recovered state) are identical.
+  ::setenv("EXCESS_GROUP_COMMIT", "0", 1);
+  const std::string path = Path("db.exdb");
+  Database db;
+  MethodRegistry methods(&db.catalog());
+  Session s(&db, &methods);
+  ASSERT_TRUE(s.OpenStorage(path).ok());
+  ASSERT_TRUE(s.Execute("create Nums: { int4 }").ok());
+  ASSERT_TRUE(s.Execute("begin").ok());
+  ASSERT_TRUE(s.Execute("append all {1, 2} to Nums").ok());
+  ASSERT_TRUE(s.Execute("append 3 to Nums").ok());
+  ASSERT_TRUE(s.Execute("commit").ok());
+  EXPECT_EQ(RecoveredBytes(path), storage::CanonicalDatabaseBytes(db));
+}
+
+TEST_F(TxnTest, CheckpointIsIncremental) {
+  const std::string path = Path("db.exdb");
+  Database db;
+  MethodRegistry methods(&db.catalog());
+  Session s(&db, &methods);
+  ASSERT_TRUE(s.OpenStorage(path).ok());
+  ASSERT_TRUE(s.Execute("create Nums: { int4 }\nappend 1 to Nums").ok());
+
+  auto* writes =
+      obs::MetricsRegistry::Global().GetCounter("storage.snapshot.writes");
+  ASSERT_TRUE(s.Checkpoint().ok());
+  const int64_t after_first = writes->value();
+  // Nothing new in the WAL: the second checkpoint is a no-op.
+  ASSERT_TRUE(s.Checkpoint().ok());
+  EXPECT_EQ(writes->value(), after_first);
+  // A new commit makes the next checkpoint write again.
+  ASSERT_TRUE(s.Execute("append 2 to Nums").ok());
+  ASSERT_TRUE(s.Checkpoint().ok());
+  EXPECT_EQ(writes->value(), after_first + 1);
+}
+
+TEST(TxnEnvKnobs, GroupCommitKnobIsStrict) {
+  // EXCESS_GROUP_COMMIT accepts exactly "0" or "1"; junk means the default
+  // (group commit on). Observed through the same util::EnvInt call the
+  // session makes when opening storage.
+  ::setenv("EXCESS_GROUP_COMMIT", "0", 1);
+  EXPECT_EQ(util::EnvInt("EXCESS_GROUP_COMMIT", 0, 1, 1), 0);
+  ::setenv("EXCESS_GROUP_COMMIT", "1", 1);
+  EXPECT_EQ(util::EnvInt("EXCESS_GROUP_COMMIT", 0, 1, 1), 1);
+  ::setenv("EXCESS_GROUP_COMMIT", "2", 1);
+  EXPECT_EQ(util::EnvInt("EXCESS_GROUP_COMMIT", 0, 1, 1), 1);
+  ::setenv("EXCESS_GROUP_COMMIT", "yes", 1);
+  EXPECT_EQ(util::EnvInt("EXCESS_GROUP_COMMIT", 0, 1, 1), 1);
+  ::setenv("EXCESS_GROUP_COMMIT", " 0", 1);
+  EXPECT_EQ(util::EnvInt("EXCESS_GROUP_COMMIT", 0, 1, 1), 1);
+  ::unsetenv("EXCESS_GROUP_COMMIT");
+  EXPECT_EQ(util::EnvInt("EXCESS_GROUP_COMMIT", 0, 1, 1), 1);
+}
+
+}  // namespace
+}  // namespace excess

@@ -1,0 +1,295 @@
+// Concurrent-session-server throughput and overload behavior.
+//
+// Four questions, each answered with a number in BENCH_server.json:
+//
+//  1. What does one connection sustain? A single client runs a ~1 ms
+//     read statement back-to-back over a unix socket; the stmts/sec row
+//     is the wire-protocol + dispatch + epoch-clone baseline.
+//
+//  2. Do readers scale? 8 and 64 clients run the same read-only workload
+//     against a worker pool sized to the hardware. Snapshot-epoch reads
+//     share nothing but an atomic epoch check, so on >= 4 hardware
+//     threads the 8-client run must sustain >= 3x the 1-client rate (the
+//     bar is skipped on smaller machines, where no parallel speedup
+//     exists to measure).
+//
+//  3. Is overload shed, not absorbed? 32 clients hammer a server with 2
+//     workers and a 4-deep admission queue. The bar: at least one
+//     kResourceExhausted response carrying a retry-after hint, zero
+//     transport hangs or crashes, and a fresh request succeeds within 2 s
+//     of the burst ending (the queue drained; nothing wedged).
+//
+//  4. Does client death hurt anyone else? A fault mix kills a third of
+//     its connections right after sending (dead-client cancellation
+//     path); the surviving clients' error count must stay zero.
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/client.h"
+#include "server/server.h"
+#include "server/wire.h"
+
+namespace excess {
+namespace server {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int kNums = 60;  // 3600-pair self-join => ~10 ms per read
+const char* kReadStmt =
+    "retrieve ( count(p from x in Nums, p in Nums where x = p) )";
+
+std::string SockPath() {
+  return "/tmp/exbench_srv_" + std::to_string(::getpid()) + ".sock";
+}
+
+void Seed(Server* server) {
+  if (!server->ExecuteLocal("create Nums: { int4 }").ok()) std::abort();
+  std::string stmt = "append all {1";
+  for (int i = 2; i <= kNums; ++i) stmt += ", " + std::to_string(i);
+  stmt += "} to Nums";
+  if (!server->ExecuteLocal(stmt).ok()) std::abort();
+}
+
+struct PhaseResult {
+  int64_t ok = 0;
+  int64_t shed = 0;
+  int64_t errors = 0;  // transport failures or unexpected statuses
+  double wall_s = 0;
+  double stmts_per_sec() const { return wall_s > 0 ? ok / wall_s : 0; }
+};
+
+/// `clients` connections each run kReadStmt back-to-back for `seconds`.
+PhaseResult ReadPhase(const std::string& sock, int clients, double seconds) {
+  PhaseResult out;
+  std::atomic<int64_t> ok{0};
+  std::atomic<int64_t> shed{0};
+  std::atomic<int64_t> errors{0};
+  std::atomic<bool> stop{false};
+  auto start = Clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&] {
+      auto client = Client::ConnectUnix(sock, /*timeout_ms=*/20'000);
+      if (!client.ok()) {
+        errors.fetch_add(1);
+        return;
+      }
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto r = client->Execute(kReadStmt, /*deadline_ms=*/20'000);
+        if (!r.ok()) {
+          errors.fetch_add(1);
+          return;
+        }
+        if (r->code == StatusCode::kOk) {
+          ok.fetch_add(1);
+        } else if (r->code == StatusCode::kResourceExhausted) {
+          shed.fetch_add(1);
+          // Honor the admission controller's hint (capped so the phase
+          // still ends on time) instead of hot-spinning on rejections.
+          int64_t backoff = std::min<int64_t>(r->retry_after_ms, 50);
+          if (backoff > 0) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+          }
+        } else {
+          errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  out.wall_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  out.ok = ok.load();
+  out.shed = shed.load();
+  out.errors = errors.load();
+  return out;
+}
+
+}  // namespace
+
+int Run() {
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  // --- read throughput: 1 / 8 / 64 clients ----------------------------------
+  std::string sock = SockPath();
+  ServerOptions opts;
+  opts.unix_path = sock;
+  opts.queue_capacity = 256;  // throughput phases measure work, not shedding
+  Server server(opts);
+  Seed(&server);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "bench_server: Start failed\n");
+    return 1;
+  }
+  PhaseResult c1 = ReadPhase(sock, 1, 2.0);
+  PhaseResult c8 = ReadPhase(sock, 8, 2.0);
+  PhaseResult c64 = ReadPhase(sock, 64, 2.0);
+  server.Shutdown();
+  double scaling = c1.ok > 0 ? c8.stmts_per_sec() / c1.stmts_per_sec() : 0;
+  std::printf("read throughput:  1 client  %8.0f stmts/s  (%lld ok)\n",
+              c1.stmts_per_sec(), static_cast<long long>(c1.ok));
+  std::printf("                  8 clients %8.0f stmts/s  (%.2fx)\n",
+              c8.stmts_per_sec(), scaling);
+  std::printf("                 64 clients %8.0f stmts/s\n",
+              c64.stmts_per_sec());
+
+  // --- overload: tiny pool, deep demand --------------------------------------
+  std::string sock2 = sock + "2";
+  ServerOptions small;
+  small.unix_path = sock2;
+  small.workers = 2;
+  small.queue_capacity = 4;
+  Server overload(small);
+  Seed(&overload);
+  if (!overload.Start().ok()) {
+    std::fprintf(stderr, "bench_server: overload Start failed\n");
+    return 1;
+  }
+  PhaseResult burst = ReadPhase(sock2, 32, 1.5);
+  std::printf("overload burst:  %lld ok, %lld shed, %lld errors\n",
+              static_cast<long long>(burst.ok),
+              static_cast<long long>(burst.shed),
+              static_cast<long long>(burst.errors));
+  // Recovery: the queue must drain and a fresh request succeed promptly.
+  bool recovered = false;
+  {
+    auto deadline = Clock::now() + std::chrono::seconds(2);
+    auto client = Client::ConnectUnix(sock2, /*timeout_ms=*/5'000);
+    while (client.ok() && Clock::now() < deadline) {
+      auto r = client->Execute(kReadStmt, /*deadline_ms=*/5'000);
+      if (r.ok() && r->code == StatusCode::kOk) {
+        recovered = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+
+  // --- fault mix: dying clients beside healthy ones --------------------------
+  std::atomic<int64_t> survivor_errors{0};
+  std::atomic<int64_t> kills{0};
+  {
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> threads;
+    for (int c = 0; c < 4; ++c) {
+      threads.emplace_back([&] {  // healthy clients
+        auto client = Client::ConnectUnix(sock2, /*timeout_ms=*/20'000);
+        if (!client.ok()) {
+          survivor_errors.fetch_add(1);
+          return;
+        }
+        while (!stop.load()) {
+          auto r = client->Execute(kReadStmt, /*deadline_ms=*/20'000);
+          if (!r.ok()) {
+            survivor_errors.fetch_add(1);
+            return;
+          }
+          if (r->code != StatusCode::kOk &&
+              r->code != StatusCode::kResourceExhausted) {
+            survivor_errors.fetch_add(1);
+            return;
+          }
+        }
+      });
+    }
+    threads.emplace_back([&] {  // serial killer
+      while (!stop.load()) {
+        auto doomed = Client::ConnectUnix(sock2, /*timeout_ms=*/5'000);
+        if (!doomed.ok()) break;
+        Request req;
+        req.opcode = Opcode::kStatement;
+        req.deadline_ms = 10'000;
+        req.statement = kReadStmt;
+        (void)WriteFrame(doomed->fd(), EncodeRequest(req), 1'000);
+        doomed->Close();  // die without reading the response
+        kills.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(1'500));
+    stop.store(true);
+    for (auto& t : threads) t.join();
+  }
+  overload.Shutdown();
+  std::printf("fault mix:       %lld client deaths, %lld survivor errors\n",
+              static_cast<long long>(kills.load()),
+              static_cast<long long>(survivor_errors.load()));
+
+  // --- report + bars ----------------------------------------------------------
+  std::FILE* f = std::fopen("BENCH_server.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"bench\": \"server\",\n");
+    std::fprintf(f, "  \"hardware_concurrency\": %u,\n", hw);
+    std::fprintf(f, "  \"rows\": [\n");
+    auto row = [&](const char* phase, const PhaseResult& r, bool last) {
+      std::fprintf(f,
+                   "    {\"phase\": \"%s\", \"stmts_per_sec\": %.1f, "
+                   "\"ok\": %lld, \"shed\": %lld, \"errors\": %lld}%s\n",
+                   phase, r.stmts_per_sec(), static_cast<long long>(r.ok),
+                   static_cast<long long>(r.shed),
+                   static_cast<long long>(r.errors), last ? "" : ",");
+    };
+    row("read_1_client", c1, false);
+    row("read_8_clients", c8, false);
+    row("read_64_clients", c64, false);
+    row("overload_32_clients", burst, true);
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"scaling_8_vs_1\": %.2f,\n", scaling);
+    std::fprintf(f, "  \"overload_sheds\": %lld,\n",
+                 static_cast<long long>(burst.shed));
+    std::fprintf(f, "  \"recovered_after_burst\": %s,\n",
+                 recovered ? "true" : "false");
+    std::fprintf(f, "  \"fault_mix_client_deaths\": %lld,\n",
+                 static_cast<long long>(kills.load()));
+    std::fprintf(f, "  \"fault_mix_survivor_errors\": %lld\n",
+                 static_cast<long long>(survivor_errors.load()));
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_server.json\n");
+  }
+
+  int rc = 0;
+  if (c1.errors + c8.errors + c64.errors + burst.errors > 0) {
+    std::fprintf(stderr, "FAIL: transport/statement errors during phases\n");
+    rc = 1;
+  }
+  if (burst.shed == 0) {
+    std::fprintf(stderr,
+                 "FAIL: overload burst was never shed (expected "
+                 "kResourceExhausted under a full queue)\n");
+    rc = 1;
+  }
+  if (!recovered) {
+    std::fprintf(stderr, "FAIL: no successful request within 2s of burst\n");
+    rc = 1;
+  }
+  if (survivor_errors.load() > 0) {
+    std::fprintf(stderr, "FAIL: client deaths disturbed healthy clients\n");
+    rc = 1;
+  }
+  // Parallel-scaling bar only where parallel hardware exists: a 1-core
+  // container runs all workers on one CPU and no fan-out can pay off.
+  if (hw >= 4 && scaling < 3.0) {
+    std::fprintf(stderr, "FAIL: 8-client scaling %.2fx < 3x on %u threads\n",
+                 scaling, hw);
+    rc = 1;
+  }
+  return rc;
+}
+
+}  // namespace server
+}  // namespace excess
+
+int main() { return excess::server::Run(); }

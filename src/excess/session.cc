@@ -172,6 +172,7 @@ void Session::RecordContext(const std::string& source) {
 Status Session::MaybeOpenFromEnv() {
   if (env_checked_) return Status::OK();
   env_checked_ = true;
+  if (!options_.env_autoopen) return Status::OK();
   const std::string path = util::EnvString("EXCESS_DB_PATH");
   if (path.empty() || storage_ != nullptr) return Status::OK();
   return OpenStorage(path);

@@ -36,6 +36,11 @@ class Session {
     /// checkpoint. The caller keeps the other end; CancelToken::Reset()
     /// re-arms it so the same session can keep executing afterwards.
     CancelTokenPtr cancel;
+    /// When false, the one-time EXCESS_DB_PATH auto-open is skipped. The
+    /// server's snapshot-epoch reader sessions run against private clones
+    /// and must never attach storage, even with the knob set for the
+    /// writer.
+    bool env_autoopen = true;
   };
 
   Session(Database* db, MethodRegistry* methods)
@@ -62,6 +67,14 @@ class Session {
   const Translator& translator() const { return translator_; }
   const std::vector<std::pair<std::string, ExprAstPtr>>& ranges() const {
     return ranges_;
+  }
+
+  /// Installs range declarations captured from another session (the
+  /// server's snapshot-epoch readers rebuild their context this way). The
+  /// ASTs are immutable parse trees, safely shared across sessions and
+  /// threads.
+  void set_ranges(std::vector<std::pair<std::string, ExprAstPtr>> ranges) {
+    ranges_ = std::move(ranges);
   }
 
   /// Adjust budgets / cancellation between statements (e.g. relax a limit

@@ -54,7 +54,7 @@ Result<const MethodDef*> MethodRegistry::LookupExact(
 
 Result<const MethodDef*> MethodRegistry::Dispatch(
     const std::string& exact_type, const std::string& method) const {
-  ++dispatch_count_;
+  dispatch_count_.fetch_add(1, std::memory_order_relaxed);
   // Depth-first, declaration-order walk up the supertype DAG: the exact
   // type's own implementation wins; otherwise the first parent chain that
   // declares one.
@@ -68,7 +68,8 @@ Result<const MethodDef*> MethodRegistry::Dispatch(
   }
   for (const auto& parent : (*entry)->parents) {
     auto r = Dispatch(parent, method);
-    --dispatch_count_;  // inner recursion double-counts
+    // Inner recursion double-counts.
+    dispatch_count_.fetch_sub(1, std::memory_order_relaxed);
     if (r.ok()) return r;
   }
   return Status::NotFound(StrCat("no applicable method '", method, "' for '",

@@ -1,6 +1,7 @@
 #ifndef EXCESS_METHODS_REGISTRY_H_
 #define EXCESS_METHODS_REGISTRY_H_
 
+#include <atomic>
 #include <map>
 #include <string>
 #include <vector>
@@ -60,9 +61,13 @@ class MethodRegistry : public MethodResolver {
   DistinctImplementations(const std::string& root,
                           const std::string& method) const;
 
-  /// Number of dispatches performed (for the §4 benches).
-  int64_t dispatch_count() const { return dispatch_count_; }
-  void ResetStats() { dispatch_count_ = 0; }
+  /// Number of dispatches performed (for the §4 benches). Atomic so
+  /// parallel APPLY workers — and the server's concurrent readers sharing a
+  /// registry during epoch capture — may dispatch concurrently.
+  int64_t dispatch_count() const {
+    return dispatch_count_.load(std::memory_order_relaxed);
+  }
+  void ResetStats() { dispatch_count_.store(0, std::memory_order_relaxed); }
 
   /// Unregisters a method (storage-commit rollback of a `define function`
   /// whose durable log failed). No-op if absent.
@@ -83,7 +88,7 @@ class MethodRegistry : public MethodResolver {
  private:
   const Catalog* catalog_;
   std::map<std::pair<std::string, std::string>, MethodDef> methods_;
-  mutable int64_t dispatch_count_ = 0;
+  mutable std::atomic<int64_t> dispatch_count_{0};
 };
 
 }  // namespace excess

@@ -72,6 +72,16 @@ class Histogram {
 /// mutex; hot paths should resolve their instrument once (function-local
 /// static) — returned pointers are stable for the life of the process.
 ///
+/// Thread-safety contract (the server's worker pool, connection threads,
+/// and parallel APPLY workers all count into this registry concurrently):
+/// GetCounter/GetHistogram/Snapshot/ResetForTest serialize on the registry
+/// mutex; Increment/Observe/value/count/sum/bucket are lock-free relaxed
+/// atomics. A Snapshot taken during concurrent Observe calls is internally
+/// torn only across *fields* of one histogram (count may lead sum by an
+/// in-flight observation) — never within a counter, and never corrupt.
+/// This is swept under ThreadSanitizer by the concurrency test's metrics
+/// hammer.
+///
 /// Snapshot() renders the whole registry as one JSON object (schema in
 /// docs/OBSERVABILITY.md). When EXCESS_METRICS_PATH is set the registry
 /// writes a snapshot there at process exit.

@@ -1,0 +1,103 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace excess {
+namespace server {
+
+Result<Client> Client::ConnectUnix(const std::string& path, int timeout_ms) {
+  sockaddr_un addr;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::Invalid(StrCat("unix socket path too long: ", path));
+  }
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Unavailable(StrCat("socket: ", std::strerror(errno)));
+  }
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    int e = errno;
+    ::close(fd);
+    return Status::Unavailable(
+        StrCat("connect ", path, ": ", std::strerror(e)));
+  }
+  return Client(fd, timeout_ms);
+}
+
+Result<Client> Client::ConnectTcp(const std::string& host, int port,
+                                  int timeout_ms) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Unavailable(StrCat("socket: ", std::strerror(errno)));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::Invalid(StrCat("not an IPv4 address: ", host));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    int e = errno;
+    ::close(fd);
+    return Status::Unavailable(
+        StrCat("connect ", host, ":", port, ": ", std::strerror(e)));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Client(fd, timeout_ms);
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Response> Client::RoundTrip(const Request& req) {
+  if (fd_ < 0) return Status::Unavailable("client not connected");
+  EXA_RETURN_NOT_OK(WriteFrame(fd_, EncodeRequest(req), timeout_ms_));
+  EXA_ASSIGN_OR_RETURN(std::string payload, ReadFrame(fd_, timeout_ms_));
+  return DecodeResponse(payload);
+}
+
+Result<Response> Client::Execute(const std::string& statement,
+                                 uint32_t deadline_ms, uint64_t max_bytes,
+                                 uint64_t max_occurrences) {
+  Request req;
+  req.opcode = Opcode::kStatement;
+  req.deadline_ms = deadline_ms;
+  req.max_bytes = max_bytes;
+  req.max_occurrences = max_occurrences;
+  req.statement = statement;
+  return RoundTrip(req);
+}
+
+Result<Response> Client::Ping() {
+  Request req;
+  req.opcode = Opcode::kPing;
+  return RoundTrip(req);
+}
+
+Result<Response> Client::RequestShutdown() {
+  Request req;
+  req.opcode = Opcode::kShutdown;
+  return RoundTrip(req);
+}
+
+}  // namespace server
+}  // namespace excess

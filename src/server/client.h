@@ -1,0 +1,74 @@
+#ifndef EXCESS_SERVER_CLIENT_H_
+#define EXCESS_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "server/wire.h"
+#include "util/status.h"
+
+namespace excess {
+namespace server {
+
+/// Blocking client for the EXCESS wire protocol: one socket, one request in
+/// flight. Transport failures (connect, torn frames, timeouts) surface as
+/// the Result's Status; server-side outcomes — including errors like
+/// kResourceExhausted or kDeadlineExceeded — arrive as a Response whose
+/// `code` the caller inspects.
+class Client {
+ public:
+  static Result<Client> ConnectUnix(const std::string& path,
+                                    int timeout_ms = 5'000);
+  static Result<Client> ConnectTcp(const std::string& host, int port,
+                                   int timeout_ms = 5'000);
+
+  Client() = default;
+  ~Client() { Close(); }
+  Client(Client&& other) noexcept : fd_(other.fd_), timeout_ms_(other.timeout_ms_) {
+    other.fd_ = -1;
+  }
+  Client& operator=(Client&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      timeout_ms_ = other.timeout_ms_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one statement; `deadline_ms` 0 lets the server apply its
+  /// default. max_bytes/max_occurrences 0 inherit the server's base limits.
+  Result<Response> Execute(const std::string& statement,
+                           uint32_t deadline_ms = 0, uint64_t max_bytes = 0,
+                           uint64_t max_occurrences = 0);
+
+  /// Liveness probe; the response carries the server's newest epoch.
+  Result<Response> Ping();
+
+  /// Asks the server to drain (the serving process decides when to exit).
+  Result<Response> RequestShutdown();
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  /// Raw socket, exposed so fault-injection tests can tear frames and kill
+  /// connections mid-request.
+  int fd() const { return fd_; }
+
+  /// Per-frame transport timeout for this client's reads and writes.
+  void set_timeout_ms(int timeout_ms) { timeout_ms_ = timeout_ms; }
+
+ private:
+  explicit Client(int fd, int timeout_ms) : fd_(fd), timeout_ms_(timeout_ms) {}
+  Result<Response> RoundTrip(const Request& req);
+
+  int fd_ = -1;
+  int timeout_ms_ = 5'000;
+};
+
+}  // namespace server
+}  // namespace excess
+
+#endif  // EXCESS_SERVER_CLIENT_H_

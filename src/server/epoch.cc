@@ -1,0 +1,47 @@
+#include "server/epoch.h"
+
+#include "obs/metrics.h"
+#include "util/string_util.h"
+
+namespace excess {
+namespace server {
+
+std::shared_ptr<const EpochSnapshot> CaptureEpoch(
+    uint64_t epoch, const Database& db, const Session& writer,
+    const MethodRegistry& methods) {
+  auto snap = std::make_shared<EpochSnapshot>();
+  snap->epoch = epoch;
+  snap->types = db.catalog().DumpDefinitions();
+  snap->store = db.store().Dump();
+  for (const auto& name : db.NamedObjectNames()) {
+    auto obj = db.GetNamed(name);
+    if (obj.ok()) snap->named.push_back(**obj);
+  }
+  snap->ranges = writer.ranges();
+  snap->methods = methods.Snapshot();
+  obs::MetricsRegistry::Global().GetCounter("server.epoch.published")
+      ->Increment();
+  return snap;
+}
+
+Status MaterializeEpoch(const EpochSnapshot& snap, Database* db,
+                        MethodRegistry* methods,
+                        std::vector<std::pair<std::string, ExprAstPtr>>*
+                            ranges) {
+  for (const auto& def : snap.types) {
+    EXA_RETURN_NOT_OK(db->catalog().DefineType(def.name, def.declared,
+                                               def.parents));
+  }
+  EXA_RETURN_NOT_OK(db->store().Restore(snap.store));
+  for (const auto& obj : snap.named) {
+    EXA_RETURN_NOT_OK(db->CreateNamed(obj.name, obj.schema, obj.value));
+  }
+  methods->RestoreSnapshot(snap.methods);
+  *ranges = snap.ranges;
+  obs::MetricsRegistry::Global().GetCounter("server.epoch.refreshes")
+      ->Increment();
+  return Status::OK();
+}
+
+}  // namespace server
+}  // namespace excess

@@ -1,0 +1,55 @@
+#ifndef EXCESS_SERVER_EPOCH_H_
+#define EXCESS_SERVER_EPOCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "excess/ast.h"
+#include "excess/session.h"
+#include "methods/registry.h"
+#include "objects/database.h"
+
+namespace excess {
+namespace server {
+
+/// One committed epoch of the database, captured copy-on-write: the
+/// structural maps (catalog definitions, store image, named bindings,
+/// range declarations, method table) are copied, while every value graph,
+/// schema, and parse tree is shared by pointer — all immutable once
+/// published, so readers on other threads dereference them freely. This is
+/// the PR 5 snapshot represented in memory instead of on disk.
+struct EpochSnapshot {
+  uint64_t epoch = 0;
+  std::vector<Catalog::TypeDef> types;
+  ObjectStore::StoreDump store;
+  std::vector<NamedObject> named;
+  std::vector<std::pair<std::string, ExprAstPtr>> ranges;
+  MethodRegistry::MethodMap methods;
+};
+
+/// Captures the writer's committed state as epoch `epoch`. Must run with
+/// the writer quiesced (the server holds its writer mutex): the capture
+/// reads the live maps.
+std::shared_ptr<const EpochSnapshot> CaptureEpoch(uint64_t epoch,
+                                                  const Database& db,
+                                                  const Session& writer,
+                                                  const MethodRegistry& methods);
+
+/// Rebuilds a private, fully functional database from a snapshot: catalog
+/// definitions replayed, store restored, named bindings re-created (values
+/// shared), methods restored. `db` and `methods` must be freshly
+/// constructed; `ranges` receives the epoch's range declarations for
+/// Session::set_ranges. Reader workers call this once per epoch change and
+/// then serve any number of queries from the clone — queries may intern
+/// fresh REFs or warm caches without synchronizing with anyone.
+Status MaterializeEpoch(const EpochSnapshot& snap, Database* db,
+                        MethodRegistry* methods,
+                        std::vector<std::pair<std::string, ExprAstPtr>>* ranges);
+
+}  // namespace server
+}  // namespace excess
+
+#endif  // EXCESS_SERVER_EPOCH_H_

@@ -1,0 +1,82 @@
+// excess_serverd: the EXCESS session server daemon.
+//
+// Knobs (all environment variables; flags deliberately avoided so the
+// daemon, the tests, and CI configure it the same way):
+//   EXCESS_SERVER_SOCKET    unix-domain socket path (default
+//                           /tmp/excess.sock when no port is set)
+//   EXCESS_SERVER_PORT      TCP port on 127.0.0.1 (0 = ephemeral)
+//   EXCESS_SERVER_WORKERS   worker pool size (default: hardware threads)
+//   EXCESS_SERVER_QUEUE     admission queue capacity (default: 4x workers)
+//   EXCESS_SERVER_GRACE_MS  drain grace on SIGTERM/shutdown (default 5000)
+//   EXCESS_DB_PATH          durable database directory (optional)
+//
+// SIGTERM / SIGINT / a client shutdown opcode all trigger the same
+// graceful drain: stop accepting, finish or cancel in-flight requests
+// within the grace deadline, checkpoint, exit 0.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "server/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void OnSignal(int sig) { g_signal = sig; }
+
+long EnvLong(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtol(v, nullptr, 10);
+}
+
+}  // namespace
+
+int main() {
+  using excess::server::Server;
+  using excess::server::ServerOptions;
+
+  ServerOptions opts;
+  const char* sock = std::getenv("EXCESS_SERVER_SOCKET");
+  long port = EnvLong("EXCESS_SERVER_PORT", -1);
+  opts.unix_path = sock != nullptr ? sock : "";
+  opts.tcp_port = static_cast<int>(port);
+  if (opts.unix_path.empty() && opts.tcp_port < 0) {
+    opts.unix_path = "/tmp/excess.sock";
+  }
+  opts.workers = static_cast<int>(EnvLong("EXCESS_SERVER_WORKERS", 0));
+  opts.queue_capacity = static_cast<int>(EnvLong("EXCESS_SERVER_QUEUE", 0));
+  const char* db = std::getenv("EXCESS_DB_PATH");
+  if (db != nullptr) opts.db_path = db;
+  uint32_t grace_ms =
+      static_cast<uint32_t>(EnvLong("EXCESS_SERVER_GRACE_MS", 5'000));
+
+  Server server(opts);
+  excess::Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "excess_serverd: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  if (!server.unix_path().empty()) {
+    std::fprintf(stderr, "excess_serverd: listening on %s\n",
+                 server.unix_path().c_str());
+  }
+  if (server.tcp_port() >= 0) {
+    std::fprintf(stderr, "excess_serverd: listening on 127.0.0.1:%d\n",
+                 server.tcp_port());
+  }
+
+  while (g_signal == 0) {
+    if (server.WaitForShutdownRequest(/*timeout_ms=*/200)) break;
+  }
+  std::fprintf(stderr, "excess_serverd: draining (grace %u ms)\n", grace_ms);
+  server.Shutdown(grace_ms);
+  return 0;
+}

@@ -1,0 +1,640 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "excess/parser.h"
+#include "obs/metrics.h"
+#include "util/string_util.h"
+
+namespace excess {
+namespace server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Statements a wire client may not issue. `open` rebinds the whole
+/// process to a different file and `begin`/`commit`/`rollback` would pin
+/// the single writer session to one connection across requests — both are
+/// embedded-session features, rejected with a typed error instead of
+/// half-working.
+Status WireStatementAllowed(const Statement& s) {
+  switch (s.kind) {
+    case Statement::Kind::kOpen:
+      return Status::Unsupported(
+          "open is not available over the wire; configure the server's "
+          "db_path instead");
+    case Statement::Kind::kBegin:
+    case Statement::Kind::kCommit:
+    case Statement::Kind::kRollback:
+      return Status::Unsupported(
+          "transactions are not yet available over the wire");
+    default:
+      return Status::OK();
+  }
+}
+
+/// Routing: writes serialize through the writer session (and publish a new
+/// epoch); everything else runs on a reader's epoch clone. `explain` —
+/// even `explain analyze` of a mutation — is a read: it evaluates but
+/// never commits, so a private clone absorbs it.
+bool StatementIsWrite(const Statement& s) {
+  switch (s.kind) {
+    case Statement::Kind::kRetrieve:
+      return !s.retrieve->into.empty();
+    case Statement::Kind::kExplain:
+      return false;
+    default:
+      return true;
+  }
+}
+
+obs::Counter* Counter(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name);
+}
+
+}  // namespace
+
+Server::Server(ServerOptions opts)
+    : opts_(std::move(opts)),
+      methods_(&db_.catalog()),
+      writer_(&db_, &methods_) {}
+
+Server::~Server() { Shutdown(); }
+
+std::string Server::RenderResult(const ValuePtr& v) {
+  if (v == nullptr) return std::string();
+  // EXPLAIN returns its report as a string value; ship the raw text, not a
+  // quoted literal.
+  if (v->kind() == ValueKind::kString) return v->as_string();
+  return v->ToString();
+}
+
+Status Server::BindListeners() {
+  if (opts_.unix_path.empty() && opts_.tcp_port < 0) {
+    return Status::Invalid("no listener configured (unix_path or tcp_port)");
+  }
+  if (!opts_.unix_path.empty()) {
+    sockaddr_un addr;
+    if (opts_.unix_path.size() >= sizeof(addr.sun_path)) {
+      return Status::Invalid(StrCat("unix socket path too long: ",
+                                    opts_.unix_path));
+    }
+    unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (unix_fd_ < 0) {
+      return Status::Unavailable(StrCat("socket: ", std::strerror(errno)));
+    }
+    ::unlink(opts_.unix_path.c_str());
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, opts_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::bind(unix_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+            0 ||
+        ::listen(unix_fd_, 128) < 0) {
+      return Status::Unavailable(StrCat("bind/listen ", opts_.unix_path, ": ",
+                                        std::strerror(errno)));
+    }
+  }
+  if (opts_.tcp_port >= 0) {
+    tcp_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (tcp_fd_ < 0) {
+      return Status::Unavailable(StrCat("socket: ", std::strerror(errno)));
+    }
+    int one = 1;
+    ::setsockopt(tcp_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(opts_.tcp_port));
+    if (::bind(tcp_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+            0 ||
+        ::listen(tcp_fd_, 128) < 0) {
+      return Status::Unavailable(StrCat("bind/listen 127.0.0.1:",
+                                        opts_.tcp_port, ": ",
+                                        std::strerror(errno)));
+    }
+    socklen_t len = sizeof(addr);
+    if (::getsockname(tcp_fd_, reinterpret_cast<sockaddr*>(&addr), &len) ==
+        0) {
+      tcp_port_ = static_cast<int>(ntohs(addr.sin_port));
+    }
+  }
+  return Status::OK();
+}
+
+Status Server::Start() {
+  {
+    std::lock_guard<std::mutex> l(lifecycle_mu_);
+    if (started_) return Status::Invalid("server already started");
+  }
+  if (opts_.workers <= 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    opts_.workers = std::max(2, static_cast<int>(hw));
+  }
+  if (opts_.queue_capacity <= 0) opts_.queue_capacity = 4 * opts_.workers;
+  if (!opts_.db_path.empty()) {
+    std::lock_guard<std::mutex> wl(writer_mu_);
+    EXA_RETURN_NOT_OK(writer_.OpenStorage(opts_.db_path));
+  }
+  {
+    // Epoch 1 (or the next after bootstrap ExecuteLocal calls): readers
+    // always have a committed state to clone, even on an empty database.
+    std::lock_guard<std::mutex> wl(writer_mu_);
+    PublishEpochLocked();
+  }
+  EXA_RETURN_NOT_OK(BindListeners());
+  if (::pipe(wake_pipe_) != 0) {
+    return Status::Unavailable(StrCat("pipe: ", std::strerror(errno)));
+  }
+  workers_.reserve(static_cast<size_t>(opts_.workers));
+  for (int w = 0; w < opts_.workers; ++w) {
+    workers_.emplace_back(&Server::WorkerLoop, this);
+  }
+  accept_thread_ = std::thread(&Server::AcceptLoop, this);
+  {
+    std::lock_guard<std::mutex> l(lifecycle_mu_);
+    started_ = true;
+  }
+  return Status::OK();
+}
+
+void Server::PublishEpochLocked() {
+  uint64_t next = epoch_num_.load(std::memory_order_relaxed) + 1;
+  auto snap = CaptureEpoch(next, db_, writer_, methods_);
+  {
+    std::unique_lock<std::shared_mutex> l(epoch_mu_);
+    epoch_snap_ = std::move(snap);
+  }
+  epoch_num_.store(next, std::memory_order_release);
+}
+
+Result<std::string> Server::ExecuteLocal(const std::string& source) {
+  EXA_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(source));
+  EXA_RETURN_NOT_OK(WireStatementAllowed(stmt));
+  std::lock_guard<std::mutex> wl(writer_mu_);
+  writer_.set_limits(ExecLimits::FromEnv());
+  writer_.set_cancel_token(nullptr);
+  auto r = writer_.ExecuteStatement(stmt);
+  if (!r.ok()) return r.status();
+  PublishEpochLocked();
+  return RenderResult(*r);
+}
+
+Status Server::RefreshReader(ReaderCtx* ctx) {
+  uint64_t cur = epoch_num_.load(std::memory_order_acquire);
+  if (ctx->db != nullptr && ctx->epoch == cur) return Status::OK();
+  std::shared_ptr<const EpochSnapshot> snap;
+  {
+    std::shared_lock<std::shared_mutex> l(epoch_mu_);
+    snap = epoch_snap_;
+  }
+  if (snap == nullptr) return Status::Internal("no epoch published yet");
+  auto db = std::make_unique<Database>();
+  auto methods = std::make_unique<MethodRegistry>(&db->catalog());
+  std::vector<std::pair<std::string, ExprAstPtr>> ranges;
+  EXA_RETURN_NOT_OK(MaterializeEpoch(*snap, db.get(), methods.get(),
+                                     &ranges));
+  ctx->db = std::move(db);
+  ctx->methods = std::move(methods);
+  ctx->ranges = std::move(ranges);
+  ctx->epoch = snap->epoch;
+  return Status::OK();
+}
+
+void Server::ExecuteJob(Job* job, ReaderCtx* ctx) {
+  Status st = Status::OK();
+  std::string result;
+  uint64_t served = 0;
+  if (job->is_write) {
+    std::lock_guard<std::mutex> wl(writer_mu_);
+    writer_.set_limits(job->limits);
+    writer_.set_cancel_token(job->cancel);
+    auto r = writer_.ExecuteStatement(job->stmt);
+    // A cancelled request must never poison the next writer statement.
+    writer_.set_cancel_token(nullptr);
+    if (r.ok()) {
+      PublishEpochLocked();
+      result = RenderResult(*r);
+    } else {
+      st = r.status();
+    }
+    served = epoch_num_.load(std::memory_order_relaxed);
+    Counter("server.requests.write")->Increment();
+  } else {
+    st = RefreshReader(ctx);
+    if (st.ok()) {
+      Session::Options so;
+      so.limits = job->limits;
+      so.cancel = job->cancel;
+      so.env_autoopen = false;
+      Session reader(ctx->db.get(), ctx->methods.get(), so);
+      reader.set_ranges(ctx->ranges);
+      auto r = reader.ExecuteStatement(job->stmt);
+      if (r.ok()) {
+        result = RenderResult(*r);
+      } else {
+        st = r.status();
+      }
+    }
+    served = ctx->epoch;
+    Counter("server.requests.read")->Increment();
+  }
+  {
+    std::lock_guard<std::mutex> jl(job->mu);
+    if (!job->abandoned) {
+      job->status = std::move(st);
+      job->result = std::move(result);
+      job->served_epoch = served;
+    }
+    job->done = true;
+  }
+  job->cv.notify_all();
+}
+
+void Server::WorkerLoop() {
+  ReaderCtx ctx;
+  static obs::Histogram* exec_us =
+      obs::MetricsRegistry::Global().GetHistogram("server.exec_us");
+  for (;;) {
+    JobPtr job;
+    {
+      std::unique_lock<std::mutex> l(queue_mu_);
+      queue_cv_.wait(l, [&] { return stop_workers_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_workers_ and fully drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    inflight_jobs_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t idx = dequeue_counter_.fetch_add(1, std::memory_order_relaxed);
+    if (opts_.hooks != nullptr) opts_.hooks->OnJobStart(idx);
+    bool skip;
+    {
+      std::lock_guard<std::mutex> jl(job->mu);
+      skip = job->abandoned;
+    }
+    auto t0 = Clock::now();
+    if (skip) {
+      std::lock_guard<std::mutex> jl(job->mu);
+      job->done = true;
+    } else {
+      ExecuteJob(job.get(), &ctx);
+      int64_t us = std::chrono::duration_cast<std::chrono::microseconds>(
+                       Clock::now() - t0)
+                       .count();
+      exec_us->Observe(us);
+      // EMA feeding the shed retry-after hint; precision is irrelevant,
+      // only the order of magnitude.
+      int64_t ema = ema_exec_us_.load(std::memory_order_relaxed);
+      ema_exec_us_.store(ema - ema / 8 + us / 8, std::memory_order_relaxed);
+      Counter("server.requests.executed")->Increment();
+    }
+    job->cv.notify_all();
+    {
+      std::lock_guard<std::mutex> t(tokens_mu_);
+      live_tokens_.erase(job.get());
+    }
+    inflight_jobs_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+bool Server::TryEnqueue(const JobPtr& job, uint32_t* retry_after_ms) {
+  {
+    std::lock_guard<std::mutex> l(queue_mu_);
+    if (draining_.load(std::memory_order_relaxed) || stop_workers_) {
+      *retry_after_ms = 1'000;
+      return false;
+    }
+    if (queue_.size() >= static_cast<size_t>(opts_.queue_capacity)) {
+      // Retry-after hint: expected time for the backlog to clear through
+      // the pool at the recent per-statement cost.
+      int64_t ema = ema_exec_us_.load(std::memory_order_relaxed);
+      int64_t hint_ms = ema * static_cast<int64_t>(queue_.size() + 1) /
+                        std::max(1, opts_.workers) / 1'000;
+      *retry_after_ms = static_cast<uint32_t>(
+          std::clamp<int64_t>(hint_ms, 1, 10'000));
+      return false;
+    }
+    queue_.push_back(job);
+    obs::MetricsRegistry::Global().GetHistogram("server.queue.depth")
+        ->Observe(static_cast<int64_t>(queue_.size()));
+  }
+  {
+    std::lock_guard<std::mutex> t(tokens_mu_);
+    live_tokens_[job.get()] = job->cancel;
+  }
+  queue_cv_.notify_one();
+  return true;
+}
+
+Response Server::AwaitJob(int fd, const JobPtr& job, uint32_t deadline_ms,
+                          bool* close_conn) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(deadline_ms);
+  bool cancelled = false;
+  bool client_dead = false;
+  Clock::time_point cancel_at{};
+  std::unique_lock<std::mutex> jl(job->mu);
+  while (!job->done) {
+    job->cv.wait_for(jl, std::chrono::milliseconds(20));
+    if (job->done) break;
+    auto now = Clock::now();
+    if (!client_dead) {
+      jl.unlock();
+      bool dead = PeerClosed(fd);
+      jl.lock();
+      if (job->done) break;
+      if (dead) {
+        client_dead = true;
+        if (!cancelled) {
+          job->cancel->Cancel();
+          cancelled = true;
+          cancel_at = now;
+          Counter("server.cancelled.dead_client")->Increment();
+        }
+      }
+    }
+    if (!cancelled && now >= deadline) {
+      // Backstop for time not covered by governor checkpoints (a stalled
+      // worker, a job still queued): the token fires here even though the
+      // governor usually trips its own deadline first.
+      job->cancel->Cancel();
+      cancelled = true;
+      cancel_at = now;
+      Counter("server.cancelled.deadline")->Increment();
+    }
+    if (cancelled &&
+        now >= cancel_at + std::chrono::milliseconds(opts_.cancel_grace_ms)) {
+      // The worker did not surface within the grace period — abandon the
+      // job (the worker will discard its late result) and answer with an
+      // unknown-outcome timeout so the client is never left hanging.
+      job->abandoned = true;
+      break;
+    }
+  }
+  Response resp;
+  if (job->done && !job->abandoned) {
+    resp.code = job->status.code();
+    resp.message = job->status.message();
+    resp.result = std::move(job->result);
+    resp.epoch = job->served_epoch;
+    *close_conn = client_dead;
+  } else {
+    resp.code = StatusCode::kDeadlineExceeded;
+    resp.message =
+        "request abandoned after deadline + grace; outcome unknown";
+    resp.epoch = epoch_num_.load(std::memory_order_relaxed);
+    *close_conn = true;
+    Counter("server.jobs.abandoned")->Increment();
+  }
+  return resp;
+}
+
+void Server::ConnectionLoop(int fd, uint64_t conn_id) {
+  Counter("server.connections.accepted")->Increment();
+  const int read_timeout =
+      opts_.idle_timeout_ms > 0 ? opts_.idle_timeout_ms : -1;
+  bool close_conn = false;
+  while (!stopping_.load(std::memory_order_relaxed) && !close_conn) {
+    auto payload = ReadFrame(fd, read_timeout);
+    if (!payload.ok()) {
+      // Unavailable = clean close between frames; Invalid = torn frame or
+      // oversized length; DeadlineExceeded = idle/stall timeout. None of
+      // them is answerable — the framing is gone — so the connection ends.
+      if (payload.status().code() == StatusCode::kInvalid) {
+        Counter("server.requests.malformed")->Increment();
+      }
+      break;
+    }
+    auto req = DecodeRequest(*payload);
+    Response resp;
+    if (!req.ok()) {
+      Counter("server.requests.malformed")->Increment();
+      resp.code = StatusCode::kInvalid;
+      resp.message = req.status().message();
+      (void)WriteFrame(fd, EncodeResponse(resp), opts_.frame_timeout_ms);
+      break;  // framing discipline is broken; drop the connection
+    }
+    if (req->opcode == Opcode::kPing) {
+      resp.epoch = epoch();
+      if (!WriteFrame(fd, EncodeResponse(resp), opts_.frame_timeout_ms).ok())
+        break;
+      continue;
+    }
+    if (req->opcode == Opcode::kShutdown) {
+      RequestShutdown();
+      resp.epoch = epoch();
+      (void)WriteFrame(fd, EncodeResponse(resp), opts_.frame_timeout_ms);
+      continue;
+    }
+    if (draining_.load(std::memory_order_relaxed)) {
+      resp.code = StatusCode::kUnavailable;
+      resp.message = "server draining";
+      resp.retry_after_ms = 1'000;
+      (void)WriteFrame(fd, EncodeResponse(resp), opts_.frame_timeout_ms);
+      continue;
+    }
+    // Parse and classify on the connection thread: parse errors and
+    // unsupported statements never consume a worker slot or a queue spot.
+    auto parsed = ParseStatement(req->statement);
+    if (!parsed.ok()) {
+      resp.code = parsed.status().code();
+      resp.message = parsed.status().message();
+      if (!WriteFrame(fd, EncodeResponse(resp), opts_.frame_timeout_ms).ok())
+        break;
+      continue;
+    }
+    Status allowed = WireStatementAllowed(*parsed);
+    if (!allowed.ok()) {
+      resp.code = allowed.code();
+      resp.message = allowed.message();
+      if (!WriteFrame(fd, EncodeResponse(resp), opts_.frame_timeout_ms).ok())
+        break;
+      continue;
+    }
+    auto job = std::make_shared<Job>();
+    job->stmt = std::move(*parsed);
+    job->is_write = StatementIsWrite(job->stmt);
+    uint32_t deadline_ms =
+        req->deadline_ms == 0 ? opts_.default_deadline_ms : req->deadline_ms;
+    if (opts_.max_deadline_ms > 0) {
+      deadline_ms = std::min(deadline_ms, opts_.max_deadline_ms);
+    }
+    job->limits = opts_.base_limits;
+    job->limits.deadline_ms = static_cast<int64_t>(deadline_ms);
+    if (req->max_bytes > 0) {
+      job->limits.max_bytes = static_cast<int64_t>(req->max_bytes);
+    }
+    if (req->max_occurrences > 0) {
+      job->limits.max_occurrences = static_cast<int64_t>(req->max_occurrences);
+    }
+    job->cancel = std::make_shared<CancelToken>();
+    uint32_t retry_after = 0;
+    if (!TryEnqueue(job, &retry_after)) {
+      Counter("server.requests.shed")->Increment();
+      resp.code = StatusCode::kResourceExhausted;
+      resp.message = "admission queue full";
+      resp.retry_after_ms = retry_after;
+      if (!WriteFrame(fd, EncodeResponse(resp), opts_.frame_timeout_ms).ok())
+        break;
+      continue;
+    }
+    resp = AwaitJob(fd, job, deadline_ms, &close_conn);
+    if (!WriteFrame(fd, EncodeResponse(resp), opts_.frame_timeout_ms).ok()) {
+      close_conn = true;
+    }
+  }
+  ::close(fd);
+  {
+    std::lock_guard<std::mutex> l(conns_mu_);
+    conn_fds_.erase(conn_id);
+  }
+  conns_cv_.notify_all();
+  Counter("server.connections.closed")->Increment();
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    struct pollfd fds[3];
+    int n = 0;
+    fds[n].fd = wake_pipe_[0];
+    fds[n].events = POLLIN;
+    fds[n].revents = 0;
+    ++n;
+    int unix_idx = -1;
+    int tcp_idx = -1;
+    if (unix_fd_ >= 0) {
+      unix_idx = n;
+      fds[n] = {unix_fd_, POLLIN, 0};
+      ++n;
+    }
+    if (tcp_fd_ >= 0) {
+      tcp_idx = n;
+      fds[n] = {tcp_fd_, POLLIN, 0};
+      ++n;
+    }
+    int r = ::poll(fds, static_cast<nfds_t>(n), -1);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[0].revents & POLLIN) != 0) break;  // shutdown wake
+    for (int idx : {unix_idx, tcp_idx}) {
+      if (idx < 0 || (fds[idx].revents & POLLIN) == 0) continue;
+      int cfd = ::accept(fds[idx].fd, nullptr, nullptr);
+      if (cfd < 0) continue;
+      if (draining_.load(std::memory_order_relaxed)) {
+        ::close(cfd);
+        continue;
+      }
+      if (idx == tcp_idx) {
+        int one = 1;
+        ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      }
+      std::lock_guard<std::mutex> l(conns_mu_);
+      uint64_t id = next_conn_id_++;
+      conn_fds_[id] = cfd;
+      conn_threads_.emplace_back(&Server::ConnectionLoop, this, cfd, id);
+    }
+  }
+  if (unix_fd_ >= 0) {
+    ::close(unix_fd_);
+    ::unlink(opts_.unix_path.c_str());
+    unix_fd_ = -1;
+  }
+  if (tcp_fd_ >= 0) {
+    ::close(tcp_fd_);
+    tcp_fd_ = -1;
+  }
+}
+
+void Server::RequestShutdown() {
+  std::lock_guard<std::mutex> l(lifecycle_mu_);
+  shutdown_requested_ = true;
+  lifecycle_cv_.notify_all();
+}
+
+bool Server::WaitForShutdownRequest(int timeout_ms) {
+  std::unique_lock<std::mutex> l(lifecycle_mu_);
+  lifecycle_cv_.wait_for(l, std::chrono::milliseconds(timeout_ms),
+                         [&] { return shutdown_requested_; });
+  return shutdown_requested_;
+}
+
+void Server::Shutdown(uint32_t grace_ms) {
+  {
+    std::lock_guard<std::mutex> l(lifecycle_mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    if (!started_) return;  // nothing bound, nothing to join
+  }
+  Counter("server.drains")->Increment();
+  // 1. Stop accepting: reject at the door, wake + join the accept loop
+  //    (which closes and unlinks the listeners).
+  draining_.store(true, std::memory_order_relaxed);
+  (void)!::write(wake_pipe_[1], "x", 1);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // 2. Give queued and in-flight requests the grace period to finish.
+  const auto grace_deadline =
+      Clock::now() + std::chrono::milliseconds(grace_ms);
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> l(queue_mu_);
+      if (queue_.empty() &&
+          inflight_jobs_.load(std::memory_order_relaxed) == 0) {
+        break;
+      }
+    }
+    if (Clock::now() >= grace_deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  // 3. Cancel stragglers; with every live token fired, queued jobs clear
+  //    in microseconds (sessions refuse cancelled statements on entry), so
+  //    the workers can drain the queue and exit.
+  {
+    std::lock_guard<std::mutex> t(tokens_mu_);
+    for (auto& [job, token] : live_tokens_) token->Cancel();
+  }
+  {
+    std::lock_guard<std::mutex> l(queue_mu_);
+    stop_workers_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  // 4. Close every connection: conn loops wake from their reads and exit.
+  stopping_.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> l(conns_mu_);
+    for (auto& [id, fd] : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  {
+    std::unique_lock<std::mutex> l(conns_mu_);
+    conns_cv_.wait_for(l, std::chrono::seconds(10),
+                       [&] { return conn_fds_.empty(); });
+  }
+  for (auto& t : conn_threads_) t.join();
+  // 5. Fold the WAL into a fresh snapshot so restart replays nothing.
+  {
+    std::lock_guard<std::mutex> wl(writer_mu_);
+    if (writer_.has_storage()) (void)writer_.Checkpoint();
+  }
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
+}
+
+}  // namespace server
+}  // namespace excess

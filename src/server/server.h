@@ -1,0 +1,236 @@
+#ifndef EXCESS_SERVER_SERVER_H_
+#define EXCESS_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/governor.h"
+#include "excess/session.h"
+#include "methods/registry.h"
+#include "objects/database.h"
+#include "server/epoch.h"
+#include "server/wire.h"
+#include "util/status.h"
+
+namespace excess {
+namespace server {
+
+/// Deterministic fault seam for the robustness sweeps. Production servers
+/// never install hooks; every call site costs one null check. Client-side
+/// faults (dropped connections, torn frames, death mid-query) need no seam
+/// — the tests inject them through real sockets.
+class ServerHooks {
+ public:
+  virtual ~ServerHooks() = default;
+  /// Called by a worker after dequeuing the `idx`-th job (0-based, global
+  /// dequeue order), before execution. Tests stall workers here.
+  virtual void OnJobStart(uint64_t idx) { (void)idx; }
+};
+
+struct ServerOptions {
+  /// Unix-domain listener path ("" = no unix listener). Unlinked on bind
+  /// and again at shutdown.
+  std::string unix_path;
+  /// TCP listener on 127.0.0.1 (-1 = no TCP listener, 0 = ephemeral port;
+  /// read the bound port back with tcp_port()).
+  int tcp_port = -1;
+  /// Worker pool size; 0 = max(2, hardware_concurrency).
+  int workers = 0;
+  /// Admission-queue bound; 0 = 4 * workers. A full queue sheds new
+  /// statements with kResourceExhausted + a retry-after hint instead of
+  /// accepting work the pool cannot finish.
+  int queue_capacity = 0;
+  /// Per-request wall-clock budget applied when the request carries none,
+  /// and the hard ceiling a request cannot exceed.
+  uint32_t default_deadline_ms = 10'000;
+  uint32_t max_deadline_ms = 60'000;
+  /// Base per-request budgets; a request's own max_bytes/max_occurrences
+  /// override these fields when nonzero (never the deadline ceiling).
+  ExecLimits base_limits;
+  /// Optional durable database attached to the writer session at Start()
+  /// (crash recovery + WAL exactly as `open` would).
+  std::string db_path;
+  /// Max silence mid-frame and max time a response write may stall before
+  /// the connection is dropped (slow/dead-client protection).
+  int frame_timeout_ms = 5'000;
+  /// Max idle time between requests; 0 disables the idle timeout.
+  int idle_timeout_ms = 60'000;
+  /// After a request's deadline lapses its CancelToken fires; the
+  /// connection waits this much longer for the worker to surface before
+  /// abandoning the job (the worker discards the late result).
+  uint32_t cancel_grace_ms = 2'000;
+  ServerHooks* hooks = nullptr;
+};
+
+/// A concurrent session server over the EXCESS engine.
+///
+/// Concurrency model: one writer, many readers.
+///  - Write statements (create / define / append / delete / retrieve into /
+///    range / define function / checkpoint) serialize through the single
+///    writer Session — WAL, transactions-free commit protocol, and crash
+///    recovery exactly as in-process use — and each committed write
+///    publishes a new EpochSnapshot under the shared_mutex.
+///  - Read statements (retrieve / explain) run on the worker's private
+///    copy-on-write clone of the newest published epoch, so readers never
+///    block the writer, never block each other, and always observe a
+///    consistent committed epoch (reported back as `epoch` on the wire).
+///
+/// Robustness: bounded admission queue with kResourceExhausted shedding,
+/// per-request deadlines propagated into ExecLimits, slow/dead clients
+/// timed out and their queries cancelled via CancelToken, and a graceful
+/// drain that stops accepting, finishes or cancels in-flight work within a
+/// grace deadline, and checkpoints durable state.
+class Server {
+ public:
+  explicit Server(ServerOptions opts);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds listeners, attaches storage (db_path), publishes epoch 1, and
+  /// spawns the worker pool + accept loop.
+  Status Start();
+
+  /// Graceful drain: stop accepting, let queued and in-flight requests
+  /// finish for up to `grace_ms`, then cancel stragglers; close every
+  /// connection, checkpoint durable state, join all threads. Idempotent.
+  void Shutdown(uint32_t grace_ms = 5'000);
+
+  /// Executes one statement directly on the writer session (bootstrap
+  /// seeding, admin). Publishes a new epoch on success like any write.
+  /// Usable before Start() and until Shutdown().
+  Result<std::string> ExecuteLocal(const std::string& source);
+
+  /// Blocks until a client sends the shutdown opcode (or `timeout_ms`
+  /// passes); true when a drain was requested. The embedding main loop
+  /// calls Shutdown() itself — the opcode only signals.
+  bool WaitForShutdownRequest(int timeout_ms);
+
+  /// Bound TCP port (after Start() with tcp_port >= 0), else -1.
+  int tcp_port() const { return tcp_port_; }
+  const std::string& unix_path() const { return opts_.unix_path; }
+
+  /// Newest committed epoch.
+  uint64_t epoch() const {
+    return epoch_num_.load(std::memory_order_acquire);
+  }
+
+  /// The writer session's recovery report from Start() (db_path set).
+  const storage::RecoveryInfo& last_recovery() const {
+    return writer_.last_recovery();
+  }
+
+ private:
+  /// One queued statement. The connection thread owns the socket and the
+  /// response; the worker only fills in the outcome — so a stalled worker
+  /// can never wedge the network path, and an abandoned connection can
+  /// never make a worker write to a dead socket.
+  struct Job {
+    Statement stmt;
+    bool is_write = false;
+    ExecLimits limits;
+    CancelTokenPtr cancel;
+
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    bool abandoned = false;  // connection gave up; discard the result
+    Status status;
+    std::string result;
+    uint64_t served_epoch = 0;
+  };
+  using JobPtr = std::shared_ptr<Job>;
+
+  /// Per-worker reader state: a private clone of the newest epoch,
+  /// refreshed only when the epoch number moves.
+  struct ReaderCtx {
+    uint64_t epoch = 0;
+    std::unique_ptr<Database> db;
+    std::unique_ptr<MethodRegistry> methods;
+    std::vector<std::pair<std::string, ExprAstPtr>> ranges;
+  };
+
+  Status BindListeners();
+  void AcceptLoop();
+  void ConnectionLoop(int fd, uint64_t conn_id);
+  void WorkerLoop();
+  void ExecuteJob(Job* job, ReaderCtx* ctx);
+  Status RefreshReader(ReaderCtx* ctx);
+  /// Publishes the current writer state as the next epoch. Caller holds
+  /// writer_mu_.
+  void PublishEpochLocked();
+  /// Admission control: true when enqueued, false when shed (queue full or
+  /// draining); fills the retry-after hint on shed.
+  bool TryEnqueue(const JobPtr& job, uint32_t* retry_after_ms);
+  /// Waits for `job` on behalf of connection `fd`: completion, client
+  /// death (cancels), deadline + grace (cancels, then abandons). Returns
+  /// the response to send and whether the connection must close after it.
+  Response AwaitJob(int fd, const JobPtr& job, uint32_t deadline_ms,
+                    bool* close_conn);
+  void RequestShutdown();
+  static std::string RenderResult(const ValuePtr& v);
+
+  ServerOptions opts_;
+
+  // Authoritative writer state. writer_mu_ serializes every mutation and
+  // epoch publication.
+  Database db_;
+  MethodRegistry methods_;
+  Session writer_;
+  std::mutex writer_mu_;
+
+  // Published epoch: shared_mutex-guarded pointer swap plus an atomic
+  // number for cheap staleness checks off the lock.
+  mutable std::shared_mutex epoch_mu_;
+  std::shared_ptr<const EpochSnapshot> epoch_snap_;
+  std::atomic<uint64_t> epoch_num_{0};
+
+  // Admission queue.
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<JobPtr> queue_;
+  bool stop_workers_ = false;
+  std::atomic<int> inflight_jobs_{0};
+  std::atomic<int64_t> ema_exec_us_{2'000};
+  std::atomic<uint64_t> dequeue_counter_{0};
+
+  // Cancellation fan-out for drain: every admitted job's token, removed on
+  // completion.
+  std::mutex tokens_mu_;
+  std::unordered_map<Job*, CancelTokenPtr> live_tokens_;
+
+  // Listeners, connections, threads.
+  int unix_fd_ = -1;
+  int tcp_fd_ = -1;
+  int tcp_port_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::mutex conns_mu_;
+  std::unordered_map<uint64_t, int> conn_fds_;
+  std::vector<std::thread> conn_threads_;
+  std::condition_variable conns_cv_;
+  uint64_t next_conn_id_ = 0;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopping_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+  std::mutex lifecycle_mu_;
+  std::condition_variable lifecycle_cv_;
+  bool shutdown_requested_ = false;
+};
+
+}  // namespace server
+}  // namespace excess
+
+#endif  // EXCESS_SERVER_SERVER_H_

@@ -1,0 +1,230 @@
+#include "server/wire.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace excess {
+namespace server {
+
+namespace {
+
+void PutU8(std::string* out, uint8_t v) { out->push_back(static_cast<char>(v)); }
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+/// Strict little-endian reader over a payload; any read past the end trips
+/// the `ok` flag and every later read returns 0.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  uint8_t U8() { return static_cast<uint8_t>(Byte()); }
+  uint32_t U32() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(Byte()) << (8 * i);
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(Byte()) << (8 * i);
+    return v;
+  }
+  std::string Bytes(uint32_t n) {
+    if (pos_ + n > data_.size()) {
+      ok_ = false;
+      pos_ = data_.size();
+      return std::string();
+    }
+    std::string out(data_.substr(pos_, n));
+    pos_ += n;
+    return out;
+  }
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  uint8_t Byte() {
+    if (pos_ >= data_.size()) {
+      ok_ = false;
+      return 0;
+    }
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// Polls `fd` for `events`; OK when ready, kDeadlineExceeded on timeout,
+/// kUnavailable on error/hangup-with-nothing-to-do.
+Status PollFor(int fd, short events, int timeout_ms) {
+  struct pollfd p;
+  p.fd = fd;
+  p.events = events;
+  p.revents = 0;
+  int r;
+  do {
+    r = ::poll(&p, 1, timeout_ms);
+  } while (r < 0 && errno == EINTR);
+  if (r == 0) return Status::DeadlineExceeded("peer silent past timeout");
+  if (r < 0) return Status::Unavailable(StrCat("poll: ", std::strerror(errno)));
+  if ((p.revents & (events | POLLHUP | POLLERR)) == 0) {
+    return Status::Unavailable("poll: unexpected event");
+  }
+  return Status::OK();
+}
+
+/// Reads exactly `n` bytes. `any_read` distinguishes a clean close between
+/// frames (kUnavailable) from a torn frame (kInvalid).
+Status ReadExact(int fd, char* buf, size_t n, int timeout_ms, bool* any_read) {
+  size_t got = 0;
+  while (got < n) {
+    EXA_RETURN_NOT_OK(PollFor(fd, POLLIN, timeout_ms));
+    ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r == 0) {
+      if (got == 0 && !*any_read) {
+        return Status::Unavailable("connection closed");
+      }
+      return Status::Invalid("torn frame: peer closed mid-message");
+    }
+    if (r < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Status::Unavailable(StrCat("recv: ", std::strerror(errno)));
+    }
+    got += static_cast<size_t>(r);
+    *any_read = true;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeRequest(const Request& req) {
+  std::string out;
+  out.reserve(21 + 4 + req.statement.size());
+  PutU8(&out, static_cast<uint8_t>(req.opcode));
+  PutU32(&out, req.deadline_ms);
+  PutU64(&out, req.max_bytes);
+  PutU64(&out, req.max_occurrences);
+  PutU32(&out, static_cast<uint32_t>(req.statement.size()));
+  out += req.statement;
+  return out;
+}
+
+Result<Request> DecodeRequest(std::string_view payload) {
+  Reader r(payload);
+  Request req;
+  uint8_t op = r.U8();
+  if (op < 1 || op > 3) {
+    return Status::Invalid(StrCat("unknown opcode ", op));
+  }
+  req.opcode = static_cast<Opcode>(op);
+  req.deadline_ms = r.U32();
+  req.max_bytes = r.U64();
+  req.max_occurrences = r.U64();
+  uint32_t len = r.U32();
+  req.statement = r.Bytes(len);
+  if (!r.ok() || !r.AtEnd()) {
+    return Status::Invalid("malformed request payload");
+  }
+  return req;
+}
+
+std::string EncodeResponse(const Response& resp) {
+  std::string out;
+  out.reserve(21 + resp.message.size() + resp.result.size());
+  PutU8(&out, static_cast<uint8_t>(resp.code));
+  PutU64(&out, resp.epoch);
+  PutU32(&out, resp.retry_after_ms);
+  PutU32(&out, static_cast<uint32_t>(resp.message.size()));
+  out += resp.message;
+  PutU32(&out, static_cast<uint32_t>(resp.result.size()));
+  out += resp.result;
+  return out;
+}
+
+Result<Response> DecodeResponse(std::string_view payload) {
+  Reader r(payload);
+  Response resp;
+  uint8_t code = r.U8();
+  if (code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
+    return Status::Invalid(StrCat("unknown status code ", code));
+  }
+  resp.code = static_cast<StatusCode>(code);
+  resp.epoch = r.U64();
+  resp.retry_after_ms = r.U32();
+  resp.message = r.Bytes(r.U32());
+  resp.result = r.Bytes(r.U32());
+  if (!r.ok() || !r.AtEnd()) {
+    return Status::Invalid("malformed response payload");
+  }
+  return resp;
+}
+
+Result<std::string> ReadFrame(int fd, int timeout_ms, uint32_t max_bytes) {
+  bool any_read = false;
+  char hdr[4];
+  EXA_RETURN_NOT_OK(ReadExact(fd, hdr, 4, timeout_ms, &any_read));
+  uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<uint32_t>(static_cast<uint8_t>(hdr[i])) << (8 * i);
+  }
+  if (len > max_bytes) {
+    return Status::Invalid(
+        StrCat("frame of ", len, " bytes exceeds the ", max_bytes,
+               "-byte cap"));
+  }
+  std::string payload(len, '\0');
+  if (len > 0) {
+    EXA_RETURN_NOT_OK(ReadExact(fd, payload.data(), len, timeout_ms,
+                                &any_read));
+  }
+  return payload;
+}
+
+Status WriteFrame(int fd, std::string_view payload, int timeout_ms) {
+  std::string framed;
+  framed.reserve(4 + payload.size());
+  PutU32(&framed, static_cast<uint32_t>(payload.size()));
+  framed.append(payload.data(), payload.size());
+  size_t sent = 0;
+  while (sent < framed.size()) {
+    EXA_RETURN_NOT_OK(PollFor(fd, POLLOUT, timeout_ms));
+    // MSG_NOSIGNAL: a vanished client yields EPIPE, never SIGPIPE.
+    ssize_t r = ::send(fd, framed.data() + sent, framed.size() - sent,
+                       MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Status::Unavailable(StrCat("send: ", std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+bool PeerClosed(int fd) {
+  char c;
+  ssize_t r = ::recv(fd, &c, 1, MSG_PEEK | MSG_DONTWAIT);
+  if (r == 0) return true;                      // orderly shutdown
+  if (r > 0) return false;                      // pipelined data: alive
+  return !(errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR);
+}
+
+}  // namespace server
+}  // namespace excess

@@ -1,0 +1,85 @@
+#ifndef EXCESS_SERVER_WIRE_H_
+#define EXCESS_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace excess {
+namespace server {
+
+/// Wire protocol v1: every message is one length-prefixed frame
+///
+///   u32 payload_len | payload            (all integers little-endian)
+///
+/// capped at kMaxFrameBytes — a length prefix beyond the cap is treated as
+/// a malformed stream and the connection is dropped, so a hostile or
+/// corrupted client cannot make the server buffer unbounded input.
+///
+/// Request payload:
+///   u8  opcode               1=statement  2=ping  3=shutdown (drain)
+///   u32 deadline_ms          0 = server default
+///   u64 max_bytes            per-request memory budget; 0 = server default
+///   u64 max_occurrences      per-request row budget;    0 = server default
+///   u32 stmt_len | bytes     EXCESS statement source (statement opcode)
+///
+/// Response payload:
+///   u8  status_code          numeric StatusCode (0 = OK)
+///   u64 epoch                committed epoch the request observed
+///   u32 retry_after_ms       only with kResourceExhausted / kUnavailable
+///   u32 msg_len | bytes      error message ("" on OK)
+///   u32 result_len | bytes   rendered result ("" for statements with none)
+inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+enum class Opcode : uint8_t {
+  kStatement = 1,
+  kPing = 2,
+  kShutdown = 3,
+};
+
+struct Request {
+  Opcode opcode = Opcode::kStatement;
+  uint32_t deadline_ms = 0;
+  uint64_t max_bytes = 0;
+  uint64_t max_occurrences = 0;
+  std::string statement;
+};
+
+struct Response {
+  StatusCode code = StatusCode::kOk;
+  uint64_t epoch = 0;
+  uint32_t retry_after_ms = 0;
+  std::string message;
+  std::string result;
+};
+
+/// Payload codecs (the length prefix is added by WriteFrame). Decoding is
+/// strict: truncated fields, an unknown opcode, or trailing bytes are all
+/// kInvalid — a torn or corrupted frame never half-parses.
+std::string EncodeRequest(const Request& req);
+Result<Request> DecodeRequest(std::string_view payload);
+std::string EncodeResponse(const Response& resp);
+Result<Response> DecodeResponse(std::string_view payload);
+
+/// Frame I/O over a socket. Both directions poll with `timeout_ms` per
+/// syscall so a stalled peer can never wedge the calling thread:
+///  - ReadFrame returns kUnavailable on a clean close before any byte (the
+///    peer hung up between frames), kInvalid on a torn frame (close mid-
+///    frame) or an oversized length prefix, kDeadlineExceeded when the
+///    peer stays silent mid-frame past the timeout.
+///  - WriteFrame returns kDeadlineExceeded when the peer stops draining
+///    (slow-client protection) and kUnavailable when it disappeared.
+Result<std::string> ReadFrame(int fd, int timeout_ms,
+                              uint32_t max_bytes = kMaxFrameBytes);
+Status WriteFrame(int fd, std::string_view payload, int timeout_ms);
+
+/// True iff the peer has closed its end (recv MSG_PEEK|MSG_DONTWAIT sees
+/// EOF). Pending unread data — e.g. a pipelined request — counts as alive.
+bool PeerClosed(int fd);
+
+}  // namespace server
+}  // namespace excess
+
+#endif  // EXCESS_SERVER_WIRE_H_

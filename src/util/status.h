@@ -26,6 +26,7 @@ enum class StatusCode {
   kDeadlineExceeded,   // governor wall-clock deadline passed
   kCancelled,          // query cancelled via CancelToken
   kDataLoss,           // storage corruption or failed durable write
+  kUnavailable,        // server draining / connection refused; retry later
 };
 
 /// Returns a stable human-readable name ("TypeError", ...) for a code.
@@ -78,6 +79,9 @@ class Status {
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -95,6 +99,7 @@ class Status {
   }
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
   bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
@@ -141,6 +146,7 @@ class Result {
   const T& operator*() const& { return ValueOrDie(); }
   T& operator*() & { return ValueOrDie(); }
   const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
 
  private:
   void CheckOk() const;

@@ -1,0 +1,316 @@
+// Concurrency invariants of the server's snapshot-epoch design, run under
+// ThreadSanitizer in CI (ctest label `concurrency`):
+//  - epoch capture/materialize produces a byte-identical database clone;
+//  - concurrent readers against a committing writer only ever observe
+//    committed epochs, monotonically (the epoch/count pair never moves
+//    backwards on one connection), while every acknowledged write is
+//    durable after drain + reopen;
+//  - wire reads during a mixed workload agree with a single-threaded
+//    reference session executing the same statements;
+//  - the metrics registry takes concurrent increments, observes, and
+//    snapshots without losing a count.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "excess/session.h"
+#include "methods/registry.h"
+#include "objects/database.h"
+#include "obs/metrics.h"
+#include "server/client.h"
+#include "server/epoch.h"
+#include "server/server.h"
+#include "storage/serialize.h"
+#include "university/university.h"
+#include "util/status.h"
+
+namespace excess {
+namespace server {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string UniqueSock() {
+  static std::atomic<int> counter{0};
+  return "/tmp/exconc_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+class ConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    sock_ = UniqueSock();
+    dir_ = fs::temp_directory_path() /
+           ("excess_conc_test_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    ::unsetenv("EXCESS_DB_PATH");
+    ::setenv("EXCESS_WAL_FSYNC", "0", 1);
+  }
+  void TearDown() override {
+    fs::remove_all(dir_);
+    ::unlink(sock_.c_str());
+    ::unsetenv("EXCESS_WAL_FSYNC");
+    ::unsetenv("EXCESS_DB_PATH");
+  }
+
+  std::string sock_;
+  fs::path dir_;
+};
+
+// --- epoch snapshot correctness ---------------------------------------------
+
+TEST_F(ConcurrencyTest, EpochCloneIsByteIdentical) {
+  Database db;
+  MethodRegistry methods(&db.catalog());
+  ASSERT_TRUE(BuildUniversity(&db, UniversityParams{}).ok());
+  Session writer(&db, &methods);
+  ASSERT_TRUE(writer
+                  .Execute("define Employee function bonus () returns int4 "
+                           "{ retrieve (this.salary / 10) }")
+                  .ok());
+  ASSERT_TRUE(writer.Execute("range of E is Employees").ok());
+
+  auto snap = CaptureEpoch(7, db, writer, methods);
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->epoch, 7u);
+
+  Database clone;
+  MethodRegistry clone_methods(&clone.catalog());
+  std::vector<std::pair<std::string, ExprAstPtr>> ranges;
+  ASSERT_TRUE(
+      MaterializeEpoch(*snap, &clone, &clone_methods, &ranges).ok());
+  EXPECT_EQ(storage::CanonicalDatabaseBytes(clone),
+            storage::CanonicalDatabaseBytes(db));
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].first, "E");
+
+  // The clone answers queries — including method dispatch and the restored
+  // range variable — exactly like the original.
+  Session ref(&db, &methods);
+  ref.set_ranges(ranges);
+  Session cloned(&clone, &clone_methods);
+  cloned.set_ranges(ranges);
+  for (const char* q :
+       {"retrieve ( count(Employees) )", "retrieve (n: E.name) where "
+                                     "E.dept.floor = 2",
+        "retrieve ( sum(e.bonus() from e in Employees) )"}) {
+    auto a = ref.Execute(q);
+    auto b = cloned.Execute(q);
+    ASSERT_TRUE(a.ok()) << q << ": " << a.status().ToString();
+    ASSERT_TRUE(b.ok()) << q << ": " << b.status().ToString();
+    EXPECT_EQ((*a)->ToString(), (*b)->ToString()) << q;
+  }
+}
+
+// --- readers vs. committing writer ------------------------------------------
+
+TEST_F(ConcurrencyTest, ReadersObserveMonotoneCommittedPrefixes) {
+  constexpr int kAppends = 120;
+  constexpr int kReaders = 4;
+  std::string db_path = (dir_ / "rw.db").string();
+  ServerOptions opts;
+  opts.unix_path = sock_;
+  opts.workers = 4;
+  opts.db_path = db_path;
+  auto server = std::make_unique<Server>(opts);
+  ASSERT_TRUE(server->ExecuteLocal("create Nums: { int4 }").ok());
+  ASSERT_TRUE(server->Start().ok());
+
+  std::atomic<bool> writer_done{false};
+  std::atomic<int> acked{0};
+  std::thread writer([&] {
+    auto client = Client::ConnectUnix(sock_);
+    ASSERT_TRUE(client.ok());
+    for (int i = 1; i <= kAppends; ++i) {
+      auto r = client->Execute("append " + std::to_string(i) + " to Nums",
+                               10'000);
+      ASSERT_TRUE(r.ok());
+      ASSERT_EQ(r->code, StatusCode::kOk) << r->message;
+      acked.store(i);
+    }
+    writer_done.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  std::atomic<int> violations{0};
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&] {
+      auto client = Client::ConnectUnix(sock_);
+      if (!client.ok()) {
+        violations.fetch_add(1);
+        return;
+      }
+      uint64_t last_epoch = 0;
+      int64_t last_count = -1;
+      while (!writer_done.load()) {
+        int upper_before = acked.load();
+        auto r = client->Execute("retrieve ( count(Nums) )", 10'000);
+        if (!r.ok()) {
+          violations.fetch_add(1);
+          return;
+        }
+        if (r->code == StatusCode::kResourceExhausted) continue;  // shed
+        if (r->code != StatusCode::kOk) {
+          violations.fetch_add(1);
+          return;
+        }
+        int64_t count = std::stoll(r->result);
+        // Only committed state is visible: at least what was acked before
+        // the request, never beyond the total, and never going backwards
+        // on this connection (epochs are monotone per connection).
+        if (count < upper_before || count > kAppends ||
+            r->epoch < last_epoch ||
+            (r->epoch == last_epoch && count != last_count) ||
+            (r->epoch > last_epoch && count < last_count)) {
+          violations.fetch_add(1);
+          return;
+        }
+        last_epoch = r->epoch;
+        last_count = count;
+      }
+    });
+  }
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(violations.load(), 0);
+
+  // Serial acked writes are the committed prefix: after drain + reopen the
+  // database holds exactly appends 1..kAppends.
+  server->Shutdown(/*grace_ms=*/5'000);
+  server.reset();
+  Database db;
+  MethodRegistry methods(&db.catalog());
+  Session s(&db, &methods);
+  ASSERT_TRUE(s.OpenStorage(db_path).ok());
+  auto total = s.Execute("retrieve ( count(Nums) )");
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ((*total)->ToString(), std::to_string(kAppends));
+  auto sum = s.Execute("retrieve ( sum(x from x in Nums) )");
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ((*sum)->ToString(),
+            std::to_string(kAppends * (kAppends + 1) / 2));
+}
+
+// --- mixed workload vs. reference session -----------------------------------
+
+TEST_F(ConcurrencyTest, WireReadsMatchSingleThreadedReference) {
+  const std::vector<std::string> seeds = {
+      "define type Dept: ( name: char[], floor: int4 )",
+      "create Depts: { Dept }",
+      "append (name: \"cs\", floor: 1) to Depts",
+      "append (name: \"ee\", floor: 2) to Depts",
+      "append (name: \"math\", floor: 2) to Depts",
+      "create Nums: { int4 }",
+      "append all {1, 2, 3, 4, 5, 6} to Nums",
+      "range of D is Depts",
+  };
+  const std::vector<std::string> queries = {
+      "retrieve ( count(Depts) )",
+      "retrieve (n: D.name) where D.floor = 2",
+      "retrieve ( sum(x * x from x in Nums) )",
+      "retrieve (a: x, b: y) from x in Nums, y in Nums where x = y",
+      "retrieve ( count(x from x in Nums where x > 3) )",
+  };
+
+  // Reference: one session, one thread.
+  Database ref_db;
+  MethodRegistry ref_methods(&ref_db.catalog());
+  Session ref(&ref_db, &ref_methods);
+  std::vector<std::string> expected;
+  for (const auto& stmt : seeds) ASSERT_TRUE(ref.Execute(stmt).ok()) << stmt;
+  for (const auto& q : queries) {
+    auto r = ref.Execute(q);
+    ASSERT_TRUE(r.ok()) << q << ": " << r.status().ToString();
+    expected.push_back(*r == nullptr ? "" : (*r)->ToString());
+  }
+
+  ServerOptions opts;
+  opts.unix_path = sock_;
+  opts.workers = 4;
+  Server server(opts);
+  for (const auto& stmt : seeds) {
+    ASSERT_TRUE(server.ExecuteLocal(stmt).ok()) << stmt;
+  }
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      auto client = Client::ConnectUnix(sock_);
+      if (!client.ok()) {
+        mismatches.fetch_add(1);
+        return;
+      }
+      for (int round = 0; round < 3; ++round) {
+        for (size_t qi = 0; qi < queries.size(); ++qi) {
+          auto r = client->Execute(queries[qi], 10'000);
+          if (!r.ok() || r->code != StatusCode::kOk ||
+              r->result != expected[qi]) {
+            mismatches.fetch_add(1);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  server.Shutdown();
+}
+
+// --- metrics registry under fire --------------------------------------------
+
+TEST_F(ConcurrencyTest, MetricsRegistryIsThreadSafe) {
+  auto& reg = obs::MetricsRegistry::Global();
+  reg.ResetForTest();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20'000;
+  std::atomic<bool> stop_snapshots{false};
+  std::thread snapshotter([&] {
+    // Concurrent snapshots and lookups must never crash or wedge.
+    while (!stop_snapshots.load()) {
+      (void)reg.Snapshot();
+      (void)reg.GetCounter("conc.hammer.extra");
+    }
+  });
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto* mine = reg.GetCounter("conc.hammer.c" + std::to_string(t));
+      auto* shared = reg.GetCounter("conc.hammer.shared");
+      auto* hist = reg.GetHistogram("conc.hammer.h");
+      for (int i = 0; i < kIters; ++i) {
+        mine->Increment();
+        shared->Increment();
+        hist->Observe(i & 1023);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  stop_snapshots.store(true);
+  snapshotter.join();
+
+  EXPECT_EQ(reg.GetCounter("conc.hammer.shared")->value(),
+            static_cast<int64_t>(kThreads) * kIters);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(reg.GetCounter("conc.hammer.c" + std::to_string(t))->value(),
+              kIters);
+  }
+  EXPECT_EQ(reg.GetHistogram("conc.hammer.h")->count(),
+            static_cast<int64_t>(kThreads) * kIters);
+  reg.ResetForTest();
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace excess

@@ -104,7 +104,14 @@ TEST(DocsFreshness, MetricNamesDocumented) {
         "storage.wal.fsync_ns", "storage.snapshot.writes",
         "storage.recovery.replayed", "storage.recovery.torn_tail",
         "storage.group_commit.batches", "storage.group_commit.statements",
-        "txn.begin", "txn.commit", "txn.rollback"}) {
+        "txn.begin", "txn.commit", "txn.rollback",
+        "server.connections.accepted", "server.connections.closed",
+        "server.requests.read", "server.requests.write",
+        "server.requests.executed", "server.requests.shed",
+        "server.requests.malformed", "server.cancelled.dead_client",
+        "server.cancelled.deadline", "server.jobs.abandoned",
+        "server.epoch.published", "server.epoch.refreshes", "server.drains",
+        "server.queue.depth", "server.exec_us"}) {
     EXPECT_NE(ObservabilityDoc().find(name), std::string::npos)
         << "metric " << name << " is not documented in docs/OBSERVABILITY.md";
   }
@@ -114,7 +121,9 @@ TEST(DocsFreshness, EnvKnobsDocumented) {
   for (const char* knob :
        {"EXCESS_THREADS", "EXCESS_DEADLINE_MS", "EXCESS_MEM_LIMIT_MB",
         "EXCESS_SWEEP_SEEDS", "EXCESS_METRICS_PATH", "EXCESS_DB_PATH",
-        "EXCESS_WAL_FSYNC", "EXCESS_GROUP_COMMIT"}) {
+        "EXCESS_WAL_FSYNC", "EXCESS_GROUP_COMMIT", "EXCESS_SERVER_SOCKET",
+        "EXCESS_SERVER_PORT", "EXCESS_SERVER_WORKERS", "EXCESS_SERVER_QUEUE",
+        "EXCESS_SERVER_GRACE_MS"}) {
     EXPECT_NE(ObservabilityDoc().find(knob), std::string::npos)
         << "env knob " << knob
         << " is not documented in docs/OBSERVABILITY.md";

@@ -1,0 +1,611 @@
+// The concurrent session server (src/server/): wire-protocol codecs,
+// request/response round trips over real unix and TCP sockets, statement
+// routing and rejection, admission-control shedding with retry-after,
+// deadline propagation into the governor, dead-client cancellation, the
+// abandon backstop for stalled workers, graceful drain, and a
+// deterministic client-fault sweep with a reopen oracle against the
+// committed statements.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <filesystem>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "excess/session.h"
+#include "methods/registry.h"
+#include "objects/database.h"
+#include "obs/metrics.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/wire.h"
+#include "util/status.h"
+
+namespace excess {
+namespace server {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+int64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name)->value();
+}
+
+bool WaitFor(const std::function<bool()>& pred, std::chrono::milliseconds max) {
+  auto deadline = std::chrono::steady_clock::now() + max;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(5ms);
+  }
+  return pred();
+}
+
+/// Hooks that stall selected jobs (by global dequeue index) inside a
+/// worker until released — the deterministic seam for exercising full
+/// queues, abandoned jobs, and dead-client cancellation.
+class StallHooks : public ServerHooks {
+ public:
+  void OnJobStart(uint64_t idx) override {
+    std::unique_lock<std::mutex> l(mu_);
+    if (stall_.count(idx) == 0) return;
+    started_.insert(idx);
+    cv_.notify_all();
+    cv_.wait(l, [&] { return released_; });
+  }
+  void StallJob(uint64_t idx) {
+    std::lock_guard<std::mutex> l(mu_);
+    stall_.insert(idx);
+  }
+  bool WaitStarted(uint64_t idx, std::chrono::milliseconds max) {
+    std::unique_lock<std::mutex> l(mu_);
+    return cv_.wait_for(l, max, [&] { return started_.count(idx) > 0; });
+  }
+  void ReleaseAll() {
+    std::lock_guard<std::mutex> l(mu_);
+    released_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::set<uint64_t> stall_;
+  std::set<uint64_t> started_;
+  bool released_ = false;
+};
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    static std::atomic<int> counter{0};
+    // Unix socket paths must fit sockaddr_un; keep them short and unique.
+    sock_ = "/tmp/exsrv_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter.fetch_add(1)) + ".sock";
+    dir_ = fs::temp_directory_path() /
+           ("excess_server_test_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    ::unsetenv("EXCESS_DB_PATH");
+    ::setenv("EXCESS_WAL_FSYNC", "0", 1);
+    obs::MetricsRegistry::Global().ResetForTest();
+  }
+  void TearDown() override {
+    fs::remove_all(dir_);
+    ::unlink(sock_.c_str());
+    ::unsetenv("EXCESS_WAL_FSYNC");
+    ::unsetenv("EXCESS_DB_PATH");
+  }
+
+  ServerOptions Opts() {
+    ServerOptions o;
+    o.unix_path = sock_;
+    o.workers = 2;
+    return o;
+  }
+
+  std::string sock_;
+  fs::path dir_;
+};
+
+// --- wire codecs (no sockets) -----------------------------------------------
+
+TEST(WireTest, RequestRoundTrip) {
+  Request req;
+  req.opcode = Opcode::kStatement;
+  req.deadline_ms = 1234;
+  req.max_bytes = (1ull << 33) + 7;
+  req.max_occurrences = 99;
+  req.statement = "retrieve (x) from x in Nums";
+  auto back = DecodeRequest(EncodeRequest(req));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->opcode, req.opcode);
+  EXPECT_EQ(back->deadline_ms, req.deadline_ms);
+  EXPECT_EQ(back->max_bytes, req.max_bytes);
+  EXPECT_EQ(back->max_occurrences, req.max_occurrences);
+  EXPECT_EQ(back->statement, req.statement);
+}
+
+TEST(WireTest, ResponseRoundTrip) {
+  Response resp;
+  resp.code = StatusCode::kResourceExhausted;
+  resp.epoch = 42;
+  resp.retry_after_ms = 250;
+  resp.message = "admission queue full";
+  resp.result = "payload";
+  auto back = DecodeResponse(EncodeResponse(resp));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->code, resp.code);
+  EXPECT_EQ(back->epoch, resp.epoch);
+  EXPECT_EQ(back->retry_after_ms, resp.retry_after_ms);
+  EXPECT_EQ(back->message, resp.message);
+  EXPECT_EQ(back->result, resp.result);
+}
+
+TEST(WireTest, DecodersAreStrict) {
+  // Unknown opcode.
+  Request req;
+  std::string enc = EncodeRequest(req);
+  enc[0] = 77;
+  EXPECT_FALSE(DecodeRequest(enc).ok());
+  // Truncated payload.
+  std::string good = EncodeRequest(req);
+  EXPECT_FALSE(DecodeRequest(std::string_view(good).substr(0, 8)).ok());
+  // Trailing garbage.
+  EXPECT_FALSE(DecodeRequest(good + "x").ok());
+  // Unknown status code.
+  Response resp;
+  std::string renc = EncodeResponse(resp);
+  renc[0] = static_cast<char>(200);
+  EXPECT_FALSE(DecodeResponse(renc).ok());
+  EXPECT_FALSE(DecodeResponse(EncodeResponse(resp) + "x").ok());
+}
+
+// --- round trips and epochs -------------------------------------------------
+
+TEST_F(ServerTest, PingStatementsAndEpochs) {
+  Server server(Opts());
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::ConnectUnix(sock_);
+  ASSERT_TRUE(client.ok());
+
+  auto ping = client->Ping();
+  ASSERT_TRUE(ping.ok());
+  EXPECT_EQ(ping->code, StatusCode::kOk);
+  EXPECT_GE(ping->epoch, 1u);
+
+  uint64_t last_epoch = ping->epoch;
+  auto create = client->Execute("create Nums: { int4 }");
+  ASSERT_TRUE(create.ok());
+  ASSERT_EQ(create->code, StatusCode::kOk) << create->message;
+  EXPECT_GT(create->epoch, last_epoch);  // a write publishes a new epoch
+  last_epoch = create->epoch;
+
+  auto append = client->Execute("append all {1, 2, 3} to Nums");
+  ASSERT_TRUE(append.ok());
+  ASSERT_EQ(append->code, StatusCode::kOk) << append->message;
+  EXPECT_GT(append->epoch, last_epoch);
+  last_epoch = append->epoch;
+
+  // Read-your-writes on one connection, and epochs never go backwards.
+  auto count = client->Execute("retrieve ( count(Nums) )");
+  ASSERT_TRUE(count.ok());
+  ASSERT_EQ(count->code, StatusCode::kOk) << count->message;
+  EXPECT_EQ(count->result, "3");
+  EXPECT_GE(count->epoch, last_epoch);
+
+  // Errors carry the statement's own status, not a transport failure.
+  auto bad = client->Execute("retrieve ( count(NoSuchSet) )");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_NE(bad->code, StatusCode::kOk);
+  server.Shutdown();
+}
+
+TEST_F(ServerTest, ExecuteLocalSeedsBeforeClients) {
+  Server server(Opts());
+  ASSERT_TRUE(server.ExecuteLocal("create Nums: { int4 }").ok());
+  ASSERT_TRUE(server.ExecuteLocal("append all {5, 6} to Nums").ok());
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::ConnectUnix(sock_);
+  ASSERT_TRUE(client.ok());
+  auto count = client->Execute("retrieve ( count(Nums) )");
+  ASSERT_TRUE(count.ok());
+  ASSERT_EQ(count->code, StatusCode::kOk) << count->message;
+  EXPECT_EQ(count->result, "2");
+  server.Shutdown();
+}
+
+TEST_F(ServerTest, SessionStatementsAreRejected) {
+  Server server(Opts());
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::ConnectUnix(sock_);
+  ASSERT_TRUE(client.ok());
+  for (const char* stmt :
+       {"open \"nope.db\"", "begin", "commit", "rollback"}) {
+    auto r = client->Execute(stmt);
+    ASSERT_TRUE(r.ok()) << stmt;
+    EXPECT_EQ(r->code, StatusCode::kUnsupported) << stmt;
+  }
+  // The connection survives rejected statements.
+  auto ping = client->Ping();
+  ASSERT_TRUE(ping.ok());
+  EXPECT_EQ(ping->code, StatusCode::kOk);
+  server.Shutdown();
+}
+
+TEST_F(ServerTest, ParseErrorKeepsConnection) {
+  Server server(Opts());
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::ConnectUnix(sock_);
+  ASSERT_TRUE(client.ok());
+  auto r = client->Execute("retrieve retrieve retrieve");
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r->code, StatusCode::kOk);
+  auto ping = client->Ping();
+  ASSERT_TRUE(ping.ok());
+  EXPECT_EQ(ping->code, StatusCode::kOk);
+  server.Shutdown();
+}
+
+TEST_F(ServerTest, MalformedPayloadClosesConnectionServerSurvives) {
+  Server server(Opts());
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::ConnectUnix(sock_);
+  ASSERT_TRUE(client.ok());
+  // A well-framed but undecodable payload: answered with kInvalid, then
+  // the connection is dropped (framing discipline is broken).
+  ASSERT_TRUE(WriteFrame(client->fd(), "\xFFgarbage", 1'000).ok());
+  auto resp_payload = ReadFrame(client->fd(), 5'000);
+  ASSERT_TRUE(resp_payload.ok());
+  auto resp = DecodeResponse(*resp_payload);
+  ASSERT_TRUE(resp.ok());
+  EXPECT_EQ(resp->code, StatusCode::kInvalid);
+  auto next = ReadFrame(client->fd(), 5'000);
+  EXPECT_FALSE(next.ok());  // server closed the connection
+  EXPECT_GE(CounterValue("server.requests.malformed"), 1);
+
+  // An oversized length prefix drops the connection outright.
+  auto client2 = Client::ConnectUnix(sock_);
+  ASSERT_TRUE(client2.ok());
+  std::string huge_hdr = {'\xFF', '\xFF', '\xFF', '\x7F'};
+  ASSERT_EQ(::send(client2->fd(), huge_hdr.data(), 4, MSG_NOSIGNAL), 4);
+  auto dropped = ReadFrame(client2->fd(), 5'000);
+  EXPECT_FALSE(dropped.ok());
+
+  // The server keeps serving fresh connections.
+  auto client3 = Client::ConnectUnix(sock_);
+  ASSERT_TRUE(client3.ok());
+  auto ping = client3->Ping();
+  ASSERT_TRUE(ping.ok());
+  EXPECT_EQ(ping->code, StatusCode::kOk);
+  server.Shutdown();
+}
+
+// --- deadlines, limits, cancellation ----------------------------------------
+
+TEST_F(ServerTest, GovernorDeadlineAndLimitsPropagate) {
+  Server server(Opts());
+  ASSERT_TRUE(server.ExecuteLocal("create Nums: { int4 }").ok());
+  std::string big = "append all {1";
+  for (int i = 2; i <= 200; ++i) big += ", " + std::to_string(i);
+  big += "} to Nums";
+  ASSERT_TRUE(server.ExecuteLocal(big).ok());
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::ConnectUnix(sock_);
+  ASSERT_TRUE(client.ok());
+
+  // 8M-row cross product against a 1 ms budget: the governor must trip
+  // long before completion (kCancelled if the connection backstop fires
+  // the token first).
+  const std::string heavy =
+      "retrieve (a: x, b: y, c: z) from x in Nums, y in Nums, z in Nums";
+  auto timed = client->Execute(heavy, /*deadline_ms=*/1);
+  ASSERT_TRUE(timed.ok());
+  EXPECT_TRUE(timed->code == StatusCode::kDeadlineExceeded ||
+              timed->code == StatusCode::kCancelled)
+      << StatusCodeToString(timed->code) << ": " << timed->message;
+
+  // Per-request row budget.
+  auto rows = client->Execute(heavy, /*deadline_ms=*/30'000, /*max_bytes=*/0,
+                              /*max_occurrences=*/1'000);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->code, StatusCode::kResourceExhausted)
+      << StatusCodeToString(rows->code) << ": " << rows->message;
+
+  // The connection (and server) shrug off governed failures.
+  auto count = client->Execute("retrieve ( count(Nums) )");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->code, StatusCode::kOk);
+  EXPECT_EQ(count->result, "200");
+  server.Shutdown();
+}
+
+TEST_F(ServerTest, AdmissionControlShedsWithRetryAfter) {
+  StallHooks hooks;
+  hooks.StallJob(0);
+  ServerOptions opts = Opts();
+  opts.workers = 1;
+  opts.queue_capacity = 1;
+  opts.hooks = &hooks;
+  Server server(opts);
+  ASSERT_TRUE(server.ExecuteLocal("create Nums: { int4 }").ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  auto a = Client::ConnectUnix(sock_);
+  auto b = Client::ConnectUnix(sock_);
+  auto c = Client::ConnectUnix(sock_);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+
+  Request req;
+  req.opcode = Opcode::kStatement;
+  req.deadline_ms = 30'000;
+  req.statement = "retrieve ( count(Nums) )";
+  // A's job occupies the only worker (stalled inside the hook); B's fills
+  // the queue (capacity 1).
+  ASSERT_TRUE(WriteFrame(a->fd(), EncodeRequest(req), 1'000).ok());
+  ASSERT_TRUE(hooks.WaitStarted(0, 5'000ms));
+  ASSERT_TRUE(WriteFrame(b->fd(), EncodeRequest(req), 1'000).ok());
+  auto* depth = obs::MetricsRegistry::Global().GetHistogram(
+      "server.queue.depth");
+  ASSERT_TRUE(WaitFor([&] { return depth->count() >= 2; }, 5'000ms))
+      << "B's job never reached the queue";
+
+  // C must be shed: queue full, worker busy.
+  auto shed = c->Execute("retrieve ( count(Nums) )", /*deadline_ms=*/30'000);
+  ASSERT_TRUE(shed.ok());
+  EXPECT_EQ(shed->code, StatusCode::kResourceExhausted) << shed->message;
+  EXPECT_GE(shed->retry_after_ms, 1u);
+  EXPECT_GE(CounterValue("server.requests.shed"), 1);
+
+  hooks.ReleaseAll();
+  for (Client* cl : {&*a, &*b}) {
+    auto payload = ReadFrame(cl->fd(), 10'000);
+    ASSERT_TRUE(payload.ok());
+    auto resp = DecodeResponse(*payload);
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp->code, StatusCode::kOk) << resp->message;
+    EXPECT_EQ(resp->result, "0");
+  }
+  server.Shutdown();
+}
+
+TEST_F(ServerTest, StalledWorkerAbandonedAfterGrace) {
+  StallHooks hooks;
+  hooks.StallJob(0);
+  ServerOptions opts = Opts();
+  opts.workers = 1;
+  opts.cancel_grace_ms = 200;
+  opts.hooks = &hooks;
+  Server server(opts);
+  ASSERT_TRUE(server.ExecuteLocal("create Nums: { int4 }").ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = Client::ConnectUnix(sock_);
+  ASSERT_TRUE(client.ok());
+  auto r = client->Execute("retrieve ( count(Nums) )", /*deadline_ms=*/100);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->code, StatusCode::kDeadlineExceeded) << r->message;
+  EXPECT_NE(r->message.find("abandoned"), std::string::npos) << r->message;
+  EXPECT_GE(CounterValue("server.jobs.abandoned"), 1);
+  // The abandoning connection is closed: outcome of its job is unknown.
+  auto next = ReadFrame(client->fd(), 2'000);
+  EXPECT_FALSE(next.ok());
+
+  hooks.ReleaseAll();  // the worker resumes, finds a cancelled token, moves on
+  auto client2 = Client::ConnectUnix(sock_);
+  ASSERT_TRUE(client2.ok());
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        auto ping = client2->Ping();
+        return ping.ok() && ping->code == StatusCode::kOk;
+      },
+      5'000ms));
+  server.Shutdown();
+}
+
+TEST_F(ServerTest, DeadClientCancelsItsQuery) {
+  StallHooks hooks;
+  hooks.StallJob(0);
+  ServerOptions opts = Opts();
+  opts.workers = 1;
+  opts.hooks = &hooks;
+  Server server(opts);
+  ASSERT_TRUE(server.ExecuteLocal("create Nums: { int4 }").ok());
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    auto doomed = Client::ConnectUnix(sock_);
+    ASSERT_TRUE(doomed.ok());
+    Request req;
+    req.opcode = Opcode::kStatement;
+    req.deadline_ms = 60'000;
+    req.statement = "retrieve ( count(Nums) )";
+    ASSERT_TRUE(WriteFrame(doomed->fd(), EncodeRequest(req), 1'000).ok());
+    ASSERT_TRUE(hooks.WaitStarted(0, 5'000ms));
+    doomed->Close();  // client dies mid-query
+  }
+  EXPECT_TRUE(WaitFor(
+      [&] { return CounterValue("server.cancelled.dead_client") >= 1; },
+      5'000ms));
+  hooks.ReleaseAll();
+
+  auto client = Client::ConnectUnix(sock_);
+  ASSERT_TRUE(client.ok());
+  auto ping = client->Ping();
+  ASSERT_TRUE(ping.ok());
+  EXPECT_EQ(ping->code, StatusCode::kOk);
+  server.Shutdown();
+}
+
+// --- lifecycle --------------------------------------------------------------
+
+TEST_F(ServerTest, ShutdownOpcodeSignalsDrain) {
+  Server server(Opts());
+  ASSERT_TRUE(server.Start().ok());
+  auto client = Client::ConnectUnix(sock_);
+  ASSERT_TRUE(client.ok());
+  EXPECT_FALSE(server.WaitForShutdownRequest(/*timeout_ms=*/10));
+  auto r = client->RequestShutdown();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->code, StatusCode::kOk);
+  EXPECT_TRUE(server.WaitForShutdownRequest(/*timeout_ms=*/5'000));
+  server.Shutdown();
+  // Drained: the socket is gone and fresh connects fail.
+  EXPECT_FALSE(Client::ConnectUnix(sock_).ok());
+}
+
+TEST_F(ServerTest, GracefulDrainUnderLoadCheckpointsCommittedState) {
+  std::string db_path = (dir_ / "drain.db").string();
+  ServerOptions opts = Opts();
+  opts.workers = 2;
+  opts.db_path = db_path;
+  auto server = std::make_unique<Server>(opts);
+  ASSERT_TRUE(server->ExecuteLocal("create Nums: { int4 }").ok());
+  ASSERT_TRUE(server->Start().ok());
+
+  std::atomic<int> acked{0};
+  std::atomic<int> attempted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&, t] {
+      auto client = Client::ConnectUnix(sock_);
+      if (!client.ok()) return;
+      for (int i = 0; i < 200; ++i) {
+        if (t == 0) {
+          attempted.fetch_add(1);
+          auto r = client->Execute("append 1 to Nums", 5'000);
+          if (!r.ok()) {
+            attempted.fetch_sub(1);  // never reached the server's queue
+            break;
+          }
+          if (r->code == StatusCode::kOk) acked.fetch_add(1);
+          if (r->code == StatusCode::kUnavailable) break;
+        } else {
+          auto r = client->Execute("retrieve ( count(Nums) )", 5'000);
+          if (!r.ok() || r->code == StatusCode::kUnavailable) break;
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(100ms);
+  server->Shutdown(/*grace_ms=*/5'000);
+  for (auto& t : threads) t.join();
+  server.reset();
+
+  ASSERT_GT(acked.load(), 0);
+  // Reopen: every acked append is durable; nothing beyond the attempts.
+  Database db;
+  MethodRegistry methods(&db.catalog());
+  Session s(&db, &methods);
+  ASSERT_TRUE(s.OpenStorage(db_path).ok());
+  auto count = s.Execute("retrieve ( count(Nums) )");
+  ASSERT_TRUE(count.ok());
+  int64_t recovered = std::stoll((*count)->ToString());
+  EXPECT_GE(recovered, acked.load());
+  EXPECT_LE(recovered, attempted.load());
+}
+
+TEST_F(ServerTest, TcpRoundTrip) {
+  ServerOptions opts;
+  opts.tcp_port = 0;  // ephemeral
+  opts.workers = 2;
+  Server server(opts);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.tcp_port(), 0);
+  auto client = Client::ConnectTcp("127.0.0.1", server.tcp_port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_EQ(client->Execute("create Nums: { int4 }")->code, StatusCode::kOk);
+  ASSERT_EQ(client->Execute("append all {4, 5} to Nums")->code,
+            StatusCode::kOk);
+  auto count = client->Execute("retrieve ( count(Nums) )");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count->code, StatusCode::kOk);
+  EXPECT_EQ(count->result, "2");
+  server.Shutdown();
+}
+
+// --- fault-injection sweep --------------------------------------------------
+
+// Clients die at every third request (after sending, before reading the
+// response). Oracle: the server never stops serving, and the reopened
+// database holds every acknowledged append, possibly some unacknowledged
+// ones (committed but the ack was lost to the client's death), and nothing
+// else.
+TEST_F(ServerTest, ClientFaultSweepKeepsServingAndDurableStateConsistent) {
+  std::string db_path = (dir_ / "sweep.db").string();
+  ServerOptions opts = Opts();
+  opts.db_path = db_path;
+  auto server = std::make_unique<Server>(opts);
+  ASSERT_TRUE(server->ExecuteLocal("create Nums: { int4 }").ok());
+  ASSERT_TRUE(server->Start().ok());
+
+  constexpr int kAttempts = 30;
+  std::set<int> acked;
+  for (int i = 1; i <= kAttempts; ++i) {
+    std::string stmt = "append " + std::to_string(i) + " to Nums";
+    if (i % 3 == 0) {
+      // Fault point: send, then die without reading the response.
+      auto doomed = Client::ConnectUnix(sock_);
+      ASSERT_TRUE(doomed.ok());
+      Request req;
+      req.opcode = Opcode::kStatement;
+      req.deadline_ms = 5'000;
+      req.statement = stmt;
+      ASSERT_TRUE(WriteFrame(doomed->fd(), EncodeRequest(req), 1'000).ok());
+      doomed->Close();
+    } else {
+      auto client = Client::ConnectUnix(sock_);
+      ASSERT_TRUE(client.ok());
+      auto r = client->Execute(stmt, 5'000);
+      ASSERT_TRUE(r.ok());
+      if (r->code == StatusCode::kOk) acked.insert(i);
+    }
+  }
+  // Still serving after the burst of client deaths.
+  auto survivor = Client::ConnectUnix(sock_);
+  ASSERT_TRUE(survivor.ok());
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        auto ping = survivor->Ping();
+        return ping.ok() && ping->code == StatusCode::kOk;
+      },
+      5'000ms));
+  EXPECT_EQ(acked.size(), static_cast<size_t>(kAttempts - kAttempts / 3));
+  server->Shutdown(/*grace_ms=*/5'000);
+  server.reset();
+
+  Database db;
+  MethodRegistry methods(&db.catalog());
+  Session s(&db, &methods);
+  ASSERT_TRUE(s.OpenStorage(db_path).ok());
+  // acked ⊆ recovered ⊆ attempted, element by element.
+  for (int i = 1; i <= kAttempts; ++i) {
+    auto r = s.Execute("retrieve ( count(x from x in Nums where x = " +
+                       std::to_string(i) + ") )");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    int64_t n = std::stoll((*r)->ToString());
+    ASSERT_TRUE(n == 0 || n == 1);
+    if (acked.count(i) > 0) {
+      EXPECT_EQ(n, 1) << "acked append " << i << " lost";
+    }
+  }
+  auto total = s.Execute("retrieve ( count(Nums) )");
+  ASSERT_TRUE(total.ok());
+  int64_t recovered = std::stoll((*total)->ToString());
+  EXPECT_GE(recovered, static_cast<int64_t>(acked.size()));
+  EXPECT_LE(recovered, static_cast<int64_t>(kAttempts));
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace excess

@@ -156,6 +156,7 @@ struct TraceGen {
   GenDb* gen;
   std::vector<TypeInfo> types;
   std::vector<std::string> int_sets;
+  std::vector<std::string> index_names;
   int next_id = 0;
   /// Mirrors the shadow session's transaction state: checkpoints are not
   /// generated inside a transaction (the live run would reject them), and
@@ -172,7 +173,7 @@ struct TraceGen {
 
   /// One candidate program (possibly multi-statement); empty = skip.
   std::string MakeCandidate() {
-    switch (rng.Int(0, 13)) {
+    switch (rng.Int(0, 15)) {
       case 0:
       case 1: {  // define type, sometimes with inheritance
         int id = next_id++;
@@ -241,6 +242,22 @@ struct TraceGen {
         in_txn = false;
         return rng.Chance(1, 4) ? "rollback" : "commit";
       }
+      case 14: {  // secondary-index DDL: recovery must rebuild the entries
+        std::string name = StrCat("I", next_id++);
+        index_names.push_back(name);
+        std::string kind = rng.Chance(1, 2) ? " using ordered" : "";
+        if (!gen->pair_sets.empty() && rng.Chance(1, 2)) {
+          return StrCat("create index ", name, " on ", rng.Pick(gen->pair_sets),
+                        " (k)", kind);
+        }
+        // Identity index; the set may not exist yet (X/R pools grow during
+        // the trace), in which case the shadow session rejects it — skipped.
+        return StrCat("create index ", name, " on ", rng.Pick(int_sets), " ()",
+                      kind);
+      }
+      case 15:  // drop one; unknown names are rejected by the shadow
+        if (index_names.empty()) return "";
+        return StrCat("drop index ", rng.Pick(index_names));
     }
     return "";
   }

@@ -24,6 +24,7 @@ constexpr uint64_t kRulesSalt = 0x72756c6573ull;      // "rules"
 constexpr uint64_t kLoweringSalt = 0x6c6f776572ull;   // "lower"
 constexpr uint64_t kRoundTripSalt = 0x726f756e64ull;  // "round"
 constexpr uint64_t kFuzzSalt = 0x66757a7aull;         // "fuzz"
+constexpr uint64_t kIndexSalt = 0x696e646578ull;      // "index"
 
 constexpr int kPlansPerSeed = 3;
 
@@ -333,6 +334,112 @@ Status CheckLoweringSeed(uint64_t seed, const GenOptions& opts,
           "lowering", "planner", seed, plan, *optimized,
           StrCat("logical:   ", lhs->ToString(), "\noptimized: ",
                  rhs->ToString())));
+    }
+  }
+  return Status::OK();
+}
+
+Status CheckIndexSeed(uint64_t seed, const GenOptions& opts,
+                      OracleStats* stats, std::vector<Divergence>* out) {
+  Rng rng(seed ^ kIndexSalt);
+  Database db;
+  GenDb gen;
+  EXA_RETURN_NOT_OK(BuildRandomDatabase(&rng, opts, &db, &gen));
+
+  // Candidate definitions over the generated leaves: identity over the int
+  // sets, field paths over the pair sets, raw-OID identity and a
+  // deref-traversing path over the ref sets. Kinds drawn per run so both
+  // hash and ordered indexes appear across a sweep.
+  std::vector<IndexDef> candidates;
+  auto add = [&](const std::string& set, std::vector<std::string> path) {
+    IndexDef d;
+    d.name = StrCat("idx", candidates.size());
+    d.set_name = set;
+    d.path = std::move(path);
+    d.kind = rng.Chance(1, 2) ? IndexKind::kOrdered : IndexKind::kHash;
+    candidates.push_back(std::move(d));
+  };
+  for (const auto& s : gen.int_sets) add(s, {});
+  for (const auto& s : gen.pair_sets) {
+    add(s, {"k"});
+    add(s, {"v"});
+  }
+  for (const auto& s : gen.ref_sets) {
+    add(s, {});
+    add(s, {"k"});
+  }
+
+  std::vector<size_t> live;
+  auto create_one = [&]() {
+    size_t i = static_cast<size_t>(
+        rng.Int(0, static_cast<int64_t>(candidates.size()) - 1));
+    if (db.FindIndex(candidates[i].name) != nullptr) return;
+    if (db.CreateIndex(candidates[i]).ok()) live.push_back(i);
+  };
+  // Start with a couple created so the very first plans can lower to probes;
+  // churn from there.
+  create_one();
+  create_one();
+
+  CostParams params;
+  for (int p = 0; p < kPlansPerSeed * 2; ++p) {
+    // Mid-trace churn: index DDL plus base-set mutations, so probes run
+    // against incrementally maintained and freshly rebuilt indexes alike.
+    switch (rng.Int(0, 4)) {
+      case 0:
+        create_one();
+        break;
+      case 1:
+        if (!live.empty()) {
+          size_t k = static_cast<size_t>(
+              rng.Int(0, static_cast<int64_t>(live.size()) - 1));
+          (void)db.DropIndex(candidates[live[k]].name);
+          live.erase(live.begin() + static_cast<ptrdiff_t>(k));
+        }
+        break;
+      case 2:  // incremental maintenance through AppendNamed
+        (void)db.AppendNamed(rng.Pick(gen.int_sets), RandomIntSet(&rng, opts));
+        break;
+      case 3:  // full rebuild through SetNamed
+        (void)db.SetNamed(rng.Pick(gen.pair_sets), RandomPairSet(&rng, opts));
+        break;
+      default:
+        break;  // no churn this round
+    }
+
+    ExprPtr plan = (p % 2 == 0) ? RandomJoinPlan(&rng, opts, gen)
+                                : RandomPlan(&rng, opts, gen);
+    ++stats->plans;
+    Evaluator serial(&db);
+    serial.set_parallel_enabled(false);
+    auto before = serial.Eval(plan);
+    if (!before.ok()) {
+      ++stats->skipped;
+      continue;
+    }
+
+    // Indexed vs unindexed agreement: both lowerings must reproduce the
+    // logical answer 3VL-exactly, whatever indexes currently exist.
+    struct Leg {
+      const char* name;
+      ExprPtr tree;
+    };
+    const Leg legs[] = {{"index-blind", LowerPhysical(plan)},
+                        {"index-aware", LowerPhysical(plan, &db, params)}};
+    for (const Leg& leg : legs) {
+      ++stats->comparisons;
+      Evaluator ev(&db);
+      auto after = ev.Eval(leg.tree);
+      if (!after.ok()) {
+        out->push_back(MakeDivergence(
+            "index", leg.name, seed, plan, leg.tree,
+            StrCat("lowered plan fails: ", after.status().ToString())));
+      } else if (!(*before)->Equals(**after)) {
+        out->push_back(MakeDivergence(
+            "index", leg.name, seed, plan, leg.tree,
+            StrCat("logical: ", (*before)->ToString(),
+                   "\nlowered: ", (*after)->ToString())));
+      }
     }
   }
   return Status::OK();

@@ -61,6 +61,17 @@ Status CheckRulesSeed(uint64_t seed, const GenOptions& opts,
 Status CheckLoweringSeed(uint64_t seed, const GenOptions& opts,
                          OracleStats* stats, std::vector<Divergence>* out);
 
+/// Oracle — index equivalence. Builds a random database, then interleaves
+/// random index churn (create hash/ordered indexes over the generated sets
+/// — identity, field-path, and ref-traversing — drop them again, and mutate
+/// the base sets through AppendNamed / SetNamed so incremental maintenance
+/// and rebuilds are both exercised) with plan comparisons: each generated
+/// plan must evaluate 3VL-exactly equal under (a) no lowering, (b)
+/// index-blind lowering, and (c) index-aware lowering against whatever
+/// indexes currently exist.
+Status CheckIndexSeed(uint64_t seed, const GenOptions& opts,
+                      OracleStats* stats, std::vector<Divergence>* out);
+
 /// Oracle 3 — round trip. Generates denotable plans, emits each to EXCESS
 /// source (skipping Unsupported emissions), re-executes the program through
 /// parse → translate → eval in an unoptimized session over the same

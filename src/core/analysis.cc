@@ -16,11 +16,14 @@ bool IsBinder(const Expr& e) {
 
 bool IsInput(const ExprPtr& e) { return e->kind() == OpKind::kInput; }
 
-/// Children of `e` living in the enclosing INPUT scope. HASH_JOIN's key
-/// children (2, 3) are binders like subscripts — INPUT there is a join-side
-/// element, never the enclosing binding.
+/// Children of `e` living in the enclosing INPUT scope. HASH_JOIN's and
+/// IDX_JOIN's key children (2, 3) are binders like subscripts — INPUT there
+/// is a join-side element, never the enclosing binding. (IDX_PROBE's binder
+/// is its sub(), which — like all subscripts — is never a scoped child.)
 size_t NumScopedChildren(const Expr& e) {
-  return e.kind() == OpKind::kHashJoin ? 2 : e.num_children();
+  return e.kind() == OpKind::kHashJoin || e.kind() == OpKind::kIndexJoin
+             ? 2
+             : e.num_children();
 }
 
 }  // namespace

@@ -208,6 +208,31 @@ inline ExprPtr HashJoin(PredicatePtr theta, ExprPtr a, ExprPtr b, ExprPtr lkey,
               nullptr, std::move(theta));
 }
 
+/// IDX_PROBE<index>(probe)[opnd][θ]: answer-equal to
+/// SET_APPLY_{COMP_θ(opnd)}(Var(set_name)) when one conjunct of θ compares
+/// the index's key path of the element against the (closed) probe
+/// expression with `cmp`. `opnd` is the COMP operand binder (INPUT = set
+/// element). Built by the physical lowering pass.
+inline ExprPtr IndexProbe(std::string index_name, std::string set_name,
+                          CmpOp cmp, ExprPtr probe, ExprPtr opnd,
+                          PredicatePtr theta) {
+  return Make(OpKind::kIndexProbe, {std::move(probe)}, std::move(opnd),
+              std::move(theta), nullptr, std::move(index_name),
+              {std::move(set_name)}, "", static_cast<int64_t>(cmp));
+}
+
+/// IDX_JOIN<index>(A, B, kA, kB)[θ]: HASH_JOIN whose `indexed_side` (0 = A,
+/// 1 = B) is served from a secondary index instead of a scan-built hash
+/// table. Built by the physical lowering pass.
+inline ExprPtr IndexJoin(std::string index_name, int64_t indexed_side,
+                         PredicatePtr theta, ExprPtr a, ExprPtr b, ExprPtr lkey,
+                         ExprPtr rkey) {
+  return Make(OpKind::kIndexJoin,
+              {std::move(a), std::move(b), std::move(lkey), std::move(rkey)},
+              nullptr, std::move(theta), nullptr, std::move(index_name), {}, "",
+              indexed_side);
+}
+
 /// Shorthand for TUP_EXTRACT chains: Path({"a","b"}, Input()) is
 /// TUP_EXTRACT_b(TUP_EXTRACT_a(INPUT)).
 inline ExprPtr Path(const std::vector<std::string>& fields, ExprPtr base) {

@@ -186,6 +186,60 @@ Result<CostEstimate> CostModel::EstimateNode(const Expr& e,
       return CostEstimate{matches, a.total + b.total + a.cardinality +
                                        b.cardinality + matches * (pred + 1)};
     }
+    case OpKind::kIndexProbe: {
+      EXA_ASSIGN_OR_RETURN(CostEstimate probe, child(0));
+      EXA_ASSIGN_OR_RETURN(CostEstimate per,
+                           EstimateNode(*e.sub(), /*input_card=*/1));
+      double pred = PredicateCost(*e.pred(), /*input_card=*/1);
+      // Exact base statistics, like kVar.
+      double base_card = 1;
+      if (!e.names().empty()) {
+        auto v = db_->NamedValue(e.names()[0]);
+        if (v.ok() && (*v)->is_set()) {
+          base_card = static_cast<double>((*v)->TotalCount());
+        }
+      }
+      const SecondaryIndex* idx = db_->FindIndex(e.name());
+      double candidates = base_card;  // fallback is an exact scan
+      if (idx != nullptr && idx->Usable()) {
+        double buckets = std::max<double>(1, idx->distinct_keys());
+        double avg_bucket =
+            static_cast<double>(idx->keyed_total()) / buckets +
+            static_cast<double>(idx->unk_entries().size());
+        CmpOp cmp = static_cast<CmpOp>(e.index());
+        candidates = cmp == CmpOp::kEq || cmp == CmpOp::kIn
+                         ? avg_bucket
+                         : base_card * params_.selectivity;  // range share
+        candidates = std::max(1.0, candidates);
+      }
+      double out_card = std::max(1.0, base_card * params_.selectivity);
+      return CostEstimate{out_card,
+                          probe.total + 1 + candidates * (per.total + pred + 1)};
+    }
+    case OpKind::kIndexJoin: {
+      EXA_ASSIGN_OR_RETURN(CostEstimate a, child(0));
+      EXA_ASSIGN_OR_RETURN(CostEstimate b, child(1));
+      const CostEstimate& outer = e.index() == 0 ? b : a;
+      double pred = PredicateCost(*e.pred(), /*input_card=*/1);
+      const SecondaryIndex* idx = db_->FindIndex(e.name());
+      if (idx == nullptr || !idx->Usable()) {
+        // Fallback is EvalHashJoin: same estimate as HASH_JOIN.
+        double matches = std::max(
+            1.0, a.cardinality * b.cardinality * params_.selectivity);
+        return CostEstimate{matches, a.total + b.total + a.cardinality +
+                                         b.cardinality + matches * (pred + 1)};
+      }
+      // The indexed side is never scanned (its subtree cost disappears);
+      // each outer key probes one bucket of the index.
+      double buckets = std::max<double>(1, idx->distinct_keys());
+      double avg_bucket = std::max(
+          1.0, static_cast<double>(idx->keyed_total()) / buckets +
+                   static_cast<double>(idx->unk_entries().size()));
+      double matches = std::max(1.0, outer.cardinality * avg_bucket);
+      return CostEstimate{
+          matches, outer.total + outer.cardinality +
+                       matches * (pred + 1 + params_.deref_cost)};
+    }
     case OpKind::kMethodCall: {
       double total = params_.method_cost;
       for (size_t i = 0; i < e.num_children(); ++i) {

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "core/analysis.h"
 #include "core/kernels.h"
@@ -443,6 +444,13 @@ Result<ValuePtr> Evaluator::EvalNodeImpl(const Expr& e, const Ctx& ctx) {
     case OpKind::kHashJoin:
       // Children 2/3 are per-element key binders, not data inputs.
       return EvalHashJoin(e, ctx);
+    case OpKind::kIndexProbe:
+      // Child 0 is the closed probe; sub() and θ bind per-element INPUT.
+      return EvalIndexProbe(e, ctx);
+    case OpKind::kIndexJoin:
+      // Like HASH_JOIN, but the indexed data child is served from a
+      // secondary index and may never be evaluated at all.
+      return EvalIndexJoin(e, ctx);
     default:
       break;
   }
@@ -612,6 +620,8 @@ Result<ValuePtr> Evaluator::EvalNodeImpl(const Expr& e, const Ctx& ctx) {
     case OpKind::kVar:
     case OpKind::kParam:
     case OpKind::kHashJoin:
+    case OpKind::kIndexProbe:
+    case OpKind::kIndexJoin:
       break;  // handled above
   }
   return Status::Internal("unknown operator kind");
@@ -788,6 +798,389 @@ Result<ValuePtr> Evaluator::EvalHashJoin(const Expr& e, const Ctx& ctx) {
   }
   EXA_RETURN_NOT_OK(flush_join_budget());
   m_pairs->Increment(pairs_tested);
+  return Value::SetOfCounted(std::move(out));
+}
+
+Result<ValuePtr> Evaluator::ProbeScanFallback(const Expr& e,
+                                              const ValuePtr& base,
+                                              const Ctx& ctx) {
+  // Uniform strict null propagation, as the logical SET_APPLY's operand
+  // would trigger in the generic operator path.
+  if (base->is_dne() || base->is_unk()) {
+    Count(e);
+    return base;
+  }
+  if (!base->is_set()) {
+    return Status::TypeError(StrCat("SET_APPLY requires a multiset input, got ",
+                                    ValueKindToString(base->kind())));
+  }
+  Count(e, base->TotalCount());
+  std::vector<SetEntry> out;
+  GovernorBatch batch(governor_);
+  for (const auto& entry : base->entries()) {
+    EXA_RETURN_NOT_OK(batch.Tick());
+    Ctx inner = ctx;
+    inner.input = entry.value;
+    EXA_ASSIGN_OR_RETURN(ValuePtr o, EvalNode(*e.sub(), inner));
+    if (o->is_dne()) continue;  // multiset construction drops dne
+    if (o->is_unk()) {
+      out.push_back({Value::Unk(), entry.count});
+      continue;
+    }
+    Ctx pin = ctx;
+    pin.input = o;
+    EXA_ASSIGN_OR_RETURN(Truth t, EvalPred(*e.pred(), pin));
+    if (t == Truth::kTrue) {
+      out.push_back({std::move(o), entry.count});
+    } else if (t == Truth::kUnk) {
+      out.push_back({Value::Unk(), entry.count});
+    }
+  }
+  EXA_RETURN_NOT_OK(batch.Flush());
+  return Value::SetOfCounted(std::move(out));
+}
+
+Result<ValuePtr> Evaluator::EvalIndexProbe(const Expr& e, const Ctx& ctx) {
+  static obs::Counter* m_probes =
+      obs::MetricsRegistry::Global().GetCounter("index.probes");
+  static obs::Counter* m_candidates =
+      obs::MetricsRegistry::Global().GetCounter("index.probe_candidates");
+  static obs::Counter* m_fallbacks =
+      obs::MetricsRegistry::Global().GetCounter("index.probe_fallbacks");
+  static obs::Histogram* m_bucket =
+      obs::MetricsRegistry::Global().GetHistogram("index.bucket_size");
+
+  const std::string& set_name = e.names().at(0);
+  const SecondaryIndex* idx = db_->FindIndex(e.name());
+  if (idx == nullptr || !idx->Usable() || idx->def().set_name != set_name) {
+    // Missing, disabled, or extraction-failed index: exact scan, same answer.
+    m_fallbacks->Increment();
+    EXA_ASSIGN_OR_RETURN(ValuePtr base, db_->NamedValue(set_name));
+    return ProbeScanFallback(e, base, ctx);
+  }
+
+  m_probes->Increment();
+  // The logical SET_APPLY over an empty base never evaluates its subscript —
+  // and so never the probe expression θ embeds. Return before touching it.
+  if (idx->entry_total() == 0) {
+    Count(e);
+    return Value::EmptySet();
+  }
+
+  auto probe_r = EvalNode(*e.child(0), ctx);
+  if (!probe_r.ok()) {
+    // θ may short-circuit before its indexed atom on every element (∧ stops
+    // at the first false conjunct), in which case the logical plan never
+    // evaluates the probe expression at all — so a failing probe must not
+    // fail the operator outright. The scan reproduces the logical error
+    // behavior exactly; a governor trip re-trips on its first checkpoint.
+    m_fallbacks->Increment();
+    EXA_ASSIGN_OR_RETURN(ValuePtr base, db_->NamedValue(set_name));
+    return ProbeScanFallback(e, base, ctx);
+  }
+  ValuePtr probe = std::move(*probe_r);
+  Count(e, idx->entry_total());
+
+  std::vector<SetEntry> out;
+  GovernorBatch batch(governor_);
+  int64_t candidates = 0;
+  // Per-element contract of SET_APPLY[COMP_θ(opnd)]: evaluate the operand
+  // binder on the element, propagate its nulls (dne drops, unk survives as
+  // an unk occurrence), then COMP's θ on the operand result. Skipping a
+  // non-matching bucket is exact because its indexed atom is false, which
+  // makes the conjunction θ false and COMP yield dne.
+  auto emit = [&](const SetEntry& entry) -> Status {
+    ++candidates;
+    EXA_RETURN_NOT_OK(batch.Tick());
+    Ctx inner = ctx;
+    inner.input = entry.value;
+    EXA_ASSIGN_OR_RETURN(ValuePtr o, EvalNode(*e.sub(), inner));
+    if (o->is_dne()) return Status::OK();
+    if (o->is_unk()) {
+      out.push_back({Value::Unk(), entry.count});
+      return Status::OK();
+    }
+    Ctx pin = ctx;
+    pin.input = o;
+    EXA_ASSIGN_OR_RETURN(Truth t, EvalPred(*e.pred(), pin));
+    if (t == Truth::kTrue) {
+      out.push_back({std::move(o), entry.count});
+    } else if (t == Truth::kUnk) {
+      out.push_back({Value::Unk(), entry.count});
+    }
+    return Status::OK();
+  };
+  auto emit_all = [&](const std::vector<SetEntry>& entries) -> Status {
+    for (const auto& entry : entries) EXA_RETURN_NOT_OK(emit(entry));
+    return Status::OK();
+  };
+  // Every element of the base set, straight out of the index partitions.
+  auto full_scan = [&]() -> Status {
+    if (idx->def().kind == IndexKind::kHash) {
+      for (const auto& kv : idx->hash_buckets()) {
+        EXA_RETURN_NOT_OK(emit_all(kv.second.entries));
+      }
+    } else {
+      for (const auto& kv : idx->ordered_buckets()) {
+        EXA_RETURN_NOT_OK(emit_all(kv.second.entries));
+      }
+    }
+    EXA_RETURN_NOT_OK(emit_all(idx->unk_entries()));
+    return emit_all(idx->dne_entries());
+  };
+
+  CmpOp cmp = static_cast<CmpOp>(e.index());
+  if (probe->is_unk()) {
+    // The indexed atom is unk against every key; θ can still come out false
+    // through another conjunct, so every element must be examined.
+    EXA_RETURN_NOT_OK(full_scan());
+  } else if (probe->is_dne()) {
+    // The atom is false against any non-null key (dne matches nothing) and
+    // unk against an unk key: only the unk partition can survive.
+    EXA_RETURN_NOT_OK(emit_all(idx->unk_entries()));
+  } else {
+    switch (cmp) {
+      case CmpOp::kEq: {
+        const SecondaryIndex::Bucket* b = idx->EqBucket(probe);
+        if (b != nullptr) {
+          m_bucket->Observe(static_cast<int64_t>(b->entries.size()));
+          EXA_RETURN_NOT_OK(emit_all(b->entries));
+        }
+        EXA_RETURN_NOT_OK(emit_all(idx->unk_entries()));
+        break;
+      }
+      case CmpOp::kIn: {
+        if (!probe->is_set()) {
+          // 'in' against a non-set raises a per-element type error; the
+          // scan reproduces it on the first candidate.
+          EXA_RETURN_NOT_OK(full_scan());
+          break;
+        }
+        // Distinct probe members can land in one ordered bucket (ordered
+        // equivalence groups cross-kind numerics); visit each bucket once.
+        std::unordered_set<const SecondaryIndex::Bucket*> seen;
+        for (const auto& member : probe->entries()) {
+          if (member.value->is_unk() || member.value->is_dne()) continue;
+          const SecondaryIndex::Bucket* b = idx->EqBucket(member.value);
+          if (b == nullptr || !seen.insert(b).second) continue;
+          m_bucket->Observe(static_cast<int64_t>(b->entries.size()));
+          EXA_RETURN_NOT_OK(emit_all(b->entries));
+        }
+        EXA_RETURN_NOT_OK(emit_all(idx->unk_entries()));
+        break;
+      }
+      case CmpOp::kLt:
+      case CmpOp::kLe:
+      case CmpOp::kGt:
+      case CmpOp::kGe: {
+        bool less = cmp == CmpOp::kLt || cmp == CmpOp::kLe;
+        bool inclusive = cmp == CmpOp::kLe || cmp == CmpOp::kGe;
+        std::vector<const SecondaryIndex::Bucket*> range;
+        if (!idx->OrderedRange(probe, less, inclusive, &range)) {
+          // Mixed key families or a NaN probe: ordering against the probe
+          // is not total, so nothing can be skipped.
+          EXA_RETURN_NOT_OK(full_scan());
+          break;
+        }
+        for (const SecondaryIndex::Bucket* b : range) {
+          m_bucket->Observe(static_cast<int64_t>(b->entries.size()));
+          EXA_RETURN_NOT_OK(emit_all(b->entries));
+        }
+        EXA_RETURN_NOT_OK(emit_all(idx->unk_entries()));
+        break;
+      }
+      case CmpOp::kNe:
+        // Never lowered to a probe; defensively examine everything.
+        EXA_RETURN_NOT_OK(full_scan());
+        break;
+    }
+  }
+  EXA_RETURN_NOT_OK(batch.Flush());
+  m_candidates->Increment(candidates);
+  return Value::SetOfCounted(std::move(out));
+}
+
+Result<ValuePtr> Evaluator::EvalIndexJoin(const Expr& e, const Ctx& ctx) {
+  static obs::Counter* m_joins =
+      obs::MetricsRegistry::Global().GetCounter("index.joins");
+  static obs::Counter* m_join_candidates =
+      obs::MetricsRegistry::Global().GetCounter("index.join_candidates");
+  static obs::Counter* m_fallbacks =
+      obs::MetricsRegistry::Global().GetCounter("index.join_fallbacks");
+
+  const size_t indexed_side = e.index() == 0 ? 0 : 1;
+  const size_t outer_side = indexed_side == 0 ? 1 : 0;
+  const SecondaryIndex* idx = db_->FindIndex(e.name());
+
+  // Re-derive the indexed child's shape: Var(S) serves elements raw; a
+  // mapping SET_APPLY(sub, Var(S)) applies `sub` to each candidate.
+  const ExprPtr& ichild = e.child(indexed_side);
+  std::string set_name;
+  ExprPtr transform;
+  if (ichild->kind() == OpKind::kVar) {
+    set_name = ichild->name();
+  } else if (ichild->kind() == OpKind::kSetApply &&
+             ichild->type_filter().empty() &&
+             ichild->child(0)->kind() == OpKind::kVar) {
+    set_name = ichild->child(0)->name();
+    transform = ichild->sub();
+  }
+  if (idx == nullptr || !idx->Usable() || set_name.empty() ||
+      idx->def().set_name != set_name) {
+    // The children share HASH_JOIN's layout, so the hash path is the exact
+    // fallback (it evaluates the indexed child like any other input).
+    m_fallbacks->Increment();
+    return EvalHashJoin(e, ctx);
+  }
+
+  EXA_ASSIGN_OR_RETURN(ValuePtr outer, EvalNode(*e.child(outer_side), ctx));
+  if (outer->is_dne()) {
+    Count(e);
+    return Value::Dne();
+  }
+  if (outer->is_unk()) {
+    Count(e);
+    return Value::Unk();
+  }
+  if (!outer->is_set()) {
+    return Status::TypeError(StrCat("IDX_JOIN requires multiset inputs, got ",
+                                    ValueKindToString(outer->kind())));
+  }
+  m_joins->Increment();
+  Count(e, outer->TotalCount() + idx->entry_total());
+  if (outer->entries().empty() || idx->entry_total() == 0) {
+    return Value::EmptySet();
+  }
+
+  const Predicate& theta = *e.pred();
+  std::vector<SetEntry> out;
+  int64_t candidates = 0;
+  GovernorBatch batch(governor_);
+  int64_t pair_bytes = -1, pending_bytes = 0;
+  // Same contract as EvalHashJoin's emit_pair: the full θ runs on every
+  // candidate pair, which keeps the operator answer-equal to
+  // SET_APPLY[COMP_θ](CROSS) no matter how coarse the bucket match was.
+  auto emit_pair = [&](const SetEntry& ea, const SetEntry& eb) -> Status {
+    ++candidates;
+    ValuePtr pair = Value::TupleOf({ea.value, eb.value});
+    if (governor_ != nullptr) {
+      if (pair_bytes < 0) pair_bytes = pair->ShallowSizeBytes();
+      pending_bytes += pair_bytes;
+      EXA_RETURN_NOT_OK(batch.Tick());
+      if (pending_bytes >= 4096) {
+        int64_t n = pending_bytes;
+        pending_bytes = 0;
+        EXA_RETURN_NOT_OK(governor_->ChargeBytes(n));
+      }
+    }
+    Ctx inner = ctx;
+    inner.input = pair;
+    EXA_ASSIGN_OR_RETURN(Truth t, EvalPred(theta, inner));
+    switch (t) {
+      case Truth::kTrue:
+        out.push_back({std::move(pair), ea.count * eb.count});
+        break;
+      case Truth::kUnk:
+        out.push_back({Value::Unk(), ea.count * eb.count});
+        break;
+      case Truth::kFalse:
+        break;
+    }
+    return Status::OK();
+  };
+  // Candidates come out of the index raw; the indexed child's per-element
+  // mapping (if any) runs only on them — never running it over the rest of
+  // the base set is the operator's win.
+  auto emit_candidate = [&](const SetEntry& outer_entry,
+                            const SetEntry& cand) -> Status {
+    SetEntry mapped = cand;
+    if (transform != nullptr) {
+      Ctx inner = ctx;
+      inner.input = cand.value;
+      EXA_ASSIGN_OR_RETURN(ValuePtr t, EvalNode(*transform, inner));
+      // A dne mapping means multiset construction would have dropped this
+      // element from the logical side: no pair exists for it.
+      if (t->is_dne()) return Status::OK();
+      mapped.value = std::move(t);
+    }
+    return indexed_side == 0 ? emit_pair(mapped, outer_entry)
+                             : emit_pair(outer_entry, mapped);
+  };
+
+  // Split the outer side by its key binder, as EvalHashJoin does.
+  struct Keyed {
+    const SetEntry* entry;
+    ValuePtr key;
+  };
+  std::vector<Keyed> keyed;
+  std::vector<const SetEntry*> unk_keys, dne_keys;
+  keyed.reserve(outer->entries().size());
+  for (const auto& entry : outer->entries()) {
+    Ctx inner = ctx;
+    inner.input = entry.value;
+    EXA_ASSIGN_OR_RETURN(ValuePtr k, EvalNode(*e.child(2 + outer_side), inner));
+    if (k->is_dne()) {
+      dne_keys.push_back(&entry);
+    } else if (k->is_unk()) {
+      unk_keys.push_back(&entry);
+    } else {
+      keyed.push_back({&entry, std::move(k)});
+    }
+  }
+
+  // Partition coverage mirrors EvalHashJoin: keyed outer entries probe their
+  // bucket; the index's unk partition meets every outer element (the atom is
+  // unk against any key); the index's dne partition only meets unk-keyed
+  // outer elements; unk-keyed outer elements meet the whole indexed set.
+  for (const auto& k : keyed) {
+    const SecondaryIndex::Bucket* b = idx->EqBucket(k.key);
+    if (b != nullptr) {
+      for (const auto& cand : b->entries) {
+        EXA_RETURN_NOT_OK(emit_candidate(*k.entry, cand));
+      }
+    }
+    for (const auto& cand : idx->unk_entries()) {
+      EXA_RETURN_NOT_OK(emit_candidate(*k.entry, cand));
+    }
+  }
+  for (const SetEntry* d : dne_keys) {
+    for (const auto& cand : idx->unk_entries()) {
+      EXA_RETURN_NOT_OK(emit_candidate(*d, cand));
+    }
+  }
+  auto all_indexed = [&](const SetEntry& outer_entry) -> Status {
+    if (idx->def().kind == IndexKind::kHash) {
+      for (const auto& kv : idx->hash_buckets()) {
+        for (const auto& cand : kv.second.entries) {
+          EXA_RETURN_NOT_OK(emit_candidate(outer_entry, cand));
+        }
+      }
+    } else {
+      for (const auto& kv : idx->ordered_buckets()) {
+        for (const auto& cand : kv.second.entries) {
+          EXA_RETURN_NOT_OK(emit_candidate(outer_entry, cand));
+        }
+      }
+    }
+    for (const auto& cand : idx->unk_entries()) {
+      EXA_RETURN_NOT_OK(emit_candidate(outer_entry, cand));
+    }
+    for (const auto& cand : idx->dne_entries()) {
+      EXA_RETURN_NOT_OK(emit_candidate(outer_entry, cand));
+    }
+    return Status::OK();
+  };
+  for (const SetEntry* u : unk_keys) {
+    EXA_RETURN_NOT_OK(all_indexed(*u));
+  }
+
+  EXA_RETURN_NOT_OK(batch.Flush());
+  if (governor_ != nullptr && pending_bytes > 0) {
+    int64_t n = pending_bytes;
+    pending_bytes = 0;
+    EXA_RETURN_NOT_OK(governor_->ChargeBytes(n));
+  }
+  m_join_candidates->Increment(candidates);
   return Value::SetOfCounted(std::move(out));
 }
 

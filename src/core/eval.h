@@ -14,7 +14,7 @@
 
 namespace excess {
 
-inline constexpr int kNumOpKinds = static_cast<int>(OpKind::kHashJoin) + 1;
+inline constexpr int kNumOpKinds = static_cast<int>(OpKind::kIndexJoin) + 1;
 
 /// Late-bound method resolution (§4 strategy A): given the run-time exact
 /// type of a receiver, return the stored query tree of the most specific
@@ -189,6 +189,12 @@ class Evaluator {
   Result<ValuePtr> EvalArrApply(const Expr& e, const ValuePtr& in,
                                 const Ctx& ctx);
   Result<ValuePtr> EvalHashJoin(const Expr& e, const Ctx& ctx);
+  Result<ValuePtr> EvalIndexProbe(const Expr& e, const Ctx& ctx);
+  Result<ValuePtr> EvalIndexJoin(const Expr& e, const Ctx& ctx);
+  /// Exact-scan fallback for IDX_PROBE when the index is missing or
+  /// unusable: SET_APPLY[COMP_θ(opnd)] semantics inline over the base set.
+  Result<ValuePtr> ProbeScanFallback(const Expr& e, const ValuePtr& base,
+                                     const Ctx& ctx);
   Result<ValuePtr> EvalArith(const ValuePtr& a, const ValuePtr& b,
                              const std::string& op);
   Result<ValuePtr> EvalMethodCall(const Expr& e, std::vector<ValuePtr> vals,

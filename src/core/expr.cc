@@ -39,6 +39,8 @@ const char* OpKindToString(OpKind kind) {
     case OpKind::kAgg: return "AGG";
     case OpKind::kMethodCall: return "METHOD";
     case OpKind::kHashJoin: return "HASH_JOIN";
+    case OpKind::kIndexProbe: return "IDX_PROBE";
+    case OpKind::kIndexJoin: return "IDX_JOIN";
   }
   return "?";
 }
@@ -227,6 +229,8 @@ std::string ParamString(const Expr& e) {
     case OpKind::kAgg:
     case OpKind::kMethodCall:
     case OpKind::kArith:
+    case OpKind::kIndexProbe:
+    case OpKind::kIndexJoin:
       return e.name();
     case OpKind::kRef:
       return e.name();
@@ -270,7 +274,8 @@ std::string Expr::ToString() const {
        kind_ == OpKind::kArrExtract || kind_ == OpKind::kSubArr ||
        kind_ == OpKind::kAgg || kind_ == OpKind::kArith ||
        kind_ == OpKind::kMethodCall || kind_ == OpKind::kRef ||
-       kind_ == OpKind::kSetApply)) {
+       kind_ == OpKind::kSetApply || kind_ == OpKind::kIndexProbe ||
+       kind_ == OpKind::kIndexJoin)) {
     p = StrCat("<", param, ">");
   }
   return StrCat(head, p, subscript, "(", args, ")");

@@ -79,6 +79,23 @@ enum class OpKind {
   // children); pred() carries the full original predicate θ, re-evaluated
   // on key-matching pairs only (its INPUT is the pair tuple (_1, _2)).
   kHashJoin,
+
+  // IDX_PROBE(probe)[sub][θ] is answer-equal to
+  // SET_APPLY[sub = COMP_θ(opnd)](Var(S)) where one conjunct of θ compares
+  // a key path of the element against the probe: child 0 is the (closed)
+  // probe expression; sub() is the COMP operand binder (INPUT bound to an
+  // element of S); pred() is the full θ, re-evaluated on every candidate
+  // the index returns. name() is the index name, names() = {S}, index()
+  // carries the CmpOp of the matched atom. Falls back to an exact scan of
+  // S when the index is missing or unusable.
+  kIndexProbe,
+
+  // IDX_JOIN(A, B, kA, kB)[θ] has the same shape and answer as HASH_JOIN
+  // but serves one side's key partitions from a secondary index instead of
+  // building a hash table by scanning that side. name() is the index name;
+  // index() is the indexed side (0 = A, 1 = B). Falls back to EvalHashJoin
+  // when the index is missing or unusable.
+  kIndexJoin,
 };
 
 const char* OpKindToString(OpKind kind);

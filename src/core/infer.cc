@@ -223,6 +223,31 @@ Result<SchemaPtr> TypeInference::InferNode(const Expr& e, const SchemaPtr& input
       return Schema::Set(
           Schema::Tup({{"_1", ElemOf(a)}, {"_2", ElemOf(b)}}));
     }
+    case OpKind::kIndexProbe: {
+      // Probe expression is closed relative to the set element; it still
+      // type-checks in the enclosing scope.
+      EXA_RETURN_NOT_OK(InferNode(*e.child(0), input).status());
+      if (db_ == nullptr) {
+        return Status::TypeError("IDX_PROBE requires a database");
+      }
+      EXA_ASSIGN_OR_RETURN(SchemaPtr base, db_->NamedSchema(e.names().at(0)));
+      EXA_RETURN_NOT_OK(ExpectCtor(base, TypeCtor::kSet, "IDX_PROBE"));
+      // Same output shape as the SET_APPLY[COMP] it replaces: the operand
+      // binder applied to an element of the base set.
+      EXA_ASSIGN_OR_RETURN(SchemaPtr out, Infer(e.sub(), ElemOf(base)));
+      return Schema::Set(std::move(out));
+    }
+    case OpKind::kIndexJoin: {
+      EXA_ASSIGN_OR_RETURN(SchemaPtr a, InferNode(*e.child(0), input));
+      EXA_ASSIGN_OR_RETURN(SchemaPtr b, InferNode(*e.child(1), input));
+      EXA_RETURN_NOT_OK(ExpectCtor(a, TypeCtor::kSet, "IDX_JOIN"));
+      EXA_RETURN_NOT_OK(ExpectCtor(b, TypeCtor::kSet, "IDX_JOIN"));
+      EXA_RETURN_NOT_OK(Infer(e.child(2), ElemOf(a)).status());
+      EXA_RETURN_NOT_OK(Infer(e.child(3), ElemOf(b)).status());
+      // Same output shape as the HASH_JOIN / CROSS it replaces.
+      return Schema::Set(
+          Schema::Tup({{"_1", ElemOf(a)}, {"_2", ElemOf(b)}}));
+    }
     case OpKind::kSetCollapse: {
       EXA_ASSIGN_OR_RETURN(SchemaPtr in, InferNode(*e.child(0), input));
       EXA_RETURN_NOT_OK(ExpectCtor(in, TypeCtor::kSet, "SET_COLLAPSE"));

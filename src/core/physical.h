@@ -1,7 +1,10 @@
 #ifndef EXCESS_CORE_PHYSICAL_H_
 #define EXCESS_CORE_PHYSICAL_H_
 
+#include "core/cost.h"
 #include "core/expr.h"
+#include "core/rewriter.h"
+#include "objects/database.h"
 
 namespace excess {
 
@@ -24,6 +27,31 @@ namespace excess {
 /// Evaluator::EvalHashJoin for the null-key fallbacks and the tiny-input
 /// nested-loop gate.
 ExprPtr LowerPhysical(const ExprPtr& plan);
+
+/// Index-aware physical lowering. Everything the plain overload does, plus
+/// two rules that consult the database's secondary indexes and only fire
+/// when the cost model scores the indexed alternative strictly cheaper:
+///
+///  - lower-index-probe: SET_APPLY[χ(COMP_θ(opnd))](Var(S)) — χ a possibly
+///    empty TUP_EXTRACT/DEREF suffix (rule-15 fusion wraps the projection
+///    around the COMP in translated plans), opnd a pure extraction path,
+///    optionally inside the translator's TUP<f>(...) environment tuple —
+///    where θ's ∧-spine holds an atom comparing a pure extraction path
+///    over INPUT against a closed, side-effect-free probe, and an index on
+///    S covers the operand+atom path (hash for =/in, ordered for
+///    </<=/>/>=) — becomes IDX_PROBE(probe)[opnd][θ], re-wrapped in
+///    SET_APPLY[χ(INPUT)] when χ is non-empty.
+///  - lower-index-join: a freshly lowered HASH_JOIN whose one side is
+///    Var(S) (or a pure extraction-path SET_APPLY over Var(S)) with a key
+///    binder matching an index on S — becomes IDX_JOIN, which never scans
+///    the indexed side.
+///
+/// Firings are counted as rules.fired.lower-index-probe / -join and
+/// reported to `observer` (phase "lowering"). With a null `db` this is the
+/// plain overload: plans come out byte-identical to it.
+ExprPtr LowerPhysical(const ExprPtr& plan, const Database* db,
+                      const CostParams& params,
+                      RewriteObserver* observer = nullptr);
 
 }  // namespace excess
 

@@ -107,7 +107,11 @@ Result<std::vector<PlanChoice>> Planner::Enumerate(const ExprPtr& query) {
 Result<ExprPtr> Planner::Optimize(const ExprPtr& query) {
   EXA_ASSIGN_OR_RETURN(std::vector<PlanChoice> choices, Enumerate(query));
   ExprPtr best = choices.front().plan;
-  if (options_.lower_physical) best = LowerPhysical(best);
+  if (options_.lower_physical) {
+    best = options_.use_indexes
+               ? LowerPhysical(best, db_, options_.cost_params, observer_)
+               : LowerPhysical(best);
+  }
   return best;
 }
 

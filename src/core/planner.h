@@ -35,6 +35,10 @@ class Planner {
     /// Run the physical lowering pass (core/physical.h) on the winning
     /// plan. Rewrite rules never see physical operators either way.
     bool lower_physical = true;
+    /// Let the lowering pass consult the database's secondary indexes
+    /// (lower-index-probe / lower-index-join). Off, lowering is the classic
+    /// hash-join-only pass and plans are index-neutral.
+    bool use_indexes = true;
     CostParams cost_params;
   };
 

@@ -156,6 +156,23 @@ struct ExplainStmt {
   std::shared_ptr<Statement> inner;  // retrieve / append / delete
 };
 
+/// `create index <name> on <Set> (a.b.c) [using hash | using ordered]`:
+/// builds a persistent secondary index over a named top-level multiset,
+/// keyed by the (possibly ref-traversing) attribute path. An empty path
+/// `()` keys the elements themselves (an identity index). Default kind is
+/// hash; `ordered` also serves range predicates.
+struct CreateIndexStmt {
+  std::string name;
+  std::string target;              // the named multiset
+  std::vector<std::string> path;   // attribute path; empty = identity
+  bool ordered = false;
+};
+
+/// `drop index <name>`: removes the index (never the data).
+struct DropIndexStmt {
+  std::string name;
+};
+
 /// `open "<path>"`: attaches the session to a durable database file,
 /// recovering its state (snapshot + WAL replay). Subsequent mutations are
 /// logged. `checkpoint` folds the WAL into a fresh snapshot.
@@ -170,6 +187,8 @@ struct Statement {
     // Session transactions: `begin` stages subsequent mutations, `commit`
     // makes them durable as one atomic WAL group, `rollback` discards them.
     kBegin, kCommit, kRollback,
+    // Secondary index DDL.
+    kCreateIndex, kDropIndex,
   };
   Kind kind = Kind::kRetrieve;
   std::shared_ptr<DefineTypeStmt> define_type;
@@ -181,6 +200,8 @@ struct Statement {
   std::shared_ptr<DeleteStmt> del;
   std::shared_ptr<ExplainStmt> explain;
   std::shared_ptr<OpenStmt> open;
+  std::shared_ptr<CreateIndexStmt> create_index;
+  std::shared_ptr<DropIndexStmt> drop_index;
   /// Verbatim source text of this statement (leading/trailing whitespace
   /// trimmed, no trailing ';'). The storage engine logs mutations by source,
   /// so replay re-executes exactly what was committed. Empty for statements

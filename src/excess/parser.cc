@@ -14,7 +14,8 @@ namespace {
 /// proof itself relies on: binary multiset expressions, constructor
 /// literals in target lists, and registered builtin functions):
 ///
-///   statement  := define_type | define_function | create | range | retrieve
+///   statement  := define_type | define_function | create | create_index
+///               | drop_index | range | retrieve
 ///   retrieve   := 'retrieve' ['unique'] '(' targets ')'
 ///                 { 'by' exprs | 'from' fromlist | 'where' orexpr
 ///                 | 'into' IDENT }
@@ -126,7 +127,16 @@ class Parser {
       if (Peek().kind == TokKind::kType) return ParseDefineType();
       return ParseDefineFunction();
     }
-    if (At(TokKind::kCreate)) return ParseCreate();
+    if (At(TokKind::kCreate)) {
+      // `create index I on S (...)` vs `create index : T` (a named object
+      // that happens to be called "index"): the object form is always
+      // followed by ':', so one more token of lookahead disambiguates.
+      if (Peek().kind == TokKind::kIdent && Peek().text == "index" &&
+          Peek(2).kind != TokKind::kColon) {
+        return ParseCreateIndex();
+      }
+      return ParseCreate();
+    }
     if (At(TokKind::kRange)) return ParseRange();
     if (At(TokKind::kRetrieve)) return ParseRetrieve();
     if (At(TokKind::kAppend)) return ParseAppend();
@@ -135,6 +145,7 @@ class Parser {
     // no statement can begin with an identifier, so intercepting them here
     // cannot change the meaning of any previously valid program.
     if (At(TokKind::kIdent) && Cur().text == "explain") return ParseExplain();
+    if (At(TokKind::kIdent) && Cur().text == "drop") return ParseDropIndex();
     if (At(TokKind::kIdent) && Cur().text == "open") return ParseOpen();
     if (At(TokKind::kIdent) && Cur().text == "checkpoint") {
       ++pos_;
@@ -163,7 +174,58 @@ class Parser {
     return Err(
         "expected a statement "
         "(define/create/range/retrieve/append/delete/explain/open/"
-        "checkpoint/begin/commit/rollback)");
+        "checkpoint/begin/commit/rollback/drop)");
+  }
+
+  /// create_index := 'create' 'index' IDENT 'on' IDENT
+  ///                 '(' [IDENT ('.' IDENT)*] ')'
+  ///                 ['using' ('hash' | 'ordered')]
+  /// An empty path `()` keys the elements themselves. `on` and `using` are
+  /// context-sensitive identifiers, like the explain options.
+  Result<Statement> ParseCreateIndex() {
+    ++pos_;  // 'create'
+    ++pos_;  // 'index'
+    auto stmt = std::make_shared<CreateIndexStmt>();
+    EXA_ASSIGN_OR_RETURN(stmt->name, ExpectIdent());
+    EXA_ASSIGN_OR_RETURN(std::string on, ExpectIdent());
+    if (on != "on") return Err("expected 'on' after the index name");
+    EXA_ASSIGN_OR_RETURN(stmt->target, ExpectIdent());
+    EXA_RETURN_NOT_OK(Expect(TokKind::kLParen));
+    if (!At(TokKind::kRParen)) {
+      do {
+        EXA_ASSIGN_OR_RETURN(std::string field, ExpectIdent());
+        stmt->path.push_back(std::move(field));
+      } while (Accept(TokKind::kDot));
+    }
+    EXA_RETURN_NOT_OK(Expect(TokKind::kRParen));
+    if (At(TokKind::kIdent) && Cur().text == "using") {
+      ++pos_;
+      EXA_ASSIGN_OR_RETURN(std::string kind, ExpectIdent());
+      if (kind == "ordered") {
+        stmt->ordered = true;
+      } else if (kind != "hash") {
+        return Err(
+            StrCat("unknown index kind '", kind, "' (expected hash or "
+                   "ordered)"));
+      }
+    }
+    Statement s;
+    s.kind = Statement::Kind::kCreateIndex;
+    s.create_index = std::move(stmt);
+    return s;
+  }
+
+  /// drop_index := 'drop' 'index' IDENT — removes the index, never the data.
+  Result<Statement> ParseDropIndex() {
+    ++pos_;  // 'drop'
+    EXA_ASSIGN_OR_RETURN(std::string kw, ExpectIdent());
+    if (kw != "index") return Err("expected 'index' after 'drop'");
+    auto stmt = std::make_shared<DropIndexStmt>();
+    EXA_ASSIGN_OR_RETURN(stmt->name, ExpectIdent());
+    Statement s;
+    s.kind = Statement::Kind::kDropIndex;
+    s.drop_index = std::move(stmt);
+    return s;
   }
 
   /// open := 'open' STRING — the string is the database file path.

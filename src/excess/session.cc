@@ -85,6 +85,12 @@ Result<ValuePtr> Session::ExecuteStatement(const Statement& stmt) {
     case Statement::Kind::kRollback:
       EXA_RETURN_NOT_OK(ExecRollback());
       return ValuePtr(nullptr);
+    case Statement::Kind::kCreateIndex:
+      EXA_RETURN_NOT_OK(ExecCreateIndex(*stmt.create_index, stmt.source));
+      return ValuePtr(nullptr);
+    case Statement::Kind::kDropIndex:
+      EXA_RETURN_NOT_OK(ExecDropIndex(*stmt.drop_index, stmt.source));
+      return ValuePtr(nullptr);
   }
   return Status::Internal("unknown statement kind");
 }
@@ -340,6 +346,43 @@ Status Session::ExecCreate(const CreateStmt& stmt, const std::string& source) {
   return Status::OK();
 }
 
+Status Session::ExecCreateIndex(const CreateIndexStmt& stmt,
+                                const std::string& source) {
+  IndexDef def;
+  def.name = stmt.name;
+  def.set_name = stmt.target;
+  def.path = stmt.path;
+  def.kind = stmt.ordered ? IndexKind::kOrdered : IndexKind::kHash;
+  // Same DDL commit protocol as ExecCreate: apply first (the build can fail
+  // on semantic grounds the log must never record), then log, undoing the
+  // build if the log write fails.
+  EXA_RETURN_NOT_OK(db_->CreateIndex(def));
+  Status logged = LogDurable(source, /*context=*/false);
+  if (!logged.ok()) {
+    (void)db_->DropIndex(stmt.name);
+    return logged;
+  }
+  return Status::OK();
+}
+
+Status Session::ExecDropIndex(const DropIndexStmt& stmt,
+                              const std::string& source) {
+  // Capture the definition before dropping so a failed log write can put
+  // the index back (entries rebuild from the unchanged base set).
+  const SecondaryIndex* idx = db_->FindIndex(stmt.name);
+  if (idx == nullptr) {
+    return Status::Invalid(StrCat("no index named '", stmt.name, "'"));
+  }
+  IndexDef previous = idx->def();
+  EXA_RETURN_NOT_OK(db_->DropIndex(stmt.name));
+  Status logged = LogDurable(source, /*context=*/false);
+  if (!logged.ok()) {
+    (void)db_->CreateIndex(previous);
+    return logged;
+  }
+  return Status::OK();
+}
+
 Status Session::ExecRange(const RangeStmt& stmt, const std::string& source) {
   // Redeclaration replaces the previous binding (a session convenience).
   ExprAstPtr prev;
@@ -414,12 +457,22 @@ Status Session::ExecDefineFunction(const DefineFunctionStmt& stmt,
   return Status::OK();
 }
 
+Planner::Options Session::EffectivePlannerOptions() const {
+  Planner::Options opts = options_.planner;
+  // EXCESS_INDEX_LOWERING=0 turns index-aware lowering off for the whole
+  // session (the lowering-equivalence oracle's indexes-off leg); plans are
+  // then index-neutral regardless of what indexes exist.
+  opts.use_indexes =
+      opts.use_indexes && util::EnvInt("EXCESS_INDEX_LOWERING", 0, 1, 1) != 0;
+  return opts;
+}
+
 Result<ValuePtr> Session::ExecRetrieve(const RetrieveStmt& stmt,
                                        const std::string& source) {
   EXA_ASSIGN_OR_RETURN(ExprPtr tree,
                        translator_.TranslateRetrieve(stmt, ranges_));
   if (options_.optimize) {
-    Planner planner(db_, options_.planner);
+    Planner planner(db_, EffectivePlannerOptions());
     EXA_ASSIGN_OR_RETURN(tree, planner.Optimize(tree));
   }
   EXA_ASSIGN_OR_RETURN(ValuePtr result, EvalTree(tree));
@@ -472,7 +525,7 @@ Result<ValuePtr> Session::ExecExplain(const ExplainStmt& stmt) {
   obs::RewriteTrace trace(db_, options_.planner.cost_params);
   ExprPtr physical = logical;
   if (options_.optimize) {
-    Planner planner(db_, options_.planner);
+    Planner planner(db_, EffectivePlannerOptions());
     planner.set_observer(&trace);
     EXA_ASSIGN_OR_RETURN(physical, planner.Optimize(logical));
   }

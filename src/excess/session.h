@@ -141,6 +141,13 @@ class Session {
   Status ExecBegin();
   Status ExecCommit();
   Status ExecRollback();
+  Status ExecCreateIndex(const CreateIndexStmt& stmt,
+                         const std::string& source);
+  Status ExecDropIndex(const DropIndexStmt& stmt, const std::string& source);
+
+  /// The session's planner options with the EXCESS_INDEX_LOWERING env knob
+  /// folded in (0 disables index-aware lowering; default on).
+  Planner::Options EffectivePlannerOptions() const;
 
   /// The update plan ExecAppend evaluates (shared with EXPLAIN).
   Result<ExprPtr> AppendPlan(const AppendStmt& stmt);

@@ -60,6 +60,9 @@ Status Database::SetNamed(const std::string& name, ValuePtr value) {
   it->second.value = std::move(value);
   extent_cache_.erase(name);
   append_index_.erase(name);
+  for (auto& [iname, index] : indexes_) {
+    if (index->def().set_name == name) index->Rebuild(it->second.value);
+  }
   return Status::OK();
 }
 
@@ -83,6 +86,12 @@ Status Database::AppendNamed(const std::string& name,
   it->second.value = Value::AddUnionInPlace(std::move(it->second.value),
                                             *addition, &append_index_[name]);
   extent_cache_.erase(name);
+  // Incremental index maintenance: O(|addition|) like the merge above, so
+  // append-heavy WAL replay stays linear with indexes defined.
+  for (auto& [iname, index] : indexes_) {
+    if (index->def().set_name != name) continue;
+    for (const SetEntry& e : addition->entries()) index->Add(e.value, e.count);
+  }
   return Status::OK();
 }
 
@@ -110,6 +119,13 @@ Status Database::DropNamed(const std::string& name) {
   named_.erase(it);
   extent_cache_.erase(name);
   append_index_.erase(name);
+  for (auto iit = indexes_.begin(); iit != indexes_.end();) {
+    if (iit->second->def().set_name == name) {
+      iit = indexes_.erase(iit);
+    } else {
+      ++iit;
+    }
+  }
   return Status::OK();
 }
 
@@ -117,6 +133,7 @@ void Database::Clear() {
   named_.clear();
   extent_cache_.clear();
   append_index_.clear();
+  indexes_.clear();
   store_.Clear();
   catalog_.Clear();
 }
@@ -126,6 +143,7 @@ Database::TxnSnapshot Database::CaptureTxnSnapshot() const {
   snap.catalog_defs = catalog_.TypeNames().size();
   snap.store = store_.Dump();
   snap.named = named_;
+  snap.index_defs = IndexDefs();
   return snap;
 }
 
@@ -141,7 +159,62 @@ Status Database::RestoreTxnSnapshot(const TxnSnapshot& snap) {
   named_ = snap.named;
   extent_cache_.clear();
   append_index_.clear();
+  // Roll indexes back to the captured definitions and rebuild their entries
+  // from the restored base sets (dropping any created inside the txn and
+  // resurrecting any dropped by it).
+  indexes_.clear();
+  for (const IndexDef& def : snap.index_defs) {
+    EXA_RETURN_NOT_OK(CreateIndex(def));
+  }
   return Status::OK();
+}
+
+Status Database::CreateIndex(const IndexDef& def) {
+  if (def.name.empty()) return Status::Invalid("index with empty name");
+  if (indexes_.count(def.name) > 0) {
+    return Status::AlreadyExists(
+        StrCat("index '", def.name, "' already exists"));
+  }
+  EXA_ASSIGN_OR_RETURN(ValuePtr value, NamedValue(def.set_name));
+  if (value == nullptr || !value->is_set()) {
+    return Status::TypeError(StrCat("index '", def.name, "' target '",
+                                    def.set_name,
+                                    "' is not bound to a multiset"));
+  }
+  auto index = std::make_unique<SecondaryIndex>(def, &store_);
+  index->Rebuild(value);
+  indexes_.emplace(def.name, std::move(index));
+  return Status::OK();
+}
+
+Status Database::DropIndex(const std::string& name) {
+  auto it = indexes_.find(name);
+  if (it == indexes_.end()) {
+    return Status::NotFound(StrCat("no index '", name, "'"));
+  }
+  indexes_.erase(it);
+  return Status::OK();
+}
+
+const SecondaryIndex* Database::FindIndex(const std::string& name) const {
+  auto it = indexes_.find(name);
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const SecondaryIndex*> Database::IndexesOn(
+    const std::string& set_name) const {
+  std::vector<const SecondaryIndex*> out;
+  for (const auto& [name, index] : indexes_) {
+    if (index->def().set_name == set_name) out.push_back(index.get());
+  }
+  return out;
+}
+
+std::vector<IndexDef> Database::IndexDefs() const {
+  std::vector<IndexDef> out;
+  out.reserve(indexes_.size());
+  for (const auto& [name, index] : indexes_) out.push_back(index->def());
+  return out;
 }
 
 Result<const std::map<std::string, ValuePtr>*> Database::TypeExtents(

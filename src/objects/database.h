@@ -2,10 +2,12 @@
 #define EXCESS_OBJECTS_DATABASE_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "objects/index.h"
 #include "objects/store.h"
 #include "objects/value.h"
 #include "util/status.h"
@@ -67,6 +69,26 @@ class Database {
   /// A durable `open` replaces in-memory state with the on-disk image.
   void Clear();
 
+  // --- secondary indexes ---------------------------------------------------
+  /// Defines and builds a persistent secondary index (docs/INDEXES.md). The
+  /// target must be an existing named object currently bound to a multiset.
+  /// Index entries are derived state: they are rebuilt on SetNamed rebinds,
+  /// merged incrementally by AppendNamed, and recreated from definitions on
+  /// transaction rollback and snapshot restore.
+  Status CreateIndex(const IndexDef& def);
+
+  /// Removes an index by name.
+  Status DropIndex(const std::string& name);
+
+  const SecondaryIndex* FindIndex(const std::string& name) const;
+
+  /// All indexes covering `set_name`, in name order.
+  std::vector<const SecondaryIndex*> IndexesOn(const std::string& set_name) const;
+
+  /// Durable definitions of every index, in name order (what snapshots and
+  /// epoch clones persist; entries rebuild from the base sets).
+  std::vector<IndexDef> IndexDefs() const;
+
   /// §4 type-extent index: partitions the occurrences of the named multiset
   /// by exact element type (tuple tags, or the store's exact type for
   /// refs). Cached; invalidated by SetNamed. With this index available, the
@@ -84,6 +106,9 @@ class Database {
     size_t catalog_defs = 0;
     ObjectStore::StoreDump store;
     std::map<std::string, NamedObject> named;
+    /// Index *definitions* only; rollback recreates the entries from the
+    /// restored base sets (same strategy as snapshot restore).
+    std::vector<IndexDef> index_defs;
   };
   TxnSnapshot CaptureTxnSnapshot() const;
 
@@ -103,6 +128,9 @@ class Database {
   /// Per-name distinct-element indexes for AppendNamed; dropped whenever
   /// the name is rebound through any other path.
   std::map<std::string, Value::SetIndex> append_index_;
+  /// Secondary indexes by index name (unique_ptr: SecondaryIndex is
+  /// non-copyable and planner/eval hold raw pointers across lookups).
+  std::map<std::string, std::unique_ptr<SecondaryIndex>> indexes_;
 };
 
 }  // namespace excess

@@ -93,6 +93,12 @@ std::string Detail(const Expr& e) {
     case OpKind::kComp:
     case OpKind::kHashJoin:
       return e.pred() != nullptr ? e.pred()->ToString() : "";
+    case OpKind::kIndexProbe:
+    case OpKind::kIndexJoin: {
+      std::string out = "idx=" + e.name();
+      if (e.pred() != nullptr) out += " " + e.pred()->ToString();
+      return out;
+    }
     default:
       return "";
   }
@@ -137,11 +143,16 @@ ExplainNode Annotate(const CostModel& cost, const ExprPtr& e,
       n.act_self_nanos = np->self_nanos;
     }
   }
-  const bool hash_join = e->kind() == OpKind::kHashJoin;
+  const bool join = e->kind() == OpKind::kHashJoin ||
+                    e->kind() == OpKind::kIndexJoin;
+  const bool probe = e->kind() == OpKind::kIndexProbe;
   for (size_t i = 0; i < e->num_children(); ++i) {
-    // HASH_JOIN children 2/3 are per-element key binders, not data inputs.
-    n.children.push_back(Annotate(cost, e->child(i), profile,
-                                  hash_join && i >= 2 ? "key" : ""));
+    // HASH_JOIN / IDX_JOIN children 2/3 are per-element key binders, not
+    // data inputs; IDX_PROBE's only child is the closed probe expression.
+    std::string child_role;
+    if (join && i >= 2) child_role = "key";
+    if (probe && i == 0) child_role = "probe";
+    n.children.push_back(Annotate(cost, e->child(i), profile, child_role));
   }
   if (e->sub() != nullptr) {
     n.children.push_back(Annotate(cost, e->sub(), profile, "sub"));

@@ -19,6 +19,7 @@ std::shared_ptr<const EpochSnapshot> CaptureEpoch(
   }
   snap->ranges = writer.ranges();
   snap->methods = methods.Snapshot();
+  snap->indexes = db.IndexDefs();
   obs::MetricsRegistry::Global().GetCounter("server.epoch.published")
       ->Increment();
   return snap;
@@ -35,6 +36,11 @@ Status MaterializeEpoch(const EpochSnapshot& snap, Database* db,
   EXA_RETURN_NOT_OK(db->store().Restore(snap.store));
   for (const auto& obj : snap.named) {
     EXA_RETURN_NOT_OK(db->CreateNamed(obj.name, obj.schema, obj.value));
+  }
+  // Indexes after the named bindings they cover; creation rebuilds the
+  // entries inside the clone, so readers probe without synchronization.
+  for (const auto& def : snap.indexes) {
+    EXA_RETURN_NOT_OK(db->CreateIndex(def));
   }
   methods->RestoreSnapshot(snap.methods);
   *ranges = snap.ranges;

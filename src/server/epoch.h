@@ -28,6 +28,9 @@ struct EpochSnapshot {
   std::vector<NamedObject> named;
   std::vector<std::pair<std::string, ExprAstPtr>> ranges;
   MethodRegistry::MethodMap methods;
+  /// Secondary index definitions; reader clones rebuild the entries from
+  /// their private named bindings (same strategy as snapshot restore).
+  std::vector<IndexDef> indexes;
 };
 
 /// Captures the writer's committed state as epoch `epoch`. Must run with

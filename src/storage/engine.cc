@@ -11,7 +11,12 @@ namespace storage {
 
 namespace {
 
-constexpr char kSnapMagic[8] = {'E', 'X', 'D', 'B', '0', '0', '0', '1'};
+// Snapshot format versions, carried by the magic. v2 appends an
+// index-definition section to the payload after the context sources; the
+// payload decoder treats that section as optional, so v1 files written by
+// older builds recover unchanged. Writes always use the current version.
+constexpr char kSnapMagicV1[8] = {'E', 'X', 'D', 'B', '0', '0', '0', '1'};
+constexpr char kSnapMagic[8] = {'E', 'X', 'D', 'B', '0', '0', '0', '2'};
 constexpr size_t kSnapHeaderSize = sizeof(kSnapMagic) + 8 + 4;
 
 std::string EncodeSnapshotFile(const std::string& payload) {
@@ -26,7 +31,8 @@ std::string EncodeSnapshotFile(const std::string& payload) {
 
 Result<std::string> DecodeSnapshotFile(const std::string& bytes) {
   if (bytes.size() < kSnapHeaderSize ||
-      std::memcmp(bytes.data(), kSnapMagic, sizeof(kSnapMagic)) != 0) {
+      (std::memcmp(bytes.data(), kSnapMagic, sizeof(kSnapMagic)) != 0 &&
+       std::memcmp(bytes.data(), kSnapMagicV1, sizeof(kSnapMagicV1)) != 0)) {
     return Status::DataLoss("snapshot corrupt: bad or truncated header");
   }
   Reader r(bytes.data() + sizeof(kSnapMagic), 12);

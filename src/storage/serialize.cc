@@ -387,6 +387,18 @@ std::string EncodeSnapshotPayload(const SnapshotState& state) {
   w.U32(static_cast<uint32_t>(state.context.size()));
   for (const auto& src : state.context) w.Str(src);
 
+  // v2: secondary index definitions. Decoders treat this section as
+  // optional, so v1 files (which end right after the context sources)
+  // still decode.
+  w.U32(static_cast<uint32_t>(state.indexes.size()));
+  for (const auto& def : state.indexes) {
+    w.Str(def.name);
+    w.Str(def.set_name);
+    w.U32(static_cast<uint32_t>(def.path.size()));
+    for (const auto& field : def.path) w.Str(field);
+    w.U8(def.kind == IndexKind::kOrdered ? 1 : 0);
+  }
+
   return w.Take();
 }
 
@@ -462,6 +474,30 @@ Result<SnapshotState> DecodeSnapshotPayload(const std::string& payload) {
     state.context.push_back(std::move(src));
   }
 
+  // v1 payloads end here; v2 appends the index-definition section.
+  if (!r.done()) {
+    EXA_ASSIGN_OR_RETURN(uint32_t nidx, r.Count(13));
+    state.indexes.reserve(nidx);
+    for (uint32_t i = 0; i < nidx; ++i) {
+      IndexDef def;
+      EXA_ASSIGN_OR_RETURN(def.name, r.Str());
+      EXA_ASSIGN_OR_RETURN(def.set_name, r.Str());
+      EXA_ASSIGN_OR_RETURN(uint32_t nsteps, r.Count(4));
+      def.path.reserve(nsteps);
+      for (uint32_t s = 0; s < nsteps; ++s) {
+        EXA_ASSIGN_OR_RETURN(std::string field, r.Str());
+        def.path.push_back(std::move(field));
+      }
+      EXA_ASSIGN_OR_RETURN(uint8_t kind, r.U8());
+      if (kind > 1) {
+        return Status::DataLoss(
+            StrCat("unknown index kind tag ", static_cast<int>(kind)));
+      }
+      def.kind = kind == 1 ? IndexKind::kOrdered : IndexKind::kHash;
+      state.indexes.push_back(std::move(def));
+    }
+  }
+
   if (!r.done()) {
     return Status::DataLoss(
         StrCat("snapshot payload has ", r.remaining(), " trailing bytes"));
@@ -480,6 +516,7 @@ SnapshotState CaptureDatabase(const Database& db, uint64_t seq,
     state.named.push_back(SnapshotState::Named{obj->name, obj->schema, obj->value});
   }
   state.context = std::move(context);
+  state.indexes = db.IndexDefs();
   return state;
 }
 
@@ -493,6 +530,11 @@ Status InstallDatabase(const SnapshotState& state, Database* db) {
   EXA_RETURN_NOT_OK(db->store().Restore(state.store));
   for (const auto& named : state.named) {
     EXA_RETURN_NOT_OK(db->CreateNamed(named.name, named.schema, named.value));
+  }
+  // Indexes last: creation rebuilds each one from its (now restored) base
+  // set, so only the definitions travel on disk.
+  for (const auto& def : state.indexes) {
+    EXA_RETURN_NOT_OK(db->CreateIndex(def));
   }
   return Status::OK();
 }

@@ -87,6 +87,10 @@ struct SnapshotState {
   };
   std::vector<Named> named;
   std::vector<std::string> context;
+  /// Secondary index *definitions* (v2 payloads; absent and empty in v1
+  /// files). Entries are never persisted — InstallDatabase recreates each
+  /// index, which rebuilds it from the restored base set.
+  std::vector<IndexDef> indexes;
 };
 
 std::string EncodeSnapshotPayload(const SnapshotState& state);

@@ -83,6 +83,20 @@ TEST(OracleSweep, LoweringEquivalence) {
   EXPECT_GE(stats.comparisons, static_cast<int64_t>(kSweepSeeds));
 }
 
+TEST(OracleSweep, IndexEquivalence) {
+  // Indexed vs unindexed agreement under random index churn (create/drop
+  // mid-trace, appends and rebinds of the base sets): index-blind and
+  // index-aware lowering must both reproduce the logical answer exactly.
+  GenOptions opts;
+  OracleStats stats;
+  std::vector<Divergence> divs;
+  for (uint64_t seed = 0; seed < kSweepSeeds; ++seed) {
+    ASSERT_TRUE(CheckIndexSeed(seed, opts, &stats, &divs).ok());
+    ASSERT_TRUE(divs.empty()) << Describe(divs.front());
+  }
+  EXPECT_GE(stats.comparisons, static_cast<int64_t>(kSweepSeeds));
+}
+
 TEST(OracleSweep, RoundTrip) {
   GenOptions opts;
   OracleStats stats;

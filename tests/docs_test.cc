@@ -45,6 +45,13 @@ const std::string& ObservabilityDoc() {
   return *doc;
 }
 
+const std::string& IndexesDoc() {
+  static const std::string* doc =
+      new std::string(ReadFileOrDie(std::string(EXCESS_DOCS_DIR) +
+                                    "/INDEXES.md"));
+  return *doc;
+}
+
 TEST(DocsFreshness, EveryOpKindDocumented) {
   for (int k = 0; k < kNumOpKinds; ++k) {
     const char* name = OpKindToString(static_cast<OpKind>(k));
@@ -97,7 +104,10 @@ TEST(DocsFreshness, MetricNamesDocumented) {
        {"rules.fired.", "planner.search_expanded", "planner.plans_considered",
         "hashjoin.builds", "hashjoin.nested_loop", "hashjoin.build_entries",
         "hashjoin.probe_entries", "hashjoin.pairs_tested",
-        "hashjoin.chain_length", "parallel.partitions", "parallel.batches",
+        "hashjoin.chain_length", "index.probes", "index.probe_candidates",
+        "index.probe_fallbacks", "index.bucket_size", "index.joins",
+        "index.join_candidates", "index.join_fallbacks",
+        "parallel.partitions", "parallel.batches",
         "parallel.items", "governor.trips.memory",
         "governor.trips.occurrences", "governor.trips.deadline",
         "governor.trips.cancelled", "storage.wal.appends",
@@ -121,12 +131,40 @@ TEST(DocsFreshness, EnvKnobsDocumented) {
   for (const char* knob :
        {"EXCESS_THREADS", "EXCESS_DEADLINE_MS", "EXCESS_MEM_LIMIT_MB",
         "EXCESS_SWEEP_SEEDS", "EXCESS_METRICS_PATH", "EXCESS_DB_PATH",
-        "EXCESS_WAL_FSYNC", "EXCESS_GROUP_COMMIT", "EXCESS_SERVER_SOCKET",
+        "EXCESS_WAL_FSYNC", "EXCESS_GROUP_COMMIT", "EXCESS_INDEX_LOWERING",
+        "EXCESS_SERVER_SOCKET",
         "EXCESS_SERVER_PORT", "EXCESS_SERVER_WORKERS", "EXCESS_SERVER_QUEUE",
         "EXCESS_SERVER_GRACE_MS"}) {
     EXPECT_NE(ObservabilityDoc().find(knob), std::string::npos)
         << "env knob " << knob
         << " is not documented in docs/OBSERVABILITY.md";
+  }
+}
+
+TEST(DocsFreshness, LoweringRulesDocumented) {
+  // The index-aware lowering rules live in core/physical.cc, outside
+  // RuleSet::All(), so EveryRuleDocumented cannot see them; pin their
+  // rows explicitly.
+  for (const char* rule : {"lower-index-probe", "lower-index-join"}) {
+    std::string needle = std::string("`") + rule + "`";
+    EXPECT_NE(RulesDoc().find(needle), std::string::npos)
+        << "lowering rule " << rule << " is not documented in docs/RULES.md";
+    EXPECT_NE(IndexesDoc().find(needle), std::string::npos)
+        << "lowering rule " << rule << " is not covered in docs/INDEXES.md";
+  }
+}
+
+TEST(DocsFreshness, IndexReferenceCoversTheSurface) {
+  // docs/INDEXES.md must keep naming the pieces it claims to document:
+  // the DDL keywords, both physical operators, both snapshot magics, the
+  // planner knob, and the probe metrics.
+  for (const char* needle :
+       {"create index", "drop index", "using hash", "using ordered",
+        "`IDX_PROBE`", "`IDX_JOIN`", "EXDB0002", "EXDB0001",
+        "EXCESS_INDEX_LOWERING", "index.probes", "index.probe_fallbacks",
+        "index.bucket_size", "index.joins"}) {
+    EXPECT_NE(IndexesDoc().find(needle), std::string::npos)
+        << "docs/INDEXES.md no longer mentions \"" << needle << "\"";
   }
 }
 

@@ -108,6 +108,29 @@ TEST_F(ExplainFigureTest, GoldenJsonIsStableAcrossCalls) {
   EXPECT_EQ(a, b);
 }
 
+TEST_F(ExplainFigureTest, FigurePlansAreIndexNeutral) {
+  // The golden figure plans must not depend on the secondary-index
+  // subsystem: with no index covering a figure's access paths, the
+  // index-aware lowering overload is contractually byte-identical to the
+  // plain one (core/physical.h), so the archived PLAN_*.json trees stay
+  // reproductions of the paper's plans. An index on an unrelated path
+  // must not change that.
+  ASSERT_TRUE(
+      db_.CreateIndex({"unrelated", "Employees", {"ssnum"}, IndexKind::kHash})
+          .ok());
+  const std::vector<std::pair<std::string, ExprPtr>> plans = {
+      {"fig6", Fig6Plan()},
+      {"fig8", Fig8Plan()},
+      {"fig9", Fig9Plan(1)},
+      {"fig11", Fig11Plan(1)},
+  };
+  for (const auto& [name, plan] : plans) {
+    SCOPED_TRACE(name);
+    EXPECT_EQ(LowerPhysical(plan)->ToString(),
+              LowerPhysical(plan, &db_, CostParams())->ToString());
+  }
+}
+
 // Runs `plan` under a profile and asserts the EXPLAIN ANALYZE invariants:
 // per-OpKind sums over the profile equal the EvalStats columns (invocations,
 // occurrences, self-nanos), and the root node's out_occurrences equals the

@@ -22,6 +22,18 @@
 //  4. Does client death hurt anyone else? A fault mix kills a third of
 //     its connections right after sending (dead-client cancellation
 //     path); the surviving clients' error count must stay zero.
+//
+//  5. What do wire transactions cost? One client runs begin / append /
+//     tokened-commit groups back-to-back against a durable store; the
+//     commits/sec row prices the lease grant + WAL commit marker + token
+//     journaling on top of the wire baseline.
+//
+//  6. How fast is kill-mid-commit recovery? Clients send a tokened commit
+//     and die without reading the ack; the row reports how long a fresh
+//     connection takes to get a decisive answer for the same token
+//     (resolved-by-token or a typed error) and asserts the exactly-once
+//     contract: the group's value is durable iff the retried commit says
+//     so — never twice, never half.
 
 #include <unistd.h>
 
@@ -30,6 +42,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <algorithm>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -114,6 +127,145 @@ PhaseResult ReadPhase(const std::string& sock, int clients, double seconds) {
   out.ok = ok.load();
   out.shed = shed.load();
   out.errors = errors.load();
+  return out;
+}
+
+/// One client runs begin / append / tokened-commit groups back-to-back
+/// for `seconds`; `ok` counts committed groups.
+PhaseResult TxnPhase(const std::string& sock, double seconds) {
+  PhaseResult out;
+  auto start = Clock::now();
+  auto deadline = start + std::chrono::duration<double>(seconds);
+  auto client = Client::ConnectUnix(sock, /*timeout_ms=*/20'000);
+  if (!client.ok()) {
+    out.errors = 1;
+    return out;
+  }
+  int64_t i = 0;
+  while (Clock::now() < deadline) {
+    ++i;
+    std::string token = "bench-" + std::to_string(i);
+    auto begun = client->Execute("begin", /*deadline_ms=*/20'000);
+    if (!begun.ok() || begun->code != StatusCode::kOk) {
+      ++out.errors;
+      break;
+    }
+    auto appended = client->Execute("append " + std::to_string(i) + " to T",
+                                    /*deadline_ms=*/20'000);
+    if (!appended.ok() || appended->code != StatusCode::kOk) {
+      ++out.errors;
+      break;
+    }
+    auto committed = client->Execute("commit", /*deadline_ms=*/20'000,
+                                     /*max_bytes=*/0, /*max_occurrences=*/0,
+                                     token);
+    if (!committed.ok() || committed->code != StatusCode::kOk) {
+      ++out.errors;
+      break;
+    }
+    ++out.ok;
+  }
+  out.wall_s = std::chrono::duration<double>(Clock::now() - start).count();
+  return out;
+}
+
+struct KillCommitResult {
+  int64_t kills = 0;
+  int64_t resolved = 0;    // retried commit answered resolved-by-token
+  int64_t aborted = 0;     // retried commit got a typed "no such txn" error
+  int64_t violations = 0;  // exactly-once broken, or no decisive answer
+  double avg_recovery_ms = 0;
+  double max_recovery_ms = 0;
+};
+
+/// `kills` clients each stage a group, fire the tokened commit, and die
+/// without reading the ack. A fresh connection then retries the same
+/// token until the answer is decisive; the recovered value count must
+/// match what that answer claims.
+KillCommitResult KillMidCommitPhase(const std::string& sock, int kills) {
+  KillCommitResult out;
+  double total_ms = 0;
+  for (int k = 0; k < kills; ++k) {
+    const int value = 100'000 + k;
+    const std::string token = "kill-" + std::to_string(k);
+    {
+      auto doomed = Client::ConnectUnix(sock, /*timeout_ms=*/5'000);
+      if (!doomed.ok()) {
+        ++out.violations;
+        continue;
+      }
+      auto begun = doomed->Execute("begin", /*deadline_ms=*/10'000);
+      if (!begun.ok() || begun->code != StatusCode::kOk) {
+        ++out.violations;
+        continue;
+      }
+      auto appended = doomed->Execute(
+          "append " + std::to_string(value) + " to K", /*deadline_ms=*/10'000);
+      if (!appended.ok() || appended->code != StatusCode::kOk) {
+        ++out.violations;
+        continue;
+      }
+      Request req;
+      req.opcode = Opcode::kStatement;
+      req.deadline_ms = 10'000;
+      req.statement = "commit";
+      req.token = token;
+      (void)WriteFrame(doomed->fd(), EncodeRequest(req), 1'000);
+      // Half the kills give the commit a head start (ack loss), half die
+      // immediately (racing the dead-client cancellation path).
+      if (k % 2 == 0) std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      doomed->Close();
+    }
+    ++out.kills;
+    auto t0 = Clock::now();
+    auto give_up = t0 + std::chrono::seconds(2);
+    bool decisive = false;
+    bool committed = false;
+    auto retrier = Client::ConnectUnix(sock, /*timeout_ms=*/5'000);
+    while (retrier.ok() && Clock::now() < give_up) {
+      auto r = retrier->Execute("commit", /*deadline_ms=*/5'000,
+                                /*max_bytes=*/0, /*max_occurrences=*/0, token);
+      if (!r.ok()) break;
+      if (r->code == StatusCode::kUnavailable) {
+        // The dying connection still holds the lease; poll per its hint.
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            std::min<int64_t>(std::max<uint32_t>(r->retry_after_ms, 1), 20)));
+        continue;
+      }
+      decisive = true;
+      committed = r->code == StatusCode::kOk;
+      if (committed && !r->resolved_by_token) out.violations += 1;
+      break;
+    }
+    double ms = std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                    .count();
+    if (!decisive) {
+      ++out.violations;
+      continue;
+    }
+    total_ms += ms;
+    out.max_recovery_ms = std::max(out.max_recovery_ms, ms);
+    if (committed) {
+      ++out.resolved;
+    } else {
+      ++out.aborted;
+    }
+    // Exactly-once: the value is durable iff the retried commit said so.
+    auto check = Client::ConnectUnix(sock, /*timeout_ms=*/5'000);
+    if (check.ok()) {
+      auto r = check->Execute("retrieve ( count(x from x in K where x = " +
+                                  std::to_string(value) + ") )",
+                              /*deadline_ms=*/10'000);
+      std::string want = committed ? "1" : "0";
+      if (!r.ok() || r->code != StatusCode::kOk || r->result != want) {
+        ++out.violations;
+      }
+    } else {
+      ++out.violations;
+    }
+  }
+  int64_t decided = out.resolved + out.aborted;
+  out.avg_recovery_ms = decided > 0 ? total_ms / decided : 0;
   return out;
 }
 
@@ -227,6 +379,39 @@ int Run() {
               static_cast<long long>(kills.load()),
               static_cast<long long>(survivor_errors.load()));
 
+  // --- wire transactions: commit throughput, kill-mid-commit recovery --------
+  std::string sock3 = sock + "3";
+  std::string db3 = "/tmp/exbench_txn_" + std::to_string(::getpid()) + ".db";
+  std::filesystem::remove_all(db3);
+  ServerOptions txn_opts;
+  txn_opts.unix_path = sock3;
+  txn_opts.db_path = db3;
+  Server txn_server(txn_opts);
+  if (!txn_server.ExecuteLocal("create T: { int4 }").ok() ||
+      !txn_server.ExecuteLocal("create K: { int4 }").ok()) {
+    std::fprintf(stderr, "bench_server: txn seed failed\n");
+    return 1;
+  }
+  if (!txn_server.Start().ok()) {
+    std::fprintf(stderr, "bench_server: txn Start failed\n");
+    return 1;
+  }
+  PhaseResult txn = TxnPhase(sock3, 2.0);
+  KillCommitResult killc = KillMidCommitPhase(sock3, 16);
+  txn_server.Shutdown();
+  std::filesystem::remove_all(db3);
+  std::printf("txn commits:     %8.0f commits/s  (%lld groups, %lld errors)\n",
+              txn.stmts_per_sec(), static_cast<long long>(txn.ok),
+              static_cast<long long>(txn.errors));
+  std::printf(
+      "kill mid-commit: %lld kills, %lld resolved, %lld aborted, "
+      "%lld violations, recovery avg %.1f ms max %.1f ms\n",
+      static_cast<long long>(killc.kills),
+      static_cast<long long>(killc.resolved),
+      static_cast<long long>(killc.aborted),
+      static_cast<long long>(killc.violations), killc.avg_recovery_ms,
+      killc.max_recovery_ms);
+
   // --- report + bars ----------------------------------------------------------
   std::FILE* f = std::fopen("BENCH_server.json", "w");
   if (f != nullptr) {
@@ -244,8 +429,21 @@ int Run() {
     row("read_1_client", c1, false);
     row("read_8_clients", c8, false);
     row("read_64_clients", c64, false);
-    row("overload_32_clients", burst, true);
+    row("overload_32_clients", burst, false);
+    row("txn_commit_wire", txn, false);
+    std::fprintf(f,
+                 "    {\"phase\": \"kill_mid_commit\", \"kills\": %lld, "
+                 "\"resolved_by_token\": %lld, \"aborted\": %lld, "
+                 "\"violations\": %lld, \"recovery_avg_ms\": %.1f, "
+                 "\"recovery_max_ms\": %.1f}\n",
+                 static_cast<long long>(killc.kills),
+                 static_cast<long long>(killc.resolved),
+                 static_cast<long long>(killc.aborted),
+                 static_cast<long long>(killc.violations),
+                 killc.avg_recovery_ms, killc.max_recovery_ms);
     std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"txn_commits_per_sec\": %.1f,\n",
+                 txn.stmts_per_sec());
     std::fprintf(f, "  \"scaling_8_vs_1\": %.2f,\n", scaling);
     std::fprintf(f, "  \"overload_sheds\": %lld,\n",
                  static_cast<long long>(burst.shed));
@@ -277,6 +475,18 @@ int Run() {
   }
   if (survivor_errors.load() > 0) {
     std::fprintf(stderr, "FAIL: client deaths disturbed healthy clients\n");
+    rc = 1;
+  }
+  if (txn.ok == 0 || txn.errors > 0) {
+    std::fprintf(stderr, "FAIL: wire-transaction phase committed %lld groups "
+                 "with %lld errors\n", static_cast<long long>(txn.ok),
+                 static_cast<long long>(txn.errors));
+    rc = 1;
+  }
+  if (killc.violations > 0) {
+    std::fprintf(stderr,
+                 "FAIL: %lld kill-mid-commit exactly-once violations\n",
+                 static_cast<long long>(killc.violations));
     rc = 1;
   }
   // Parallel-scaling bar only where parallel hardware exists: a 1-core

@@ -1,0 +1,296 @@
+#include "check/wirechaos.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "excess/session.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "util/string_util.h"
+
+namespace excess {
+namespace check {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using server::Applied;
+using server::Client;
+using server::RetryPolicy;
+using server::Server;
+using server::ServerHooks;
+using server::ServerOptions;
+
+/// Self-cleaning per-seed scratch directory under the system temp dir.
+class ScratchDir {
+ public:
+  explicit ScratchDir(uint64_t seed) {
+    std::error_code ec;
+    dir_ = fs::temp_directory_path(ec) /
+           StrCat("excess_chaos_", ::getpid(), "_", seed);
+    fs::remove_all(dir_, ec);
+    fs::create_directories(dir_, ec);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+ private:
+  fs::path dir_;
+};
+
+const char* FaultName(ServerHooks::WireFault f) {
+  switch (f) {
+    case ServerHooks::WireFault::kNone: return "none";
+    case ServerHooks::WireFault::kDropBeforeAck: return "drop-before-ack";
+    case ServerHooks::WireFault::kDropAfterAck: return "drop-after-ack";
+    case ServerHooks::WireFault::kTornAck: return "torn-ack";
+    case ServerHooks::WireFault::kDuplicateAck: return "duplicate-ack";
+    case ServerHooks::WireFault::kStallAck: return "stall-ack";
+  }
+  return "?";
+}
+
+/// Injects one wire fault at statement-response send `fault_at` (-1 =
+/// clean run) and counts sends either way.
+struct ChaosHooks : ServerHooks {
+  int64_t fault_at = -1;
+  WireFault mode = WireFault::kNone;
+  std::atomic<uint64_t> sends{0};
+
+  WireFault OnWireSend(uint64_t idx) override {
+    uint64_t want = idx + 1;
+    uint64_t cur = sends.load(std::memory_order_relaxed);
+    while (cur < want &&
+           !sends.compare_exchange_weak(cur, want, std::memory_order_relaxed)) {
+    }
+    if (static_cast<int64_t>(idx) == fault_at) return mode;
+    return WireFault::kNone;
+  }
+};
+
+/// One transactional group of the trace: `value` appended to both A and B
+/// between `begin` and a tokened `commit` (or `rollback`).
+struct Group {
+  int value = 0;
+  bool is_rollback = false;
+  std::string token;
+};
+
+/// What the driver learned about a group's fate — the claim the recovered
+/// database is checked against.
+enum class Outcome { kCommitted, kAborted, kUnknown };
+
+const char* OutcomeName(Outcome o) {
+  switch (o) {
+    case Outcome::kCommitted: return "committed";
+    case Outcome::kAborted: return "aborted";
+    case Outcome::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+std::vector<Group> MakeTrace(uint64_t seed, const WireChaosOptions& opts) {
+  std::mt19937_64 rng(seed * 0x9E37'79B9'7F4A'7C15ull + 1);
+  std::vector<Group> groups;
+  groups.reserve(static_cast<size_t>(opts.groups));
+  for (int g = 0; g < opts.groups; ++g) {
+    Group grp;
+    grp.value = g + 1;
+    grp.is_rollback = rng() % 4 == 0;
+    grp.token = StrCat("t", seed, "-", g);
+    groups.push_back(std::move(grp));
+  }
+  return groups;
+}
+
+/// Drives the trace through a retrying client against a live server.
+/// Inside a transaction the appends are single-shot: a retry after a
+/// reconnect would execute outside the (connection-scoped, now reaped)
+/// transaction and auto-commit half a group — so any append hiccup
+/// abandons the group instead, and the server's reaper keeps it atomic.
+/// Begin/rollback/commit go through the retry layer; commit's token makes
+/// its retry exactly-once.
+std::vector<Outcome> DriveWorkload(const std::string& sock, uint64_t seed,
+                                   const std::vector<Group>& groups) {
+  std::vector<Outcome> outcomes(groups.size(), Outcome::kAborted);
+  // The per-frame timeout must stay below the server's 150ms stall-fault
+  // sleep so a stalled ack surfaces as a loss; beyond that, smaller is
+  // only faster — every timeout path is a legal outcome the oracle
+  // accepts, so a slow machine cannot turn this into a false positive.
+  auto connected = Client::ConnectUnix(sock, /*timeout_ms=*/40);
+  if (!connected.ok()) return outcomes;
+  Client client = std::move(*connected);
+  RetryPolicy policy;
+  policy.base_backoff_ms = 1;
+  policy.max_backoff_ms = 15;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    const Group& grp = groups[g];
+    policy.jitter_seed = seed ^ (0xABCDull + g);
+    if (!client.connected() && !client.Reconnect().ok()) continue;
+    auto begun = client.Begin(/*deadline_ms=*/3'000, policy);
+    if (!begun.transport.ok() || begun.resp.code != StatusCode::kOk) {
+      client.Close();
+      continue;  // kAborted: nothing of this group ever ran
+    }
+    bool staged = true;
+    for (const char* set : {"A", "B"}) {
+      auto appended =
+          client.Execute(StrCat("append ", grp.value, " to ", set), 3'000);
+      if (!appended.ok() || appended->code != StatusCode::kOk) {
+        staged = false;
+        break;
+      }
+    }
+    if (!staged) {
+      // The append (or its ack) was lost; the transaction dies with the
+      // connection and the reaper rolls it back.
+      client.Close();
+      continue;
+    }
+    if (grp.is_rollback) {
+      auto rolled = client.Rollback(/*deadline_ms=*/3'000, policy);
+      if (!rolled.transport.ok()) client.Close();
+      continue;  // kAborted either way: rolled back, or reaped with the conn
+    }
+    auto committed = client.Commit(grp.token, /*deadline_ms=*/3'000, policy);
+    if (committed.transport.ok() && committed.resp.code == StatusCode::kOk) {
+      outcomes[g] = Outcome::kCommitted;
+    } else if (committed.applied == Applied::kUnknown) {
+      outcomes[g] = Outcome::kUnknown;
+      client.Close();
+    } else {
+      // Definitely not applied: the reaped transaction answered the retried
+      // commit with a typed error, or the budget ran out before any
+      // ambiguous loss.
+      client.Close();
+    }
+  }
+  return outcomes;
+}
+
+/// Occurrences of `value` in set `name` in the recovered database, or -1
+/// on any error.
+int64_t CountOf(Session* session, const char* name, int value) {
+  auto r = session->Execute(StrCat("retrieve ( count(x from x in ", name,
+                                   " where x = ", value, ") )"));
+  if (!r.ok() || *r == nullptr || !(*r)->IsNumeric()) return -1;
+  return (*r)->as_int();
+}
+
+/// One full run: fresh database, server with `hooks`, the driven workload,
+/// drain, reopen through a plain Session, and the per-group assertions.
+Status RunOnce(uint64_t seed, const WireChaosOptions& opts,
+               const std::vector<Group>& groups, ScratchDir* scratch,
+               int run, ChaosHooks* hooks, OracleStats* stats,
+               std::vector<Divergence>* out) {
+  const std::string db_path = scratch->Path(StrCat("run", run, ".exdb"));
+  const std::string sock = scratch->Path(StrCat("s", run, ".sock"));
+  ServerOptions sopts;
+  sopts.unix_path = sock;
+  sopts.db_path = db_path;
+  sopts.workers = 2;
+  sopts.hooks = hooks;
+  Server server(sopts);
+  EXA_RETURN_NOT_OK(server.Start());
+  for (const char* set : {"A", "B"}) {
+    auto created = server.ExecuteLocal(StrCat("create ", set, ": { int4 }"));
+    if (!created.ok()) {
+      server.Shutdown();
+      return created.status();
+    }
+  }
+  std::vector<Outcome> outcomes = DriveWorkload(sock, seed, groups);
+  server.Shutdown();
+  ++stats->plans;
+
+  Database db;
+  MethodRegistry methods(&db.catalog());
+  Session::Options so;
+  so.env_autoopen = false;
+  Session session(&db, &methods, so);
+  EXA_RETURN_NOT_OK(session.OpenStorage(db_path));
+
+  const std::string where = StrCat("mode=", FaultName(hooks->mode),
+                                   " fault_at=", hooks->fault_at);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    int64_t in_a = CountOf(&session, "A", groups[g].value);
+    int64_t in_b = CountOf(&session, "B", groups[g].value);
+    ++stats->comparisons;
+    bool ok = false;
+    switch (outcomes[g]) {
+      case Outcome::kCommitted:
+        ok = in_a == 1 && in_b == 1;
+        break;
+      case Outcome::kAborted:
+        ok = in_a == 0 && in_b == 0;
+        break;
+      case Outcome::kUnknown:
+        ok = in_a == in_b && (in_a == 0 || in_a == 1);
+        break;
+    }
+    if (!ok) {
+      Divergence d;
+      d.oracle = "wirechaos";
+      d.detail = StrCat(where, " group=", g);
+      d.seed = seed;
+      d.message = StrCat("group value ", groups[g].value, " driver says ",
+                         OutcomeName(outcomes[g]), " but recovered counts A=",
+                         in_a, " B=", in_b);
+      out->push_back(std::move(d));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status CheckWireChaosSeed(uint64_t seed, const WireChaosOptions& opts,
+                          OracleStats* stats, std::vector<Divergence>* out) {
+  ScratchDir scratch(seed);
+  std::vector<Group> groups = MakeTrace(seed, opts);
+
+  // Clean run: validates the driver itself and measures how many
+  // statement-level responses a full trace sends, which bounds the fault
+  // points worth injecting.
+  ChaosHooks clean;
+  EXA_RETURN_NOT_OK(
+      RunOnce(seed, opts, groups, &scratch, 0, &clean, stats, out));
+  const int64_t sends = static_cast<int64_t>(clean.sends.load());
+
+  // Geometric fault points: dense where the trace starts (begin/append
+  // boundaries), sparse past it; one rng-chosen fault mode per point keeps
+  // the per-seed cost at ~log2(sends) runs while the sweep's many seeds
+  // cover the mode x point grid.
+  std::mt19937_64 rng(seed * 0x2545'F491'4F6C'DD1Dull + 7);
+  constexpr ServerHooks::WireFault kModes[] = {
+      ServerHooks::WireFault::kDropBeforeAck,
+      ServerHooks::WireFault::kDropAfterAck,
+      ServerHooks::WireFault::kTornAck,
+      ServerHooks::WireFault::kDuplicateAck,
+      ServerHooks::WireFault::kStallAck,
+  };
+  int run = 1;
+  for (int64_t k = 0; k < sends; k = k == 0 ? 1 : k * 2) {
+    ChaosHooks hooks;
+    hooks.fault_at = k;
+    hooks.mode = kModes[rng() % (sizeof(kModes) / sizeof(kModes[0]))];
+    EXA_RETURN_NOT_OK(
+        RunOnce(seed, opts, groups, &scratch, run++, &hooks, stats, out));
+  }
+  return Status::OK();
+}
+
+}  // namespace check
+}  // namespace excess

@@ -1,0 +1,47 @@
+#ifndef EXCESS_CHECK_WIRECHAOS_H_
+#define EXCESS_CHECK_WIRECHAOS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "check/oracle.h"
+#include "util/status.h"
+
+namespace excess {
+namespace check {
+
+/// Knobs for the network-chaos oracle. One seed is a handful of server
+/// runs (one clean, ~log2(sends) faulted), so the CI sweep can afford
+/// hundreds of seeds.
+struct WireChaosOptions {
+  int groups = 3;  // transactional groups per trace
+};
+
+/// Network-chaos oracle. Builds a transactional workload (per group:
+/// `begin`, the same fresh value appended to sets A and B, then a tokened
+/// `commit` or a `rollback`) and drives it through a real in-process
+/// Server over a unix socket with a retrying, reconnecting Client. A clean
+/// run counts the server's statement-response sends; then, for geometric
+/// fault points k over that count, the run is repeated on a fresh database
+/// with one wire fault injected at send k (mode chosen by the seed's rng:
+/// drop-before-ack, drop-after-ack, torn ack, duplicated ack, stalled
+/// peer).
+///
+/// After each run the server is drained and the database reopened through
+/// a plain Session; the oracle asserts, per group, what the driver's
+/// Applied taxonomy promised:
+///   - an acked commit (kDefinitely or kResolvedByToken) is durable
+///     exactly once — the group's value appears once in A and once in B;
+///   - a definitely-not-applied or abandoned group left nothing —
+///     uncommitted work is never durable, even when its appends executed
+///     before the connection died (the server reaps the orphaned
+///     transaction);
+///   - an unknown-outcome commit (ack lost, budget exhausted) is 0-or-1
+///     and whole-group atomic: A and B agree.
+Status CheckWireChaosSeed(uint64_t seed, const WireChaosOptions& opts,
+                          OracleStats* stats, std::vector<Divergence>* out);
+
+}  // namespace check
+}  // namespace excess
+
+#endif  // EXCESS_CHECK_WIRECHAOS_H_

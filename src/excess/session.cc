@@ -146,8 +146,10 @@ Status Session::ExecCommit() {
     return Status::Invalid("no open transaction; `begin` starts one");
   }
   std::unique_ptr<Txn> txn = std::move(txn_);
+  std::string token = std::move(next_commit_token_);
+  next_commit_token_.clear();
   if (storage_ != nullptr) {
-    Status logged = storage_->LogCommitGroup(txn->staged);
+    Status logged = storage_->LogCommitGroup(txn->staged, token);
     if (!logged.ok()) {
       // The group append failed, so nothing became durable; auto-abort puts
       // the in-memory state back in agreement with the disk.

@@ -127,6 +127,15 @@ class Session {
     storage_hooks_ = hooks;
   }
 
+  /// Arms an idempotency token for the NEXT `commit`: the token is
+  /// journaled on the transaction's COMMIT WAL marker, making the commit
+  /// resolvable exactly-once by a retrying wire client. Consumed (and
+  /// cleared) by that commit whether it succeeds or fails; overwritten by
+  /// a later call.
+  void set_next_commit_token(std::string token) {
+    next_commit_token_ = std::move(token);
+  }
+
  private:
   Status ExecDefineType(const DefineTypeStmt& stmt, const std::string& source);
   Status ExecCreate(const CreateStmt& stmt, const std::string& source);
@@ -195,6 +204,7 @@ class Session {
   /// persist these so range bindings and methods survive reopen).
   std::vector<std::string> context_log_;
   std::unique_ptr<Txn> txn_;
+  std::string next_commit_token_;
   bool replaying_ = false;
   bool env_checked_ = false;
 };

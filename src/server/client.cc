@@ -7,13 +7,28 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <random>
+#include <thread>
 
+#include "obs/metrics.h"
 #include "util/string_util.h"
 
 namespace excess {
 namespace server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+obs::Counter* Counter(const char* name) {
+  return obs::MetricsRegistry::Global().GetCounter(name);
+}
+
+}  // namespace
 
 Result<Client> Client::ConnectUnix(const std::string& path, int timeout_ms) {
   sockaddr_un addr;
@@ -33,7 +48,10 @@ Result<Client> Client::ConnectUnix(const std::string& path, int timeout_ms) {
     return Status::Unavailable(
         StrCat("connect ", path, ": ", std::strerror(e)));
   }
-  return Client(fd, timeout_ms);
+  Client c(fd, timeout_ms);
+  c.target_ = Target::kUnix;
+  c.target_host_ = path;
+  return c;
 }
 
 Result<Client> Client::ConnectTcp(const std::string& host, int port,
@@ -58,7 +76,11 @@ Result<Client> Client::ConnectTcp(const std::string& host, int port,
   }
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return Client(fd, timeout_ms);
+  Client c(fd, timeout_ms);
+  c.target_ = Target::kTcp;
+  c.target_host_ = host;
+  c.target_port_ = port;
+  return c;
 }
 
 void Client::Close() {
@@ -68,23 +90,199 @@ void Client::Close() {
   }
 }
 
-Result<Response> Client::RoundTrip(const Request& req) {
+Status Client::Reconnect() {
+  Close();
+  if (target_ == Target::kNone) {
+    return Status::Invalid("client has no remembered connect target");
+  }
+  Counter("client.reconnect.attempts")->Increment();
+  auto fresh = target_ == Target::kUnix
+                   ? ConnectUnix(target_host_, timeout_ms_)
+                   : ConnectTcp(target_host_, target_port_, timeout_ms_);
+  if (!fresh.ok()) {
+    Counter("client.reconnect.failures")->Increment();
+    return fresh.status();
+  }
+  // Keep our own req_id stream (it only ever needs to be monotonic per
+  // client) and adopt the fresh socket.
+  fd_ = fresh->fd_;
+  fresh->fd_ = -1;
+  return Status::OK();
+}
+
+Result<Response> Client::ReadMatching(uint64_t req_id) {
+  // A handful of stale frames is the most duplicated delivery can produce;
+  // anything beyond that is a desynchronized stream, not a duplicate.
+  for (int i = 0; i < 8; ++i) {
+    EXA_ASSIGN_OR_RETURN(std::string payload, ReadFrame(fd_, timeout_ms_));
+    EXA_ASSIGN_OR_RETURN(Response resp, DecodeResponse(payload));
+    if (resp.req_id == req_id || resp.req_id == 0) return resp;
+  }
+  return Status::Invalid(
+      "too many responses with stale req_ids; stream desynchronized");
+}
+
+Result<Response> Client::RoundTrip(Request& req) {
   if (fd_ < 0) return Status::Unavailable("client not connected");
+  req.req_id = ++next_req_id_;
   EXA_RETURN_NOT_OK(WriteFrame(fd_, EncodeRequest(req), timeout_ms_));
-  EXA_ASSIGN_OR_RETURN(std::string payload, ReadFrame(fd_, timeout_ms_));
-  return DecodeResponse(payload);
+  return ReadMatching(req.req_id);
 }
 
 Result<Response> Client::Execute(const std::string& statement,
                                  uint32_t deadline_ms, uint64_t max_bytes,
-                                 uint64_t max_occurrences) {
+                                 uint64_t max_occurrences,
+                                 const std::string& token) {
   Request req;
   req.opcode = Opcode::kStatement;
   req.deadline_ms = deadline_ms;
   req.max_bytes = max_bytes;
   req.max_occurrences = max_occurrences;
+  req.token = token;
   req.statement = statement;
   return RoundTrip(req);
+}
+
+RetriedResult Client::ExecuteRetried(const std::string& statement,
+                                     uint32_t deadline_ms,
+                                     const std::string& token,
+                                     bool idempotent,
+                                     const RetryPolicy& policy) {
+  RetriedResult out;
+  const bool retriable_ack_loss = idempotent || !token.empty();
+  const bool bounded = deadline_ms > 0;
+  const auto overall_deadline =
+      Clock::now() + std::chrono::milliseconds(deadline_ms);
+  std::mt19937_64 rng(policy.jitter_seed);
+  // The last transport failure, kept so an exhausted budget reports what
+  // actually went wrong rather than a generic "gave up".
+  Status last_transport = Status::OK();
+  bool ambiguous_loss = false;  // an ack may have been lost
+  bool have_resp = false;       // out.resp holds a real server response
+
+  auto remaining_ms = [&]() -> int64_t {
+    if (!bounded) return -1;  // unbounded
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               overall_deadline - Clock::now())
+        .count();
+  };
+  auto backoff = [&](int attempt, uint32_t floor_ms) {
+    uint64_t exp = policy.base_backoff_ms;
+    for (int i = 1; i < attempt && exp < policy.max_backoff_ms; ++i) exp *= 2;
+    exp = std::min<uint64_t>(exp, policy.max_backoff_ms);
+    // Jitter in [0.5, 1.5): decorrelates a fleet retrying the same shed.
+    double j = 0.5 + std::generate_canonical<double, 53>(rng);
+    int64_t sleep_ms = std::max<int64_t>(
+        static_cast<int64_t>(static_cast<double>(exp) * j), floor_ms);
+    if (bounded) sleep_ms = std::min(sleep_ms, remaining_ms());
+    if (sleep_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    }
+  };
+
+  for (int attempt = 1; attempt <= policy.max_attempts; ++attempt) {
+    int64_t remain = remaining_ms();
+    if (bounded && remain <= 0) break;
+    out.attempts = attempt;
+    if (fd_ < 0) {
+      Status rc = Reconnect();
+      if (!rc.ok()) {
+        last_transport = rc;
+        backoff(attempt, 0);
+        continue;
+      }
+      ++out.reconnects;
+    }
+    Request req;
+    req.opcode = Opcode::kStatement;
+    // Deadline propagation: each attempt gets what is left of the overall
+    // wall budget, so retries shrink the server-side deadline instead of
+    // resetting it.
+    req.deadline_ms = bounded ? static_cast<uint32_t>(remain) : 0;
+    req.token = token;
+    req.statement = statement;
+    req.req_id = ++next_req_id_;
+    Status ws = WriteFrame(fd_, EncodeRequest(req), timeout_ms_);
+    if (!ws.ok()) {
+      // The request never left whole: definitely not applied, always safe
+      // to retry on a fresh connection.
+      last_transport = ws;
+      Close();
+      backoff(attempt, 0);
+      continue;
+    }
+    auto rr = ReadMatching(req.req_id);
+    if (!rr.ok()) {
+      last_transport = rr.status();
+      Close();
+      if (rr.status().IsVersionMismatch()) {
+        // A peer speaking another protocol version garbles before it
+        // executes; retrying cannot help.
+        out.transport = rr.status();
+        out.applied = Applied::kDefinitelyNot;
+        return out;
+      }
+      // The request was delivered but its ack was lost: the statement may
+      // or may not have applied. Retry only when a retry cannot
+      // double-apply.
+      ambiguous_loss = true;
+      if (!retriable_ack_loss) {
+        out.transport = rr.status();
+        out.applied = Applied::kUnknown;
+        return out;
+      }
+      backoff(attempt, 0);
+      continue;
+    }
+    out.resp = std::move(*rr);
+    out.transport = Status::OK();
+    have_resp = true;
+    if (out.resp.code == StatusCode::kResourceExhausted ||
+        out.resp.code == StatusCode::kUnavailable) {
+      // Shed / draining / writer leased elsewhere: did not run. Honor the
+      // server's hint but never spin faster than the jittered backoff.
+      last_transport = Status::OK();
+      backoff(attempt, out.resp.retry_after_ms);
+      continue;
+    }
+    if (out.resp.code == StatusCode::kOk) {
+      out.applied = out.resp.resolved_by_token ? Applied::kResolvedByToken
+                                               : Applied::kDefinitely;
+    } else {
+      out.applied = Applied::kDefinitelyNot;
+    }
+    return out;
+  }
+  // Budget exhausted. With a response in hand (a final shed) the taxonomy
+  // is exact; with a lost ack it is honest: unknown.
+  if (!have_resp) {
+    out.transport = last_transport.ok()
+                        ? Status::DeadlineExceeded("retry budget exhausted")
+                        : last_transport;
+  }
+  out.applied =
+      ambiguous_loss ? Applied::kUnknown : Applied::kDefinitelyNot;
+  return out;
+}
+
+RetriedResult Client::Begin(uint32_t deadline_ms, const RetryPolicy& policy) {
+  // Idempotent by lease semantics: a begin whose ack is lost dies with its
+  // connection (the server reaps the lease), so reissuing on the fresh
+  // connection opens an equivalent transaction.
+  return ExecuteRetried("begin", deadline_ms, "", /*idempotent=*/true,
+                        policy);
+}
+
+RetriedResult Client::Commit(const std::string& token, uint32_t deadline_ms,
+                             const RetryPolicy& policy) {
+  return ExecuteRetried("commit", deadline_ms, token, /*idempotent=*/false,
+                        policy);
+}
+
+RetriedResult Client::Rollback(uint32_t deadline_ms,
+                               const RetryPolicy& policy) {
+  return ExecuteRetried("rollback", deadline_ms, "", /*idempotent=*/true,
+                        policy);
 }
 
 Result<Response> Client::Ping() {

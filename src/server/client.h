@@ -10,11 +10,59 @@
 namespace excess {
 namespace server {
 
+/// Retry/backoff knobs for Client::ExecuteRetried. Backoff is exponential
+/// (base * 2^attempt, capped) with multiplicative jitter in [0.5, 1.5) so
+/// a fleet of clients shed at the same instant does not retry in lockstep.
+/// The jitter stream is seeded per call from `jitter_seed`, keeping the
+/// robustness sweeps deterministic.
+struct RetryPolicy {
+  int max_attempts = 6;
+  uint32_t base_backoff_ms = 10;
+  uint32_t max_backoff_ms = 1'000;
+  uint64_t jitter_seed = 1;
+};
+
+/// What a retried request is known to have done to server state — the
+/// contract a caller reasons about after faults:
+///  - kDefinitelyNot: no attempt reached execution (write failed before the
+///    request was sent whole, the server shed it, or it answered with a
+///    typed error). Safe to retry or to give up with state unchanged.
+///  - kDefinitely: an OK response was received; the statement applied once.
+///  - kResolvedByToken: an OK response was received from the commit dedup
+///    window — an earlier attempt applied, this one only recovered the ack.
+///  - kUnknown: an ack was lost (read-side failure) and the request was not
+///    idempotent, so retrying could double-apply; the caller must
+///    reconcile (e.g. re-read, or escalate).
+enum class Applied {
+  kDefinitelyNot,
+  kDefinitely,
+  kResolvedByToken,
+  kUnknown,
+};
+
+/// Outcome of ExecuteRetried. `resp` is meaningful iff `transport.ok()`;
+/// otherwise no usable response was obtained within the budget and
+/// `transport` holds the last transport failure.
+struct RetriedResult {
+  Response resp;
+  Status transport;
+  Applied applied = Applied::kUnknown;
+  int attempts = 0;
+  int reconnects = 0;
+};
+
 /// Blocking client for the EXCESS wire protocol: one socket, one request in
 /// flight. Transport failures (connect, torn frames, timeouts) surface as
 /// the Result's Status; server-side outcomes — including errors like
 /// kResourceExhausted or kDeadlineExceeded — arrive as a Response whose
 /// `code` the caller inspects.
+///
+/// Reliability layer: the client remembers its connect target, so
+/// Reconnect() (or ExecuteRetried, which calls it) can re-establish a
+/// dropped connection with exponential backoff + jitter. Every request
+/// carries a monotonically increasing req_id which the server echoes;
+/// responses with a stale req_id (duplicated delivery) are discarded
+/// instead of desynchronizing the stream.
 class Client {
  public:
   static Result<Client> ConnectUnix(const std::string& path,
@@ -24,14 +72,16 @@ class Client {
 
   Client() = default;
   ~Client() { Close(); }
-  Client(Client&& other) noexcept : fd_(other.fd_), timeout_ms_(other.timeout_ms_) {
-    other.fd_ = -1;
-  }
+  Client(Client&& other) noexcept { *this = std::move(other); }
   Client& operator=(Client&& other) noexcept {
     if (this != &other) {
       Close();
       fd_ = other.fd_;
       timeout_ms_ = other.timeout_ms_;
+      next_req_id_ = other.next_req_id_;
+      target_ = other.target_;
+      target_host_ = std::move(other.target_host_);
+      target_port_ = other.target_port_;
       other.fd_ = -1;
     }
     return *this;
@@ -41,15 +91,54 @@ class Client {
 
   /// Sends one statement; `deadline_ms` 0 lets the server apply its
   /// default. max_bytes/max_occurrences 0 inherit the server's base limits.
+  /// A non-empty `token` is the commit idempotency token (see
+  /// ExecuteRetried for the retry semantics it unlocks).
   Result<Response> Execute(const std::string& statement,
                            uint32_t deadline_ms = 0, uint64_t max_bytes = 0,
-                           uint64_t max_occurrences = 0);
+                           uint64_t max_occurrences = 0,
+                           const std::string& token = "");
+
+  /// Sends `statement`, retrying across shed responses, transport faults,
+  /// and dropped connections within `deadline_ms` of wall clock (0 = no
+  /// overall budget, attempts bound only) and policy.max_attempts:
+  ///  - a shed/unavailable response sleeps for the server's retry_after_ms
+  ///    hint (never less than the jittered backoff) and retries — the
+  ///    statement did not run, so this is always safe;
+  ///  - a write-side transport failure retries after reconnecting — the
+  ///    request never left whole, so the statement did not run;
+  ///  - a read-side transport failure is ambiguous (the statement may have
+  ///    run; only the ack is lost): it retries only when `idempotent` or
+  ///    when `token` is non-empty (the server's exactly-once dedup window
+  ///    makes a retried commit resolve instead of double-applying);
+  ///    otherwise it returns Applied::kUnknown and lets the caller decide.
+  /// The remaining budget propagates into each attempt's request deadline.
+  RetriedResult ExecuteRetried(const std::string& statement,
+                               uint32_t deadline_ms = 0,
+                               const std::string& token = "",
+                               bool idempotent = false,
+                               const RetryPolicy& policy = RetryPolicy());
+
+  /// Transactional conveniences over ExecuteRetried. Begin and Rollback
+  /// are retried as idempotent: a lost `begin` (or the transaction it
+  /// opened) dies with its connection — the server reaps the lease — so
+  /// reissuing on the fresh connection opens an equivalent transaction.
+  /// Commit carries `token`, making the retry exactly-once.
+  RetriedResult Begin(uint32_t deadline_ms = 0,
+                      const RetryPolicy& policy = RetryPolicy());
+  RetriedResult Commit(const std::string& token, uint32_t deadline_ms = 0,
+                       const RetryPolicy& policy = RetryPolicy());
+  RetriedResult Rollback(uint32_t deadline_ms = 0,
+                         const RetryPolicy& policy = RetryPolicy());
 
   /// Liveness probe; the response carries the server's newest epoch.
   Result<Response> Ping();
 
   /// Asks the server to drain (the serving process decides when to exit).
   Result<Response> RequestShutdown();
+
+  /// Drops the current socket (if any) and dials the remembered target
+  /// once. Bumps client.reconnect.attempts / client.reconnect.failures.
+  Status Reconnect();
 
   void Close();
   bool connected() const { return fd_ >= 0; }
@@ -61,11 +150,21 @@ class Client {
   void set_timeout_ms(int timeout_ms) { timeout_ms_ = timeout_ms; }
 
  private:
+  enum class Target { kNone, kUnix, kTcp };
+
   explicit Client(int fd, int timeout_ms) : fd_(fd), timeout_ms_(timeout_ms) {}
-  Result<Response> RoundTrip(const Request& req);
+  Result<Response> RoundTrip(Request& req);
+  /// Reads responses until one matches `req_id`, discarding stale
+  /// duplicates (req_id 0 — the server's reply to an undecodable request —
+  /// always matches, since such errors are fatal to the connection anyway).
+  Result<Response> ReadMatching(uint64_t req_id);
 
   int fd_ = -1;
   int timeout_ms_ = 5'000;
+  uint64_t next_req_id_ = 0;
+  Target target_ = Target::kNone;
+  std::string target_host_;  // unix path, or TCP host
+  int target_port_ = -1;
 };
 
 }  // namespace server

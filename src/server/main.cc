@@ -8,6 +8,8 @@
 //   EXCESS_SERVER_WORKERS   worker pool size (default: hardware threads)
 //   EXCESS_SERVER_QUEUE     admission queue capacity (default: 4x workers)
 //   EXCESS_SERVER_GRACE_MS  drain grace on SIGTERM/shutdown (default 5000)
+//   EXCESS_TXN_LEASE_MS     wire-transaction lease deadline (default 10000;
+//                           read inside Server::Start)
 //   EXCESS_DB_PATH          durable database directory (optional)
 //
 // SIGTERM / SIGINT / a client shutdown opcode all trigger the same
@@ -54,6 +56,12 @@ int main() {
   uint32_t grace_ms =
       static_cast<uint32_t>(EnvLong("EXCESS_SERVER_GRACE_MS", 5'000));
 
+  // SIGPIPE must be ignored before the first socket write can happen — a
+  // client that disconnects between Start() and a later signal() call
+  // would otherwise kill the daemon with the default disposition. Writes
+  // see EPIPE as a Status instead.
+  std::signal(SIGPIPE, SIG_IGN);
+
   Server server(opts);
   excess::Status st = server.Start();
   if (!st.ok()) {
@@ -62,7 +70,6 @@ int main() {
   }
   std::signal(SIGTERM, OnSignal);
   std::signal(SIGINT, OnSignal);
-  std::signal(SIGPIPE, SIG_IGN);
 
   if (!server.unix_path().empty()) {
     std::fprintf(stderr, "excess_serverd: listening on %s\n",

@@ -17,6 +17,7 @@
 
 #include "excess/parser.h"
 #include "obs/metrics.h"
+#include "util/env.h"
 #include "util/string_util.h"
 
 namespace excess {
@@ -27,24 +28,26 @@ namespace {
 using Clock = std::chrono::steady_clock;
 
 /// Statements a wire client may not issue. `open` rebinds the whole
-/// process to a different file and `begin`/`commit`/`rollback` would pin
-/// the single writer session to one connection across requests — both are
-/// embedded-session features, rejected with a typed error instead of
-/// half-working.
+/// process to a different file — an embedded-session feature, rejected
+/// with a typed error instead of half-working. Transactions ARE allowed:
+/// `begin` grants the connection a lease on the single writer (see the
+/// class comment).
 Status WireStatementAllowed(const Statement& s) {
   switch (s.kind) {
     case Statement::Kind::kOpen:
       return Status::Unsupported(
           "open is not available over the wire; configure the server's "
           "db_path instead");
-    case Statement::Kind::kBegin:
-    case Statement::Kind::kCommit:
-    case Statement::Kind::kRollback:
-      return Status::Unsupported(
-          "transactions are not yet available over the wire");
     default:
       return Status::OK();
   }
+}
+
+/// A pre-parsed `rollback`, used when reaping abandoned transactions.
+const Statement& RollbackStatement() {
+  static const Statement* stmt =
+      new Statement(std::move(*ParseStatement("rollback")));
+  return *stmt;
 }
 
 /// Routing: writes serialize through the writer session (and publish a new
@@ -67,6 +70,13 @@ obs::Counter* Counter(const char* name) {
 }
 
 }  // namespace
+
+uint32_t ComputeRetryHintMs(int64_t ema_exec_us, size_t backlog,
+                            int workers) {
+  int64_t hint_ms = ema_exec_us * static_cast<int64_t>(backlog + 1) /
+                    std::max(1, workers) / 1'000;
+  return static_cast<uint32_t>(std::clamp<int64_t>(hint_ms, 1, 10'000));
+}
 
 Server::Server(ServerOptions opts)
     : opts_(std::move(opts)),
@@ -147,9 +157,22 @@ Status Server::Start() {
     opts_.workers = std::max(2, static_cast<int>(hw));
   }
   if (opts_.queue_capacity <= 0) opts_.queue_capacity = 4 * opts_.workers;
+  if (opts_.txn_lease_ms == 0) {
+    opts_.txn_lease_ms = static_cast<uint32_t>(
+        util::EnvInt("EXCESS_TXN_LEASE_MS", 1, 86'400'000, 10'000));
+  }
+  if (opts_.commit_dedup_window <= 0) opts_.commit_dedup_window = 256;
   if (!opts_.db_path.empty()) {
     std::lock_guard<std::mutex> wl(writer_mu_);
     EXA_RETURN_NOT_OK(writer_.OpenStorage(opts_.db_path));
+    // Re-seed the exactly-once window from the WAL's journaled tokens: a
+    // commit retried across a server restart still resolves instead of
+    // double-applying. The original rendered result did not survive the
+    // restart; the resolved response proves durability with epoch/result
+    // of the recovered state.
+    for (const auto& token : writer_.last_recovery().commit_tokens) {
+      RecordCommitToken(token, 0, "");
+    }
   }
   {
     // Epoch 1 (or the next after bootstrap ExecuteLocal calls): readers
@@ -165,6 +188,7 @@ Status Server::Start() {
   for (int w = 0; w < opts_.workers; ++w) {
     workers_.emplace_back(&Server::WorkerLoop, this);
   }
+  reaper_thread_ = std::thread(&Server::ReaperLoop, this);
   accept_thread_ = std::thread(&Server::AcceptLoop, this);
   {
     std::lock_guard<std::mutex> l(lifecycle_mu_);
@@ -186,6 +210,18 @@ void Server::PublishEpochLocked() {
 Result<std::string> Server::ExecuteLocal(const std::string& source) {
   EXA_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(source));
   EXA_RETURN_NOT_OK(WireStatementAllowed(stmt));
+  switch (stmt.kind) {
+    case Statement::Kind::kBegin:
+    case Statement::Kind::kCommit:
+    case Statement::Kind::kRollback:
+      // A local transaction would leave the writer in_txn() with no
+      // connection lease to scope or reap it; wire clients own that flow.
+      return Status::Unsupported(
+          "transactions are not available via ExecuteLocal; use a wire "
+          "client, whose connection holds the transaction lease");
+    default:
+      break;
+  }
   std::lock_guard<std::mutex> wl(writer_mu_);
   writer_.set_limits(ExecLimits::FromEnv());
   writer_.set_cancel_token(nullptr);
@@ -220,20 +256,91 @@ void Server::ExecuteJob(Job* job, ReaderCtx* ctx) {
   Status st = Status::OK();
   std::string result;
   uint64_t served = 0;
+  bool resolved = false;
+  uint32_t retry_after = 0;
   if (job->is_write) {
     std::lock_guard<std::mutex> wl(writer_mu_);
-    writer_.set_limits(job->limits);
-    writer_.set_cancel_token(job->cancel);
-    auto r = writer_.ExecuteStatement(job->stmt);
-    // A cancelled request must never poison the next writer statement.
-    writer_.set_cancel_token(nullptr);
-    if (r.ok()) {
-      PublishEpochLocked();
-      result = RenderResult(*r);
-    } else {
-      st = r.status();
+    bool blocked = false;
+    {
+      // Lease gate. An expired lease is reaped inline (the watchdog may be
+      // a tick behind); a connection whose transaction was reaped out from
+      // under it gets one typed error instead of silently executing its
+      // next statement outside the transaction; a foreign lease holder
+      // blocks this write with a poll-interval retry hint — leases usually
+      // end long before their deadline (commit, rollback, or the holder's
+      // death reaps them), so hinting the full remaining life would park
+      // waiters for the worst case instead of the common one.
+      std::lock_guard<std::mutex> tl(txn_mu_);
+      if (lease_active_ && Clock::now() >= lease_expiry_) ReapLocked();
+      if (reaped_conns_.erase(job->conn_id) > 0) {
+        st = Status::DeadlineExceeded(
+            "transaction lease expired; transaction rolled back");
+        blocked = true;
+      } else if (lease_active_ && lease_conn_ != job->conn_id) {
+        int64_t remain_ms =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                lease_expiry_ - Clock::now())
+                .count();
+        retry_after =
+            static_cast<uint32_t>(std::clamp<int64_t>(remain_ms, 1, 100));
+        st = Status::Unavailable(
+            "writer leased to another connection's open transaction");
+        blocked = true;
+      }
     }
-    served = epoch_num_.load(std::memory_order_relaxed);
+    const bool tokened_commit = job->stmt.kind == Statement::Kind::kCommit &&
+                                !job->token.empty();
+    if (!blocked && tokened_commit) {
+      // Exactly-once: a commit whose token already committed resolves to
+      // its original outcome instead of re-executing the group.
+      std::lock_guard<std::mutex> dl(dedup_mu_);
+      auto it = dedup_.find(job->token);
+      if (it != dedup_.end()) {
+        resolved = true;
+        result = it->second.result;
+        served = it->second.epoch;
+        Counter("server.txn.resolved_by_token")->Increment();
+      }
+    }
+    if (!blocked && !resolved) {
+      if (tokened_commit) writer_.set_next_commit_token(job->token);
+      writer_.set_limits(job->limits);
+      writer_.set_cancel_token(job->cancel);
+      auto r = writer_.ExecuteStatement(job->stmt);
+      // A cancelled request must never poison the next writer statement.
+      writer_.set_cancel_token(nullptr);
+      if (r.ok()) {
+        // No publish mid-transaction: uncommitted state must not leak to
+        // the epoch readers. The commit publishes the group all at once.
+        if (!writer_.in_txn()) PublishEpochLocked();
+        result = RenderResult(*r);
+      } else {
+        st = r.status();
+      }
+      served = epoch_num_.load(std::memory_order_relaxed);
+      {
+        // Lease bookkeeping follows the writer's own transaction state:
+        // in_txn() after `begin` grants (and after any statement renews)
+        // the lease; commit/rollback — or an error that aborted — frees it.
+        std::lock_guard<std::mutex> tl(txn_mu_);
+        if (writer_.in_txn()) {
+          if (!lease_active_) Counter("server.txn.leases")->Increment();
+          lease_active_ = true;
+          lease_conn_ = job->conn_id;
+          lease_expiry_ =
+              Clock::now() + std::chrono::milliseconds(opts_.txn_lease_ms);
+        } else {
+          lease_active_ = false;
+        }
+      }
+      if (r.ok() && tokened_commit) {
+        RecordCommitToken(job->token, served, result);
+      }
+    } else if (served == 0) {
+      // Blocked, or a recovered token whose original epoch predates this
+      // process: report the current epoch.
+      served = epoch_num_.load(std::memory_order_relaxed);
+    }
     Counter("server.requests.write")->Increment();
   } else {
     st = RefreshReader(ctx);
@@ -260,6 +367,8 @@ void Server::ExecuteJob(Job* job, ReaderCtx* ctx) {
       job->status = std::move(st);
       job->result = std::move(result);
       job->served_epoch = served;
+      job->resolved_by_token = resolved;
+      job->retry_after_ms = retry_after;
     }
     job->done = true;
   }
@@ -313,25 +422,25 @@ void Server::WorkerLoop() {
 }
 
 bool Server::TryEnqueue(const JobPtr& job, uint32_t* retry_after_ms) {
+  bool shed = false;
   {
     std::lock_guard<std::mutex> l(queue_mu_);
-    if (draining_.load(std::memory_order_relaxed) || stop_workers_) {
-      *retry_after_ms = 1'000;
-      return false;
+    if (draining_.load(std::memory_order_relaxed) || stop_workers_ ||
+        queue_.size() >= static_cast<size_t>(opts_.queue_capacity)) {
+      shed = true;
+    } else {
+      queue_.push_back(job);
+      obs::MetricsRegistry::Global().GetHistogram("server.queue.depth")
+          ->Observe(static_cast<int64_t>(queue_.size()));
     }
-    if (queue_.size() >= static_cast<size_t>(opts_.queue_capacity)) {
-      // Retry-after hint: expected time for the backlog to clear through
-      // the pool at the recent per-statement cost.
-      int64_t ema = ema_exec_us_.load(std::memory_order_relaxed);
-      int64_t hint_ms = ema * static_cast<int64_t>(queue_.size() + 1) /
-                        std::max(1, opts_.workers) / 1'000;
-      *retry_after_ms = static_cast<uint32_t>(
-          std::clamp<int64_t>(hint_ms, 1, 10'000));
-      return false;
-    }
-    queue_.push_back(job);
-    obs::MetricsRegistry::Global().GetHistogram("server.queue.depth")
-        ->Observe(static_cast<int64_t>(queue_.size()));
+  }
+  if (shed) {
+    // The hint is computed off the lock (it re-reads the backlog itself);
+    // a shed under drain gets the same load-derived estimate — by the time
+    // the client retries, either the drain finished or a restarted server
+    // answers.
+    *retry_after_ms = CurrentRetryHintMs();
+    return false;
   }
   {
     std::lock_guard<std::mutex> t(tokens_mu_);
@@ -339,6 +448,114 @@ bool Server::TryEnqueue(const JobPtr& job, uint32_t* retry_after_ms) {
   }
   queue_cv_.notify_one();
   return true;
+}
+
+uint32_t Server::CurrentRetryHintMs() {
+  size_t backlog;
+  {
+    std::lock_guard<std::mutex> l(queue_mu_);
+    backlog = queue_.size();
+  }
+  backlog += static_cast<size_t>(
+      std::max(0, inflight_jobs_.load(std::memory_order_relaxed)));
+  uint32_t hint = ComputeRetryHintMs(
+      ema_exec_us_.load(std::memory_order_relaxed), backlog, opts_.workers);
+  Counter("server.retry.hints")->Increment();
+  obs::MetricsRegistry::Global().GetHistogram("server.retry.hint_ms")
+      ->Observe(static_cast<int64_t>(hint));
+  return hint;
+}
+
+void Server::RecordCommitToken(const std::string& token, uint64_t epoch,
+                               const std::string& result) {
+  if (token.empty()) return;
+  std::lock_guard<std::mutex> dl(dedup_mu_);
+  auto [it, inserted] = dedup_.emplace(token, CommitOutcome{epoch, result});
+  if (!inserted) return;
+  dedup_order_.push_back(token);
+  while (dedup_order_.size() >
+         static_cast<size_t>(opts_.commit_dedup_window)) {
+    dedup_.erase(dedup_order_.front());
+    dedup_order_.pop_front();
+  }
+}
+
+bool Server::HoldsLease(uint64_t conn_id) {
+  std::lock_guard<std::mutex> tl(txn_mu_);
+  return lease_active_ && lease_conn_ == conn_id;
+}
+
+void Server::ReapLocked() {
+  if (writer_.in_txn()) {
+    writer_.set_limits(opts_.base_limits);
+    writer_.set_cancel_token(nullptr);
+    (void)writer_.ExecuteStatement(RollbackStatement());
+  }
+  // Rolled-back state equals the last published epoch — nothing to publish.
+  reaped_conns_.insert(lease_conn_);
+  lease_active_ = false;
+  Counter("server.txn.reaped")->Increment();
+}
+
+void Server::ReapIfHeldBy(uint64_t conn_id) {
+  std::lock_guard<std::mutex> wl(writer_mu_);
+  std::lock_guard<std::mutex> tl(txn_mu_);
+  if (lease_active_ && lease_conn_ == conn_id) ReapLocked();
+  reaped_conns_.erase(conn_id);
+}
+
+void Server::ReaperLoop() {
+  while (!stop_reaper_.load(std::memory_order_relaxed)) {
+    {
+      std::unique_lock<std::mutex> rl(reaper_mu_);
+      reaper_cv_.wait_for(rl, std::chrono::milliseconds(20), [&] {
+        return stop_reaper_.load(std::memory_order_relaxed);
+      });
+    }
+    if (stop_reaper_.load(std::memory_order_relaxed)) break;
+    {
+      // Cheap peek without the writer lock: most ticks find no lease (or a
+      // live one) and never contend with executing statements.
+      std::lock_guard<std::mutex> tl(txn_mu_);
+      if (!lease_active_ || Clock::now() < lease_expiry_) continue;
+    }
+    // Lock-order writer_mu_ -> txn_mu_, then recheck: the lease may have
+    // been renewed or released while we waited for the writer.
+    std::lock_guard<std::mutex> wl(writer_mu_);
+    std::lock_guard<std::mutex> tl(txn_mu_);
+    if (lease_active_ && Clock::now() >= lease_expiry_) ReapLocked();
+  }
+}
+
+bool Server::SendResponse(int fd, const Response& resp) {
+  uint64_t idx = wire_send_counter_.fetch_add(1, std::memory_order_relaxed);
+  auto fault = opts_.hooks != nullptr ? opts_.hooks->OnWireSend(idx)
+                                      : ServerHooks::WireFault::kNone;
+  const std::string payload = EncodeResponse(resp);
+  switch (fault) {
+    case ServerHooks::WireFault::kNone:
+      break;
+    case ServerHooks::WireFault::kDropBeforeAck:
+      return false;
+    case ServerHooks::WireFault::kDropAfterAck:
+      (void)WriteFrame(fd, payload, opts_.frame_timeout_ms);
+      return false;
+    case ServerHooks::WireFault::kTornAck: {
+      // Half a frame, straight through the socket: the client sees a torn
+      // read, never a short-but-valid frame.
+      const std::string frame = FrameBytes(payload);
+      (void)::send(fd, frame.data(), frame.size() / 2, MSG_NOSIGNAL);
+      return false;
+    }
+    case ServerHooks::WireFault::kDuplicateAck:
+      (void)WriteFrame(fd, payload, opts_.frame_timeout_ms);
+      (void)WriteFrame(fd, payload, opts_.frame_timeout_ms);
+      return false;
+    case ServerHooks::WireFault::kStallAck:
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+      break;
+  }
+  return WriteFrame(fd, payload, opts_.frame_timeout_ms).ok();
 }
 
 Response Server::AwaitJob(int fd, const JobPtr& job, uint32_t deadline_ms,
@@ -391,6 +608,8 @@ Response Server::AwaitJob(int fd, const JobPtr& job, uint32_t deadline_ms,
     resp.message = job->status.message();
     resp.result = std::move(job->result);
     resp.epoch = job->served_epoch;
+    resp.resolved_by_token = job->resolved_by_token;
+    resp.retry_after_ms = job->retry_after_ms;
     *close_conn = client_dead;
   } else {
     resp.code = StatusCode::kDeadlineExceeded;
@@ -409,8 +628,32 @@ void Server::ConnectionLoop(int fd, uint64_t conn_id) {
       opts_.idle_timeout_ms > 0 ? opts_.idle_timeout_ms : -1;
   bool close_conn = false;
   while (!stopping_.load(std::memory_order_relaxed) && !close_conn) {
-    auto payload = ReadFrame(fd, read_timeout);
+    int peer_version = 0;
+    auto payload = ReadFrame(fd, read_timeout, kMaxFrameBytes, &peer_version);
     if (!payload.ok()) {
+      if (payload.status().IsVersionMismatch()) {
+        // Typed negotiation, never a garbled decode. A legacy (v1,
+        // unversioned-frame) peer gets the reply in v1 framing with a code
+        // its decoder accepts — kUnsupported, since kVersionMismatch
+        // postdates v1 — while an EXW peer with a different version byte
+        // can parse the v2 mismatch response itself.
+        Counter("server.requests.version_mismatch")->Increment();
+        Response resp;
+        if (peer_version == 1) {
+          resp.code = StatusCode::kUnsupported;
+          resp.message = StrCat(
+              "wire protocol version mismatch: this server speaks v",
+              static_cast<int>(kWireVersion),
+              ", client sent an unversioned v1 frame; upgrade the client");
+          (void)WriteLegacyFrame(fd, EncodeLegacyResponse(resp),
+                                 opts_.frame_timeout_ms);
+        } else {
+          resp.code = StatusCode::kVersionMismatch;
+          resp.message = payload.status().message();
+          (void)WriteFrame(fd, EncodeResponse(resp), opts_.frame_timeout_ms);
+        }
+        break;
+      }
       // Unavailable = clean close between frames; Invalid = torn frame or
       // oversized length; DeadlineExceeded = idle/stall timeout. None of
       // them is answerable — the framing is gone — so the connection ends.
@@ -428,6 +671,7 @@ void Server::ConnectionLoop(int fd, uint64_t conn_id) {
       (void)WriteFrame(fd, EncodeResponse(resp), opts_.frame_timeout_ms);
       break;  // framing discipline is broken; drop the connection
     }
+    resp.req_id = req->req_id;
     if (req->opcode == Opcode::kPing) {
       resp.epoch = epoch();
       if (!WriteFrame(fd, EncodeResponse(resp), opts_.frame_timeout_ms).ok())
@@ -443,8 +687,8 @@ void Server::ConnectionLoop(int fd, uint64_t conn_id) {
     if (draining_.load(std::memory_order_relaxed)) {
       resp.code = StatusCode::kUnavailable;
       resp.message = "server draining";
-      resp.retry_after_ms = 1'000;
-      (void)WriteFrame(fd, EncodeResponse(resp), opts_.frame_timeout_ms);
+      resp.retry_after_ms = CurrentRetryHintMs();
+      if (!SendResponse(fd, resp)) break;
       continue;
     }
     // Parse and classify on the connection thread: parse errors and
@@ -453,21 +697,23 @@ void Server::ConnectionLoop(int fd, uint64_t conn_id) {
     if (!parsed.ok()) {
       resp.code = parsed.status().code();
       resp.message = parsed.status().message();
-      if (!WriteFrame(fd, EncodeResponse(resp), opts_.frame_timeout_ms).ok())
-        break;
+      if (!SendResponse(fd, resp)) break;
       continue;
     }
     Status allowed = WireStatementAllowed(*parsed);
     if (!allowed.ok()) {
       resp.code = allowed.code();
       resp.message = allowed.message();
-      if (!WriteFrame(fd, EncodeResponse(resp), opts_.frame_timeout_ms).ok())
-        break;
+      if (!SendResponse(fd, resp)) break;
       continue;
     }
     auto job = std::make_shared<Job>();
     job->stmt = std::move(*parsed);
-    job->is_write = StatementIsWrite(job->stmt);
+    // The lease holder's statements — reads included — run on the writer,
+    // so the transaction observes its own uncommitted writes.
+    job->is_write = StatementIsWrite(job->stmt) || HoldsLease(conn_id);
+    job->conn_id = conn_id;
+    job->token = req->token;
     uint32_t deadline_ms =
         req->deadline_ms == 0 ? opts_.default_deadline_ms : req->deadline_ms;
     if (opts_.max_deadline_ms > 0) {
@@ -488,16 +734,17 @@ void Server::ConnectionLoop(int fd, uint64_t conn_id) {
       resp.code = StatusCode::kResourceExhausted;
       resp.message = "admission queue full";
       resp.retry_after_ms = retry_after;
-      if (!WriteFrame(fd, EncodeResponse(resp), opts_.frame_timeout_ms).ok())
-        break;
+      if (!SendResponse(fd, resp)) break;
       continue;
     }
     resp = AwaitJob(fd, job, deadline_ms, &close_conn);
-    if (!WriteFrame(fd, EncodeResponse(resp), opts_.frame_timeout_ms).ok()) {
-      close_conn = true;
-    }
+    resp.req_id = req->req_id;
+    if (!SendResponse(fd, resp)) close_conn = true;
   }
   ::close(fd);
+  // Dead client mid-transaction: roll its transaction back and free the
+  // writer for everyone else. Also drops any pending reaped marker.
+  ReapIfHeldBy(conn_id);
   {
     std::lock_guard<std::mutex> l(conns_mu_);
     conn_fds_.erase(conn_id);
@@ -614,6 +861,9 @@ void Server::Shutdown(uint32_t grace_ms) {
   }
   queue_cv_.notify_all();
   for (auto& w : workers_) w.join();
+  stop_reaper_.store(true, std::memory_order_relaxed);
+  reaper_cv_.notify_all();
+  if (reaper_thread_.joinable()) reaper_thread_.join();
   // 4. Close every connection: conn loops wake from their reads and exit.
   stopping_.store(true, std::memory_order_relaxed);
   {
@@ -626,9 +876,15 @@ void Server::Shutdown(uint32_t grace_ms) {
                        [&] { return conn_fds_.empty(); });
   }
   for (auto& t : conn_threads_) t.join();
-  // 5. Fold the WAL into a fresh snapshot so restart replays nothing.
+  // 5. Roll back any transaction still open (its holder is gone; commit on
+  //    its behalf would invent a decision), then fold the WAL into a fresh
+  //    snapshot so restart replays nothing.
   {
     std::lock_guard<std::mutex> wl(writer_mu_);
+    {
+      std::lock_guard<std::mutex> tl(txn_mu_);
+      if (writer_.in_txn()) ReapLocked();
+    }
     if (writer_.has_storage()) (void)writer_.Checkpoint();
   }
   ::close(wake_pipe_[0]);

@@ -2,6 +2,7 @@
 #define EXCESS_SERVER_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -11,6 +12,7 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "core/governor.h"
@@ -34,7 +36,38 @@ class ServerHooks {
   /// Called by a worker after dequeuing the `idx`-th job (0-based, global
   /// dequeue order), before execution. Tests stall workers here.
   virtual void OnJobStart(uint64_t idx) { (void)idx; }
+
+  /// Wire-level fault injection, consulted before the server sends the
+  /// `idx`-th statement-level response (0-based, global send order; ping /
+  /// shutdown / version-mismatch replies are not counted):
+  ///  - kDropBeforeAck: close without sending — the request executed but
+  ///    its ack is lost (the exactly-once commit-retry scenario).
+  ///  - kDropAfterAck:  send, then close — ack delivered, connection gone.
+  ///  - kTornAck:       send a prefix of the frame, then close.
+  ///  - kDuplicateAck:  send the frame twice, then close (duplicated
+  ///    delivery; the req_id echo lets clients discard the stale copy).
+  ///  - kStallAck:      sleep ~150 ms before sending (stalled peer; a
+  ///    client with a shorter timeout observes a silent server).
+  enum class WireFault {
+    kNone,
+    kDropBeforeAck,
+    kDropAfterAck,
+    kTornAck,
+    kDuplicateAck,
+    kStallAck,
+  };
+  virtual WireFault OnWireSend(uint64_t idx) {
+    (void)idx;
+    return WireFault::kNone;
+  }
 };
+
+/// The shed / draining retry-after hint: expected milliseconds for
+/// `backlog` statements to clear through `workers` at the recent
+/// per-statement cost (`ema_exec_us`), clamped to [1 ms, 10 s] so a cold
+/// EMA can neither tell clients "retry immediately, forever" nor park them
+/// for minutes. Pure so the bounds are unit-testable.
+uint32_t ComputeRetryHintMs(int64_t ema_exec_us, size_t backlog, int workers);
 
 struct ServerOptions {
   /// Unix-domain listener path ("" = no unix listener). Unlinked on bind
@@ -68,6 +101,15 @@ struct ServerOptions {
   /// connection waits this much longer for the worker to surface before
   /// abandoning the job (the worker discards the late result).
   uint32_t cancel_grace_ms = 2'000;
+  /// Wire-transaction lease deadline: a connection holding the single
+  /// writer in an open transaction must issue its next statement within
+  /// this budget or the transaction is reaped (auto-rollback, writer
+  /// freed, `server.txn.reaped`). 0 = the EXCESS_TXN_LEASE_MS env knob
+  /// (default 10 s).
+  uint32_t txn_lease_ms = 0;
+  /// Bound on the exactly-once commit dedup window: the most recent N
+  /// committed idempotency tokens are answerable from memory; 0 = 256.
+  int commit_dedup_window = 0;
   ServerHooks* hooks = nullptr;
 };
 
@@ -76,9 +118,18 @@ struct ServerOptions {
 /// Concurrency model: one writer, many readers.
 ///  - Write statements (create / define / append / delete / retrieve into /
 ///    range / define function / checkpoint) serialize through the single
-///    writer Session — WAL, transactions-free commit protocol, and crash
-///    recovery exactly as in-process use — and each committed write
-///    publishes a new EpochSnapshot under the shared_mutex.
+///    writer Session — WAL, commit protocol, and crash recovery exactly as
+///    in-process use — and each committed write publishes a new
+///    EpochSnapshot under the shared_mutex.
+///  - Wire transactions (`begin`/`commit`/`rollback`) grant the issuing
+///    connection a lease on that writer: until commit/rollback, writes
+///    from other connections get kUnavailable + retry-after, the holder's
+///    statements (reads included) run on the writer so the transaction
+///    sees its own writes, and nothing publishes until the commit. A dead
+///    client or an expired lease (txn_lease_ms) is reaped: auto-rollback,
+///    writer freed, `server.txn.reaped`. Commits carrying an idempotency
+///    token are journaled + kept in a bounded dedup window, so a retried
+///    commit resolves to its original outcome instead of double-applying.
 ///  - Read statements (retrieve / explain) run on the worker's private
 ///    copy-on-write clone of the newest published epoch, so readers never
 ///    block the writer, never block each other, and always observe a
@@ -139,6 +190,8 @@ class Server {
     bool is_write = false;
     ExecLimits limits;
     CancelTokenPtr cancel;
+    uint64_t conn_id = 0;
+    std::string token;  // idempotency token (commit statements)
 
     std::mutex mu;
     std::condition_variable cv;
@@ -147,6 +200,8 @@ class Server {
     Status status;
     std::string result;
     uint64_t served_epoch = 0;
+    bool resolved_by_token = false;  // answered from the dedup window
+    uint32_t retry_after_ms = 0;     // e.g. lease held by another connection
   };
   using JobPtr = std::shared_ptr<Job>;
 
@@ -165,6 +220,29 @@ class Server {
   void WorkerLoop();
   void ExecuteJob(Job* job, ReaderCtx* ctx);
   Status RefreshReader(ReaderCtx* ctx);
+  /// Background lease watchdog: reaps a wire transaction whose holder went
+  /// silent past txn_lease_ms, so one stalled client cannot wedge writes.
+  void ReaperLoop();
+  /// Rolls the writer's open transaction back, frees the lease, marks the
+  /// holding connection reaped, and bumps `server.txn.reaped`. Caller
+  /// holds writer_mu_ AND txn_mu_.
+  void ReapLocked();
+  /// Connection teardown: reap the lease if `conn_id` still holds one
+  /// (dead client mid-transaction) and drop its reaped marker.
+  void ReapIfHeldBy(uint64_t conn_id);
+  /// True while `conn_id` holds the wire-transaction lease; its statements
+  /// — reads included — route to the writer so the transaction sees its
+  /// own uncommitted writes.
+  bool HoldsLease(uint64_t conn_id);
+  /// EMA-derived retry-after hint for the current backlog (metrics
+  /// included). Must be called WITHOUT queue_mu_ held.
+  uint32_t CurrentRetryHintMs();
+  /// Records a committed idempotency token in the bounded dedup window.
+  void RecordCommitToken(const std::string& token, uint64_t epoch,
+                         const std::string& result);
+  /// Sends a statement-level response through the wire-fault seam; false
+  /// means the connection must close (fault injected or peer gone).
+  bool SendResponse(int fd, const Response& resp);
   /// Publishes the current writer state as the next epoch. Caller holds
   /// writer_mu_.
   void PublishEpochLocked();
@@ -207,6 +285,36 @@ class Server {
   // completion.
   std::mutex tokens_mu_;
   std::unordered_map<Job*, CancelTokenPtr> live_tokens_;
+
+  // Wire-transaction lease on the single writer. txn_mu_ guards the
+  // fields; every transition (grant, renew, reap) happens with writer_mu_
+  // held as well, so the lease and the writer's in_txn() state move
+  // together. Lock order: writer_mu_ before txn_mu_.
+  std::mutex txn_mu_;
+  bool lease_active_ = false;
+  uint64_t lease_conn_ = 0;
+  std::chrono::steady_clock::time_point lease_expiry_{};
+  /// Connections whose transaction was reaped out from under them: their
+  /// next write gets a typed lease-expired error instead of silently
+  /// executing outside the transaction. Entries die with the connection.
+  std::unordered_set<uint64_t> reaped_conns_;
+  std::thread reaper_thread_;
+  std::atomic<bool> stop_reaper_{false};
+  std::mutex reaper_mu_;
+  std::condition_variable reaper_cv_;  // wakes the reaper for instant join
+
+  // Exactly-once commit dedup window: token -> original outcome, bounded
+  // to the most recent opts_.commit_dedup_window commits (insertion order
+  // in dedup_order_). Re-seeded from the WAL's journaled tokens on Start.
+  struct CommitOutcome {
+    uint64_t epoch = 0;
+    std::string result;
+  };
+  std::mutex dedup_mu_;
+  std::unordered_map<std::string, CommitOutcome> dedup_;
+  std::deque<std::string> dedup_order_;
+
+  std::atomic<uint64_t> wire_send_counter_{0};
 
   // Listeners, connections, threads.
   int unix_fd_ = -1;

@@ -91,7 +91,8 @@ Status PollFor(int fd, short events, int timeout_ms) {
 }
 
 /// Reads exactly `n` bytes. `any_read` distinguishes a clean close between
-/// frames (kUnavailable) from a torn frame (kInvalid).
+/// frames (kUnavailable) from a torn frame (kInvalid). recv is retried on
+/// EINTR/EAGAIN so a signal mid-read never surfaces as a frame error.
 Status ReadExact(int fd, char* buf, size_t n, int timeout_ms, bool* any_read) {
   size_t got = 0;
   while (got < n) {
@@ -113,15 +114,57 @@ Status ReadExact(int fd, char* buf, size_t n, int timeout_ms, bool* any_read) {
   return Status::OK();
 }
 
+/// Sends all of `data`. send is retried on EINTR/EAGAIN; MSG_NOSIGNAL makes
+/// a vanished client yield EPIPE, never SIGPIPE.
+Status SendAll(int fd, std::string_view data, int timeout_ms) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    EXA_RETURN_NOT_OK(PollFor(fd, POLLOUT, timeout_ms));
+    ssize_t r = ::send(fd, data.data() + sent, data.size() - sent,
+                       MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return Status::Unavailable(StrCat("send: ", std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+uint32_t LoadU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+Result<std::string> ReadSizedPayload(int fd, uint32_t len, uint32_t max_bytes,
+                                     int timeout_ms, bool* any_read) {
+  if (len > max_bytes) {
+    return Status::Invalid(StrCat("frame of ", len, " bytes exceeds the ",
+                                  max_bytes, "-byte cap"));
+  }
+  std::string payload(len, '\0');
+  if (len > 0) {
+    EXA_RETURN_NOT_OK(ReadExact(fd, payload.data(), len, timeout_ms,
+                                any_read));
+  }
+  return payload;
+}
+
 }  // namespace
 
 std::string EncodeRequest(const Request& req) {
   std::string out;
-  out.reserve(21 + 4 + req.statement.size());
+  out.reserve(33 + req.token.size() + req.statement.size());
   PutU8(&out, static_cast<uint8_t>(req.opcode));
   PutU32(&out, req.deadline_ms);
   PutU64(&out, req.max_bytes);
   PutU64(&out, req.max_occurrences);
+  PutU64(&out, req.req_id);
+  PutU32(&out, static_cast<uint32_t>(req.token.size()));
+  out += req.token;
   PutU32(&out, static_cast<uint32_t>(req.statement.size()));
   out += req.statement;
   return out;
@@ -138,6 +181,14 @@ Result<Request> DecodeRequest(std::string_view payload) {
   req.deadline_ms = r.U32();
   req.max_bytes = r.U64();
   req.max_occurrences = r.U64();
+  req.req_id = r.U64();
+  uint32_t token_len = r.U32();
+  if (token_len > kMaxTokenBytes) {
+    return Status::Invalid(StrCat("idempotency token of ", token_len,
+                                  " bytes exceeds the ", kMaxTokenBytes,
+                                  "-byte cap"));
+  }
+  req.token = r.Bytes(token_len);
   uint32_t len = r.U32();
   req.statement = r.Bytes(len);
   if (!r.ok() || !r.AtEnd()) {
@@ -148,8 +199,10 @@ Result<Request> DecodeRequest(std::string_view payload) {
 
 std::string EncodeResponse(const Response& resp) {
   std::string out;
-  out.reserve(21 + resp.message.size() + resp.result.size());
+  out.reserve(34 + resp.message.size() + resp.result.size());
   PutU8(&out, static_cast<uint8_t>(resp.code));
+  PutU8(&out, resp.resolved_by_token ? 1 : 0);
+  PutU64(&out, resp.req_id);
   PutU64(&out, resp.epoch);
   PutU32(&out, resp.retry_after_ms);
   PutU32(&out, static_cast<uint32_t>(resp.message.size()));
@@ -163,6 +216,58 @@ Result<Response> DecodeResponse(std::string_view payload) {
   Reader r(payload);
   Response resp;
   uint8_t code = r.U8();
+  if (code > static_cast<uint8_t>(StatusCode::kVersionMismatch)) {
+    return Status::Invalid(StrCat("unknown status code ", code));
+  }
+  resp.code = static_cast<StatusCode>(code);
+  uint8_t flags = r.U8();
+  if ((flags & ~uint8_t{1}) != 0) {
+    return Status::Invalid(StrCat("unknown response flags ", flags));
+  }
+  resp.resolved_by_token = (flags & 1) != 0;
+  resp.req_id = r.U64();
+  resp.epoch = r.U64();
+  resp.retry_after_ms = r.U32();
+  resp.message = r.Bytes(r.U32());
+  resp.result = r.Bytes(r.U32());
+  if (!r.ok() || !r.AtEnd()) {
+    return Status::Invalid("malformed response payload");
+  }
+  return resp;
+}
+
+std::string EncodeLegacyRequest(const Request& req) {
+  std::string out;
+  out.reserve(21 + 4 + req.statement.size());
+  PutU8(&out, static_cast<uint8_t>(req.opcode));
+  PutU32(&out, req.deadline_ms);
+  PutU64(&out, req.max_bytes);
+  PutU64(&out, req.max_occurrences);
+  PutU32(&out, static_cast<uint32_t>(req.statement.size()));
+  out += req.statement;
+  return out;
+}
+
+std::string EncodeLegacyResponse(const Response& resp) {
+  std::string out;
+  out.reserve(21 + resp.message.size() + resp.result.size());
+  PutU8(&out, static_cast<uint8_t>(resp.code));
+  PutU64(&out, resp.epoch);
+  PutU32(&out, resp.retry_after_ms);
+  PutU32(&out, static_cast<uint32_t>(resp.message.size()));
+  out += resp.message;
+  PutU32(&out, static_cast<uint32_t>(resp.result.size()));
+  out += resp.result;
+  return out;
+}
+
+Result<Response> DecodeLegacyResponse(std::string_view payload) {
+  Reader r(payload);
+  Response resp;
+  uint8_t code = r.U8();
+  // v1 decoders only knew codes up to kUnavailable; the compatibility
+  // reply therefore never carries kVersionMismatch (it is downgraded to
+  // kUnsupported by the server before encoding).
   if (code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
     return Status::Invalid(StrCat("unknown status code ", code));
   }
@@ -177,45 +282,70 @@ Result<Response> DecodeResponse(std::string_view payload) {
   return resp;
 }
 
-Result<std::string> ReadFrame(int fd, int timeout_ms, uint32_t max_bytes) {
+std::string FrameBytes(std::string_view payload) {
+  std::string framed;
+  framed.reserve(8 + payload.size());
+  framed.push_back('E');
+  framed.push_back('X');
+  framed.push_back('W');
+  framed.push_back(static_cast<char>(kWireVersion));
+  PutU32(&framed, static_cast<uint32_t>(payload.size()));
+  framed.append(payload.data(), payload.size());
+  return framed;
+}
+
+Result<std::string> ReadFrame(int fd, int timeout_ms, uint32_t max_bytes,
+                              int* peer_version) {
+  if (peer_version != nullptr) *peer_version = kWireVersion;
   bool any_read = false;
   char hdr[4];
   EXA_RETURN_NOT_OK(ReadExact(fd, hdr, 4, timeout_ms, &any_read));
-  uint32_t len = 0;
-  for (int i = 0; i < 4; ++i) {
-    len |= static_cast<uint32_t>(static_cast<uint8_t>(hdr[i])) << (8 * i);
+  if (hdr[0] == 'E' && hdr[1] == 'X' && hdr[2] == 'W') {
+    uint8_t version = static_cast<uint8_t>(hdr[3]);
+    if (version != kWireVersion) {
+      if (peer_version != nullptr) *peer_version = version;
+      return Status::VersionMismatch(
+          StrCat("peer speaks wire protocol v", version,
+                 "; this build speaks v", kWireVersion));
+    }
+    char len_hdr[4];
+    EXA_RETURN_NOT_OK(ReadExact(fd, len_hdr, 4, timeout_ms, &any_read));
+    return ReadSizedPayload(fd, LoadU32(len_hdr), max_bytes, timeout_ms,
+                            &any_read);
   }
-  if (len > max_bytes) {
-    return Status::Invalid(
-        StrCat("frame of ", len, " bytes exceeds the ", max_bytes,
-               "-byte cap"));
+  // No magic: a legacy v1 peer whose frame is a bare length prefix. Drain
+  // its payload (within the cap) so a typed compatibility reply can still
+  // reach it before the connection is closed.
+  if (peer_version != nullptr) *peer_version = 1;
+  uint32_t len = LoadU32(hdr);
+  if (len <= max_bytes && len > 0) {
+    std::string discard(len, '\0');
+    (void)ReadExact(fd, discard.data(), len, timeout_ms, &any_read);
   }
-  std::string payload(len, '\0');
-  if (len > 0) {
-    EXA_RETURN_NOT_OK(ReadExact(fd, payload.data(), len, timeout_ms,
-                                &any_read));
-  }
-  return payload;
+  return Status::VersionMismatch(
+      StrCat("peer speaks legacy wire protocol v1 (unversioned frame); "
+             "this build speaks v",
+             kWireVersion));
 }
 
 Status WriteFrame(int fd, std::string_view payload, int timeout_ms) {
+  return SendAll(fd, FrameBytes(payload), timeout_ms);
+}
+
+Result<std::string> ReadLegacyFrame(int fd, int timeout_ms,
+                                    uint32_t max_bytes) {
+  bool any_read = false;
+  char hdr[4];
+  EXA_RETURN_NOT_OK(ReadExact(fd, hdr, 4, timeout_ms, &any_read));
+  return ReadSizedPayload(fd, LoadU32(hdr), max_bytes, timeout_ms, &any_read);
+}
+
+Status WriteLegacyFrame(int fd, std::string_view payload, int timeout_ms) {
   std::string framed;
   framed.reserve(4 + payload.size());
   PutU32(&framed, static_cast<uint32_t>(payload.size()));
   framed.append(payload.data(), payload.size());
-  size_t sent = 0;
-  while (sent < framed.size()) {
-    EXA_RETURN_NOT_OK(PollFor(fd, POLLOUT, timeout_ms));
-    // MSG_NOSIGNAL: a vanished client yields EPIPE, never SIGPIPE.
-    ssize_t r = ::send(fd, framed.data() + sent, framed.size() - sent,
-                       MSG_NOSIGNAL);
-    if (r < 0) {
-      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
-      return Status::Unavailable(StrCat("send: ", std::strerror(errno)));
-    }
-    sent += static_cast<size_t>(r);
-  }
-  return Status::OK();
+  return SendAll(fd, framed, timeout_ms);
 }
 
 bool PeerClosed(int fd) {

@@ -10,28 +10,52 @@
 namespace excess {
 namespace server {
 
-/// Wire protocol v1: every message is one length-prefixed frame
+/// Wire protocol v2: every message is one versioned, length-prefixed frame
 ///
-///   u32 payload_len | payload            (all integers little-endian)
+///   'E' 'X' 'W' u8 version | u32 payload_len | payload
+///                                        (all integers little-endian)
 ///
 /// capped at kMaxFrameBytes — a length prefix beyond the cap is treated as
 /// a malformed stream and the connection is dropped, so a hostile or
 /// corrupted client cannot make the server buffer unbounded input.
 ///
-/// Request payload:
+/// Version negotiation is typed, never garbled: a reader that sees the
+/// "EXW" magic with an unexpected version byte returns kVersionMismatch
+/// (and reads nothing further); a reader that sees no magic at all assumes
+/// a legacy v1 peer (v1 frames were a bare `u32 payload_len` with no
+/// magic), drains that one frame, and returns kVersionMismatch with
+/// peer_version = 1 so the server can answer in v1 framing before closing.
+///
+/// Request payload (v2):
 ///   u8  opcode               1=statement  2=ping  3=shutdown (drain)
 ///   u32 deadline_ms          0 = server default
 ///   u64 max_bytes            per-request memory budget; 0 = server default
 ///   u64 max_occurrences      per-request row budget;    0 = server default
+///   u64 req_id               client-chosen correlation id, echoed back
+///   u32 token_len | bytes    idempotency token ("" = none; commit only),
+///                            at most kMaxTokenBytes
 ///   u32 stmt_len | bytes     EXCESS statement source (statement opcode)
 ///
-/// Response payload:
+/// Response payload (v2):
 ///   u8  status_code          numeric StatusCode (0 = OK)
+///   u8  flags                bit 0: resolved-by-token (commit dedup hit);
+///                            other bits must be zero
+///   u64 req_id               echo of the request's correlation id
 ///   u64 epoch                committed epoch the request observed
 ///   u32 retry_after_ms       only with kResourceExhausted / kUnavailable
 ///   u32 msg_len | bytes      error message ("" on OK)
 ///   u32 result_len | bytes   rendered result ("" for statements with none)
+///
+/// v1 payloads (still encodable/decodable for the compatibility reply and
+/// for tests) are the same layouts minus req_id, token, and flags.
 inline constexpr uint32_t kMaxFrameBytes = 16u << 20;
+
+/// Version this build speaks. Frames carry it in the header; a mismatch is
+/// reported as StatusCode::kVersionMismatch, never a garbled decode.
+inline constexpr uint8_t kWireVersion = 2;
+
+/// Upper bound on an idempotency token; longer tokens are kInvalid.
+inline constexpr uint32_t kMaxTokenBytes = 128;
 
 enum class Opcode : uint8_t {
   kStatement = 1,
@@ -44,36 +68,64 @@ struct Request {
   uint32_t deadline_ms = 0;
   uint64_t max_bytes = 0;
   uint64_t max_occurrences = 0;
+  uint64_t req_id = 0;
+  std::string token;  // idempotency token; "" = none
   std::string statement;
 };
 
 struct Response {
   StatusCode code = StatusCode::kOk;
+  bool resolved_by_token = false;
+  uint64_t req_id = 0;
   uint64_t epoch = 0;
   uint32_t retry_after_ms = 0;
   std::string message;
   std::string result;
 };
 
-/// Payload codecs (the length prefix is added by WriteFrame). Decoding is
-/// strict: truncated fields, an unknown opcode, or trailing bytes are all
-/// kInvalid — a torn or corrupted frame never half-parses.
+/// Payload codecs (the frame header is added by WriteFrame). Decoding is
+/// strict: truncated fields, an unknown opcode, unknown response flags, an
+/// oversized token, or trailing bytes are all kInvalid — a torn or
+/// corrupted frame never half-parses.
 std::string EncodeRequest(const Request& req);
 Result<Request> DecodeRequest(std::string_view payload);
 std::string EncodeResponse(const Response& resp);
 Result<Response> DecodeResponse(std::string_view payload);
+
+/// v1 payload codecs, kept for the version-mismatch compatibility reply
+/// (the server answers a legacy client in framing it can decode) and for
+/// negotiation tests. req_id / token / resolved_by_token do not travel.
+std::string EncodeLegacyRequest(const Request& req);
+std::string EncodeLegacyResponse(const Response& resp);
+Result<Response> DecodeLegacyResponse(std::string_view payload);
+
+/// Returns the fully framed v2 byte string (header + payload) without
+/// sending it — the fault-injection seam uses this to tear frames at a
+/// byte boundary of its choosing.
+std::string FrameBytes(std::string_view payload);
 
 /// Frame I/O over a socket. Both directions poll with `timeout_ms` per
 /// syscall so a stalled peer can never wedge the calling thread:
 ///  - ReadFrame returns kUnavailable on a clean close before any byte (the
 ///    peer hung up between frames), kInvalid on a torn frame (close mid-
 ///    frame) or an oversized length prefix, kDeadlineExceeded when the
-///    peer stays silent mid-frame past the timeout.
+///    peer stays silent mid-frame past the timeout, and kVersionMismatch
+///    when the peer speaks a different protocol version (`peer_version`,
+///    when non-null, receives the detected version; 1 means an
+///    unversioned legacy frame, whose payload is drained so a typed reply
+///    can still be delivered).
 ///  - WriteFrame returns kDeadlineExceeded when the peer stops draining
 ///    (slow-client protection) and kUnavailable when it disappeared.
 Result<std::string> ReadFrame(int fd, int timeout_ms,
-                              uint32_t max_bytes = kMaxFrameBytes);
+                              uint32_t max_bytes = kMaxFrameBytes,
+                              int* peer_version = nullptr);
 Status WriteFrame(int fd, std::string_view payload, int timeout_ms);
+
+/// v1 framing (bare u32 length prefix): used for the compatibility reply
+/// to a legacy client and by negotiation tests that simulate v1 peers.
+Result<std::string> ReadLegacyFrame(int fd, int timeout_ms,
+                                    uint32_t max_bytes = kMaxFrameBytes);
+Status WriteLegacyFrame(int fd, std::string_view payload, int timeout_ms);
 
 /// True iff the peer has closed its end (recv MSG_PEEK|MSG_DONTWAIT sees
 /// EOF). Pending unread data — e.g. a pipelined request — counts as alive.

@@ -100,6 +100,7 @@ Result<StorageEngine::Opened> StorageEngine::Open(
                        ScanWalFile(engine->wal_path_));
   opened.info.torn_tail = scan.torn_tail;
   opened.info.discarded_bytes = scan.discarded_bytes;
+  opened.info.commit_tokens = std::move(scan.commit_tokens);
   if (scan.torn_tail) {
     obs::MetricsRegistry::Global().GetCounter("storage.recovery.torn_tail")
         ->Increment();
@@ -160,10 +161,12 @@ Status StorageEngine::LogCommit(const std::string& source, bool optimize,
   return Status::OK();
 }
 
-Status StorageEngine::LogCommitGroup(const std::vector<StagedStatement>& stmts) {
+Status StorageEngine::LogCommitGroup(const std::vector<StagedStatement>& stmts,
+                                     const std::string& commit_token) {
   if (stmts.empty()) return Status::OK();
-  if (stmts.size() == 1) {
-    // A group of one is just a commit; markers would buy nothing.
+  if (stmts.size() == 1 && commit_token.empty()) {
+    // A group of one is just a commit; markers would buy nothing. (With an
+    // idempotency token the markers stay: the token rides the commit one.)
     return LogCommit(stmts[0].source, stmts[0].optimize, stmts[0].context);
   }
   for (const auto& s : stmts) {
@@ -193,6 +196,7 @@ Status StorageEngine::LogCommitGroup(const std::vector<StagedStatement>& stmts) 
   commit.txn_commit = true;
   commit.optimize = false;
   commit.lsn = lsn - 1;
+  commit.commit_token = commit_token;
   recs.push_back(std::move(commit));
   EXA_RETURN_NOT_OK(
       wal_->AppendBatch(recs, /*sync_each=*/!options_.group_commit));

@@ -50,6 +50,12 @@ struct RecoveryInfo {
   uint64_t replayed = 0;       // WAL records handed back for replay
   bool torn_tail = false;      // WAL ended in a discarded torn suffix
   uint64_t discarded_bytes = 0;
+  /// Idempotency tokens of commits the WAL proves durable, in commit
+  /// order. The server re-seeds its exactly-once dedup window from these,
+  /// so a commit retried across a crash still resolves instead of
+  /// double-applying. (A checkpoint resets the WAL and therefore bounds
+  /// how far back the window reaches.)
+  std::vector<std::string> commit_tokens;
 };
 
 /// The durable storage engine: one snapshot file at `path` plus a WAL at
@@ -94,7 +100,12 @@ class StorageEngine {
   /// durable or — after a crash or failure anywhere in the batch — none
   /// is. A single statement logs as a plain record (a group of one needs
   /// no markers); an empty group is a no-op.
-  Status LogCommitGroup(const std::vector<StagedStatement>& stmts);
+  ///
+  /// A non-empty `commit_token` (an exactly-once wire commit) is journaled
+  /// on the COMMIT marker; the group then always carries markers — even a
+  /// group of one — so the token has a marker to ride on.
+  Status LogCommitGroup(const std::vector<StagedStatement>& stmts,
+                        const std::string& commit_token = "");
 
   /// Folds the current state into a fresh snapshot (atomic temp + rename)
   /// and resets the WAL. `context` is the session's live context-statement

@@ -25,6 +25,10 @@ constexpr uint8_t kFlagOptimize = 1;
 constexpr uint8_t kFlagContext = 2;
 constexpr uint8_t kFlagTxnBegin = 4;
 constexpr uint8_t kFlagTxnCommit = 8;
+// Only valid on a COMMIT marker: the source slot carries an idempotency
+// token instead of being empty. Token-less records are byte-identical to
+// the pre-token format, so old WALs decode unchanged.
+constexpr uint8_t kFlagTxnToken = 16;
 
 /// A single statement source larger than this is rejected at scan time —
 /// far beyond any real program, and it bounds allocations on corrupt input
@@ -45,9 +49,11 @@ std::string EncodeWalRecord(const WalRecord& rec) {
   if (rec.context) flags |= kFlagContext;
   if (rec.txn_begin) flags |= kFlagTxnBegin;
   if (rec.txn_commit) flags |= kFlagTxnCommit;
+  bool token = rec.txn_commit && !rec.commit_token.empty();
+  if (token) flags |= kFlagTxnToken;
   payload.U8(flags);
   payload.U64(rec.lsn);
-  payload.Str(rec.source);
+  payload.Str(token ? rec.commit_token : rec.source);
 
   Writer out;
   out.U32(static_cast<uint32_t>(payload.bytes().size()));
@@ -110,13 +116,16 @@ Result<WalScanResult> ScanWalBytes(const std::string& bytes) {
 
     bool is_begin = (*flags & kFlagTxnBegin) != 0;
     bool is_commit = (*flags & kFlagTxnCommit) != 0;
+    bool has_token = (*flags & kFlagTxnToken) != 0;
     if (is_begin || is_commit) {
-      // Markers are structural only: no source, one role, plausible lsn.
+      // Markers are structural only: one role, plausible lsn, and an empty
+      // source — unless a commit marker carries an idempotency token under
+      // kFlagTxnToken, in which case the source slot must be non-empty.
       // A malformed marker is corruption like any other — torn tail (from
       // the group start when one is open).
-      if ((is_begin && is_commit) || !source->empty() || *lsn == 0) {
-        return torn();
-      }
+      if ((is_begin && is_commit) || *lsn == 0) return torn();
+      if (has_token && (!is_commit || source->empty())) return torn();
+      if (!has_token && !source->empty()) return torn();
       if (is_begin) {
         if (in_group) return torn();
         if (have_prev && *lsn != prev_lsn + 1) return torn();
@@ -132,11 +141,13 @@ Result<WalScanResult> ScanWalBytes(const std::string& bytes) {
         for (auto& r : group) out.records.push_back(std::move(r));
         group.clear();
         in_group = false;
+        if (has_token) out.commit_tokens.push_back(std::move(*source));
         out.valid_bytes = pos;
       }
       continue;
     }
 
+    if (has_token) return torn();  // token flag is commit-marker-only
     if (have_prev && *lsn != prev_lsn + 1) return torn();
     prev_lsn = *lsn;
     have_prev = true;

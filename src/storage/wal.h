@@ -53,6 +53,11 @@ struct WalRecord {
   /// is what makes the group atomic.
   bool txn_begin = false;
   bool txn_commit = false;
+  /// Idempotency token journaled with a COMMIT marker (exactly-once wire
+  /// commits). It rides in the marker's otherwise-empty source slot under a
+  /// dedicated flag, so records without tokens are byte-identical to the
+  /// original format and old WALs scan unchanged.
+  std::string commit_token;
 };
 
 /// Result of scanning a WAL file: the intact record prefix, where it ends,
@@ -62,6 +67,9 @@ struct WalScanResult {
   uint64_t valid_bytes = 0;  // header + intact records
   bool torn_tail = false;
   uint64_t discarded_bytes = 0;
+  /// Idempotency tokens of committed groups, in commit order — recovery
+  /// rebuilds the server's commit-dedup window from these.
+  std::vector<std::string> commit_tokens;
 };
 
 /// Serialized form of one record (length/checksum framing included).

@@ -35,6 +35,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "DataLoss";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kVersionMismatch:
+      return "VersionMismatch";
   }
   return "Unknown";
 }

@@ -27,6 +27,7 @@ enum class StatusCode {
   kCancelled,          // query cancelled via CancelToken
   kDataLoss,           // storage corruption or failed durable write
   kUnavailable,        // server draining / connection refused; retry later
+  kVersionMismatch,    // wire-protocol version skew between client and server
 };
 
 /// Returns a stable human-readable name ("TypeError", ...) for a code.
@@ -82,6 +83,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status VersionMismatch(std::string msg) {
+    return Status(StatusCode::kVersionMismatch, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -100,6 +104,9 @@ class Status {
   bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
   bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsVersionMismatch() const {
+    return code_ == StatusCode::kVersionMismatch;
+  }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -19,6 +19,7 @@
 #include "check/gen.h"
 #include "check/oracle.h"
 #include "check/shrink.h"
+#include "check/wirechaos.h"
 #include "core/builder.h"
 #include "core/eval.h"
 #include "core/parallel.h"
@@ -147,6 +148,32 @@ TEST(OracleSweep, CrashRecovery) {
   // Every seed contributes a clean reopen plus dozens of crash points.
   EXPECT_GE(stats.plans, static_cast<int64_t>(kSweepSeeds) * 10);
   EXPECT_GE(stats.comparisons, static_cast<int64_t>(kSweepSeeds) * 10);
+}
+
+TEST(OracleSweep, WireChaos) {
+  // Oracle 6: network chaos. Each seed drives a transactional workload
+  // (per group: begin, the same value appended to two sets, then a tokened
+  // commit or a rollback) through a real in-process Server over a unix
+  // socket with a retrying, reconnecting Client — once clean, then once
+  // per geometric fault point with one wire fault injected (drop before or
+  // after the ack, torn ack, duplicated ack, stalled peer). After every
+  // run the database is reopened cold and checked against the driver's
+  // applied-taxonomy claims: acked commits are durable exactly once in
+  // both sets, abandoned or rolled-back groups left nothing, and
+  // lost-ack unknowns are 0-or-1 but always whole-group atomic.
+  ::setenv("EXCESS_WAL_FSYNC", "0", 1);  // bytes are identical; speed only
+  WireChaosOptions opts;
+  OracleStats stats;
+  std::vector<Divergence> divs;
+  for (uint64_t seed = 0; seed < kSweepSeeds; ++seed) {
+    ASSERT_TRUE(CheckWireChaosSeed(seed, opts, &stats, &divs).ok());
+    ASSERT_TRUE(divs.empty()) << Describe(divs.front());
+  }
+  ::unsetenv("EXCESS_WAL_FSYNC");
+  // Every seed contributes at least a clean run plus faulted reruns, and
+  // every run checks each group in both sets.
+  EXPECT_GE(stats.plans, static_cast<int64_t>(kSweepSeeds) * 2);
+  EXPECT_GE(stats.comparisons, static_cast<int64_t>(kSweepSeeds) * 6);
 }
 
 TEST(OracleSweep, ParserFuzz) {

@@ -121,7 +121,11 @@ TEST(DocsFreshness, MetricNamesDocumented) {
         "server.requests.malformed", "server.cancelled.dead_client",
         "server.cancelled.deadline", "server.jobs.abandoned",
         "server.epoch.published", "server.epoch.refreshes", "server.drains",
-        "server.queue.depth", "server.exec_us"}) {
+        "server.queue.depth", "server.exec_us",
+        "server.requests.version_mismatch", "server.txn.leases",
+        "server.txn.reaped", "server.txn.resolved_by_token",
+        "server.retry.hints", "server.retry.hint_ms",
+        "client.reconnect.attempts", "client.reconnect.failures"}) {
     EXPECT_NE(ObservabilityDoc().find(name), std::string::npos)
         << "metric " << name << " is not documented in docs/OBSERVABILITY.md";
   }
@@ -134,7 +138,7 @@ TEST(DocsFreshness, EnvKnobsDocumented) {
         "EXCESS_WAL_FSYNC", "EXCESS_GROUP_COMMIT", "EXCESS_INDEX_LOWERING",
         "EXCESS_SERVER_SOCKET",
         "EXCESS_SERVER_PORT", "EXCESS_SERVER_WORKERS", "EXCESS_SERVER_QUEUE",
-        "EXCESS_SERVER_GRACE_MS"}) {
+        "EXCESS_SERVER_GRACE_MS", "EXCESS_TXN_LEASE_MS"}) {
     EXPECT_NE(ObservabilityDoc().find(knob), std::string::npos)
         << "env knob " << knob
         << " is not documented in docs/OBSERVABILITY.md";
